@@ -1,0 +1,152 @@
+//===- bench/ablation_preemption.cpp - Preemption vs barrier phases ----------===//
+//
+// Part of libsting. See DESIGN.md section 3 for the experiment index.
+//
+// Materializes section 4.2.2's two claims:
+//
+//   * preemption is what keeps compute-bound workers from starving ready
+//     threads ("in its absence, long-running workers might occupy all
+//     available VPs at the expense of other enqueued ready threads");
+//
+//   * in barrier-heavy master/slave phases, preemption can *hurt*: "if the
+//     time to execute a particular set of workers is small relative to
+//     the total time needed to complete the application, enabling
+//     preemption may degrade performance" (citing Tucker & Gupta) — the
+//     without-preemption form exists for exactly this.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sting/Sting.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sting;
+using TC = ThreadController;
+
+namespace {
+
+/// Barrier-phased master/slave: Phases rounds of tiny work quanta ended by
+/// a full barrier. With preemption on, quantum expiry inserts pointless
+/// yields between barriers; the guard variant wraps each quantum in
+/// WithoutPreemption.
+void BM_BarrierPhases(benchmark::State &State) {
+  const bool Preempt = State.range(0) != 0;
+  const bool Guarded = State.range(1) != 0;
+  constexpr int Workers = 4;
+  constexpr int Phases = 30;
+  // Per-phase work must exceed the quantum or preemption never fires.
+  constexpr int PhaseWork = 40'000;
+
+  std::uint64_t Preempts = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    VmConfig Config;
+    Config.NumVps = 2;
+    Config.NumPps = 1;
+    Config.EnablePreemption = Preempt;
+    Config.DefaultQuantumNanos = 100'000; // aggressive 0.1 ms quantum
+    Config.PreemptTickNanos = 50'000;
+    VirtualMachine Vm(Config);
+    State.ResumeTiming();
+
+    Vm.run([&]() -> AnyValue {
+      CyclicBarrier Barrier(Workers);
+      std::vector<ThreadRef> Pool;
+      for (int W = 0; W != Workers; ++W)
+        Pool.push_back(TC::forkThread([&]() -> AnyValue {
+          for (int P = 0; P != Phases; ++P) {
+            auto Quantum = [] {
+              volatile long Acc = 0;
+              for (int I = 0; I != PhaseWork; ++I) {
+                Acc = Acc + I;
+                if ((I & 255) == 0)
+                  TC::checkpoint();
+              }
+            };
+            if (Guarded) {
+              WithoutPreemption Guard;
+              Quantum();
+            } else {
+              Quantum();
+            }
+            Barrier.arriveAndWait();
+          }
+          return AnyValue();
+        }));
+      waitForAll(Pool);
+      return AnyValue();
+    });
+
+    State.PauseTiming();
+    Preempts += Vm.clock().preemptsRaised();
+    State.ResumeTiming();
+  }
+  State.counters["preempts"] = benchmark::Counter(
+      static_cast<double>(Preempts), benchmark::Counter::kAvgIterations);
+  State.SetLabel(!Preempt          ? "preemption-off"
+                 : Guarded         ? "preemption-on+guard"
+                                   : "preemption-on");
+}
+
+/// The flip side: a spinner sharing one VP with queued short tasks. With
+/// preemption off the spinner starves them until it finishes; with it on,
+/// the short tasks finish almost immediately. Measures time until all
+/// short tasks complete.
+void BM_SpinnerFairness(benchmark::State &State) {
+  const bool Preempt = State.range(0) != 0;
+
+  for (auto _ : State) {
+    State.PauseTiming();
+    VmConfig Config;
+    Config.NumVps = 1;
+    Config.NumPps = 1;
+    Config.EnablePreemption = Preempt;
+    Config.DefaultQuantumNanos = 200'000;
+    Config.PreemptTickNanos = 100'000;
+    VirtualMachine Vm(Config);
+    State.ResumeTiming();
+
+    Vm.run([&]() -> AnyValue {
+      std::atomic<bool> ShortDone{false};
+      // A compute-bound spinner with checkpoints (~2.5 ms of work).
+      ThreadRef Spinner = TC::forkThread([&]() -> AnyValue {
+        volatile long Acc = 0;
+        for (int I = 0; I != 2'000'000 && !ShortDone.load(); ++I) {
+          Acc = Acc + I;
+          if ((I & 1023) == 0)
+            TC::checkpoint();
+        }
+        return AnyValue();
+      });
+      // Short tasks queued behind it.
+      std::vector<ThreadRef> Shorts;
+      SpawnOptions Opts;
+      Opts.Stealable = false;
+      for (int I = 0; I != 8; ++I)
+        Shorts.push_back(
+            TC::forkThread([]() -> AnyValue { return AnyValue(); }, Opts));
+      waitForAll(Shorts);
+      ShortDone.store(true);
+      TC::threadWait(*Spinner);
+      return AnyValue();
+    });
+  }
+  State.SetLabel(Preempt ? "preemption-on" : "preemption-off");
+}
+
+} // namespace
+
+BENCHMARK(BM_BarrierPhases)
+    ->ArgNames({"preempt", "guard"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_SpinnerFairness)
+    ->ArgName("preempt")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

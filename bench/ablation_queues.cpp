@@ -1,0 +1,150 @@
+//===- bench/ablation_queues.cpp - Queue locality vs sharing ----------------===//
+//
+// Part of libsting. See DESIGN.md section 3 for the experiment index.
+//
+// Materializes section 3.3's scheduling-policy discussion:
+//
+//   * "when there exist many long-lived non-blocking threads (of roughly
+//     equal duration), most VPs will be busy most of the time executing
+//     threads on their own local ready queue" — local queues win (no
+//     cross-VP contention on dispatch);
+//   * "global queues imply contention among policy managers whenever they
+//     need to execute a new thread, but such an implementation is useful"
+//     for worker farms — the shared queue balances unequal work for free;
+//   * steal-half gives local dispatch plus migration for bursty spawn
+//     storms.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sting/Sting.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sting;
+using TC = ThreadController;
+
+namespace {
+
+enum class Policy { LocalFifo, GlobalFifo, StealHalf };
+
+PolicyFactory makePolicy(Policy P) {
+  switch (P) {
+  case Policy::LocalFifo:
+    return makeLocalFifoPolicy();
+  case Policy::GlobalFifo:
+    return makeGlobalFifoPolicy();
+  case Policy::StealHalf:
+    return makeStealHalfPolicy();
+  }
+  STING_UNREACHABLE("bad policy");
+}
+
+const char *policyName(Policy P) {
+  switch (P) {
+  case Policy::LocalFifo:
+    return "local-fifo";
+  case Policy::GlobalFifo:
+    return "global-fifo";
+  case Policy::StealHalf:
+    return "steal-half";
+  }
+  STING_UNREACHABLE("bad policy");
+}
+
+/// Worker farm: a bounded pool of long-lived threads that churn through
+/// equal-size work quanta and rarely block.
+void BM_WorkerFarm(benchmark::State &State) {
+  const auto Which = static_cast<Policy>(State.range(0));
+  constexpr int Workers = 8;
+  constexpr int QuantaPerWorker = 400;
+
+  for (auto _ : State) {
+    State.PauseTiming();
+    VmConfig Config;
+    Config.NumVps = 4;
+    Config.NumPps = 1;
+    Config.Policy = makePolicy(Which);
+    VirtualMachine Vm(Config);
+    State.ResumeTiming();
+
+    Vm.run([&]() -> AnyValue {
+      std::vector<ThreadRef> Pool;
+      for (int W = 0; W != Workers; ++W)
+        Pool.push_back(TC::forkThread([&]() -> AnyValue {
+          volatile long Acc = 0;
+          for (int Q = 0; Q != QuantaPerWorker; ++Q) {
+            for (int I = 0; I != 300; ++I)
+              Acc = Acc + I;
+            TC::yieldProcessor(); // end of quantum
+          }
+          return AnyValue();
+        }));
+      waitForAll(Pool);
+      return AnyValue();
+    });
+  }
+  State.SetLabel(policyName(Which));
+}
+
+/// Spawn storm: a tree of short-lived threads created on one VP — the
+/// bursty shape where migration (steal-half / global) beats strictly
+/// local queues.
+void BM_SpawnStorm(benchmark::State &State) {
+  const auto Which = static_cast<Policy>(State.range(0));
+  constexpr int Depth = 9; // 2^9 leaves
+
+  for (auto _ : State) {
+    State.PauseTiming();
+    VmConfig Config;
+    Config.NumVps = 4;
+    Config.NumPps = 1;
+    Config.Policy = makePolicy(Which);
+    VirtualMachine Vm(Config);
+    State.ResumeTiming();
+
+    struct Tree {
+      static AnyValue node(int D) {
+        if (D == 0) {
+          volatile long Acc = 0;
+          for (int I = 0; I != 500; ++I)
+            Acc = Acc + I;
+          return AnyValue(1);
+        }
+        SpawnOptions Opts;
+        Opts.Stealable = false; // isolate queue behaviour from stealing
+        ThreadRef L = TC::forkThread(
+            [D]() -> AnyValue { return node(D - 1); }, Opts);
+        ThreadRef R = TC::forkThread(
+            [D]() -> AnyValue { return node(D - 1); }, Opts);
+        return AnyValue(TC::threadValue(*L).as<int>() +
+                        TC::threadValue(*R).as<int>());
+      }
+    };
+
+    SpawnOptions Root;
+    Root.Vp = &Vm.vp(0);
+    AnyValue R = Vm.run(
+        []() -> AnyValue { return Tree::node(Depth); }, Root);
+    if (R.as<int>() != (1 << Depth))
+      State.SkipWithError("wrong tree sum");
+  }
+  State.SetLabel(policyName(Which));
+}
+
+} // namespace
+
+BENCHMARK(BM_WorkerFarm)
+    ->ArgName("policy")
+    ->Arg(static_cast<int>(Policy::LocalFifo))
+    ->Arg(static_cast<int>(Policy::GlobalFifo))
+    ->Arg(static_cast<int>(Policy::StealHalf))
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_SpawnStorm)
+    ->ArgName("policy")
+    ->Arg(static_cast<int>(Policy::LocalFifo))
+    ->Arg(static_cast<int>(Policy::GlobalFifo))
+    ->Arg(static_cast<int>(Policy::StealHalf))
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

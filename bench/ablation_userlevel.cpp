@@ -1,0 +1,139 @@
+//===- bench/ablation_userlevel.cpp - User-level vs OS-level threading -------===//
+//
+// Part of libsting. See DESIGN.md section 3 for the experiment index.
+//
+// The paper's motivating claim (section 1): language implementations built
+// on "low-level operating system services ... necessarily sacrifice
+// efficiency since every (low-level) kernel call requires a context switch
+// between the application and the operating system". This bench puts
+// numbers on it, comparing each substrate operation against its
+// OS-service equivalent on the same machine:
+//
+//   fork+join:       sting thread         vs std::thread
+//   context switch:  yieldProcessor        vs sched_yield (kernel RR)
+//   block+resume:    park/threadRun        vs condition_variable ping
+//
+//===----------------------------------------------------------------------===//
+
+#include "sting/Sting.h"
+
+#include <benchmark/benchmark.h>
+
+#include <condition_variable>
+#include <thread>
+
+using namespace sting;
+using TC = ThreadController;
+
+namespace {
+
+VmConfig smallMachine() {
+  VmConfig Config;
+  Config.NumVps = 1;
+  Config.NumPps = 1;
+  return Config;
+}
+
+void BM_StingForkJoin(benchmark::State &State) {
+  VirtualMachine Vm(smallMachine());
+  Vm.run([&]() -> AnyValue {
+    SpawnOptions Opts;
+    Opts.Stealable = false;
+    for (auto _ : State) {
+      ThreadRef T = TC::forkThread(
+          []() -> AnyValue { return AnyValue(1); }, Opts);
+      benchmark::DoNotOptimize(TC::threadValue(*T).as<int>());
+    }
+    return AnyValue();
+  });
+}
+BENCHMARK(BM_StingForkJoin);
+
+void BM_OsThreadForkJoin(benchmark::State &State) {
+  for (auto _ : State) {
+    int Out = 0;
+    std::thread T([&Out] { Out = 1; });
+    T.join();
+    benchmark::DoNotOptimize(Out);
+  }
+}
+BENCHMARK(BM_OsThreadForkJoin);
+
+void BM_StingYield(benchmark::State &State) {
+  VirtualMachine Vm(smallMachine());
+  Vm.run([&]() -> AnyValue {
+    for (auto _ : State)
+      TC::yieldProcessor();
+    return AnyValue();
+  });
+}
+BENCHMARK(BM_StingYield);
+
+void BM_OsSchedYield(benchmark::State &State) {
+  for (auto _ : State)
+    sched_yield();
+}
+BENCHMARK(BM_OsSchedYield);
+
+void BM_StingBlockResume(benchmark::State &State) {
+  VmConfig Config = smallMachine();
+  Config.Policy = makeLocalFifoPolicy();
+  VirtualMachine Vm(Config);
+  Vm.run([&]() -> AnyValue {
+    std::atomic<bool> Stop{false};
+    ThreadRef Partner = TC::forkThread([&]() -> AnyValue {
+      while (!Stop.load(std::memory_order_relaxed))
+        TC::threadBlock("bench");
+      return AnyValue();
+    });
+    while (!Partner->isUserBlocked())
+      TC::yieldProcessor();
+    for (auto _ : State) {
+      TC::threadRun(*Partner);
+      TC::yieldProcessor();
+    }
+    Stop.store(true);
+    while (!Partner->isDetermined()) {
+      TC::threadRun(*Partner);
+      TC::yieldProcessor();
+    }
+    return AnyValue();
+  });
+}
+BENCHMARK(BM_StingBlockResume);
+
+void BM_OsCondvarBlockResume(benchmark::State &State) {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  int Turn = 0; // 0: partner's turn to wait, 1: partner signaled
+  bool Stop = false;
+
+  std::thread Partner([&] {
+    std::unique_lock<std::mutex> Lock(Mu);
+    for (;;) {
+      Cv.wait(Lock, [&] { return Turn == 1 || Stop; });
+      if (Stop)
+        return;
+      Turn = 0;
+      Cv.notify_all();
+    }
+  });
+
+  for (auto _ : State) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Turn = 1;
+    Cv.notify_all();
+    Cv.wait(Lock, [&] { return Turn == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stop = true;
+  }
+  Cv.notify_all();
+  Partner.join();
+}
+BENCHMARK(BM_OsCondvarBlockResume);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+//===- bench/app_gc.cpp - Storage model costs ---------------------------------===//
+//
+// Part of libsting. See DESIGN.md section 3 for the experiment index.
+//
+// The storage claims of paper section 2 item 3, quantified:
+//
+//   * allocation is a bump (compare against malloc);
+//   * a scavenge costs in proportion to *live* data, not allocation
+//     volume (the generational bet) — swept over live-set fractions;
+//   * escape() — the cross-thread hand-off — costs one forced scavenge;
+//   * per-thread independence: N mutator heaps scavenge with no shared
+//     state beyond old-generation refills.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/GlobalHeap.h"
+#include "gc/LocalHeap.h"
+#include "gc/Object.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sting::gc;
+
+namespace {
+
+void BM_YoungAllocation(benchmark::State &State) {
+  GlobalHeap Global;
+  LocalHeap Heap(Global, 256 * 1024);
+  for (auto _ : State) {
+    Value V = Heap.cons(Value::fixnum(1), Value::nil());
+    benchmark::DoNotOptimize(V);
+  }
+  State.SetItemsProcessed(State.iterations());
+  State.counters["scavenges"] =
+      static_cast<double>(Heap.stats().Scavenges);
+}
+BENCHMARK(BM_YoungAllocation);
+
+void BM_MallocBaseline(benchmark::State &State) {
+  for (auto _ : State) {
+    void *P = malloc(32);
+    benchmark::DoNotOptimize(P);
+    free(P);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_MallocBaseline);
+
+/// Scavenge cost over *freshly allocated* live data of varying size: the
+/// generational bet is that cost tracks the live set, not allocation
+/// volume. (Each iteration rebuilds the set; data old enough to promote
+/// leaves the young area entirely — see BM_SteadyStatePromotion.)
+void BM_ScavengeFreshLive(benchmark::State &State) {
+  const int LivePercent = static_cast<int>(State.range(0));
+  constexpr std::size_t Young = 256 * 1024;
+  GlobalHeap Global;
+  LocalHeap Heap(Global, Young);
+  const auto LivePairs =
+      static_cast<std::size_t>(Young / 32.0 * LivePercent / 100.0);
+
+  for (auto _ : State) {
+    HandleScope Scope(Heap);
+    Handle List(Scope, Value::nil());
+    for (std::size_t I = 0; I != LivePairs; ++I)
+      List.set(Heap.cons(Value::fixnum(static_cast<std::int64_t>(I)),
+                         List.get()));
+    Heap.scavenge(); // copies exactly the live list
+  }
+  State.counters["live_kb"] =
+      static_cast<double>(LivePairs * 32) / 1024.0;
+  State.counters["copied_mb_total"] =
+      static_cast<double>(Heap.stats().BytesCopied) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_ScavengeFreshLive)
+    ->ArgName("live_pct")
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(25)
+    ->Arg(50);
+
+/// Steady state with long-lived data: after PromoteAge scavenges the live
+/// set is promoted and further scavenges cost (almost) nothing — the
+/// generational payoff for "long-lived or persistent data".
+void BM_SteadyStatePromotion(benchmark::State &State) {
+  GlobalHeap Global;
+  LocalHeap Heap(Global, 256 * 1024);
+  HandleScope Scope(Heap);
+  Handle List(Scope, Value::nil());
+  for (int I = 0; I != 2000; ++I)
+    List.set(Heap.cons(Value::fixnum(I), List.get()));
+  for (auto _ : State)
+    Heap.scavenge();
+  State.counters["promoted_kb"] =
+      static_cast<double>(Heap.stats().BytesPromoted) / 1024.0;
+}
+BENCHMARK(BM_SteadyStatePromotion);
+
+void BM_EscapeSmallGraph(benchmark::State &State) {
+  const int Nodes = static_cast<int>(State.range(0));
+  GlobalHeap Global;
+  LocalHeap Heap(Global, 256 * 1024);
+  for (auto _ : State) {
+    HandleScope Scope(Heap);
+    Value List = Value::nil();
+    for (int I = 0; I != Nodes; ++I)
+      List = Heap.cons(Value::fixnum(I), List);
+    Handle H(Scope, List);
+    Value Escaped = Heap.escape(H.get());
+    benchmark::DoNotOptimize(Escaped);
+  }
+  State.counters["escapes"] = static_cast<double>(Heap.stats().Escapes);
+}
+BENCHMARK(BM_EscapeSmallGraph)->ArgName("nodes")->Arg(1)->Arg(16)->Arg(128);
+
+void BM_SharedAllocationContention(benchmark::State &State) {
+  // Old-generation allocation takes the heap lock; measure the
+  // single-threaded op cost that producers pay on the shared path.
+  GlobalHeap Global;
+  for (auto _ : State) {
+    Value V = Global.consShared(Value::fixnum(1), Value::nil());
+    benchmark::DoNotOptimize(V);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_SharedAllocationContention);
+
+void BM_FullCollection(benchmark::State &State) {
+  const int LiveLists = static_cast<int>(State.range(0));
+  GlobalHeap Global(64 * 1024);
+  std::vector<Value> Roots(static_cast<std::size_t>(LiveLists),
+                           Value::nil());
+  for (auto &Root : Roots) {
+    Global.addRoot(&Root);
+    for (int I = 0; I != 200; ++I)
+      Root = Global.consShared(Value::fixnum(I), Root);
+  }
+  // Plus garbage.
+  for (int I = 0; I != 5000; ++I)
+    Global.consShared(Value::fixnum(I), Value::nil());
+
+  for (auto _ : State)
+    Global.collectFull({});
+
+  for (auto &Root : Roots)
+    Global.removeRoot(&Root);
+  State.counters["live_lists"] = LiveLists;
+}
+BENCHMARK(BM_FullCollection)->ArgName("live")->Arg(1)->Arg(8)->Arg(32);
+
+} // namespace
+
+BENCHMARK_MAIN();

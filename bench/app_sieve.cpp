@@ -1,0 +1,135 @@
+//===- bench/app_sieve.cpp - Sieve coordination regimes (paper 3.1.1) --------===//
+//
+// Part of libsting. See DESIGN.md section 3 for the experiment index.
+//
+// Throughput of the section 3.1.1 stream sieve under its three
+// coordination regimes (eager fork, demand-scheduled, round-robin
+// placement), over a range of limits. The paper uses the program to show
+// one definition spanning paradigms; the bench quantifies what each regime
+// costs on this substrate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sting/Sting.h"
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <memory>
+
+using namespace sting;
+using TC = ThreadController;
+
+namespace {
+
+using FilterOp = std::function<ThreadRef(Thread::Thunk)>;
+constexpr int EndMarker = -1;
+
+void filterStage(int Prime, std::shared_ptr<Stream<int>> Input,
+                 const FilterOp &Op, std::shared_ptr<Stream<int>> Primes) {
+  auto NextOut = std::make_shared<Stream<int>>();
+  auto Pos = Input->begin();
+  bool SpawnedNext = false;
+  for (;;) {
+    int N = Input->next(Pos);
+    if (N == EndMarker)
+      break;
+    if (N % Prime == 0)
+      continue;
+    if (!SpawnedNext) {
+      SpawnedNext = true;
+      Primes->attach(N);
+      const FilterOp OpCopy = Op;
+      Op([NextPrime = N, NextOut, OpCopy, Primes]() -> AnyValue {
+        filterStage(NextPrime, NextOut, OpCopy, Primes);
+        return AnyValue();
+      });
+    }
+    NextOut->attach(N);
+  }
+  if (SpawnedNext)
+    NextOut->attach(EndMarker);
+  else
+    Primes->attach(EndMarker);
+}
+
+int sieve(const FilterOp &Op, int Limit) {
+  auto Input = std::make_shared<Stream<int>>();
+  auto Primes = std::make_shared<Stream<int>>();
+  Primes->attach(2);
+  Op([Input, Op, Primes]() -> AnyValue {
+    filterStage(2, Input, Op, Primes);
+    return AnyValue();
+  });
+  for (int N = 3; N <= Limit; ++N)
+    Input->attach(N);
+  Input->attach(EndMarker);
+  int Count = 0;
+  auto Pos = Primes->begin();
+  while (Primes->next(Pos) != EndMarker)
+    ++Count;
+  return Count;
+}
+
+enum class Regime { Eager, Demand, Throttled };
+
+void BM_Sieve(benchmark::State &State) {
+  const auto Which = static_cast<Regime>(State.range(0));
+  const int Limit = static_cast<int>(State.range(1));
+
+  int Count = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    VmConfig Config;
+    Config.NumVps = 4;
+    Config.NumPps = 1;
+    Config.EnablePreemption = true;
+    VirtualMachine Vm(Config);
+    State.ResumeTiming();
+
+    AnyValue R = Vm.run([&]() -> AnyValue {
+      FilterOp Op;
+      switch (Which) {
+      case Regime::Eager:
+        Op = [](Thread::Thunk Code) {
+          return TC::forkThread(std::move(Code));
+        };
+        break;
+      case Regime::Demand:
+        Op = [](Thread::Thunk Code) {
+          ThreadRef T = TC::createThread(std::move(Code));
+          TC::threadRun(*T);
+          return T;
+        };
+        break;
+      case Regime::Throttled:
+        Op = [](Thread::Thunk Code) {
+          SpawnOptions Opts;
+          Opts.Vp = &currentVp()->rightVp();
+          return TC::forkThread(std::move(Code), Opts);
+        };
+        break;
+      }
+      return AnyValue(sieve(Op, Limit));
+    });
+    Count = R.as<int>();
+  }
+  State.counters["primes"] = Count;
+  State.SetLabel(Which == Regime::Eager    ? "eager"
+                 : Which == Regime::Demand ? "demand"
+                                           : "throttled");
+}
+
+} // namespace
+
+BENCHMARK(BM_Sieve)
+    ->ArgNames({"regime", "limit"})
+    ->Args({static_cast<int>(Regime::Eager), 500})
+    ->Args({static_cast<int>(Regime::Demand), 500})
+    ->Args({static_cast<int>(Regime::Throttled), 500})
+    ->Args({static_cast<int>(Regime::Eager), 2000})
+    ->Args({static_cast<int>(Regime::Demand), 2000})
+    ->Args({static_cast<int>(Regime::Throttled), 2000})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+//===- bench/app_speculative.cpp - OR-parallel search (paper 4.3) ------------===//
+//
+// Part of libsting. See DESIGN.md section 3 for the experiment index.
+//
+// Speculative search latency: one of K alternatives finds the answer after
+// `WinnerWork` units; the others search fruitlessly. Measures
+//
+//   * how quickly wait-for-one returns once the winner completes, and
+//     that losers are torn down promptly (the termination half of 4.3);
+//
+//   * the priority claim: when the winner's task is given high priority
+//     under the priority policy, time-to-answer drops versus FIFO, because
+//     "promising tasks can execute before unlikely ones".
+//
+//===----------------------------------------------------------------------===//
+
+#include "sting/Sting.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sting;
+using TC = ThreadController;
+
+namespace {
+
+void BM_SpeculativeSearch(benchmark::State &State) {
+  const int Alternatives = static_cast<int>(State.range(0));
+  const bool UsePriorities = State.range(1) != 0;
+  constexpr int WinnerWork = 20'000;
+
+  for (auto _ : State) {
+    State.PauseTiming();
+    VmConfig Config;
+    Config.NumVps = 2;
+    Config.NumPps = 1;
+    Config.EnablePreemption = true;
+    Config.DefaultQuantumNanos = 200'000;
+    Config.PreemptTickNanos = 100'000;
+    Config.Policy =
+        UsePriorities ? makePriorityPolicy() : makeLocalFifoPolicy();
+    VirtualMachine Vm(Config);
+    State.ResumeTiming();
+
+    Vm.run([&]() -> AnyValue {
+      SpeculativeSet Set;
+      for (int A = 0; A != Alternatives; ++A) {
+        const bool IsWinner = A == Alternatives - 1; // worst FIFO position
+        Set.add(
+            [IsWinner]() -> long {
+              volatile long Acc = 0;
+              if (IsWinner) {
+                for (int I = 0; I != WinnerWork; ++I) {
+                  Acc = Acc + I;
+                  if ((I & 1023) == 0)
+                    TC::checkpoint();
+                }
+                return Acc;
+              }
+              for (;;) { // fruitless: dies by terminate request
+                for (int I = 0; I != 1024; ++I)
+                  Acc = Acc + I;
+                TC::checkpoint();
+              }
+            },
+            /*Priority=*/IsWinner ? 10 : 0);
+      }
+      ThreadRef Winner = Set.awaitFirst();
+      benchmark::DoNotOptimize(Winner);
+      // Wait for the losers to die so teardown is inside the measurement
+      // (prompt teardown is part of the claim).
+      for (const ThreadRef &T : Set.tasks())
+        TC::threadWait(*T);
+      return AnyValue();
+    });
+  }
+  State.SetLabel(UsePriorities ? "priority-policy" : "fifo-policy");
+}
+
+} // namespace
+
+BENCHMARK(BM_SpeculativeSearch)
+    ->ArgNames({"alts", "prio"})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+//===- bench/app_tuplespace.cpp - Tuple-space throughput (paper 4.2) ---------===//
+//
+// Part of libsting. See DESIGN.md section 3 for the experiment index.
+//
+// Two claims from section 4.2:
+//
+//   * per-bin locking "permits multiple producers and consumers of a
+//     tuple-space to concurrently access its hash tables" — measured as
+//     producer/consumer throughput;
+//
+//   * specialized representations beat the general hashed form when usage
+//     allows — measured as ops/sec for a FIFO workload under the hashed,
+//     queue, bag and semaphore representations (the specialization the
+//     paper's type inference would pick automatically).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sting/Sting.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sting;
+using TC = ThreadController;
+
+namespace {
+
+/// put/take round trips through one space, single-threaded: isolates the
+/// representation's op cost.
+void BM_RepRoundTrip(benchmark::State &State) {
+  const auto Rep = static_cast<TupleSpaceRep>(State.range(0));
+  VmConfig Config;
+  Config.NumVps = 1;
+  Config.NumPps = 1;
+  VirtualMachine Vm(Config);
+  Vm.run([&]() -> AnyValue {
+    TupleSpaceRef Ts = TupleSpace::create(Rep);
+    for (auto _ : State) {
+      Ts->put(makeTuple(7));
+      Match M = Ts->take(makeTuple(formal(0)));
+      benchmark::DoNotOptimize(M);
+    }
+    return AnyValue();
+  });
+  State.SetLabel(tupleSpaceRepName(Rep));
+  State.SetItemsProcessed(State.iterations());
+}
+
+/// Concurrent producers and consumers through the hashed representation;
+/// distinct tags spread load over the per-bin mutexes.
+void BM_ProducerConsumer(benchmark::State &State) {
+  const int Pairs = static_cast<int>(State.range(0));
+  constexpr int ItemsPerPair = 300;
+
+  for (auto _ : State) {
+    State.PauseTiming();
+    VmConfig Config;
+    Config.NumVps = 4;
+    Config.NumPps = 1;
+    Config.EnablePreemption = true;
+    VirtualMachine Vm(Config);
+    State.ResumeTiming();
+
+    Vm.run([&]() -> AnyValue {
+      TupleSpaceRef Ts = TupleSpace::create();
+      std::vector<ThreadRef> All;
+      for (int P = 0; P != Pairs; ++P) {
+        All.push_back(TC::forkThread([Ts, P]() -> AnyValue {
+          for (int I = 0; I != ItemsPerPair; ++I)
+            Ts->put(makeTuple((long long)P, I)); // tag spreads bins
+          return AnyValue();
+        }));
+        All.push_back(TC::forkThread([Ts, P]() -> AnyValue {
+          for (int I = 0; I != ItemsPerPair; ++I) {
+            Match M = Ts->take(makeTuple((long long)P, formal(0)));
+            benchmark::DoNotOptimize(M);
+          }
+          return AnyValue();
+        }));
+      }
+      waitForAll(All);
+      return AnyValue();
+    });
+  }
+  State.SetItemsProcessed(State.iterations() * Pairs * ItemsPerPair);
+}
+
+/// The section 4.2 counter idiom under contention:
+///   (get TS [?x] (put TS [(+ x 1)]))
+void BM_SharedCounter(benchmark::State &State) {
+  const auto Rep = static_cast<TupleSpaceRep>(State.range(0));
+  constexpr int Workers = 4;
+  constexpr int IncrementsPerWorker = 150;
+
+  for (auto _ : State) {
+    State.PauseTiming();
+    VmConfig Config;
+    Config.NumVps = 2;
+    Config.NumPps = 1;
+    Config.EnablePreemption = true;
+    VirtualMachine Vm(Config);
+    State.ResumeTiming();
+
+    AnyValue R = Vm.run([&]() -> AnyValue {
+      TupleSpaceRef Ts = TupleSpace::create(Rep);
+      Ts->put(makeTuple(0));
+      std::vector<ThreadRef> Pool;
+      for (int W = 0; W != Workers; ++W)
+        Pool.push_back(TC::forkThread([Ts]() -> AnyValue {
+          for (int I = 0; I != IncrementsPerWorker; ++I) {
+            Match M = Ts->take(makeTuple(formal(0)));
+            Ts->put(makeTuple(M.binding(0).asFixnum() + 1));
+          }
+          return AnyValue();
+        }));
+      waitForAll(Pool);
+      Match M = Ts->take(makeTuple(formal(0)));
+      return AnyValue(M.binding(0).asFixnum());
+    });
+    if (R.as<std::int64_t>() != Workers * IncrementsPerWorker)
+      State.SkipWithError("lost increments");
+  }
+  State.SetLabel(tupleSpaceRepName(Rep));
+}
+
+} // namespace
+
+BENCHMARK(BM_RepRoundTrip)
+    ->ArgName("rep")
+    ->Arg(static_cast<int>(TupleSpaceRep::Hashed))
+    ->Arg(static_cast<int>(TupleSpaceRep::Queue))
+    ->Arg(static_cast<int>(TupleSpaceRep::Bag))
+    ->Arg(static_cast<int>(TupleSpaceRep::Semaphore))
+    ->Arg(static_cast<int>(TupleSpaceRep::SharedVariable));
+
+BENCHMARK(BM_ProducerConsumer)
+    ->ArgName("pairs")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_SharedCounter)
+    ->ArgName("rep")
+    ->Arg(static_cast<int>(TupleSpaceRep::Hashed))
+    ->Arg(static_cast<int>(TupleSpaceRep::SharedVariable))
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

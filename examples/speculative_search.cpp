@@ -1,0 +1,76 @@
+//===- examples/speculative_search.cpp - OR-parallel search (paper 4.3) ------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Speculative parallelism: several strategies race to find a key in
+// different regions of a search space; the first to succeed wins
+// (wait-for-one) and the losers are terminated. Priorities favor the
+// promising strategy, as section 4.3 prescribes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sting/Sting.h"
+
+#include <cstdio>
+
+using namespace sting;
+using TC = ThreadController;
+
+namespace {
+
+/// A deliberately opaque predicate: the "key" is a number whose xorshift
+/// scramble has a particular low bits pattern.
+bool isKey(std::uint64_t N) {
+  std::uint64_t X = N * 0x9e3779b97f4a7c15ull;
+  X ^= X >> 29;
+  X *= 0xbf58476d1ce4e5b9ull;
+  X ^= X >> 32;
+  return (X & 0xffffful) == 0xabcde;
+}
+
+} // namespace
+
+int main() {
+  VmConfig Config;
+  Config.NumVps = 4;
+  Config.NumPps = 2;
+  Config.EnablePreemption = true;
+  Config.Policy = makePriorityPolicy(); // programmable priorities (4.3)
+  VirtualMachine Vm(Config);
+
+  AnyValue R = Vm.run([]() -> AnyValue {
+    SpeculativeSet Set;
+    // Three searchers over different regions; region 0 is "promising"
+    // (highest priority) but sparse — another region may win anyway.
+    for (int Region = 0; Region != 3; ++Region)
+      Set.add(
+          [Region]() -> long {
+            std::uint64_t Base = 1ull << (20 + Region * 2);
+            for (std::uint64_t N = Base;; ++N) {
+              if (isKey(N))
+                return (long)N;
+              if ((N & 0xfff) == 0)
+                TC::checkpoint(); // preemption + termination safe point
+            }
+          },
+          /*Priority=*/3 - Region);
+
+    ThreadRef Winner = Set.awaitFirst();
+    long Key = Winner->result().as<long>();
+
+    // All losers received terminate requests from awaitFirst; wait for
+    // them to die at their next checkpoint.
+    for (const ThreadRef &T : Set.tasks())
+      TC::threadWait(*T);
+
+    int Terminated = 0;
+    for (const ThreadRef &T : Set.tasks())
+      Terminated += T->wasTerminated() ? 1 : 0;
+
+    std::printf("winner found key %ld; %d losers terminated\n", Key,
+                Terminated);
+    return AnyValue(isKey((std::uint64_t)Key) && Terminated == 2);
+  });
+
+  return R.as<bool>() ? 0 : 1;
+}

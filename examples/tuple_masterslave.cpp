@@ -1,0 +1,82 @@
+//===- examples/tuple_masterslave.cpp - Master/slave over tuple space --------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Section 4.2's master/slave paradigm over a first-class tuple space: the
+// master deposits work tuples, a bounded pool of long-lived workers takes
+// them, computes, and publishes result tuples the master collates. The
+// example estimates pi by integrating 4/(1+x^2) over work chunks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sting/Sting.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace sting;
+using TC = ThreadController;
+
+int main() {
+  VmConfig Config;
+  Config.NumVps = 4;
+  Config.NumPps = 2;
+  Config.EnablePreemption = true;
+  VirtualMachine Vm(Config);
+
+  AnyValue R = Vm.run([]() -> AnyValue {
+    constexpr int Workers = 4;
+    constexpr int Chunks = 32;
+    constexpr int StepsPerChunk = 20000;
+
+    TupleSpaceRef Work = TupleSpace::create();
+    TupleSpaceRef Results = TupleSpace::create();
+
+    // The worker pool: long-lived threads that rarely block — the shape
+    // the paper recommends a round-robin preemptive scheduler for.
+    std::vector<ThreadRef> Pool;
+    for (int W = 0; W != Workers; ++W)
+      Pool.push_back(TC::forkThread([Work, Results]() -> AnyValue {
+        for (;;) {
+          Tuple Template = makeTuple("work", formal(0));
+          Match M = Work->take(std::move(Template));
+          std::int64_t Chunk = M.binding(0).asFixnum();
+          if (Chunk < 0)
+            return AnyValue(); // poison pill
+          // Integrate 4/(1+x^2) over [Chunk/Chunks, (Chunk+1)/Chunks).
+          double Acc = 0;
+          const double H = 1.0 / (Chunks * (double)StepsPerChunk);
+          for (int I = 0; I != StepsPerChunk; ++I) {
+            double X = (Chunk * (double)StepsPerChunk + I + 0.5) * H;
+            Acc += 4.0 / (1.0 + X * X);
+          }
+          // Publish a scaled fixnum (the value universe is integral).
+          auto Scaled = (std::int64_t)llround(Acc * H * 1e12);
+          Results->put(makeTuple("partial", (long long)Chunk, Scaled));
+        }
+      }));
+
+    // Master: deposit work, collate results.
+    for (int C = 0; C != Chunks; ++C)
+      Work->put(makeTuple("work", C));
+
+    std::int64_t Total = 0;
+    for (int C = 0; C != Chunks; ++C) {
+      Tuple Template = makeTuple("partial", formal(0), formal(1));
+      Match M = Results->take(std::move(Template));
+      Total += M.binding(1).asFixnum();
+    }
+
+    // Poison pills, then a barrier over the pool.
+    for (int W = 0; W != Workers; ++W)
+      Work->put(makeTuple("work", -1));
+    waitForAll(Pool);
+
+    double Pi = (double)Total / 1e12;
+    std::printf("pi ~= %.9f (%d chunks via %d tuple-space workers)\n", Pi,
+                Chunks, Workers);
+    return AnyValue(std::fabs(Pi - M_PI) < 1e-6);
+  });
+
+  return R.as<bool>() ? 0 : 1;
+}

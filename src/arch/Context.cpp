@@ -1,0 +1,46 @@
+//===- arch/Context.cpp - Context boot-frame construction -----------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/Context.h"
+
+#include "support/Debug.h"
+
+#include <cstring>
+
+namespace sting {
+
+extern "C" void stingContextTrampoline();
+
+void initContext(Context &Ctx, void *StackBase, std::size_t StackSize,
+                 ContextEntry Entry, void *Arg) {
+  STING_CHECK(StackSize >= 512, "context stack too small");
+
+  // Align the stack top down to 16 bytes, then lay out the boot frame. Two
+  // fake qwords above the trampoline's return-address slot make rsp % 16 == 0
+  // at trampoline entry, so the `call *%r14` inside it leaves the callee with
+  // the ABI-required rsp % 16 == 8.
+  auto Top = reinterpret_cast<std::uintptr_t>(StackBase) + StackSize;
+  Top &= ~std::uintptr_t(15);
+
+  auto *Slots = reinterpret_cast<std::uintptr_t *>(Top);
+  // Slots[-1], Slots[-2]: fake frame words (also give backtraces a null pc).
+  Slots[-1] = 0;
+  Slots[-2] = 0;
+  // Slots[-3]: return address -> trampoline.
+  Slots[-3] = reinterpret_cast<std::uintptr_t>(&stingContextTrampoline);
+  // Callee-saved register slots, in pop order from the saved SP:
+  // [-9]=r15 [-8]=r14 [-7]=r13 [-6]=r12 [-5]=rbx [-4]=rbp.
+  Slots[-4] = 0;                                        // rbp
+  Slots[-5] = 0;                                        // rbx
+  Slots[-6] = 0;                                        // r12
+  Slots[-7] = 0;                                        // r13
+  Slots[-8] = reinterpret_cast<std::uintptr_t>(Entry);  // r14
+  Slots[-9] = reinterpret_cast<std::uintptr_t>(Arg);    // r15
+
+  Ctx.Sp = &Slots[-9];
+}
+
+} // namespace sting

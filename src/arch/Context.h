@@ -1,0 +1,53 @@
+//===- arch/Context.h - User-level execution contexts -----------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-level substrate of the thread controller: saving and
+/// restoring execution contexts. The paper's TC "is written entirely in
+/// Scheme with the exception of a few primitive operations to save and
+/// restore registers" (section 3.1); these are those primitives, written in
+/// x86-64 assembly (ContextX86_64.S).
+///
+/// A Context is just a saved stack pointer; the callee-saved registers and
+/// resume address live in a fixed-layout frame on the context's own stack.
+/// Switching costs one store, one load, and six pushes/pops per side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_ARCH_CONTEXT_H
+#define STING_ARCH_CONTEXT_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sting {
+
+/// A suspended user-level execution context.
+struct Context {
+  /// Saved stack pointer; null until the context is initialized or first
+  /// suspended into.
+  void *Sp = nullptr;
+};
+
+/// Entry function for a fresh context. Must never return; its final act
+/// must be a contextSwitch away (or terminating the program).
+using ContextEntry = void (*)(void *Arg);
+
+/// Prepares \p Ctx so that the first switch into it enters \p Entry with
+/// \p Arg, running on the stack [\p StackBase, \p StackBase + \p StackSize).
+/// \p StackBase is the lowest address of usable stack memory.
+void initContext(Context &Ctx, void *StackBase, std::size_t StackSize,
+                 ContextEntry Entry, void *Arg);
+
+extern "C" {
+/// Saves the current context into \p From and resumes \p To. Returns (in
+/// the \p From context) when some other context switches back into it.
+void stingContextSwitch(Context *From, Context *To);
+} // extern "C"
+
+} // namespace sting
+
+#endif // STING_ARCH_CONTEXT_H

@@ -1,0 +1,84 @@
+//===- arch/Stack.cpp - Thread stacks --------------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/Stack.h"
+
+#include "support/Debug.h"
+
+#include <new>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace sting {
+
+static std::size_t pageSize() {
+  static const std::size_t Size =
+      static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return Size;
+}
+
+static std::size_t roundUpTo(std::size_t N, std::size_t Align) {
+  return (N + Align - 1) & ~(Align - 1);
+}
+
+Stack *Stack::create(std::size_t UsableSize) {
+  const std::size_t Page = pageSize();
+  // Header lives at the top of the mapping; keep the usable top 16-aligned.
+  const std::size_t HeaderSize = roundUpTo(sizeof(Stack), 16);
+  const std::size_t Body = roundUpTo(UsableSize + HeaderSize, Page);
+  const std::size_t MapSize = Body + Page; // + guard page
+
+  void *Map = mmap(nullptr, MapSize, PROT_NONE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Map == MAP_FAILED)
+    return nullptr;
+
+  char *Usable = static_cast<char *>(Map) + Page;
+  if (mprotect(Usable, Body, PROT_READ | PROT_WRITE) != 0) {
+    munmap(Map, MapSize);
+    return nullptr;
+  }
+
+  char *HeaderAddr = Usable + Body - HeaderSize;
+  return ::new (HeaderAddr)
+      Stack(Map, MapSize, Usable, Body - HeaderSize);
+}
+
+void Stack::destroy() {
+  void *Map = MapBase;
+  std::size_t Size = MapSize;
+  this->~Stack();
+  munmap(Map, Size);
+}
+
+StackPool::~StackPool() {
+  while (!Free.empty())
+    Free.popFront().destroy();
+}
+
+Stack &StackPool::allocate() {
+  if (!Free.empty()) {
+    --Cached;
+    ++Reuses;
+    return Free.popFront();
+  }
+  Stack *S = Stack::create(StackSize);
+  STING_CHECK(S, "stack allocation failed: out of address space");
+  ++Maps;
+  return *S;
+}
+
+void StackPool::release(Stack &S) {
+  if (Cached >= MaxCached || S.size() < StackSize) {
+    S.destroy();
+    return;
+  }
+  ++Cached;
+  Free.pushFront(S);
+}
+
+} // namespace sting

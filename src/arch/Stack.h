@@ -1,0 +1,105 @@
+//===- arch/Stack.h - Thread stacks and the per-VP stack cache --*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread stacks, mmap'd with a PROT_NONE guard page below the usable
+/// region, and StackPool, the per-virtual-processor cache that realizes the
+/// paper's storage-locality optimization: "storage for running threads are
+/// cached on VPs and are recycled for immediate reuse when a thread
+/// terminates" (section 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_ARCH_STACK_H
+#define STING_ARCH_STACK_H
+
+#include "support/IntrusiveList.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sting {
+
+struct StackCacheTag;
+
+/// An mmap'd stack with a guard page at its low end. The Stack header
+/// itself lives at the *top* of the mapping, so a Stack is created and
+/// destroyed with no separate allocation.
+class Stack : public ListNode<StackCacheTag> {
+public:
+  /// Maps a new stack whose usable size is at least \p UsableSize bytes.
+  /// \returns nullptr if the mapping fails.
+  static Stack *create(std::size_t UsableSize);
+
+  /// Unmaps the stack. The Stack object is destroyed.
+  void destroy();
+
+  /// Lowest usable address.
+  void *base() const { return Base; }
+
+  /// Usable byte count (excludes guard page and this header).
+  std::size_t size() const { return Size; }
+
+  /// Top of the usable region (== address of this header, 16-aligned).
+  void *top() const {
+    return reinterpret_cast<char *>(Base) + Size;
+  }
+
+  /// True if \p Addr falls inside the usable region; used by overflow
+  /// diagnostics in tests.
+  bool contains(const void *Addr) const {
+    return Addr >= Base && Addr < top();
+  }
+
+private:
+  Stack(void *MapBase, std::size_t MapSize, void *UsableBase,
+        std::size_t UsableSize)
+      : MapBase(MapBase), MapSize(MapSize), Base(UsableBase),
+        Size(UsableSize) {}
+
+  void *MapBase;
+  std::size_t MapSize;
+  void *Base;
+  std::size_t Size;
+};
+
+/// An unsynchronized cache of equal-sized stacks. Each virtual processor
+/// owns one, so allocation on the thread-fork fast path touches no shared
+/// state.
+class StackPool {
+public:
+  explicit StackPool(std::size_t StackSize, std::size_t MaxCached = 64)
+      : StackSize(StackSize), MaxCached(MaxCached) {}
+  ~StackPool();
+
+  StackPool(const StackPool &) = delete;
+  StackPool &operator=(const StackPool &) = delete;
+
+  /// Pops a cached stack or maps a fresh one. Aborts if the system is out
+  /// of address space (a scheduler cannot usefully continue without stacks).
+  Stack &allocate();
+
+  /// Returns \p S to the cache, or unmaps it if the cache is full.
+  void release(Stack &S);
+
+  /// Cache statistics, used by tests and the benchmark harness.
+  std::uint64_t mapCount() const { return Maps; }
+  std::uint64_t reuseCount() const { return Reuses; }
+  std::size_t cachedCount() const { return Cached; }
+  std::size_t stackSize() const { return StackSize; }
+
+private:
+  std::size_t StackSize;
+  std::size_t MaxCached;
+  std::size_t Cached = 0;
+  std::uint64_t Maps = 0;
+  std::uint64_t Reuses = 0;
+  IntrusiveList<Stack, StackCacheTag> Free;
+};
+
+} // namespace sting
+
+#endif // STING_ARCH_STACK_H

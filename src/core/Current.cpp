@@ -1,0 +1,33 @@
+//===- core/Current.cpp - Per-OS-thread execution cursor -------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Current.h"
+
+#include "core/Tcb.h"
+#include "core/VirtualProcessor.h"
+
+namespace sting {
+
+static thread_local ExecutionCursor Cursor;
+
+ExecutionCursor &currentCursor() { return Cursor; }
+
+VirtualProcessor *currentVp() { return Cursor.Vp; }
+
+Tcb *currentTcb() { return Cursor.CurTcb; }
+
+Thread *currentThread() {
+  Tcb *C = Cursor.CurTcb;
+  return C ? C->activeThread() : nullptr;
+}
+
+VirtualMachine *currentVm() {
+  return Cursor.Vp ? &Cursor.Vp->vm() : nullptr;
+}
+
+bool onStingThread() { return Cursor.CurTcb != nullptr; }
+
+} // namespace sting

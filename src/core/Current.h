@@ -1,0 +1,57 @@
+//===- core/Current.h - Per-OS-thread execution cursor ----------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's VP keeps dedicated registers identifying the currently
+/// executing thread, the VP itself, and its physical processor; the C++
+/// equivalent is a thread-local cursor on each OS thread acting as a
+/// physical processor. Code running outside any virtual machine sees null
+/// entries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_CORE_CURRENT_H
+#define STING_CORE_CURRENT_H
+
+namespace sting {
+
+class PhysicalProcessor;
+class Tcb;
+class Thread;
+class VirtualMachine;
+class VirtualProcessor;
+
+/// Where execution currently stands on this OS thread.
+struct ExecutionCursor {
+  PhysicalProcessor *Pp = nullptr;
+  VirtualProcessor *Vp = nullptr;
+  Tcb *CurTcb = nullptr;
+};
+
+/// \returns the mutable cursor for this OS thread.
+ExecutionCursor &currentCursor();
+
+/// \returns the current virtual processor, or null outside a VM
+/// (the paper's current-vp).
+VirtualProcessor *currentVp();
+
+/// \returns the currently executing thread, or null outside a VM (the
+/// paper's current-thread). During a steal this is the *stolen* thread,
+/// which runs on the toucher's TCB.
+Thread *currentThread();
+
+/// \returns the current TCB, or null outside a VM.
+Tcb *currentTcb();
+
+/// \returns the current virtual machine, or null outside a VM.
+VirtualMachine *currentVm();
+
+/// True when called from inside a sting thread.
+bool onStingThread();
+
+} // namespace sting
+
+#endif // STING_CORE_CURRENT_H

@@ -1,0 +1,21 @@
+//===- core/Fluid.cpp - Fluid (dynamic) bindings ------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Fluid.h"
+
+namespace sting {
+namespace detail {
+
+std::shared_ptr<FluidNode> &currentFluidEnv() {
+  if (Thread *T = currentThread())
+    return T->FluidEnv;
+  // Outside any machine: a per-OS-thread environment.
+  static thread_local std::shared_ptr<FluidNode> External;
+  return External;
+}
+
+} // namespace detail
+} // namespace sting

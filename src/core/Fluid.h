@@ -1,0 +1,93 @@
+//===- core/Fluid.h - Fluid (dynamic) bindings -------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fluid bindings over the per-thread dynamic environment (paper section
+/// 3.1: a thread holds "references to the thunk's dynamic and exception
+/// environment", which are "used to implement fluid bindings and
+/// inter-process exceptions").
+///
+/// A Fluid<T> is a dynamically scoped variable: Fluid<T>::Scope rebinds it
+/// for the current thread's dynamic extent, and a thread created while a
+/// binding is active *inherits* it (the environment is captured into the
+/// child at fork). Lookups walk the immutable environment chain, so
+/// inheritance is O(1) at fork and shares structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_CORE_FLUID_H
+#define STING_CORE_FLUID_H
+
+#include "core/Current.h"
+#include "core/Thread.h"
+
+#include <memory>
+
+namespace sting {
+
+namespace detail {
+
+/// One binding frame in a dynamic environment chain.
+struct FluidNode {
+  std::shared_ptr<FluidNode> Next;
+  const void *Key;
+  std::shared_ptr<void> Value;
+};
+
+/// The current thread's dynamic-environment head (a per-OS-thread slot
+/// outside any machine).
+std::shared_ptr<FluidNode> &currentFluidEnv();
+
+} // namespace detail
+
+/// A dynamically scoped variable of type T.
+template <typename T> class Fluid {
+public:
+  explicit Fluid(T Default) : Default(std::move(Default)) {}
+
+  Fluid(const Fluid &) = delete;
+  Fluid &operator=(const Fluid &) = delete;
+
+  /// \returns the innermost binding in the current dynamic environment,
+  /// or the default when unbound.
+  const T &get() const {
+    for (const detail::FluidNode *N = detail::currentFluidEnv().get(); N;
+         N = N->Next.get())
+      if (N->Key == this)
+        return *static_cast<const T *>(N->Value.get());
+    return Default;
+  }
+
+  /// RAII rebinding for the current dynamic extent (the paper's
+  /// fluid-let). Threads forked inside the scope inherit the binding.
+  class Scope {
+  public:
+    Scope(const Fluid &F, T Value) {
+      auto &Env = detail::currentFluidEnv();
+      Saved = Env;
+      auto Node = std::make_shared<detail::FluidNode>();
+      Node->Next = Env;
+      Node->Key = &F;
+      Node->Value = std::make_shared<T>(std::move(Value));
+      Env = std::move(Node);
+    }
+
+    ~Scope() { detail::currentFluidEnv() = std::move(Saved); }
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    std::shared_ptr<detail::FluidNode> Saved;
+  };
+
+private:
+  T Default;
+};
+
+} // namespace sting
+
+#endif // STING_CORE_FLUID_H

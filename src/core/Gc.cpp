@@ -1,0 +1,39 @@
+//===- core/Gc.cpp - Storage-model bridge -----------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Gc.h"
+
+#include "core/Current.h"
+#include "core/Tcb.h"
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+#include "gc/GlobalHeap.h"
+
+#include <memory>
+
+namespace sting {
+
+static gc::GlobalHeap &processHeap() {
+  static gc::GlobalHeap Heap;
+  return Heap;
+}
+
+gc::GlobalHeap &sharedHeap() {
+  if (VirtualMachine *Vm = currentVm())
+    return Vm->globalHeap();
+  return processHeap();
+}
+
+gc::LocalHeap &mutatorHeap() {
+  if (Tcb *C = currentTcb())
+    return C->ensureHeap();
+  static thread_local std::unique_ptr<gc::LocalHeap> ExternalHeap;
+  if (!ExternalHeap)
+    ExternalHeap = std::make_unique<gc::LocalHeap>(processHeap());
+  return *ExternalHeap;
+}
+
+} // namespace sting

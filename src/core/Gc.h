@@ -1,0 +1,33 @@
+//===- core/Gc.h - Storage-model bridge --------------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binds the storage model to the execution model: every evaluating thread
+/// has a local heap cached in its TCB (paper Fig. 1: TCB encapsulates
+/// thread storage — stacks and heaps organized into areas), created lazily
+/// on first managed allocation and recycled with the TCB. Code outside any
+/// machine gets a per-OS-thread heap over a process-wide old generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_CORE_GC_H
+#define STING_CORE_GC_H
+
+#include "gc/LocalHeap.h"
+
+namespace sting {
+
+/// \returns the local heap of the current mutator (the evaluating thread's
+/// TCB heap, or a per-OS-thread heap outside the machine).
+gc::LocalHeap &mutatorHeap();
+
+/// \returns the shared older generation of the current machine (or of the
+/// process when called outside a machine).
+gc::GlobalHeap &sharedHeap();
+
+} // namespace sting
+
+#endif // STING_CORE_GC_H

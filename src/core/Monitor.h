@@ -1,0 +1,80 @@
+//===- core/Monitor.h - Machine introspection --------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Debugging and monitoring over the first-class runtime objects (paper
+/// section 3.1: "genealogy information serves as a useful debugging and
+/// profiling tool that allows applications to monitor the dynamic
+/// unfolding of a process tree"; thread groups carry "operations for
+/// debugging and monitoring (e.g., resetting, listing all threads in a
+/// given group, listing all groups, profiling genealogy information)").
+///
+/// Snapshots are racy by nature (the machine keeps running); they are
+/// consistent enough for profiling, dashboards and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_CORE_MONITOR_H
+#define STING_CORE_MONITOR_H
+
+#include "core/Thread.h"
+#include "core/VirtualProcessor.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sting {
+
+class ThreadGroup;
+class VirtualMachine;
+
+/// One thread's snapshot row.
+struct ThreadInfo {
+  std::uint64_t Id = 0;
+  ThreadState State = ThreadState::Delayed;
+  bool UserBlocked = false;
+  int Priority = 0;
+  std::uint64_t ParentId = 0; ///< 0 for roots
+  std::uint64_t GroupId = 0;  ///< 0 when ungrouped
+};
+
+/// One group's snapshot row.
+struct GroupInfo {
+  std::uint64_t Id = 0;
+  std::uint64_t ParentId = 0;
+  std::size_t Live = 0;
+  std::uint64_t TotalCreated = 0;
+  std::vector<ThreadInfo> Threads;
+};
+
+/// A whole-machine snapshot.
+struct MachineSnapshot {
+  std::uint64_t ThreadsCreated = 0;
+  std::uint64_t ThreadsDetermined = 0;
+  std::uint64_t Steals = 0;
+  std::vector<VpStats> Vps;
+  std::vector<GroupInfo> Groups; ///< the root group and its descendants
+
+  /// Live threads across all captured groups.
+  std::size_t liveThreads() const;
+};
+
+/// Captures the state of \p Vm: machine counters, per-VP statistics, and
+/// the group tree reachable from the root group (plus \p ExtraGroups).
+MachineSnapshot snapshotMachine(VirtualMachine &Vm,
+                                const std::vector<ThreadGroup *> &ExtraGroups = {});
+
+/// Captures one group (members and counters).
+GroupInfo snapshotGroup(ThreadGroup &Group);
+
+/// Renders a snapshot as a human-readable report, e.g. for the paper's
+/// "profiling genealogy information" use case.
+std::string renderSnapshot(const MachineSnapshot &Snapshot);
+
+} // namespace sting
+
+#endif // STING_CORE_MONITOR_H

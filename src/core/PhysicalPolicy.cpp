@@ -1,0 +1,85 @@
+//===- core/PhysicalPolicy.cpp - VP-on-PP scheduling policies -----------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PhysicalPolicy.h"
+
+#include "core/PhysicalProcessor.h"
+#include "core/VirtualProcessor.h"
+
+namespace sting {
+
+PhysicalPolicy::~PhysicalPolicy() = default;
+
+void PhysicalPolicy::workPublished(PhysicalProcessor &) {}
+
+namespace {
+
+class RoundRobinPhysicalPolicy final : public PhysicalPolicy {
+public:
+  VirtualProcessor *nextVp(PhysicalProcessor &Pp) override {
+    const auto &Vps = Pp.assignedVps();
+    const std::size_t N = Vps.size();
+    if (N == 0)
+      return nullptr;
+
+    for (std::size_t I = 0; I != N; ++I) {
+      VirtualProcessor *Vp = Vps[(Next + I) % N];
+      if (Vp->hasReadyWork()) {
+        Next = (Next + I + 1) % N;
+        IdleProbes = 0;
+        return Vp;
+      }
+    }
+
+    // No VP reports local work: probe each once per idle episode so its
+    // pm-vp-idle hook may migrate threads from loaded siblings.
+    if (IdleProbes < N) {
+      VirtualProcessor *Vp = Vps[Next];
+      Next = (Next + 1) % N;
+      ++IdleProbes;
+      return Vp;
+    }
+    IdleProbes = 0;
+    return nullptr; // sleep
+  }
+
+private:
+  std::size_t Next = 0;
+  std::size_t IdleProbes = 0;
+};
+
+class DedicatedFirstPhysicalPolicy final : public PhysicalPolicy {
+public:
+  VirtualProcessor *nextVp(PhysicalProcessor &Pp) override {
+    const auto &Vps = Pp.assignedVps();
+    for (VirtualProcessor *Vp : Vps)
+      if (Vp->hasReadyWork())
+        return Vp;
+    if (IdleProbes < Vps.size())
+      return Vps[IdleProbes++];
+    IdleProbes = 0;
+    return nullptr;
+  }
+
+private:
+  std::size_t IdleProbes = 0;
+};
+
+} // namespace
+
+PhysicalPolicyFactory makeRoundRobinPhysicalPolicy() {
+  return [](VirtualMachine &, unsigned) {
+    return std::make_unique<RoundRobinPhysicalPolicy>();
+  };
+}
+
+PhysicalPolicyFactory makeDedicatedFirstPhysicalPolicy() {
+  return [](VirtualMachine &, unsigned) {
+    return std::make_unique<DedicatedFirstPhysicalPolicy>();
+  };
+}
+
+} // namespace sting

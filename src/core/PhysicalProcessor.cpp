@@ -1,0 +1,76 @@
+//===- core/PhysicalProcessor.cpp - Physical processors --------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PhysicalProcessor.h"
+
+#include "core/Current.h"
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+
+namespace sting {
+
+namespace {
+/// How long an idle PP naps before re-polling (it is also woken eagerly by
+/// notifyWork on any enqueue).
+constexpr std::uint64_t IdleNapNanos = 1'000'000; // 1 ms
+} // namespace
+
+PhysicalProcessor::PhysicalProcessor(VirtualMachine &Vm, unsigned Index,
+                                     std::unique_ptr<PhysicalPolicy> Policy)
+    : Vm(&Vm), Index(Index), Policy(std::move(Policy)) {
+  STING_CHECK(this->Policy, "physical processor needs a policy");
+}
+
+PhysicalProcessor::~PhysicalProcessor() {
+  STING_DCHECK(!Os.joinable(), "physical processor destroyed while running");
+}
+
+void PhysicalProcessor::assignVp(VirtualProcessor &Vp) {
+  Vps.push_back(&Vp);
+}
+
+void PhysicalProcessor::start() {
+  Os = std::thread([this] { run(); });
+}
+
+void PhysicalProcessor::stop() {
+  if (Os.joinable())
+    Os.join();
+}
+
+void PhysicalProcessor::run() {
+  currentCursor().Pp = this;
+
+  Parker &Idle = Vm->idleParker();
+  while (!Vm->isShuttingDown()) {
+    VirtualProcessor *Vp = Policy->nextVp(*this);
+    if (!Vp) {
+      // Sleep until an enqueue notifies, with a nap cap as a safety net.
+      Vm->markPpIdle(true);
+      Parker::Epoch E = Idle.prepareWait();
+      bool Work = false;
+      for (VirtualProcessor *Candidate : Vps)
+        Work |= Candidate->hasReadyWork();
+      if (Work || Vm->isShuttingDown())
+        Idle.cancelWait();
+      else
+        Idle.commitWait(E, IdleNapNanos);
+      Vm->markPpIdle(false);
+      Policy->workPublished(*this);
+      continue;
+    }
+
+    ++Switches;
+    Vp->Pp = this;
+    currentCursor().Vp = Vp;
+    stingContextSwitch(&PpCtx, &Vp->SchedCtx);
+    currentCursor().Vp = nullptr;
+  }
+
+  currentCursor() = ExecutionCursor();
+}
+
+} // namespace sting

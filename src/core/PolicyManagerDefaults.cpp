@@ -1,0 +1,26 @@
+//===- core/PolicyManagerDefaults.cpp - PolicyManager base ------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PolicyManager.h"
+
+#include "core/VirtualProcessor.h"
+
+namespace sting {
+
+PolicyManager::~PolicyManager() = default;
+
+void PolicyManager::priorityHint(VirtualProcessor &, int) {}
+
+void PolicyManager::quantumHint(VirtualProcessor &, std::uint64_t) {}
+
+VirtualProcessor &PolicyManager::selectVpForNewThread(
+    VirtualProcessor &Creator) {
+  return Creator;
+}
+
+Schedulable *PolicyManager::vpIdle(VirtualProcessor &) { return nullptr; }
+
+} // namespace sting

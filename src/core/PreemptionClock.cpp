@@ -1,0 +1,135 @@
+//===- core/PreemptionClock.cpp - Preemption and timers --------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PreemptionClock.h"
+
+#include "core/Current.h"
+#include "core/Tcb.h"
+#include "core/ThreadController.h"
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+#include "support/Clock.h"
+
+#include <chrono>
+
+namespace sting {
+
+PreemptionClock::PreemptionClock(VirtualMachine &Vm, std::uint64_t TickNanos,
+                                 bool PreemptionEnabled)
+    : Vm(&Vm), TickNanos(TickNanos ? TickNanos : 1'000'000),
+      Enabled(PreemptionEnabled) {
+  Os = std::thread([this] { run(); });
+}
+
+PreemptionClock::~PreemptionClock() { stop(); }
+
+void PreemptionClock::stop() {
+  {
+    std::lock_guard<std::mutex> Guard(TimerLock);
+    if (Stopping.exchange(true))
+      return;
+  }
+  TimerCv.notify_all();
+  if (Os.joinable())
+    Os.join();
+}
+
+void PreemptionClock::setPreemptionEnabled(bool NewEnabled) {
+  Enabled.store(NewEnabled, std::memory_order_relaxed);
+  TimerCv.notify_all();
+}
+
+void PreemptionClock::scheduleResume(ThreadRef T, std::uint64_t DelayNanos) {
+  {
+    std::lock_guard<std::mutex> Guard(TimerLock);
+    Timers.push(Timer{nowNanos() + DelayNanos, std::move(T)});
+  }
+  TimerCv.notify_all();
+}
+
+void PreemptionClock::raisePreemptFlags(std::uint64_t Now) {
+  for (const auto &Vp : Vm->vps()) {
+    std::uint64_t Deadline = Vp->SliceDeadline.load(std::memory_order_relaxed);
+    if (Deadline == 0 || Now < Deadline)
+      continue;
+    if (!Vp->PreemptFlag.exchange(true, std::memory_order_relaxed))
+      Raised.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PreemptionClock::fireDueTimers(std::uint64_t Now) {
+  // Collect due targets under the lock, resume them outside it: threadRun
+  // walks thread/queue locks that must not nest inside TimerLock.
+  std::vector<ThreadRef> Due;
+  {
+    std::lock_guard<std::mutex> Guard(TimerLock);
+    while (!Timers.empty() && Timers.top().DeadlineNanos <= Now) {
+      Due.push_back(Timers.top().Target);
+      Timers.pop();
+    }
+  }
+  for (const ThreadRef &T : Due)
+    ThreadController::threadRun(*T);
+}
+
+void PreemptionClock::run() {
+  while (!Stopping.load(std::memory_order_relaxed)) {
+    const std::uint64_t Now = nowNanos();
+    fireDueTimers(Now);
+    if (Enabled.load(std::memory_order_relaxed))
+      raisePreemptFlags(Now);
+
+    std::uint64_t WaitNanos = TickNanos;
+    {
+      std::unique_lock<std::mutex> Lock(TimerLock);
+      if (!Timers.empty()) {
+        std::uint64_t Next = Timers.top().DeadlineNanos;
+        std::uint64_t Later = nowNanos();
+        std::uint64_t UntilTimer = Next > Later ? Next - Later : 1;
+        if (UntilTimer < WaitNanos)
+          WaitNanos = UntilTimer;
+      }
+      if (Stopping.load(std::memory_order_relaxed))
+        break;
+      TimerCv.wait_for(Lock, std::chrono::nanoseconds(WaitNanos));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// WithoutPreemption
+//===----------------------------------------------------------------------===//
+
+WithoutPreemption::WithoutPreemption() {
+  Tcb *C = currentTcb();
+  STING_CHECK(C, "without-preemption outside a sting thread");
+  C->disablePreemption();
+}
+
+WithoutPreemption::~WithoutPreemption() {
+  Tcb *C = currentTcb();
+  C->enablePreemption();
+  if (!C->preemptionDisabled() && C->DeferredPreempt) {
+    // Paper 4.2.2: a preemption deferred inside the scope "should not be
+    // ignored" — honor it at the re-enable point.
+    C->DeferredPreempt = false;
+    ThreadController::yieldProcessor();
+  }
+}
+
+WithoutInterrupts::WithoutInterrupts() {
+  currentTcb()->disableInterrupts();
+}
+
+WithoutInterrupts::~WithoutInterrupts() {
+  // Only re-enable: deferred requests include cross-thread raises, which
+  // *throw* on delivery — and a destructor must not throw. They fire at
+  // the thread's next controller call, matching the paper's "the change
+  // itself takes place only when the target thread next makes a TC call".
+  currentTcb()->enableInterrupts();
+}
+
+} // namespace sting

@@ -1,0 +1,61 @@
+//===- core/Schedulable.h - Items a policy manager schedules ----*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's pm-get-next-thread "returns the next ready TCB or thread to
+/// run" (section 3.3): ready queues hold two kinds of objects — raw threads
+/// that have never run (no dynamic state yet) and TCBs of threads resuming
+/// from a yield, block or suspension. Schedulable is their common base,
+/// with an LLVM-style kind discriminator instead of RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_CORE_SCHEDULABLE_H
+#define STING_CORE_SCHEDULABLE_H
+
+#include "support/IntrusiveList.h"
+
+#include <cstdint>
+
+namespace sting {
+
+class Thread;
+class Tcb;
+
+/// Tag for the ready-queue hook shared by Thread and Tcb.
+struct ReadyQueueTag;
+
+/// Base class for objects a policy manager can enqueue and dispatch.
+class Schedulable : public ListNode<ReadyQueueTag> {
+public:
+  enum class Kind : std::uint8_t {
+    Thread, ///< A scheduled thread with no dynamic context yet.
+    Tcb,    ///< An evaluating thread's control block, ready to resume.
+  };
+
+  Kind kind() const { return TheKind; }
+  bool isThread() const { return TheKind == Kind::Thread; }
+  bool isTcb() const { return TheKind == Kind::Tcb; }
+
+  /// Downcasts; the kind must match (checked in debug builds).
+  Thread &asThread();
+  Tcb &asTcb();
+
+  /// Scheduling priority of the underlying thread (larger runs first under
+  /// priority policies).
+  int schedPriority() const;
+
+protected:
+  explicit Schedulable(Kind K) : TheKind(K) {}
+  ~Schedulable() = default;
+
+private:
+  Kind TheKind;
+};
+
+} // namespace sting
+
+#endif // STING_CORE_SCHEDULABLE_H

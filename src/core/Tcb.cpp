@@ -1,0 +1,26 @@
+//===- core/Tcb.cpp - Thread control blocks --------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Tcb.h"
+
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+#include "gc/LocalHeap.h"
+
+namespace sting {
+
+Tcb::~Tcb() {
+  STING_DCHECK(!Stk, "TCB destroyed while still owning a stack");
+  delete Heap;
+}
+
+gc::LocalHeap &Tcb::ensureHeap() {
+  if (!Heap)
+    Heap = new gc::LocalHeap(Vp->vm().globalHeap());
+  return *Heap;
+}
+
+} // namespace sting

@@ -1,0 +1,611 @@
+//===- core/ThreadController.cpp - The thread controller -------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// The controller implements the synchronous thread state-transition
+// function of paper section 3.1. Two invariants shape the code:
+//
+//  1. The controller allocates no storage on its hot paths: waiter records
+//     live on waiters' stacks, queue links are intrusive, TCBs come from
+//     per-VP caches. (blockOnGroup's record array is the one exception the
+//     paper itself makes: block-on-group is defined *above* the TC and
+//     allocates its TBs.)
+//
+//  2. Only a thread effects transitions out of Evaluating. Other threads
+//     record *requests* in the TCB; the owner applies them at its next
+//     controller call.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ThreadController.h"
+
+#include "core/Current.h"
+#include "core/PhysicalProcessor.h"
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+#include "support/Clock.h"
+
+#include <exception>
+#include <vector>
+
+namespace sting {
+
+namespace {
+
+/// Thrown by terminateSelf while executing a *stolen* thunk: unwinds only
+/// the stolen evaluation, back to runStolen's handler on the same TCB.
+struct StealTerminated {
+  AnyValue Result;
+};
+
+/// Picks the VP a new/rescheduled thread should go to when the caller did
+/// not pin one.
+VirtualProcessor &chooseVp(VirtualMachine &Vm, VirtualProcessor *Explicit) {
+  if (Explicit)
+    return *Explicit;
+  if (VirtualProcessor *Cur = currentVp(); Cur && &Cur->vm() == &Vm)
+    return Cur->policy().selectVpForNewThread(*Cur);
+  return Vm.vp(0);
+}
+
+/// Schedules \p T (which must have just transitioned to Scheduled),
+/// transferring a new queue reference.
+void scheduleThread(Thread &T, VirtualProcessor *Explicit,
+                    EnqueueReason Reason) {
+  VirtualProcessor &Target = chooseVp(T.vm(), Explicit);
+  T.retain(); // the ready queue's reference
+  Target.enqueue(T, Reason);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Creation and scheduling
+//===----------------------------------------------------------------------===//
+
+ThreadRef ThreadController::forkThread(Thread::Thunk Code,
+                                       const SpawnOptions &Opts) {
+  VirtualProcessor *Cur = currentVp();
+  STING_CHECK(Cur || Opts.Vp,
+              "forkThread outside a machine requires SpawnOptions::Vp");
+  VirtualMachine &Vm = Cur ? Cur->vm() : Opts.Vp->vm();
+  ThreadRef T = Thread::create(Vm, std::move(Code), Opts);
+  bool Ok = T->tryTransition(ThreadState::Delayed, ThreadState::Scheduled);
+  STING_CHECK(Ok, "fresh thread not delayed");
+  scheduleThread(*T, Opts.Vp, EnqueueReason::NewThread);
+  return T;
+}
+
+ThreadRef ThreadController::createThread(Thread::Thunk Code,
+                                         const SpawnOptions &Opts) {
+  VirtualProcessor *Cur = currentVp();
+  STING_CHECK(Cur || Opts.Vp,
+              "createThread outside a machine requires SpawnOptions::Vp");
+  VirtualMachine &Vm = Cur ? Cur->vm() : Opts.Vp->vm();
+  return Thread::create(Vm, std::move(Code), Opts);
+}
+
+void ThreadController::threadRun(Thread &T, VirtualProcessor *Vp) {
+  for (;;) {
+    switch (T.state()) {
+    case ThreadState::Delayed:
+      if (!T.tryTransition(ThreadState::Delayed, ThreadState::Scheduled))
+        continue;
+      scheduleThread(T, Vp, EnqueueReason::Delayed);
+      return;
+
+    case ThreadState::Scheduled:
+      // Cancel a pending suspend-on-start: thread-run resumes suspended
+      // threads, including ones suspended before they ever ran.
+      T.SuspendOnStart.store(false, std::memory_order_release);
+      return;
+
+    case ThreadState::Stolen:
+    case ThreadState::Determined:
+      return; // being run inline, or finished
+
+    case ThreadState::Evaluating: {
+      // Resume a thread parked by thread-block / thread-suspend. Kernel
+      // parks (waits inside runtime structures) are not resumable this
+      // way; only the owning structure may wake those.
+      std::lock_guard<SpinLock> Guard(T.WaiterLock);
+      if (T.state() != ThreadState::Evaluating)
+        continue;
+      if (Tcb *C = T.OwnedTcb)
+        unparkTcbIfUser(*C, EnqueueReason::UserBlock);
+      return;
+    }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Park / unpark protocol
+//===----------------------------------------------------------------------===//
+
+void ThreadController::parkCurrent(ParkClass Class, const void *Blocker) {
+  STING_CHECK(onStingThread(), "parkCurrent outside a sting thread");
+  Tcb &C = *currentTcb();
+
+  // A terminate or raise request that raced ahead of a *user* park would
+  // otherwise strand the target: nothing is obliged to resume a
+  // user-parked thread. (Kernel parks must proceed — the thread already
+  // registered with a structure that owes it a wakeup, and unwinding here
+  // would leave those registrations dangling.)
+  if (Class == ParkClass::User &&
+      (C.Requests.load(std::memory_order_acquire) &
+       (ReqTerminate | ReqRaise)))
+    applyRequests(C); // terminates or throws
+
+  C.ParkKind = Class;
+  C.BlockedOn = Blocker;
+  C.Park.store(Class == ParkClass::User ? ParkState::ParkingUser
+                                        : ParkState::ParkingKernel,
+               std::memory_order_release);
+
+  // A user wakeup that landed before the park state was visible cancels
+  // the park (the resume "arrived first"). Checked after the store above
+  // so a waker sees either the flag consumed or the Parking state.
+  if (Class == ParkClass::User &&
+      C.PendingUserWake.exchange(false, std::memory_order_acq_rel)) {
+    C.Park.store(ParkState::Running, std::memory_order_release);
+    C.ParkKind = ParkClass::None;
+    C.BlockedOn = nullptr;
+    applyRequests(C);
+    return;
+  }
+
+  VirtualProcessor &Vp = *C.Vp;
+  Vp.Action = SchedAction::Park;
+  Vp.ActionTcb = &C;
+  Vp.ActionReason = Class == ParkClass::User ? EnqueueReason::UserBlock
+                                             : EnqueueReason::KernelBlock;
+  stingContextSwitch(&C.Ctx, &Vp.SchedCtx);
+
+  // Resumed — possibly on a different VP (C.Vp was updated by the
+  // dispatching scheduler before switching back in).
+  C.ParkKind = ParkClass::None;
+  C.BlockedOn = nullptr;
+  applyRequests(C);
+}
+
+bool ThreadController::unparkImpl(Tcb &C, EnqueueReason Reason,
+                                  bool RequireUser) {
+  for (;;) {
+    ParkState S = C.Park.load(std::memory_order_acquire);
+    switch (S) {
+    case ParkState::ParkedUser:
+    case ParkState::ParkedKernel: {
+      if (RequireUser && S == ParkState::ParkedKernel)
+        return false;
+      if (!C.Park.compare_exchange_weak(S, ParkState::Running,
+                                        std::memory_order_acq_rel))
+        continue;
+      C.vp()->enqueue(C, Reason);
+      return true;
+    }
+    case ParkState::ParkingUser:
+    case ParkState::ParkingKernel: {
+      if (RequireUser && S == ParkState::ParkingKernel)
+        return false;
+      // The target is still walking off its stack; hand the wakeup to its
+      // scheduler, which re-enqueues once the switch-out completes.
+      if (C.Park.compare_exchange_weak(S, ParkState::WakeupPending,
+                                       std::memory_order_acq_rel))
+        return true;
+      continue;
+    }
+    case ParkState::Running:
+      if (RequireUser) {
+        // The target has not parked yet (e.g. a suspend timer fired
+        // between scheduleResume and the park). Leave a sticky wake; the
+        // park-entry check below consumes it and cancels the park.
+        C.PendingUserWake.store(true, std::memory_order_release);
+        return true;
+      }
+      return false;
+    case ParkState::WakeupPending:
+      return false; // someone else already woke it
+    }
+  }
+}
+
+bool ThreadController::unparkTcb(Tcb &C, EnqueueReason Reason) {
+  return unparkImpl(C, Reason, /*RequireUser=*/false);
+}
+
+bool ThreadController::unparkTcbIfUser(Tcb &C, EnqueueReason Reason) {
+  return unparkImpl(C, Reason, /*RequireUser=*/true);
+}
+
+//===----------------------------------------------------------------------===//
+// Blocking and waiting
+//===----------------------------------------------------------------------===//
+
+void ThreadController::threadBlock(const void *Blocker) {
+  parkCurrent(ParkClass::User, Blocker);
+}
+
+void ThreadController::threadSuspend(std::uint64_t QuantumNanos) {
+  STING_CHECK(onStingThread(), "threadSuspend outside a sting thread");
+  Tcb &C = *currentTcb();
+  if (QuantumNanos != 0)
+    C.Vp->vm().clock().scheduleResume(ThreadRef(C.thread()), QuantumNanos);
+  parkCurrent(ParkClass::User, "thread-suspend");
+}
+
+void ThreadController::threadSuspend(Thread &T, std::uint64_t QuantumNanos) {
+  if (&T == currentThread()) {
+    threadSuspend(QuantumNanos);
+    return;
+  }
+  // Request semantics: an evaluating target suspends at its next
+  // controller call; a delayed/scheduled target suspends immediately after
+  // it is first bound to a TCB. Determined targets are gone.
+  ThreadState S = T.state();
+  if (S == ThreadState::Delayed || S == ThreadState::Scheduled) {
+    T.SuspendOnStartQuantum = QuantumNanos;
+    T.SuspendOnStart.store(true, std::memory_order_release);
+    if (T.state() != ThreadState::Evaluating)
+      return;
+    // Lost the race against dispatch; fall through to the request path
+    // (the start hook may already have been consumed).
+  }
+  std::lock_guard<SpinLock> Guard(T.WaiterLock);
+  if (T.state() != ThreadState::Evaluating)
+    return;
+  if (Tcb *C = T.OwnedTcb)
+    C->requestSuspend(QuantumNanos);
+}
+
+void ThreadController::blockOnGroup(std::size_t Count,
+                                    std::span<Thread *const> Group) {
+  STING_CHECK(onStingThread(), "blockOnGroup outside a sting thread");
+  if (Count == 0)
+    return;
+  STING_CHECK(Count <= Group.size(), "blockOnGroup count exceeds group");
+
+  Tcb &C = *currentTcb();
+
+  // Pre-load the wait count with a sentinel so completions that land during
+  // registration can never drive it to zero early; the real target is
+  // folded in once registration finishes (see Fig. 5's two-phase scan).
+  constexpr int Sentinel = 1 << 30;
+  C.WaitCount.store(Sentinel, std::memory_order_release);
+
+  std::vector<ThreadBarrier> Records(Group.size());
+  std::vector<std::uint8_t> Registered(Group.size(), 0);
+  std::size_t AlreadyDone = 0;
+  for (std::size_t I = 0; I != Group.size(); ++I) {
+    Records[I].Kind = ThreadBarrier::WaiterKind::TcbWaiter;
+    Records[I].WaiterTcb = &C;
+    if (Group[I]->addWaiter(Records[I]))
+      Registered[I] = 1;
+    else
+      ++AlreadyDone; // determined before we could register
+  }
+
+  bool MustPark = false;
+  if (AlreadyDone < Count) {
+    const int Needed = static_cast<int>(Count - AlreadyDone);
+    const int NewValue =
+        C.WaitCount.fetch_add(Needed - Sentinel, std::memory_order_acq_rel) +
+        Needed - Sentinel;
+    MustPark = NewValue > 0;
+  }
+
+  if (MustPark)
+    parkCurrent(ParkClass::Kernel, Group.data());
+
+  // Deregister leftover records so our stack frame becomes unreachable.
+  // A record already absent was fully processed under its target's waiter
+  // lock (lifetime protocol in Thread.h), so popping the frame is safe.
+  for (std::size_t I = 0; I != Group.size(); ++I)
+    if (Registered[I])
+      Group[I]->removeWaiter(Records[I]);
+
+  C.WaitCount.store(0, std::memory_order_relaxed);
+}
+
+void ThreadController::threadWait(Thread &T) {
+  if (T.isDetermined())
+    return;
+  if (!onStingThread()) {
+    T.join();
+    return;
+  }
+  STING_CHECK(&T != currentThread(), "thread waiting on itself");
+  if (T.isStealable() && trySteal(T))
+    return;
+  Thread *Target = &T;
+  blockOnGroup(1, std::span<Thread *const>(&Target, 1));
+}
+
+const AnyValue &ThreadController::threadValue(Thread &T) {
+  threadWait(T);
+  T.rethrowIfFailed();
+  return T.result();
+}
+
+//===----------------------------------------------------------------------===//
+// Stealing (paper section 4.1.1)
+//===----------------------------------------------------------------------===//
+
+bool ThreadController::trySteal(Thread &T) {
+  if (!onStingThread())
+    return false;
+  // Every steal nests the stolen thunk on this TCB's stack; beyond the
+  // machine's depth bound, fall back to blocking so deep dependency
+  // chains cannot overflow it.
+  Tcb &C = *currentTcb();
+  if (C.StealDepth >= T.vm().config().MaxStealDepth)
+    return false;
+  for (;;) {
+    ThreadState S = T.state();
+    if (S != ThreadState::Delayed && S != ThreadState::Scheduled)
+      return false;
+    if (T.tryTransition(S, ThreadState::Stolen))
+      break;
+  }
+  runStolen(T);
+  return true;
+}
+
+void ThreadController::runStolen(Thread &T) {
+  Tcb &C = *currentTcb();
+  Thread *Previous = C.Active;
+  C.Active = &T;
+  ++C.StealDepth;
+
+  // A scheduled thread stolen out of a ready queue stays queued; dispatch
+  // skips it when the CAS to Evaluating fails (lazy removal).
+  AnyValue Value;
+  bool DidFail = false;
+  bool ViaTerminate = false;
+  try {
+    Value = T.Code();
+  } catch (StealTerminated &E) {
+    Value = std::move(E.Result);
+    ViaTerminate = true;
+  } catch (...) {
+    Value = AnyValue(std::current_exception());
+    DidFail = true;
+  }
+  T.Failed.store(DidFail, std::memory_order_relaxed);
+  T.determine(std::move(Value), ViaTerminate);
+
+  --C.StealDepth;
+  C.Active = Previous;
+  T.vm().stats().Steals.fetch_add(1, std::memory_order_relaxed);
+
+  // A terminate request aimed at the stealer may have been re-armed while
+  // the stolen thunk ran; honor it now that the steal frame is unwound.
+  applyRequests(C);
+}
+
+//===----------------------------------------------------------------------===//
+// Termination
+//===----------------------------------------------------------------------===//
+
+bool ThreadController::threadTerminate(Thread &T, AnyValue Result) {
+  if (&T == currentThread())
+    terminateSelf(std::move(Result));
+
+  for (;;) {
+    ThreadState S = T.state();
+    switch (S) {
+    case ThreadState::Delayed:
+    case ThreadState::Scheduled:
+      // Claim the thread, then determine it directly — it has no dynamic
+      // context to unwind. (A claimed scheduled thread stays in its ready
+      // queue; dispatch skips it.)
+      if (!T.tryTransition(S, ThreadState::Evaluating))
+        continue;
+      T.Failed.store(false, std::memory_order_relaxed);
+      T.determine(std::move(Result), /*ViaTerminate=*/true);
+      return true;
+
+    case ThreadState::Stolen:
+    case ThreadState::Determined:
+      return false;
+
+    case ThreadState::Evaluating: {
+      std::lock_guard<SpinLock> Guard(T.WaiterLock);
+      if (T.state() != ThreadState::Evaluating)
+        continue;
+      Tcb *C = T.OwnedTcb;
+      if (!C)
+        continue; // binding in flight; retry
+      C->PendingTerminateValue = std::move(Result);
+      C->requestTerminate();
+      // Let suspended / user-blocked targets die promptly. Kernel parks
+      // stay put: their owning structure will resume them, and the request
+      // fires at that controller exit. Holding the waiter lock keeps the
+      // TCB from being recycled underneath us.
+      unparkTcbIfUser(*C, EnqueueReason::UserBlock);
+      return true;
+    }
+    }
+  }
+}
+
+bool ThreadController::raiseIn(Thread &T, std::exception_ptr E) {
+  STING_CHECK(E, "raiseIn requires an exception");
+  if (&T == currentThread())
+    std::rethrow_exception(E);
+
+  for (;;) {
+    ThreadState S = T.state();
+    switch (S) {
+    case ThreadState::Delayed:
+    case ThreadState::Scheduled:
+      // Never ran: fail it directly with the exception.
+      if (!T.tryTransition(S, ThreadState::Evaluating))
+        continue;
+      T.Failed.store(true, std::memory_order_relaxed);
+      T.determine(AnyValue(E), /*ViaTerminate=*/true);
+      return true;
+
+    case ThreadState::Stolen:
+    case ThreadState::Determined:
+      return false;
+
+    case ThreadState::Evaluating: {
+      std::lock_guard<SpinLock> Guard(T.WaiterLock);
+      if (T.state() != ThreadState::Evaluating)
+        continue;
+      Tcb *C = T.OwnedTcb;
+      if (!C)
+        continue; // binding in flight
+      C->PendingException = E;
+      C->Requests.fetch_or(ReqRaise, std::memory_order_release);
+      unparkTcbIfUser(*C, EnqueueReason::UserBlock);
+      return true;
+    }
+    }
+  }
+}
+
+void ThreadController::terminateSelf(AnyValue Result) {
+  Tcb &C = *currentTcb();
+  if (C.StealDepth > 0 && C.Active != C.thread())
+    throw StealTerminated{std::move(Result)}; // unwind just the stolen thunk
+  exitCurrent(std::move(Result), /*ViaTerminate=*/true);
+}
+
+void ThreadController::exitCurrent(AnyValue Result, bool ViaTerminate) {
+  Tcb &C = *currentTcb();
+  Thread &T = *C.thread();
+  T.determine(std::move(Result), ViaTerminate);
+
+  VirtualProcessor &Vp = *C.Vp;
+  Vp.Action = SchedAction::Exit;
+  Vp.ActionTcb = &C;
+  stingContextSwitch(&C.Ctx, &Vp.SchedCtx);
+  STING_UNREACHABLE("resumed an exited thread");
+}
+
+void ThreadController::runToCompletion(Tcb &C) {
+  Thread &T = *C.thread();
+  if (T.SuspendOnStart.exchange(false, std::memory_order_acq_rel))
+    C.requestSuspend(T.SuspendOnStartQuantum);
+  applyRequests(C); // suspend/terminate before the first instruction
+
+  AnyValue Value;
+  bool DidFail = false;
+  bool ViaTerminate = false;
+  try {
+    Value = T.Code();
+  } catch (StealTerminated &E) {
+    // terminateSelf at steal depth zero would not throw; this can only
+    // escape if a stolen thunk's terminate unwound past user frames that
+    // swallowed it incorrectly. Treat it as termination of this thread.
+    Value = std::move(E.Result);
+    ViaTerminate = true;
+  } catch (...) {
+    Value = AnyValue(std::current_exception());
+    DidFail = true;
+  }
+  T.Failed.store(DidFail, std::memory_order_relaxed);
+  exitCurrent(std::move(Value), ViaTerminate);
+}
+
+//===----------------------------------------------------------------------===//
+// Yield, preemption, requested transitions
+//===----------------------------------------------------------------------===//
+
+void ThreadController::yieldProcessor() {
+  STING_CHECK(onStingThread(), "yieldProcessor outside a sting thread");
+  Tcb &C = *currentTcb();
+  applyRequests(C);
+
+  VirtualProcessor &Vp = *C.Vp;
+  Vp.Action = SchedAction::Yield;
+  Vp.ActionTcb = &C;
+  Vp.ActionReason = EnqueueReason::Yielded;
+  stingContextSwitch(&C.Ctx, &Vp.SchedCtx);
+  applyRequests(*currentTcb());
+}
+
+void ThreadController::checkpoint() {
+  Tcb *C = currentTcb();
+  if (!C)
+    return;
+  applyRequests(*C);
+
+  VirtualProcessor &Vp = *C->Vp;
+  if (!Vp.PreemptFlag.load(std::memory_order_relaxed))
+    return;
+  Vp.PreemptFlag.store(false, std::memory_order_relaxed);
+
+  if (C->preemptionDisabled()) {
+    // Paper 4.2.2: ignore this preemption but mark that the next one (the
+    // re-enable point) must not be ignored.
+    C->DeferredPreempt = true;
+    return;
+  }
+
+  Vp.Action = SchedAction::Yield;
+  Vp.ActionTcb = C;
+  Vp.ActionReason = EnqueueReason::Preempted;
+  stingContextSwitch(&C->Ctx, &C->Vp->SchedCtx);
+  applyRequests(*currentTcb());
+}
+
+void ThreadController::applyRequests(Tcb &C) {
+  if (!C.hasRequests())
+    return;
+  // Paper 4.2.2: without-interrupts defers every asynchronous transition;
+  // the bits stay armed and fire at the first controller call after the
+  // scope exits.
+  if (C.interruptsDisabled())
+    return;
+  std::uint32_t R = C.Requests.exchange(0, std::memory_order_acq_rel);
+
+  if (R & ReqTerminate) {
+    if (C.StealDepth > 0 && C.Active != C.thread()) {
+      // The request targets the *stealer* (this TCB's bound thread), but a
+      // stolen thunk is executing. Abort the stolen evaluation (it shares
+      // the stealer's fate, section 4.1.1) and re-arm the request so the
+      // stealer itself dies at its next controller call.
+      C.Requests.fetch_or(ReqTerminate, std::memory_order_release);
+      throw StealTerminated{AnyValue()};
+    }
+    AnyValue Result;
+    {
+      // PendingTerminateValue is guarded by the thread's waiter lock.
+      std::lock_guard<SpinLock> Guard(C.thread()->WaiterLock);
+      Result = std::move(C.PendingTerminateValue);
+    }
+    exitCurrent(std::move(Result), /*ViaTerminate=*/true);
+  }
+
+  if (R & ReqRaise) {
+    std::exception_ptr E;
+    {
+      std::lock_guard<SpinLock> Guard(C.thread()->WaiterLock);
+      E = std::move(C.PendingException);
+      C.PendingException = nullptr;
+    }
+    if (E) {
+      if (C.StealDepth > 0 && C.Active != C.thread()) {
+        // The raise targets the stealer: re-arm so the stealer sees it
+        // after the stolen frame unwinds, and abort the stolen thunk with
+        // the same exception (shared fate, section 4.1.1).
+        std::lock_guard<SpinLock> Guard(C.thread()->WaiterLock);
+        C.PendingException = E;
+        C.Requests.fetch_or(ReqRaise, std::memory_order_release);
+      }
+      std::rethrow_exception(E);
+    }
+  }
+
+  if (R & ReqSuspend) {
+    std::uint64_t Quantum = C.SuspendQuantumNanos;
+    if (Quantum != 0)
+      C.Vp->vm().clock().scheduleResume(ThreadRef(C.thread()), Quantum);
+    parkCurrent(ParkClass::User, "thread-suspend-request");
+  }
+}
+
+} // namespace sting

@@ -1,0 +1,152 @@
+//===- core/Topology.cpp - Virtual processor topologies --------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Topology.h"
+
+#include "support/Debug.h"
+
+#include <bit>
+#include <cmath>
+
+namespace sting {
+
+Topology::Topology(TopologyKind Kind, unsigned NumVps)
+    : Kind(Kind), NumVps(NumVps) {
+  STING_CHECK(NumVps > 0, "topology over zero VPs");
+  switch (Kind) {
+  case TopologyKind::Ring:
+    Rows = 1;
+    Cols = NumVps;
+    break;
+  case TopologyKind::Mesh2D: {
+    // Pick the most square factorization Rows x Cols == NumVps.
+    unsigned Best = 1;
+    for (unsigned R = 1; R * R <= NumVps; ++R)
+      if (NumVps % R == 0)
+        Best = R;
+    Rows = Best;
+    Cols = NumVps / Best;
+    break;
+  }
+  case TopologyKind::Hypercube:
+    STING_CHECK(std::has_single_bit(NumVps),
+                "hypercube topology needs a power-of-two VP count");
+    Dims = static_cast<unsigned>(std::countr_zero(NumVps));
+    break;
+  }
+}
+
+unsigned Topology::leftOf(unsigned Vp) const {
+  STING_DCHECK(Vp < NumVps, "VP index out of range");
+  switch (Kind) {
+  case TopologyKind::Ring:
+    return (Vp + NumVps - 1) % NumVps;
+  case TopologyKind::Mesh2D: {
+    unsigned R = Vp / Cols, C = Vp % Cols;
+    return R * Cols + (C + Cols - 1) % Cols;
+  }
+  case TopologyKind::Hypercube:
+    return Vp ^ 1u; // dimension-0 neighbour
+  }
+  STING_UNREACHABLE("bad topology kind");
+}
+
+unsigned Topology::rightOf(unsigned Vp) const {
+  STING_DCHECK(Vp < NumVps, "VP index out of range");
+  switch (Kind) {
+  case TopologyKind::Ring:
+    return (Vp + 1) % NumVps;
+  case TopologyKind::Mesh2D: {
+    unsigned R = Vp / Cols, C = Vp % Cols;
+    return R * Cols + (C + 1) % Cols;
+  }
+  case TopologyKind::Hypercube:
+    return Vp ^ 1u;
+  }
+  STING_UNREACHABLE("bad topology kind");
+}
+
+unsigned Topology::upOf(unsigned Vp) const {
+  STING_DCHECK(Vp < NumVps, "VP index out of range");
+  switch (Kind) {
+  case TopologyKind::Ring:
+    return leftOf(Vp); // degenerate: a ring has no second dimension
+  case TopologyKind::Mesh2D: {
+    unsigned R = Vp / Cols, C = Vp % Cols;
+    return ((R + Rows - 1) % Rows) * Cols + C;
+  }
+  case TopologyKind::Hypercube:
+    return Dims >= 2 ? (Vp ^ 2u) : (Vp ^ 1u);
+  }
+  STING_UNREACHABLE("bad topology kind");
+}
+
+unsigned Topology::downOf(unsigned Vp) const {
+  STING_DCHECK(Vp < NumVps, "VP index out of range");
+  switch (Kind) {
+  case TopologyKind::Ring:
+    return rightOf(Vp);
+  case TopologyKind::Mesh2D: {
+    unsigned R = Vp / Cols, C = Vp % Cols;
+    return ((R + 1) % Rows) * Cols + C;
+  }
+  case TopologyKind::Hypercube:
+    return Dims >= 2 ? (Vp ^ 2u) : (Vp ^ 1u);
+  }
+  STING_UNREACHABLE("bad topology kind");
+}
+
+std::vector<unsigned> Topology::neighborsOf(unsigned Vp) const {
+  std::vector<unsigned> Out;
+  switch (Kind) {
+  case TopologyKind::Ring:
+    if (NumVps == 1)
+      return Out;
+    Out.push_back(leftOf(Vp));
+    if (rightOf(Vp) != Out.front())
+      Out.push_back(rightOf(Vp));
+    return Out;
+  case TopologyKind::Mesh2D: {
+    for (unsigned N : {leftOf(Vp), rightOf(Vp), upOf(Vp), downOf(Vp)}) {
+      if (N == Vp)
+        continue;
+      bool Seen = false;
+      for (unsigned E : Out)
+        Seen |= E == N;
+      if (!Seen)
+        Out.push_back(N);
+    }
+    return Out;
+  }
+  case TopologyKind::Hypercube:
+    for (unsigned D = 0; D != Dims; ++D)
+      Out.push_back(Vp ^ (1u << D));
+    return Out;
+  }
+  STING_UNREACHABLE("bad topology kind");
+}
+
+unsigned Topology::distance(unsigned A, unsigned B) const {
+  STING_DCHECK(A < NumVps && B < NumVps, "VP index out of range");
+  switch (Kind) {
+  case TopologyKind::Ring: {
+    unsigned D = A > B ? A - B : B - A;
+    return D < NumVps - D ? D : NumVps - D;
+  }
+  case TopologyKind::Mesh2D: {
+    auto Wrap = [](unsigned X, unsigned Y, unsigned N) {
+      unsigned D = X > Y ? X - Y : Y - X;
+      return D < N - D ? D : N - D;
+    };
+    return Wrap(A / Cols, B / Cols, Rows) + Wrap(A % Cols, B % Cols, Cols);
+  }
+  case TopologyKind::Hypercube:
+    return static_cast<unsigned>(std::popcount(A ^ B));
+  }
+  STING_UNREACHABLE("bad topology kind");
+}
+
+} // namespace sting

@@ -1,0 +1,65 @@
+//===- core/Topology.h - Virtual processor topologies -----------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Self-relative VP addressing (paper section 3.2): "Systolic style
+/// programs for example can be expressed by using self-relative addressing
+/// off the current VP (e.g., left-VP, right-VP, up-VP, etc.). The system
+/// provides a number of default addressing modes for many common topologies
+/// (e.g., hypercubes, meshes, systolic arrays, etc.)."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_CORE_TOPOLOGY_H
+#define STING_CORE_TOPOLOGY_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sting {
+
+/// Supported default addressing modes.
+enum class TopologyKind : std::uint8_t {
+  Ring,      ///< 1-D ring: left/right wrap around
+  Mesh2D,    ///< 2-D torus mesh: left/right/up/down wrap
+  Hypercube, ///< n-cube: neighbours differ in one address bit
+};
+
+/// Maps VP indices to topological neighbours for a machine of N VPs.
+class Topology {
+public:
+  Topology(TopologyKind Kind, unsigned NumVps);
+
+  TopologyKind kind() const { return Kind; }
+  unsigned size() const { return NumVps; }
+
+  /// Mesh dimensions (Rows x Cols == NumVps padded; only meaningful for
+  /// Mesh2D).
+  unsigned rows() const { return Rows; }
+  unsigned cols() const { return Cols; }
+
+  unsigned leftOf(unsigned Vp) const;
+  unsigned rightOf(unsigned Vp) const;
+  unsigned upOf(unsigned Vp) const;
+  unsigned downOf(unsigned Vp) const;
+
+  /// All distinct neighbours of \p Vp (for hypercubes, one per dimension).
+  std::vector<unsigned> neighborsOf(unsigned Vp) const;
+
+  /// Hops between two VPs in this topology (shortest path).
+  unsigned distance(unsigned A, unsigned B) const;
+
+private:
+  TopologyKind Kind;
+  unsigned NumVps;
+  unsigned Rows = 1;
+  unsigned Cols = 1;
+  unsigned Dims = 0; ///< hypercube dimensions
+};
+
+} // namespace sting
+
+#endif // STING_CORE_TOPOLOGY_H

@@ -1,0 +1,106 @@
+//===- core/VirtualMachine.cpp - Virtual machines ---------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/VirtualMachine.h"
+
+#include "core/Current.h"
+#include "core/PhysicalProcessor.h"
+#include "core/ThreadController.h"
+#include "core/VirtualProcessor.h"
+#include "gc/GlobalHeap.h"
+
+namespace sting {
+
+static VmConfig sanitize(VmConfig Config) {
+  if (Config.NumVps == 0)
+    Config.NumVps = 1;
+  if (Config.NumPps == 0)
+    Config.NumPps = 1;
+  if (Config.NumPps > Config.NumVps)
+    Config.NumPps = Config.NumVps;
+  if (Config.StackSize < 16 * 1024)
+    Config.StackSize = 16 * 1024;
+  if (!Config.Policy)
+    Config.Policy = makeLocalFifoPolicy();
+  if (!Config.PpPolicy)
+    Config.PpPolicy = makeRoundRobinPhysicalPolicy();
+  if (Config.DefaultQuantumNanos == 0)
+    Config.DefaultQuantumNanos = 2'000'000;
+  return Config;
+}
+
+VirtualMachine::VirtualMachine(VmConfig InConfig)
+    : Config(sanitize(std::move(InConfig))),
+      Topo(Config.Topology, Config.NumVps), RootGroup(ThreadGroup::create()) {
+  for (unsigned I = 0; I != Config.NumVps; ++I)
+    Vps.push_back(
+        std::make_unique<VirtualProcessor>(*this, I, Config.Policy(*this, I)));
+
+  for (unsigned I = 0; I != Config.NumPps; ++I)
+    Pps.push_back(std::make_unique<PhysicalProcessor>(
+        *this, I, Config.PpPolicy(*this, I)));
+
+  // Assign VPs to physical processors round-robin.
+  for (unsigned I = 0; I != Config.NumVps; ++I)
+    Pps[I % Config.NumPps]->assignVp(*Vps[I]);
+
+  Clock = std::make_unique<PreemptionClock>(*this, Config.PreemptTickNanos,
+                                            Config.EnablePreemption);
+
+  for (auto &Pp : Pps)
+    Pp->start();
+}
+
+VirtualMachine::~VirtualMachine() {
+  ShuttingDown.store(true, std::memory_order_release);
+  IdleParker.notify();
+  Clock->stop();
+  for (auto &Pp : Pps)
+    Pp->stop();
+  Pps.clear();
+  Vps.clear(); // drains ready queues
+  delete Heap.load(std::memory_order_relaxed);
+}
+
+VirtualProcessor &VirtualMachine::vp(unsigned Index) const {
+  STING_CHECK(Index < Vps.size(), "VP index out of range");
+  return *Vps[Index];
+}
+
+ThreadRef VirtualMachine::fork(Thread::Thunk Code, const SpawnOptions &Opts) {
+  ThreadRef T = createThread(std::move(Code), Opts);
+  ThreadController::threadRun(*T, Opts.Vp);
+  return T;
+}
+
+ThreadRef VirtualMachine::createThread(Thread::Thunk Code,
+                                       const SpawnOptions &Opts) {
+  STING_CHECK(!Opts.Vp || &Opts.Vp->vm() == this,
+              "SpawnOptions::Vp belongs to another machine");
+  return Thread::create(*this, std::move(Code), Opts);
+}
+
+AnyValue VirtualMachine::run(Thread::Thunk Code, const SpawnOptions &Opts) {
+  ThreadRef T = fork(std::move(Code), Opts);
+  T->join();
+  T->rethrowIfFailed();
+  return T->takeResult();
+}
+
+gc::GlobalHeap &VirtualMachine::globalHeap() {
+  gc::GlobalHeap *H = Heap.load(std::memory_order_acquire);
+  if (H)
+    return *H;
+  std::lock_guard<SpinLock> Guard(GlobalHeapLock);
+  H = Heap.load(std::memory_order_relaxed);
+  if (!H) {
+    H = new gc::GlobalHeap();
+    Heap.store(H, std::memory_order_release);
+  }
+  return *H;
+}
+
+} // namespace sting

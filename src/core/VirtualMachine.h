@@ -1,0 +1,173 @@
+//===- core/VirtualMachine.h - First-class virtual machines -----*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A virtual machine (paper section 2): a collection of virtual processors
+/// closed over an address space. "There may be many more virtual
+/// processors than the actual physical processors available. ... Multiple
+/// virtual machines can execute on a single physical machine." A VM's
+/// public state includes the vector of its virtual processors, which
+/// programs may enumerate for explicit thread placement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_CORE_VIRTUALMACHINE_H
+#define STING_CORE_VIRTUALMACHINE_H
+
+#include "core/PhysicalPolicy.h"
+#include "core/PolicyManager.h"
+#include "core/PreemptionClock.h"
+#include "core/Thread.h"
+#include "core/ThreadGroup.h"
+#include "core/Topology.h"
+#include "support/Parker.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sting {
+
+class PhysicalProcessor;
+class VirtualProcessor;
+namespace gc {
+class GlobalHeap;
+} // namespace gc
+
+/// Construction-time configuration of a virtual machine.
+struct VmConfig {
+  /// Virtual processors in the machine.
+  unsigned NumVps = 2;
+  /// Physical processors (OS threads) multiplexing the VPs.
+  unsigned NumPps = 1;
+  /// Usable bytes per thread stack.
+  std::size_t StackSize = 128 * 1024;
+  /// Default thread quantum.
+  std::uint64_t DefaultQuantumNanos = 2'000'000; // 2 ms
+  /// Start with quantum preemption on? (Toggleable at runtime.)
+  bool EnablePreemption = false;
+  /// Preemption-clock tick.
+  std::uint64_t PreemptTickNanos = 1'000'000; // 1 ms
+  /// Time slice of a VP on its physical processor: a VP with a non-empty
+  /// queue yields the PP to sibling VPs this often (VPs are multiplexed on
+  /// PPs "in the same way that threads are multiplexed on VPs").
+  std::uint64_t VpSliceNanos = 1'000'000; // 1 ms
+  /// Maximum nesting of stolen thunks on one TCB; a touch that would
+  /// exceed it blocks instead (steals consume the toucher's stack, so deep
+  /// dependency chains can otherwise overflow it).
+  int MaxStealDepth = 64;
+  /// Per-VP scheduling policy factory; default is local FIFO.
+  PolicyFactory Policy;
+  /// Per-PP policy multiplexing VPs onto physical processors; default is
+  /// round-robin with idle probing (the paper's two-level scheduling:
+  /// VP-on-PP scheduling is customizable like thread-on-VP scheduling).
+  PhysicalPolicyFactory PpPolicy;
+  /// VP interconnection for self-relative addressing.
+  TopologyKind Topology = TopologyKind::Ring;
+};
+
+/// Machine-wide counters surfaced to tests and the benchmark harness.
+struct VmStats {
+  std::atomic<std::uint64_t> ThreadsCreated{0};
+  std::atomic<std::uint64_t> ThreadsDetermined{0};
+  std::atomic<std::uint64_t> Steals{0};
+};
+
+/// A first-class virtual machine.
+class VirtualMachine {
+public:
+  explicit VirtualMachine(VmConfig Config = VmConfig());
+  ~VirtualMachine();
+
+  VirtualMachine(const VirtualMachine &) = delete;
+  VirtualMachine &operator=(const VirtualMachine &) = delete;
+
+  const VmConfig &config() const { return Config; }
+
+  // --- Processors --------------------------------------------------------
+
+  /// The machine's VP vector — the paper's `(vm.vp-vector ...)`.
+  const std::vector<std::unique_ptr<VirtualProcessor>> &vps() const {
+    return Vps;
+  }
+  VirtualProcessor &vp(unsigned Index) const;
+  unsigned numVps() const { return static_cast<unsigned>(Vps.size()); }
+
+  const Topology &topology() const { return Topo; }
+
+  // --- Thread creation (the paper's fork-thread / create-thread) ---------
+
+  /// Creates and schedules a thread; usable from inside or outside the VM.
+  ThreadRef fork(Thread::Thunk Code, const SpawnOptions &Opts = {});
+
+  /// Creates a delayed thread: "a delayed thread will never be run unless
+  /// the value of the thread is explicitly demanded."
+  ThreadRef createThread(Thread::Thunk Code, const SpawnOptions &Opts = {});
+
+  /// Convenience: fork \p Code, join from this (external) OS thread, and
+  /// return the result. The usual way for main() to enter the machine.
+  AnyValue run(Thread::Thunk Code, const SpawnOptions &Opts = {});
+
+  // --- Machine services ---------------------------------------------------
+
+  ThreadGroup &rootGroup() const { return *RootGroup; }
+  PreemptionClock &clock() const { return *Clock; }
+  VmStats &stats() { return Stats; }
+
+  /// The machine's shared older generation (paper Fig. 1: "Shared older
+  /// generation" in the VM address space). Created lazily.
+  gc::GlobalHeap &globalHeap();
+
+  /// Wakes idle physical processors; called after any enqueue. Cheap when
+  /// nobody sleeps: the notification is skipped unless a PP is parked.
+  void notifyWork() {
+    if (IdlePps.load(std::memory_order_seq_cst) > 0)
+      IdleParker.notify();
+  }
+
+  /// Idle-accounting hook used by physical processors around their naps.
+  void markPpIdle(bool Idle) {
+    if (Idle)
+      IdlePps.fetch_add(1, std::memory_order_seq_cst);
+    else
+      IdlePps.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  bool isShuttingDown() const {
+    return ShuttingDown.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t nextThreadId() {
+    return NextThreadId.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Parker &idleParker() { return IdleParker; }
+
+private:
+  friend class PhysicalProcessor;
+  friend class VirtualProcessor;
+
+  VmConfig Config;
+  Topology Topo;
+  std::vector<std::unique_ptr<VirtualProcessor>> Vps;
+  std::vector<std::unique_ptr<PhysicalProcessor>> Pps;
+  std::unique_ptr<PreemptionClock> Clock;
+  ThreadGroupRef RootGroup;
+
+  SpinLock GlobalHeapLock;
+  std::atomic<gc::GlobalHeap *> Heap{nullptr};
+
+  Parker IdleParker;
+  std::atomic<int> IdlePps{0};
+  std::atomic<bool> ShuttingDown{false};
+  std::atomic<std::uint64_t> NextThreadId{1};
+  VmStats Stats;
+};
+
+} // namespace sting
+
+#endif // STING_CORE_VIRTUALMACHINE_H

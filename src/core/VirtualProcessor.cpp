@@ -1,0 +1,289 @@
+//===- core/VirtualProcessor.cpp - Virtual processors ----------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/VirtualProcessor.h"
+
+#include "core/Current.h"
+#include "core/PhysicalProcessor.h"
+#include "core/ThreadController.h"
+#include "core/VirtualMachine.h"
+#include "support/Clock.h"
+
+namespace sting {
+
+namespace {
+/// Dispatches a VP performs before yielding its physical processor so that
+/// sibling VPs multiplexed on the same PP also make progress.
+constexpr int SliceDispatches = 64;
+/// Recycled TCBs retained per VP.
+constexpr std::size_t MaxCachedTcbs = 64;
+
+/// Saturating add for slice deadlines (a thread may request an effectively
+/// infinite quantum).
+std::uint64_t saturatingAdd(std::uint64_t A, std::uint64_t B) {
+  std::uint64_t R = A + B;
+  return R < A ? ~0ull : R;
+}
+} // namespace
+
+VirtualProcessor::VirtualProcessor(VirtualMachine &Vm, unsigned Index,
+                                   std::unique_ptr<PolicyManager> Policy)
+    : Vm(&Vm), Index(Index), Policy(std::move(Policy)),
+      Stacks(Vm.config().StackSize) {
+  STING_CHECK(this->Policy, "virtual processor needs a policy manager");
+  SchedStack = &Stacks.allocate();
+  initContext(SchedCtx, SchedStack->base(), SchedStack->size(),
+              &VirtualProcessor::schedulerEntry, this);
+  DispatchBudget = SliceDispatches;
+}
+
+VirtualProcessor::~VirtualProcessor() {
+  // Release queued work: threads drop their queue reference; orphaned TCBs
+  // (yielded or woken but never redispatched) are destroyed outright.
+  Policy->drain(*this, [&](Schedulable &Item) {
+    if (Item.isThread()) {
+      Item.asThread().release();
+      return;
+    }
+    Tcb &C = Item.asTcb();
+    if (C.Stk) {
+      Stacks.release(*C.Stk);
+      C.Stk = nullptr;
+    }
+    delete &C;
+  });
+
+  while (!TcbCache.empty()) {
+    Tcb &C = TcbCache.popFront();
+    if (C.Stk) {
+      Stacks.release(*C.Stk);
+      C.Stk = nullptr;
+    }
+    delete &C;
+  }
+
+  if (SchedStack)
+    Stacks.release(*SchedStack);
+}
+
+void VirtualProcessor::enqueue(Schedulable &Item, EnqueueReason Reason) {
+  Policy->enqueueThread(Item, *this, Reason);
+  Vm->notifyWork();
+}
+
+VirtualProcessor &VirtualProcessor::leftVp() const {
+  return Vm->vp(Vm->topology().leftOf(Index));
+}
+VirtualProcessor &VirtualProcessor::rightVp() const {
+  return Vm->vp(Vm->topology().rightOf(Index));
+}
+VirtualProcessor &VirtualProcessor::upVp() const {
+  return Vm->vp(Vm->topology().upOf(Index));
+}
+VirtualProcessor &VirtualProcessor::downVp() const {
+  return Vm->vp(Vm->topology().downOf(Index));
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduler loop
+//===----------------------------------------------------------------------===//
+
+void VirtualProcessor::schedulerEntry(void *Arg) {
+  static_cast<VirtualProcessor *>(Arg)->schedulerLoop();
+  STING_UNREACHABLE("scheduler loop returned");
+}
+
+void VirtualProcessor::schedulerLoop() {
+  PpSliceDeadline = nowNanos() + Vm->config().VpSliceNanos;
+  for (;;) {
+    // Yield to the physical processor when the machine is coming down,
+    // when this VP's time slice (or dispatch backstop) is exhausted, or
+    // when there is no work. The PP decides what runs next (another VP,
+    // or a nap).
+    bool ShouldYield = Vm->isShuttingDown();
+    if (!ShouldYield && --DispatchBudget <= 0)
+      ShouldYield = true;
+    if (!ShouldYield && nowNanos() >= PpSliceDeadline)
+      ShouldYield = true;
+    if (!ShouldYield && !dispatchOne())
+      ShouldYield = true;
+    if (ShouldYield) {
+      STING_DCHECK(Pp, "scheduler running without a physical processor");
+      stingContextSwitch(&SchedCtx, &Pp->PpCtx);
+      // Re-entered by a PP: start a fresh slice.
+      DispatchBudget = SliceDispatches;
+      PpSliceDeadline = nowNanos() + Vm->config().VpSliceNanos;
+    }
+  }
+}
+
+bool VirtualProcessor::dispatchOne() {
+  Schedulable *Item = Policy->getNextThread(*this);
+  if (!Item) {
+    ++Stats.IdleCalls;
+    Item = Policy->vpIdle(*this);
+  }
+  if (!Item)
+    return false;
+
+  if (Item->isThread()) {
+    Thread &T = Item->asThread();
+    // Claim the thread. A failure means it was stolen or terminated while
+    // queued — lazy removal, drop the queue's reference and move on.
+    if (!T.tryTransition(ThreadState::Scheduled, ThreadState::Evaluating)) {
+      ++Stats.SkippedStale;
+      T.release();
+      return true;
+    }
+    runFresh(T);
+    return true;
+  }
+
+  ++Stats.Resumes;
+  resume(Item->asTcb());
+  return true;
+}
+
+void VirtualProcessor::runFresh(Thread &T) {
+  Tcb &C = acquireTcb();
+  C.Current = ThreadRef::adopt(&T); // absorb the ready queue's reference
+  C.Active = &T;
+  C.Vp = this;
+  C.QuantumNanos = T.quantumNanos() ? T.quantumNanos()
+                                    : Vm->config().DefaultQuantumNanos;
+  {
+    // Publish the dynamic context so requesters can reach it (threadRun,
+    // threadTerminate, suspend timers take the same lock).
+    std::lock_guard<SpinLock> Guard(T.WaiterLock);
+    T.OwnedTcb = &C;
+  }
+  initContext(C.Ctx, C.Stk->base(), C.Stk->size(), &tcbEntry, &C);
+  ++Stats.FreshBinds;
+  switchInto(C);
+}
+
+void VirtualProcessor::tcbEntry(void *Arg) {
+  ThreadController::runToCompletion(*static_cast<Tcb *>(Arg));
+}
+
+void VirtualProcessor::resume(Tcb &C) { switchInto(C); }
+
+void VirtualProcessor::switchInto(Tcb &C) {
+  STING_DCHECK(C.Park.load(std::memory_order_relaxed) == ParkState::Running,
+               "dispatching a TCB that is not Running");
+  Running = &C;
+  currentCursor().CurTcb = &C;
+  C.Vp = this;
+  C.SliceStartNanos = nowNanos();
+  SliceDeadline.store(saturatingAdd(C.SliceStartNanos, C.QuantumNanos),
+                      std::memory_order_relaxed);
+  ++Stats.Dispatches;
+
+  stingContextSwitch(&SchedCtx, &C.Ctx);
+
+  // Back in the scheduler; perform whatever the outgoing thread asked for.
+  SliceDeadline.store(0, std::memory_order_relaxed);
+  currentCursor().CurTcb = nullptr;
+  Running = nullptr;
+
+  Tcb *Out = ActionTcb;
+  SchedAction A = Action;
+  EnqueueReason Reason = ActionReason;
+  Action = SchedAction::None;
+  ActionTcb = nullptr;
+
+  switch (A) {
+  case SchedAction::None:
+    return;
+
+  case SchedAction::Yield:
+    ++Stats.Yields;
+    enqueue(*Out, Reason);
+    return;
+
+  case SchedAction::Park: {
+    ++Stats.Parks;
+    // Complete the park handshake now that the thread is off its stack.
+    for (;;) {
+      ParkState S = Out->Park.load(std::memory_order_acquire);
+      if (S == ParkState::ParkingUser || S == ParkState::ParkingKernel) {
+        ParkState Target = S == ParkState::ParkingUser
+                               ? ParkState::ParkedUser
+                               : ParkState::ParkedKernel;
+        if (Out->Park.compare_exchange_weak(S, Target,
+                                            std::memory_order_acq_rel))
+          return;
+        continue;
+      }
+      STING_DCHECK(S == ParkState::WakeupPending,
+                   "unexpected park state in scheduler");
+      // A wakeup raced with the switch-out; the thread never really slept.
+      Out->Park.store(ParkState::Running, std::memory_order_release);
+      enqueue(*Out, Reason);
+      return;
+    }
+  }
+
+  case SchedAction::Exit:
+    ++Stats.Exits;
+    recycleTcb(*Out);
+    return;
+  }
+  STING_UNREACHABLE("bad scheduler action");
+}
+
+//===----------------------------------------------------------------------===//
+// TCB cache
+//===----------------------------------------------------------------------===//
+
+Tcb &VirtualProcessor::acquireTcb() {
+  Tcb *C;
+  if (!TcbCache.empty()) {
+    C = &TcbCache.popFront();
+    --CachedTcbs;
+    ++Stats.TcbReuses;
+  } else {
+    C = new Tcb();
+    ++Stats.TcbAllocs;
+  }
+  if (!C->Stk)
+    C->Stk = &Stacks.allocate();
+  return *C;
+}
+
+void VirtualProcessor::recycleTcb(Tcb &C) {
+  STING_DCHECK(C.thread() && C.thread()->isDetermined(),
+               "recycling a TCB whose thread is not determined");
+  C.Current.reset();
+  C.Active = nullptr;
+  C.Requests.store(0, std::memory_order_relaxed);
+  C.Park.store(ParkState::Running, std::memory_order_relaxed);
+  C.ParkKind = ParkClass::None;
+  C.BlockedOn = nullptr;
+  C.WaitCount.store(0, std::memory_order_relaxed);
+  C.PreemptPending.store(false, std::memory_order_relaxed);
+  C.PendingUserWake.store(false, std::memory_order_relaxed);
+  C.DeferredPreempt = false;
+  C.PreemptDisableDepth = 0;
+  C.StealDepth = 0;
+  C.SuspendQuantumNanos = 0;
+  C.PendingTerminateValue.reset();
+  C.PendingException = nullptr;
+  C.InterruptDisableDepth = 0;
+
+  if (CachedTcbs >= MaxCachedTcbs) {
+    if (C.Stk) {
+      Stacks.release(*C.Stk);
+      C.Stk = nullptr;
+    }
+    delete &C;
+    return;
+  }
+  ++CachedTcbs;
+  TcbCache.pushFront(C);
+}
+
+} // namespace sting

@@ -1,0 +1,170 @@
+//===- core/VirtualProcessor.h - First-class virtual processors -*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A virtual processor (paper section 3.2): an abstraction of a physical
+/// computing device, closed over (1) a thread controller implementing the
+/// thread state-transition function and (2) a policy manager implementing
+/// scheduling and migration. VPs are first-class: they can be enumerated
+/// (vm.vps()), passed to fork for explicit placement, and addressed
+/// relative to the current VP through the machine topology.
+///
+/// Each VP runs its scheduler loop on its own execution context, so VPs are
+/// multiplexed on physical processors exactly the way threads are
+/// multiplexed on VPs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_CORE_VIRTUALPROCESSOR_H
+#define STING_CORE_VIRTUALPROCESSOR_H
+
+#include "arch/Context.h"
+#include "arch/Stack.h"
+#include "core/PolicyManager.h"
+#include "core/Tcb.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace sting {
+
+class PhysicalProcessor;
+class VirtualMachine;
+
+/// Why the scheduler context was re-entered from a thread; tells the
+/// scheduler how to dispose of the TCB that just switched out.
+enum class SchedAction : std::uint8_t {
+  None,
+  /// Re-enqueue the TCB (yield / preemption); operand: EnqueueReason.
+  Yield,
+  /// Complete the park protocol (block / suspend).
+  Park,
+  /// The thread determined; unbind and recycle the TCB.
+  Exit,
+};
+
+/// Per-VP counters surfaced to tests and the benchmark harness.
+struct VpStats {
+  std::uint64_t Dispatches = 0;   ///< threads/TCBs switched into
+  std::uint64_t FreshBinds = 0;   ///< threads bound to a new TCB
+  std::uint64_t Resumes = 0;      ///< parked TCBs resumed
+  std::uint64_t Yields = 0;       ///< yield/preempt re-enqueues
+  std::uint64_t Parks = 0;        ///< completed parks
+  std::uint64_t Exits = 0;        ///< thread completions
+  std::uint64_t IdleCalls = 0;    ///< pm-vp-idle invocations
+  std::uint64_t TcbReuses = 0;    ///< TCBs served from the cache
+  std::uint64_t TcbAllocs = 0;    ///< TCBs newly allocated
+  std::uint64_t SkippedStale = 0; ///< dequeued threads no longer runnable
+};
+
+/// A first-class virtual processor.
+class VirtualProcessor {
+public:
+  VirtualProcessor(VirtualMachine &Vm, unsigned Index,
+                   std::unique_ptr<PolicyManager> Policy);
+  ~VirtualProcessor();
+
+  VirtualProcessor(const VirtualProcessor &) = delete;
+  VirtualProcessor &operator=(const VirtualProcessor &) = delete;
+
+  VirtualMachine &vm() const { return *Vm; }
+  unsigned index() const { return Index; }
+
+  /// The policy manager this VP is closed over.
+  PolicyManager &policy() { return *Policy; }
+
+  /// The physical processor currently executing this VP (null if none).
+  PhysicalProcessor *physicalProcessor() const { return Pp; }
+
+  const VpStats &stats() const { return Stats; }
+
+  /// Enqueues \p Item on this VP via its policy manager and wakes idle
+  /// physical processors. Takes over the caller's Thread reference.
+  void enqueue(Schedulable &Item, EnqueueReason Reason);
+
+  /// True if this VP's policy reports ready work.
+  bool hasReadyWork() const { return Policy->hasReadyWork(*this); }
+
+  // --- Preemption interface used by the machine clock -------------------
+
+  /// Absolute deadline (ns) of the running thread's slice; 0 while idle.
+  std::atomic<std::uint64_t> SliceDeadline{0};
+  /// Raised by the clock when the slice expires; consumed at checkpoints.
+  std::atomic<bool> PreemptFlag{false};
+
+  // --- Topology-relative addressing (paper section 3.2) -----------------
+
+  VirtualProcessor &leftVp() const;
+  VirtualProcessor &rightVp() const;
+  VirtualProcessor &upVp() const;
+  VirtualProcessor &downVp() const;
+
+private:
+  friend class PhysicalProcessor;
+  friend class ThreadController;
+  friend class VirtualMachine;
+
+  /// Body of the scheduler loop; runs on SchedCtx.
+  void schedulerLoop();
+  static void schedulerEntry(void *Arg);
+
+  /// Context entry for freshly bound TCBs.
+  static void tcbEntry(void *Arg);
+
+  /// Dispatches one ready item; \returns false if there was nothing to run
+  /// (after consulting pm-vp-idle).
+  bool dispatchOne();
+
+  /// Binds \p T (already CAS'd to Evaluating) to a TCB and runs it.
+  void runFresh(Thread &T);
+
+  /// Resumes a parked/yielded TCB.
+  void resume(Tcb &C);
+
+  /// Switches from the scheduler context into \p C and, after control
+  /// returns, performs the action the thread requested on its way out.
+  void switchInto(Tcb &C);
+
+  /// Allocates a TCB + stack from the caches (or fresh).
+  Tcb &acquireTcb();
+
+  /// Recycles \p C after its thread exited.
+  void recycleTcb(Tcb &C);
+
+  VirtualMachine *Vm;
+  unsigned Index;
+  std::unique_ptr<PolicyManager> Policy;
+  PhysicalProcessor *Pp = nullptr;
+
+  Context SchedCtx;
+  Stack *SchedStack = nullptr;
+  bool SchedStarted = false;
+
+  /// The TCB currently running on this VP (null while in the scheduler).
+  Tcb *Running = nullptr;
+
+  /// Action requested by the thread that last switched back to SchedCtx.
+  SchedAction Action = SchedAction::None;
+  EnqueueReason ActionReason = EnqueueReason::Yielded;
+  Tcb *ActionTcb = nullptr;
+
+  /// Dispatches remaining before this VP yields to its physical processor
+  /// so sibling VPs get processor time (backstop for the time slice).
+  int DispatchBudget = 0;
+  /// Absolute end of this VP's current slice on its physical processor.
+  std::uint64_t PpSliceDeadline = 0;
+
+  StackPool Stacks;
+  IntrusiveList<Tcb, TcbCacheTag> TcbCache;
+  std::size_t CachedTcbs = 0;
+
+  VpStats Stats;
+};
+
+} // namespace sting
+
+#endif // STING_CORE_VIRTUALPROCESSOR_H

@@ -1,0 +1,61 @@
+//===- core/policy/GlobalFifoPolicy.cpp - Machine-global FIFO --------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// One shared, locked ready queue for the whole machine. "Global queues
+// imply contention among policy managers whenever they need to execute a
+// new thread, but such an implementation is useful in implementing many
+// kinds of parallel algorithms", e.g. master/slave worker pools of
+// long-lived threads that rarely block (paper section 3.3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PolicyManager.h"
+
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+#include "core/policy/ReadyQueue.h"
+
+#include <memory>
+
+namespace sting {
+
+namespace {
+
+class GlobalFifoPolicy final : public PolicyManager {
+public:
+  explicit GlobalFifoPolicy(std::shared_ptr<ReadyQueue> Shared)
+      : Queue(std::move(Shared)) {}
+
+  Schedulable *getNextThread(VirtualProcessor &) override {
+    return Queue->popFront();
+  }
+
+  void enqueueThread(Schedulable &Item, VirtualProcessor &,
+                     EnqueueReason) override {
+    Queue->pushBack(Item);
+  }
+
+  bool hasReadyWork(const VirtualProcessor &) const override {
+    return !Queue->empty();
+  }
+
+  void drain(VirtualProcessor &,
+             const std::function<void(Schedulable &)> &Drop) override {
+    Queue->drainInto(Drop); // first VP drains everything; the rest no-op
+  }
+
+private:
+  std::shared_ptr<ReadyQueue> Queue;
+};
+
+} // namespace
+
+PolicyFactory makeGlobalFifoPolicy() {
+  auto Shared = std::make_shared<ReadyQueue>();
+  return [Shared](VirtualMachine &, unsigned) {
+    return std::make_unique<GlobalFifoPolicy>(Shared);
+  };
+}
+
+} // namespace sting

@@ -1,0 +1,69 @@
+//===- core/policy/LocalFifoPolicy.cpp - Per-VP FIFO policy ----------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// The default policy: one FIFO ready queue per VP, round-robin placement of
+// new threads across the machine. With preemption enabled this is the
+// "round-robin preemptive scheduler" the paper recommends for master/slave
+// and worker-farm fairness (sections 3.3, 4.2.2). No migration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PolicyManager.h"
+
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+#include "core/policy/ReadyQueue.h"
+
+#include <memory>
+
+namespace sting {
+
+namespace {
+
+class LocalFifoPolicy final : public PolicyManager {
+public:
+  LocalFifoPolicy(VirtualMachine &Vm,
+                  std::shared_ptr<std::atomic<unsigned>> PlacementCursor)
+      : Vm(&Vm), PlacementCursor(std::move(PlacementCursor)) {}
+
+  Schedulable *getNextThread(VirtualProcessor &) override {
+    return Queue.popFront();
+  }
+
+  void enqueueThread(Schedulable &Item, VirtualProcessor &,
+                     EnqueueReason) override {
+    Queue.pushBack(Item);
+  }
+
+  bool hasReadyWork(const VirtualProcessor &) const override {
+    return !Queue.empty();
+  }
+
+  VirtualProcessor &selectVpForNewThread(VirtualProcessor &) override {
+    unsigned I =
+        PlacementCursor->fetch_add(1, std::memory_order_relaxed);
+    return Vm->vp(I % Vm->numVps());
+  }
+
+  void drain(VirtualProcessor &,
+             const std::function<void(Schedulable &)> &Drop) override {
+    Queue.drainInto(Drop);
+  }
+
+private:
+  VirtualMachine *Vm;
+  std::shared_ptr<std::atomic<unsigned>> PlacementCursor;
+  ReadyQueue Queue;
+};
+
+} // namespace
+
+PolicyFactory makeLocalFifoPolicy() {
+  auto Cursor = std::make_shared<std::atomic<unsigned>>(0);
+  return [Cursor](VirtualMachine &Vm, unsigned) {
+    return std::make_unique<LocalFifoPolicy>(Vm, Cursor);
+  };
+}
+
+} // namespace sting

@@ -1,0 +1,60 @@
+//===- core/policy/LocalLifoPolicy.cpp - Per-VP LIFO policy ----------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// LIFO dispatch: the most recently created thread runs first. The paper
+// recommends this for tree-structured result-parallel programs — under
+// futures it runs threads computing *later* results first, so touches of
+// earlier results find them still delayed/scheduled and steal them,
+// unfolding the call graph without context switches (section 4.1.1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PolicyManager.h"
+
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+#include "core/policy/ReadyQueue.h"
+
+#include <memory>
+
+namespace sting {
+
+namespace {
+
+class LocalLifoPolicy final : public PolicyManager {
+public:
+  explicit LocalLifoPolicy(VirtualMachine &Vm) : Vm(&Vm) {}
+
+  Schedulable *getNextThread(VirtualProcessor &) override {
+    return Queue.popFront();
+  }
+
+  void enqueueThread(Schedulable &Item, VirtualProcessor &,
+                     EnqueueReason) override {
+    Queue.pushFront(Item); // LIFO
+  }
+
+  bool hasReadyWork(const VirtualProcessor &) const override {
+    return !Queue.empty();
+  }
+
+  void drain(VirtualProcessor &,
+             const std::function<void(Schedulable &)> &Drop) override {
+    Queue.drainInto(Drop);
+  }
+
+private:
+  VirtualMachine *Vm;
+  ReadyQueue Queue;
+};
+
+} // namespace
+
+PolicyFactory makeLocalLifoPolicy() {
+  return [](VirtualMachine &Vm, unsigned) {
+    return std::make_unique<LocalLifoPolicy>(Vm);
+  };
+}
+
+} // namespace sting

@@ -1,0 +1,88 @@
+//===- core/policy/PriorityPolicy.cpp - Priority scheduling ----------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Per-VP priority queues: larger Thread::priority dispatches first, FIFO
+// among equals. This is the scheduling half of the paper's speculative
+// support — "promising tasks can execute before unlikely ones because
+// priorities are programmable" (section 4.3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PolicyManager.h"
+
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+#include "support/SpinLock.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace sting {
+
+namespace {
+
+class PriorityPolicy final : public PolicyManager {
+public:
+  PriorityPolicy(VirtualMachine &Vm,
+                 std::shared_ptr<std::atomic<unsigned>> PlacementCursor)
+      : Vm(&Vm), PlacementCursor(std::move(PlacementCursor)) {}
+
+  Schedulable *getNextThread(VirtualProcessor &) override {
+    if (Size.load(std::memory_order_acquire) == 0)
+      return nullptr;
+    std::lock_guard<SpinLock> Guard(Lock);
+    if (Items.empty())
+      return nullptr;
+    auto First = Items.begin();
+    Schedulable *Item = First->second;
+    Items.erase(First);
+    Size.fetch_sub(1, std::memory_order_release);
+    return Item;
+  }
+
+  void enqueueThread(Schedulable &Item, VirtualProcessor &,
+                     EnqueueReason) override {
+    std::lock_guard<SpinLock> Guard(Lock);
+    // multimap keeps equal keys in insertion order -> FIFO within a level.
+    Items.emplace(Item.schedPriority(), &Item);
+    Size.fetch_add(1, std::memory_order_release);
+  }
+
+  bool hasReadyWork(const VirtualProcessor &) const override {
+    return Size.load(std::memory_order_acquire) != 0;
+  }
+
+  VirtualProcessor &selectVpForNewThread(VirtualProcessor &) override {
+    unsigned I = PlacementCursor->fetch_add(1, std::memory_order_relaxed);
+    return Vm->vp(I % Vm->numVps());
+  }
+
+  void drain(VirtualProcessor &,
+             const std::function<void(Schedulable &)> &Drop) override {
+    std::lock_guard<SpinLock> Guard(Lock);
+    for (auto &[Priority, Item] : Items)
+      Drop(*Item);
+    Items.clear();
+    Size.store(0, std::memory_order_release);
+  }
+
+private:
+  VirtualMachine *Vm;
+  std::shared_ptr<std::atomic<unsigned>> PlacementCursor;
+  SpinLock Lock;
+  std::multimap<int, Schedulable *, std::greater<int>> Items;
+  std::atomic<std::size_t> Size{0};
+};
+
+} // namespace
+
+PolicyFactory makePriorityPolicy() {
+  auto Cursor = std::make_shared<std::atomic<unsigned>>(0);
+  return [Cursor](VirtualMachine &Vm, unsigned) {
+    return std::make_unique<PriorityPolicy>(Vm, Cursor);
+  };
+}
+
+} // namespace sting

@@ -1,0 +1,88 @@
+//===- core/policy/ReadyQueue.h - Locked ready queue -----------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The building block of the built-in policy managers: an intrusive list of
+/// Schedulable items with a spin lock and a lock-free emptiness probe. The
+/// paper's "Serialization" policy axis is about where instances of this
+/// structure sit (per VP vs. machine-global) and which operations bypass
+/// the lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_CORE_POLICY_READYQUEUE_H
+#define STING_CORE_POLICY_READYQUEUE_H
+
+#include "core/Schedulable.h"
+#include "support/SpinLock.h"
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+
+namespace sting {
+
+/// A locked FIFO/LIFO-capable ready queue.
+class ReadyQueue {
+public:
+  void pushBack(Schedulable &Item) {
+    std::lock_guard<SpinLock> Guard(Lock);
+    Items.pushBack(Item);
+    Size.fetch_add(1, std::memory_order_release);
+  }
+
+  void pushFront(Schedulable &Item) {
+    std::lock_guard<SpinLock> Guard(Lock);
+    Items.pushFront(Item);
+    Size.fetch_add(1, std::memory_order_release);
+  }
+
+  Schedulable *popFront() {
+    if (empty())
+      return nullptr;
+    std::lock_guard<SpinLock> Guard(Lock);
+    if (Items.empty())
+      return nullptr;
+    Size.fetch_sub(1, std::memory_order_release);
+    return &Items.popFront();
+  }
+
+  /// Moves roughly half of this queue's items (from the back) into \p Out;
+  /// the migration primitive of steal-half policies. \returns the count.
+  std::size_t popHalfInto(ReadyQueue &Out) {
+    std::lock_guard<SpinLock> Guard(Lock);
+    std::size_t N = Items.size();
+    std::size_t Take = N / 2 + (N % 2); // at least 1 when non-empty
+    std::size_t Taken = 0;
+    while (Taken != Take && !Items.empty()) {
+      Schedulable &Item = Items.popBack();
+      Size.fetch_sub(1, std::memory_order_release);
+      Out.pushFront(Item);
+      ++Taken;
+    }
+    return Taken;
+  }
+
+  bool empty() const { return Size.load(std::memory_order_acquire) == 0; }
+  std::size_t size() const { return Size.load(std::memory_order_acquire); }
+
+  void drainInto(const std::function<void(Schedulable &)> &Drop) {
+    std::lock_guard<SpinLock> Guard(Lock);
+    while (!Items.empty()) {
+      Size.fetch_sub(1, std::memory_order_release);
+      Drop(Items.popFront());
+    }
+  }
+
+private:
+  SpinLock Lock;
+  IntrusiveList<Schedulable, ReadyQueueTag> Items;
+  std::atomic<std::size_t> Size{0};
+};
+
+} // namespace sting
+
+#endif // STING_CORE_POLICY_READYQUEUE_H

@@ -1,0 +1,110 @@
+//===- core/policy/StealHalfPolicy.cpp - Two-level queues + migration ------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// The migration-capable policy from the paper's design discussion
+// (section 3.3): threads are classified by granularity — evaluating TCBs
+// live on a VP-private queue that is never a migration target, while
+// scheduled threads live on a public queue from which idle VPs steal half.
+// This realizes "only scheduled threads can be migrated ... the evaluating
+// thread queue is local to the VP on which it was created", which lets the
+// private queue skip ready-queue contention entirely.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PolicyManager.h"
+
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+#include "core/policy/ReadyQueue.h"
+
+#include <memory>
+#include <vector>
+
+namespace sting {
+
+namespace {
+
+class StealHalfPolicy;
+
+/// Registry shared by all instances so an idle VP can find victims.
+struct StealRegistry {
+  std::vector<StealHalfPolicy *> Members;
+};
+
+class StealHalfPolicy final : public PolicyManager {
+public:
+  StealHalfPolicy(VirtualMachine &Vm, unsigned VpIndex,
+                  std::shared_ptr<StealRegistry> Registry)
+      : Vm(&Vm), VpIndex(VpIndex), Registry(std::move(Registry)) {
+    if (this->Registry->Members.size() <= VpIndex)
+      this->Registry->Members.resize(VpIndex + 1, nullptr);
+    this->Registry->Members[VpIndex] = this;
+  }
+
+  Schedulable *getNextThread(VirtualProcessor &) override {
+    // Private (evaluating) work first: resuming a blocked thread preserves
+    // its warm TCB; then local public threads.
+    if (Schedulable *Item = Private.popFront())
+      return Item;
+    return Public.popFront();
+  }
+
+  void enqueueThread(Schedulable &Item, VirtualProcessor &,
+                     EnqueueReason) override {
+    // Granularity split: TCBs are pinned (their stacks and heaps are cached
+    // on this VP); raw threads are fair game for migration.
+    if (Item.isTcb())
+      Private.pushBack(Item);
+    else
+      Public.pushBack(Item);
+  }
+
+  bool hasReadyWork(const VirtualProcessor &) const override {
+    return !Private.empty() || !Public.empty();
+  }
+
+  Schedulable *vpIdle(VirtualProcessor &Vp) override {
+    // Dynamic load balancing: scan siblings (nearest first in index order)
+    // and steal half of the first non-empty public queue.
+    const auto &Members = Registry->Members;
+    const std::size_t N = Members.size();
+    for (std::size_t Hop = 1; Hop < N; ++Hop) {
+      StealHalfPolicy *Victim = Members[(VpIndex + Hop) % N];
+      if (!Victim || Victim == this || Victim->Public.empty())
+        continue;
+      if (Victim->Public.popHalfInto(Public) != 0) {
+        ++StealsPerformed;
+        Vp.vm().notifyWork();
+        return Public.popFront();
+      }
+    }
+    return nullptr;
+  }
+
+  void drain(VirtualProcessor &,
+             const std::function<void(Schedulable &)> &Drop) override {
+    Private.drainInto(Drop);
+    Public.drainInto(Drop);
+  }
+
+  std::uint64_t StealsPerformed = 0;
+
+private:
+  VirtualMachine *Vm;
+  unsigned VpIndex;
+  std::shared_ptr<StealRegistry> Registry;
+  ReadyQueue Private; ///< evaluating TCBs; never a migration target
+  ReadyQueue Public;  ///< scheduled threads; migratable
+};
+
+} // namespace
+
+PolicyFactory makeStealHalfPolicy() {
+  auto Registry = std::make_shared<StealRegistry>();
+  return [Registry](VirtualMachine &Vm, unsigned VpIndex) {
+    return std::make_unique<StealHalfPolicy>(Vm, VpIndex, Registry);
+  };
+}
+
+} // namespace sting

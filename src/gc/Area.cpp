@@ -1,0 +1,27 @@
+//===- gc/Area.cpp - Allocation areas --------------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Area.h"
+
+#include "support/Debug.h"
+
+#include <cstdlib>
+
+namespace sting {
+namespace gc {
+
+Area::Area(std::size_t Bytes) {
+  std::size_t Aligned = (Bytes + 15) & ~std::size_t(15);
+  Base = static_cast<char *>(std::aligned_alloc(16, Aligned));
+  STING_CHECK(Base, "area allocation failed");
+  Top = Base;
+  End = Base + Aligned;
+}
+
+Area::~Area() { std::free(Base); }
+
+} // namespace gc
+} // namespace sting

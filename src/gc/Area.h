@@ -1,0 +1,78 @@
+//===- gc/Area.h - Allocation areas ------------------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A contiguous bump-allocated region — the paper's "areas" (Fig. 1: each
+/// thread's storage is organized into areas; the VM address space also
+/// holds shared areas). Local heaps use a pair of areas as young
+/// semispaces; the global heap uses a list of areas as old-generation
+/// blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_GC_AREA_H
+#define STING_GC_AREA_H
+
+#include "gc/Value.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sting {
+namespace gc {
+
+/// A contiguous allocation region with bump allocation.
+class Area {
+public:
+  explicit Area(std::size_t Bytes);
+  ~Area();
+
+  Area(const Area &) = delete;
+  Area &operator=(const Area &) = delete;
+
+  /// Bump-allocates \p Bytes (8-aligned); returns null when full.
+  void *allocate(std::size_t Bytes) {
+    std::size_t Aligned = (Bytes + 7) & ~std::size_t(7);
+    if (Top + Aligned > End)
+      return nullptr;
+    void *Result = Top;
+    Top += Aligned;
+    return Result;
+  }
+
+  /// Empties the area (used when a semispace becomes the new to-space).
+  void reset() { Top = Base; }
+
+  bool contains(const void *P) const { return P >= Base && P < Top; }
+
+  std::size_t capacity() const { return static_cast<std::size_t>(End - Base); }
+  std::size_t used() const { return static_cast<std::size_t>(Top - Base); }
+  std::size_t remaining() const { return static_cast<std::size_t>(End - Top); }
+
+  char *base() const { return Base; }
+  char *top() const { return Top; }
+
+  /// Iterates the objects allocated in this area in address order.
+  /// \p Visit is called with each object header.
+  template <typename Fn> void forEachObject(Fn Visit) const {
+    char *P = Base;
+    while (P < Top) {
+      auto *O = reinterpret_cast<Object *>(P);
+      Visit(*O);
+      P += O->sizeInBytes();
+    }
+  }
+
+private:
+  char *Base;
+  char *Top;
+  char *End;
+};
+
+} // namespace gc
+} // namespace sting
+
+#endif // STING_GC_AREA_H

@@ -1,0 +1,24 @@
+//===- gc/Handles.cpp - Precise GC roots ------------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Handles.h"
+
+#include "gc/LocalHeap.h"
+
+namespace sting {
+namespace gc {
+
+HandleScope::HandleScope(LocalHeap &Heap) : Heap(Heap), Prev(Heap.Scopes) {
+  Heap.Scopes = this;
+}
+
+HandleScope::~HandleScope() {
+  STING_DCHECK(Heap.Scopes == this, "handle scopes destroyed out of order");
+  Heap.Scopes = Prev;
+}
+
+} // namespace gc
+} // namespace sting

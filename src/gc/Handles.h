@@ -1,0 +1,89 @@
+//===- gc/Handles.h - Precise GC roots ---------------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Precise roots for the per-thread scavenger. Orbit compiled Scheme with
+/// precise stack maps; a C++ host cannot scan its native stacks precisely,
+/// so mutators pin live values in HandleScopes (see the substitution table
+/// in DESIGN.md). A scope is a fixed-size frame of root slots chained from
+/// its LocalHeap; Handle<> wraps one slot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_GC_HANDLES_H
+#define STING_GC_HANDLES_H
+
+#include "gc/Value.h"
+
+#include <cstddef>
+
+namespace sting {
+namespace gc {
+
+class LocalHeap;
+
+/// A stack-allocated frame of GC root slots.
+class HandleScope {
+public:
+  static constexpr std::size_t Capacity = 64;
+
+  explicit HandleScope(LocalHeap &Heap);
+  ~HandleScope();
+
+  HandleScope(const HandleScope &) = delete;
+  HandleScope &operator=(const HandleScope &) = delete;
+
+  /// Registers \p V as a root; \returns the slot address (stable for the
+  /// scope's lifetime, updated in place by scavenges).
+  Value *pin(Value V) {
+    STING_CHECK(Used < Capacity, "HandleScope overflow");
+    Slots[Used] = V;
+    return &Slots[Used++];
+  }
+
+  LocalHeap &heap() const { return Heap; }
+
+  /// Root iteration for the scavenger.
+  Value *begin() { return Slots; }
+  Value *end() { return Slots + Used; }
+  HandleScope *previous() const { return Prev; }
+
+private:
+  LocalHeap &Heap;
+  HandleScope *Prev;
+  std::size_t Used = 0;
+  Value Slots[Capacity];
+};
+
+/// A rooted value living in the innermost HandleScope.
+class Handle {
+public:
+  Handle() = default;
+  Handle(HandleScope &Scope, Value V) : Slot(Scope.pin(V)) {}
+
+  Value get() const {
+    STING_DCHECK(Slot, "empty handle");
+    return *Slot;
+  }
+  void set(Value V) {
+    STING_DCHECK(Slot, "empty handle");
+    *Slot = V;
+  }
+
+  Object *object() const { return get().asObject(); }
+  bool empty() const { return Slot == nullptr; }
+
+  /// Address of the root slot (for APIs that update roots in place).
+  Value *slot() const { return Slot; }
+
+private:
+  Value *Slot = nullptr;
+};
+
+} // namespace gc
+} // namespace sting
+
+#endif // STING_GC_HANDLES_H

@@ -1,0 +1,236 @@
+//===- gc/HeapImage.cpp - Persistent heap images -------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Format (little-endian, 64-bit words unless noted):
+//   magic "STNGIMG1" | root count | object count
+//   per object: kind u8 | slot count u32 | byte length u64 |
+//               payload (tagged words for traced kinds, raw bytes else)
+//   root vector (tagged words)
+//
+// Tagged word encoding: fixnums and immediates keep their in-memory bits
+// (low tag 000/010); heap references are encoded as (index << 3) | 0b001;
+// foreign pointers are rejected at save time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/HeapImage.h"
+
+#include "gc/GlobalHeap.h"
+#include "gc/Object.h"
+#include "support/Debug.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace sting {
+namespace gc {
+
+namespace {
+
+constexpr char Magic[8] = {'S', 'T', 'N', 'G', 'I', 'M', 'G', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE *F) const {
+    if (F)
+      std::fclose(F);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool writeWord(std::FILE *F, std::uint64_t W) {
+  return std::fwrite(&W, sizeof(W), 1, F) == 1;
+}
+
+bool readWord(std::FILE *F, std::uint64_t &W) {
+  return std::fread(&W, sizeof(W), 1, F) == 1;
+}
+
+/// Assigns BFS indices to every reachable heap object.
+bool enumerate(std::span<const Value> Roots,
+               std::unordered_map<Object *, std::uint64_t> &Index,
+               std::vector<Object *> &Order) {
+  std::vector<Object *> Work;
+  auto Visit = [&](Value V) {
+    if (V.isForeign())
+      return false; // not persistable
+    if (!V.isObject())
+      return true;
+    Object *O = V.asObject();
+    if (Index.count(O))
+      return true;
+    Index.emplace(O, Order.size());
+    Order.push_back(O);
+    Work.push_back(O);
+    return true;
+  };
+
+  for (Value R : Roots)
+    if (!Visit(R))
+      return false;
+  while (!Work.empty()) {
+    Object *O = Work.back();
+    Work.pop_back();
+    if (!O->hasTracedSlots())
+      continue;
+    for (std::uint32_t I = 0, E = O->slotCount(); I != E; ++I)
+      if (!Visit(O->slot(I)))
+        return false;
+  }
+  return true;
+}
+
+std::uint64_t encodeValue(
+    Value V, const std::unordered_map<Object *, std::uint64_t> &Index) {
+  if (!V.isObject())
+    return V.raw();
+  auto It = Index.find(V.asObject());
+  STING_CHECK(It != Index.end(), "encoding unenumerated object");
+  return (It->second << 3) | 1;
+}
+
+} // namespace
+
+bool saveHeapImage(std::span<const Value> Roots, const char *Path) {
+  std::unordered_map<Object *, std::uint64_t> Index;
+  std::vector<Object *> Order;
+  if (!enumerate(Roots, Index, Order))
+    return false;
+
+  FilePtr F(std::fopen(Path, "wb"));
+  if (!F)
+    return false;
+
+  if (std::fwrite(Magic, sizeof(Magic), 1, F.get()) != 1)
+    return false;
+  if (!writeWord(F.get(), Roots.size()) ||
+      !writeWord(F.get(), Order.size()))
+    return false;
+
+  for (Object *O : Order) {
+    std::uint8_t Kind = static_cast<std::uint8_t>(O->kind());
+    if (std::fwrite(&Kind, 1, 1, F.get()) != 1)
+      return false;
+    std::uint32_t Slots = O->slotCount();
+    if (std::fwrite(&Slots, sizeof(Slots), 1, F.get()) != 1)
+      return false;
+    if (!writeWord(F.get(), O->byteLength()))
+      return false;
+
+    if (O->hasTracedSlots()) {
+      for (std::uint32_t I = 0; I != Slots; ++I)
+        if (!writeWord(F.get(), encodeValue(O->slot(I), Index)))
+          return false;
+    } else if (Slots != 0) {
+      if (std::fwrite(O->bytes(), std::size_t(Slots) * 8, 1, F.get()) != 1)
+        return false;
+    }
+  }
+
+  for (Value R : Roots)
+    if (!writeWord(F.get(), encodeValue(R, Index)))
+      return false;
+  return std::fflush(F.get()) == 0;
+}
+
+std::optional<std::vector<Value>> loadHeapImage(GlobalHeap &Heap,
+                                                const char *Path) {
+  FilePtr F(std::fopen(Path, "rb"));
+  if (!F)
+    return std::nullopt;
+
+  char Header[8];
+  if (std::fread(Header, sizeof(Header), 1, F.get()) != 1 ||
+      std::memcmp(Header, Magic, sizeof(Magic)) != 0)
+    return std::nullopt;
+
+  std::uint64_t RootCount = 0, ObjectCount = 0;
+  if (!readWord(F.get(), RootCount) || !readWord(F.get(), ObjectCount))
+    return std::nullopt;
+
+  // Pass 1: allocate every object (so references can be patched by index)
+  // and stash raw payloads. Symbols re-intern for identity.
+  std::vector<Object *> Objects(ObjectCount, nullptr);
+  struct PendingSlots {
+    Object *O;
+    std::vector<std::uint64_t> Encoded;
+  };
+  std::vector<PendingSlots> Patches;
+
+  for (std::uint64_t I = 0; I != ObjectCount; ++I) {
+    std::uint8_t KindByte = 0;
+    std::uint32_t Slots = 0;
+    std::uint64_t ByteLen = 0;
+    if (std::fread(&KindByte, 1, 1, F.get()) != 1 ||
+        std::fread(&Slots, sizeof(Slots), 1, F.get()) != 1 ||
+        !readWord(F.get(), ByteLen))
+      return std::nullopt;
+    auto Kind = static_cast<ObjectKind>(KindByte);
+
+    if (Kind == ObjectKind::Symbol) {
+      std::string Name(ByteLen, '\0');
+      std::vector<char> Buf(std::size_t(Slots) * 8);
+      if (Slots != 0 &&
+          std::fread(Buf.data(), Buf.size(), 1, F.get()) != 1)
+        return std::nullopt;
+      std::memcpy(Name.data(), Buf.data(), ByteLen);
+      Objects[I] = Heap.intern(Name).asObject();
+      continue;
+    }
+
+    Object *O = Heap.allocate(Kind, Slots);
+    O->setByteLength(ByteLen);
+    Objects[I] = O;
+
+    if (O->hasTracedSlots()) {
+      PendingSlots P;
+      P.O = O;
+      P.Encoded.resize(Slots);
+      for (std::uint32_t J = 0; J != Slots; ++J)
+        if (!readWord(F.get(), P.Encoded[J]))
+          return std::nullopt;
+      Patches.push_back(std::move(P));
+    } else if (Slots != 0) {
+      if (std::fread(O->bytes(), std::size_t(Slots) * 8, 1, F.get()) != 1)
+        return std::nullopt;
+    }
+  }
+
+  auto Decode = [&](std::uint64_t W) -> std::optional<Value> {
+    if ((W & 7) == 1) {
+      std::uint64_t Idx = W >> 3;
+      if (Idx >= Objects.size())
+        return std::nullopt;
+      return Value::object(Objects[Idx]);
+    }
+    return Value::fromRaw(W);
+  };
+
+  // Pass 2: patch references.
+  for (PendingSlots &P : Patches)
+    for (std::uint32_t J = 0; J != P.Encoded.size(); ++J) {
+      auto V = Decode(P.Encoded[J]);
+      if (!V)
+        return std::nullopt;
+      P.O->setSlotRaw(J, *V);
+    }
+
+  std::vector<Value> Roots;
+  Roots.reserve(RootCount);
+  for (std::uint64_t I = 0; I != RootCount; ++I) {
+    std::uint64_t W = 0;
+    if (!readWord(F.get(), W))
+      return std::nullopt;
+    auto V = Decode(W);
+    if (!V)
+      return std::nullopt;
+    Roots.push_back(*V);
+  }
+  return Roots;
+}
+
+} // namespace gc
+} // namespace sting

@@ -1,0 +1,50 @@
+//===- gc/HeapImage.h - Persistent heap images -------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Persistent long-lived objects (paper sections 1 and 6: the system
+/// "contains the necessary functionality to handle persistent long-lived
+/// objects"; the abstract machine is "intended to support long-lived
+/// applications, persistent objects, and multiple address spaces").
+///
+/// A heap image is the old-generation subgraph reachable from a root
+/// vector, serialized to a file. Loading reconstructs the graph in another
+/// (possibly fresh) old generation — symbols re-intern so identity-based
+/// matching (e.g. tuple tags) survives the round trip.
+///
+/// Values that name live runtime state (foreign pointers) are not
+/// persistable; save fails cleanly on them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_GC_HEAPIMAGE_H
+#define STING_GC_HEAPIMAGE_H
+
+#include "gc/Value.h"
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace sting {
+namespace gc {
+
+class GlobalHeap;
+
+/// Serializes the subgraph reachable from \p Roots into \p Path. All
+/// reachable heap values must live in the old generation (escape young
+/// data first). \returns false on I/O failure or unpersistable values.
+bool saveHeapImage(std::span<const Value> Roots, const char *Path);
+
+/// Loads an image into \p Heap. \returns the relocated root vector, or
+/// nullopt on failure (missing/corrupt file, version mismatch).
+std::optional<std::vector<Value>> loadHeapImage(GlobalHeap &Heap,
+                                                const char *Path);
+
+} // namespace gc
+} // namespace sting
+
+#endif // STING_GC_HEAPIMAGE_H

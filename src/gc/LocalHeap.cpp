@@ -1,0 +1,302 @@
+//===- gc/LocalHeap.cpp - Per-thread young generation ----------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Cheney scavenger with age-based promotion into the shared old generation.
+// Two gray sets: the classic to-space scan pointer for copied-young
+// survivors, and an explicit stack for objects promoted out of the young
+// area (the scan pointer cannot reach those).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/LocalHeap.h"
+
+#include "gc/GlobalHeap.h"
+
+#include <cstring>
+
+namespace sting {
+namespace gc {
+
+LocalHeap::LocalHeap(GlobalHeap &Global, std::size_t YoungBytes)
+    : Global(Global), From(std::make_unique<Area>(YoungBytes)),
+      To(std::make_unique<Area>(YoungBytes)) {}
+
+LocalHeap::~LocalHeap() {
+  STING_DCHECK(!Scopes, "LocalHeap destroyed with live handle scopes");
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation
+//===----------------------------------------------------------------------===//
+
+Object *LocalHeap::allocate(ObjectKind Kind, std::uint32_t SlotCount) {
+  const std::size_t Bytes = sizeof(Object) + std::size_t(SlotCount) * 8;
+
+  // Objects too large to scavenge profitably go straight to the old
+  // generation (they would otherwise be copied on every collection).
+  if (Bytes > From->capacity() / 4)
+    return Global.allocate(Kind, SlotCount);
+
+  void *P = From->allocate(Bytes);
+  if (!P) {
+    scavenge();
+    P = From->allocate(Bytes);
+    if (!P)
+      return Global.allocate(Kind, SlotCount); // young area truly full
+  }
+
+  auto *O = static_cast<Object *>(P);
+  O->initHeader(Kind, SlotCount);
+  if (O->hasTracedSlots()) {
+    for (std::uint32_t I = 0; I != SlotCount; ++I)
+      O->slots()[I] = Value::nil();
+  } else {
+    std::memset(static_cast<void *>(O->slots()), 0,
+                std::size_t(SlotCount) * 8);
+  }
+  ++Stats.ObjectsAllocated;
+  Stats.BytesAllocated += Bytes;
+  return O;
+}
+
+namespace {
+/// Pins constructor arguments for the duration of an allocation, which may
+/// scavenge and move whatever they point at.
+class AllocPin {
+public:
+  AllocPin(LocalHeap &Heap, Value &A) : Heap(Heap), A(&A) {
+    Heap.addRoot(&A);
+  }
+  AllocPin(LocalHeap &Heap, Value &A, Value &B) : Heap(Heap), A(&A), B(&B) {
+    Heap.addRoot(&A);
+    Heap.addRoot(&B);
+  }
+  ~AllocPin() {
+    if (B)
+      Heap.removeRoot(B);
+    Heap.removeRoot(A);
+  }
+
+private:
+  LocalHeap &Heap;
+  Value *A;
+  Value *B = nullptr;
+};
+} // namespace
+
+Value LocalHeap::cons(Value Car, Value Cdr) {
+  AllocPin Pin(*this, Car, Cdr);
+  Object *O = allocate(ObjectKind::Pair, 2);
+  O->setSlotRaw(0, Car);
+  O->setSlotRaw(1, Cdr);
+  // The heap that allocated O may be the *global* heap (large-object path);
+  // then young operands form old-to-young edges.
+  if (O->isInOld()) {
+    write(O, 0, Car);
+    write(O, 1, Cdr);
+  }
+  return Value::object(O);
+}
+
+Value LocalHeap::makeVector(std::uint32_t Length, Value Fill) {
+  AllocPin Pin(*this, Fill);
+  Object *O = allocate(ObjectKind::Vector, Length);
+  for (std::uint32_t I = 0; I != Length; ++I)
+    O->setSlotRaw(I, Fill);
+  if (O->isInOld() && Length != 0)
+    write(O, 0, Fill); // one remembered entry covers the uniform fill
+  return Value::object(O);
+}
+
+Value LocalHeap::makeString(std::string_view Text) {
+  const auto Words = static_cast<std::uint32_t>((Text.size() + 7) / 8);
+  Object *O = allocate(ObjectKind::String, Words);
+  O->setByteLength(Text.size());
+  std::memcpy(O->bytes(), Text.data(), Text.size());
+  return Value::object(O);
+}
+
+Value LocalHeap::makeBox(Value V) {
+  AllocPin Pin(*this, V);
+  Object *O = allocate(ObjectKind::Box, 1);
+  O->setSlotRaw(0, V);
+  if (O->isInOld())
+    write(O, 0, V);
+  return Value::object(O);
+}
+
+Value LocalHeap::makeRecord(Value Tag, std::uint32_t FieldCount, Value Fill) {
+  AllocPin Pin(*this, Tag, Fill);
+  Object *O = allocate(ObjectKind::Record, FieldCount + 1);
+  O->setSlotRaw(0, Tag);
+  for (std::uint32_t I = 0; I != FieldCount; ++I)
+    O->setSlotRaw(I + 1, Fill);
+  if (O->isInOld()) {
+    write(O, 0, Tag);
+    if (FieldCount != 0)
+      write(O, 1, Fill);
+  }
+  return Value::object(O);
+}
+
+//===----------------------------------------------------------------------===//
+// Write barrier
+//===----------------------------------------------------------------------===//
+
+void LocalHeap::write(Object *Container, std::uint32_t Index, Value V) {
+  Container->setSlotRaw(Index, V);
+  if (!Container->isInOld() || !V.isObject() || V.asObject()->isInOld())
+    return;
+  STING_DCHECK(contains(V.asObject()),
+               "old-to-young store targets another thread's young area; "
+               "cross-thread values must go through escape()");
+  Remembered.push_back(RememberedEntry{Container, Index});
+}
+
+//===----------------------------------------------------------------------===//
+// Roots
+//===----------------------------------------------------------------------===//
+
+void LocalHeap::addRoot(Value *Slot) { ExternalRoots.push_back(Slot); }
+
+void LocalHeap::removeRoot(Value *Slot) {
+  for (auto It = ExternalRoots.begin(); It != ExternalRoots.end(); ++It) {
+    if (*It != Slot)
+      continue;
+    ExternalRoots.erase(It);
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scavenging
+//===----------------------------------------------------------------------===//
+
+Value LocalHeap::evacuate(Value V, bool ForcePromote) {
+  if (!V.isObject())
+    return V;
+  Object *O = V.asObject();
+  if (O->isInOld())
+    return V;
+  if (To->contains(O))
+    return V; // already a to-space copy from this cycle
+  STING_DCHECK(From->contains(O), "evacuating a foreign young object");
+  if (O->isForwarded())
+    return Value::object(O->forwardedTo());
+
+  const std::size_t Bytes = O->sizeInBytes();
+  const bool Promote =
+      ForcePromote || std::uint8_t(O->age() + 1) >= PromoteAge;
+
+  Object *Copy;
+  if (Promote) {
+    Copy = Global.allocate(O->kind(), O->slotCount());
+    std::memcpy(Copy->slots(), O->slots(),
+                std::size_t(O->slotCount()) * 8);
+    // Carry the aux word (byte length of strings; O is not forwarded yet).
+    Copy->setByteLength(O->byteLength());
+    Stats.BytesPromoted += Bytes;
+    PromotedGray.push_back(Copy);
+  } else {
+    void *P = To->allocate(Bytes);
+    STING_CHECK(P, "to-space overflow (semispaces are equal-sized)");
+    std::memcpy(P, O, Bytes);
+    Copy = static_cast<Object *>(P);
+    Copy->bumpAge();
+    Stats.BytesCopied += Bytes;
+  }
+  O->setForwarded(Copy);
+  return Value::object(Copy);
+}
+
+void LocalHeap::scanObject(Object &O, bool InOld, bool ForcePromote) {
+  if (!O.hasTracedSlots())
+    return;
+  for (std::uint32_t I = 0, E = O.slotCount(); I != E; ++I) {
+    Value V = O.slots()[I];
+    if (!V.isObject() || V.asObject()->isInOld())
+      continue;
+    Value Moved = evacuate(V, ForcePromote);
+    O.slots()[I] = Moved;
+    if (InOld && Moved.isObject() && !Moved.asObject()->isInOld())
+      Remembered.push_back(RememberedEntry{&O, I});
+  }
+}
+
+void LocalHeap::scavenge() { scavengeWith(nullptr); }
+
+Value LocalHeap::escape(Value V) {
+  if (!V.isObject() || V.asObject()->isInOld())
+    return V;
+  ++Stats.Escapes;
+  Value Root = V;
+  scavengeWith(&Root);
+  STING_DCHECK(!Root.isObject() || Root.asObject()->isInOld(),
+               "escape left a young value");
+  return Root;
+}
+
+void LocalHeap::scavengeWith(Value *EscapeRoot) {
+  STING_CHECK(!Collecting, "recursive scavenge (allocation during GC?)");
+  Collecting = true;
+  ++Stats.Scavenges;
+
+  To->reset();
+  char *Scan = To->base();
+
+  auto DrainGray = [&](bool Force) {
+    for (;;) {
+      bool Progress = false;
+      while (Scan < To->top()) {
+        auto *O = reinterpret_cast<Object *>(Scan);
+        Scan += O->sizeInBytes();
+        scanObject(*O, /*InOld=*/false, Force);
+        Progress = true;
+      }
+      while (!PromotedGray.empty()) {
+        Object *O = PromotedGray.back();
+        PromotedGray.pop_back();
+        scanObject(*O, /*InOld=*/true, Force);
+        Progress = true;
+      }
+      if (!Progress)
+        return;
+    }
+  };
+
+  // Phase 1: the escape root's subgraph is promoted wholesale, before any
+  // other root can pin part of it in to-space.
+  if (EscapeRoot) {
+    *EscapeRoot = evacuate(*EscapeRoot, /*ForcePromote=*/true);
+    DrainGray(/*Force=*/true);
+  }
+
+  // Phase 2: ordinary roots — handle scopes, registered slots, and the
+  // remembered set of old-to-young references.
+  for (HandleScope *Scope = Scopes; Scope; Scope = Scope->previous())
+    for (Value *Slot = Scope->begin(); Slot != Scope->end(); ++Slot)
+      *Slot = evacuate(*Slot, /*ForcePromote=*/false);
+  for (Value *Slot : ExternalRoots)
+    *Slot = evacuate(*Slot, /*ForcePromote=*/false);
+
+  std::vector<RememberedEntry> OldEntries;
+  OldEntries.swap(Remembered);
+  for (const RememberedEntry &E : OldEntries) {
+    Value V = E.Container->slots()[E.Index];
+    if (!V.isObject() || V.asObject()->isInOld())
+      continue; // overwritten since recorded
+    Value Moved = evacuate(V, /*ForcePromote=*/false);
+    E.Container->slots()[E.Index] = Moved;
+    if (Moved.isObject() && !Moved.asObject()->isInOld())
+      Remembered.push_back(E); // still young: keep tracking
+  }
+
+  DrainGray(/*Force=*/false);
+
+  std::swap(From, To);
+  Collecting = false;
+}
+
+} // namespace gc
+} // namespace sting

@@ -1,0 +1,156 @@
+//===- gc/LocalHeap.h - Per-thread young generation --------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-thread storage of paper section 2 item 3: "A thread allocates
+/// data on a stack and heap that it manages exclusively. Thus, threads
+/// garbage collect their state independently of one another; no global
+/// synchronization is necessary in order for a thread to initiate a
+/// garbage collection."
+///
+/// A LocalHeap is a pair of young semispaces plus a remembered set of
+/// old-to-young slots. Scavenges are Cheney copies rooted at the heap's
+/// handle scopes, registered root ranges and remembered set; survivors age
+/// and are promoted into the machine's shared older generation. Values
+/// escaping to other threads are promoted eagerly via escape() (see the
+/// substitution table in DESIGN.md for how this realizes the paper's
+/// inter-area reference discipline).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_GC_LOCALHEAP_H
+#define STING_GC_LOCALHEAP_H
+
+#include "gc/Area.h"
+#include "gc/Handles.h"
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace sting {
+namespace gc {
+
+class GlobalHeap;
+
+/// Per-heap statistics surfaced to tests and benchmarks.
+struct LocalHeapStats {
+  std::uint64_t Scavenges = 0;
+  std::uint64_t BytesCopied = 0;
+  std::uint64_t BytesPromoted = 0;
+  std::uint64_t ObjectsAllocated = 0;
+  std::uint64_t BytesAllocated = 0;
+  std::uint64_t Escapes = 0;
+};
+
+/// A thread's private young generation.
+class LocalHeap {
+public:
+  /// Survivors of this many scavenges are promoted to the old generation.
+  static constexpr std::uint8_t PromoteAge = 2;
+
+  explicit LocalHeap(GlobalHeap &Global,
+                     std::size_t YoungBytes = 256 * 1024);
+  ~LocalHeap();
+
+  LocalHeap(const LocalHeap &) = delete;
+  LocalHeap &operator=(const LocalHeap &) = delete;
+
+  GlobalHeap &global() const { return Global; }
+
+  // --- Allocation ---------------------------------------------------------
+
+  /// Allocates a young object, scavenging on exhaustion. Objects too large
+  /// for the young area go straight to the old generation.
+  Object *allocate(ObjectKind Kind, std::uint32_t SlotCount);
+
+  Value cons(Value Car, Value Cdr);
+  Value makeVector(std::uint32_t Length, Value Fill);
+  Value makeString(std::string_view Text);
+  Value makeBox(Value V);
+  /// A Record's slot 0 is a tag; the remaining slots are fields.
+  Value makeRecord(Value Tag, std::uint32_t FieldCount, Value Fill);
+
+  // --- Mutation (write barrier) -------------------------------------------
+
+  /// Stores \p V into \p Container's slot \p Index, recording an
+  /// old-to-young reference when needed. The container must belong to this
+  /// thread's heap or be thread-confined old data (cross-thread containers
+  /// take escaped values — see escape()).
+  void write(Object *Container, std::uint32_t Index, Value V);
+
+  // --- Collection -----------------------------------------------------------
+
+  /// Independent minor collection: Cheney-copies the live young graph,
+  /// promoting survivors that reached PromoteAge. No other thread is
+  /// stopped or consulted.
+  void scavenge();
+
+  /// Promotes \p V's whole young subgraph to the shared old generation and
+  /// returns the (old) value — the hand-off point for data escaping to
+  /// another thread. Internally a scavenge with \p V as a must-promote
+  /// root, so every local reference is forwarded consistently.
+  Value escape(Value V);
+
+  // --- Roots ----------------------------------------------------------------
+
+  /// Registers an external root slot (e.g. a C++ structure holding a young
+  /// value). Prefer HandleScope for lexically scoped roots.
+  void addRoot(Value *Slot);
+  void removeRoot(Value *Slot);
+
+  bool contains(const void *P) const {
+    return From->contains(P) || To->contains(P);
+  }
+
+  const LocalHeapStats &stats() const { return Stats; }
+  std::size_t usedBytes() const { return From->used(); }
+  std::size_t capacityBytes() const { return From->capacity(); }
+
+private:
+  friend class HandleScope;
+
+  /// Copies \p V's target out of from-space if needed; \returns the
+  /// relocated value. \p ForcePromote sends survivors straight to the old
+  /// generation regardless of age (escape promotion).
+  Value evacuate(Value V, bool ForcePromote);
+
+  /// Scans one gray object's slots, evacuating young targets; records
+  /// old-to-young slots in the remembered set.
+  void scanObject(Object &O, bool InOld, bool ForcePromote);
+
+  void scavengeWith(Value *EscapeRoot);
+
+  GlobalHeap &Global;
+  std::unique_ptr<Area> From;
+  std::unique_ptr<Area> To;
+
+  HandleScope *Scopes = nullptr;
+  std::vector<Value *> ExternalRoots;
+
+  /// An old-generation slot currently pointing at this heap's young
+  /// objects. (Container, Index) pairs rather than raw slot addresses so
+  /// full collections can prune entries whose container died.
+  struct RememberedEntry {
+    Object *Container;
+    std::uint32_t Index;
+  };
+  friend class GlobalHeap;
+  std::vector<RememberedEntry> Remembered;
+
+  /// Gray stack for promoted objects (they live outside to-space, so the
+  /// Cheney scan pointer cannot reach them).
+  std::vector<Object *> PromotedGray;
+
+  LocalHeapStats Stats;
+  bool Collecting = false;
+};
+
+} // namespace gc
+} // namespace sting
+
+#endif // STING_GC_LOCALHEAP_H

@@ -1,0 +1,216 @@
+//===- gc/Object.cpp - Value utilities --------------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Object.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace sting {
+namespace gc {
+
+std::string_view textOf(Value V) {
+  Object *O = V.asObject();
+  STING_DCHECK(O->kind() == ObjectKind::String ||
+                   O->kind() == ObjectKind::Symbol ||
+                   O->kind() == ObjectKind::Bytes,
+               "textOf on a non-text object");
+  return std::string_view(O->bytes(), O->byteLength());
+}
+
+bool valueEqual(Value A, Value B) {
+  if (A == B)
+    return true; // eq? fast path covers fixnums, immediates, identity
+  if (!A.isObject() || !B.isObject())
+    return false;
+  Object *OA = A.asObject();
+  Object *OB = B.asObject();
+  if (OA->kind() != OB->kind())
+    return false;
+
+  switch (OA->kind()) {
+  case ObjectKind::String:
+  case ObjectKind::Bytes:
+    return OA->byteLength() == OB->byteLength() &&
+           std::memcmp(OA->bytes(), OB->bytes(), OA->byteLength()) == 0;
+  case ObjectKind::Symbol:
+    return false; // interned: identity already failed
+  case ObjectKind::Pair:
+    return valueEqual(OA->slot(0), OB->slot(0)) &&
+           valueEqual(OA->slot(1), OB->slot(1));
+  case ObjectKind::Box:
+    return valueEqual(OA->slot(0), OB->slot(0));
+  case ObjectKind::Vector:
+  case ObjectKind::Record: {
+    if (OA->slotCount() != OB->slotCount())
+      return false;
+    for (std::uint32_t I = 0, E = OA->slotCount(); I != E; ++I)
+      if (!valueEqual(OA->slot(I), OB->slot(I)))
+        return false;
+    return true;
+  }
+  case ObjectKind::FreeChunk:
+    return false;
+  }
+  STING_UNREACHABLE("bad object kind");
+}
+
+static std::uint64_t hashMix(std::uint64_t H, std::uint64_t V) {
+  H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  return H;
+}
+
+static std::uint64_t hashBytes(const char *P, std::size_t N) {
+  // FNV-1a.
+  std::uint64_t H = 1469598103934665603ull;
+  for (std::size_t I = 0; I != N; ++I) {
+    H ^= static_cast<unsigned char>(P[I]);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::uint64_t valueHash(Value V) {
+  if (!V.isObject())
+    return hashMix(0x5b, V.raw());
+  Object *O = V.asObject();
+  switch (O->kind()) {
+  case ObjectKind::String:
+  case ObjectKind::Bytes:
+  case ObjectKind::Symbol:
+    return hashBytes(O->bytes(), O->byteLength());
+  case ObjectKind::Pair:
+    return hashMix(valueHash(O->slot(0)), valueHash(O->slot(1)));
+  case ObjectKind::Box:
+    return hashMix(0xb0, valueHash(O->slot(0)));
+  case ObjectKind::Vector:
+  case ObjectKind::Record: {
+    std::uint64_t H = 0x7ec + O->slotCount();
+    for (std::uint32_t I = 0, E = O->slotCount(); I != E; ++I)
+      H = hashMix(H, valueHash(O->slot(I)));
+    return H;
+  }
+  case ObjectKind::FreeChunk:
+    return 0;
+  }
+  STING_UNREACHABLE("bad object kind");
+}
+
+std::size_t listLength(Value List) {
+  std::size_t N = 0;
+  while (!List.isNil()) {
+    STING_DCHECK(isPair(List), "listLength on an improper list");
+    ++N;
+    List = cdr(List);
+  }
+  return N;
+}
+
+Value listRef(Value List, std::size_t Index) {
+  while (Index--) {
+    STING_DCHECK(isPair(List), "listRef past end of list");
+    List = cdr(List);
+  }
+  STING_DCHECK(isPair(List), "listRef past end of list");
+  return car(List);
+}
+
+static void renderValue(Value V, std::string &Out, int Depth) {
+  if (Depth > 16) {
+    Out += "...";
+    return;
+  }
+  if (V.isFixnum()) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld",
+                  static_cast<long long>(V.asFixnum()));
+    Out += Buf;
+    return;
+  }
+  if (V.isNil()) {
+    Out += "()";
+    return;
+  }
+  if (V.isTrue()) {
+    Out += "#t";
+    return;
+  }
+  if (V.isFalse()) {
+    Out += "#f";
+    return;
+  }
+  if (V.isUnspecified()) {
+    Out += "#unspecified";
+    return;
+  }
+  if (V.isForeign()) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "#<foreign %p>", V.asForeign());
+    Out += Buf;
+    return;
+  }
+
+  Object *O = V.asObject();
+  switch (O->kind()) {
+  case ObjectKind::String:
+    Out += '"';
+    Out.append(O->bytes(), O->byteLength());
+    Out += '"';
+    return;
+  case ObjectKind::Symbol:
+    Out.append(O->bytes(), O->byteLength());
+    return;
+  case ObjectKind::Bytes:
+    Out += "#<bytes>";
+    return;
+  case ObjectKind::Box:
+    Out += "#&";
+    renderValue(O->slot(0), Out, Depth + 1);
+    return;
+  case ObjectKind::Pair: {
+    Out += '(';
+    Value Cur = V;
+    bool First = true;
+    while (isPair(Cur)) {
+      if (!First)
+        Out += ' ';
+      First = false;
+      renderValue(car(Cur), Out, Depth + 1);
+      Cur = cdr(Cur);
+    }
+    if (!Cur.isNil()) {
+      Out += " . ";
+      renderValue(Cur, Out, Depth + 1);
+    }
+    Out += ')';
+    return;
+  }
+  case ObjectKind::Vector:
+  case ObjectKind::Record: {
+    Out += O->kind() == ObjectKind::Vector ? "#(" : "#<record ";
+    for (std::uint32_t I = 0, E = O->slotCount(); I != E; ++I) {
+      if (I)
+        Out += ' ';
+      renderValue(O->slot(I), Out, Depth + 1);
+    }
+    Out += O->kind() == ObjectKind::Vector ? ")" : ">";
+    return;
+  }
+  case ObjectKind::FreeChunk:
+    Out += "#<free>";
+    return;
+  }
+  STING_UNREACHABLE("bad object kind");
+}
+
+std::string valueToString(Value V) {
+  std::string Out;
+  renderValue(V, Out, 0);
+  return Out;
+}
+
+} // namespace gc
+} // namespace sting

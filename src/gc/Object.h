@@ -1,0 +1,56 @@
+//===- gc/Object.h - Value utilities -----------------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Non-allocating utilities over tagged values: structural equality,
+/// hashing, list traversal and debug formatting. Allocation lives on the
+/// heaps (LocalHeap / GlobalHeap); this header is pure inspection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_GC_OBJECT_H
+#define STING_GC_OBJECT_H
+
+#include "gc/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sting {
+namespace gc {
+
+/// Structural equality (Scheme's equal?): fixnums and immediates by value,
+/// strings by content, symbols and foreigns by identity, pairs/vectors/
+/// boxes/records recursively.
+bool valueEqual(Value A, Value B);
+
+/// Structural hash consistent with valueEqual.
+std::uint64_t valueHash(Value V);
+
+/// String/symbol content view.
+std::string_view textOf(Value V);
+
+/// Pair accessors.
+inline Value car(Value V) { return V.asObject()->slot(0); }
+inline Value cdr(Value V) { return V.asObject()->slot(1); }
+inline bool isPair(Value V) {
+  return V.isObject() && V.asObject()->kind() == ObjectKind::Pair;
+}
+
+/// Length of a proper list; aborts on improper lists in debug builds.
+std::size_t listLength(Value List);
+
+/// \returns element \p Index of a proper list.
+Value listRef(Value List, std::size_t Index);
+
+/// Debug rendering ("(1 2 . 3)", "#(1 2)", "\"text\"", ...).
+std::string valueToString(Value V);
+
+} // namespace gc
+} // namespace sting
+
+#endif // STING_GC_OBJECT_H

@@ -1,0 +1,256 @@
+//===- gc/Value.h - Tagged values and heap objects --------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tagged value model of the storage substrate (paper section 2 item 3
+/// and Fig. 1). The coordination language manages heap data for the
+/// computation language; here a compact Scheme-like value universe stands
+/// in for Orbit's object model (see the substitution table in DESIGN.md).
+///
+/// Encoding (64-bit words, 3-bit low tags):
+///   000  fixnum        payload = value << 3 (61-bit signed)
+///   001  heap pointer  payload = 8-aligned Object address
+///   010  immediate     nil / true / false / unspecified
+///   011  foreign       8-aligned pointer the collector never traces
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_GC_VALUE_H
+#define STING_GC_VALUE_H
+
+#include "support/Debug.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sting {
+namespace gc {
+
+class Object;
+
+/// A tagged 64-bit value.
+class Value {
+  static constexpr std::uint64_t TagMask = 7;
+  static constexpr std::uint64_t FixnumTag = 0;
+  static constexpr std::uint64_t HeapTag = 1;
+  static constexpr std::uint64_t ImmediateTag = 2;
+  static constexpr std::uint64_t ForeignTag = 3;
+
+  enum ImmediateCode : std::uint64_t {
+    ImmNil = 0,
+    ImmTrue = 1,
+    ImmFalse = 2,
+    ImmUnspecified = 3,
+  };
+
+public:
+  /// Default: nil.
+  constexpr Value() : Bits(ImmediateTag) {}
+
+  static constexpr Value fixnum(std::int64_t N) {
+    return Value(static_cast<std::uint64_t>(N) << 3);
+  }
+  static constexpr Value nil() {
+    return Value((ImmNil << 3) | ImmediateTag);
+  }
+  static constexpr Value trueValue() {
+    return Value((ImmTrue << 3) | ImmediateTag);
+  }
+  static constexpr Value falseValue() {
+    return Value((ImmFalse << 3) | ImmediateTag);
+  }
+  static constexpr Value unspecified() {
+    return Value((ImmUnspecified << 3) | ImmediateTag);
+  }
+  static Value boolean(bool B) { return B ? trueValue() : falseValue(); }
+
+  static Value object(Object *O) {
+    auto P = reinterpret_cast<std::uint64_t>(O);
+    STING_DCHECK((P & TagMask) == 0, "unaligned object pointer");
+    return Value(P | HeapTag);
+  }
+
+  static Value foreign(void *P) {
+    auto Bits = reinterpret_cast<std::uint64_t>(P);
+    STING_DCHECK((Bits & TagMask) == 0, "unaligned foreign pointer");
+    return Value(Bits | ForeignTag);
+  }
+
+  bool isFixnum() const { return (Bits & TagMask) == FixnumTag; }
+  bool isObject() const { return (Bits & TagMask) == HeapTag; }
+  bool isImmediate() const { return (Bits & TagMask) == ImmediateTag; }
+  bool isForeign() const { return (Bits & TagMask) == ForeignTag; }
+
+  bool isNil() const { return Bits == nil().Bits; }
+  bool isTrue() const { return Bits == trueValue().Bits; }
+  bool isFalse() const { return Bits == falseValue().Bits; }
+  bool isUnspecified() const { return Bits == unspecified().Bits; }
+
+  /// Scheme truthiness: everything but #f is true.
+  bool isTruthy() const { return !isFalse(); }
+
+  std::int64_t asFixnum() const {
+    STING_DCHECK(isFixnum(), "asFixnum on non-fixnum");
+    return static_cast<std::int64_t>(Bits) >> 3;
+  }
+
+  Object *asObject() const {
+    STING_DCHECK(isObject(), "asObject on non-object");
+    return reinterpret_cast<Object *>(Bits & ~TagMask);
+  }
+
+  void *asForeign() const {
+    STING_DCHECK(isForeign(), "asForeign on non-foreign");
+    return reinterpret_cast<void *>(Bits & ~TagMask);
+  }
+
+  std::uint64_t raw() const { return Bits; }
+  static Value fromRaw(std::uint64_t Raw) { return Value(Raw); }
+
+  /// Identity comparison (eq?): same bits.
+  bool operator==(const Value &RHS) const { return Bits == RHS.Bits; }
+
+private:
+  constexpr explicit Value(std::uint64_t Bits) : Bits(Bits) {}
+  std::uint64_t Bits;
+};
+
+static_assert(sizeof(Value) == 8, "values are single words");
+
+/// Kinds of heap objects.
+enum class ObjectKind : std::uint8_t {
+  Pair,     ///< car, cdr (2 traced slots)
+  Vector,   ///< N traced slots
+  Box,      ///< 1 traced slot (mutable cell)
+  String,   ///< raw bytes; slot 0 holds the byte length as a raw word
+  Symbol,   ///< interned string; layout as String
+  Bytes,    ///< raw bytes; layout as String
+  Record,   ///< traced slots with a leading tag slot (closures, structs)
+  FreeChunk ///< swept space inside an old-generation block
+};
+
+/// Object header flag bits.
+enum ObjectFlags : std::uint8_t {
+  FlagForwarded = 1 << 0, ///< slot 0 holds the forwarding pointer
+  FlagInOld = 1 << 1,     ///< lives in the shared older generation
+  FlagMarked = 1 << 2,    ///< mark bit for full collections
+};
+
+/// A heap object: a 16-byte header followed by SlotCount 8-byte payload
+/// words. Pair/Vector/Box/Record payload words are traced Values; String/
+/// Symbol/Bytes payloads are raw data whose byte length lives in the
+/// header's aux word. The aux word doubles as the forwarding pointer so
+/// that even zero-slot objects can be forwarded in place.
+class Object {
+public:
+  ObjectKind kind() const { return Kind; }
+  void setKind(ObjectKind K) { Kind = K; }
+
+  std::uint32_t slotCount() const { return SlotCount; }
+
+  bool isForwarded() const { return Flags & FlagForwarded; }
+  bool isInOld() const { return Flags & FlagInOld; }
+  bool isMarked() const { return Flags & FlagMarked; }
+
+  void setForwarded(Object *To) {
+    Flags |= FlagForwarded;
+    Aux = reinterpret_cast<std::uint64_t>(To);
+  }
+  Object *forwardedTo() const {
+    STING_DCHECK(isForwarded(), "not forwarded");
+    return reinterpret_cast<Object *>(Aux);
+  }
+
+  void setInOld() { Flags |= FlagInOld; }
+  void setMarked(bool M) {
+    if (M)
+      Flags |= FlagMarked;
+    else
+      Flags &= static_cast<std::uint8_t>(~FlagMarked);
+  }
+
+  std::uint8_t age() const { return Age; }
+  void bumpAge() {
+    if (Age != 255)
+      ++Age;
+  }
+
+  /// Payload access.
+  Value *slots() {
+    return reinterpret_cast<Value *>(reinterpret_cast<char *>(this) +
+                                     sizeof(Object));
+  }
+  const Value *slots() const {
+    return const_cast<Object *>(this)->slots();
+  }
+
+  Value slot(std::uint32_t I) const {
+    STING_DCHECK(I < SlotCount, "slot index out of range");
+    return slots()[I];
+  }
+
+  /// Raw (untraced) store; use the heap's write-barriered store for
+  /// mutations after construction.
+  void setSlotRaw(std::uint32_t I, Value V) {
+    STING_DCHECK(I < SlotCount, "slot index out of range");
+    slots()[I] = V;
+  }
+
+  /// Raw byte payload of String/Symbol/Bytes.
+  char *bytes() { return reinterpret_cast<char *>(slots()); }
+  const char *bytes() const {
+    return reinterpret_cast<const char *>(slots());
+  }
+  std::size_t byteLength() const { return static_cast<std::size_t>(Aux); }
+  void setByteLength(std::size_t N) { Aux = N; }
+
+  /// True when the payload words are traced Values.
+  bool hasTracedSlots() const {
+    switch (Kind) {
+    case ObjectKind::Pair:
+    case ObjectKind::Vector:
+    case ObjectKind::Box:
+    case ObjectKind::Record:
+      return true;
+    case ObjectKind::String:
+    case ObjectKind::Symbol:
+    case ObjectKind::Bytes:
+    case ObjectKind::FreeChunk:
+      return false;
+    }
+    STING_UNREACHABLE("bad object kind");
+  }
+
+  /// Total size in bytes including the header.
+  std::size_t sizeInBytes() const {
+    return sizeof(Object) + std::size_t(SlotCount) * 8;
+  }
+
+  /// Header initialization; used by the heaps only.
+  void initHeader(ObjectKind K, std::uint32_t Slots) {
+    Kind = K;
+    Flags = 0;
+    Age = 0;
+    Pad = 0;
+    SlotCount = Slots;
+    Aux = 0;
+  }
+
+private:
+  ObjectKind Kind;
+  std::uint8_t Flags;
+  std::uint8_t Age;
+  std::uint8_t Pad;
+  std::uint32_t SlotCount;
+  std::uint64_t Aux;
+};
+
+static_assert(sizeof(Object) == 16, "object header is two words");
+
+} // namespace gc
+} // namespace sting
+
+#endif // STING_GC_VALUE_H

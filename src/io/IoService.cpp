@@ -1,0 +1,206 @@
+//===- io/IoService.cpp - Non-blocking I/O for threads -----------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/IoService.h"
+
+#include "core/Current.h"
+#include "core/Tcb.h"
+#include "core/ThreadController.h"
+#include "core/VirtualProcessor.h"
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+namespace sting {
+
+IoService::IoService() {
+  EpollFd = epoll_create1(EPOLL_CLOEXEC);
+  STING_CHECK(EpollFd >= 0, "epoll_create1 failed");
+  WakeFd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  STING_CHECK(WakeFd >= 0, "eventfd failed");
+
+  epoll_event Ev{};
+  Ev.events = EPOLLIN;
+  Ev.data.fd = WakeFd;
+  int Rc = epoll_ctl(EpollFd, EPOLL_CTL_ADD, WakeFd, &Ev);
+  STING_CHECK(Rc == 0, "epoll_ctl(wake) failed");
+
+  Poller = std::thread([this] { pollerLoop(); });
+}
+
+IoService::~IoService() {
+  Stopping.store(true, std::memory_order_release);
+  wake();
+  if (Poller.joinable())
+    Poller.join();
+  close(WakeFd);
+  close(EpollFd);
+}
+
+bool IoService::makeNonBlocking(int Fd) {
+  int Flags = fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0)
+    return false;
+  return fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+void IoService::wake() {
+  std::uint64_t One = 1;
+  [[maybe_unused]] ssize_t Rc = ::write(WakeFd, &One, sizeof(One));
+}
+
+/// (Re)arms oneshot interest in \p Fd for the union of pending waiters'
+/// events. Caller holds Lock.
+void IoService::arm(int Fd) {
+  std::uint32_t Events = EPOLLONESHOT;
+  for (const Waiter &W : Waiters[Fd])
+    Events |= W.Event == IoEvent::Readable ? EPOLLIN : EPOLLOUT;
+
+  epoll_event Ev{};
+  Ev.events = Events;
+  Ev.data.fd = Fd;
+  if (epoll_ctl(EpollFd, EPOLL_CTL_MOD, Fd, &Ev) == 0)
+    return;
+  int Rc = epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev);
+  STING_CHECK(Rc == 0 || errno == EEXIST, "epoll_ctl(add) failed");
+}
+
+void IoService::await(int Fd, IoEvent Event) {
+  STING_CHECK(onStingThread(), "IoService::await outside a sting thread");
+  Tcb &Self = *currentTcb();
+  {
+    std::lock_guard<SpinLock> Guard(Lock);
+    Waiter W;
+    W.Parked = &Self;
+    W.Event = Event;
+    Waiters[Fd].push_back(std::move(W));
+    arm(Fd);
+  }
+  Stats.Waits.fetch_add(1, std::memory_order_relaxed);
+  ThreadController::parkCurrent(ParkClass::Kernel, this);
+}
+
+void IoService::onReadable(int Fd, UniqueFunction<void()> Callback) {
+  STING_CHECK(onStingThread(),
+              "IoService::onReadable outside a sting thread");
+  std::lock_guard<SpinLock> Guard(Lock);
+  Waiter W;
+  W.Callback = std::move(Callback);
+  W.Vp = currentVp();
+  W.Event = IoEvent::Readable;
+  Waiters[Fd].push_back(std::move(W));
+  arm(Fd);
+}
+
+void IoService::pollerLoop() {
+  epoll_event Events[16];
+  while (!Stopping.load(std::memory_order_acquire)) {
+    int N = epoll_wait(EpollFd, Events, 16, /*timeout ms=*/100);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    for (int I = 0; I != N; ++I) {
+      int Fd = Events[I].data.fd;
+      if (Fd == WakeFd) {
+        std::uint64_t Drain;
+        while (::read(WakeFd, &Drain, sizeof(Drain)) > 0) {
+        }
+        continue;
+      }
+
+      const bool Readable =
+          Events[I].events & (EPOLLIN | EPOLLHUP | EPOLLERR);
+      const bool Writable =
+          Events[I].events & (EPOLLOUT | EPOLLHUP | EPOLLERR);
+
+      std::vector<Waiter> Ready;
+      {
+        std::lock_guard<SpinLock> Guard(Lock);
+        auto It = Waiters.find(Fd);
+        if (It == Waiters.end())
+          continue;
+        auto &List = It->second;
+        for (std::size_t J = 0; J != List.size();) {
+          bool Matches = List[J].Event == IoEvent::Readable ? Readable
+                                                            : Writable;
+          if (!Matches) {
+            ++J;
+            continue;
+          }
+          Ready.push_back(std::move(List[J]));
+          List.erase(List.begin() + static_cast<std::ptrdiff_t>(J));
+        }
+        if (List.empty())
+          Waiters.erase(It);
+        else
+          arm(Fd); // remaining waiters keep their interest
+      }
+
+      for (Waiter &W : Ready) {
+        if (W.Parked) {
+          Stats.Wakeups.fetch_add(1, std::memory_order_relaxed);
+          ThreadController::unparkTcb(*W.Parked,
+                                      EnqueueReason::KernelBlock);
+          continue;
+        }
+        Stats.Callbacks.fetch_add(1, std::memory_order_relaxed);
+        SpawnOptions Opts;
+        Opts.Vp = W.Vp;
+        ThreadController::forkThread(
+            [Cb = std::move(W.Callback)]() mutable -> AnyValue {
+              Cb();
+              return AnyValue();
+            },
+            Opts);
+      }
+    }
+  }
+}
+
+ssize_t IoService::read(int Fd, void *Buf, std::size_t N) {
+  for (;;) {
+    ssize_t Rc = ::read(Fd, Buf, N);
+    if (Rc >= 0)
+      return Rc;
+    if (errno != EAGAIN && errno != EWOULDBLOCK)
+      return -1;
+    await(Fd, IoEvent::Readable);
+  }
+}
+
+ssize_t IoService::write(int Fd, const void *Buf, std::size_t N) {
+  for (;;) {
+    ssize_t Rc = ::write(Fd, Buf, N);
+    if (Rc >= 0)
+      return Rc;
+    if (errno != EAGAIN && errno != EWOULDBLOCK)
+      return -1;
+    await(Fd, IoEvent::Writable);
+  }
+}
+
+bool IoService::writeAll(int Fd, const void *Buf, std::size_t N) {
+  const char *P = static_cast<const char *>(Buf);
+  std::size_t Left = N;
+  while (Left != 0) {
+    ssize_t Rc = write(Fd, P, Left);
+    if (Rc <= 0)
+      return false;
+    P += Rc;
+    Left -= static_cast<std::size_t>(Rc);
+  }
+  return true;
+}
+
+} // namespace sting

@@ -1,0 +1,79 @@
+//===- sting/Sting.h - Public umbrella header --------------------*- C++ -*-===//
+//
+// Part of libsting, a reproduction of "A Customizable Substrate for
+// Concurrent Languages" (Jagannathan & Philbin, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public API of libsting. Downstream users include this header and
+/// link the `sting` target.
+///
+/// Paper-to-API index (see DESIGN.md for the full system inventory):
+///
+///   Concurrency objects (section 3)
+///     Thread, ThreadRef, ThreadGroup      core/Thread.h, core/ThreadGroup.h
+///     VirtualProcessor, VirtualMachine    core/VirtualProcessor.h, ...
+///     PolicyManager + built-in policies   core/PolicyManager.h
+///     Topology (left-vp/right-vp/...)     core/Topology.h
+///
+///   Thread controller operations (section 3.1)
+///     ThreadController::forkThread        (fork-thread expr vp)
+///     ThreadController::createThread      (create-thread expr)
+///     ThreadController::threadRun         (thread-run thread [vp])
+///     ThreadController::threadWait        (thread-wait thread)
+///     ThreadController::threadValue       (thread-value thread)
+///     ThreadController::threadBlock       (thread-block ...)
+///     ThreadController::threadSuspend     (thread-suspend ...)
+///     ThreadController::threadTerminate   (thread-terminate ...)
+///     ThreadController::yieldProcessor    (yield-processor)
+///     currentThread / currentVp           (current-thread) / (current-vp)
+///     WithoutPreemption                   (without-preemption body)
+///
+///   Synchronization structures (section 4)
+///     Mutex / withMutex                   (make-mutex active passive)
+///     Future<T> / future / delay          futures + touch + stealing
+///     Stream<T>                           the sieve's synchronizing stream
+///     waitForAll / CyclicBarrier          barrier synchronization
+///     waitForOne / SpeculativeSet         speculative OR-parallelism
+///     Semaphore, Channel<T>               derived structures
+///
+///   Tuple spaces (section 4.2)
+///     TupleSpace, Tuple, Field, formal    tuple/TupleSpace.h
+///     TupleSpaceRep, chooseRepresentation representation specialization
+///
+///   Storage model (section 2 item 3)
+///     gc::Value, gc::LocalHeap,
+///     gc::GlobalHeap, gc::HandleScope     gc/, core/Gc.h
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_STING_H
+#define STING_STING_H
+
+#include "core/Current.h"
+#include "core/Fluid.h"
+#include "core/Gc.h"
+#include "core/Monitor.h"
+#include "core/PhysicalPolicy.h"
+#include "core/PolicyManager.h"
+#include "core/PreemptionClock.h"
+#include "core/Thread.h"
+#include "core/ThreadController.h"
+#include "core/ThreadGroup.h"
+#include "core/Topology.h"
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+#include "gc/HeapImage.h"
+#include "gc/Object.h"
+#include "io/IoService.h"
+#include "sync/Barrier.h"
+#include "sync/Channel.h"
+#include "sync/Future.h"
+#include "sync/Mutex.h"
+#include "sync/Semaphore.h"
+#include "sync/Speculative.h"
+#include "sync/Stream.h"
+#include "tuple/TupleSpace.h"
+
+#endif // STING_STING_H

@@ -1,0 +1,153 @@
+//===- support/AnyValue.h - Type-erased thread result -----------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The value a determined thread carries. In STING, a thread's thunk is
+/// "executed for effect, not value" yet its application result is stored in
+/// the thread on completion (paper section 3.1); because the computation
+/// language here is C++ rather than Scheme, results are type-erased.
+/// AnyValue is move-only with small-buffer optimization so determining a
+/// thread with a scalar result performs no allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SUPPORT_ANYVALUE_H
+#define STING_SUPPORT_ANYVALUE_H
+
+#include "support/Debug.h"
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sting {
+
+/// A move-only container for a single value of arbitrary type.
+class AnyValue {
+  static constexpr std::size_t InlineSize = 3 * sizeof(void *);
+
+  union Storage {
+    alignas(std::max_align_t) unsigned char Inline[InlineSize];
+    void *Heap;
+  };
+
+  enum class Op { Destroy, Move };
+
+  struct VTable {
+    void (*Manage)(Op, Storage &, Storage *);
+    void *(*Get)(Storage &);
+  };
+
+  template <typename T>
+  static constexpr bool IsInline =
+      sizeof(T) <= InlineSize && alignof(T) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<T>;
+
+  template <typename T> static const VTable *vtableFor() {
+    if constexpr (IsInline<T>) {
+      static constexpr VTable VT = {
+          [](Op O, Storage &S, Storage *Dst) {
+            T *P = std::launder(reinterpret_cast<T *>(S.Inline));
+            if (O == Op::Move) {
+              ::new (static_cast<void *>(Dst->Inline)) T(std::move(*P));
+            }
+            P->~T();
+          },
+          [](Storage &S) -> void * {
+            return std::launder(reinterpret_cast<T *>(S.Inline));
+          }};
+      return &VT;
+    } else {
+      static constexpr VTable VT = {
+          [](Op O, Storage &S, Storage *Dst) {
+            if (O == Op::Move) {
+              Dst->Heap = S.Heap;
+              S.Heap = nullptr;
+              return;
+            }
+            delete static_cast<T *>(S.Heap);
+          },
+          [](Storage &S) -> void * { return S.Heap; }};
+      return &VT;
+    }
+  }
+
+public:
+  AnyValue() = default;
+
+  template <typename T,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<T>, AnyValue>>>
+  AnyValue(T &&Val) {
+    using Decayed = std::decay_t<T>;
+    if constexpr (IsInline<Decayed>) {
+      ::new (static_cast<void *>(Store.Inline))
+          Decayed(std::forward<T>(Val));
+    } else {
+      Store.Heap = new Decayed(std::forward<T>(Val));
+    }
+    VT = vtableFor<Decayed>();
+  }
+
+  AnyValue(AnyValue &&Other) noexcept { moveFrom(Other); }
+
+  AnyValue &operator=(AnyValue &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    reset();
+    moveFrom(Other);
+    return *this;
+  }
+
+  AnyValue(const AnyValue &) = delete;
+  AnyValue &operator=(const AnyValue &) = delete;
+
+  ~AnyValue() { reset(); }
+
+  void reset() {
+    if (!VT)
+      return;
+    VT->Manage(Op::Destroy, Store, nullptr);
+    VT = nullptr;
+  }
+
+  bool hasValue() const { return VT != nullptr; }
+
+  /// Unchecked typed access. The caller must know the stored type; a
+  /// mismatch is a programmatic error caught only by the type system at the
+  /// producer/consumer boundary (futures wrap this with a typed API).
+  template <typename T> T &as() {
+    STING_CHECK(VT, "AnyValue::as on an empty value");
+    return *static_cast<T *>(VT->Get(Store));
+  }
+
+  template <typename T> const T &as() const {
+    return const_cast<AnyValue *>(this)->as<T>();
+  }
+
+  /// Moves the stored value out, leaving the AnyValue empty.
+  template <typename T> T take() {
+    T Result = std::move(as<T>());
+    reset();
+    return Result;
+  }
+
+private:
+  void moveFrom(AnyValue &Other) noexcept {
+    VT = Other.VT;
+    if (VT)
+      VT->Manage(Op::Move, Other.Store, &Store);
+    Other.VT = nullptr;
+  }
+
+  Storage Store;
+  const VTable *VT = nullptr;
+};
+
+} // namespace sting
+
+#endif // STING_SUPPORT_ANYVALUE_H

@@ -1,0 +1,62 @@
+//===- support/Backoff.h - Bounded exponential backoff ----------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Spin-wait backoff used by SpinLock and by the active-spin phase of the
+/// substrate's Mutex (paper section 4.2.1). Escalates from a pause
+/// instruction through sched_yield so a single-core host (like the paper's
+/// uniprocessor degenerate case) still makes progress.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SUPPORT_BACKOFF_H
+#define STING_SUPPORT_BACKOFF_H
+
+#include <cstdint>
+
+#include <sched.h>
+
+namespace sting {
+
+/// Issues a CPU pause/relax hint.
+inline void cpuRelax() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Bounded exponential backoff. Spins with pause hints for the first few
+/// rounds, then yields the OS thread; the spin bound doubles per round up to
+/// a cap.
+class Backoff {
+public:
+  /// Performs one backoff round.
+  void pause() {
+    if (Limit <= SpinCap) {
+      for (std::uint32_t I = 0; I != Limit; ++I)
+        cpuRelax();
+      Limit *= 2;
+      return;
+    }
+    sched_yield();
+  }
+
+  /// Resets the backoff to its initial (cheapest) state.
+  void reset() { Limit = 1; }
+
+  /// True once pause() has escalated to OS-level yields.
+  bool isYielding() const { return Limit > SpinCap; }
+
+private:
+  static constexpr std::uint32_t SpinCap = 1u << 10;
+  std::uint32_t Limit = 1;
+};
+
+} // namespace sting
+
+#endif // STING_SUPPORT_BACKOFF_H

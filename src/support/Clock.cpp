@@ -1,0 +1,26 @@
+//===- support/Clock.cpp - Monotonic time ---------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Clock.h"
+
+#include <ctime>
+
+namespace sting {
+
+std::uint64_t nowNanos() {
+  timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return static_cast<std::uint64_t>(Ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(Ts.tv_nsec);
+}
+
+void spinForNanos(std::uint64_t Nanos) {
+  const std::uint64_t Deadline = nowNanos() + Nanos;
+  while (nowNanos() < Deadline) {
+  }
+}
+
+} // namespace sting

@@ -1,0 +1,43 @@
+//===- support/Clock.h - Monotonic time -------------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic nanosecond clock used for scheduling quanta, suspend timeouts
+/// and the benchmark harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SUPPORT_CLOCK_H
+#define STING_SUPPORT_CLOCK_H
+
+#include <cstdint>
+
+namespace sting {
+
+/// \returns monotonic time in nanoseconds since an arbitrary epoch.
+std::uint64_t nowNanos();
+
+/// Busy-sleeps for \p Nanos using the monotonic clock; used by tests that
+/// need sub-millisecond delays without blocking the OS thread in the kernel.
+void spinForNanos(std::uint64_t Nanos);
+
+/// Measures the wall-clock duration of a region.
+class StopWatch {
+public:
+  StopWatch() : Start(nowNanos()) {}
+
+  /// \returns nanoseconds elapsed since construction or the last restart.
+  std::uint64_t elapsedNanos() const { return nowNanos() - Start; }
+
+  void restart() { Start = nowNanos(); }
+
+private:
+  std::uint64_t Start;
+};
+
+} // namespace sting
+
+#endif // STING_SUPPORT_CLOCK_H

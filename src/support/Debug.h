@@ -1,0 +1,56 @@
+//===- support/Debug.h - Assertion and fatal-error helpers ------*- C++ -*-===//
+//
+// Part of libsting, a reproduction of "A Customizable Substrate for
+// Concurrent Languages" (Jagannathan & Philbin, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion macros used throughout the substrate. Programmatic errors abort
+/// at the point of failure with a diagnostic; there is no exception-based
+/// error channel inside the runtime (the thread controller must never
+/// allocate or unwind).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SUPPORT_DEBUG_H
+#define STING_SUPPORT_DEBUG_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sting {
+
+/// Prints a fatal diagnostic and aborts. Never returns.
+[[noreturn]] inline void reportFatalError(const char *File, int Line,
+                                          const char *Msg) {
+  std::fprintf(stderr, "sting fatal error: %s:%d: %s\n", File, Line, Msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+} // namespace sting
+
+/// Always-on invariant check. The substrate is a scheduler: a broken
+/// invariant silently corrupts every program above it, so these stay enabled
+/// in release builds (they are cheap flag/pointer tests).
+#define STING_CHECK(Cond, Msg)                                                 \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::sting::reportFatalError(__FILE__, __LINE__, Msg);                      \
+  } while (false)
+
+/// Debug-only check for hot paths (context switch, allocation fast path).
+#ifndef NDEBUG
+#define STING_DCHECK(Cond, Msg) STING_CHECK(Cond, Msg)
+#else
+#define STING_DCHECK(Cond, Msg)                                               \
+  do {                                                                         \
+  } while (false)
+#endif
+
+/// Marks a point in control flow that must be unreachable.
+#define STING_UNREACHABLE(Msg)                                                 \
+  ::sting::reportFatalError(__FILE__, __LINE__, "unreachable: " Msg)
+
+#endif // STING_SUPPORT_DEBUG_H

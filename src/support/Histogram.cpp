@@ -1,0 +1,57 @@
+//===- support/Histogram.cpp - Latency histogram --------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include <bit>
+
+namespace sting {
+
+static int bucketFor(std::uint64_t Nanos) {
+  if (Nanos == 0)
+    return 0;
+  int B = 64 - std::countl_zero(Nanos);
+  if (B >= Histogram::NumBuckets)
+    B = Histogram::NumBuckets - 1;
+  return B;
+}
+
+void Histogram::record(std::uint64_t Nanos) {
+  ++Buckets[bucketFor(Nanos)];
+  ++Count;
+  Sum += Nanos;
+  if (Nanos < Min)
+    Min = Nanos;
+  if (Nanos > Max)
+    Max = Nanos;
+}
+
+double Histogram::meanNanos() const {
+  if (Count == 0)
+    return 0.0;
+  return static_cast<double>(Sum) / static_cast<double>(Count);
+}
+
+std::uint64_t Histogram::quantileNanos(double Q) const {
+  if (Count == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  std::uint64_t Target = static_cast<std::uint64_t>(Q * (Count - 1)) + 1;
+  std::uint64_t Seen = 0;
+  for (int B = 0; B != NumBuckets; ++B) {
+    Seen += Buckets[B];
+    if (Seen >= Target)
+      return B == 0 ? 0 : (1ull << B) - 1;
+  }
+  return Max;
+}
+
+void Histogram::clear() { *this = Histogram(); }
+
+} // namespace sting

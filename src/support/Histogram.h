@@ -1,0 +1,48 @@
+//===- support/Histogram.h - Latency histogram ------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A log-bucketed latency histogram for the benchmark harness. Records
+/// nanosecond samples; reports count, mean and approximate percentiles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SUPPORT_HISTOGRAM_H
+#define STING_SUPPORT_HISTOGRAM_H
+
+#include <cstdint>
+
+namespace sting {
+
+/// Fixed-footprint histogram with power-of-two buckets from 1ns to ~1100s.
+class Histogram {
+public:
+  static constexpr int NumBuckets = 40;
+
+  void record(std::uint64_t Nanos);
+
+  std::uint64_t count() const { return Count; }
+  double meanNanos() const;
+  std::uint64_t minNanos() const { return Count ? Min : 0; }
+  std::uint64_t maxNanos() const { return Max; }
+
+  /// \returns an upper bound on the \p Q quantile (0 <= Q <= 1), accurate to
+  /// a factor of two (the bucket width).
+  std::uint64_t quantileNanos(double Q) const;
+
+  void clear();
+
+private:
+  std::uint64_t Buckets[NumBuckets] = {};
+  std::uint64_t Count = 0;
+  std::uint64_t Sum = 0;
+  std::uint64_t Min = ~0ull;
+  std::uint64_t Max = 0;
+};
+
+} // namespace sting
+
+#endif // STING_SUPPORT_HISTOGRAM_H

@@ -1,0 +1,175 @@
+//===- support/IntrusiveList.h - Intrusive doubly-linked list ---*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An intrusive doubly-linked list. The thread controller allocates no
+/// storage (paper section 3.1: "The thread controller allocates no storage;
+/// thus, a TC call never triggers garbage collection"), so every
+/// controller-side collection — ready queues, waiter chains, TCB caches —
+/// links nodes embedded in the objects themselves.
+///
+/// A \c Tag type parameter lets one object carry several independent hooks
+/// (e.g. a TCB is simultaneously on a ready queue and on its VP's cache
+/// list).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SUPPORT_INTRUSIVELIST_H
+#define STING_SUPPORT_INTRUSIVELIST_H
+
+#include "support/Debug.h"
+
+#include <cstddef>
+#include <iterator>
+
+namespace sting {
+
+struct DefaultListTag;
+
+/// Hook to embed in a class T that should live on an IntrusiveList<T, Tag>.
+template <typename Tag = DefaultListTag> class ListNode {
+public:
+  ListNode() = default;
+  ListNode(const ListNode &) = delete;
+  ListNode &operator=(const ListNode &) = delete;
+
+  /// True while the node is linked into some list.
+  bool isLinked() const { return Next != nullptr; }
+
+private:
+  template <typename, typename> friend class IntrusiveList;
+
+  ListNode *Prev = nullptr;
+  ListNode *Next = nullptr;
+};
+
+/// An intrusive circular doubly-linked list with a sentinel head.
+///
+/// The list does not own its elements; erasing merely unlinks. All
+/// operations are O(1) except size() and iteration.
+template <typename T, typename Tag = DefaultListTag> class IntrusiveList {
+  using Node = ListNode<Tag>;
+
+public:
+  IntrusiveList() { Head.Prev = Head.Next = &Head; }
+  IntrusiveList(const IntrusiveList &) = delete;
+  IntrusiveList &operator=(const IntrusiveList &) = delete;
+  ~IntrusiveList() { STING_DCHECK(empty(), "destroying a non-empty list"); }
+
+  class iterator {
+  public:
+    using iterator_category = std::bidirectional_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = T *;
+    using reference = T &;
+
+    iterator() = default;
+    explicit iterator(Node *N) : Cur(N) {}
+
+    reference operator*() const { return *fromNode(Cur); }
+    pointer operator->() const { return fromNode(Cur); }
+
+    iterator &operator++() {
+      Cur = Cur->Next;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator Tmp = *this;
+      ++*this;
+      return Tmp;
+    }
+    iterator &operator--() {
+      Cur = Cur->Prev;
+      return *this;
+    }
+
+    bool operator==(const iterator &RHS) const { return Cur == RHS.Cur; }
+
+  private:
+    friend class IntrusiveList;
+    Node *Cur = nullptr;
+  };
+
+  bool empty() const { return Head.Next == &Head; }
+
+  /// Counts elements; O(n), intended for tests and diagnostics.
+  std::size_t size() const {
+    std::size_t N = 0;
+    for (const Node *P = Head.Next; P != &Head; P = P->Next)
+      ++N;
+    return N;
+  }
+
+  iterator begin() { return iterator(Head.Next); }
+  iterator end() { return iterator(&Head); }
+
+  T &front() {
+    STING_DCHECK(!empty(), "front() on empty list");
+    return *fromNode(Head.Next);
+  }
+  T &back() {
+    STING_DCHECK(!empty(), "back() on empty list");
+    return *fromNode(Head.Prev);
+  }
+
+  void pushFront(T &Elt) { insertAfter(&Head, toNode(Elt)); }
+  void pushBack(T &Elt) { insertAfter(Head.Prev, toNode(Elt)); }
+
+  /// Unlinks and returns the first element.
+  T &popFront() {
+    T &Elt = front();
+    erase(Elt);
+    return Elt;
+  }
+
+  /// Unlinks and returns the last element.
+  T &popBack() {
+    T &Elt = back();
+    erase(Elt);
+    return Elt;
+  }
+
+  /// Unlinks \p Elt from this list.
+  static void erase(T &Elt) {
+    Node *N = toNode(Elt);
+    STING_DCHECK(N->isLinked(), "erasing an unlinked node");
+    N->Prev->Next = N->Next;
+    N->Next->Prev = N->Prev;
+    N->Prev = N->Next = nullptr;
+  }
+
+  /// Moves every element of \p Other to the back of this list.
+  void splice(IntrusiveList &Other) {
+    if (Other.empty())
+      return;
+    Node *First = Other.Head.Next;
+    Node *Last = Other.Head.Prev;
+    Other.Head.Prev = Other.Head.Next = &Other.Head;
+    Last->Next = &Head;
+    First->Prev = Head.Prev;
+    Head.Prev->Next = First;
+    Head.Prev = Last;
+  }
+
+private:
+  static Node *toNode(T &Elt) { return static_cast<Node *>(&Elt); }
+  static T *fromNode(Node *N) { return static_cast<T *>(N); }
+
+  static void insertAfter(Node *Pos, Node *N) {
+    STING_DCHECK(!N->isLinked(), "inserting an already-linked node");
+    N->Prev = Pos;
+    N->Next = Pos->Next;
+    Pos->Next->Prev = N;
+    Pos->Next = N;
+  }
+
+  Node Head;
+};
+
+} // namespace sting
+
+#endif // STING_SUPPORT_INTRUSIVELIST_H

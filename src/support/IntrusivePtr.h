@@ -1,0 +1,138 @@
+//===- support/IntrusivePtr.h - Intrusive reference counting ----*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Intrusive reference counting for first-class runtime objects. Threads,
+/// thread groups and tuple spaces are first-class: they "may be passed as
+/// arguments to procedures, returned as results, and stored in data
+/// structures" and "can outlive the objects that create them" (paper
+/// section 3.1) — so their lifetime is reference-managed, with the count
+/// embedded to keep ready-queue retain/release a single atomic op.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SUPPORT_INTRUSIVEPTR_H
+#define STING_SUPPORT_INTRUSIVEPTR_H
+
+#include "support/Debug.h"
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+namespace sting {
+
+/// CRTP base providing an atomic reference count. Objects start with a
+/// count of one, owned by the creating IntrusivePtr.
+template <typename Derived> class RefCounted {
+public:
+  void retain() const { RefCount.fetch_add(1, std::memory_order_relaxed); }
+
+  void release() const {
+    if (RefCount.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      delete static_cast<const Derived *>(this);
+  }
+
+  /// Racy count, for assertions and tests only.
+  std::uint32_t refCount() const {
+    return RefCount.load(std::memory_order_relaxed);
+  }
+
+  /// Retains only if the object is still alive (count non-zero). For
+  /// registries that enumerate objects they do not own: a plain retain
+  /// could resurrect an object whose final release already committed.
+  bool retainIfAlive() const {
+    std::uint32_t Count = RefCount.load(std::memory_order_relaxed);
+    while (Count != 0) {
+      if (RefCount.compare_exchange_weak(Count, Count + 1,
+                                         std::memory_order_acq_rel))
+        return true;
+    }
+    return false;
+  }
+
+protected:
+  RefCounted() = default;
+  ~RefCounted() = default;
+
+private:
+  mutable std::atomic<std::uint32_t> RefCount{1};
+};
+
+/// Smart pointer for RefCounted objects.
+template <typename T> class IntrusivePtr {
+public:
+  IntrusivePtr() = default;
+  IntrusivePtr(std::nullptr_t) {}
+
+  /// Adopts \p Obj *without* retaining: takes over the initial reference.
+  static IntrusivePtr adopt(T *Obj) { return IntrusivePtr(Obj, AdoptTag()); }
+
+  /// Shares \p Obj, retaining it.
+  explicit IntrusivePtr(T *Obj) : Obj(Obj) {
+    if (Obj)
+      Obj->retain();
+  }
+
+  IntrusivePtr(const IntrusivePtr &Other) : Obj(Other.Obj) {
+    if (Obj)
+      Obj->retain();
+  }
+
+  IntrusivePtr(IntrusivePtr &&Other) noexcept : Obj(Other.Obj) {
+    Other.Obj = nullptr;
+  }
+
+  IntrusivePtr &operator=(const IntrusivePtr &Other) {
+    IntrusivePtr(Other).swap(*this);
+    return *this;
+  }
+
+  IntrusivePtr &operator=(IntrusivePtr &&Other) noexcept {
+    IntrusivePtr(std::move(Other)).swap(*this);
+    return *this;
+  }
+
+  ~IntrusivePtr() {
+    if (Obj)
+      Obj->release();
+  }
+
+  void swap(IntrusivePtr &Other) noexcept { std::swap(Obj, Other.Obj); }
+
+  void reset() { IntrusivePtr().swap(*this); }
+
+  T *get() const { return Obj; }
+  T &operator*() const {
+    STING_DCHECK(Obj, "dereferencing null IntrusivePtr");
+    return *Obj;
+  }
+  T *operator->() const {
+    STING_DCHECK(Obj, "dereferencing null IntrusivePtr");
+    return Obj;
+  }
+  explicit operator bool() const { return Obj != nullptr; }
+
+  bool operator==(const IntrusivePtr &RHS) const { return Obj == RHS.Obj; }
+  bool operator==(const T *RHS) const { return Obj == RHS; }
+
+  /// Releases ownership to the caller without dropping the count.
+  T *detach() {
+    T *Result = Obj;
+    Obj = nullptr;
+    return Result;
+  }
+
+private:
+  struct AdoptTag {};
+  IntrusivePtr(T *Obj, AdoptTag) : Obj(Obj) {}
+
+  T *Obj = nullptr;
+};
+
+} // namespace sting
+
+#endif // STING_SUPPORT_INTRUSIVEPTR_H

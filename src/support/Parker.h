@@ -1,0 +1,70 @@
+//===- support/Parker.h - Event count for idle processors -------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An event count used by idle physical processors. The paper's pm-vp-idle
+/// hook lets a policy "call the physical processor to have the processor
+/// switch itself to another VP"; when no VP anywhere has work, the physical
+/// processor must sleep rather than burn its core. Parker provides the
+/// standard prepare/commit protocol that avoids lost wakeups:
+///
+///   Epoch E = P.prepareWait();
+///   if (workAvailable()) { P.cancelWait(); ... }
+///   else P.commitWait(E);
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SUPPORT_PARKER_H
+#define STING_SUPPORT_PARKER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace sting {
+
+/// A monotone event count with blocking wait.
+class Parker {
+public:
+  using Epoch = std::uint64_t;
+
+  /// Announces intent to sleep. The caller must re-check its wait condition
+  /// after this call and either cancelWait() or commitWait(E).
+  Epoch prepareWait() { return Version.load(std::memory_order_acquire); }
+
+  /// Abandons a prepared wait.
+  void cancelWait() {}
+
+  /// Sleeps until notify() advances the epoch past \p E, or until
+  /// \p TimeoutNanos elapses (0 means wait without timeout).
+  void commitWait(Epoch E, std::uint64_t TimeoutNanos = 0) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    auto Pred = [&] { return Version.load(std::memory_order_relaxed) != E; };
+    if (TimeoutNanos == 0) {
+      Cv.wait(Lock, Pred);
+      return;
+    }
+    Cv.wait_for(Lock, std::chrono::nanoseconds(TimeoutNanos), Pred);
+  }
+
+  /// Wakes all waiters; called whenever new work is published.
+  void notify() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Version.fetch_add(1, std::memory_order_release);
+    }
+    Cv.notify_all();
+  }
+
+private:
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::atomic<Epoch> Version{0};
+};
+
+} // namespace sting
+
+#endif // STING_SUPPORT_PARKER_H

@@ -1,0 +1,82 @@
+//===- support/Random.h - Deterministic PRNGs -------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small deterministic random number generators for tests, property sweeps
+/// and workload generation in the benchmark harness. SplitMix64 seeds
+/// xoshiro256**; both are the reference public-domain algorithms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SUPPORT_RANDOM_H
+#define STING_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace sting {
+
+/// SplitMix64: a tiny, well-distributed 64-bit generator; mainly used to
+/// expand a user seed into state for Xoshiro256.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t Seed) : State(Seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  std::uint64_t State;
+};
+
+/// xoshiro256**: the general-purpose generator used by tests and benches.
+class Xoshiro256 {
+public:
+  explicit Xoshiro256(std::uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (auto &Word : S)
+      Word = SM.next();
+  }
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    const std::uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// \returns a uniform integer in [0, Bound). \p Bound must be non-zero.
+  std::uint64_t nextBelow(std::uint64_t Bound) { return next() % Bound; }
+
+  /// \returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  static std::uint64_t rotl(std::uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  std::uint64_t S[4];
+};
+
+} // namespace sting
+
+#endif // STING_SUPPORT_RANDOM_H

@@ -1,0 +1,64 @@
+//===- support/SpinLock.h - TTAS spin lock ----------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serialization primitive that policy-manager queues, thread waiter
+/// chains, and tuple-space hash bins are built from (the "Serialization"
+/// axis of the paper's scheduling-policy classification, section 3.3).
+/// Test-and-test-and-set with bounded exponential backoff; BasicLockable so
+/// it composes with std::lock_guard / std::unique_lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SUPPORT_SPINLOCK_H
+#define STING_SUPPORT_SPINLOCK_H
+
+#include "support/Backoff.h"
+#include "support/Debug.h"
+
+#include <atomic>
+
+namespace sting {
+
+/// A test-and-test-and-set spin lock with exponential backoff.
+class SpinLock {
+public:
+  SpinLock() = default;
+  SpinLock(const SpinLock &) = delete;
+  SpinLock &operator=(const SpinLock &) = delete;
+
+  void lock() {
+    Backoff B;
+    for (;;) {
+      if (!Locked.exchange(true, std::memory_order_acquire))
+        return;
+      while (Locked.load(std::memory_order_relaxed))
+        B.pause();
+    }
+  }
+
+  /// Attempts to acquire without waiting. \returns true on success.
+  bool tryLock() {
+    return !Locked.load(std::memory_order_relaxed) &&
+           !Locked.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() {
+    STING_DCHECK(Locked.load(std::memory_order_relaxed),
+                 "unlock of an unlocked SpinLock");
+    Locked.store(false, std::memory_order_release);
+  }
+
+  /// True if some owner currently holds the lock (racy; for assertions).
+  bool isLocked() const { return Locked.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Locked{false};
+};
+
+} // namespace sting
+
+#endif // STING_SUPPORT_SPINLOCK_H

@@ -1,0 +1,158 @@
+//===- support/UniqueFunction.h - Move-only callable ------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A move-only type-erased callable with small-buffer optimization. Thread
+/// thunks are move-only (they often capture unique resources), so
+/// std::function does not fit; this is the substrate's equivalent of
+/// llvm::unique_function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SUPPORT_UNIQUEFUNCTION_H
+#define STING_SUPPORT_UNIQUEFUNCTION_H
+
+#include "support/Debug.h"
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sting {
+
+template <typename Signature> class UniqueFunction;
+
+/// Move-only function wrapper. Callables up to three pointers large with
+/// nothrow move construction are stored inline; larger ones on the heap.
+template <typename Ret, typename... Args> class UniqueFunction<Ret(Args...)> {
+  static constexpr std::size_t InlineSize = 3 * sizeof(void *);
+
+  union Storage {
+    alignas(std::max_align_t) unsigned char Inline[InlineSize];
+    void *Heap;
+  };
+
+  enum class Op { Destroy, Move };
+
+  using InvokeFn = Ret (*)(Storage &, Args &&...);
+  using ManageFn = void (*)(Op, Storage &, Storage *);
+
+  template <typename Fn>
+  static constexpr bool IsInline =
+      sizeof(Fn) <= InlineSize && alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn, bool Inline = IsInline<Fn>> struct Traits;
+
+  template <typename Fn> struct Traits<Fn, true> {
+    static Fn *get(Storage &S) {
+      return std::launder(reinterpret_cast<Fn *>(S.Inline));
+    }
+    static void construct(Storage &S, Fn &&F) {
+      ::new (static_cast<void *>(S.Inline)) Fn(std::move(F));
+    }
+    static Ret invoke(Storage &S, Args &&...As) {
+      return (*get(S))(std::forward<Args>(As)...);
+    }
+    static void manage(Op O, Storage &S, Storage *Dst) {
+      switch (O) {
+      case Op::Destroy:
+        get(S)->~Fn();
+        return;
+      case Op::Move:
+        ::new (static_cast<void *>(Dst->Inline)) Fn(std::move(*get(S)));
+        get(S)->~Fn();
+        return;
+      }
+      STING_UNREACHABLE("bad UniqueFunction op");
+    }
+  };
+
+  template <typename Fn> struct Traits<Fn, false> {
+    static Fn *get(Storage &S) { return static_cast<Fn *>(S.Heap); }
+    static void construct(Storage &S, Fn &&F) { S.Heap = new Fn(std::move(F)); }
+    static Ret invoke(Storage &S, Args &&...As) {
+      return (*get(S))(std::forward<Args>(As)...);
+    }
+    static void manage(Op O, Storage &S, Storage *Dst) {
+      switch (O) {
+      case Op::Destroy:
+        delete get(S);
+        return;
+      case Op::Move:
+        Dst->Heap = S.Heap;
+        S.Heap = nullptr;
+        return;
+      }
+      STING_UNREACHABLE("bad UniqueFunction op");
+    }
+  };
+
+public:
+  UniqueFunction() = default;
+  UniqueFunction(std::nullptr_t) {}
+
+  template <typename Fn,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<Fn>, UniqueFunction> &&
+                std::is_invocable_r_v<Ret, std::decay_t<Fn> &, Args...>>>
+  UniqueFunction(Fn &&F) {
+    using Decayed = std::decay_t<Fn>;
+    Traits<Decayed>::construct(Store, Decayed(std::forward<Fn>(F)));
+    Invoke = &Traits<Decayed>::invoke;
+    Manage = &Traits<Decayed>::manage;
+  }
+
+  UniqueFunction(UniqueFunction &&Other) noexcept { moveFrom(Other); }
+
+  UniqueFunction &operator=(UniqueFunction &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    reset();
+    moveFrom(Other);
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction &) = delete;
+  UniqueFunction &operator=(const UniqueFunction &) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  /// Destroys the held callable, leaving the wrapper empty.
+  void reset() {
+    if (!Manage)
+      return;
+    Manage(Op::Destroy, Store, nullptr);
+    Invoke = nullptr;
+    Manage = nullptr;
+  }
+
+  explicit operator bool() const { return Invoke != nullptr; }
+
+  Ret operator()(Args... As) {
+    STING_CHECK(Invoke, "calling an empty UniqueFunction");
+    return Invoke(Store, std::forward<Args>(As)...);
+  }
+
+private:
+  void moveFrom(UniqueFunction &Other) noexcept {
+    Invoke = Other.Invoke;
+    Manage = Other.Manage;
+    if (Manage)
+      Manage(Op::Move, Other.Store, &Store);
+    Other.Invoke = nullptr;
+    Other.Manage = nullptr;
+  }
+
+  Storage Store;
+  InvokeFn Invoke = nullptr;
+  ManageFn Manage = nullptr;
+};
+
+} // namespace sting
+
+#endif // STING_SUPPORT_UNIQUEFUNCTION_H

@@ -1,0 +1,47 @@
+//===- sync/Barrier.cpp - Barrier synchronization ----------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/Barrier.h"
+
+#include "core/ThreadController.h"
+
+namespace sting {
+
+void waitForAll(std::span<Thread *const> Group) {
+  ThreadController::blockOnGroup(Group.size(), Group);
+}
+
+void waitForAll(std::span<const ThreadRef> Group) {
+  std::vector<Thread *> Raw;
+  Raw.reserve(Group.size());
+  for (const ThreadRef &T : Group)
+    Raw.push_back(T.get());
+  ThreadController::blockOnGroup(Raw.size(), Raw);
+}
+
+CyclicBarrier::CyclicBarrier(std::size_t Parties) : Parties(Parties) {
+  STING_CHECK(Parties > 0, "barrier needs at least one party");
+}
+
+std::uint64_t CyclicBarrier::arriveAndWait() {
+  std::uint64_t MyPhase;
+  {
+    std::lock_guard<SpinLock> Guard(Lock);
+    MyPhase = Phase.load(std::memory_order_relaxed);
+    if (++Arrived == Parties) {
+      Arrived = 0;
+      Phase.store(MyPhase + 1, std::memory_order_release);
+      Waiters.wakeAll();
+      return MyPhase;
+    }
+  }
+  Waiters.await(
+      [&] { return Phase.load(std::memory_order_acquire) != MyPhase; },
+      this);
+  return MyPhase;
+}
+
+} // namespace sting

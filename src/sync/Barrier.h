@@ -1,0 +1,58 @@
+//===- sync/Barrier.h - Barrier synchronization ------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Barrier synchronization (paper section 4.3): wait-for-all over thread
+/// groups via the controller's block-on-group (Fig. 5), plus a reusable
+/// phase barrier for master/slave programs that "generate a new set of
+/// worker processes after all previously created workers complete"
+/// (section 4.2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SYNC_BARRIER_H
+#define STING_SYNC_BARRIER_H
+
+#include "core/Thread.h"
+#include "sync/ParkList.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sting {
+
+/// The paper's wait-for-all: blocks until every thread in \p Group is
+/// determined. "Acts as a barrier synchronization point."
+void waitForAll(std::span<const ThreadRef> Group);
+void waitForAll(std::span<Thread *const> Group);
+
+/// A reusable counting barrier for N participants. arriveAndWait parks
+/// until all N arrive, then releases the phase and resets.
+class CyclicBarrier {
+public:
+  explicit CyclicBarrier(std::size_t Parties);
+
+  /// Blocks until all parties arrive; the last arrival wakes the rest.
+  /// \returns the phase number that just completed.
+  std::uint64_t arriveAndWait();
+
+  std::size_t parties() const { return Parties; }
+  std::uint64_t phase() const {
+    return Phase.load(std::memory_order_acquire);
+  }
+
+private:
+  const std::size_t Parties;
+  SpinLock Lock;
+  std::size_t Arrived = 0;
+  std::atomic<std::uint64_t> Phase{0};
+  ParkList Waiters;
+};
+
+} // namespace sting
+
+#endif // STING_SYNC_BARRIER_H

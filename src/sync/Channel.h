@@ -1,0 +1,101 @@
+//===- sync/Channel.h - Bounded channels -------------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded multi-producer multi-consumer channel. Not itself a paper
+/// structure, but the natural CML-style primitive the paper positions the
+/// substrate beneath ("the synchronization semantics of a thread is a more
+/// general (albeit lower-level) form of ... CML's sync"); examples use it
+/// for master/slave work distribution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SYNC_CHANNEL_H
+#define STING_SYNC_CHANNEL_H
+
+#include "sync/ParkList.h"
+
+#include <deque>
+#include <optional>
+
+namespace sting {
+
+/// A bounded FIFO channel of T.
+template <typename T> class Channel {
+public:
+  explicit Channel(std::size_t Capacity = 64) : Capacity(Capacity) {
+    STING_CHECK(Capacity > 0, "channel capacity must be positive");
+  }
+
+  Channel(const Channel &) = delete;
+  Channel &operator=(const Channel &) = delete;
+
+  /// Blocks while the channel is full, then enqueues.
+  void send(T Val) {
+    NotFull.await([&] { return trySend(Val); }, this);
+  }
+
+  /// Blocks while the channel is empty, then dequeues.
+  T recv() {
+    std::optional<T> Out;
+    NotEmpty.await([&] { return tryRecvInto(Out); }, this);
+    return std::move(*Out);
+  }
+
+  /// Non-blocking send; \returns false when full. (\p Val is consumed only
+  /// on success.)
+  bool trySend(T &Val) {
+    {
+      std::lock_guard<SpinLock> Guard(Lock);
+      if (Items.size() >= Capacity)
+        return false;
+      Items.push_back(std::move(Val));
+    }
+    NotEmpty.wakeOne();
+    return true;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> tryRecv() {
+    std::optional<T> Out;
+    if (tryRecvInto(Out))
+      NotFull.wakeOne();
+    return Out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<SpinLock> Guard(Lock);
+    return Items.size();
+  }
+
+  std::size_t capacity() const { return Capacity; }
+
+private:
+  bool tryRecvInto(std::optional<T> &Out) {
+    bool Got = false;
+    {
+      std::lock_guard<SpinLock> Guard(Lock);
+      if (!Items.empty()) {
+        Out = std::move(Items.front());
+        Items.pop_front();
+        Got = true;
+      }
+    }
+    if (Got)
+      NotFull.wakeOne();
+    return Got;
+  }
+
+  const std::size_t Capacity;
+  mutable SpinLock Lock;
+  std::deque<T> Items;
+  ParkList NotEmpty;
+  ParkList NotFull;
+};
+
+} // namespace sting
+
+#endif // STING_SYNC_CHANNEL_H

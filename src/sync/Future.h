@@ -1,0 +1,98 @@
+//===- sync/Future.h - Result parallelism (futures) --------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Futures over the substrate's threads (paper section 4.1): "Threads are a
+/// natural representation for futures." A future is just a typed wrapper
+/// around a first-class thread with no extra synchronization state:
+///
+///   - future<T>(f)  — eager: forks a thread computing f (MultiLisp's
+///                     (future E)).
+///   - delay<T>(f)   — lazy: a delayed thread; runs only when demanded.
+///   - touch()       — the paper's touch: free for determined threads,
+///                     blocks on evaluating ones, and *steals* delayed or
+///                     scheduled stealable ones onto the toucher's TCB
+///                     (section 4.1.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SYNC_FUTURE_H
+#define STING_SYNC_FUTURE_H
+
+#include "core/Thread.h"
+#include "core/ThreadController.h"
+
+#include <utility>
+
+namespace sting {
+
+/// A typed handle on a thread's eventual result.
+template <typename T> class Future {
+public:
+  Future() = default;
+
+  /// Wraps an existing thread whose result is a T.
+  explicit Future(ThreadRef Th) : Th(std::move(Th)) {}
+
+  /// Eager future: fork a thread computing \p Fn (the MultiLisp future).
+  template <typename Fn>
+  static Future spawn(Fn &&Code, const SpawnOptions &Opts = {}) {
+    return Future(ThreadController::forkThread(wrap(std::forward<Fn>(Code)),
+                                               Opts));
+  }
+
+  /// Lazy future: a delayed thread, evaluated only when touched (usually by
+  /// stealing) or explicitly scheduled via run().
+  template <typename Fn>
+  static Future delayed(Fn &&Code, const SpawnOptions &Opts = {}) {
+    return Future(ThreadController::createThread(
+        wrap(std::forward<Fn>(Code)), Opts));
+  }
+
+  /// The paper's touch: \returns the computed value, synchronizing as
+  /// required. Rethrows if the computation failed.
+  const T &touch() const {
+    STING_CHECK(Th, "touch of an empty future");
+    return ThreadController::threadValue(*Th).template as<T>();
+  }
+
+  /// Schedules a delayed future for asynchronous evaluation (thread-run).
+  void run() const {
+    STING_CHECK(Th, "run of an empty future");
+    ThreadController::threadRun(*Th);
+  }
+
+  bool isDetermined() const { return Th && Th->isDetermined(); }
+  explicit operator bool() const { return static_cast<bool>(Th); }
+
+  /// The underlying first-class thread.
+  Thread &thread() const { return *Th; }
+  const ThreadRef &threadRef() const { return Th; }
+
+private:
+  template <typename Fn> static Thread::Thunk wrap(Fn &&Code) {
+    return [Code = std::forward<Fn>(Code)]() mutable -> AnyValue {
+      return AnyValue(T(Code()));
+    };
+  }
+
+  ThreadRef Th;
+};
+
+/// Convenience spawners mirroring (future E) and (delay E).
+template <typename Fn> auto future(Fn &&Code, const SpawnOptions &Opts = {}) {
+  using T = std::invoke_result_t<Fn &>;
+  return Future<T>::spawn(std::forward<Fn>(Code), Opts);
+}
+
+template <typename Fn> auto delay(Fn &&Code, const SpawnOptions &Opts = {}) {
+  using T = std::invoke_result_t<Fn &>;
+  return Future<T>::delayed(std::forward<Fn>(Code), Opts);
+}
+
+} // namespace sting
+
+#endif // STING_SYNC_FUTURE_H

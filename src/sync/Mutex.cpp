@@ -1,0 +1,56 @@
+//===- sync/Mutex.cpp - Active/passive spinning mutexes ---------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/Mutex.h"
+
+#include "support/Backoff.h"
+
+namespace sting {
+
+void Mutex::acquire() {
+  STING_CHECK(onStingThread(), "Mutex::acquire outside a sting thread");
+
+  if (tryAcquire()) {
+    Stats.FastAcquires.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // Phase 1: active spinning — "causes the thread to retain control of its
+  // virtual processor during the period that it is blocked".
+  for (std::uint32_t I = 0; I != ActiveSpins; ++I) {
+    cpuRelax();
+    if (Locked.load(std::memory_order_relaxed))
+      continue;
+    if (tryAcquire()) {
+      Stats.ActiveAcquires.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  // Phase 2: passive spinning — "the thread relinquishes control of its
+  // VP, and inserts itself into an appropriate ready queue. When next run,
+  // it attempts to re-acquire the mutex."
+  for (std::uint32_t I = 0; I != PassiveSpins; ++I) {
+    ThreadController::yieldProcessor();
+    if (tryAcquire()) {
+      Stats.PassiveAcquires.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  // Phase 3: block — "if the passive spin count is exhausted ... the
+  // executing thread blocks on the mutex."
+  Stats.BlockedAcquires.fetch_add(1, std::memory_order_relaxed);
+  Blocked.await([this] { return tryAcquire(); }, this);
+}
+
+void Mutex::release() {
+  STING_DCHECK(isLocked(), "releasing an unlocked Mutex");
+  Locked.store(false, std::memory_order_release);
+  Blocked.wakeAll();
+}
+
+} // namespace sting

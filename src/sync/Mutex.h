@@ -1,0 +1,92 @@
+//===- sync/Mutex.h - Active/passive spinning mutexes ------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's mutex (section 4.2.1): "(make-mutex active passive)".
+/// Acquisition escalates through three phases:
+///
+///  1. *Active* spinning: the thread retains its virtual processor for
+///     `active` test attempts.
+///  2. *Passive* spinning: the thread yields its VP and retries on each
+///     redispatch, `passive` times.
+///  3. Blocking: the thread parks on the mutex's waiter queue; release
+///     restores all blocked threads to ready queues.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SYNC_MUTEX_H
+#define STING_SYNC_MUTEX_H
+
+#include "sync/ParkList.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace sting {
+
+/// Counters exposed for tests and the benchmark harness.
+struct MutexStats {
+  std::atomic<std::uint64_t> FastAcquires{0};    ///< got it on first try
+  std::atomic<std::uint64_t> ActiveAcquires{0};  ///< got it while spinning
+  std::atomic<std::uint64_t> PassiveAcquires{0}; ///< got it after yielding
+  std::atomic<std::uint64_t> BlockedAcquires{0}; ///< had to park
+};
+
+/// A user-level mutex with configurable active and passive spin counts.
+class Mutex {
+public:
+  /// \p ActiveSpins: lock-test attempts while holding the VP.
+  /// \p PassiveSpins: yield-and-retry rounds before blocking.
+  explicit Mutex(std::uint32_t ActiveSpins = 128,
+                 std::uint32_t PassiveSpins = 4)
+      : ActiveSpins(ActiveSpins), PassiveSpins(PassiveSpins) {}
+
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  /// Acquires the mutex (mutex-acquire). Must run on a sting thread.
+  void acquire();
+
+  /// Single acquisition attempt.
+  bool tryAcquire() {
+    return !Locked.load(std::memory_order_relaxed) &&
+           !Locked.exchange(true, std::memory_order_acquire);
+  }
+
+  /// Releases the mutex (mutex-release), waking all blocked threads.
+  void release();
+
+  bool isLocked() const { return Locked.load(std::memory_order_relaxed); }
+
+  /// BasicLockable aliases so std::lock_guard composes.
+  void lock() { acquire(); }
+  void unlock() { release(); }
+
+  const MutexStats &stats() const { return Stats; }
+
+private:
+  std::uint32_t ActiveSpins;
+  std::uint32_t PassiveSpins;
+  std::atomic<bool> Locked{false};
+  ParkList Blocked;
+  MutexStats Stats;
+};
+
+/// The paper's (with-mutex mutex body): acquires around a callable and
+/// releases even if the body exits with an exception.
+template <typename Fn> decltype(auto) withMutex(Mutex &M, Fn &&Body) {
+  struct Guard {
+    Mutex &M;
+    ~Guard() { M.release(); }
+  };
+  M.acquire();
+  Guard G{M};
+  return std::forward<Fn>(Body)();
+}
+
+} // namespace sting
+
+#endif // STING_SYNC_MUTEX_H

@@ -1,0 +1,98 @@
+//===- sync/ParkList.h - Parked-waiter queues --------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The waiting primitive the synchronization structures are built from: a
+/// queue of kernel-parked TCBs with a lost-wakeup-free await protocol.
+/// "The application completely controls the condition under which blocked
+/// threads may be resumed" (paper section 3.1) — ParkList is that
+/// mechanism: each structure supplies its own condition and decides whom
+/// to wake.
+///
+/// Protocol: a waiter re-checks its condition under the list lock before
+/// parking; wakers make the condition true *before* calling wake. A waker
+/// unlinks the TCB before unparking it, so a waiter that returns from the
+/// park owns its link node again (and spurious unparks — e.g. a wakeAll
+/// that raced with the waiter's own acquisition — simply re-run the loop).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SYNC_PARKLIST_H
+#define STING_SYNC_PARKLIST_H
+
+#include "core/Current.h"
+#include "core/Tcb.h"
+#include "core/ThreadController.h"
+#include "support/IntrusiveList.h"
+#include "support/SpinLock.h"
+
+#include <mutex>
+
+namespace sting {
+
+/// A queue of parked thread control blocks.
+class ParkList {
+public:
+  /// Blocks the calling thread until \p Condition() returns true.
+  /// \p Condition may have side effects (e.g. a try-acquire); it runs
+  /// either outside the lock (fast path) or under it (pre-park check).
+  template <typename Cond> void await(Cond Condition, const void *Blocker) {
+    for (;;) {
+      if (Condition())
+        return;
+      Tcb &Self = *currentTcb();
+      {
+        std::lock_guard<SpinLock> Guard(Lock);
+        if (Condition())
+          return;
+        Waiters.pushBack(Self);
+      }
+      ThreadController::parkCurrent(ParkClass::Kernel, Blocker);
+      // Whoever woke us unlinked our node first; loop and re-test.
+    }
+  }
+
+  /// Wakes the oldest waiter, if any. \returns true if one was woken.
+  bool wakeOne() {
+    Tcb *Woken = nullptr;
+    {
+      std::lock_guard<SpinLock> Guard(Lock);
+      if (Waiters.empty())
+        return false;
+      Woken = &Waiters.popFront().asTcb();
+    }
+    ThreadController::unparkTcb(*Woken, EnqueueReason::KernelBlock);
+    return true;
+  }
+
+  /// Wakes every waiter (the paper's mutex-release semantics: "all threads
+  /// blocked on this mutex are restored onto some ready queue").
+  void wakeAll() {
+    IntrusiveList<Schedulable, ReadyQueueTag> Woken;
+    {
+      std::lock_guard<SpinLock> Guard(Lock);
+      Woken.splice(Waiters);
+    }
+    while (!Woken.empty()) {
+      Tcb &C = Woken.popFront().asTcb();
+      ThreadController::unparkTcb(C, EnqueueReason::KernelBlock);
+    }
+  }
+
+  /// Racy count for tests and diagnostics.
+  std::size_t waiterCount() const {
+    std::lock_guard<SpinLock> Guard(Lock);
+    return Waiters.size();
+  }
+
+private:
+  mutable SpinLock Lock;
+  IntrusiveList<Schedulable, ReadyQueueTag> Waiters;
+};
+
+} // namespace sting
+
+#endif // STING_SYNC_PARKLIST_H

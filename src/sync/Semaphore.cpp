@@ -1,0 +1,33 @@
+//===- sync/Semaphore.cpp - Counting semaphores -------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/Semaphore.h"
+
+namespace sting {
+
+bool Semaphore::tryAcquire() {
+  std::int64_t Cur = Count.load(std::memory_order_relaxed);
+  while (Cur > 0) {
+    if (Count.compare_exchange_weak(Cur, Cur - 1,
+                                    std::memory_order_acquire))
+      return true;
+  }
+  return false;
+}
+
+void Semaphore::acquire() {
+  Waiters.await([this] { return tryAcquire(); }, this);
+}
+
+void Semaphore::release(std::int64_t N) {
+  Count.fetch_add(N, std::memory_order_release);
+  if (N == 1)
+    Waiters.wakeOne();
+  else
+    Waiters.wakeAll();
+}
+
+} // namespace sting

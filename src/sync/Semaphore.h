@@ -1,0 +1,52 @@
+//===- sync/Semaphore.h - Counting semaphores --------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A counting semaphore over the park machinery. In the paper semaphores
+/// appear as one of the representations a tuple-space can specialize to
+/// (section 4.2); the tuple module reuses this implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SYNC_SEMAPHORE_H
+#define STING_SYNC_SEMAPHORE_H
+
+#include "sync/ParkList.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace sting {
+
+/// A counting semaphore.
+class Semaphore {
+public:
+  explicit Semaphore(std::int64_t Initial = 0) : Count(Initial) {}
+
+  Semaphore(const Semaphore &) = delete;
+  Semaphore &operator=(const Semaphore &) = delete;
+
+  /// P / wait: blocks until a permit is available, then takes it.
+  void acquire();
+
+  /// Non-blocking P.
+  bool tryAcquire();
+
+  /// V / signal: releases \p N permits.
+  void release(std::int64_t N = 1);
+
+  std::int64_t available() const {
+    return Count.load(std::memory_order_acquire);
+  }
+
+private:
+  std::atomic<std::int64_t> Count;
+  ParkList Waiters;
+};
+
+} // namespace sting
+
+#endif // STING_SYNC_SEMAPHORE_H

@@ -1,0 +1,37 @@
+//===- sync/Speculative.cpp - Speculative parallelism ------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/Speculative.h"
+
+namespace sting {
+
+ThreadRef waitForOne(std::span<const ThreadRef> Group, bool TerminateLosers) {
+  STING_CHECK(!Group.empty(), "waitForOne over an empty group");
+
+  std::vector<Thread *> Raw;
+  Raw.reserve(Group.size());
+  for (const ThreadRef &T : Group)
+    Raw.push_back(T.get());
+
+  ThreadController::blockOnGroup(1, Raw);
+
+  ThreadRef Winner;
+  for (const ThreadRef &T : Group) {
+    if (!Winner && T->isDetermined()) {
+      Winner = T;
+      continue;
+    }
+    // "(map thread-terminate block-group)" — the paper terminates every
+    // member; terminate of the already-determined winner is a no-op, and
+    // losers die at their next controller call.
+    if (TerminateLosers)
+      ThreadController::threadTerminate(*T);
+  }
+  STING_CHECK(Winner, "blockOnGroup returned without a determined member");
+  return Winner;
+}
+
+} // namespace sting

@@ -1,0 +1,77 @@
+//===- sync/Speculative.h - Speculative parallelism --------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Speculative concurrency (paper section 4.3), built from the three
+/// primitives the paper lists: programmable priorities, waiting on the
+/// completion of other threads (block-on-group), and the ability of a
+/// winner to terminate losers.
+///
+///   waitForOne  — OR-parallelism: returns the first determined thread and
+///                 (optionally) terminates the rest.
+///   SpeculativeSet — a task set with per-task priorities and abort.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SYNC_SPECULATIVE_H
+#define STING_SYNC_SPECULATIVE_H
+
+#include "core/Thread.h"
+#include "core/ThreadController.h"
+
+#include <span>
+#include <vector>
+
+namespace sting {
+
+/// The paper's wait-for-one: blocks until any thread in \p Group is
+/// determined; \returns one determined member. With \p TerminateLosers
+/// (the default, matching the paper's definition) all other members are
+/// sent terminate requests before returning.
+ThreadRef waitForOne(std::span<const ThreadRef> Group,
+                     bool TerminateLosers = true);
+
+/// A set of speculative alternatives. Tasks added with higher priority are
+/// favored by priority policy managers ("promising tasks can execute
+/// before unlikely ones because priorities are programmable").
+class SpeculativeSet {
+public:
+  SpeculativeSet() = default;
+  SpeculativeSet(const SpeculativeSet &) = delete;
+  SpeculativeSet &operator=(const SpeculativeSet &) = delete;
+
+  /// Forks a speculative task. \p Priority is a policy hint.
+  template <typename Fn>
+  ThreadRef add(Fn &&Code, int Priority = 0) {
+    SpawnOptions Opts;
+    Opts.Priority = Priority;
+    ThreadRef T = ThreadController::forkThread(
+        [Code = std::forward<Fn>(Code)]() mutable -> AnyValue {
+          return AnyValue(Code());
+        },
+        Opts);
+    Tasks.push_back(T);
+    return T;
+  }
+
+  /// Waits for the first completion; terminates the rest.
+  ThreadRef awaitFirst() { return waitForOne(Tasks); }
+
+  /// Requests termination of every still-running task.
+  void abortAll() {
+    for (const ThreadRef &T : Tasks)
+      ThreadController::threadTerminate(*T);
+  }
+
+  const std::vector<ThreadRef> &tasks() const { return Tasks; }
+
+private:
+  std::vector<ThreadRef> Tasks;
+};
+
+} // namespace sting
+
+#endif // STING_SYNC_SPECULATIVE_H

@@ -1,0 +1,136 @@
+//===- sync/Stream.h - Synchronizing streams ---------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-defined synchronizing stream of the paper's sieve example
+/// (section 3.1.1): "a blocking operation on stream access (hd) and an
+/// atomic operation for appending to the end of a stream (attach)".
+///
+/// A stream is an append-only list of cells; readers traverse it with
+/// cursors (the paper's (rest input)), so any number of consumers can read
+/// the whole stream independently. hd blocks until the cursor's cell
+/// exists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SYNC_STREAM_H
+#define STING_SYNC_STREAM_H
+
+#include "sync/ParkList.h"
+
+#include <atomic>
+
+namespace sting {
+
+/// An append-only synchronizing stream of T.
+template <typename T> class Stream {
+  struct Cell {
+    explicit Cell(T Val) : Val(std::move(Val)) {}
+    T Val;
+    std::atomic<Cell *> Next{nullptr};
+  };
+
+public:
+  Stream() = default;
+  Stream(const Stream &) = delete;
+  Stream &operator=(const Stream &) = delete;
+
+  ~Stream() {
+    Cell *C = Head.load(std::memory_order_relaxed);
+    while (C) {
+      Cell *Next = C->Next.load(std::memory_order_relaxed);
+      delete C;
+      C = Next;
+    }
+  }
+
+  /// A read position. Copyable: copies traverse independently from the
+  /// same point (the paper's persistent list semantics).
+  class Cursor {
+  public:
+    Cursor() = default;
+
+  private:
+    friend class Stream;
+    explicit Cursor(const Stream *S) : S(S) {}
+    const Stream *S = nullptr;
+    Cell *At = nullptr; ///< last consumed cell; null = before first
+  };
+
+  /// \returns a cursor at the beginning of the stream.
+  Cursor begin() const { return Cursor(this); }
+
+  /// Atomically appends \p Val (the paper's attach) and wakes readers.
+  void attach(T Val) {
+    auto *C = new Cell(std::move(Val));
+    {
+      std::lock_guard<SpinLock> Guard(TailLock);
+      if (Cell *Last = Tail) {
+        Last->Next.store(C, std::memory_order_release);
+      } else {
+        Head.store(C, std::memory_order_release);
+      }
+      Tail = C;
+      Count.fetch_add(1, std::memory_order_release);
+    }
+    Readers.wakeAll();
+  }
+
+  /// Blocking head (the paper's hd): waits until the element after
+  /// \p Pos exists and returns a reference to it without consuming.
+  const T &hd(const Cursor &Pos) {
+    Cell *C = nextCell(Pos);
+    if (!C) {
+      Readers.await([&] { return (C = nextCell(Pos)) != nullptr; }, this);
+    }
+    return C->Val;
+  }
+
+  /// Non-blocking head probe.
+  const T *tryHd(const Cursor &Pos) const {
+    Cell *C = nextCell(Pos);
+    return C ? &C->Val : nullptr;
+  }
+
+  /// Advances past the current head (the paper's rest). The element must
+  /// exist; call hd first (or use next()).
+  Cursor rest(const Cursor &Pos) const {
+    Cell *C = nextCell(Pos);
+    STING_CHECK(C, "rest past the end of a stream");
+    Cursor Out = Pos;
+    Out.At = C;
+    return Out;
+  }
+
+  /// hd + rest: blocks for the next element, returns it by value and
+  /// advances \p Pos.
+  T next(Cursor &Pos) {
+    T Val = hd(Pos);
+    Pos = rest(Pos);
+    return Val;
+  }
+
+  /// Elements attached so far.
+  std::size_t size() const { return Count.load(std::memory_order_acquire); }
+
+private:
+  Cell *nextCell(const Cursor &Pos) const {
+    STING_DCHECK(Pos.S == this, "cursor belongs to another stream");
+    if (Pos.At)
+      return Pos.At->Next.load(std::memory_order_acquire);
+    return Head.load(std::memory_order_acquire);
+  }
+
+  std::atomic<Cell *> Head{nullptr};
+  Cell *Tail = nullptr;
+  SpinLock TailLock;
+  std::atomic<std::size_t> Count{0};
+  ParkList Readers;
+};
+
+} // namespace sting
+
+#endif // STING_SYNC_STREAM_H

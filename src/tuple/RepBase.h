@@ -1,0 +1,56 @@
+//===- tuple/RepBase.h - Tuple-space representation interface ----*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Private interface implemented by each tuple-space representation. The
+/// facade (TupleSpace) normalizes tuples (interning, escaping) before
+/// calling in; representations only see resolved gc values, live threads
+/// and formals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_TUPLE_REPBASE_H
+#define STING_TUPLE_REPBASE_H
+
+#include "tuple/Tuple.h"
+#include "tuple/TupleSpace.h"
+
+#include <optional>
+
+namespace sting {
+namespace detail {
+
+class TupleSpaceRepBase {
+public:
+  virtual ~TupleSpaceRepBase() = default;
+
+  virtual void put(Tuple T) = 0;
+  virtual Match match(const Tuple &Template, bool Remove,
+                      TupleSpaceStats &Stats) = 0;
+  virtual std::optional<Match> tryMatch(const Tuple &Template,
+                                        bool Remove) = 0;
+  virtual std::size_t size() const = 0;
+};
+
+/// The general two-hash-table representation (TupleSpace.cpp).
+std::unique_ptr<TupleSpaceRepBase> makeHashedRep(gc::GlobalHeap &Heap);
+
+/// Specialized representations (Specialize.cpp).
+std::unique_ptr<TupleSpaceRepBase> makeSpecializedRep(TupleSpaceRep Rep,
+                                                      gc::GlobalHeap &Heap);
+
+/// Shared helper: number of formals referenced by \p Template (max index
+/// + 1); also validates that formals appear only in templates.
+std::size_t bindingCount(const Tuple &Template);
+
+/// Shared helper: builds a Match from resolved values and a template.
+Match buildMatch(const std::vector<gc::Value> &Values,
+                 const Tuple &Template);
+
+} // namespace detail
+} // namespace sting
+
+#endif // STING_TUPLE_REPBASE_H

@@ -1,0 +1,392 @@
+//===- tuple/Specialize.cpp - Specialized tuple-space representations --------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// "In our current implementation, tuple-spaces can be specialized as
+// synchronized vectors, queues, sets, shared variables, semaphores, or
+// bags; the operations permitted on tuple-spaces remain invariant over
+// their representation." (paper section 4.2)
+//
+// Each representation implements the same put/match interface over storage
+// tailored to its access pattern; shape restrictions (singleton tuples,
+// [index value] pairs) are checked at the operation boundary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuple/RepBase.h"
+
+#include "gc/GlobalHeap.h"
+#include "gc/Object.h"
+#include "sync/ParkList.h"
+
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace sting {
+namespace {
+
+using namespace sting::detail;
+
+/// Common base for the singleton-tuple representations: storage is a set
+/// of gc values registered as GC roots, guarded by one lock, with one
+/// waiter list.
+class SingletonRepBase : public TupleSpaceRepBase {
+public:
+  explicit SingletonRepBase(gc::GlobalHeap &Heap) : Heap(Heap) {}
+
+  ~SingletonRepBase() override {
+    std::lock_guard<SpinLock> Guard(Lock);
+    for (auto &Slot : Slots)
+      Heap.removeRoot(Slot.get());
+  }
+
+  Match match(const Tuple &Template, bool Remove,
+              TupleSpaceStats &Stats) override {
+    std::optional<Match> Result;
+    Waiters.await(
+        [&] {
+          Result = tryMatch(Template, Remove);
+          return Result.has_value();
+        },
+        this);
+    (void)Stats;
+    return std::move(*Result);
+  }
+
+protected:
+  /// Single-value tuples only.
+  static gc::Value soleValue(const Tuple &T) {
+    STING_CHECK(T.size() == 1 && T.front().isDatum(),
+                "this representation holds singleton tuples");
+    return T.front().value();
+  }
+
+  /// Registers a stored value as a GC root; returns a stable slot.
+  gc::Value *pin(gc::Value V) {
+    Slots.push_back(std::make_unique<gc::Value>(V));
+    Heap.addRoot(Slots.back().get());
+    return Slots.back().get();
+  }
+
+  void unpin(gc::Value *Slot) {
+    Heap.removeRoot(Slot);
+    for (auto It = Slots.begin(); It != Slots.end(); ++It) {
+      if (It->get() != Slot)
+        continue;
+      Slots.erase(It);
+      return;
+    }
+  }
+
+  static Match singletonMatch(gc::Value V, const Tuple &Template) {
+    return buildMatch({V}, Template);
+  }
+
+  gc::GlobalHeap &Heap;
+  SpinLock Lock;
+  ParkList Waiters;
+
+private:
+  std::vector<std::unique_ptr<gc::Value>> Slots;
+};
+
+//===----------------------------------------------------------------------===//
+// Queue: ordered singleton tuples, no content matching on take.
+//===----------------------------------------------------------------------===//
+
+class QueueRep final : public SingletonRepBase {
+public:
+  using SingletonRepBase::SingletonRepBase;
+
+  void put(Tuple T) override {
+    gc::Value V = soleValue(T);
+    {
+      std::lock_guard<SpinLock> Guard(Lock);
+      Items.push_back(pin(V));
+    }
+    Waiters.wakeAll();
+  }
+
+  std::optional<Match> tryMatch(const Tuple &Template,
+                                bool Remove) override {
+    checkTemplate(Template);
+    std::lock_guard<SpinLock> Guard(Lock);
+    if (Items.empty())
+      return std::nullopt;
+    gc::Value *Slot = Items.front();
+    gc::Value V = *Slot;
+    if (Remove) {
+      Items.pop_front();
+      unpin(Slot);
+    }
+    return singletonMatch(V, Template);
+  }
+
+  std::size_t size() const override {
+    std::lock_guard<SpinLock> Guard(
+        const_cast<SpinLock &>(Lock));
+    return Items.size();
+  }
+
+private:
+  static void checkTemplate(const Tuple &Template) {
+    STING_CHECK(Template.size() == 1 && Template.front().isFormal(),
+                "queue representation matches only [?x] templates");
+  }
+
+  std::deque<gc::Value *> Items;
+};
+
+//===----------------------------------------------------------------------===//
+// Bag / Set: unordered singleton tuples; templates may be [?x] or [v].
+//===----------------------------------------------------------------------===//
+
+class BagRep : public SingletonRepBase {
+public:
+  BagRep(gc::GlobalHeap &Heap, bool Dedupe)
+      : SingletonRepBase(Heap), Dedupe(Dedupe) {}
+
+  void put(Tuple T) override {
+    gc::Value V = soleValue(T);
+    {
+      std::lock_guard<SpinLock> Guard(Lock);
+      if (Dedupe) {
+        for (gc::Value *Slot : Items)
+          if (gc::valueEqual(*Slot, V))
+            return; // set semantics: ignore duplicates
+      }
+      Items.push_back(pin(V));
+    }
+    Waiters.wakeAll();
+  }
+
+  std::optional<Match> tryMatch(const Tuple &Template,
+                                bool Remove) override {
+    STING_CHECK(Template.size() == 1,
+                "bag/set representation holds singleton tuples");
+    const Field &TF = Template.front();
+    std::lock_guard<SpinLock> Guard(Lock);
+    for (auto It = Items.begin(); It != Items.end(); ++It) {
+      gc::Value V = **It;
+      if (!TF.isFormal() && !gc::valueEqual(TF.value(), V))
+        continue;
+      if (Remove) {
+        gc::Value *Slot = *It;
+        Items.erase(It);
+        unpin(Slot);
+      }
+      return singletonMatch(V, Template);
+    }
+    return std::nullopt;
+  }
+
+  std::size_t size() const override {
+    std::lock_guard<SpinLock> Guard(const_cast<SpinLock &>(Lock));
+    return Items.size();
+  }
+
+private:
+  bool Dedupe;
+  std::vector<gc::Value *> Items;
+};
+
+//===----------------------------------------------------------------------===//
+// Shared variable: a single cell; put overwrites, read blocks until set,
+// take empties.
+//===----------------------------------------------------------------------===//
+
+class SharedVariableRep final : public SingletonRepBase {
+public:
+  explicit SharedVariableRep(gc::GlobalHeap &Heap) : SingletonRepBase(Heap) {
+    Heap.addRoot(&Cell);
+  }
+  ~SharedVariableRep() override { Heap.removeRoot(&Cell); }
+
+  void put(Tuple T) override {
+    gc::Value V = soleValue(T);
+    {
+      std::lock_guard<SpinLock> Guard(Lock);
+      Cell = V;
+      Full = true;
+    }
+    Waiters.wakeAll();
+  }
+
+  std::optional<Match> tryMatch(const Tuple &Template,
+                                bool Remove) override {
+    STING_CHECK(Template.size() == 1,
+                "shared-variable representation holds singleton tuples");
+    const Field &TF = Template.front();
+    std::lock_guard<SpinLock> Guard(Lock);
+    if (!Full)
+      return std::nullopt;
+    if (!TF.isFormal() && !gc::valueEqual(TF.value(), Cell))
+      return std::nullopt;
+    gc::Value V = Cell;
+    if (Remove) {
+      Full = false;
+      Cell = gc::Value::nil();
+    }
+    return singletonMatch(V, Template);
+  }
+
+  std::size_t size() const override {
+    std::lock_guard<SpinLock> Guard(const_cast<SpinLock &>(Lock));
+    return Full ? 1 : 0;
+  }
+
+private:
+  gc::Value Cell;
+  bool Full = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Semaphore: only counts matter; the paper's get/put over a singleton
+// token tuple compile down to P and V.
+//===----------------------------------------------------------------------===//
+
+class SemaphoreRep final : public SingletonRepBase {
+public:
+  using SingletonRepBase::SingletonRepBase;
+
+  void put(Tuple T) override {
+    STING_CHECK(T.size() == 1, "semaphore representation takes one token");
+    Tokens.fetch_add(1, std::memory_order_release);
+    Waiters.wakeOne();
+  }
+
+  std::optional<Match> tryMatch(const Tuple &Template,
+                                bool Remove) override {
+    STING_CHECK(Template.size() == 1,
+                "semaphore representation takes one token");
+    if (!Remove) {
+      // rd: observe a token without consuming.
+      if (Tokens.load(std::memory_order_acquire) == 0)
+        return std::nullopt;
+      return singletonMatch(gc::Value::fixnum(1), Template);
+    }
+    std::int64_t Cur = Tokens.load(std::memory_order_relaxed);
+    while (Cur > 0) {
+      if (Tokens.compare_exchange_weak(Cur, Cur - 1,
+                                       std::memory_order_acquire))
+        return singletonMatch(gc::Value::fixnum(1), Template);
+    }
+    return std::nullopt;
+  }
+
+  std::size_t size() const override {
+    std::int64_t N = Tokens.load(std::memory_order_acquire);
+    return N > 0 ? static_cast<std::size_t>(N) : 0;
+  }
+
+private:
+  std::atomic<std::int64_t> Tokens{0};
+};
+
+//===----------------------------------------------------------------------===//
+// Vector: tuples of the form [index value]; reads of [index ?x] block
+// until the cell is written.
+//===----------------------------------------------------------------------===//
+
+class VectorRep final : public TupleSpaceRepBase {
+public:
+  explicit VectorRep(gc::GlobalHeap &Heap) : Heap(Heap) {}
+
+  ~VectorRep() override {
+    std::lock_guard<SpinLock> Guard(Lock);
+    for (auto &Cell : Cells)
+      if (Cell)
+        Heap.removeRoot(Cell.get());
+  }
+
+  void put(Tuple T) override {
+    STING_CHECK(T.size() == 2 && T[0].isDatum() && T[0].value().isFixnum() &&
+                    T[1].isDatum(),
+                "vector representation stores [index value] tuples");
+    auto Index = static_cast<std::size_t>(T[0].value().asFixnum());
+    {
+      std::lock_guard<SpinLock> Guard(Lock);
+      if (Cells.size() <= Index)
+        Cells.resize(Index + 1);
+      if (!Cells[Index]) {
+        Cells[Index] = std::make_unique<gc::Value>(T[1].value());
+        Heap.addRoot(Cells[Index].get());
+      } else {
+        *Cells[Index] = T[1].value();
+      }
+    }
+    Waiters.wakeAll();
+  }
+
+  Match match(const Tuple &Template, bool Remove,
+              TupleSpaceStats &) override {
+    std::optional<Match> Result;
+    Waiters.await(
+        [&] {
+          Result = tryMatch(Template, Remove);
+          return Result.has_value();
+        },
+        this);
+    return std::move(*Result);
+  }
+
+  std::optional<Match> tryMatch(const Tuple &Template,
+                                bool Remove) override {
+    STING_CHECK(Template.size() == 2 && Template[0].isDatum() &&
+                    Template[0].value().isFixnum(),
+                "vector representation matches [index ?x] templates");
+    auto Index = static_cast<std::size_t>(Template[0].value().asFixnum());
+    std::lock_guard<SpinLock> Guard(Lock);
+    if (Index >= Cells.size() || !Cells[Index])
+      return std::nullopt;
+    gc::Value V = *Cells[Index];
+    const Field &TF = Template[1];
+    if (!TF.isFormal() && !gc::valueEqual(TF.value(), V))
+      return std::nullopt;
+    if (Remove) {
+      Heap.removeRoot(Cells[Index].get());
+      Cells[Index].reset();
+    }
+    return buildMatch({Template[0].value(), V}, Template);
+  }
+
+  std::size_t size() const override {
+    std::lock_guard<SpinLock> Guard(const_cast<SpinLock &>(Lock));
+    std::size_t N = 0;
+    for (const auto &Cell : Cells)
+      N += Cell != nullptr;
+    return N;
+  }
+
+private:
+  gc::GlobalHeap &Heap;
+  mutable SpinLock Lock;
+  std::vector<std::unique_ptr<gc::Value>> Cells;
+  ParkList Waiters;
+};
+
+} // namespace
+
+std::unique_ptr<detail::TupleSpaceRepBase>
+detail::makeSpecializedRep(TupleSpaceRep Rep, gc::GlobalHeap &Heap) {
+  switch (Rep) {
+  case TupleSpaceRep::Queue:
+    return std::make_unique<QueueRep>(Heap);
+  case TupleSpaceRep::Bag:
+    return std::make_unique<BagRep>(Heap, /*Dedupe=*/false);
+  case TupleSpaceRep::Set:
+    return std::make_unique<BagRep>(Heap, /*Dedupe=*/true);
+  case TupleSpaceRep::SharedVariable:
+    return std::make_unique<SharedVariableRep>(Heap);
+  case TupleSpaceRep::Semaphore:
+    return std::make_unique<SemaphoreRep>(Heap);
+  case TupleSpaceRep::Vector:
+    return std::make_unique<VectorRep>(Heap);
+  case TupleSpaceRep::Hashed:
+    break;
+  }
+  STING_UNREACHABLE("not a specialized representation");
+}
+
+} // namespace sting

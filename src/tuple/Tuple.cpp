@@ -1,0 +1,10 @@
+//===- tuple/Tuple.cpp - Tuple helpers ---------------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuple/Tuple.h"
+
+// Field and Tuple are header-only; this TU anchors the module and hosts
+// nothing else at present.

@@ -1,0 +1,164 @@
+//===- tuple/Tuple.h - Tuples, templates and matches -------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tuples and templates for first-class tuple spaces (paper section 4.2).
+/// "Our system also treats tuples as objects, and tuple operations as
+/// binding expressions, not statements."
+///
+/// A Field is one tuple position:
+///   - a datum (tagged gc value; C++ integers and strings convert —
+///     strings intern as symbols, so equality is identity),
+///   - a *live thread* (the paper's spawn deposits threads as bona fide
+///     tuple elements),
+///   - a *thunk* (only in spawn: forked into a live thread),
+///   - a *formal* ("?x"): only in templates; acquires a binding on match.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_TUPLE_TUPLE_H
+#define STING_TUPLE_TUPLE_H
+
+#include "core/Thread.h"
+#include "gc/Value.h"
+#include "support/UniqueFunction.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sting {
+
+/// One position of a tuple or template.
+class Field {
+public:
+  enum class Kind : std::uint8_t {
+    Datum,      ///< a gc::Value (possibly pending symbol interning)
+    LiveThread, ///< a running/scheduled thread; its value is the field
+    Thunk,      ///< spawn-only: code to fork into a LiveThread
+    Formal,     ///< template-only: binds the matched value
+  };
+
+  /// Fixnum datum.
+  Field(int V) : TheKind(Kind::Datum), V(gc::Value::fixnum(V)) {}
+  Field(long V) : TheKind(Kind::Datum), V(gc::Value::fixnum(V)) {}
+  Field(long long V) : TheKind(Kind::Datum), V(gc::Value::fixnum(V)) {}
+
+  /// Boolean datum.
+  Field(bool B) : TheKind(Kind::Datum), V(gc::Value::boolean(B)) {}
+
+  /// Text datum; interned as a symbol when the tuple enters a space.
+  Field(const char *Text) : TheKind(Kind::Datum), Text(Text) {}
+  Field(std::string_view Text) : TheKind(Kind::Datum), Text(Text) {}
+
+  /// Arbitrary tagged value. Young values are escaped to the shared old
+  /// generation when the tuple enters a space.
+  Field(gc::Value V) : TheKind(Kind::Datum), V(V) {}
+
+  /// A live thread (the paper's threads-in-tuples). The thread's result
+  /// must be an AnyValue holding a gc::Value.
+  Field(ThreadRef T) : TheKind(Kind::LiveThread), Th(std::move(T)) {}
+
+  /// Spawn-only thunk field.
+  Field(UniqueFunction<gc::Value()> Code)
+      : TheKind(Kind::Thunk), Code(std::move(Code)) {}
+
+  /// Template formal binding slot \p Index (the paper's ?x).
+  static Field formal(unsigned Index) {
+    Field F;
+    F.TheKind = Kind::Formal;
+    F.FormalIndex = Index;
+    return F;
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isDatum() const { return TheKind == Kind::Datum; }
+  bool isFormal() const { return TheKind == Kind::Formal; }
+  bool isLiveThread() const { return TheKind == Kind::LiveThread; }
+  bool isThunk() const { return TheKind == Kind::Thunk; }
+
+  /// Datum access; pending text must have been interned by the space.
+  gc::Value value() const {
+    STING_DCHECK(isDatum() && !hasPendingText(), "field has no value yet");
+    return V;
+  }
+
+  /// Address of the datum slot, for GC root registration by spaces.
+  gc::Value *valueSlot() { return &V; }
+
+  bool hasPendingText() const { return !Text.empty(); }
+  const std::string &pendingText() const { return Text; }
+  void resolveText(gc::Value Symbol) {
+    V = Symbol;
+    Text.clear();
+  }
+  void setValue(gc::Value NewV) { V = NewV; }
+
+  unsigned formalIndex() const {
+    STING_DCHECK(isFormal(), "formalIndex of non-formal");
+    return FormalIndex;
+  }
+
+  const ThreadRef &thread() const { return Th; }
+  UniqueFunction<gc::Value()> takeThunk() { return std::move(Code); }
+
+  /// Converts a thunk field into the live thread that evaluates it.
+  void becomeLiveThread(ThreadRef T) {
+    STING_DCHECK(isThunk(), "becomeLiveThread on non-thunk");
+    TheKind = Kind::LiveThread;
+    Th = std::move(T);
+    Code.reset();
+  }
+
+  /// Replaces a live-thread field with its determined value.
+  void becomeDatum(gc::Value NewV) {
+    TheKind = Kind::Datum;
+    V = NewV;
+    Th.reset();
+  }
+
+private:
+  Field() = default;
+
+  Kind TheKind = Kind::Datum;
+  gc::Value V;
+  std::string Text;
+  ThreadRef Th;
+  UniqueFunction<gc::Value()> Code;
+  unsigned FormalIndex = 0;
+};
+
+/// The paper's ?x notation: formal(0), formal(1), ...
+inline Field formal(unsigned Index) { return Field::formal(Index); }
+
+/// A tuple (or template — templates simply contain Formal fields).
+using Tuple = std::vector<Field>;
+
+/// Builds a tuple from field-convertible arguments. (Fields are move-only
+/// because thunk fields own their code, so brace-initialization of the
+/// vector is unavailable.)
+template <typename... Args> Tuple makeTuple(Args &&...As) {
+  Tuple T;
+  T.reserve(sizeof...(As));
+  (T.emplace_back(std::forward<Args>(As)), ...);
+  return T;
+}
+
+/// The result of a successful read/take: resolved field values plus the
+/// bindings acquired by formals, indexed by their formal number.
+struct Match {
+  std::vector<gc::Value> Fields;
+  std::vector<gc::Value> Bindings;
+
+  gc::Value binding(unsigned Index) const {
+    STING_CHECK(Index < Bindings.size(), "formal index out of range");
+    return Bindings[Index];
+  }
+};
+
+} // namespace sting
+
+#endif // STING_TUPLE_TUPLE_H

@@ -1,0 +1,491 @@
+//===- tuple/TupleSpace.cpp - Facade and the hashed representation ----------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// The general representation follows paper section 4.2: a hash table of
+// passive tuples (HP) and, per bin, a queue of blocked readers (HB), with
+// "a mutex with every hash bin rather than a global mutex on the entire
+// hash table". Tuples whose first field cannot be hashed (live threads)
+// live in a wildcard bin scanned by every reader.
+//
+// Thread fields integrate with stealing: a reader that needs the value of
+// a delayed/scheduled thread found in a tuple steals it via threadWait; a
+// reader blocked on an *evaluating* thread field waits on that thread
+// directly (the paper: "P may choose to either block on one (or both)
+// thread(s), or examine other potentially matching tuples").
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuple/TupleSpace.h"
+
+#include "core/Gc.h"
+#include "core/ThreadController.h"
+#include "gc/GlobalHeap.h"
+#include "gc/Object.h"
+#include "sync/ParkList.h"
+#include "tuple/RepBase.h"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace sting {
+
+//===----------------------------------------------------------------------===//
+// Shared helpers
+//===----------------------------------------------------------------------===//
+
+const char *tupleSpaceRepName(TupleSpaceRep Rep) {
+  switch (Rep) {
+  case TupleSpaceRep::Hashed:
+    return "hashed";
+  case TupleSpaceRep::Queue:
+    return "queue";
+  case TupleSpaceRep::Bag:
+    return "bag";
+  case TupleSpaceRep::Set:
+    return "set";
+  case TupleSpaceRep::SharedVariable:
+    return "shared-variable";
+  case TupleSpaceRep::Semaphore:
+    return "semaphore";
+  case TupleSpaceRep::Vector:
+    return "vector";
+  }
+  STING_UNREACHABLE("bad tuple-space representation");
+}
+
+TupleSpaceRep chooseRepresentation(const TupleOpsProfile &P) {
+  if (P.TokensOnly)
+    return TupleSpaceRep::Semaphore;
+  if (P.SingleCell)
+    return TupleSpaceRep::SharedVariable;
+  if (P.IndexedAccess)
+    return TupleSpaceRep::Vector;
+  if (!P.UsesTemplates && P.SingletonTuples) {
+    if (P.OrderedConsumption)
+      return TupleSpaceRep::Queue;
+    return P.AllowsDuplicates ? TupleSpaceRep::Bag : TupleSpaceRep::Set;
+  }
+  return TupleSpaceRep::Hashed;
+}
+
+std::size_t detail::bindingCount(const Tuple &Template) {
+  std::size_t Count = 0;
+  for (const Field &F : Template)
+    if (F.isFormal())
+      Count = std::max(Count, std::size_t(F.formalIndex()) + 1);
+  return Count;
+}
+
+Match detail::buildMatch(const std::vector<gc::Value> &Values,
+                         const Tuple &Template) {
+  Match M;
+  M.Fields = Values;
+  M.Bindings.resize(bindingCount(Template), gc::Value::nil());
+  for (std::size_t I = 0; I != Template.size(); ++I)
+    if (Template[I].isFormal())
+      M.Bindings[Template[I].formalIndex()] = Values[I];
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Hashed representation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using namespace sting::detail;
+
+constexpr std::size_t NumBins = 64;
+
+/// A deposited tuple. Shared ownership: matchers may hold an entry across
+/// thread-field resolution while a competing taker removes it.
+struct Entry {
+  explicit Entry(Tuple T, gc::GlobalHeap &Heap)
+      : Fields(std::move(T)), Heap(Heap) {
+    for (Field &F : Fields)
+      if (F.isDatum())
+        Heap.addRoot(F.valueSlot());
+  }
+
+  ~Entry() {
+    for (Field &F : Fields)
+      if (F.isDatum())
+        Heap.removeRoot(F.valueSlot());
+  }
+
+  /// Replaces a determined live-thread field with its value, once.
+  void resolveField(std::size_t I, gc::Value V) {
+    std::lock_guard<SpinLock> Guard(Lock);
+    if (!Fields[I].isLiveThread())
+      return;
+    Fields[I].becomeDatum(V);
+    Heap.addRoot(Fields[I].valueSlot());
+  }
+
+  Tuple Fields;
+  gc::GlobalHeap &Heap;
+  SpinLock Lock; ///< guards live-thread resolution
+  bool Removed = false;
+};
+
+using EntryRef = std::shared_ptr<Entry>;
+
+/// One hash bin: a lock, the passive tuples (HP row), and the blocked
+/// readers (HB row).
+struct Bin {
+  SpinLock Lock;
+  std::vector<EntryRef> Items;
+  ParkList Waiters;
+};
+
+/// Result of matching one entry against a template.
+enum class EntryMatch {
+  No,         ///< incompatible
+  Yes,        ///< all fields matched and resolved
+  NeedThread, ///< datum fields match; a thread field is unresolved
+};
+
+class HashedRep final : public TupleSpaceRepBase {
+public:
+  explicit HashedRep(gc::GlobalHeap &Heap) : Heap(Heap) {}
+
+  void put(Tuple T) override {
+    auto E = std::make_shared<Entry>(std::move(T), Heap);
+    Bin &B = binForTuple(E->Fields);
+    {
+      std::lock_guard<SpinLock> Guard(B.Lock);
+      B.Items.push_back(E);
+    }
+    DepositEpoch.fetch_add(1, std::memory_order_release);
+    Count.fetch_add(1, std::memory_order_release);
+    // Wake this bin's readers and the formal-first-field readers parked on
+    // the wildcard bin.
+    B.Waiters.wakeAll();
+    if (&B != &Wildcard)
+      Wildcard.Waiters.wakeAll();
+    else
+      broadcast(); // a wildcard tuple can match any template
+  }
+
+  std::optional<Match> tryMatch(const Tuple &Template,
+                                bool Remove) override {
+    ThreadRef Unresolved;
+    return scanOnce(Template, Remove, /*AllowSteal=*/true, Unresolved);
+  }
+
+  Match match(const Tuple &Template, bool Remove,
+              TupleSpaceStats &Stats) override {
+    for (;;) {
+      // Snapshot the deposit epoch *before* scanning: a deposit landing
+      // mid-scan advances it, so the await below cannot sleep through it.
+      std::uint64_t Epoch = DepositEpoch.load(std::memory_order_acquire);
+
+      ThreadRef Unresolved;
+      if (auto M =
+              scanOnce(Template, Remove, /*AllowSteal=*/true, Unresolved))
+        return std::move(*M);
+
+      if (Unresolved) {
+        // Wait on the thread element itself; its completion may complete
+        // our match. (Steals of delayed/scheduled threads happen inside
+        // threadWait.)
+        Stats.Blocks.fetch_add(1, std::memory_order_relaxed);
+        ThreadController::threadWait(*Unresolved);
+        continue;
+      }
+
+      // Block until another deposit lands (the HB row).
+      Stats.Blocks.fetch_add(1, std::memory_order_relaxed);
+      Bin &B = binForTemplate(Template);
+      B.Waiters.await(
+          [&] {
+            return DepositEpoch.load(std::memory_order_acquire) != Epoch;
+          },
+          this);
+    }
+  }
+
+  std::size_t size() const override {
+    return Count.load(std::memory_order_acquire);
+  }
+
+private:
+  static std::size_t hashKey(std::size_t Arity, gc::Value V) {
+    std::uint64_t H = gc::valueHash(V);
+    H ^= Arity * 0x9e3779b97f4a7c15ull;
+    return H % NumBins;
+  }
+
+  Bin &binForTuple(const Tuple &T) {
+    if (T.empty() || !T.front().isDatum())
+      return Wildcard;
+    return Bins[hashKey(T.size(), T.front().value())];
+  }
+
+  /// The bin a reader parks on; concrete-first-field templates use their
+  /// hash bin, others the wildcard bin (which every deposit wakes).
+  Bin &binForTemplate(const Tuple &T) {
+    if (T.empty() || !T.front().isDatum())
+      return Wildcard;
+    return Bins[hashKey(T.size(), T.front().value())];
+  }
+
+  /// One pass over the candidate bins. On success returns the match; on
+  /// failure sets \p Unresolved to an evaluating thread field worth
+  /// waiting on (if any).
+  std::optional<Match> scanOnce(const Tuple &Template, bool Remove,
+                                bool AllowSteal, ThreadRef &Unresolved) {
+    if (!Template.empty() && Template.front().isDatum()) {
+      Bin &B = Bins[hashKey(Template.size(), Template.front().value())];
+      if (auto M = scanBin(B, Template, Remove, AllowSteal, Unresolved))
+        return M;
+      return scanBin(Wildcard, Template, Remove, AllowSteal, Unresolved);
+    }
+    // Formal first field: full scan (the slow path the paper's hashing is
+    // designed to avoid).
+    for (Bin &B : Bins)
+      if (auto M = scanBin(B, Template, Remove, AllowSteal, Unresolved))
+        return M;
+    return scanBin(Wildcard, Template, Remove, AllowSteal, Unresolved);
+  }
+
+  std::optional<Match> scanBin(Bin &B, const Tuple &Template, bool Remove,
+                               bool AllowSteal, ThreadRef &Unresolved) {
+    // Snapshot candidates under the bin lock; resolve thread fields
+    // outside it (stealing runs arbitrary user code).
+    std::vector<EntryRef> Candidates;
+    {
+      std::lock_guard<SpinLock> Guard(B.Lock);
+      for (const EntryRef &E : B.Items)
+        if (prefilter(*E, Template))
+          Candidates.push_back(E);
+    }
+
+    for (const EntryRef &E : Candidates) {
+      std::vector<gc::Value> Values;
+      EntryMatch R = resolveEntry(*E, Template, AllowSteal, Values);
+      if (R == EntryMatch::NeedThread) {
+        if (!Unresolved)
+          Unresolved = firstUnresolvedThread(*E);
+        continue;
+      }
+      if (R != EntryMatch::Yes)
+        continue;
+      if (Remove && !removeEntry(B, E))
+        continue; // a competing taker won; keep scanning
+      return buildMatch(Values, Template);
+    }
+    return std::nullopt;
+  }
+
+  /// Cheap compatibility check under the bin lock: arity and datum-datum
+  /// positions only.
+  bool prefilter(Entry &E, const Tuple &Template) {
+    if (E.Fields.size() != Template.size())
+      return false;
+    std::lock_guard<SpinLock> Guard(E.Lock);
+    if (E.Removed)
+      return false;
+    for (std::size_t I = 0; I != Template.size(); ++I) {
+      const Field &TF = Template[I];
+      const Field &EF = E.Fields[I];
+      if (TF.isFormal() || EF.isLiveThread())
+        continue;
+      if (!gc::valueEqual(TF.value(), EF.value()))
+        return false;
+    }
+    return true;
+  }
+
+  /// Full resolution outside the bin lock. Fills \p Values on success.
+  EntryMatch resolveEntry(Entry &E, const Tuple &Template, bool AllowSteal,
+                          std::vector<gc::Value> &Values) {
+    Values.resize(Template.size());
+    for (std::size_t I = 0; I != Template.size(); ++I) {
+      gc::Value V;
+      ThreadRef Pending;
+      {
+        std::lock_guard<SpinLock> Guard(E.Lock);
+        if (E.Removed)
+          return EntryMatch::No;
+        const Field &EF = E.Fields[I];
+        if (EF.isDatum())
+          V = EF.value();
+        else
+          Pending = EF.thread();
+      }
+      if (Pending) {
+        // Resolve the live thread outside every lock: stealing runs the
+        // thunk right here on our TCB (paper 4.2's key integration).
+        Thread &T = *Pending;
+        if (!T.isDetermined()) {
+          if (!AllowSteal)
+            return EntryMatch::NeedThread;
+          if (!ThreadController::trySteal(T) && !T.isDetermined())
+            return EntryMatch::NeedThread; // evaluating elsewhere
+        }
+        T.rethrowIfFailed();
+        V = T.result().as<gc::Value>();
+        E.resolveField(I, V);
+      }
+      const Field &TF = Template[I];
+      if (!TF.isFormal() && !gc::valueEqual(TF.value(), V))
+        return EntryMatch::No;
+      Values[I] = V;
+    }
+    return EntryMatch::Yes;
+  }
+
+  ThreadRef firstUnresolvedThread(Entry &E) {
+    std::lock_guard<SpinLock> Guard(E.Lock);
+    for (const Field &F : E.Fields)
+      if (F.isLiveThread() && !F.thread()->isDetermined())
+        return F.thread();
+    return ThreadRef();
+  }
+
+  /// Removes \p E from \p B; \returns false if someone else already did.
+  bool removeEntry(Bin &B, const EntryRef &E) {
+    std::lock_guard<SpinLock> Guard(B.Lock);
+    for (auto It = B.Items.begin(); It != B.Items.end(); ++It) {
+      if (It->get() != E.get())
+        continue;
+      {
+        std::lock_guard<SpinLock> EGuard(E->Lock);
+        E->Removed = true;
+      }
+      B.Items.erase(It);
+      Count.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+  /// Wakes every parked reader (used when a wildcard tuple arrives).
+  void broadcast() {
+    for (Bin &B : Bins)
+      B.Waiters.wakeAll();
+    Wildcard.Waiters.wakeAll();
+  }
+
+  gc::GlobalHeap &Heap;
+  Bin Bins[NumBins];
+  Bin Wildcard;
+  std::atomic<std::size_t> Count{0};
+  /// Machine-wide deposit counter; readers snapshot it before scanning so
+  /// a racing deposit is never slept through.
+  std::atomic<std::uint64_t> DepositEpoch{0};
+};
+
+} // namespace
+
+std::unique_ptr<detail::TupleSpaceRepBase>
+detail::makeHashedRep(gc::GlobalHeap &Heap) {
+  return std::make_unique<HashedRep>(Heap);
+}
+
+//===----------------------------------------------------------------------===//
+// Facade
+//===----------------------------------------------------------------------===//
+
+TupleSpace::TupleSpace(TupleSpaceRep Rep, gc::GlobalHeap &Heap)
+    : Rep(Rep), Heap(&Heap) {
+  if (Rep == TupleSpaceRep::Hashed)
+    Impl = detail::makeHashedRep(Heap);
+  else
+    Impl = detail::makeSpecializedRep(Rep, Heap);
+}
+
+TupleSpace::~TupleSpace() = default;
+
+TupleSpaceRef TupleSpace::create(TupleSpaceRep Rep, gc::GlobalHeap *Heap) {
+  return TupleSpaceRef::adopt(
+      new TupleSpace(Rep, Heap ? *Heap : sharedHeap()));
+}
+
+TupleSpaceRef TupleSpace::create(const TupleOpsProfile &Profile,
+                                 gc::GlobalHeap *Heap) {
+  return create(chooseRepresentation(Profile), Heap);
+}
+
+void TupleSpace::prepare(Tuple &T) {
+  for (Field &F : T) {
+    if (!F.isDatum())
+      continue;
+    if (F.hasPendingText()) {
+      F.resolveText(Heap->intern(F.pendingText()));
+      continue;
+    }
+    gc::Value V = F.value();
+    if (V.isObject() && !V.asObject()->isInOld()) {
+      STING_CHECK(onStingThread(),
+                  "young tuple values require a sting thread to escape");
+      F.setValue(mutatorHeap().escape(V));
+    }
+  }
+}
+
+void TupleSpace::put(Tuple T) {
+  for (const Field &F : T)
+    STING_CHECK(!F.isFormal() && !F.isThunk(),
+                "put tuple may not contain formals or thunks");
+  prepare(T);
+  Stats.Puts.fetch_add(1, std::memory_order_relaxed);
+  Impl->put(std::move(T));
+}
+
+std::vector<ThreadRef> TupleSpace::spawn(Tuple T) {
+  STING_CHECK(Rep == TupleSpaceRep::Hashed,
+              "spawn requires the general representation");
+  Stats.Spawns.fetch_add(1, std::memory_order_relaxed);
+  std::vector<ThreadRef> Forked;
+  for (Field &F : T) {
+    STING_CHECK(!F.isFormal(), "spawn tuple may not contain formals");
+    if (!F.isThunk())
+      continue;
+    ThreadRef Th = ThreadController::forkThread(
+        [Code = F.takeThunk()]() mutable -> AnyValue {
+          gc::Value V = Code();
+          // The value becomes visible to arbitrary matchers: escape it.
+          if (V.isObject() && !V.asObject()->isInOld())
+            V = mutatorHeap().escape(V);
+          return AnyValue(V);
+        });
+    F.becomeLiveThread(Th);
+    Forked.push_back(std::move(Th));
+  }
+  prepare(T);
+  Impl->put(std::move(T));
+  return Forked;
+}
+
+Match TupleSpace::read(Tuple Template) {
+  prepare(Template);
+  Stats.Reads.fetch_add(1, std::memory_order_relaxed);
+  return Impl->match(std::move(Template), /*Remove=*/false, Stats);
+}
+
+Match TupleSpace::take(Tuple Template) {
+  prepare(Template);
+  Stats.Takes.fetch_add(1, std::memory_order_relaxed);
+  return Impl->match(std::move(Template), /*Remove=*/true, Stats);
+}
+
+std::optional<Match> TupleSpace::tryRead(Tuple Template) {
+  prepare(Template);
+  return Impl->tryMatch(std::move(Template), /*Remove=*/false);
+}
+
+std::optional<Match> TupleSpace::tryTake(Tuple Template) {
+  prepare(Template);
+  auto M = Impl->tryMatch(std::move(Template), /*Remove=*/true);
+  if (M)
+    Stats.Takes.fetch_add(1, std::memory_order_relaxed);
+  return M;
+}
+
+std::size_t TupleSpace::size() const { return Impl->size(); }
+
+} // namespace sting

@@ -1,0 +1,146 @@
+//===- tuple/TupleSpace.h - First-class tuple spaces -------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// First-class tuple spaces (paper section 4.2): "an abstraction of a
+/// synchronizing content-addressable memory", with the paper's two design
+/// signatures reproduced:
+///
+///  - the general representation uses hash tables with *a mutex per hash
+///    bin* ("this permits multiple producers and consumers of a tuple-space
+///    to concurrently access its hash tables"), one table of passive
+///    tuples and one of blocked readers;
+///
+///  - representations can be *specialized* — "tuple-spaces can be
+///    specialized as synchronized vectors, queues, sets, shared variables,
+///    semaphores, or bags; the operations permitted on tuple-spaces remain
+///    invariant over their representation" — via an explicit choice or a
+///    usage profile standing in for the paper's type-inference pass [17].
+///
+/// Live threads are bona fide tuple elements: spawn forks thunk fields into
+/// threads; matching applies thread-value to determined threads and
+/// *steals* delayed/scheduled ones onto the reader's TCB (section 4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_TUPLE_TUPLESPACE_H
+#define STING_TUPLE_TUPLESPACE_H
+
+#include "support/IntrusivePtr.h"
+#include "tuple/Tuple.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+namespace sting {
+
+namespace gc {
+class GlobalHeap;
+} // namespace gc
+
+/// Available tuple-space representations.
+enum class TupleSpaceRep : std::uint8_t {
+  Hashed,         ///< general fully-associative two-hash-table form
+  Queue,          ///< FIFO of singleton tuples
+  Bag,            ///< unordered multiset of singleton tuples
+  Set,            ///< deduplicated bag
+  SharedVariable, ///< one mutable cell
+  Semaphore,      ///< counting tokens
+  Vector,         ///< indexed cells: tuples of the form [index value]
+};
+
+const char *tupleSpaceRepName(TupleSpaceRep Rep);
+
+/// A usage description driving representation choice — the stand-in for
+/// the paper's compile-time specialization analysis [17].
+struct TupleOpsProfile {
+  bool UsesTemplates = true;    ///< reads match on field contents
+  bool SingletonTuples = false; ///< every tuple has arity 1
+  bool OrderedConsumption = false; ///< FIFO takes
+  bool AllowsDuplicates = true;
+  bool IndexedAccess = false;   ///< tuples are [index value]
+  bool TokensOnly = false;      ///< only counts matter
+  bool SingleCell = false;      ///< at most one live tuple
+};
+
+/// \returns the most specialized representation consistent with \p Profile.
+TupleSpaceRep chooseRepresentation(const TupleOpsProfile &Profile);
+
+/// Operation counters for tests and benchmarks.
+struct TupleSpaceStats {
+  std::atomic<std::uint64_t> Puts{0};
+  std::atomic<std::uint64_t> Reads{0};
+  std::atomic<std::uint64_t> Takes{0};
+  std::atomic<std::uint64_t> Blocks{0};
+  std::atomic<std::uint64_t> Spawns{0};
+};
+
+namespace detail {
+class TupleSpaceRepBase;
+} // namespace detail
+
+class TupleSpace;
+using TupleSpaceRef = IntrusivePtr<TupleSpace>;
+
+/// A first-class tuple space.
+class TupleSpace final : public RefCounted<TupleSpace> {
+public:
+  /// Creates a space with the given representation over \p Heap (defaults
+  /// to the calling context's shared old generation).
+  static TupleSpaceRef create(TupleSpaceRep Rep = TupleSpaceRep::Hashed,
+                              gc::GlobalHeap *Heap = nullptr);
+
+  /// Creates a space whose representation is chosen from \p Profile.
+  static TupleSpaceRef create(const TupleOpsProfile &Profile,
+                              gc::GlobalHeap *Heap = nullptr);
+
+  TupleSpaceRep representation() const { return Rep; }
+  gc::GlobalHeap &heap() const { return *Heap; }
+  const TupleSpaceStats &stats() const { return Stats; }
+
+  // --- Operations (invariant over representation) -------------------------
+
+  /// Deposits \p T (Linda's out / the paper's put). Text fields intern as
+  /// symbols; young gc values are escaped to the old generation.
+  void put(Tuple T);
+
+  /// Blocking non-destructive match (rd).
+  Match read(Tuple Template);
+
+  /// Blocking destructive match (get / Linda's in).
+  Match take(Tuple Template);
+
+  /// Non-blocking variants.
+  std::optional<Match> tryRead(Tuple Template);
+  std::optional<Match> tryTake(Tuple Template);
+
+  /// Deposits an *active* tuple: thunk fields are forked into threads that
+  /// live in the tuple until resolved by a matcher (the paper's spawn).
+  /// \returns the forked threads.
+  std::vector<ThreadRef> spawn(Tuple T);
+
+  /// Live (passive) tuple count.
+  std::size_t size() const;
+
+private:
+  friend class RefCounted<TupleSpace>;
+  TupleSpace(TupleSpaceRep Rep, gc::GlobalHeap &Heap);
+  ~TupleSpace();
+
+  /// Interns pending text and escapes young values in place.
+  void prepare(Tuple &T);
+
+  TupleSpaceRep Rep;
+  gc::GlobalHeap *Heap;
+  std::unique_ptr<detail::TupleSpaceRepBase> Impl;
+  TupleSpaceStats Stats;
+};
+
+} // namespace sting
+
+#endif // STING_TUPLE_TUPLESPACE_H

@@ -1,0 +1,163 @@
+//===- tests/arch/ContextTest.cpp ------------------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/Context.h"
+
+#include "arch/Stack.h"
+#include "gtest/gtest.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+using sting::Context;
+using sting::initContext;
+using sting::Stack;
+using sting::stingContextSwitch;
+
+/// A little fixture passing state between the main context and a fiber.
+struct PingPong {
+  Context Main;
+  Context Fiber;
+  std::vector<int> Trace;
+  int Rounds = 0;
+};
+
+void pingPongEntry(void *Arg) {
+  auto *PP = static_cast<PingPong *>(Arg);
+  for (int I = 0; I != PP->Rounds; ++I) {
+    PP->Trace.push_back(100 + I);
+    stingContextSwitch(&PP->Fiber, &PP->Main);
+  }
+  PP->Trace.push_back(999);
+  stingContextSwitch(&PP->Fiber, &PP->Main);
+  // Never reached.
+  abort();
+}
+
+TEST(ContextTest, EntryRunsOnSwitch) {
+  Stack *S = Stack::create(64 * 1024);
+  ASSERT_NE(S, nullptr);
+
+  PingPong PP;
+  PP.Rounds = 0;
+  initContext(PP.Fiber, S->base(), S->size(), pingPongEntry, &PP);
+  stingContextSwitch(&PP.Main, &PP.Fiber);
+
+  ASSERT_EQ(PP.Trace.size(), 1u);
+  EXPECT_EQ(PP.Trace[0], 999);
+  S->destroy();
+}
+
+TEST(ContextTest, PingPongInterleaves) {
+  Stack *S = Stack::create(64 * 1024);
+  ASSERT_NE(S, nullptr);
+
+  PingPong PP;
+  PP.Rounds = 3;
+  initContext(PP.Fiber, S->base(), S->size(), pingPongEntry, &PP);
+
+  for (int I = 0; I != 3; ++I) {
+    stingContextSwitch(&PP.Main, &PP.Fiber);
+    PP.Trace.push_back(I);
+  }
+  stingContextSwitch(&PP.Main, &PP.Fiber); // final 999
+  EXPECT_EQ(PP.Trace, (std::vector<int>{100, 0, 101, 1, 102, 2, 999}));
+  S->destroy();
+}
+
+struct DeepState {
+  Context Main;
+  Context Fiber;
+  std::uint64_t Result = 0;
+};
+
+std::uint64_t collatzSteps(std::uint64_t N) {
+  if (N <= 1)
+    return 0;
+  return 1 + collatzSteps(N % 2 ? 3 * N + 1 : N / 2);
+}
+
+void deepEntry(void *Arg) {
+  auto *DS = static_cast<DeepState *>(Arg);
+  // Use real stack depth and callee-saved registers inside the fiber.
+  std::uint64_t Sum = 0;
+  for (std::uint64_t I = 1; I != 200; ++I)
+    Sum += collatzSteps(I);
+  DS->Result = Sum;
+  stingContextSwitch(&DS->Fiber, &DS->Main);
+  abort();
+}
+
+TEST(ContextTest, FiberUsesItsOwnStack) {
+  Stack *S = Stack::create(256 * 1024);
+  ASSERT_NE(S, nullptr);
+
+  DeepState DS;
+  initContext(DS.Fiber, S->base(), S->size(), deepEntry, &DS);
+  stingContextSwitch(&DS.Main, &DS.Fiber);
+
+  // Independently computed on the main stack.
+  std::uint64_t Expect = 0;
+  for (std::uint64_t I = 1; I != 200; ++I)
+    Expect += collatzSteps(I);
+  EXPECT_EQ(DS.Result, Expect);
+  S->destroy();
+}
+
+struct ChainState {
+  Context Main;
+  Context A;
+  Context B;
+  std::vector<int> Trace;
+};
+
+void chainEntryA(void *Arg) {
+  auto *CS = static_cast<ChainState *>(Arg);
+  CS->Trace.push_back(1);
+  stingContextSwitch(&CS->A, &CS->B); // direct fiber-to-fiber switch
+  abort();
+}
+
+void chainEntryB(void *Arg) {
+  auto *CS = static_cast<ChainState *>(Arg);
+  CS->Trace.push_back(2);
+  stingContextSwitch(&CS->B, &CS->Main);
+  abort();
+}
+
+TEST(ContextTest, FiberToFiberSwitch) {
+  Stack *SA = Stack::create(64 * 1024);
+  Stack *SB = Stack::create(64 * 1024);
+  ASSERT_NE(SA, nullptr);
+  ASSERT_NE(SB, nullptr);
+
+  ChainState CS;
+  initContext(CS.A, SA->base(), SA->size(), chainEntryA, &CS);
+  initContext(CS.B, SB->base(), SB->size(), chainEntryB, &CS);
+  stingContextSwitch(&CS.Main, &CS.A);
+
+  EXPECT_EQ(CS.Trace, (std::vector<int>{1, 2}));
+  SA->destroy();
+  SB->destroy();
+}
+
+TEST(ContextTest, ReinitAllowsReuse) {
+  Stack *S = Stack::create(64 * 1024);
+  ASSERT_NE(S, nullptr);
+
+  for (int Round = 0; Round != 4; ++Round) {
+    PingPong PP;
+    PP.Rounds = 0;
+    initContext(PP.Fiber, S->base(), S->size(), pingPongEntry, &PP);
+    stingContextSwitch(&PP.Main, &PP.Fiber);
+    EXPECT_EQ(PP.Trace, (std::vector<int>{999}));
+  }
+  S->destroy();
+}
+
+} // namespace

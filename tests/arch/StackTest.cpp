@@ -1,0 +1,82 @@
+//===- tests/arch/StackTest.cpp --------------------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/Stack.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace {
+
+using sting::Stack;
+using sting::StackPool;
+
+TEST(StackTest, CreateProvidesUsableMemory) {
+  Stack *S = Stack::create(64 * 1024);
+  ASSERT_NE(S, nullptr);
+  EXPECT_GE(S->size(), 64u * 1024u);
+
+  // The whole usable region must be writable.
+  std::memset(S->base(), 0xAB, S->size());
+  EXPECT_TRUE(S->contains(S->base()));
+  EXPECT_FALSE(S->contains(static_cast<char *>(S->top())));
+  S->destroy();
+}
+
+TEST(StackTest, TopIsSixteenAligned) {
+  Stack *S = Stack::create(4096);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(S->top()) % 16, 0u);
+  S->destroy();
+}
+
+TEST(StackPoolTest, ReusesReleasedStacks) {
+  StackPool Pool(64 * 1024);
+  Stack &A = Pool.allocate();
+  EXPECT_EQ(Pool.mapCount(), 1u);
+  Pool.release(A);
+  EXPECT_EQ(Pool.cachedCount(), 1u);
+
+  Stack &B = Pool.allocate();
+  EXPECT_EQ(&B, &A);
+  EXPECT_EQ(Pool.mapCount(), 1u);
+  EXPECT_EQ(Pool.reuseCount(), 1u);
+  Pool.release(B);
+}
+
+TEST(StackPoolTest, GrowsWhenEmpty) {
+  StackPool Pool(16 * 1024);
+  Stack &A = Pool.allocate();
+  Stack &B = Pool.allocate();
+  EXPECT_NE(&A, &B);
+  EXPECT_EQ(Pool.mapCount(), 2u);
+  Pool.release(A);
+  Pool.release(B);
+}
+
+TEST(StackPoolTest, RespectsCacheCap) {
+  StackPool Pool(16 * 1024, /*MaxCached=*/1);
+  Stack &A = Pool.allocate();
+  Stack &B = Pool.allocate();
+  Pool.release(A);
+  Pool.release(B); // exceeds cap, unmapped
+  EXPECT_EQ(Pool.cachedCount(), 1u);
+  Stack &C = Pool.allocate();
+  Pool.release(C);
+}
+
+TEST(StackPoolTest, DestructorFreesCached) {
+  {
+    StackPool Pool(16 * 1024);
+    Pool.release(Pool.allocate());
+    Pool.release(Pool.allocate());
+  }
+  SUCCEED(); // asan/valgrind would flag a leak or double free
+}
+
+} // namespace

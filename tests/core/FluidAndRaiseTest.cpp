@@ -1,0 +1,255 @@
+//===- tests/core/FluidAndRaiseTest.cpp - Dynamic env + async exceptions -----===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Paper section 3.1: threads hold "references to the thunk's dynamic and
+// exception environment", used "to implement fluid bindings and
+// inter-process exceptions"; section 4.2.2 provides without-interrupts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Fluid.h"
+
+#include "support/Clock.h"
+
+#include "core/PreemptionClock.h"
+#include "core/ThreadController.h"
+#include "core/VirtualMachine.h"
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace {
+
+using namespace sting;
+using TC = ThreadController;
+
+Fluid<int> Depth(0);
+Fluid<std::string> Tag(std::string("default"));
+
+TEST(FluidTest, DefaultWhenUnbound) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue { return AnyValue(Depth.get()); });
+  EXPECT_EQ(V.as<int>(), 0);
+}
+
+TEST(FluidTest, ScopeRebindsDynamically) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    int Before = Depth.get();
+    int Inside;
+    {
+      Fluid<int>::Scope Bind(Depth, 7);
+      Inside = Depth.get();
+    }
+    int After = Depth.get();
+    return AnyValue(Before == 0 && Inside == 7 && After == 0);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(FluidTest, NestedScopesShadow) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Fluid<int>::Scope Outer(Depth, 1);
+    int A = Depth.get();
+    {
+      Fluid<int>::Scope Inner(Depth, 2);
+      A = A * 10 + Depth.get();
+    }
+    A = A * 10 + Depth.get();
+    return AnyValue(A);
+  });
+  EXPECT_EQ(V.as<int>(), 121);
+}
+
+TEST(FluidTest, ChildInheritsBindingAtFork) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Fluid<std::string>::Scope Bind(Tag, std::string("parent"));
+    ThreadRef Child = TC::forkThread(
+        []() -> AnyValue { return AnyValue(Tag.get()); });
+    return AnyValue(TC::threadValue(*Child).as<std::string>());
+  });
+  EXPECT_EQ(V.as<std::string>(), "parent");
+}
+
+TEST(FluidTest, SiblingBindingsAreIndependent) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    ThreadRef A = TC::forkThread([]() -> AnyValue {
+      Fluid<int>::Scope Bind(Depth, 100);
+      TC::yieldProcessor();
+      return AnyValue(Depth.get());
+    });
+    ThreadRef B = TC::forkThread([]() -> AnyValue {
+      TC::yieldProcessor();
+      return AnyValue(Depth.get()); // must not see A's binding
+    });
+    int AV = TC::threadValue(*A).as<int>();
+    int BV = TC::threadValue(*B).as<int>();
+    return AnyValue(AV == 100 && BV == 0);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(FluidTest, StolenThreadUsesItsOwnEnvironment) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    ThreadRef Lazy;
+    {
+      Fluid<int>::Scope Bind(Depth, 5);
+      Lazy = TC::createThread(
+          []() -> AnyValue { return AnyValue(Depth.get()); });
+    }
+    // Binding is out of scope here, but the thread captured it at
+    // creation; the steal must evaluate under the *captured* environment.
+    Fluid<int>::Scope Other(Depth, 9);
+    return AnyValue(TC::threadValue(*Lazy).as<int>());
+  });
+  EXPECT_EQ(V.as<int>(), 5);
+}
+
+TEST(RaiseInTest, TargetCatchesAsyncException) {
+  VirtualMachine Vm;
+  std::atomic<bool> Started{false};
+  ThreadRef T = Vm.fork([&]() -> AnyValue {
+    try {
+      Started.store(true);
+      for (;;)
+        TC::checkpoint();
+    } catch (const std::runtime_error &E) {
+      return AnyValue(std::string(E.what()));
+    }
+  });
+  while (!Started.load())
+    sched_yield();
+  EXPECT_TRUE(TC::raiseIn(
+      *T, std::make_exception_ptr(std::runtime_error("interrupt!"))));
+  T->join();
+  EXPECT_FALSE(T->failed()); // caught and handled
+  EXPECT_EQ(T->valueAs<std::string>(), "interrupt!");
+}
+
+TEST(RaiseInTest, UncaughtAsyncExceptionFailsThread) {
+  VirtualMachine Vm;
+  std::atomic<bool> Started{false};
+  ThreadRef T = Vm.fork([&]() -> AnyValue {
+    Started.store(true);
+    for (;;)
+      TC::checkpoint();
+  });
+  while (!Started.load())
+    sched_yield();
+  TC::raiseIn(*T, std::make_exception_ptr(std::logic_error("boom")));
+  T->join();
+  EXPECT_TRUE(T->failed());
+  EXPECT_THROW(T->rethrowIfFailed(), std::logic_error);
+}
+
+TEST(RaiseInTest, RaiseInScheduledThreadFailsItWithoutRunning) {
+  VirtualMachine Vm(VmConfig{.NumVps = 1, .NumPps = 1});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    std::atomic<bool> Ran{false};
+    SpawnOptions Opts;
+    Opts.Stealable = false;
+    ThreadRef Victim = TC::forkThread(
+        [&]() -> AnyValue {
+          Ran.store(true);
+          return AnyValue();
+        },
+        Opts);
+    TC::raiseIn(*Victim,
+                std::make_exception_ptr(std::runtime_error("early")));
+    TC::threadWait(*Victim);
+    return AnyValue(Victim->failed() && !Ran.load());
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(RaiseInTest, RaiseWakesUserBlockedThread) {
+  VirtualMachine Vm;
+  std::atomic<bool> Blocked{false};
+  ThreadRef T = Vm.fork([&]() -> AnyValue {
+    try {
+      Blocked.store(true);
+      TC::threadBlock("waiting for interrupt");
+      return AnyValue(std::string("resumed normally"));
+    } catch (const std::runtime_error &E) {
+      return AnyValue(std::string(E.what()));
+    }
+  });
+  while (!Blocked.load())
+    sched_yield();
+  while (!T->isDetermined()) {
+    TC::raiseIn(*T, std::make_exception_ptr(std::runtime_error("wake")));
+    sched_yield();
+  }
+  EXPECT_EQ(T->valueAs<std::string>(), "wake");
+}
+
+TEST(RaiseInTest, RaiseInDeterminedThreadRejected) {
+  VirtualMachine Vm;
+  ThreadRef T = Vm.fork([]() -> AnyValue { return AnyValue(1); });
+  T->join();
+  EXPECT_FALSE(
+      TC::raiseIn(*T, std::make_exception_ptr(std::runtime_error("x"))));
+  EXPECT_EQ(T->valueAs<int>(), 1);
+}
+
+TEST(WithoutInterruptsTest, DefersTerminateUntilScopeExit) {
+  VirtualMachine Vm;
+  std::atomic<bool> InScope{false};
+  std::atomic<bool> ScopeCompleted{false};
+  ThreadRef T = Vm.fork([&]() -> AnyValue {
+    {
+      WithoutInterrupts Guard;
+      InScope.store(true);
+      // Spin until the terminate request is armed, then some more: it
+      // must not fire inside the scope.
+      StopWatch Timer;
+      while (Timer.elapsedNanos() < 2'000'000)
+        TC::checkpoint();
+      ScopeCompleted.store(true);
+    }
+    for (;;)
+      TC::checkpoint(); // deferred request fires here at the latest
+  });
+  while (!InScope.load())
+    sched_yield();
+  TC::threadTerminate(*T, AnyValue(0));
+  T->join();
+  EXPECT_TRUE(ScopeCompleted.load())
+      << "terminate fired inside without-interrupts";
+  EXPECT_TRUE(T->wasTerminated());
+}
+
+TEST(WithoutInterruptsTest, DefersRaiseUntilScopeExit) {
+  VirtualMachine Vm;
+  std::atomic<bool> InScope{false};
+  ThreadRef T = Vm.fork([&]() -> AnyValue {
+    bool CompletedScope = false;
+    try {
+      {
+        WithoutInterrupts Guard;
+        InScope.store(true);
+        StopWatch Timer;
+        while (Timer.elapsedNanos() < 2'000'000)
+          TC::checkpoint();
+        CompletedScope = true;
+      } // deferred raise delivered here
+      for (;;)
+        TC::checkpoint();
+    } catch (const std::runtime_error &) {
+      return AnyValue(CompletedScope);
+    }
+  });
+  while (!InScope.load())
+    sched_yield();
+  TC::raiseIn(*T, std::make_exception_ptr(std::runtime_error("late")));
+  T->join();
+  EXPECT_TRUE(T->valueAs<bool>());
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+//===- tests/core/GroupTest.cpp - Thread groups ------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ThreadGroup.h"
+
+#include "core/Current.h"
+#include "core/ThreadController.h"
+#include "core/VirtualMachine.h"
+#include "gtest/gtest.h"
+
+#include <atomic>
+
+namespace {
+
+using namespace sting;
+using TC = ThreadController;
+
+TEST(GroupTest, ChildrenJoinCreatorsGroupByDefault) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    ThreadGroup *Mine = currentThread()->group();
+    ThreadRef Child = TC::forkThread([]() -> AnyValue { return AnyValue(); });
+    bool Same = Child->group() == Mine;
+    TC::threadWait(*Child);
+    return AnyValue(Same);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(GroupTest, ExplicitGroupOverridesInheritance) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    ThreadGroupRef Fresh = ThreadGroup::create(currentThread()->group());
+    SpawnOptions Opts;
+    Opts.Group = Fresh.get();
+    ThreadRef Child = TC::forkThread(
+        []() -> AnyValue { return AnyValue(); }, Opts);
+    bool InFresh = Child->group() == Fresh.get();
+    bool ParentLinked = Fresh->parent() == currentThread()->group();
+    TC::threadWait(*Child);
+    return AnyValue(InFresh && ParentLinked);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(GroupTest, LiveCountTracksMembership) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    ThreadGroupRef G = ThreadGroup::create();
+    SpawnOptions Opts;
+    Opts.Group = G.get();
+    std::atomic<bool> Release{false};
+    std::vector<ThreadRef> Members;
+    for (int I = 0; I != 4; ++I)
+      Members.push_back(TC::forkThread(
+          [&Release]() -> AnyValue {
+            while (!Release.load())
+              TC::yieldProcessor();
+            return AnyValue();
+          },
+          Opts));
+    std::size_t During = G->liveCount();
+    Release.store(true);
+    for (auto &M : Members)
+      TC::threadWait(*M);
+    std::size_t After = G->liveCount();
+    return AnyValue(During == 4 && After == 0);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(GroupTest, KillGroupTerminatesSubtree) {
+  // The paper's idiom: "(kill-group (thread.group T))" terminates T's
+  // children, which join T's group by default.
+  VirtualMachine Vm(VmConfig{.EnablePreemption = true});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    ThreadGroupRef G = ThreadGroup::create();
+    SpawnOptions Opts;
+    Opts.Group = G.get();
+    std::vector<ThreadRef> Spinners;
+    for (int I = 0; I != 4; ++I)
+      Spinners.push_back(TC::forkThread(
+          []() -> AnyValue {
+            for (;;)
+              TC::checkpoint();
+          },
+          Opts));
+    G->terminateAll();
+    for (auto &S : Spinners)
+      TC::threadWait(*S);
+    bool AllTerminated = true;
+    for (auto &S : Spinners)
+      AllTerminated &= S->wasTerminated();
+    return AnyValue(AllTerminated && G->liveCount() == 0);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(GroupTest, TotalCreatedCounts) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    ThreadGroupRef G = ThreadGroup::create();
+    SpawnOptions Opts;
+    Opts.Group = G.get();
+    for (int I = 0; I != 3; ++I)
+      TC::threadWait(*TC::forkThread(
+          []() -> AnyValue { return AnyValue(); }, Opts));
+    return AnyValue(G->totalCreated());
+  });
+  EXPECT_EQ(V.as<std::uint64_t>(), 3u);
+}
+
+TEST(GroupTest, ThreadsSnapshotHoldsReferences) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    ThreadGroupRef G = ThreadGroup::create();
+    SpawnOptions Opts;
+    Opts.Group = G.get();
+    std::atomic<bool> Release{false};
+    ThreadRef T = TC::forkThread(
+        [&Release]() -> AnyValue {
+          while (!Release.load())
+            TC::yieldProcessor();
+          return AnyValue(31);
+        },
+        Opts);
+    auto Snapshot = G->threads();
+    bool Contains = Snapshot.size() == 1 && Snapshot[0] == T;
+    Release.store(true);
+    TC::threadWait(*T);
+    return AnyValue(Contains);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(GroupTest, SuspendAndResumeGroup) {
+  VirtualMachine Vm(VmConfig{.EnablePreemption = true});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    ThreadGroupRef G = ThreadGroup::create();
+    SpawnOptions Opts;
+    Opts.Group = G.get();
+    std::atomic<int> Progress{0};
+    std::atomic<bool> Stop{false};
+    std::vector<ThreadRef> Members;
+    for (int I = 0; I != 2; ++I)
+      Members.push_back(TC::forkThread(
+          [&]() -> AnyValue {
+            while (!Stop.load()) {
+              Progress.fetch_add(1);
+              TC::checkpoint();
+            }
+            return AnyValue();
+          },
+          Opts));
+    // Let them run, suspend the group, and check progress stalls.
+    while (Progress.load() < 100)
+      TC::yieldProcessor();
+    G->suspendAll();
+    for (int I = 0; I != 50; ++I)
+      TC::yieldProcessor();
+    int Frozen = Progress.load();
+    for (int I = 0; I != 200; ++I)
+      TC::yieldProcessor();
+    int StillFrozen = Progress.load();
+    Stop.store(true);
+    G->resumeAll();
+    for (auto &M : Members) {
+      while (!M->isDetermined()) {
+        TC::threadRun(*M);
+        TC::yieldProcessor();
+      }
+    }
+    // Allow a small slop: a member may take one step between request and
+    // its next controller call.
+    return AnyValue(StillFrozen - Frozen <= 2);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+//===- tests/core/MonitorTest.cpp - Machine introspection ----------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Monitor.h"
+
+#include "core/Current.h"
+#include "core/ThreadController.h"
+#include "core/ThreadGroup.h"
+#include "core/VirtualMachine.h"
+#include "gtest/gtest.h"
+
+#include <atomic>
+
+namespace {
+
+using namespace sting;
+using TC = ThreadController;
+
+TEST(MonitorTest, SnapshotCountsLiveThreads) {
+  VirtualMachine Vm;
+  std::atomic<bool> Release{false};
+  std::vector<ThreadRef> Spinners;
+  for (int I = 0; I != 3; ++I)
+    Spinners.push_back(Vm.fork([&]() -> AnyValue {
+      while (!Release.load())
+        TC::yieldProcessor();
+      return AnyValue();
+    }));
+
+  // Wait until all three are live in the root group.
+  MachineSnapshot Snap;
+  for (int Tries = 0; Tries != 1000; ++Tries) {
+    Snap = snapshotMachine(Vm);
+    if (Snap.liveThreads() >= 3)
+      break;
+    sched_yield();
+  }
+  EXPECT_GE(Snap.liveThreads(), 3u);
+  EXPECT_GE(Snap.ThreadsCreated, 3u);
+
+  Release.store(true);
+  for (auto &T : Spinners)
+    T->join();
+
+  Snap = snapshotMachine(Vm);
+  EXPECT_EQ(Snap.liveThreads(), 0u);
+  EXPECT_GE(Snap.ThreadsDetermined, 3u);
+}
+
+TEST(MonitorTest, GroupTreeIsCaptured) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    ThreadGroupRef Child = ThreadGroup::create(currentThread()->group());
+    SpawnOptions Opts;
+    Opts.Group = Child.get();
+    std::atomic<bool> Release{false};
+    ThreadRef Member = TC::forkThread(
+        [&]() -> AnyValue {
+          while (!Release.load())
+            TC::yieldProcessor();
+          return AnyValue();
+        },
+        Opts);
+
+    MachineSnapshot Snap;
+    bool Found = false;
+    for (int Tries = 0; Tries != 1000 && !Found; ++Tries) {
+      Snap = snapshotMachine(Vm);
+      for (const GroupInfo &G : Snap.Groups)
+        Found |= G.Id == Child->id() && G.Live == 1;
+      if (!Found)
+        TC::yieldProcessor();
+    }
+    Release.store(true);
+    TC::threadWait(*Member);
+    return AnyValue(Found);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(MonitorTest, GenealogyVisibleInSnapshot) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    std::atomic<bool> Release{false};
+    ThreadRef Child = TC::forkThread([&]() -> AnyValue {
+      while (!Release.load())
+        TC::yieldProcessor();
+      return AnyValue();
+    });
+
+    std::uint64_t MyId = currentThread()->id();
+    bool Linked = false;
+    for (int Tries = 0; Tries != 1000 && !Linked; ++Tries) {
+      MachineSnapshot Snap = snapshotMachine(Vm);
+      for (const GroupInfo &G : Snap.Groups)
+        for (const ThreadInfo &T : G.Threads)
+          Linked |= T.Id == Child->id() && T.ParentId == MyId;
+      if (!Linked)
+        TC::yieldProcessor();
+    }
+    Release.store(true);
+    TC::threadWait(*Child);
+    return AnyValue(Linked);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(MonitorTest, AllGroupsEnumerates) {
+  VirtualMachine Vm;
+  ThreadGroupRef Mine = ThreadGroup::create(&Vm.rootGroup());
+  bool Found = false;
+  for (const ThreadGroupRef &G : ThreadGroup::allGroups())
+    Found |= G == Mine;
+  EXPECT_TRUE(Found);
+}
+
+TEST(MonitorTest, RenderProducesReadableReport) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    ThreadRef T = TC::forkThread([]() -> AnyValue { return AnyValue(); });
+    TC::threadWait(*T);
+    return AnyValue();
+  });
+  MachineSnapshot Snap = snapshotMachine(Vm);
+  std::string Report = renderSnapshot(Snap);
+  EXPECT_NE(Report.find("machine:"), std::string::npos);
+  EXPECT_NE(Report.find("vp0:"), std::string::npos);
+  EXPECT_NE(Report.find("group"), std::string::npos);
+}
+
+TEST(MonitorTest, VpStatsAccumulate) {
+  VirtualMachine Vm(VmConfig{.NumVps = 1, .NumPps = 1});
+  Vm.run([]() -> AnyValue {
+    for (int I = 0; I != 10; ++I)
+      TC::yieldProcessor();
+    return AnyValue();
+  });
+  MachineSnapshot Snap = snapshotMachine(Vm);
+  ASSERT_EQ(Snap.Vps.size(), 1u);
+  EXPECT_GE(Snap.Vps[0].Yields, 10u);
+  EXPECT_GE(Snap.Vps[0].Dispatches, 1u);
+}
+
+} // namespace

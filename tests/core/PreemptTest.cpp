@@ -1,0 +1,139 @@
+//===- tests/core/PreemptTest.cpp - Preemption (paper 4.2.2) -----------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PreemptionClock.h"
+
+#include "support/Clock.h"
+
+#include "core/Current.h"
+#include "core/Tcb.h"
+#include "core/ThreadController.h"
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+#include "gtest/gtest.h"
+
+#include <atomic>
+
+namespace {
+
+using namespace sting;
+using TC = ThreadController;
+
+VmConfig preemptiveConfig() {
+  VmConfig Config;
+  Config.NumVps = 1;
+  Config.NumPps = 1;
+  Config.EnablePreemption = true;
+  Config.DefaultQuantumNanos = 500'000; // 0.5 ms
+  Config.PreemptTickNanos = 200'000;    // 0.2 ms
+  return Config;
+}
+
+TEST(PreemptTest, SpinnersShareOneVpUnderPreemption) {
+  VirtualMachine Vm(preemptiveConfig());
+  // Two compute-bound threads on one VP; without preemption the first
+  // would run to completion before the second starts.
+  std::atomic<long> A{0}, B{0};
+  std::atomic<bool> Stop{false};
+  ThreadRef Ta = Vm.fork([&]() -> AnyValue {
+    while (!Stop.load()) {
+      A.fetch_add(1);
+      TC::checkpoint();
+    }
+    return AnyValue();
+  });
+  ThreadRef Tb = Vm.fork([&]() -> AnyValue {
+    while (!Stop.load()) {
+      B.fetch_add(1);
+      TC::checkpoint();
+    }
+    return AnyValue();
+  });
+  // Both must make progress concurrently.
+  for (int Round = 0; Round != 200; ++Round) {
+    if (A.load() > 1000 && B.load() > 1000)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Stop.store(true);
+  Ta->join();
+  Tb->join();
+  EXPECT_GT(A.load(), 1000);
+  EXPECT_GT(B.load(), 1000);
+  EXPECT_GE(Vm.clock().preemptsRaised(), 1u);
+}
+
+TEST(PreemptTest, WithoutPreemptionDefersUntilScopeExit) {
+  VirtualMachine Vm(preemptiveConfig());
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    std::uint64_t YieldsBefore = currentVp()->stats().Yields;
+    {
+      WithoutPreemption Guard;
+      // Spin well past several quanta; no preemption may occur inside.
+      StopWatch Timer;
+      while (Timer.elapsedNanos() < 3'000'000)
+        TC::checkpoint();
+      // Still on the same dispatch: no yields happened.
+      if (currentVp()->stats().Yields != YieldsBefore)
+        return AnyValue(false);
+    }
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(PreemptTest, DisabledClockRaisesNoFlags) {
+  VmConfig Config;
+  Config.EnablePreemption = false;
+  VirtualMachine Vm(Config);
+  Vm.run([]() -> AnyValue {
+    StopWatch Timer;
+    while (Timer.elapsedNanos() < 2'000'000)
+      TC::checkpoint();
+    return AnyValue();
+  });
+  EXPECT_EQ(Vm.clock().preemptsRaised(), 0u);
+}
+
+TEST(PreemptTest, RuntimeToggle) {
+  VmConfig Config = preemptiveConfig();
+  Config.EnablePreemption = false;
+  VirtualMachine Vm(Config);
+  EXPECT_FALSE(Vm.clock().preemptionEnabled());
+  Vm.clock().setPreemptionEnabled(true);
+  EXPECT_TRUE(Vm.clock().preemptionEnabled());
+  std::atomic<bool> Stop{false};
+  ThreadRef T = Vm.fork([&]() -> AnyValue {
+    while (!Stop.load())
+      TC::checkpoint();
+    return AnyValue();
+  });
+  // With the clock now on, the spinner must get preempted eventually.
+  for (int I = 0; I != 1000 && Vm.clock().preemptsRaised() == 0; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  Stop.store(true);
+  T->join();
+  EXPECT_GE(Vm.clock().preemptsRaised(), 1u);
+}
+
+TEST(PreemptTest, PerThreadQuantumHintRespected) {
+  VirtualMachine Vm(preemptiveConfig());
+  // A thread with an enormous quantum should never see its slice expire.
+  SpawnOptions Opts;
+  Opts.QuantumNanos = ~0ull;
+  AnyValue V = Vm.run(
+      [&]() -> AnyValue {
+        std::uint64_t Before = currentVp()->stats().Yields;
+        StopWatch Timer;
+        while (Timer.elapsedNanos() < 2'000'000)
+          TC::checkpoint();
+        return AnyValue(currentVp()->stats().Yields == Before);
+      },
+      Opts);
+  EXPECT_TRUE(V.as<bool>());
+}
+
+} // namespace

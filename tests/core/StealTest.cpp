@@ -1,0 +1,198 @@
+//===- tests/core/StealTest.cpp - Thread stealing (paper 4.1.1) -------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Pins the dynamics of Fig. 4: touching a delayed or scheduled stealable
+// thread evaluates its thunk on the toucher's TCB — no context switch, no
+// new TCB — and the thread becomes determined.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Current.h"
+#include "core/Tcb.h"
+#include "core/ThreadController.h"
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+#include "gtest/gtest.h"
+
+#include <atomic>
+
+namespace {
+
+using namespace sting;
+using TC = ThreadController;
+
+TEST(StealTest, TouchingDelayedThreadStealsIt) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Tcb *MyTcb = currentTcb();
+    Tcb *StolenTcb = nullptr;
+    ThreadRef T = TC::createThread([&StolenTcb]() -> AnyValue {
+      StolenTcb = currentTcb(); // runs on the toucher's TCB
+      return AnyValue(10);
+    });
+    int Result = TC::threadValue(*T).as<int>();
+    return AnyValue(Result == 10 && StolenTcb == MyTcb);
+  });
+  EXPECT_TRUE(V.as<bool>());
+  EXPECT_GE(Vm.stats().Steals.load(), 1u);
+}
+
+TEST(StealTest, StolenThreadReportsItselfAsCurrent) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    ThreadRef T = TC::createThread([]() -> AnyValue {
+      // The stolen thread, not the stealer, is "current" while its thunk
+      // runs on the stealer's TCB.
+      return AnyValue(currentThread());
+    });
+    Thread *Observed = TC::threadValue(*T).as<Thread *>();
+    return AnyValue(Observed == T.get());
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(StealTest, CurrentThreadRestoredAfterSteal) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Thread *Me = currentThread();
+    ThreadRef T = TC::createThread([]() -> AnyValue { return AnyValue(); });
+    TC::threadWait(*T);
+    return AnyValue(currentThread() == Me);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(StealTest, NonStealableThreadIsNotStolen) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    SpawnOptions Opts;
+    Opts.Stealable = false;
+    ThreadRef T = TC::forkThread(
+        []() -> AnyValue { return AnyValue(4); }, Opts);
+    // threadValue must block-and-wait, not inline the thunk.
+    int Result = TC::threadValue(*T).as<int>();
+    return AnyValue(Result);
+  });
+  EXPECT_EQ(V.as<int>(), 4);
+  EXPECT_EQ(Vm.stats().Steals.load(), 0u);
+}
+
+TEST(StealTest, ScheduledThreadStolenBeforeDispatchIsSkipped) {
+  // One VP: the scheduled thread sits behind the toucher in the queue; the
+  // touch steals it; the queue's stale entry is skipped at dispatch.
+  VirtualMachine Vm(VmConfig{.NumVps = 1, .NumPps = 1});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    ThreadRef T = TC::forkThread([]() -> AnyValue { return AnyValue(21); });
+    EXPECT_EQ(T->state(), ThreadState::Scheduled);
+    int Result = TC::threadValue(*T).as<int>();
+    return AnyValue(Result);
+  });
+  EXPECT_EQ(V.as<int>(), 21);
+  EXPECT_GE(Vm.stats().Steals.load(), 1u);
+  // Let the scheduler drain the stale entry before checking.
+  std::uint64_t Skipped = 0;
+  for (int I = 0; I != 1000 && !Skipped; ++I) {
+    sched_yield();
+    Skipped = Vm.vp(0).stats().SkippedStale;
+  }
+  EXPECT_GE(Skipped, 1u);
+}
+
+TEST(StealTest, NestedStealsUnfoldDependencyChain) {
+  // futures-style chain: each delayed thread demands its predecessor.
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    std::vector<ThreadRef> Chain;
+    Chain.push_back(
+        TC::createThread([]() -> AnyValue { return AnyValue(1); }));
+    for (int I = 1; I != 20; ++I) {
+      Thread *Prev = Chain.back().get();
+      ThreadRef PrevRef = Chain.back();
+      Chain.push_back(TC::createThread([PrevRef]() -> AnyValue {
+        return AnyValue(TC::threadValue(*PrevRef).as<int>() + 1);
+      }));
+      (void)Prev;
+    }
+    return AnyValue(TC::threadValue(*Chain.back()).as<int>());
+  });
+  EXPECT_EQ(V.as<int>(), 20);
+  EXPECT_GE(Vm.stats().Steals.load(), 19u);
+}
+
+TEST(StealTest, TerminateRequestDuringStealKillsBoth) {
+  VirtualMachine Vm(VmConfig{.EnablePreemption = true});
+  std::atomic<bool> StealerStarted{false};
+  std::atomic<bool> StolenSpinning{false};
+  std::atomic<bool> Stop{false};
+  ThreadRef Stealer = Vm.fork([&]() -> AnyValue {
+    StealerStarted.store(true);
+    ThreadRef Inner = TC::createThread([&]() -> AnyValue {
+      StolenSpinning.store(true);
+      while (!Stop.load())
+        TC::checkpoint();
+      return AnyValue();
+    });
+    TC::threadWait(*Inner); // steals Inner, spins inside it
+    return AnyValue();
+  });
+  while (!StolenSpinning.load())
+    sched_yield();
+  // Terminating the stealer aborts the stolen evaluation too (they share
+  // one TCB; paper 4.1.1's shared-fate caveat).
+  EXPECT_TRUE(TC::threadTerminate(*Stealer));
+  Stealer->join();
+  EXPECT_TRUE(Stealer->wasTerminated());
+}
+
+TEST(StealTest, TerminateSelfInsideStolenThunkOnlyKillsStolenThread) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    ThreadRef Inner = TC::createThread(
+        []() -> AnyValue { TC::terminateSelf(AnyValue(13)); });
+    TC::threadWait(*Inner); // steal; terminateSelf unwinds just the thunk
+    bool InnerTerminated =
+        Inner->wasTerminated() && Inner->result().as<int>() == 13;
+    return AnyValue(InnerTerminated); // stealer survives to return this
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(StealTest, LifoPolicyStealsMoreThanFifo) {
+  // Paper 4.1.1: under LIFO the latest threads run first, so touches of
+  // earlier (still-scheduled) threads steal them; preemptible FIFO runs
+  // threads in creation order and "stealing operations will be minimal".
+  auto CountSteals = [](PolicyFactory Policy) {
+    VirtualMachine Vm(VmConfig{
+        .NumVps = 1, .NumPps = 1, .Policy = std::move(Policy)});
+    Vm.run([]() -> AnyValue {
+      // A dependency chain like the primes program: thread I demands the
+      // value of thread I-1.
+      std::vector<ThreadRef> Futures;
+      Futures.push_back(
+          TC::forkThread([]() -> AnyValue { return AnyValue(1); }));
+      for (int I = 1; I != 32; ++I) {
+        ThreadRef Prev = Futures.back();
+        Futures.push_back(TC::forkThread([Prev]() -> AnyValue {
+          return AnyValue(TC::threadValue(*Prev).as<int>() + 1);
+        }));
+      }
+      // Block (without stealing) so the ready queue's order decides which
+      // thread runs first.
+      Thread *Last = Futures.back().get();
+      TC::blockOnGroup(1, std::span<Thread *const>(&Last, 1));
+      return AnyValue(Futures.back()->result().as<int>());
+    });
+    return Vm.stats().Steals.load();
+  };
+
+  // FIFO runs the chain in dependency order: every touch finds its input
+  // already determined; no steals. LIFO runs the *newest* thread first:
+  // every touch finds its input still scheduled and steals it.
+  std::uint64_t FifoSteals = CountSteals(makeLocalFifoPolicy());
+  std::uint64_t LifoSteals = CountSteals(makeLocalLifoPolicy());
+  EXPECT_GT(LifoSteals, FifoSteals);
+  EXPECT_GE(LifoSteals, 16u);
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+//===- tests/core/ThreadTest.cpp - Thread lifecycle -------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Thread.h"
+
+#include "core/Current.h"
+#include "core/ThreadController.h"
+#include "core/ThreadGroup.h"
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace {
+
+using namespace sting;
+
+TEST(ThreadTest, MachineConstructsAndDestructs) {
+  VirtualMachine Vm;
+  EXPECT_EQ(Vm.numVps(), 2u);
+}
+
+TEST(ThreadTest, ForkRunsAndJoins) {
+  VirtualMachine Vm;
+  std::atomic<bool> Ran{false};
+  ThreadRef T = Vm.fork([&]() -> AnyValue {
+    Ran.store(true);
+    return AnyValue(42);
+  });
+  T->join();
+  EXPECT_TRUE(Ran.load());
+  EXPECT_TRUE(T->isDetermined());
+  EXPECT_EQ(T->valueAs<int>(), 42);
+  EXPECT_FALSE(T->wasTerminated());
+  EXPECT_FALSE(T->failed());
+}
+
+TEST(ThreadTest, RunReturnsValue) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue { return AnyValue(7); });
+  EXPECT_EQ(V.as<int>(), 7);
+}
+
+TEST(ThreadTest, JoinIsIdempotent) {
+  VirtualMachine Vm;
+  ThreadRef T = Vm.fork([]() -> AnyValue { return AnyValue(1); });
+  T->join();
+  T->join();
+  EXPECT_EQ(T->valueAs<int>(), 1);
+}
+
+TEST(ThreadTest, ManyThreadsAllComplete) {
+  VirtualMachine Vm;
+  std::atomic<int> Count{0};
+  std::vector<ThreadRef> Threads;
+  for (int I = 0; I != 200; ++I)
+    Threads.push_back(Vm.fork([&]() -> AnyValue {
+      Count.fetch_add(1);
+      return AnyValue();
+    }));
+  for (auto &T : Threads)
+    T->join();
+  EXPECT_EQ(Count.load(), 200);
+}
+
+TEST(ThreadTest, DelayedThreadDoesNotRunUnlessDemanded) {
+  VirtualMachine Vm;
+  std::atomic<bool> Ran{false};
+  ThreadRef T = Vm.createThread([&]() -> AnyValue {
+    Ran.store(true);
+    return AnyValue();
+  });
+  EXPECT_EQ(T->state(), ThreadState::Delayed);
+  // Paper: "a delayed thread will never be run unless the value of the
+  // thread is explicitly demanded."
+  EXPECT_FALSE(Ran.load());
+}
+
+TEST(ThreadTest, ThreadRunSchedulesDelayedThread) {
+  VirtualMachine Vm;
+  ThreadRef T = Vm.createThread([]() -> AnyValue { return AnyValue(9); });
+  ThreadController::threadRun(*T);
+  T->join();
+  EXPECT_EQ(T->valueAs<int>(), 9);
+}
+
+TEST(ThreadTest, ExternalJoinStealsDelayedThread) {
+  VirtualMachine Vm;
+  ThreadRef T = Vm.createThread([]() -> AnyValue { return AnyValue(3); });
+  T->join(); // join demands the value: inline steal
+  EXPECT_EQ(T->state(), ThreadState::Determined);
+  EXPECT_EQ(T->valueAs<int>(), 3);
+}
+
+TEST(ThreadTest, ExceptionPropagatesToJoiner) {
+  VirtualMachine Vm;
+  ThreadRef T = Vm.fork(
+      []() -> AnyValue { throw std::runtime_error("boom"); });
+  T->join();
+  EXPECT_TRUE(T->failed());
+  EXPECT_THROW(T->rethrowIfFailed(), std::runtime_error);
+}
+
+TEST(ThreadTest, ExplicitVpPlacement) {
+  VirtualMachine Vm(VmConfig{.NumVps = 4});
+  for (unsigned I = 0; I != 4; ++I) {
+    SpawnOptions Opts;
+    Opts.Vp = &Vm.vp(I);
+    ThreadRef T = Vm.fork(
+        [I]() -> AnyValue {
+          return AnyValue(currentVp()->index() == I);
+        },
+        Opts);
+    T->join();
+    EXPECT_TRUE(T->valueAs<bool>()) << "thread pinned to VP " << I;
+  }
+}
+
+TEST(ThreadTest, NestedForkFromInsideThread) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    ThreadRef Child = ThreadController::forkThread(
+        []() -> AnyValue { return AnyValue(5); });
+    return AnyValue(ThreadController::threadValue(*Child).as<int>() + 1);
+  });
+  EXPECT_EQ(V.as<int>(), 6);
+}
+
+TEST(ThreadTest, GenealogyParentAndGroup) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    Thread *Self = currentThread();
+    ThreadRef Child = ThreadController::forkThread([]() -> AnyValue {
+      Thread *Me = currentThread();
+      return AnyValue(Me->parent() != nullptr);
+    });
+    bool ChildSawParent =
+        ThreadController::threadValue(*Child).as<bool>();
+    bool SameGroup = Child->group() == Self->group();
+    return AnyValue(ChildSawParent && SameGroup);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(ThreadTest, NoGenealogyOption) {
+  VirtualMachine Vm;
+  SpawnOptions Opts;
+  Opts.NoGenealogy = true;
+  ThreadRef T = Vm.fork([]() -> AnyValue { return AnyValue(); }, Opts);
+  T->join();
+  EXPECT_EQ(T->parent(), nullptr);
+  EXPECT_EQ(T->group(), nullptr);
+}
+
+TEST(ThreadTest, ThreadIdsAreUnique) {
+  VirtualMachine Vm;
+  ThreadRef A = Vm.fork([]() -> AnyValue { return AnyValue(); });
+  ThreadRef B = Vm.fork([]() -> AnyValue { return AnyValue(); });
+  EXPECT_NE(A->id(), B->id());
+  A->join();
+  B->join();
+}
+
+TEST(ThreadTest, SingleVpSinglePpMachine) {
+  VirtualMachine Vm(VmConfig{.NumVps = 1, .NumPps = 1});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    ThreadRef C = ThreadController::forkThread(
+        []() -> AnyValue { return AnyValue(11); });
+    return AnyValue(ThreadController::threadValue(*C).as<int>());
+  });
+  EXPECT_EQ(V.as<int>(), 11);
+}
+
+TEST(ThreadTest, StatsCountCreationsAndDeterminations) {
+  VirtualMachine Vm;
+  ThreadRef T = Vm.fork([]() -> AnyValue { return AnyValue(); });
+  T->join();
+  EXPECT_GE(Vm.stats().ThreadsCreated.load(), 1u);
+  EXPECT_GE(Vm.stats().ThreadsDetermined.load(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+//===- tests/core/TopologyTest.cpp - VP topologies (paper 3.2) --------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Topology.h"
+
+#include "core/Current.h"
+#include "core/ThreadController.h"
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+#include "gtest/gtest.h"
+
+namespace {
+
+using namespace sting;
+
+TEST(TopologyTest, RingNeighbours) {
+  Topology T(TopologyKind::Ring, 4);
+  EXPECT_EQ(T.rightOf(0), 1u);
+  EXPECT_EQ(T.rightOf(3), 0u);
+  EXPECT_EQ(T.leftOf(0), 3u);
+  EXPECT_EQ(T.leftOf(2), 1u);
+}
+
+TEST(TopologyTest, RingDistanceIsShortestWay) {
+  Topology T(TopologyKind::Ring, 6);
+  EXPECT_EQ(T.distance(0, 1), 1u);
+  EXPECT_EQ(T.distance(0, 5), 1u); // around the ring
+  EXPECT_EQ(T.distance(0, 3), 3u);
+  EXPECT_EQ(T.distance(2, 2), 0u);
+}
+
+TEST(TopologyTest, MeshPicksSquareFactorization) {
+  Topology T(TopologyKind::Mesh2D, 12);
+  EXPECT_EQ(T.rows() * T.cols(), 12u);
+  EXPECT_EQ(T.rows(), 3u);
+  EXPECT_EQ(T.cols(), 4u);
+}
+
+TEST(TopologyTest, MeshNeighboursWrap) {
+  Topology T(TopologyKind::Mesh2D, 4); // 2x2
+  EXPECT_EQ(T.rows(), 2u);
+  EXPECT_EQ(T.cols(), 2u);
+  // VP 0 at (0,0): right = (0,1) = 1, down = (1,0) = 2.
+  EXPECT_EQ(T.rightOf(0), 1u);
+  EXPECT_EQ(T.downOf(0), 2u);
+  EXPECT_EQ(T.leftOf(0), 1u); // wraps in a 2-wide row
+  EXPECT_EQ(T.upOf(0), 2u);   // wraps in a 2-tall column
+}
+
+TEST(TopologyTest, MeshDistanceIsManhattanWithWrap) {
+  Topology T(TopologyKind::Mesh2D, 16); // 4x4
+  EXPECT_EQ(T.distance(0, 5), 2u);  // (0,0)->(1,1)
+  EXPECT_EQ(T.distance(0, 15), 2u); // (0,0)->(3,3) wraps both ways
+}
+
+TEST(TopologyTest, HypercubeNeighboursDifferInOneBit) {
+  Topology T(TopologyKind::Hypercube, 8);
+  auto N = T.neighborsOf(5); // 0b101
+  EXPECT_EQ(N.size(), 3u);
+  for (unsigned V : N)
+    EXPECT_EQ(std::popcount(5u ^ V), 1);
+}
+
+TEST(TopologyTest, HypercubeDistanceIsHamming) {
+  Topology T(TopologyKind::Hypercube, 8);
+  EXPECT_EQ(T.distance(0, 7), 3u);
+  EXPECT_EQ(T.distance(5, 5), 0u);
+  EXPECT_EQ(T.distance(1, 2), 2u);
+}
+
+TEST(TopologyTest, SingleVpRingHasNoNeighbours) {
+  Topology T(TopologyKind::Ring, 1);
+  EXPECT_TRUE(T.neighborsOf(0).empty());
+  EXPECT_EQ(T.leftOf(0), 0u);
+}
+
+TEST(TopologyTest, SelfRelativeAddressingFromThreads) {
+  // The paper's systolic-style self-relative addressing: fork onto
+  // (right-VP (current-vp)) and observe placement.
+  VmConfig Config;
+  Config.NumVps = 4;
+  Config.Topology = TopologyKind::Ring;
+  VirtualMachine Vm(Config);
+  SpawnOptions Root;
+  Root.Vp = &Vm.vp(1);
+  AnyValue V = Vm.run(
+      []() -> AnyValue {
+        VirtualProcessor &Right = currentVp()->rightVp();
+        SpawnOptions Opts;
+        Opts.Vp = &Right;
+        // Placement is advisory for stealable threads: touching it early
+        // would run the thunk here instead. Pin it for the check.
+        Opts.Stealable = false;
+        ThreadRef T = ThreadController::forkThread(
+            []() -> AnyValue { return AnyValue(currentVp()->index()); },
+            Opts);
+        return AnyValue(ThreadController::threadValue(*T).as<unsigned>());
+      },
+      Root);
+  EXPECT_EQ(V.as<unsigned>(), 2u);
+}
+
+TEST(TopologyTest, VmExposesConfiguredTopology) {
+  VmConfig Config;
+  Config.NumVps = 8;
+  Config.Topology = TopologyKind::Hypercube;
+  VirtualMachine Vm(Config);
+  EXPECT_EQ(Vm.topology().kind(), TopologyKind::Hypercube);
+  EXPECT_EQ(&Vm.vp(0).rightVp(), &Vm.vp(1));
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+//===- tests/gc/GcPropertyTest.cpp - Randomized graph preservation -----------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Property: for a randomly generated object graph, a digest of the
+// reachable structure is invariant under any sequence of scavenges,
+// escapes, and full collections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/GlobalHeap.h"
+#include "gc/LocalHeap.h"
+#include "gc/Object.h"
+#include "support/Random.h"
+#include "gtest/gtest.h"
+
+#include <vector>
+
+namespace {
+
+using namespace sting::gc;
+using sting::Xoshiro256;
+
+/// Builds a random DAG of pairs/vectors/strings/fixnums rooted at one value.
+Value buildGraph(LocalHeap &Heap, Xoshiro256 &Rng, HandleScope &Scope,
+                 int Budget) {
+  std::vector<Handle> Pool;
+  Pool.emplace_back(Scope, Value::fixnum(0));
+  for (int I = 0; I != Budget; ++I) {
+    switch (Rng.nextBelow(5)) {
+    case 0:
+      Pool.emplace_back(Scope, Value::fixnum(
+                                   static_cast<std::int64_t>(Rng.next())));
+      break;
+    case 1: {
+      Value A = Pool[Rng.nextBelow(Pool.size())].get();
+      Value B = Pool[Rng.nextBelow(Pool.size())].get();
+      Pool.emplace_back(Scope, Heap.cons(A, B));
+      break;
+    }
+    case 2: {
+      auto Len = static_cast<std::uint32_t>(Rng.nextBelow(6));
+      Value V = Heap.makeVector(Len, Value::nil());
+      for (std::uint32_t J = 0; J != Len; ++J)
+        Heap.write(V.asObject(), J, Pool[Rng.nextBelow(Pool.size())].get());
+      Pool.emplace_back(Scope, V);
+      break;
+    }
+    case 3: {
+      char Buf[24];
+      std::snprintf(Buf, sizeof(Buf), "s%llu",
+                    static_cast<unsigned long long>(Rng.nextBelow(1000)));
+      Pool.emplace_back(Scope, Heap.makeString(Buf));
+      break;
+    }
+    case 4: {
+      Value Inner = Pool[Rng.nextBelow(Pool.size())].get();
+      Pool.emplace_back(Scope, Heap.makeBox(Inner));
+      break;
+    }
+    }
+    if (Pool.size() >= HandleScope::Capacity - 2)
+      break;
+  }
+  // Root: a vector referencing a sample of the pool.
+  Value Root = Heap.makeVector(8, Value::nil());
+  for (std::uint32_t J = 0; J != 8; ++J)
+    Heap.write(Root.asObject(), J, Pool[Rng.nextBelow(Pool.size())].get());
+  return Root;
+}
+
+class GcPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GcPropertyTest, DigestInvariantUnderCollections) {
+  GlobalHeap Global(16 * 1024);
+  LocalHeap Heap(Global, 32 * 1024);
+  Xoshiro256 Rng(GetParam());
+
+  HandleScope Scope(Heap);
+  Handle Root(Scope, buildGraph(Heap, Rng, Scope, 40));
+  const std::uint64_t Digest = valueHash(Root.get());
+
+  for (int Round = 0; Round != 6; ++Round) {
+    switch (Rng.nextBelow(3)) {
+    case 0:
+      Heap.scavenge();
+      break;
+    case 1:
+      Root.set(Heap.escape(Root.get()));
+      break;
+    case 2:
+      Global.collectFull({&Heap});
+      break;
+    }
+    // Interleave fresh garbage to stress reuse.
+    for (int I = 0; I != 50; ++I)
+      Heap.cons(Value::fixnum(I), Value::nil());
+    ASSERT_EQ(valueHash(Root.get()), Digest) << "round " << Round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+TEST(GcStressTest, ChurnWithLiveWindow) {
+  // Keep a sliding window of live lists while churning allocations; every
+  // list in the window must stay intact across implicit scavenges.
+  GlobalHeap Global;
+  LocalHeap Heap(Global, 32 * 1024);
+  constexpr int Window = 8;
+
+  HandleScope Scope(Heap);
+  std::vector<Handle> Lists;
+  std::vector<int> Lengths(Window, 0);
+  for (int I = 0; I != Window; ++I)
+    Lists.emplace_back(Scope, Value::nil());
+
+  Xoshiro256 Rng(99);
+  for (int Step = 0; Step != 3000; ++Step) {
+    int Slot = static_cast<int>(Rng.nextBelow(Window));
+    if (Rng.nextBelow(10) == 0) {
+      Lists[Slot].set(Value::nil());
+      Lengths[Slot] = 0;
+      continue;
+    }
+    Lists[Slot].set(
+        Heap.cons(Value::fixnum(Lengths[Slot]), Lists[Slot].get()));
+    ++Lengths[Slot];
+  }
+
+  for (int I = 0; I != Window; ++I) {
+    Value L = Lists[I].get();
+    int Expect = Lengths[I] - 1;
+    while (!L.isNil()) {
+      ASSERT_EQ(car(L).asFixnum(), Expect);
+      --Expect;
+      L = cdr(L);
+    }
+    ASSERT_EQ(Expect, -1);
+  }
+  EXPECT_GT(Heap.stats().Scavenges, 0u);
+}
+
+} // namespace

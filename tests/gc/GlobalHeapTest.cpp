@@ -1,0 +1,144 @@
+//===- tests/gc/GlobalHeapTest.cpp - Shared old generation -------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/GlobalHeap.h"
+
+#include "gc/LocalHeap.h"
+#include "gc/Object.h"
+#include "gtest/gtest.h"
+
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace sting::gc;
+
+TEST(GlobalHeapTest, AllocatesAcrossBlocks) {
+  GlobalHeap Heap(4096);
+  std::vector<Value> Keep;
+  for (int I = 0; I != 1000; ++I)
+    Keep.push_back(Heap.consShared(Value::fixnum(I), Value::nil()));
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_EQ(car(Keep[I]).asFixnum(), I);
+  EXPECT_GE(Heap.stats().ObjectsAllocated, 1000u);
+}
+
+TEST(GlobalHeapTest, ContainsTracksOwnership) {
+  GlobalHeap A, B;
+  Value V = A.consShared(Value::fixnum(1), Value::nil());
+  EXPECT_TRUE(A.contains(V.asObject()));
+  EXPECT_FALSE(B.contains(V.asObject()));
+}
+
+TEST(GlobalHeapTest, FullCollectionFreesGarbage) {
+  GlobalHeap Heap(4096);
+  Value Root = Value::nil();
+  Heap.addRoot(&Root);
+  Root = Heap.consShared(Value::fixnum(1), Value::nil());
+  for (int I = 0; I != 500; ++I)
+    Heap.consShared(Value::fixnum(I), Value::nil()); // garbage
+
+  Heap.collectFull({});
+  auto Stats = Heap.stats();
+  EXPECT_EQ(Stats.FullCollections, 1u);
+  EXPECT_GT(Stats.BytesSwept, 0u);
+  EXPECT_EQ(car(Root).asFixnum(), 1);
+  Heap.removeRoot(&Root);
+}
+
+TEST(GlobalHeapTest, SweptSpaceIsReused) {
+  GlobalHeap Heap(4096);
+  for (int I = 0; I != 500; ++I)
+    Heap.consShared(Value::fixnum(I), Value::nil());
+  Heap.collectFull({});
+  auto Before = Heap.stats().BytesAllocated;
+  (void)Before;
+  std::uint64_t BlocksBefore = 0;
+  // Allocate the same amount again: the free list must absorb it without
+  // (many) new blocks. We approximate by checking live bytes stay bounded.
+  for (int I = 0; I != 500; ++I)
+    Heap.consShared(Value::fixnum(I), Value::nil());
+  Heap.collectFull({});
+  EXPECT_LE(Heap.stats().LiveBytesAfterLastGc, 4096u * 4);
+  (void)BlocksBefore;
+}
+
+TEST(GlobalHeapTest, MarkTracesDeepStructures) {
+  GlobalHeap Heap;
+  Value Root = Value::nil();
+  Heap.addRoot(&Root);
+  for (int I = 0; I != 200; ++I)
+    Root = Heap.consShared(Value::fixnum(I), Root);
+  Heap.collectFull({});
+  EXPECT_EQ(listLength(Root), 200u);
+  EXPECT_EQ(car(Root).asFixnum(), 199);
+  Heap.removeRoot(&Root);
+}
+
+TEST(GlobalHeapTest, SymbolsSurviveCollection) {
+  GlobalHeap Heap;
+  Value S = Heap.intern("persistent");
+  Heap.collectFull({});
+  EXPECT_TRUE(Heap.intern("persistent") == S);
+}
+
+TEST(GlobalHeapTest, YoungAreasActAsRoots) {
+  // An old object referenced only from a mutator's young area must
+  // survive a full collection.
+  GlobalHeap Heap;
+  LocalHeap Mutator(Heap, 64 * 1024);
+  HandleScope Scope(Mutator);
+  Value Old = Heap.consShared(Value::fixnum(42), Value::nil());
+  Handle Young(Scope, Mutator.cons(Value::fixnum(0), Old));
+  Heap.collectFull({&Mutator});
+  EXPECT_EQ(car(cdr(Young.get())).asFixnum(), 42);
+}
+
+TEST(GlobalHeapTest, HandleScopesActAsRoots) {
+  GlobalHeap Heap;
+  LocalHeap Mutator(Heap, 64 * 1024);
+  HandleScope Scope(Mutator);
+  Handle H(Scope, Heap.consShared(Value::fixnum(8), Value::nil()));
+  Heap.collectFull({&Mutator});
+  EXPECT_EQ(car(H.get()).asFixnum(), 8);
+}
+
+TEST(GlobalHeapTest, RememberedSetPrunedWhenContainerDies) {
+  GlobalHeap Heap;
+  LocalHeap Mutator(Heap, 64 * 1024);
+  {
+    HandleScope Scope(Mutator);
+    Handle Container(Scope, Heap.makeVectorShared(2, Value::nil()));
+    Value Young = Mutator.cons(Value::fixnum(5), Value::nil());
+    Mutator.write(Container.get().asObject(), 0, Young);
+  }
+  // Container is now garbage; the full GC must drop the remembered entry
+  // rather than leave it dangling into reused memory.
+  Heap.collectFull({&Mutator});
+  Mutator.scavenge(); // must not crash on stale entries
+  SUCCEED();
+}
+
+TEST(GlobalHeapTest, ConcurrentSharedAllocation) {
+  GlobalHeap Heap;
+  constexpr int PerThread = 2000;
+  std::vector<std::thread> Workers;
+  std::vector<std::vector<Value>> Results(4);
+  for (int T = 0; T != 4; ++T)
+    Workers.emplace_back([&, T] {
+      for (int I = 0; I != PerThread; ++I)
+        Results[T].push_back(
+            Heap.consShared(Value::fixnum(T * PerThread + I), Value::nil()));
+    });
+  for (auto &W : Workers)
+    W.join();
+  for (int T = 0; T != 4; ++T)
+    for (int I = 0; I != PerThread; ++I)
+      EXPECT_EQ(car(Results[T][I]).asFixnum(), T * PerThread + I);
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+//===- tests/gc/HeapImageTest.cpp - Persistent heap images ---------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/HeapImage.h"
+
+#include "gc/GlobalHeap.h"
+#include "gc/LocalHeap.h"
+#include "gc/Object.h"
+#include "support/Random.h"
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+using namespace sting::gc;
+
+struct HeapImageTest : ::testing::Test {
+  std::string Path;
+  void SetUp() override {
+    Path = ::testing::TempDir() + "sting_image_" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".img";
+  }
+  void TearDown() override { std::remove(Path.c_str()); }
+};
+
+TEST_F(HeapImageTest, ScalarsRoundTrip) {
+  GlobalHeap Out;
+  Value Roots[] = {Value::fixnum(42), Value::trueValue(), Value::nil()};
+  ASSERT_TRUE(saveHeapImage(Roots, Path.c_str()));
+
+  GlobalHeap In;
+  auto Loaded = loadHeapImage(In, Path.c_str());
+  ASSERT_TRUE(Loaded.has_value());
+  ASSERT_EQ(Loaded->size(), 3u);
+  EXPECT_EQ((*Loaded)[0].asFixnum(), 42);
+  EXPECT_TRUE((*Loaded)[1].isTrue());
+  EXPECT_TRUE((*Loaded)[2].isNil());
+}
+
+TEST_F(HeapImageTest, StructuresRoundTrip) {
+  GlobalHeap Out;
+  Value List = Out.consShared(
+      Value::fixnum(1),
+      Out.consShared(Out.makeStringShared("two"),
+                     Out.consShared(Value::fixnum(3), Value::nil())));
+  Value Vec = Out.makeVectorShared(2, List);
+  Value Roots[] = {Vec};
+  ASSERT_TRUE(saveHeapImage(Roots, Path.c_str()));
+
+  GlobalHeap In;
+  auto Loaded = loadHeapImage(In, Path.c_str());
+  ASSERT_TRUE(Loaded.has_value());
+  Value NewVec = (*Loaded)[0];
+  ASSERT_TRUE(NewVec.isObject());
+  EXPECT_TRUE(In.contains(NewVec.asObject()));
+  // Both vector slots reference the *same* list (sharing preserved).
+  EXPECT_TRUE(NewVec.asObject()->slot(0) == NewVec.asObject()->slot(1));
+  Value NewList = NewVec.asObject()->slot(0);
+  EXPECT_EQ(listLength(NewList), 3u);
+  EXPECT_EQ(car(NewList).asFixnum(), 1);
+  EXPECT_EQ(textOf(listRef(NewList, 1)), "two");
+}
+
+TEST_F(HeapImageTest, CyclesSurvive) {
+  GlobalHeap Out;
+  Value A = Out.consShared(Value::fixnum(1), Value::nil());
+  Value B = Out.consShared(Value::fixnum(2), A);
+  A.asObject()->setSlotRaw(1, B); // A -> B -> A
+  Value Roots[] = {A};
+  ASSERT_TRUE(saveHeapImage(Roots, Path.c_str()));
+
+  GlobalHeap In;
+  auto Loaded = loadHeapImage(In, Path.c_str());
+  ASSERT_TRUE(Loaded.has_value());
+  Value NewA = (*Loaded)[0];
+  Value NewB = cdr(NewA);
+  EXPECT_TRUE(cdr(NewB) == NewA);
+  EXPECT_EQ(car(NewB).asFixnum(), 2);
+}
+
+TEST_F(HeapImageTest, SymbolsReinternOnLoad) {
+  GlobalHeap Out;
+  Value Sym = Out.intern("persistent-tag");
+  Value Roots[] = {Out.consShared(Sym, Value::nil())};
+  ASSERT_TRUE(saveHeapImage(Roots, Path.c_str()));
+
+  GlobalHeap In;
+  Value Existing = In.intern("persistent-tag"); // interned *before* load
+  auto Loaded = loadHeapImage(In, Path.c_str());
+  ASSERT_TRUE(Loaded.has_value());
+  // Identity with the destination heap's symbol table, not a fresh copy.
+  EXPECT_TRUE(car((*Loaded)[0]) == Existing);
+}
+
+TEST_F(HeapImageTest, ForeignPointersAreRejected) {
+  GlobalHeap Out;
+  alignas(8) static int X;
+  Value Roots[] = {Out.consShared(Value::foreign(&X), Value::nil())};
+  EXPECT_FALSE(saveHeapImage(Roots, Path.c_str()));
+}
+
+TEST_F(HeapImageTest, MissingFileFails) {
+  GlobalHeap In;
+  EXPECT_FALSE(loadHeapImage(In, "/nonexistent/dir/image").has_value());
+}
+
+TEST_F(HeapImageTest, CorruptMagicFails) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  std::fputs("NOTANIMG", F);
+  std::fclose(F);
+  GlobalHeap In;
+  EXPECT_FALSE(loadHeapImage(In, Path.c_str()).has_value());
+}
+
+TEST_F(HeapImageTest, LoadedDataSurvivesCollection) {
+  GlobalHeap Out;
+  Value List = Value::nil();
+  for (int I = 0; I != 50; ++I)
+    List = Out.consShared(Value::fixnum(I), List);
+  Value Roots[] = {List};
+  ASSERT_TRUE(saveHeapImage(Roots, Path.c_str()));
+
+  GlobalHeap In;
+  auto Loaded = loadHeapImage(In, Path.c_str());
+  ASSERT_TRUE(Loaded.has_value());
+  Value Root = (*Loaded)[0];
+  In.addRoot(&Root);
+  for (int I = 0; I != 500; ++I)
+    In.consShared(Value::fixnum(I), Value::nil()); // garbage
+  In.collectFull({});
+  EXPECT_EQ(listLength(Root), 50u);
+  EXPECT_EQ(car(Root).asFixnum(), 49);
+  In.removeRoot(&Root);
+}
+
+TEST_F(HeapImageTest, RandomGraphDigestInvariant) {
+  GlobalHeap Out;
+  sting::Xoshiro256 Rng(11);
+  std::vector<Value> Pool;
+  Pool.push_back(Value::fixnum(0));
+  for (int I = 0; I != 60; ++I) {
+    switch (Rng.nextBelow(3)) {
+    case 0:
+      Pool.push_back(Value::fixnum(
+          static_cast<std::int64_t>(Rng.next() >> 8)));
+      break;
+    case 1:
+      Pool.push_back(Out.consShared(Pool[Rng.nextBelow(Pool.size())],
+                                    Pool[Rng.nextBelow(Pool.size())]));
+      break;
+    case 2: {
+      char Buf[16];
+      std::snprintf(Buf, sizeof(Buf), "s%d", I);
+      Pool.push_back(Out.makeStringShared(Buf));
+      break;
+    }
+    }
+  }
+  Value Root = Out.makeVectorShared(8, Value::nil());
+  for (std::uint32_t J = 0; J != 8; ++J)
+    Root.asObject()->setSlotRaw(J, Pool[Rng.nextBelow(Pool.size())]);
+
+  std::uint64_t Digest = valueHash(Root);
+  Value Roots[] = {Root};
+  ASSERT_TRUE(saveHeapImage(Roots, Path.c_str()));
+
+  GlobalHeap In;
+  auto Loaded = loadHeapImage(In, Path.c_str());
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(valueHash((*Loaded)[0]), Digest);
+}
+
+} // namespace

@@ -1,0 +1,191 @@
+//===- tests/gc/LocalHeapTest.cpp - Per-thread scavenging --------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/LocalHeap.h"
+
+#include "gc/GlobalHeap.h"
+#include "gc/Object.h"
+#include "gtest/gtest.h"
+
+namespace {
+
+using namespace sting::gc;
+
+struct LocalHeapTest : ::testing::Test {
+  GlobalHeap Global;
+  LocalHeap Heap{Global, 64 * 1024};
+};
+
+TEST_F(LocalHeapTest, AllocatesYoungObjects) {
+  HandleScope Scope(Heap);
+  Value P = Heap.cons(Value::fixnum(1), Value::fixnum(2));
+  EXPECT_TRUE(P.isObject());
+  EXPECT_FALSE(P.asObject()->isInOld());
+  EXPECT_TRUE(Heap.contains(P.asObject()));
+  EXPECT_EQ(car(P).asFixnum(), 1);
+  EXPECT_EQ(cdr(P).asFixnum(), 2);
+}
+
+TEST_F(LocalHeapTest, HandleSurvivesScavenge) {
+  HandleScope Scope(Heap);
+  Handle H(Scope, Heap.cons(Value::fixnum(7), Value::nil()));
+  void *Before = H.get().asObject();
+  Heap.scavenge();
+  // The object moved (copying collector) but the handle tracked it.
+  EXPECT_NE(H.get().asObject(), Before);
+  EXPECT_EQ(car(H.get()).asFixnum(), 7);
+}
+
+TEST_F(LocalHeapTest, UnreachableObjectsAreNotCopied) {
+  HandleScope Scope(Heap);
+  Handle Live(Scope, Heap.cons(Value::fixnum(1), Value::nil()));
+  for (int I = 0; I != 100; ++I)
+    Heap.cons(Value::fixnum(I), Value::nil()); // garbage
+  std::size_t UsedBefore = Heap.usedBytes();
+  Heap.scavenge();
+  EXPECT_LT(Heap.usedBytes(), UsedBefore);
+  EXPECT_EQ(car(Live.get()).asFixnum(), 1);
+}
+
+TEST_F(LocalHeapTest, SharedStructurePreserved) {
+  HandleScope Scope(Heap);
+  Handle Shared(Scope, Heap.cons(Value::fixnum(9), Value::nil()));
+  Handle A(Scope, Heap.cons(Shared.get(), Value::nil()));
+  Handle B(Scope, Heap.cons(Shared.get(), Value::nil()));
+  Heap.scavenge();
+  // Both copies must reference the *same* relocated object.
+  EXPECT_TRUE(car(A.get()) == car(B.get()));
+  EXPECT_EQ(car(car(A.get())).asFixnum(), 9);
+}
+
+TEST_F(LocalHeapTest, CyclePreserved) {
+  HandleScope Scope(Heap);
+  Handle A(Scope, Heap.cons(Value::fixnum(1), Value::nil()));
+  Handle B(Scope, Heap.cons(Value::fixnum(2), A.get()));
+  Heap.write(A.get().asObject(), 1, B.get()); // A -> B -> A
+  Heap.scavenge();
+  Value NewA = A.get();
+  Value NewB = cdr(NewA);
+  EXPECT_TRUE(cdr(NewB) == NewA);
+  EXPECT_EQ(car(NewB).asFixnum(), 2);
+}
+
+TEST_F(LocalHeapTest, SurvivorsPromoteAfterAgeThreshold) {
+  HandleScope Scope(Heap);
+  Handle H(Scope, Heap.cons(Value::fixnum(5), Value::nil()));
+  for (int I = 0; I <= LocalHeap::PromoteAge; ++I)
+    Heap.scavenge();
+  EXPECT_TRUE(H.get().asObject()->isInOld());
+  EXPECT_TRUE(Global.contains(H.get().asObject()));
+  EXPECT_EQ(car(H.get()).asFixnum(), 5);
+  EXPECT_GT(Heap.stats().BytesPromoted, 0u);
+}
+
+TEST_F(LocalHeapTest, ScavengeOnExhaustion) {
+  HandleScope Scope(Heap);
+  // Allocate far more garbage than the young area holds.
+  for (int I = 0; I != 10000; ++I)
+    Heap.makeVector(16, Value::fixnum(I));
+  EXPECT_GT(Heap.stats().Scavenges, 0u);
+}
+
+TEST_F(LocalHeapTest, HugeObjectGoesDirectlyToOld) {
+  HandleScope Scope(Heap);
+  Value V = Heap.makeVector(8192, Value::nil()); // 64 KiB > young/4
+  EXPECT_TRUE(V.asObject()->isInOld());
+}
+
+TEST_F(LocalHeapTest, RememberedSetTracksOldToYoung) {
+  HandleScope Scope(Heap);
+  // An old container pointing at young data must keep it alive.
+  Handle Container(Scope, Heap.makeVector(4, Value::nil()));
+  for (int I = 0; I <= LocalHeap::PromoteAge; ++I)
+    Heap.scavenge();
+  ASSERT_TRUE(Container.get().asObject()->isInOld());
+
+  Value Young = Heap.cons(Value::fixnum(77), Value::nil());
+  Heap.write(Container.get().asObject(), 2, Young);
+  // No handle keeps Young alive; only the remembered set does.
+  Heap.scavenge();
+  Value Kept = Container.get().asObject()->slot(2);
+  ASSERT_TRUE(Kept.isObject());
+  EXPECT_EQ(car(Kept).asFixnum(), 77);
+}
+
+TEST_F(LocalHeapTest, EscapePromotesWholeSubgraph) {
+  HandleScope Scope(Heap);
+  Value Inner = Heap.cons(Value::fixnum(3), Value::nil());
+  Value Outer = Heap.cons(Value::fixnum(2), Inner);
+  Handle H(Scope, Heap.cons(Value::fixnum(1), Outer));
+
+  Value Escaped = Heap.escape(H.get());
+  ASSERT_TRUE(Escaped.asObject()->isInOld());
+  EXPECT_TRUE(cdr(Escaped).asObject()->isInOld());
+  EXPECT_TRUE(cdr(cdr(Escaped)).asObject()->isInOld());
+  EXPECT_EQ(car(cdr(cdr(Escaped))).asFixnum(), 3);
+  // The handle was forwarded to the promoted copy too.
+  EXPECT_TRUE(H.get() == Escaped);
+}
+
+TEST_F(LocalHeapTest, EscapeOfImmediateIsIdentity) {
+  EXPECT_TRUE(Heap.escape(Value::fixnum(5)) == Value::fixnum(5));
+  EXPECT_TRUE(Heap.escape(Value::nil()) == Value::nil());
+}
+
+TEST_F(LocalHeapTest, EscapeSharesAlreadyOldData) {
+  HandleScope Scope(Heap);
+  Value Old = Global.consShared(Value::fixnum(1), Value::nil());
+  Handle H(Scope, Heap.cons(Value::fixnum(0), Old));
+  Value Escaped = Heap.escape(H.get());
+  // The old tail is shared, not copied.
+  EXPECT_TRUE(cdr(Escaped) == Old);
+}
+
+TEST_F(LocalHeapTest, ExternalRootsAreScanned) {
+  Value Root = Heap.cons(Value::fixnum(11), Value::nil());
+  Heap.addRoot(&Root);
+  Heap.scavenge();
+  EXPECT_EQ(car(Root).asFixnum(), 11);
+  Heap.removeRoot(&Root);
+}
+
+TEST_F(LocalHeapTest, NestedHandleScopes) {
+  HandleScope Outer(Heap);
+  Handle A(Outer, Heap.cons(Value::fixnum(1), Value::nil()));
+  {
+    HandleScope Inner(Heap);
+    Handle B(Inner, Heap.cons(Value::fixnum(2), Value::nil()));
+    Heap.scavenge();
+    EXPECT_EQ(car(A.get()).asFixnum(), 1);
+    EXPECT_EQ(car(B.get()).asFixnum(), 2);
+  }
+  Heap.scavenge();
+  EXPECT_EQ(car(A.get()).asFixnum(), 1);
+}
+
+TEST_F(LocalHeapTest, StringsSurviveScavenge) {
+  HandleScope Scope(Heap);
+  Handle S(Scope, Heap.makeString("the quick brown fox"));
+  Heap.scavenge();
+  EXPECT_EQ(textOf(S.get()), "the quick brown fox");
+}
+
+TEST_F(LocalHeapTest, IndependentHeapsDoNotInterfere) {
+  // Two mutator heaps over one old generation: scavenging one never
+  // touches the other (the paper's "no global synchronization" claim).
+  LocalHeap Other(Global, 64 * 1024);
+  HandleScope ScopeA(Heap);
+  HandleScope ScopeB(Other);
+  Handle A(ScopeA, Heap.cons(Value::fixnum(1), Value::nil()));
+  Handle B(ScopeB, Other.cons(Value::fixnum(2), Value::nil()));
+  void *BBefore = B.get().asObject();
+  Heap.scavenge();
+  EXPECT_EQ(B.get().asObject(), BBefore); // untouched
+  EXPECT_EQ(car(A.get()).asFixnum(), 1);
+  EXPECT_EQ(car(B.get()).asFixnum(), 2);
+}
+
+} // namespace

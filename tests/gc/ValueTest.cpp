@@ -1,0 +1,122 @@
+//===- tests/gc/ValueTest.cpp - Tagged value encoding ------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Value.h"
+
+#include "gc/GlobalHeap.h"
+#include "gc/Object.h"
+#include "gtest/gtest.h"
+
+namespace {
+
+using namespace sting::gc;
+
+TEST(ValueTest, DefaultIsNil) {
+  Value V;
+  EXPECT_TRUE(V.isNil());
+  EXPECT_TRUE(V.isImmediate());
+}
+
+TEST(ValueTest, FixnumRoundTrip) {
+  for (std::int64_t N : {0ll, 1ll, -1ll, 42ll, -9999999ll,
+                         (1ll << 60) - 1, -(1ll << 60)}) {
+    Value V = Value::fixnum(N);
+    ASSERT_TRUE(V.isFixnum());
+    EXPECT_EQ(V.asFixnum(), N);
+  }
+}
+
+TEST(ValueTest, ImmediatesAreDistinct) {
+  EXPECT_FALSE(Value::nil() == Value::trueValue());
+  EXPECT_FALSE(Value::trueValue() == Value::falseValue());
+  EXPECT_FALSE(Value::falseValue() == Value::unspecified());
+  EXPECT_FALSE(Value::nil() == Value::fixnum(0));
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_TRUE(Value::trueValue().isTruthy());
+  EXPECT_TRUE(Value::nil().isTruthy()); // Scheme: only #f is false
+  EXPECT_TRUE(Value::fixnum(0).isTruthy());
+  EXPECT_FALSE(Value::falseValue().isTruthy());
+}
+
+TEST(ValueTest, ForeignRoundTrip) {
+  alignas(8) int X = 5;
+  Value V = Value::foreign(&X);
+  ASSERT_TRUE(V.isForeign());
+  EXPECT_EQ(V.asForeign(), &X);
+  EXPECT_FALSE(V.isObject());
+}
+
+TEST(ValueTest, BooleanHelper) {
+  EXPECT_TRUE(Value::boolean(true).isTrue());
+  EXPECT_TRUE(Value::boolean(false).isFalse());
+}
+
+TEST(ObjectUtilTest, StructuralEqualityOnHeapData) {
+  GlobalHeap Heap;
+  Value A = Heap.consShared(Value::fixnum(1), Value::fixnum(2));
+  Value B = Heap.consShared(Value::fixnum(1), Value::fixnum(2));
+  Value C = Heap.consShared(Value::fixnum(1), Value::fixnum(3));
+  EXPECT_FALSE(A == B); // eq?: different objects
+  EXPECT_TRUE(valueEqual(A, B));
+  EXPECT_FALSE(valueEqual(A, C));
+}
+
+TEST(ObjectUtilTest, StringEqualityAndHash) {
+  GlobalHeap Heap;
+  Value A = Heap.makeStringShared("hello");
+  Value B = Heap.makeStringShared("hello");
+  Value C = Heap.makeStringShared("world");
+  EXPECT_TRUE(valueEqual(A, B));
+  EXPECT_FALSE(valueEqual(A, C));
+  EXPECT_EQ(valueHash(A), valueHash(B));
+  EXPECT_NE(valueHash(A), valueHash(C));
+  EXPECT_EQ(textOf(A), "hello");
+}
+
+TEST(ObjectUtilTest, SymbolsAreInterned) {
+  GlobalHeap Heap;
+  Value A = Heap.intern("foo");
+  Value B = Heap.intern("foo");
+  Value C = Heap.intern("bar");
+  EXPECT_TRUE(A == B); // identity
+  EXPECT_FALSE(A == C);
+  EXPECT_EQ(textOf(A), "foo");
+}
+
+TEST(ObjectUtilTest, ListHelpers) {
+  GlobalHeap Heap;
+  Value L = Heap.consShared(
+      Value::fixnum(1),
+      Heap.consShared(Value::fixnum(2),
+                      Heap.consShared(Value::fixnum(3), Value::nil())));
+  EXPECT_EQ(listLength(L), 3u);
+  EXPECT_EQ(listRef(L, 0).asFixnum(), 1);
+  EXPECT_EQ(listRef(L, 2).asFixnum(), 3);
+}
+
+TEST(ObjectUtilTest, DebugRendering) {
+  GlobalHeap Heap;
+  Value L = Heap.consShared(Value::fixnum(1),
+                            Heap.consShared(Value::fixnum(2), Value::nil()));
+  EXPECT_EQ(valueToString(L), "(1 2)");
+  EXPECT_EQ(valueToString(Value::fixnum(-7)), "-7");
+  EXPECT_EQ(valueToString(Heap.makeStringShared("x")), "\"x\"");
+  Value Improper = Heap.consShared(Value::fixnum(1), Value::fixnum(2));
+  EXPECT_EQ(valueToString(Improper), "(1 . 2)");
+  Value Vec = Heap.makeVectorShared(2, Value::fixnum(9));
+  EXPECT_EQ(valueToString(Vec), "#(9 9)");
+}
+
+TEST(ObjectUtilTest, HashStableForEqualStructures) {
+  GlobalHeap Heap;
+  Value A = Heap.consShared(Heap.makeStringShared("k"), Value::fixnum(3));
+  Value B = Heap.consShared(Heap.makeStringShared("k"), Value::fixnum(3));
+  EXPECT_EQ(valueHash(A), valueHash(B));
+}
+
+} // namespace

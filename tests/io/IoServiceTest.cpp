@@ -1,0 +1,211 @@
+//===- tests/io/IoServiceTest.cpp - Non-blocking I/O --------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/IoService.h"
+
+#include "core/ThreadController.h"
+#include "core/VirtualMachine.h"
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace {
+
+using namespace sting;
+using TC = ThreadController;
+
+struct Pipe {
+  int Fds[2];
+  Pipe() {
+    int Rc = pipe(Fds);
+    EXPECT_EQ(Rc, 0);
+    IoService::makeNonBlocking(Fds[0]);
+    IoService::makeNonBlocking(Fds[1]);
+  }
+  ~Pipe() {
+    close(Fds[0]);
+    close(Fds[1]);
+  }
+  int readEnd() const { return Fds[0]; }
+  int writeEnd() const { return Fds[1]; }
+};
+
+TEST(IoServiceTest, ReadParksThreadNotProcessor) {
+  VirtualMachine Vm;
+  IoService Io;
+  Pipe P;
+
+  std::atomic<bool> ReaderWaiting{false};
+  ThreadRef Reader = Vm.fork([&]() -> AnyValue {
+    char Buf[16];
+    ReaderWaiting.store(true);
+    ssize_t N = Io.read(P.readEnd(), Buf, sizeof(Buf));
+    return AnyValue(std::string(Buf, static_cast<std::size_t>(N)));
+  });
+
+  // While the reader is parked on the pipe, the VP still runs others.
+  ThreadRef Other = Vm.fork([]() -> AnyValue { return AnyValue(5); });
+  Other->join();
+  EXPECT_EQ(Other->valueAs<int>(), 5);
+  EXPECT_FALSE(Reader->isDetermined());
+
+  while (!ReaderWaiting.load())
+    sched_yield();
+  ssize_t W = ::write(P.writeEnd(), "hello", 5);
+  EXPECT_EQ(W, 5);
+  Reader->join();
+  EXPECT_EQ(Reader->valueAs<std::string>(), "hello");
+  EXPECT_GE(Io.stats().Wakeups.load(), 0u);
+}
+
+TEST(IoServiceTest, ImmediateDataNeedsNoWait) {
+  VirtualMachine Vm;
+  IoService Io;
+  Pipe P;
+  ssize_t W = ::write(P.writeEnd(), "x", 1);
+  EXPECT_EQ(W, 1);
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    char C;
+    return AnyValue(Io.read(P.readEnd(), &C, 1) == 1 && C == 'x');
+  });
+  EXPECT_TRUE(V.as<bool>());
+  EXPECT_EQ(Io.stats().Waits.load(), 0u);
+}
+
+TEST(IoServiceTest, ReadReturnsZeroOnEof) {
+  VirtualMachine Vm;
+  IoService Io;
+  Pipe P;
+  close(P.Fds[1]);
+  P.Fds[1] = -1;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    char C;
+    return AnyValue(Io.read(P.readEnd(), &C, 1));
+  });
+  EXPECT_EQ(V.as<ssize_t>(), 0);
+  P.Fds[1] = ::open("/dev/null", O_RDONLY); // restore for dtor close
+}
+
+TEST(IoServiceTest, WriteParksUntilDrained) {
+  VirtualMachine Vm;
+  IoService Io;
+  Pipe P;
+
+  // Fill the pipe to capacity.
+  char Chunk[4096];
+  std::memset(Chunk, 'a', sizeof(Chunk));
+  while (::write(P.writeEnd(), Chunk, sizeof(Chunk)) > 0) {
+  }
+
+  std::atomic<bool> WriterDone{false};
+  ThreadRef Writer = Vm.fork([&]() -> AnyValue {
+    bool Ok = Io.writeAll(P.writeEnd(), "tail", 4);
+    WriterDone.store(true);
+    return AnyValue(Ok);
+  });
+
+  for (int I = 0; I != 50; ++I)
+    sched_yield();
+  EXPECT_FALSE(WriterDone.load());
+
+  // Drain the pipe from outside; the writer must complete.
+  char Sink[4096];
+  while (!WriterDone.load()) {
+    ssize_t Rc = ::read(P.readEnd(), Sink, sizeof(Sink));
+    if (Rc < 0)
+      sched_yield();
+  }
+  Writer->join();
+  EXPECT_TRUE(Writer->valueAs<bool>());
+}
+
+TEST(IoServiceTest, CallbackForksThreadOnReadiness) {
+  VirtualMachine Vm;
+  IoService Io;
+  Pipe P;
+
+  std::atomic<int> CallbackRuns{0};
+  Vm.run([&]() -> AnyValue {
+    Io.onReadable(P.readEnd(), [&] { CallbackRuns.fetch_add(1); });
+    return AnyValue();
+  });
+
+  EXPECT_EQ(CallbackRuns.load(), 0);
+  ssize_t W = ::write(P.writeEnd(), "!", 1);
+  EXPECT_EQ(W, 1);
+  for (int I = 0; I != 2000 && CallbackRuns.load() == 0; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(CallbackRuns.load(), 1);
+  EXPECT_EQ(Io.stats().Callbacks.load(), 1u);
+}
+
+TEST(IoServiceTest, ManyReadersOnDistinctPipes) {
+  VirtualMachine Vm(VmConfig{.NumVps = 2});
+  IoService Io;
+  constexpr int N = 8;
+  std::vector<std::unique_ptr<Pipe>> Pipes;
+  for (int I = 0; I != N; ++I)
+    Pipes.push_back(std::make_unique<Pipe>());
+
+  std::vector<ThreadRef> Readers;
+  for (int I = 0; I != N; ++I)
+    Readers.push_back(Vm.fork([&, I]() -> AnyValue {
+      char C;
+      Io.read(Pipes[I]->readEnd(), &C, 1);
+      return AnyValue(static_cast<int>(C));
+    }));
+
+  // Release them in reverse order.
+  for (int I = N - 1; I >= 0; --I) {
+    char C = static_cast<char>('A' + I);
+    ssize_t W = ::write(Pipes[I]->writeEnd(), &C, 1);
+    EXPECT_EQ(W, 1);
+  }
+  for (int I = 0; I != N; ++I) {
+    Readers[I]->join();
+    EXPECT_EQ(Readers[I]->valueAs<int>(), 'A' + I);
+  }
+}
+
+TEST(IoServiceTest, PingPongThroughPipes) {
+  VirtualMachine Vm;
+  IoService Io;
+  Pipe AtoB, BtoA;
+
+  ThreadRef Echo = Vm.fork([&]() -> AnyValue {
+    for (int I = 0; I != 20; ++I) {
+      char C;
+      if (Io.read(AtoB.readEnd(), &C, 1) != 1)
+        return AnyValue(false);
+      ++C;
+      if (!Io.writeAll(BtoA.writeEnd(), &C, 1))
+        return AnyValue(false);
+    }
+    return AnyValue(true);
+  });
+
+  ThreadRef Driver = Vm.fork([&]() -> AnyValue {
+    char C = 0;
+    for (int I = 0; I != 20; ++I) {
+      if (!Io.writeAll(AtoB.writeEnd(), &C, 1))
+        return AnyValue(-1);
+      if (Io.read(BtoA.readEnd(), &C, 1) != 1)
+        return AnyValue(-1);
+    }
+    return AnyValue(static_cast<int>(C));
+  });
+
+  Echo->join();
+  Driver->join();
+  EXPECT_TRUE(Echo->valueAs<bool>());
+  EXPECT_EQ(Driver->valueAs<int>(), 20);
+}
+
+} // namespace

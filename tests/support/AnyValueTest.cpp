@@ -1,0 +1,81 @@
+//===- tests/support/AnyValueTest.cpp --------------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AnyValue.h"
+
+#include "gtest/gtest.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+using sting::AnyValue;
+
+TEST(AnyValueTest, EmptyByDefault) {
+  AnyValue V;
+  EXPECT_FALSE(V.hasValue());
+}
+
+TEST(AnyValueTest, StoresScalar) {
+  AnyValue V(42);
+  ASSERT_TRUE(V.hasValue());
+  EXPECT_EQ(V.as<int>(), 42);
+}
+
+TEST(AnyValueTest, StoresString) {
+  AnyValue V(std::string("hello"));
+  EXPECT_EQ(V.as<std::string>(), "hello");
+}
+
+TEST(AnyValueTest, StoresLargeObjectOnHeap) {
+  std::vector<int> Big(1000, 7);
+  AnyValue V(std::move(Big));
+  EXPECT_EQ(V.as<std::vector<int>>().size(), 1000u);
+  EXPECT_EQ(V.as<std::vector<int>>()[999], 7);
+}
+
+TEST(AnyValueTest, MoveTransfers) {
+  AnyValue V(std::string("payload"));
+  AnyValue W(std::move(V));
+  EXPECT_FALSE(V.hasValue()); // NOLINT: testing moved-from state
+  EXPECT_EQ(W.as<std::string>(), "payload");
+}
+
+TEST(AnyValueTest, TakeMovesOut) {
+  AnyValue V(std::string("gone"));
+  std::string S = V.take<std::string>();
+  EXPECT_EQ(S, "gone");
+  EXPECT_FALSE(V.hasValue());
+}
+
+TEST(AnyValueTest, MoveOnlyPayload) {
+  AnyValue V(std::make_unique<int>(9));
+  auto P = V.take<std::unique_ptr<int>>();
+  EXPECT_EQ(*P, 9);
+}
+
+TEST(AnyValueTest, DestroysPayload) {
+  auto Token = std::make_shared<int>(1);
+  std::weak_ptr<int> Weak = Token;
+  {
+    AnyValue V(std::move(Token));
+    EXPECT_FALSE(Weak.expired());
+  }
+  EXPECT_TRUE(Weak.expired());
+}
+
+TEST(AnyValueTest, MoveAssignReplacesAndDestroysOld) {
+  auto Token = std::make_shared<int>(1);
+  std::weak_ptr<int> Weak = Token;
+  AnyValue V(std::move(Token));
+  V = AnyValue(5);
+  EXPECT_TRUE(Weak.expired());
+  EXPECT_EQ(V.as<int>(), 5);
+}
+
+} // namespace

@@ -1,0 +1,76 @@
+//===- tests/support/HistogramTest.cpp -------------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include "gtest/gtest.h"
+
+namespace {
+
+using sting::Histogram;
+
+TEST(HistogramTest, EmptyStats) {
+  Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.meanNanos(), 0.0);
+  EXPECT_EQ(H.minNanos(), 0u);
+  EXPECT_EQ(H.maxNanos(), 0u);
+  EXPECT_EQ(H.quantileNanos(0.5), 0u);
+}
+
+TEST(HistogramTest, MeanMinMax) {
+  Histogram H;
+  H.record(10);
+  H.record(20);
+  H.record(30);
+  EXPECT_EQ(H.count(), 3u);
+  EXPECT_DOUBLE_EQ(H.meanNanos(), 20.0);
+  EXPECT_EQ(H.minNanos(), 10u);
+  EXPECT_EQ(H.maxNanos(), 30u);
+}
+
+TEST(HistogramTest, QuantileBracketsValues) {
+  Histogram H;
+  for (int I = 0; I != 100; ++I)
+    H.record(100); // all samples in one bucket
+  // Bucket upper bound for 100 is 127 (2^7 - 1).
+  EXPECT_EQ(H.quantileNanos(0.5), 127u);
+  EXPECT_EQ(H.quantileNanos(0.99), 127u);
+}
+
+TEST(HistogramTest, QuantileOrdering) {
+  Histogram H;
+  for (int I = 0; I != 90; ++I)
+    H.record(10);
+  for (int I = 0; I != 10; ++I)
+    H.record(100000);
+  EXPECT_LT(H.quantileNanos(0.5), H.quantileNanos(0.99));
+}
+
+TEST(HistogramTest, ZeroSample) {
+  Histogram H;
+  H.record(0);
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_EQ(H.minNanos(), 0u);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram H;
+  H.record(5);
+  H.clear();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.maxNanos(), 0u);
+}
+
+TEST(HistogramTest, HugeSampleClampsToLastBucket) {
+  Histogram H;
+  H.record(~0ull);
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_EQ(H.maxNanos(), ~0ull);
+  EXPECT_GT(H.quantileNanos(1.0), 0u);
+}
+
+} // namespace

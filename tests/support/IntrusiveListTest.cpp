@@ -1,0 +1,132 @@
+//===- tests/support/IntrusiveListTest.cpp ---------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/IntrusiveList.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+namespace {
+
+struct TagA;
+struct TagB;
+
+struct Item : sting::ListNode<TagA>, sting::ListNode<TagB> {
+  explicit Item(int V) : Value(V) {}
+  int Value;
+};
+
+using ListA = sting::IntrusiveList<Item, TagA>;
+using ListB = sting::IntrusiveList<Item, TagB>;
+
+std::vector<int> values(ListA &L) {
+  std::vector<int> Out;
+  for (Item &I : L)
+    Out.push_back(I.Value);
+  return Out;
+}
+
+TEST(IntrusiveListTest, EmptyInitially) {
+  ListA L;
+  EXPECT_TRUE(L.empty());
+  EXPECT_EQ(L.size(), 0u);
+}
+
+TEST(IntrusiveListTest, PushBackOrder) {
+  ListA L;
+  Item A(1), B(2), C(3);
+  L.pushBack(A);
+  L.pushBack(B);
+  L.pushBack(C);
+  EXPECT_EQ(values(L), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(L.size(), 3u);
+  while (!L.empty())
+    L.popFront();
+}
+
+TEST(IntrusiveListTest, PushFrontOrder) {
+  ListA L;
+  Item A(1), B(2), C(3);
+  L.pushFront(A);
+  L.pushFront(B);
+  L.pushFront(C);
+  EXPECT_EQ(values(L), (std::vector<int>{3, 2, 1}));
+  while (!L.empty())
+    L.popFront();
+}
+
+TEST(IntrusiveListTest, PopFrontBack) {
+  ListA L;
+  Item A(1), B(2), C(3);
+  L.pushBack(A);
+  L.pushBack(B);
+  L.pushBack(C);
+  EXPECT_EQ(L.popFront().Value, 1);
+  EXPECT_EQ(L.popBack().Value, 3);
+  EXPECT_EQ(L.popFront().Value, 2);
+  EXPECT_TRUE(L.empty());
+}
+
+TEST(IntrusiveListTest, EraseMiddle) {
+  ListA L;
+  Item A(1), B(2), C(3);
+  L.pushBack(A);
+  L.pushBack(B);
+  L.pushBack(C);
+  ListA::erase(B);
+  EXPECT_FALSE(static_cast<sting::ListNode<TagA> &>(B).isLinked());
+  EXPECT_EQ(values(L), (std::vector<int>{1, 3}));
+  while (!L.empty())
+    L.popFront();
+}
+
+TEST(IntrusiveListTest, TwoHooksAreIndependent) {
+  ListA LA;
+  ListB LB;
+  Item A(1), B(2);
+  LA.pushBack(A);
+  LA.pushBack(B);
+  LB.pushBack(B);
+  LB.pushBack(A);
+
+  EXPECT_EQ(LA.front().Value, 1);
+  EXPECT_EQ(LB.front().Value, 2);
+
+  ListA::erase(A); // only unlinks from LA
+  EXPECT_EQ(LA.size(), 1u);
+  EXPECT_EQ(LB.size(), 2u);
+  while (!LA.empty())
+    LA.popFront();
+  while (!LB.empty())
+    LB.popFront();
+}
+
+TEST(IntrusiveListTest, SpliceMovesAll) {
+  ListA L1, L2;
+  Item A(1), B(2), C(3), D(4);
+  L1.pushBack(A);
+  L1.pushBack(B);
+  L2.pushBack(C);
+  L2.pushBack(D);
+
+  L1.splice(L2);
+  EXPECT_TRUE(L2.empty());
+  EXPECT_EQ(values(L1), (std::vector<int>{1, 2, 3, 4}));
+  while (!L1.empty())
+    L1.popFront();
+}
+
+TEST(IntrusiveListTest, SpliceFromEmptyIsNoop) {
+  ListA L1, L2;
+  Item A(1);
+  L1.pushBack(A);
+  L1.splice(L2);
+  EXPECT_EQ(L1.size(), 1u);
+  L1.popFront();
+}
+
+} // namespace

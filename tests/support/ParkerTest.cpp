@@ -1,0 +1,76 @@
+//===- tests/support/ParkerTest.cpp ----------------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Parker.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <thread>
+
+namespace {
+
+using sting::Parker;
+
+TEST(ParkerTest, NotifyBeforeCommitDoesNotBlock) {
+  Parker P;
+  auto E = P.prepareWait();
+  P.notify();
+  // The epoch moved, so commitWait must return immediately.
+  P.commitWait(E);
+  SUCCEED();
+}
+
+TEST(ParkerTest, TimeoutExpires) {
+  Parker P;
+  auto E = P.prepareWait();
+  P.commitWait(E, 1000000); // 1ms
+  SUCCEED();
+}
+
+TEST(ParkerTest, WakesSleeper) {
+  Parker P;
+  std::atomic<bool> Woke{false};
+
+  std::thread Sleeper([&] {
+    auto E = P.prepareWait();
+    P.commitWait(E);
+    Woke.store(true);
+  });
+
+  while (true) {
+    P.notify();
+    if (Woke.load())
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Sleeper.join();
+  EXPECT_TRUE(Woke.load());
+}
+
+TEST(ParkerTest, WakesManySleepers) {
+  Parker P;
+  std::atomic<int> Woke{0};
+  constexpr int N = 4;
+
+  std::vector<std::thread> Sleepers;
+  for (int I = 0; I != N; ++I)
+    Sleepers.emplace_back([&] {
+      auto E = P.prepareWait();
+      P.commitWait(E);
+      Woke.fetch_add(1);
+    });
+
+  while (Woke.load() != N) {
+    P.notify();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto &T : Sleepers)
+    T.join();
+  EXPECT_EQ(Woke.load(), N);
+}
+
+} // namespace

@@ -1,0 +1,67 @@
+//===- tests/support/RandomTest.cpp ----------------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+
+namespace {
+
+using sting::SplitMix64;
+using sting::Xoshiro256;
+
+TEST(RandomTest, SplitMixDeterministic) {
+  SplitMix64 A(123), B(123);
+  for (int I = 0; I != 16; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, SplitMixKnownValue) {
+  // Reference value for the public-domain SplitMix64 with seed 0.
+  SplitMix64 G(0);
+  EXPECT_EQ(G.next(), 0xe220a8397b1dcdafull);
+}
+
+TEST(RandomTest, XoshiroDeterministic) {
+  Xoshiro256 A(99), B(99);
+  for (int I = 0; I != 64; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, XoshiroSeedsDiffer) {
+  Xoshiro256 A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RandomTest, NextBelowInRange) {
+  Xoshiro256 G(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(G.nextBelow(17), 17u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Xoshiro256 G(7);
+  for (int I = 0; I != 1000; ++I) {
+    double D = G.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RandomTest, ReasonableSpread) {
+  Xoshiro256 G(42);
+  std::set<std::uint64_t> Seen;
+  for (int I = 0; I != 1000; ++I)
+    Seen.insert(G.next());
+  EXPECT_EQ(Seen.size(), 1000u);
+}
+
+} // namespace

@@ -1,0 +1,66 @@
+//===- tests/support/SpinLockTest.cpp --------------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SpinLock.h"
+
+#include "gtest/gtest.h"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using sting::SpinLock;
+
+TEST(SpinLockTest, LockUnlock) {
+  SpinLock L;
+  EXPECT_FALSE(L.isLocked());
+  L.lock();
+  EXPECT_TRUE(L.isLocked());
+  L.unlock();
+  EXPECT_FALSE(L.isLocked());
+}
+
+TEST(SpinLockTest, TryLock) {
+  SpinLock L;
+  EXPECT_TRUE(L.tryLock());
+  EXPECT_FALSE(L.tryLock());
+  L.unlock();
+  EXPECT_TRUE(L.tryLock());
+  L.unlock();
+}
+
+TEST(SpinLockTest, GuardCompatible) {
+  SpinLock L;
+  {
+    std::lock_guard<SpinLock> Guard(L);
+    EXPECT_TRUE(L.isLocked());
+  }
+  EXPECT_FALSE(L.isLocked());
+}
+
+TEST(SpinLockTest, MutualExclusionUnderContention) {
+  SpinLock L;
+  long Counter = 0;
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 20000;
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I != PerThread; ++I) {
+        std::lock_guard<SpinLock> Guard(L);
+        ++Counter;
+      }
+    });
+  for (auto &Th : Threads)
+    Th.join();
+
+  EXPECT_EQ(Counter, long(NumThreads) * PerThread);
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+//===- tests/support/UniqueFunctionTest.cpp --------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/UniqueFunction.h"
+
+#include "gtest/gtest.h"
+
+#include <memory>
+#include <string>
+
+namespace {
+
+using sting::UniqueFunction;
+
+TEST(UniqueFunctionTest, EmptyByDefault) {
+  UniqueFunction<void()> F;
+  EXPECT_FALSE(F);
+}
+
+TEST(UniqueFunctionTest, CallsLambda) {
+  int X = 0;
+  UniqueFunction<void()> F = [&X] { X = 42; };
+  ASSERT_TRUE(F);
+  F();
+  EXPECT_EQ(X, 42);
+}
+
+TEST(UniqueFunctionTest, ReturnsValue) {
+  UniqueFunction<int(int, int)> Add = [](int A, int B) { return A + B; };
+  EXPECT_EQ(Add(2, 3), 5);
+}
+
+TEST(UniqueFunctionTest, MoveOnlyCapture) {
+  auto P = std::make_unique<int>(7);
+  UniqueFunction<int()> F = [P = std::move(P)] { return *P; };
+  EXPECT_EQ(F(), 7);
+}
+
+TEST(UniqueFunctionTest, MoveTransfersOwnership) {
+  int Calls = 0;
+  UniqueFunction<void()> F = [&Calls] { ++Calls; };
+  UniqueFunction<void()> G = std::move(F);
+  EXPECT_FALSE(F); // NOLINT: testing moved-from state
+  ASSERT_TRUE(G);
+  G();
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(UniqueFunctionTest, LargeCaptureGoesToHeap) {
+  // Capture bigger than the inline buffer.
+  std::string Big(512, 'x');
+  UniqueFunction<std::size_t()> F = [Big, Pad = std::array<char, 128>{}] {
+    (void)Pad;
+    return Big.size();
+  };
+  EXPECT_EQ(F(), 512u);
+  UniqueFunction<std::size_t()> G = std::move(F);
+  EXPECT_EQ(G(), 512u);
+}
+
+TEST(UniqueFunctionTest, DestroysCapture) {
+  auto Token = std::make_shared<int>(1);
+  std::weak_ptr<int> Weak = Token;
+  {
+    UniqueFunction<void()> F = [Token = std::move(Token)] { (void)Token; };
+    EXPECT_FALSE(Weak.expired());
+  }
+  EXPECT_TRUE(Weak.expired());
+}
+
+TEST(UniqueFunctionTest, ResetClears) {
+  UniqueFunction<void()> F = [] {};
+  F.reset();
+  EXPECT_FALSE(F);
+}
+
+TEST(UniqueFunctionTest, MoveAssignReplaces) {
+  int A = 0, B = 0;
+  UniqueFunction<void()> F = [&A] { ++A; };
+  F = [&B] { ++B; };
+  F();
+  EXPECT_EQ(A, 0);
+  EXPECT_EQ(B, 1);
+}
+
+} // namespace

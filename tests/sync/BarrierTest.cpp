@@ -1,0 +1,198 @@
+//===- tests/sync/BarrierTest.cpp - Barriers and speculation (paper 4.3) -----===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/Barrier.h"
+
+#include "core/VirtualMachine.h"
+#include "sync/Semaphore.h"
+#include "sync/Speculative.h"
+#include "gtest/gtest.h"
+
+#include <atomic>
+
+namespace {
+
+using namespace sting;
+using TC = ThreadController;
+
+TEST(BarrierTest, WaitForAllOverThreadRefs) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    std::atomic<int> Done{0};
+    std::vector<ThreadRef> Group;
+    for (int I = 0; I != 6; ++I)
+      Group.push_back(TC::forkThread([&]() -> AnyValue {
+        TC::yieldProcessor();
+        Done.fetch_add(1);
+        return AnyValue();
+      }));
+    waitForAll(Group);
+    return AnyValue(Done.load());
+  });
+  EXPECT_EQ(V.as<int>(), 6);
+}
+
+TEST(BarrierTest, CyclicBarrierSynchronizesPhases) {
+  VirtualMachine Vm(VmConfig{.NumVps = 2});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    constexpr int Workers = 4;
+    constexpr int Phases = 5;
+    CyclicBarrier Barrier(Workers);
+    std::atomic<int> PhaseSum[Phases] = {};
+    std::vector<ThreadRef> Group;
+    for (int W = 0; W != Workers; ++W)
+      Group.push_back(TC::forkThread([&]() -> AnyValue {
+        for (int P = 0; P != Phases; ++P) {
+          PhaseSum[P].fetch_add(1);
+          Barrier.arriveAndWait();
+          // After the barrier, every worker has contributed to phase P.
+          if (PhaseSum[P].load() != Workers)
+            return AnyValue(false);
+        }
+        return AnyValue(true);
+      }));
+    bool AllOk = true;
+    for (auto &T : Group)
+      AllOk &= TC::threadValue(*T).as<bool>();
+    return AnyValue(AllOk);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(BarrierTest, CyclicBarrierPhaseCounter) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    CyclicBarrier B(1); // single party: never blocks
+    EXPECT_EQ(B.arriveAndWait(), 0u);
+    EXPECT_EQ(B.arriveAndWait(), 1u);
+    EXPECT_EQ(B.phase(), 2u);
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(SpeculativeTest, WaitForOneReturnsWinner) {
+  VirtualMachine Vm(VmConfig{.EnablePreemption = true});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    std::vector<ThreadRef> Group;
+    Group.push_back(TC::forkThread([]() -> AnyValue { // fast
+      return AnyValue(1);
+    }));
+    Group.push_back(TC::forkThread([]() -> AnyValue { // diverges
+      for (;;)
+        TC::checkpoint();
+    }));
+    ThreadRef Winner = waitForOne(Group);
+    bool WinnerIsFast = Winner == Group[0];
+    // Losers get terminate requests; wait for the spinner to die.
+    TC::threadWait(*Group[1]);
+    return AnyValue(WinnerIsFast && Group[1]->wasTerminated());
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(SpeculativeTest, OrParallelSearch) {
+  VirtualMachine Vm(VmConfig{.EnablePreemption = true});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    SpeculativeSet Set;
+    // Three searchers; only one can find the answer quickly.
+    for (int I = 0; I != 3; ++I)
+      Set.add(
+          [I]() -> int {
+            if (I == 1)
+              return 1000 + I; // immediate hit
+            for (;;)
+              TC::checkpoint(); // fruitless search
+          },
+          /*Priority=*/I);
+    ThreadRef Winner = Set.awaitFirst();
+    for (const ThreadRef &T : Set.tasks())
+      TC::threadWait(*T);
+    return AnyValue(Winner->result().as<int>());
+  });
+  EXPECT_EQ(V.as<int>(), 1001);
+}
+
+TEST(SpeculativeTest, WaitForOneWithoutTermination) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    std::atomic<bool> Release{false};
+    std::vector<ThreadRef> Group;
+    Group.push_back(
+        TC::forkThread([]() -> AnyValue { return AnyValue(7); }));
+    Group.push_back(TC::forkThread([&]() -> AnyValue {
+      while (!Release.load())
+        TC::yieldProcessor();
+      return AnyValue(8);
+    }));
+    ThreadRef Winner = waitForOne(Group, /*TerminateLosers=*/false);
+    Release.store(true);
+    TC::threadWait(*Group[1]);
+    bool LoserSurvived = !Group[1]->wasTerminated() &&
+                         Group[1]->result().as<int>() == 8;
+    return AnyValue(Winner == Group[0] && LoserSurvived);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(SemaphoreTest, AcquireRelease) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    Semaphore S(2);
+    EXPECT_TRUE(S.tryAcquire());
+    EXPECT_TRUE(S.tryAcquire());
+    EXPECT_FALSE(S.tryAcquire());
+    S.release();
+    EXPECT_EQ(S.available(), 1);
+    return AnyValue();
+  });
+}
+
+TEST(SemaphoreTest, BlocksUntilSignal) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Semaphore S(0);
+    ThreadRef Waiter = TC::forkThread([&]() -> AnyValue {
+      S.acquire();
+      return AnyValue(true);
+    });
+    for (int I = 0; I != 30; ++I)
+      TC::yieldProcessor();
+    EXPECT_FALSE(Waiter->isDetermined());
+    S.release();
+    return AnyValue(TC::threadValue(*Waiter).as<bool>());
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(SemaphoreTest, BoundsConcurrency) {
+  VirtualMachine Vm(VmConfig{.NumVps = 4, .NumPps = 2});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Semaphore S(3);
+    std::atomic<int> Inside{0};
+    std::atomic<int> MaxInside{0};
+    std::vector<ThreadRef> Workers;
+    for (int W = 0; W != 12; ++W)
+      Workers.push_back(TC::forkThread([&]() -> AnyValue {
+        S.acquire();
+        int Now = Inside.fetch_add(1) + 1;
+        int Max = MaxInside.load();
+        while (Now > Max && !MaxInside.compare_exchange_weak(Max, Now)) {
+        }
+        TC::yieldProcessor();
+        Inside.fetch_sub(1);
+        S.release();
+        return AnyValue();
+      }));
+    for (auto &W : Workers)
+      TC::threadWait(*W);
+    return AnyValue(MaxInside.load());
+  });
+  EXPECT_LE(V.as<int>(), 3);
+  EXPECT_GE(V.as<int>(), 1);
+}
+
+} // namespace

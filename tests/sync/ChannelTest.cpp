@@ -1,0 +1,120 @@
+//===- tests/sync/ChannelTest.cpp - Bounded channels --------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/Channel.h"
+
+#include "core/VirtualMachine.h"
+#include "gtest/gtest.h"
+
+namespace {
+
+using namespace sting;
+using TC = ThreadController;
+
+TEST(ChannelTest, SendThenRecv) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Channel<int> Ch(4);
+    Ch.send(5);
+    Ch.send(6);
+    return AnyValue(Ch.recv() * 10 + Ch.recv());
+  });
+  EXPECT_EQ(V.as<int>(), 56);
+}
+
+TEST(ChannelTest, RecvBlocksUntilSend) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Channel<int> Ch;
+    ThreadRef Receiver = TC::forkThread(
+        [&]() -> AnyValue { return AnyValue(Ch.recv()); });
+    for (int I = 0; I != 30; ++I)
+      TC::yieldProcessor();
+    EXPECT_FALSE(Receiver->isDetermined());
+    Ch.send(99);
+    return AnyValue(TC::threadValue(*Receiver).as<int>());
+  });
+  EXPECT_EQ(V.as<int>(), 99);
+}
+
+TEST(ChannelTest, SendBlocksWhenFull) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Channel<int> Ch(1);
+    Ch.send(1);
+    ThreadRef Sender = TC::forkThread([&]() -> AnyValue {
+      Ch.send(2); // blocks: capacity 1
+      return AnyValue(true);
+    });
+    for (int I = 0; I != 30; ++I)
+      TC::yieldProcessor();
+    EXPECT_FALSE(Sender->isDetermined());
+    EXPECT_EQ(Ch.recv(), 1);
+    TC::threadWait(*Sender);
+    return AnyValue(Ch.recv());
+  });
+  EXPECT_EQ(V.as<int>(), 2);
+}
+
+TEST(ChannelTest, TrySendTryRecv) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    Channel<int> Ch(1);
+    int V1 = 1;
+    EXPECT_TRUE(Ch.trySend(V1));
+    int V2 = 2;
+    EXPECT_FALSE(Ch.trySend(V2)); // full
+    auto Got = Ch.tryRecv();
+    EXPECT_TRUE(Got.has_value());
+    if (Got) {
+      EXPECT_EQ(*Got, 1);
+    }
+    EXPECT_FALSE(Ch.tryRecv().has_value());
+    return AnyValue();
+  });
+}
+
+TEST(ChannelTest, ManyProducersManyConsumers) {
+  VirtualMachine Vm(VmConfig{.NumVps = 4, .NumPps = 2});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Channel<int> Ch(8);
+    constexpr int Producers = 4, Consumers = 4, PerProducer = 200;
+    std::vector<ThreadRef> All;
+    for (int P = 0; P != Producers; ++P)
+      All.push_back(TC::forkThread([&, P]() -> AnyValue {
+        for (int I = 0; I != PerProducer; ++I)
+          Ch.send(P * PerProducer + I);
+        return AnyValue();
+      }));
+    std::atomic<long> Sum{0};
+    for (int C = 0; C != Consumers; ++C)
+      All.push_back(TC::forkThread([&]() -> AnyValue {
+        for (int I = 0; I != PerProducer; ++I)
+          Sum.fetch_add(Ch.recv());
+        return AnyValue();
+      }));
+    for (auto &T : All)
+      TC::threadWait(*T);
+    long Expect = 0;
+    for (int I = 0; I != Producers * PerProducer; ++I)
+      Expect += I;
+    return AnyValue(Sum.load() == Expect);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(ChannelTest, MoveOnlyPayload) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Channel<std::unique_ptr<int>> Ch(2);
+    Ch.send(std::make_unique<int>(123));
+    auto P = Ch.recv();
+    return AnyValue(*P);
+  });
+  EXPECT_EQ(V.as<int>(), 123);
+}
+
+} // namespace

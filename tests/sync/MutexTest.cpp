@@ -1,0 +1,143 @@
+//===- tests/sync/MutexTest.cpp - Mutexes (paper 4.2.1) ----------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/Mutex.h"
+
+#include "core/VirtualMachine.h"
+#include "gtest/gtest.h"
+
+#include <stdexcept>
+
+namespace {
+
+using namespace sting;
+using TC = ThreadController;
+
+TEST(MutexTest, AcquireRelease) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    Mutex M;
+    M.acquire();
+    EXPECT_TRUE(M.isLocked());
+    M.release();
+    EXPECT_FALSE(M.isLocked());
+    return AnyValue();
+  });
+}
+
+TEST(MutexTest, TryAcquire) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    Mutex M;
+    EXPECT_TRUE(M.tryAcquire());
+    EXPECT_FALSE(M.tryAcquire());
+    M.release();
+    return AnyValue();
+  });
+}
+
+TEST(MutexTest, MutualExclusionAcrossThreads) {
+  VirtualMachine Vm(VmConfig{.NumVps = 2, .NumPps = 2});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Mutex M;
+    long Counter = 0;
+    std::vector<ThreadRef> Workers;
+    for (int W = 0; W != 8; ++W)
+      Workers.push_back(TC::forkThread([&]() -> AnyValue {
+        for (int I = 0; I != 2000; ++I) {
+          M.acquire();
+          ++Counter;
+          M.release();
+        }
+        return AnyValue();
+      }));
+    for (auto &W : Workers)
+      TC::threadWait(*W);
+    return AnyValue(Counter);
+  });
+  EXPECT_EQ(V.as<long>(), 16000);
+}
+
+TEST(MutexTest, BlockedAcquirerWakesOnRelease) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    // Zero spins: contention goes straight to the blocking phase.
+    Mutex M(0, 0);
+    M.acquire();
+    ThreadRef Contender = TC::forkThread([&]() -> AnyValue {
+      M.acquire();
+      M.release();
+      return AnyValue(true);
+    });
+    // Let the contender reach the blocked state.
+    for (int I = 0; I != 50; ++I)
+      TC::yieldProcessor();
+    M.release();
+    return AnyValue(TC::threadValue(*Contender).as<bool>());
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(MutexTest, StatsClassifyAcquisitions) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    Mutex M(0, 0);
+    M.acquire();
+    M.release();
+    EXPECT_EQ(M.stats().FastAcquires.load(), 1u);
+
+    M.acquire();
+    ThreadRef Contender = TC::forkThread([&]() -> AnyValue {
+      M.acquire();
+      M.release();
+      return AnyValue();
+    });
+    for (int I = 0; I != 50; ++I)
+      TC::yieldProcessor();
+    M.release();
+    TC::threadWait(*Contender);
+    EXPECT_EQ(M.stats().BlockedAcquires.load(), 1u);
+    return AnyValue();
+  });
+}
+
+TEST(MutexTest, WithMutexReleasesOnException) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Mutex M;
+    try {
+      withMutex(M, []() -> int { throw std::runtime_error("inside"); });
+    } catch (const std::runtime_error &) {
+    }
+    return AnyValue(!M.isLocked());
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(MutexTest, WithMutexReturnsBodyValue) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Mutex M;
+    int R = withMutex(M, [] { return 17; });
+    return AnyValue(R);
+  });
+  EXPECT_EQ(V.as<int>(), 17);
+}
+
+TEST(MutexTest, LockGuardCompatible) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    Mutex M;
+    {
+      std::lock_guard<Mutex> Guard(M);
+      EXPECT_TRUE(M.isLocked());
+    }
+    EXPECT_FALSE(M.isLocked());
+    return AnyValue();
+  });
+}
+
+} // namespace

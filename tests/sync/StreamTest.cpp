@@ -1,0 +1,155 @@
+//===- tests/sync/StreamTest.cpp - Synchronizing streams (paper 3.1.1) -------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/Stream.h"
+
+#include "core/VirtualMachine.h"
+#include "gtest/gtest.h"
+
+namespace {
+
+using namespace sting;
+using TC = ThreadController;
+
+TEST(StreamTest, AttachThenRead) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Stream<int> S;
+    S.attach(1);
+    S.attach(2);
+    S.attach(3);
+    auto Pos = S.begin();
+    int A = S.next(Pos);
+    int B = S.next(Pos);
+    int C = S.next(Pos);
+    return AnyValue(A * 100 + B * 10 + C);
+  });
+  EXPECT_EQ(V.as<int>(), 123);
+}
+
+TEST(StreamTest, HdDoesNotConsume) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    Stream<int> S;
+    S.attach(9);
+    auto Pos = S.begin();
+    EXPECT_EQ(S.hd(Pos), 9);
+    EXPECT_EQ(S.hd(Pos), 9);
+    return AnyValue();
+  });
+}
+
+TEST(StreamTest, TryHdProbes) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    Stream<int> S;
+    auto Pos = S.begin();
+    EXPECT_EQ(S.tryHd(Pos), nullptr);
+    S.attach(4);
+    const int *Head = S.tryHd(Pos);
+    EXPECT_NE(Head, nullptr);
+    if (Head) {
+      EXPECT_EQ(*Head, 4);
+    }
+    return AnyValue();
+  });
+}
+
+TEST(StreamTest, HdBlocksUntilAttach) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Stream<int> S;
+    ThreadRef Reader = TC::forkThread([&]() -> AnyValue {
+      auto Pos = S.begin();
+      return AnyValue(S.hd(Pos)); // blocks: nothing attached yet
+    });
+    for (int I = 0; I != 30; ++I)
+      TC::yieldProcessor();
+    EXPECT_FALSE(Reader->isDetermined());
+    S.attach(55);
+    return AnyValue(TC::threadValue(*Reader).as<int>());
+  });
+  EXPECT_EQ(V.as<int>(), 55);
+}
+
+TEST(StreamTest, MultipleReadersSeeWholeStream) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Stream<int> S;
+    auto MakeReader = [&] {
+      return TC::forkThread([&]() -> AnyValue {
+        auto Pos = S.begin();
+        long Sum = 0;
+        for (int I = 0; I != 10; ++I)
+          Sum += S.next(Pos);
+        return AnyValue(Sum);
+      });
+    };
+    ThreadRef R1 = MakeReader();
+    ThreadRef R2 = MakeReader();
+    for (int I = 1; I <= 10; ++I)
+      S.attach(I);
+    long Sum1 = TC::threadValue(*R1).as<long>();
+    long Sum2 = TC::threadValue(*R2).as<long>();
+    return AnyValue(Sum1 == 55 && Sum2 == 55);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(StreamTest, ProducerConsumerPipeline) {
+  VirtualMachine Vm(VmConfig{.NumVps = 2});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Stream<int> In, Out;
+    // A filter stage: squares its input stream onto its output stream.
+    ThreadRef Stage = TC::forkThread([&]() -> AnyValue {
+      auto Pos = In.begin();
+      for (int I = 0; I != 50; ++I) {
+        int X = In.next(Pos);
+        Out.attach(X * X);
+      }
+      return AnyValue();
+    });
+    for (int I = 0; I != 50; ++I)
+      In.attach(I);
+    auto Pos = Out.begin();
+    long Sum = 0;
+    for (int I = 0; I != 50; ++I)
+      Sum += Out.next(Pos);
+    TC::threadWait(*Stage);
+    return AnyValue(Sum);
+  });
+  // sum of squares 0..49
+  EXPECT_EQ(V.as<long>(), 40425l);
+}
+
+TEST(StreamTest, CursorCopiesAreIndependent) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    Stream<int> S;
+    S.attach(1);
+    S.attach(2);
+    auto A = S.begin();
+    (void)S.next(A);
+    auto B = A; // snapshot
+    (void)S.next(A);
+    EXPECT_EQ(S.hd(B), 2); // B unaffected by A's advance
+    return AnyValue();
+  });
+}
+
+TEST(StreamTest, SizeCountsAttachments) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    Stream<int> S;
+    EXPECT_EQ(S.size(), 0u);
+    S.attach(1);
+    S.attach(2);
+    EXPECT_EQ(S.size(), 2u);
+    return AnyValue();
+  });
+}
+
+} // namespace

@@ -1,0 +1,254 @@
+//===- tests/tuple/SpecializeTest.cpp - Representation specialization ---------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// The paper's invariant: "the operations permitted on tuple-spaces remain
+// invariant over their representation". A common put/take workload runs
+// against every representation that supports it; representation-specific
+// semantics (ordering, dedup, overwrite, tokens, indexing) get targeted
+// tests.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuple/TupleSpace.h"
+
+#include "core/Gc.h"
+#include "core/ThreadController.h"
+#include "core/VirtualMachine.h"
+#include "gtest/gtest.h"
+
+namespace {
+
+using namespace sting;
+using TC = ThreadController;
+
+class RepConformanceTest : public ::testing::TestWithParam<TupleSpaceRep> {};
+
+TEST_P(RepConformanceTest, SingletonPutTakeRoundTrip) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    TupleSpaceRef Ts = TupleSpace::create(GetParam());
+    for (int I = 1; I <= 5; ++I)
+      Ts->put(makeTuple(I));
+    long Sum = 0;
+    int Takes = GetParam() == TupleSpaceRep::SharedVariable ? 1 : 5;
+    for (int I = 0; I != Takes; ++I) {
+      Tuple Template;
+      Template.push_back(formal(0));
+      Match M = Ts->take(std::move(Template));
+      Sum += M.binding(0).asFixnum();
+    }
+    switch (GetParam()) {
+    case TupleSpaceRep::Hashed:
+    case TupleSpaceRep::Queue:
+    case TupleSpaceRep::Bag:
+    case TupleSpaceRep::Set:
+      EXPECT_EQ(Sum, 15);
+      break;
+    case TupleSpaceRep::SharedVariable:
+      EXPECT_EQ(Sum, 5); // overwrite semantics: last put wins
+      break;
+    case TupleSpaceRep::Semaphore:
+      EXPECT_EQ(Sum, 5); // 5 tokens of value 1
+      break;
+    case TupleSpaceRep::Vector:
+      break; // not a singleton representation
+    }
+    EXPECT_EQ(Ts->size(), 0u);
+    return AnyValue();
+  });
+}
+
+TEST_P(RepConformanceTest, TakeBlocksUntilPut) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    TupleSpaceRef Ts = TupleSpace::create(GetParam());
+    ThreadRef Consumer = TC::forkThread([Ts]() -> AnyValue {
+      Tuple Template;
+      Template.push_back(formal(0));
+      Match M = Ts->take(std::move(Template));
+      return AnyValue(M.binding(0).asFixnum());
+    });
+    for (int I = 0; I != 30; ++I)
+      TC::yieldProcessor();
+    EXPECT_FALSE(Consumer->isDetermined());
+    Ts->put(makeTuple(9));
+    return AnyValue(TC::threadValue(*Consumer).as<std::int64_t>());
+  });
+  EXPECT_GE(V.as<std::int64_t>(), 1); // semaphore rep yields token value 1
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Reps, RepConformanceTest,
+    ::testing::Values(TupleSpaceRep::Hashed, TupleSpaceRep::Queue,
+                      TupleSpaceRep::Bag, TupleSpaceRep::Set,
+                      TupleSpaceRep::SharedVariable,
+                      TupleSpaceRep::Semaphore),
+    [](const ::testing::TestParamInfo<TupleSpaceRep> &Info) {
+      std::string Name = tupleSpaceRepName(Info.param);
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+TEST(QueueRepTest, FifoOrder) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    TupleSpaceRef Ts = TupleSpace::create(TupleSpaceRep::Queue);
+    for (int I = 1; I <= 3; ++I)
+      Ts->put(makeTuple(I));
+    for (int I = 1; I <= 3; ++I) {
+      Tuple Template;
+      Template.push_back(formal(0));
+      Match M = Ts->take(std::move(Template));
+      EXPECT_EQ(M.binding(0).asFixnum(), I);
+    }
+    return AnyValue();
+  });
+}
+
+TEST(SetRepTest, Deduplicates) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    TupleSpaceRef Ts = TupleSpace::create(TupleSpaceRep::Set);
+    Ts->put(makeTuple(5));
+    Ts->put(makeTuple(5));
+    Ts->put(makeTuple(6));
+    EXPECT_EQ(Ts->size(), 2u);
+    return AnyValue();
+  });
+}
+
+TEST(BagRepTest, KeepsDuplicates) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    TupleSpaceRef Ts = TupleSpace::create(TupleSpaceRep::Bag);
+    Ts->put(makeTuple(5));
+    Ts->put(makeTuple(5));
+    EXPECT_EQ(Ts->size(), 2u);
+    // Content-matching take.
+    auto M = Ts->tryTake(makeTuple(5));
+    EXPECT_TRUE(M.has_value());
+    EXPECT_EQ(Ts->size(), 1u);
+    return AnyValue();
+  });
+}
+
+TEST(SharedVariableRepTest, OverwriteAndRead) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    TupleSpaceRef Ts = TupleSpace::create(TupleSpaceRep::SharedVariable);
+    Ts->put(makeTuple(1));
+    Ts->put(makeTuple(2)); // overwrite
+    Tuple T1;
+    T1.push_back(formal(0));
+    Match M = Ts->read(std::move(T1));
+    EXPECT_EQ(M.binding(0).asFixnum(), 2);
+    EXPECT_EQ(Ts->size(), 1u); // read is non-destructive
+    return AnyValue();
+  });
+}
+
+TEST(SemaphoreRepTest, TokensCount) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    TupleSpaceRef Ts = TupleSpace::create(TupleSpaceRep::Semaphore);
+    Ts->put(makeTuple(1));
+    Ts->put(makeTuple(1));
+    EXPECT_EQ(Ts->size(), 2u);
+    Tuple T1;
+    T1.push_back(formal(0));
+    Ts->take(std::move(T1));
+    EXPECT_EQ(Ts->size(), 1u);
+    return AnyValue();
+  });
+}
+
+TEST(VectorRepTest, IndexedCells) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    TupleSpaceRef Ts = TupleSpace::create(TupleSpaceRep::Vector);
+    Ts->put(makeTuple(0, 10));
+    Ts->put(makeTuple(3, 13));
+    Tuple T1;
+    T1.emplace_back(3);
+    T1.push_back(formal(0));
+    Match M = Ts->read(std::move(T1));
+    EXPECT_EQ(M.binding(0).asFixnum(), 13);
+    EXPECT_EQ(Ts->size(), 2u);
+    // Unwritten cell does not match.
+    Tuple T2;
+    T2.emplace_back(1);
+    T2.push_back(formal(0));
+    EXPECT_FALSE(Ts->tryRead(std::move(T2)).has_value());
+    return AnyValue();
+  });
+}
+
+TEST(VectorRepTest, ReadBlocksUntilCellWritten) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    TupleSpaceRef Ts = TupleSpace::create(TupleSpaceRep::Vector);
+    ThreadRef Reader = TC::forkThread([Ts]() -> AnyValue {
+      Tuple T;
+      T.emplace_back(2);
+      T.push_back(formal(0));
+      Match M = Ts->read(std::move(T));
+      return AnyValue(M.binding(0).asFixnum());
+    });
+    for (int I = 0; I != 30; ++I)
+      TC::yieldProcessor();
+    EXPECT_FALSE(Reader->isDetermined());
+    Ts->put(makeTuple(2, 77));
+    return AnyValue(TC::threadValue(*Reader).as<std::int64_t>());
+  });
+  EXPECT_EQ(V.as<std::int64_t>(), 77);
+}
+
+TEST(ChooseRepresentationTest, ProfilesMapToReps) {
+  TupleOpsProfile Tokens;
+  Tokens.TokensOnly = true;
+  EXPECT_EQ(chooseRepresentation(Tokens), TupleSpaceRep::Semaphore);
+
+  TupleOpsProfile Cell;
+  Cell.SingleCell = true;
+  EXPECT_EQ(chooseRepresentation(Cell), TupleSpaceRep::SharedVariable);
+
+  TupleOpsProfile Indexed;
+  Indexed.IndexedAccess = true;
+  EXPECT_EQ(chooseRepresentation(Indexed), TupleSpaceRep::Vector);
+
+  TupleOpsProfile Fifo;
+  Fifo.UsesTemplates = false;
+  Fifo.SingletonTuples = true;
+  Fifo.OrderedConsumption = true;
+  EXPECT_EQ(chooseRepresentation(Fifo), TupleSpaceRep::Queue);
+
+  TupleOpsProfile Multi;
+  Multi.UsesTemplates = false;
+  Multi.SingletonTuples = true;
+  EXPECT_EQ(chooseRepresentation(Multi), TupleSpaceRep::Bag);
+
+  TupleOpsProfile Dedup = Multi;
+  Dedup.AllowsDuplicates = false;
+  EXPECT_EQ(chooseRepresentation(Dedup), TupleSpaceRep::Set);
+
+  TupleOpsProfile General;
+  EXPECT_EQ(chooseRepresentation(General), TupleSpaceRep::Hashed);
+}
+
+TEST(ChooseRepresentationTest, CreateFromProfile) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    TupleOpsProfile Fifo;
+    Fifo.UsesTemplates = false;
+    Fifo.SingletonTuples = true;
+    Fifo.OrderedConsumption = true;
+    TupleSpaceRef Ts = TupleSpace::create(Fifo);
+    EXPECT_EQ(Ts->representation(), TupleSpaceRep::Queue);
+    return AnyValue();
+  });
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- tests/tuple/TuplePropertyTest.cpp - Randomized model checking ----------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Property: a hashed tuple space behaves like a multiset of tuples. A
+// random sequence of puts and takes is mirrored against an in-memory
+// model; every tryTake outcome (hit or miss) and every final count must
+// agree with the model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuple/TupleSpace.h"
+
+#include "core/VirtualMachine.h"
+#include "support/Random.h"
+#include "gtest/gtest.h"
+
+#include <map>
+
+namespace {
+
+using namespace sting;
+
+class TuplePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TuplePropertyTest, BehavesLikeAMultiset) {
+  VirtualMachine Vm;
+  std::string Failure;
+  AnyValue Done = Vm.run([&]() -> AnyValue {
+    auto Fail = [&](const char *Msg) {
+      Failure = Msg;
+      return AnyValue(false);
+    };
+    TupleSpaceRef Ts = TupleSpace::create();
+    Xoshiro256 Rng(GetParam());
+
+    // Model: multiset of (tag, value) pairs; tags come from a small pool
+    // so collisions and multi-entry bins occur.
+    std::map<std::pair<int, int>, int> Model;
+    const int Tags = 5;
+    auto ModelCount = [&] {
+      int N = 0;
+      for (auto &[K, C] : Model)
+        N += C;
+      return N;
+    };
+
+    for (int Step = 0; Step != 600; ++Step) {
+      int Tag = static_cast<int>(Rng.nextBelow(Tags));
+      int Val = static_cast<int>(Rng.nextBelow(4));
+      switch (Rng.nextBelow(4)) {
+      case 0:
+      case 1: { // put
+        Ts->put(makeTuple((long long)Tag, (long long)Val));
+        ++Model[{Tag, Val}];
+        break;
+      }
+      case 2: { // exact take
+        auto M = Ts->tryTake(makeTuple((long long)Tag, (long long)Val));
+        auto It = Model.find({Tag, Val});
+        if (It != Model.end() && It->second > 0) {
+          if (!M.has_value())
+            return Fail("space missed an existing tuple");
+          if (--It->second == 0)
+            Model.erase(It);
+        } else if (M.has_value()) {
+          return Fail("space invented a tuple");
+        }
+        break;
+      }
+      case 3: { // wildcard take on the tag
+        auto M = Ts->tryTake(makeTuple((long long)Tag, formal(0)));
+        int TagCount = 0;
+        for (auto &[K, C] : Model)
+          if (K.first == Tag)
+            TagCount += C;
+        if (TagCount > 0) {
+          if (!M.has_value())
+            return Fail("wildcard take missed existing tuples");
+          int Bound = static_cast<int>(M->binding(0).asFixnum());
+          auto It = Model.find({Tag, Bound});
+          if (It == Model.end())
+            return Fail("bound value not in model");
+          if (--It->second == 0)
+            Model.erase(It);
+        } else if (M.has_value()) {
+          return Fail("wildcard take invented a tuple");
+        }
+        break;
+      }
+      }
+      if (Ts->size() != static_cast<std::size_t>(ModelCount()))
+        return Fail("size diverged from model");
+    }
+
+    // Drain and cross-check the final contents.
+    while (ModelCount() > 0) {
+      auto M = Ts->tryTake(makeTuple(formal(0), formal(1)));
+      if (!M.has_value())
+        return Fail("drain came up short");
+      auto Key = std::make_pair(
+          static_cast<int>(M->binding(0).asFixnum()),
+          static_cast<int>(M->binding(1).asFixnum()));
+      auto It = Model.find(Key);
+      if (It == Model.end())
+        return Fail("drained tuple not in model");
+      if (--It->second == 0)
+        Model.erase(It);
+    }
+    if (Ts->tryTake(makeTuple(formal(0), formal(1))).has_value())
+      return Fail("space non-empty after drain");
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(Done.as<bool>()) << Failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TuplePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+} // namespace
