@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_userlevel.dir/ablation_userlevel.cpp.o"
+  "CMakeFiles/ablation_userlevel.dir/ablation_userlevel.cpp.o.d"
+  "ablation_userlevel"
+  "ablation_userlevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_userlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_gc.dir/app_gc.cpp.o"
+  "CMakeFiles/app_gc.dir/app_gc.cpp.o.d"
+  "app_gc"
+  "app_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_sieve.dir/app_sieve.cpp.o"
+  "CMakeFiles/app_sieve.dir/app_sieve.cpp.o.d"
+  "app_sieve"
+  "app_sieve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_sieve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

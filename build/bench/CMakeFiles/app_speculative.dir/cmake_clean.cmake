@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_speculative.dir/app_speculative.cpp.o"
+  "CMakeFiles/app_speculative.dir/app_speculative.cpp.o.d"
+  "app_speculative"
+  "app_speculative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_speculative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_tuplespace.dir/app_tuplespace.cpp.o"
+  "CMakeFiles/app_tuplespace.dir/app_tuplespace.cpp.o.d"
+  "app_tuplespace"
+  "app_tuplespace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_tuplespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

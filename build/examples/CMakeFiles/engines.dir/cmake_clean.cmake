@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engines.dir/engines.cpp.o"
+  "CMakeFiles/engines.dir/engines.cpp.o.d"
+  "engines"
+  "engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

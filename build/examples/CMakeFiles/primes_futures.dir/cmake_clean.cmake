@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primes_futures.dir/primes_futures.cpp.o"
+  "CMakeFiles/primes_futures.dir/primes_futures.cpp.o.d"
+  "primes_futures"
+  "primes_futures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primes_futures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

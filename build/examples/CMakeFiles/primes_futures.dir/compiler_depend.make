@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for primes_futures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative_search.dir/speculative_search.cpp.o"
+  "CMakeFiles/speculative_search.dir/speculative_search.cpp.o.d"
+  "speculative_search"
+  "speculative_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_masterslave.dir/tuple_masterslave.cpp.o"
+  "CMakeFiles/tuple_masterslave.dir/tuple_masterslave.cpp.o.d"
+  "tuple_masterslave"
+  "tuple_masterslave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_masterslave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tuple_masterslave.
+# This may be replaced when dependencies are built.

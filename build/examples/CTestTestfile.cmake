@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;sting_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_sieve]=] "/root/repo/build/examples/sieve")
+set_tests_properties([=[example_sieve]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;sting_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_primes_futures]=] "/root/repo/build/examples/primes_futures")
+set_tests_properties([=[example_primes_futures]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;sting_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_tuple_masterslave]=] "/root/repo/build/examples/tuple_masterslave")
+set_tests_properties([=[example_tuple_masterslave]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;sting_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_speculative_search]=] "/root/repo/build/examples/speculative_search")
+set_tests_properties([=[example_speculative_search]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;sting_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_custom_policy]=] "/root/repo/build/examples/custom_policy")
+set_tests_properties([=[example_custom_policy]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;sting_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_io_pipeline]=] "/root/repo/build/examples/io_pipeline")
+set_tests_properties([=[example_io_pipeline]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;15;sting_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_engines]=] "/root/repo/build/examples/engines")
+set_tests_properties([=[example_engines]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;16;sting_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sting_arch.dir/arch/Context.cpp.o"
+  "CMakeFiles/sting_arch.dir/arch/Context.cpp.o.d"
+  "CMakeFiles/sting_arch.dir/arch/ContextX86_64.S.o"
+  "CMakeFiles/sting_arch.dir/arch/Stack.cpp.o"
+  "CMakeFiles/sting_arch.dir/arch/Stack.cpp.o.d"
+  "libsting_arch.a"
+  "libsting_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/sting_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

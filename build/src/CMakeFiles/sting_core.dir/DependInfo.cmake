@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Current.cpp" "src/CMakeFiles/sting_core.dir/core/Current.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/Current.cpp.o.d"
+  "/root/repo/src/core/Fluid.cpp" "src/CMakeFiles/sting_core.dir/core/Fluid.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/Fluid.cpp.o.d"
+  "/root/repo/src/core/Gc.cpp" "src/CMakeFiles/sting_core.dir/core/Gc.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/Gc.cpp.o.d"
+  "/root/repo/src/core/Monitor.cpp" "src/CMakeFiles/sting_core.dir/core/Monitor.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/Monitor.cpp.o.d"
+  "/root/repo/src/core/PhysicalPolicy.cpp" "src/CMakeFiles/sting_core.dir/core/PhysicalPolicy.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/PhysicalPolicy.cpp.o.d"
+  "/root/repo/src/core/PhysicalProcessor.cpp" "src/CMakeFiles/sting_core.dir/core/PhysicalProcessor.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/PhysicalProcessor.cpp.o.d"
+  "/root/repo/src/core/PolicyManagerDefaults.cpp" "src/CMakeFiles/sting_core.dir/core/PolicyManagerDefaults.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/PolicyManagerDefaults.cpp.o.d"
+  "/root/repo/src/core/PreemptionClock.cpp" "src/CMakeFiles/sting_core.dir/core/PreemptionClock.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/PreemptionClock.cpp.o.d"
+  "/root/repo/src/core/Tcb.cpp" "src/CMakeFiles/sting_core.dir/core/Tcb.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/Tcb.cpp.o.d"
+  "/root/repo/src/core/Thread.cpp" "src/CMakeFiles/sting_core.dir/core/Thread.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/Thread.cpp.o.d"
+  "/root/repo/src/core/ThreadController.cpp" "src/CMakeFiles/sting_core.dir/core/ThreadController.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/ThreadController.cpp.o.d"
+  "/root/repo/src/core/ThreadGroup.cpp" "src/CMakeFiles/sting_core.dir/core/ThreadGroup.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/ThreadGroup.cpp.o.d"
+  "/root/repo/src/core/Topology.cpp" "src/CMakeFiles/sting_core.dir/core/Topology.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/Topology.cpp.o.d"
+  "/root/repo/src/core/VirtualMachine.cpp" "src/CMakeFiles/sting_core.dir/core/VirtualMachine.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/VirtualMachine.cpp.o.d"
+  "/root/repo/src/core/VirtualProcessor.cpp" "src/CMakeFiles/sting_core.dir/core/VirtualProcessor.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/VirtualProcessor.cpp.o.d"
+  "/root/repo/src/core/policy/GlobalFifoPolicy.cpp" "src/CMakeFiles/sting_core.dir/core/policy/GlobalFifoPolicy.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/policy/GlobalFifoPolicy.cpp.o.d"
+  "/root/repo/src/core/policy/LocalFifoPolicy.cpp" "src/CMakeFiles/sting_core.dir/core/policy/LocalFifoPolicy.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/policy/LocalFifoPolicy.cpp.o.d"
+  "/root/repo/src/core/policy/LocalLifoPolicy.cpp" "src/CMakeFiles/sting_core.dir/core/policy/LocalLifoPolicy.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/policy/LocalLifoPolicy.cpp.o.d"
+  "/root/repo/src/core/policy/PriorityPolicy.cpp" "src/CMakeFiles/sting_core.dir/core/policy/PriorityPolicy.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/policy/PriorityPolicy.cpp.o.d"
+  "/root/repo/src/core/policy/StealHalfPolicy.cpp" "src/CMakeFiles/sting_core.dir/core/policy/StealHalfPolicy.cpp.o" "gcc" "src/CMakeFiles/sting_core.dir/core/policy/StealHalfPolicy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sting_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

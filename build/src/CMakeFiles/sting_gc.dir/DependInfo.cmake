@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gc/Area.cpp" "src/CMakeFiles/sting_gc.dir/gc/Area.cpp.o" "gcc" "src/CMakeFiles/sting_gc.dir/gc/Area.cpp.o.d"
+  "/root/repo/src/gc/GlobalHeap.cpp" "src/CMakeFiles/sting_gc.dir/gc/GlobalHeap.cpp.o" "gcc" "src/CMakeFiles/sting_gc.dir/gc/GlobalHeap.cpp.o.d"
+  "/root/repo/src/gc/Handles.cpp" "src/CMakeFiles/sting_gc.dir/gc/Handles.cpp.o" "gcc" "src/CMakeFiles/sting_gc.dir/gc/Handles.cpp.o.d"
+  "/root/repo/src/gc/HeapImage.cpp" "src/CMakeFiles/sting_gc.dir/gc/HeapImage.cpp.o" "gcc" "src/CMakeFiles/sting_gc.dir/gc/HeapImage.cpp.o.d"
+  "/root/repo/src/gc/LocalHeap.cpp" "src/CMakeFiles/sting_gc.dir/gc/LocalHeap.cpp.o" "gcc" "src/CMakeFiles/sting_gc.dir/gc/LocalHeap.cpp.o.d"
+  "/root/repo/src/gc/Object.cpp" "src/CMakeFiles/sting_gc.dir/gc/Object.cpp.o" "gcc" "src/CMakeFiles/sting_gc.dir/gc/Object.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sting_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

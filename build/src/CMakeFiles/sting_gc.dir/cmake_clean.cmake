@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sting_gc.dir/gc/Area.cpp.o"
+  "CMakeFiles/sting_gc.dir/gc/Area.cpp.o.d"
+  "CMakeFiles/sting_gc.dir/gc/GlobalHeap.cpp.o"
+  "CMakeFiles/sting_gc.dir/gc/GlobalHeap.cpp.o.d"
+  "CMakeFiles/sting_gc.dir/gc/Handles.cpp.o"
+  "CMakeFiles/sting_gc.dir/gc/Handles.cpp.o.d"
+  "CMakeFiles/sting_gc.dir/gc/HeapImage.cpp.o"
+  "CMakeFiles/sting_gc.dir/gc/HeapImage.cpp.o.d"
+  "CMakeFiles/sting_gc.dir/gc/LocalHeap.cpp.o"
+  "CMakeFiles/sting_gc.dir/gc/LocalHeap.cpp.o.d"
+  "CMakeFiles/sting_gc.dir/gc/Object.cpp.o"
+  "CMakeFiles/sting_gc.dir/gc/Object.cpp.o.d"
+  "libsting_gc.a"
+  "libsting_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sting_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sting_io.dir/io/IoService.cpp.o"
+  "CMakeFiles/sting_io.dir/io/IoService.cpp.o.d"
+  "libsting_io.a"
+  "libsting_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sting_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

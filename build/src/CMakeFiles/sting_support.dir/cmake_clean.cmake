@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sting_support.dir/support/Clock.cpp.o"
+  "CMakeFiles/sting_support.dir/support/Clock.cpp.o.d"
+  "CMakeFiles/sting_support.dir/support/Histogram.cpp.o"
+  "CMakeFiles/sting_support.dir/support/Histogram.cpp.o.d"
+  "libsting_support.a"
+  "libsting_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sting_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

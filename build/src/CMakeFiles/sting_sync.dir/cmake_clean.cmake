@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sting_sync.dir/sync/Barrier.cpp.o"
+  "CMakeFiles/sting_sync.dir/sync/Barrier.cpp.o.d"
+  "CMakeFiles/sting_sync.dir/sync/Mutex.cpp.o"
+  "CMakeFiles/sting_sync.dir/sync/Mutex.cpp.o.d"
+  "CMakeFiles/sting_sync.dir/sync/Semaphore.cpp.o"
+  "CMakeFiles/sting_sync.dir/sync/Semaphore.cpp.o.d"
+  "CMakeFiles/sting_sync.dir/sync/Speculative.cpp.o"
+  "CMakeFiles/sting_sync.dir/sync/Speculative.cpp.o.d"
+  "libsting_sync.a"
+  "libsting_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sting_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

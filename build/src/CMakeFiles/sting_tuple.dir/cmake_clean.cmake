@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sting_tuple.dir/tuple/Specialize.cpp.o"
+  "CMakeFiles/sting_tuple.dir/tuple/Specialize.cpp.o.d"
+  "CMakeFiles/sting_tuple.dir/tuple/Tuple.cpp.o"
+  "CMakeFiles/sting_tuple.dir/tuple/Tuple.cpp.o.d"
+  "CMakeFiles/sting_tuple.dir/tuple/TupleSpace.cpp.o"
+  "CMakeFiles/sting_tuple.dir/tuple/TupleSpace.cpp.o.d"
+  "libsting_tuple.a"
+  "libsting_tuple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sting_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

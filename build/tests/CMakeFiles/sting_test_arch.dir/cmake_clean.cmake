@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sting_test_arch.dir/arch/ContextTest.cpp.o"
+  "CMakeFiles/sting_test_arch.dir/arch/ContextTest.cpp.o.d"
+  "CMakeFiles/sting_test_arch.dir/arch/StackTest.cpp.o"
+  "CMakeFiles/sting_test_arch.dir/arch/StackTest.cpp.o.d"
+  "sting_test_arch"
+  "sting_test_arch.pdb"
+  "sting_test_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sting_test_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

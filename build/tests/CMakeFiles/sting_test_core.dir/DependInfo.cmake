@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/ControllerTest.cpp" "tests/CMakeFiles/sting_test_core.dir/core/ControllerTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_core.dir/core/ControllerTest.cpp.o.d"
+  "/root/repo/tests/core/FluidAndRaiseTest.cpp" "tests/CMakeFiles/sting_test_core.dir/core/FluidAndRaiseTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_core.dir/core/FluidAndRaiseTest.cpp.o.d"
+  "/root/repo/tests/core/GroupTest.cpp" "tests/CMakeFiles/sting_test_core.dir/core/GroupTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_core.dir/core/GroupTest.cpp.o.d"
+  "/root/repo/tests/core/MonitorTest.cpp" "tests/CMakeFiles/sting_test_core.dir/core/MonitorTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_core.dir/core/MonitorTest.cpp.o.d"
+  "/root/repo/tests/core/PhysicalPolicyTest.cpp" "tests/CMakeFiles/sting_test_core.dir/core/PhysicalPolicyTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_core.dir/core/PhysicalPolicyTest.cpp.o.d"
+  "/root/repo/tests/core/PolicyTest.cpp" "tests/CMakeFiles/sting_test_core.dir/core/PolicyTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_core.dir/core/PolicyTest.cpp.o.d"
+  "/root/repo/tests/core/PreemptTest.cpp" "tests/CMakeFiles/sting_test_core.dir/core/PreemptTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_core.dir/core/PreemptTest.cpp.o.d"
+  "/root/repo/tests/core/StealTest.cpp" "tests/CMakeFiles/sting_test_core.dir/core/StealTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_core.dir/core/StealTest.cpp.o.d"
+  "/root/repo/tests/core/StressTest.cpp" "tests/CMakeFiles/sting_test_core.dir/core/StressTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_core.dir/core/StressTest.cpp.o.d"
+  "/root/repo/tests/core/ThreadTest.cpp" "tests/CMakeFiles/sting_test_core.dir/core/ThreadTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_core.dir/core/ThreadTest.cpp.o.d"
+  "/root/repo/tests/core/TopologyTest.cpp" "tests/CMakeFiles/sting_test_core.dir/core/TopologyTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_core.dir/core/TopologyTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sting_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

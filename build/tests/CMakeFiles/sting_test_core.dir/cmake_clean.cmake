@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sting_test_core.dir/core/ControllerTest.cpp.o"
+  "CMakeFiles/sting_test_core.dir/core/ControllerTest.cpp.o.d"
+  "CMakeFiles/sting_test_core.dir/core/FluidAndRaiseTest.cpp.o"
+  "CMakeFiles/sting_test_core.dir/core/FluidAndRaiseTest.cpp.o.d"
+  "CMakeFiles/sting_test_core.dir/core/GroupTest.cpp.o"
+  "CMakeFiles/sting_test_core.dir/core/GroupTest.cpp.o.d"
+  "CMakeFiles/sting_test_core.dir/core/MonitorTest.cpp.o"
+  "CMakeFiles/sting_test_core.dir/core/MonitorTest.cpp.o.d"
+  "CMakeFiles/sting_test_core.dir/core/PhysicalPolicyTest.cpp.o"
+  "CMakeFiles/sting_test_core.dir/core/PhysicalPolicyTest.cpp.o.d"
+  "CMakeFiles/sting_test_core.dir/core/PolicyTest.cpp.o"
+  "CMakeFiles/sting_test_core.dir/core/PolicyTest.cpp.o.d"
+  "CMakeFiles/sting_test_core.dir/core/PreemptTest.cpp.o"
+  "CMakeFiles/sting_test_core.dir/core/PreemptTest.cpp.o.d"
+  "CMakeFiles/sting_test_core.dir/core/StealTest.cpp.o"
+  "CMakeFiles/sting_test_core.dir/core/StealTest.cpp.o.d"
+  "CMakeFiles/sting_test_core.dir/core/StressTest.cpp.o"
+  "CMakeFiles/sting_test_core.dir/core/StressTest.cpp.o.d"
+  "CMakeFiles/sting_test_core.dir/core/ThreadTest.cpp.o"
+  "CMakeFiles/sting_test_core.dir/core/ThreadTest.cpp.o.d"
+  "CMakeFiles/sting_test_core.dir/core/TopologyTest.cpp.o"
+  "CMakeFiles/sting_test_core.dir/core/TopologyTest.cpp.o.d"
+  "sting_test_core"
+  "sting_test_core.pdb"
+  "sting_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sting_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gc/GcPropertyTest.cpp" "tests/CMakeFiles/sting_test_gc.dir/gc/GcPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_gc.dir/gc/GcPropertyTest.cpp.o.d"
+  "/root/repo/tests/gc/GlobalHeapTest.cpp" "tests/CMakeFiles/sting_test_gc.dir/gc/GlobalHeapTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_gc.dir/gc/GlobalHeapTest.cpp.o.d"
+  "/root/repo/tests/gc/HeapImageTest.cpp" "tests/CMakeFiles/sting_test_gc.dir/gc/HeapImageTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_gc.dir/gc/HeapImageTest.cpp.o.d"
+  "/root/repo/tests/gc/LocalHeapTest.cpp" "tests/CMakeFiles/sting_test_gc.dir/gc/LocalHeapTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_gc.dir/gc/LocalHeapTest.cpp.o.d"
+  "/root/repo/tests/gc/ThreadGcTest.cpp" "tests/CMakeFiles/sting_test_gc.dir/gc/ThreadGcTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_gc.dir/gc/ThreadGcTest.cpp.o.d"
+  "/root/repo/tests/gc/ValueTest.cpp" "tests/CMakeFiles/sting_test_gc.dir/gc/ValueTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_gc.dir/gc/ValueTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sting_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sting_test_gc.dir/gc/GcPropertyTest.cpp.o"
+  "CMakeFiles/sting_test_gc.dir/gc/GcPropertyTest.cpp.o.d"
+  "CMakeFiles/sting_test_gc.dir/gc/GlobalHeapTest.cpp.o"
+  "CMakeFiles/sting_test_gc.dir/gc/GlobalHeapTest.cpp.o.d"
+  "CMakeFiles/sting_test_gc.dir/gc/HeapImageTest.cpp.o"
+  "CMakeFiles/sting_test_gc.dir/gc/HeapImageTest.cpp.o.d"
+  "CMakeFiles/sting_test_gc.dir/gc/LocalHeapTest.cpp.o"
+  "CMakeFiles/sting_test_gc.dir/gc/LocalHeapTest.cpp.o.d"
+  "CMakeFiles/sting_test_gc.dir/gc/ThreadGcTest.cpp.o"
+  "CMakeFiles/sting_test_gc.dir/gc/ThreadGcTest.cpp.o.d"
+  "CMakeFiles/sting_test_gc.dir/gc/ValueTest.cpp.o"
+  "CMakeFiles/sting_test_gc.dir/gc/ValueTest.cpp.o.d"
+  "sting_test_gc"
+  "sting_test_gc.pdb"
+  "sting_test_gc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sting_test_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

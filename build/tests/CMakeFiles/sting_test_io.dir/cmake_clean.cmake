@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sting_test_io.dir/io/IoServiceTest.cpp.o"
+  "CMakeFiles/sting_test_io.dir/io/IoServiceTest.cpp.o.d"
+  "sting_test_io"
+  "sting_test_io.pdb"
+  "sting_test_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sting_test_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/AnyValueTest.cpp" "tests/CMakeFiles/sting_test_support.dir/support/AnyValueTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_support.dir/support/AnyValueTest.cpp.o.d"
+  "/root/repo/tests/support/HistogramTest.cpp" "tests/CMakeFiles/sting_test_support.dir/support/HistogramTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_support.dir/support/HistogramTest.cpp.o.d"
+  "/root/repo/tests/support/IntrusiveListTest.cpp" "tests/CMakeFiles/sting_test_support.dir/support/IntrusiveListTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_support.dir/support/IntrusiveListTest.cpp.o.d"
+  "/root/repo/tests/support/ParkerTest.cpp" "tests/CMakeFiles/sting_test_support.dir/support/ParkerTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_support.dir/support/ParkerTest.cpp.o.d"
+  "/root/repo/tests/support/RandomTest.cpp" "tests/CMakeFiles/sting_test_support.dir/support/RandomTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_support.dir/support/RandomTest.cpp.o.d"
+  "/root/repo/tests/support/SpinLockTest.cpp" "tests/CMakeFiles/sting_test_support.dir/support/SpinLockTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_support.dir/support/SpinLockTest.cpp.o.d"
+  "/root/repo/tests/support/UniqueFunctionTest.cpp" "tests/CMakeFiles/sting_test_support.dir/support/UniqueFunctionTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_support.dir/support/UniqueFunctionTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sting_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

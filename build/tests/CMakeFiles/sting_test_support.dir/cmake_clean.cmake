@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sting_test_support.dir/support/AnyValueTest.cpp.o"
+  "CMakeFiles/sting_test_support.dir/support/AnyValueTest.cpp.o.d"
+  "CMakeFiles/sting_test_support.dir/support/HistogramTest.cpp.o"
+  "CMakeFiles/sting_test_support.dir/support/HistogramTest.cpp.o.d"
+  "CMakeFiles/sting_test_support.dir/support/IntrusiveListTest.cpp.o"
+  "CMakeFiles/sting_test_support.dir/support/IntrusiveListTest.cpp.o.d"
+  "CMakeFiles/sting_test_support.dir/support/ParkerTest.cpp.o"
+  "CMakeFiles/sting_test_support.dir/support/ParkerTest.cpp.o.d"
+  "CMakeFiles/sting_test_support.dir/support/RandomTest.cpp.o"
+  "CMakeFiles/sting_test_support.dir/support/RandomTest.cpp.o.d"
+  "CMakeFiles/sting_test_support.dir/support/SpinLockTest.cpp.o"
+  "CMakeFiles/sting_test_support.dir/support/SpinLockTest.cpp.o.d"
+  "CMakeFiles/sting_test_support.dir/support/UniqueFunctionTest.cpp.o"
+  "CMakeFiles/sting_test_support.dir/support/UniqueFunctionTest.cpp.o.d"
+  "sting_test_support"
+  "sting_test_support.pdb"
+  "sting_test_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sting_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

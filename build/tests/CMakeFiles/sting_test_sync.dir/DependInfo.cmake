@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sync/BarrierTest.cpp" "tests/CMakeFiles/sting_test_sync.dir/sync/BarrierTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_sync.dir/sync/BarrierTest.cpp.o.d"
+  "/root/repo/tests/sync/ChannelTest.cpp" "tests/CMakeFiles/sting_test_sync.dir/sync/ChannelTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_sync.dir/sync/ChannelTest.cpp.o.d"
+  "/root/repo/tests/sync/FutureTest.cpp" "tests/CMakeFiles/sting_test_sync.dir/sync/FutureTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_sync.dir/sync/FutureTest.cpp.o.d"
+  "/root/repo/tests/sync/MutexSweepTest.cpp" "tests/CMakeFiles/sting_test_sync.dir/sync/MutexSweepTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_sync.dir/sync/MutexSweepTest.cpp.o.d"
+  "/root/repo/tests/sync/MutexTest.cpp" "tests/CMakeFiles/sting_test_sync.dir/sync/MutexTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_sync.dir/sync/MutexTest.cpp.o.d"
+  "/root/repo/tests/sync/StreamTest.cpp" "tests/CMakeFiles/sting_test_sync.dir/sync/StreamTest.cpp.o" "gcc" "tests/CMakeFiles/sting_test_sync.dir/sync/StreamTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sting_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sting_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sting_test_sync.dir/sync/BarrierTest.cpp.o"
+  "CMakeFiles/sting_test_sync.dir/sync/BarrierTest.cpp.o.d"
+  "CMakeFiles/sting_test_sync.dir/sync/ChannelTest.cpp.o"
+  "CMakeFiles/sting_test_sync.dir/sync/ChannelTest.cpp.o.d"
+  "CMakeFiles/sting_test_sync.dir/sync/FutureTest.cpp.o"
+  "CMakeFiles/sting_test_sync.dir/sync/FutureTest.cpp.o.d"
+  "CMakeFiles/sting_test_sync.dir/sync/MutexSweepTest.cpp.o"
+  "CMakeFiles/sting_test_sync.dir/sync/MutexSweepTest.cpp.o.d"
+  "CMakeFiles/sting_test_sync.dir/sync/MutexTest.cpp.o"
+  "CMakeFiles/sting_test_sync.dir/sync/MutexTest.cpp.o.d"
+  "CMakeFiles/sting_test_sync.dir/sync/StreamTest.cpp.o"
+  "CMakeFiles/sting_test_sync.dir/sync/StreamTest.cpp.o.d"
+  "sting_test_sync"
+  "sting_test_sync.pdb"
+  "sting_test_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sting_test_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sting_test_tuple.dir/tuple/SpecializeTest.cpp.o"
+  "CMakeFiles/sting_test_tuple.dir/tuple/SpecializeTest.cpp.o.d"
+  "CMakeFiles/sting_test_tuple.dir/tuple/TuplePropertyTest.cpp.o"
+  "CMakeFiles/sting_test_tuple.dir/tuple/TuplePropertyTest.cpp.o.d"
+  "CMakeFiles/sting_test_tuple.dir/tuple/TupleSpaceTest.cpp.o"
+  "CMakeFiles/sting_test_tuple.dir/tuple/TupleSpaceTest.cpp.o.d"
+  "sting_test_tuple"
+  "sting_test_tuple.pdb"
+  "sting_test_tuple[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sting_test_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

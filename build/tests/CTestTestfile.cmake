@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sting_test_support[1]_include.cmake")
+include("/root/repo/build/tests/sting_test_arch[1]_include.cmake")
+include("/root/repo/build/tests/sting_test_core[1]_include.cmake")
+include("/root/repo/build/tests/sting_test_gc[1]_include.cmake")
+include("/root/repo/build/tests/sting_test_sync[1]_include.cmake")
+include("/root/repo/build/tests/sting_test_tuple[1]_include.cmake")
+include("/root/repo/build/tests/sting_test_io[1]_include.cmake")
