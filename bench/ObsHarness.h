@@ -1,0 +1,158 @@
+//===- bench/ObsHarness.h - Observability glue for benchmarks ---*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Every benchmark binary links this harness so each run ends with the
+// scheduler stats report on stderr, and `--trace-out <file>` (or
+// `--trace-out=<file>`) captures the substrate's event trace as Chrome
+// trace_event JSON, one process per captured machine (open the file at
+// ui.perfetto.dev). Usage in a bench:
+//
+//   VmConfig Config = ...;
+//   sting::bench::ObsHarness::instance().configure(Config);
+//   VirtualMachine Vm(Config);
+//   ... run workload ...
+//   sting::bench::ObsHarness::instance().capture("label", Vm);
+//
+// and STING_BENCH_MAIN() instead of BENCHMARK_MAIN().
+//
+// Traced runs are diagnostic runs: when --trace-out is given, machines
+// that already enable preemption get aggressive quanta so preemption
+// shows up on benchmark-sized workloads. Timings from a traced run are
+// not comparable to an untraced one (which is unchanged).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_BENCH_OBSHARNESS_H
+#define STING_BENCH_OBSHARNESS_H
+
+#include "sting/Sting.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sting::bench {
+
+class ObsHarness {
+public:
+  static ObsHarness &instance() {
+    static ObsHarness Harness;
+    return Harness;
+  }
+
+  /// Consumes --trace-out from argv (before benchmark::Initialize, which
+  /// rejects flags it does not know).
+  void parseArgs(int *Argc, char **Argv) {
+    int Out = 1;
+    for (int In = 1; In != *Argc; ++In) {
+      if (std::strcmp(Argv[In], "--trace-out") == 0 && In + 1 != *Argc) {
+        TraceOutPath = Argv[++In];
+        continue;
+      }
+      if (std::strncmp(Argv[In], "--trace-out=", 12) == 0) {
+        TraceOutPath = Argv[In] + 12;
+        continue;
+      }
+      Argv[Out++] = Argv[In];
+    }
+    *Argc = Out;
+  }
+
+  bool tracingRequested() const { return !TraceOutPath.empty(); }
+
+  /// Applies harness policy to a machine the benchmark is about to build.
+  void configure(VmConfig &Config) const {
+    Config.EnableTracing = tracingRequested();
+    if (tracingRequested() && Config.EnablePreemption) {
+      // Surface preemption on sub-millisecond workloads.
+      if (Config.DefaultQuantumNanos > 50'000)
+        Config.DefaultQuantumNanos = 50'000;
+      if (Config.PreemptTickNanos > 20'000)
+        Config.PreemptTickNanos = 20'000;
+    }
+  }
+
+  /// Folds a machine's counters into the run-wide totals; with tracing on,
+  /// the busiest capture per label (most ring events) contributes its event
+  /// rings (one machine per label keeps repeated benchmark iterations from
+  /// bloating the file while favouring the iteration with the richest
+  /// schedule — the one most likely to show steals and preemptions).
+  void capture(const std::string &Label, const VirtualMachine &Vm) {
+    Total += Vm.aggregateStats();
+    ++Captures;
+    if (!tracingRequested())
+      return;
+    std::vector<obs::VpTraceSnapshot> Snaps = Vm.snapshotTrace();
+    std::size_t Events = 0;
+    for (const obs::VpTraceSnapshot &S : Snaps)
+      Events += S.Events.size();
+    BestPerLabel &Best = Traced[Label];
+    if (Events > Best.Events) {
+      Best.Events = Events;
+      Best.Snaps = std::move(Snaps);
+    }
+  }
+
+  /// Prints the aggregate report and writes the trace file if requested.
+  /// \returns false when the trace could not be written.
+  bool finish() {
+    if (Captures != 0) {
+      std::fprintf(stderr, "\naggregate over %zu machine(s):\n%s",
+                   Captures,
+                   obs::formatStatsReport(Total, {}).c_str());
+    }
+    if (!tracingRequested())
+      return true;
+    for (auto &[Label, Best] : Traced)
+      if (!Best.Snaps.empty())
+        Exporter.addProcess(Label, std::move(Best.Snaps));
+    if (Exporter.empty()) {
+      std::fprintf(stderr,
+                   "--trace-out: no events captured (build with "
+                   "-DSTING_TRACE=ON?)\n");
+      return false;
+    }
+    if (!Exporter.writeFile(TraceOutPath)) {
+      std::fprintf(stderr, "--trace-out: cannot write %s\n",
+                   TraceOutPath.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "trace written to %s (load at ui.perfetto.dev)\n",
+                 TraceOutPath.c_str());
+    return true;
+  }
+
+private:
+  struct BestPerLabel {
+    std::size_t Events = 0;
+    std::vector<obs::VpTraceSnapshot> Snaps;
+  };
+
+  std::string TraceOutPath;
+  obs::SchedStatsSnapshot Total;
+  obs::TraceExporter Exporter;
+  std::map<std::string, BestPerLabel> Traced;
+  std::size_t Captures = 0;
+};
+
+} // namespace sting::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that installs the harness.
+#define STING_BENCH_MAIN()                                                   \
+  int main(int argc, char **argv) {                                          \
+    ::sting::bench::ObsHarness::instance().parseArgs(&argc, argv);           \
+    ::benchmark::Initialize(&argc, argv);                                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))                \
+      return 1;                                                              \
+    ::benchmark::RunSpecifiedBenchmarks();                                   \
+    ::benchmark::Shutdown();                                                 \
+    return ::sting::bench::ObsHarness::instance().finish() ? 0 : 1;          \
+  }                                                                          \
+  int main(int, char **)
+
+#endif // STING_BENCH_OBSHARNESS_H

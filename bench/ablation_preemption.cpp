@@ -16,6 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ObsHarness.h"
 #include "sting/Sting.h"
 
 #include <benchmark/benchmark.h>
@@ -46,6 +47,7 @@ void BM_BarrierPhases(benchmark::State &State) {
     Config.EnablePreemption = Preempt;
     Config.DefaultQuantumNanos = 100'000; // aggressive 0.1 ms quantum
     Config.PreemptTickNanos = 50'000;
+    sting::bench::ObsHarness::instance().configure(Config);
     VirtualMachine Vm(Config);
     State.ResumeTiming();
 
@@ -79,6 +81,7 @@ void BM_BarrierPhases(benchmark::State &State) {
 
     State.PauseTiming();
     Preempts += Vm.clock().preemptsRaised();
+    sting::bench::ObsHarness::instance().capture("barrier_phases", Vm);
     State.ResumeTiming();
   }
   State.counters["preempts"] = benchmark::Counter(
@@ -103,6 +106,7 @@ void BM_SpinnerFairness(benchmark::State &State) {
     Config.EnablePreemption = Preempt;
     Config.DefaultQuantumNanos = 200'000;
     Config.PreemptTickNanos = 100'000;
+    sting::bench::ObsHarness::instance().configure(Config);
     VirtualMachine Vm(Config);
     State.ResumeTiming();
 
@@ -130,6 +134,10 @@ void BM_SpinnerFairness(benchmark::State &State) {
       TC::threadWait(*Spinner);
       return AnyValue();
     });
+
+    State.PauseTiming();
+    sting::bench::ObsHarness::instance().capture("spinner_fairness", Vm);
+    State.ResumeTiming();
   }
   State.SetLabel(Preempt ? "preemption-on" : "preemption-off");
 }
@@ -149,4 +157,4 @@ BENCHMARK(BM_SpinnerFairness)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+STING_BENCH_MAIN();

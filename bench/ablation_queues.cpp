@@ -16,9 +16,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ObsHarness.h"
 #include "sting/Sting.h"
 
 #include <benchmark/benchmark.h>
+
+#include <string>
 
 using namespace sting;
 using TC = ThreadController;
@@ -64,6 +67,7 @@ void BM_WorkerFarm(benchmark::State &State) {
     Config.NumVps = 4;
     Config.NumPps = 1;
     Config.Policy = makePolicy(Which);
+    sting::bench::ObsHarness::instance().configure(Config);
     VirtualMachine Vm(Config);
     State.ResumeTiming();
 
@@ -82,6 +86,11 @@ void BM_WorkerFarm(benchmark::State &State) {
       waitForAll(Pool);
       return AnyValue();
     });
+
+    State.PauseTiming();
+    sting::bench::ObsHarness::instance().capture(
+        std::string("worker_farm/") + policyName(Which), Vm);
+    State.ResumeTiming();
   }
   State.SetLabel(policyName(Which));
 }
@@ -99,6 +108,7 @@ void BM_SpawnStorm(benchmark::State &State) {
     Config.NumVps = 4;
     Config.NumPps = 1;
     Config.Policy = makePolicy(Which);
+    sting::bench::ObsHarness::instance().configure(Config);
     VirtualMachine Vm(Config);
     State.ResumeTiming();
 
@@ -127,6 +137,11 @@ void BM_SpawnStorm(benchmark::State &State) {
         []() -> AnyValue { return Tree::node(Depth); }, Root);
     if (R.as<int>() != (1 << Depth))
       State.SkipWithError("wrong tree sum");
+
+    State.PauseTiming();
+    sting::bench::ObsHarness::instance().capture(
+        std::string("spawn_storm/") + policyName(Which), Vm);
+    State.ResumeTiming();
   }
   State.SetLabel(policyName(Which));
 }
@@ -147,4 +162,4 @@ BENCHMARK(BM_SpawnStorm)
     ->Arg(static_cast<int>(Policy::StealHalf))
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+STING_BENCH_MAIN();

@@ -17,6 +17,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ObsHarness.h"
 #include "sting/Sting.h"
 
 #include <benchmark/benchmark.h>
@@ -83,6 +84,7 @@ void BM_PrimesChain(benchmark::State &State) {
                                            : makeLocalFifoPolicy();
     Config.StackSize = 4 * 1024 * 1024;
     Config.MaxStealDepth = 1 << 20;
+    sting::bench::ObsHarness::instance().configure(Config);
     VirtualMachine Vm(Config);
     State.ResumeTiming();
 
@@ -96,6 +98,7 @@ void BM_PrimesChain(benchmark::State &State) {
     Steals += Vm.stats().Steals.load();
     for (const auto &Vp : Vm.vps())
       Dispatches += Vp->stats().Dispatches;
+    sting::bench::ObsHarness::instance().capture("primes_chain", Vm);
     State.ResumeTiming();
   }
   State.counters["steals"] =
@@ -120,4 +123,4 @@ BENCHMARK(BM_PrimesChain)
     ->Args({static_cast<int>(Variant::FifoNoSteal), 6000})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+STING_BENCH_MAIN();

@@ -15,6 +15,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ObsHarness.h"
 #include "sting/Sting.h"
 
 #include <benchmark/benchmark.h>
@@ -31,6 +32,7 @@ VmConfig smallMachine() {
   VmConfig Config;
   Config.NumVps = 1;
   Config.NumPps = 1;
+  sting::bench::ObsHarness::instance().configure(Config);
   return Config;
 }
 
@@ -46,6 +48,7 @@ void BM_StingForkJoin(benchmark::State &State) {
     }
     return AnyValue();
   });
+  sting::bench::ObsHarness::instance().capture("sting_fork_join", Vm);
 }
 BENCHMARK(BM_StingForkJoin);
 
@@ -66,6 +69,7 @@ void BM_StingYield(benchmark::State &State) {
       TC::yieldProcessor();
     return AnyValue();
   });
+  sting::bench::ObsHarness::instance().capture("sting_yield", Vm);
 }
 BENCHMARK(BM_StingYield);
 
@@ -99,6 +103,7 @@ void BM_StingBlockResume(benchmark::State &State) {
     }
     return AnyValue();
   });
+  sting::bench::ObsHarness::instance().capture("sting_block_resume", Vm);
 }
 BENCHMARK(BM_StingBlockResume);
 
@@ -136,4 +141,4 @@ BENCHMARK(BM_OsCondvarBlockResume);
 
 } // namespace
 
-BENCHMARK_MAIN();
+STING_BENCH_MAIN();

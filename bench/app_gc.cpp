@@ -13,6 +13,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ObsHarness.h"
+
 #include "gc/GlobalHeap.h"
 #include "gc/LocalHeap.h"
 #include "gc/Object.h"
@@ -149,4 +151,6 @@ BENCHMARK(BM_FullCollection)->ArgName("live")->Arg(1)->Arg(8)->Arg(32);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// No virtual machines here — the harness main only supplies the
+// --trace-out flag surface and (empty) stats epilogue.
+STING_BENCH_MAIN();

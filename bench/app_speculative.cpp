@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ObsHarness.h"
 #include "sting/Sting.h"
 
 #include <benchmark/benchmark.h>
@@ -38,6 +39,7 @@ void BM_SpeculativeSearch(benchmark::State &State) {
     Config.PreemptTickNanos = 100'000;
     Config.Policy =
         UsePriorities ? makePriorityPolicy() : makeLocalFifoPolicy();
+    sting::bench::ObsHarness::instance().configure(Config);
     VirtualMachine Vm(Config);
     State.ResumeTiming();
 
@@ -72,6 +74,10 @@ void BM_SpeculativeSearch(benchmark::State &State) {
         TC::threadWait(*T);
       return AnyValue();
     });
+
+    State.PauseTiming();
+    sting::bench::ObsHarness::instance().capture("speculative_search", Vm);
+    State.ResumeTiming();
   }
   State.SetLabel(UsePriorities ? "priority-policy" : "fifo-policy");
 }
@@ -88,4 +94,4 @@ BENCHMARK(BM_SpeculativeSearch)
     ->Args({8, 1})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+STING_BENCH_MAIN();

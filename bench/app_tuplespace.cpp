@@ -15,9 +15,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ObsHarness.h"
 #include "sting/Sting.h"
 
 #include <benchmark/benchmark.h>
+
+#include <string>
 
 using namespace sting;
 using TC = ThreadController;
@@ -31,6 +34,7 @@ void BM_RepRoundTrip(benchmark::State &State) {
   VmConfig Config;
   Config.NumVps = 1;
   Config.NumPps = 1;
+  sting::bench::ObsHarness::instance().configure(Config);
   VirtualMachine Vm(Config);
   Vm.run([&]() -> AnyValue {
     TupleSpaceRef Ts = TupleSpace::create(Rep);
@@ -41,6 +45,8 @@ void BM_RepRoundTrip(benchmark::State &State) {
     }
     return AnyValue();
   });
+  sting::bench::ObsHarness::instance().capture(
+      std::string("rep_round_trip/") + tupleSpaceRepName(Rep), Vm);
   State.SetLabel(tupleSpaceRepName(Rep));
   State.SetItemsProcessed(State.iterations());
 }
@@ -57,6 +63,7 @@ void BM_ProducerConsumer(benchmark::State &State) {
     Config.NumVps = 4;
     Config.NumPps = 1;
     Config.EnablePreemption = true;
+    sting::bench::ObsHarness::instance().configure(Config);
     VirtualMachine Vm(Config);
     State.ResumeTiming();
 
@@ -80,6 +87,10 @@ void BM_ProducerConsumer(benchmark::State &State) {
       waitForAll(All);
       return AnyValue();
     });
+
+    State.PauseTiming();
+    sting::bench::ObsHarness::instance().capture("producer_consumer", Vm);
+    State.ResumeTiming();
   }
   State.SetItemsProcessed(State.iterations() * Pairs * ItemsPerPair);
 }
@@ -97,6 +108,7 @@ void BM_SharedCounter(benchmark::State &State) {
     Config.NumVps = 2;
     Config.NumPps = 1;
     Config.EnablePreemption = true;
+    sting::bench::ObsHarness::instance().configure(Config);
     VirtualMachine Vm(Config);
     State.ResumeTiming();
 
@@ -118,6 +130,11 @@ void BM_SharedCounter(benchmark::State &State) {
     });
     if (R.as<std::int64_t>() != Workers * IncrementsPerWorker)
       State.SkipWithError("lost increments");
+
+    State.PauseTiming();
+    sting::bench::ObsHarness::instance().capture(
+        std::string("shared_counter/") + tupleSpaceRepName(Rep), Vm);
+    State.ResumeTiming();
   }
   State.SetLabel(tupleSpaceRepName(Rep));
 }
@@ -145,4 +162,4 @@ BENCHMARK(BM_SharedCounter)
     ->Arg(static_cast<int>(TupleSpaceRep::SharedVariable))
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+STING_BENCH_MAIN();

@@ -15,6 +15,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ObsHarness.h"
 #include "sting/Sting.h"
 
 #include <benchmark/benchmark.h>
@@ -38,11 +39,14 @@ AnyValue nullThunk() { return AnyValue(); }
 /// Runs the benchmark loop inside a sting thread of a fresh machine.
 template <typename Fn>
 void onMachine(benchmark::State &State, Fn &&Body, VmConfig Config) {
+  auto &Obs = sting::bench::ObsHarness::instance();
+  Obs.configure(Config);
   VirtualMachine Vm(std::move(Config));
   Vm.run([&]() -> AnyValue {
     Body(State, Vm);
     return AnyValue();
   });
+  Obs.capture("fig6", Vm);
 }
 
 //===----------------------------------------------------------------------===//
@@ -272,4 +276,4 @@ BENCHMARK(BM_BarrierSynchronization2);
 
 } // namespace
 
-BENCHMARK_MAIN();
+STING_BENCH_MAIN();

@@ -41,6 +41,13 @@ void initContext(Context &Ctx, void *StackBase, std::size_t StackSize,
   Slots[-9] = reinterpret_cast<std::uintptr_t>(Arg);    // r15
 
   Ctx.Sp = &Slots[-9];
+
+#if STING_TSAN_CONTEXT
+  // Reuse the fiber across re-initialization (TCB caching re-inits the
+  // same Context object for each new occupant of a cached stack).
+  if (!Ctx.TsanFiber)
+    Ctx.TsanFiber = __tsan_create_fiber(0);
+#endif
 }
 
 } // namespace sting

@@ -23,6 +23,20 @@
 #include <cstddef>
 #include <cstdint>
 
+// ThreadSanitizer must be told about user-level stack switches or it
+// crashes walking shadow stacks. Each Context carries a TSan "fiber";
+// switchContext() announces the transition.
+#if defined(__SANITIZE_THREAD__)
+#define STING_TSAN_CONTEXT 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define STING_TSAN_CONTEXT 1
+#endif
+#endif
+#if STING_TSAN_CONTEXT
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace sting {
 
 /// A suspended user-level execution context.
@@ -30,6 +44,13 @@ struct Context {
   /// Saved stack pointer; null until the context is initialized or first
   /// suspended into.
   void *Sp = nullptr;
+#if STING_TSAN_CONTEXT
+  /// TSan fiber state. Set by initContext for fresh contexts; captured
+  /// from the running thread the first time a native stack (a PP's PpCtx)
+  /// is switched away from. Fibers are retained for reuse when a context
+  /// is re-initialized (TCB caching), never destroyed.
+  void *TsanFiber = nullptr;
+#endif
 };
 
 /// Entry function for a fresh context. Must never return; its final act
@@ -45,8 +66,21 @@ void initContext(Context &Ctx, void *StackBase, std::size_t StackSize,
 extern "C" {
 /// Saves the current context into \p From and resumes \p To. Returns (in
 /// the \p From context) when some other context switches back into it.
+/// Call through switchContext() so sanitizer state stays coherent.
 void stingContextSwitch(Context *From, Context *To);
 } // extern "C"
+
+/// The substrate's context-switch entry point: annotates the fiber change
+/// for ThreadSanitizer (no-op otherwise) and performs the switch. \p To
+/// must be initialized (initContext) or previously switched away from.
+inline void switchContext(Context &From, Context &To) {
+#if STING_TSAN_CONTEXT
+  if (!From.TsanFiber)
+    From.TsanFiber = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(To.TsanFiber, 0);
+#endif
+  stingContextSwitch(&From, &To);
+}
 
 } // namespace sting
 

@@ -50,7 +50,7 @@ snapshotMachine(VirtualMachine &Vm,
   Snap.ThreadsDetermined = Vm.stats().ThreadsDetermined.load();
   Snap.Steals = Vm.stats().Steals.load();
   for (const auto &Vp : Vm.vps())
-    Snap.Vps.push_back(Vp->stats());
+    Snap.Vps.push_back(Vp->stats().snapshot());
 
   // The machine's root group, any group whose ancestry reaches it, and
   // caller-supplied extras.
@@ -85,7 +85,7 @@ std::string renderSnapshot(const MachineSnapshot &Snap) {
   Out += Line;
 
   for (std::size_t I = 0; I != Snap.Vps.size(); ++I) {
-    const VpStats &S = Snap.Vps[I];
+    const obs::SchedStatsSnapshot &S = Snap.Vps[I];
     std::snprintf(Line, sizeof(Line),
                   "  vp%zu: dispatches=%llu yields=%llu parks=%llu "
                   "exits=%llu tcb-reuse=%llu/%llu\n",

@@ -56,7 +56,7 @@ struct MachineSnapshot {
   std::uint64_t ThreadsCreated = 0;
   std::uint64_t ThreadsDetermined = 0;
   std::uint64_t Steals = 0;
-  std::vector<VpStats> Vps;
+  std::vector<obs::SchedStatsSnapshot> Vps;
   std::vector<GroupInfo> Groups; ///< the root group and its descendants
 
   /// Live threads across all captured groups.

@@ -66,7 +66,15 @@ void PhysicalProcessor::run() {
     ++Switches;
     Vp->Pp = this;
     currentCursor().Vp = Vp;
-    stingContextSwitch(&PpCtx, &Vp->SchedCtx);
+#ifdef STING_TRACE
+    // Point this OS thread's event sink at the VP it is about to run: a VP
+    // is pinned to one PP for life, so its ring has exactly one writer.
+    obs::setThreadTraceBuffer(Vp->traceBuffer());
+#endif
+    switchContext(PpCtx, Vp->SchedCtx);
+#ifdef STING_TRACE
+    obs::setThreadTraceBuffer(nullptr);
+#endif
     currentCursor().Vp = nullptr;
   }
 

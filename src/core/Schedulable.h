@@ -48,6 +48,10 @@ public:
   /// priority policies).
   int schedPriority() const;
 
+  /// Id of the underlying thread (0 if a TCB is between bindings); used by
+  /// trace instrumentation in the policy managers.
+  std::uint64_t schedThreadId() const;
+
 protected:
   explicit Schedulable(Kind K) : TheKind(K) {}
   ~Schedulable() = default;

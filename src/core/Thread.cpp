@@ -12,6 +12,7 @@
 #include "core/ThreadController.h"
 #include "core/ThreadGroup.h"
 #include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
 
 #include <condition_variable>
 #include <exception>
@@ -56,6 +57,13 @@ int Schedulable::schedPriority() const {
   return T ? T->priority() : 0;
 }
 
+std::uint64_t Schedulable::schedThreadId() const {
+  if (TheKind == Kind::Thread)
+    return static_cast<const Thread *>(this)->id();
+  const Thread *T = static_cast<const Tcb *>(this)->thread();
+  return T ? T->id() : 0;
+}
+
 //===----------------------------------------------------------------------===//
 // Thread
 //===----------------------------------------------------------------------===//
@@ -87,6 +95,13 @@ Thread::Thread(VirtualMachine &Vm, Thunk Code, const SpawnOptions &Opts)
   }
 
   Vm.stats().ThreadsCreated.fetch_add(1, std::memory_order_relaxed);
+  if (VirtualProcessor *Vp = currentVp())
+    Vp->stats().ThreadsCreated.inc();
+  else
+    // External (non-substrate) creations — main() entering via run() —
+    // are charged to vp0 so creations still balance terminations.
+    Vm.vp(0).stats().ThreadsCreated.incShared();
+  STING_TRACE_EVENT(ThreadCreate, id(), 0);
 }
 
 Thread::~Thread() {

@@ -126,6 +126,7 @@ void ThreadController::threadRun(Thread &T, VirtualProcessor *Vp) {
 void ThreadController::parkCurrent(ParkClass Class, const void *Blocker) {
   STING_CHECK(onStingThread(), "parkCurrent outside a sting thread");
   Tcb &C = *currentTcb();
+  C.Vp->stats().Blocks.inc();
 
   // A terminate or raise request that raced ahead of a *user* park would
   // otherwise strand the target: nothing is obliged to resume a
@@ -160,7 +161,7 @@ void ThreadController::parkCurrent(ParkClass Class, const void *Blocker) {
   Vp.ActionTcb = &C;
   Vp.ActionReason = Class == ParkClass::User ? EnqueueReason::UserBlock
                                              : EnqueueReason::KernelBlock;
-  stingContextSwitch(&C.Ctx, &Vp.SchedCtx);
+  switchContext(C.Ctx, Vp.SchedCtx);
 
   // Resumed — possibly on a different VP (C.Vp was updated by the
   // dispatching scheduler before switching back in).
@@ -171,6 +172,15 @@ void ThreadController::parkCurrent(ParkClass Class, const void *Blocker) {
 
 bool ThreadController::unparkImpl(Tcb &C, EnqueueReason Reason,
                                   bool RequireUser) {
+  // Wakeups are charged to the waker's VP (single-writer); wakers with no
+  // VP — the preemption clock, external joiners — charge the target.
+  auto NoteWakeup = [&C](std::uint32_t Payload) {
+    if (VirtualProcessor *Cur = currentVp())
+      Cur->stats().Wakeups.inc();
+    else if (VirtualProcessor *Target = C.vp())
+      Target->stats().Wakeups.incShared();
+    STING_TRACE_EVENT(Wakeup, C.thread() ? C.thread()->id() : 0, Payload);
+  };
   for (;;) {
     ParkState S = C.Park.load(std::memory_order_acquire);
     switch (S) {
@@ -181,6 +191,7 @@ bool ThreadController::unparkImpl(Tcb &C, EnqueueReason Reason,
       if (!C.Park.compare_exchange_weak(S, ParkState::Running,
                                         std::memory_order_acq_rel))
         continue;
+      NoteWakeup(0);
       C.vp()->enqueue(C, Reason);
       return true;
     }
@@ -191,8 +202,10 @@ bool ThreadController::unparkImpl(Tcb &C, EnqueueReason Reason,
       // The target is still walking off its stack; hand the wakeup to its
       // scheduler, which re-enqueues once the switch-out completes.
       if (C.Park.compare_exchange_weak(S, ParkState::WakeupPending,
-                                       std::memory_order_acq_rel))
+                                       std::memory_order_acq_rel)) {
+        NoteWakeup(1);
         return true;
+      }
       continue;
     }
     case ParkState::Running:
@@ -201,6 +214,7 @@ bool ThreadController::unparkImpl(Tcb &C, EnqueueReason Reason,
         // between scheduleResume and the park). Leave a sticky wake; the
         // park-entry check below consumes it and cancels the park.
         C.PendingUserWake.store(true, std::memory_order_release);
+        NoteWakeup(2);
         return true;
       }
       return false;
@@ -334,20 +348,32 @@ const AnyValue &ThreadController::threadValue(Thread &T) {
 bool ThreadController::trySteal(Thread &T) {
   if (!onStingThread())
     return false;
+  Tcb &C = *currentTcb();
+  C.Vp->stats().StealsAttempted.inc();
+  STING_TRACE_EVENT(StealAttempt, T.id(), 0);
   // Every steal nests the stolen thunk on this TCB's stack; beyond the
   // machine's depth bound, fall back to blocking so deep dependency
   // chains cannot overflow it.
-  Tcb &C = *currentTcb();
-  if (C.StealDepth >= T.vm().config().MaxStealDepth)
+  if (C.StealDepth >= T.vm().config().MaxStealDepth) {
+    C.Vp->stats().StealsFailed.inc();
+    STING_TRACE_EVENT(StealFail, T.id(), 1);
     return false;
+  }
   for (;;) {
     ThreadState S = T.state();
-    if (S != ThreadState::Delayed && S != ThreadState::Scheduled)
+    if (S != ThreadState::Delayed && S != ThreadState::Scheduled) {
+      C.Vp->stats().StealsFailed.inc();
+      STING_TRACE_EVENT(StealFail, T.id(), 0);
       return false;
+    }
     if (T.tryTransition(S, ThreadState::Stolen))
       break;
   }
   runStolen(T);
+  // C.Vp may have moved while the stolen thunk ran; charge wherever the
+  // stealer resumed.
+  C.Vp->stats().StealsSucceeded.inc();
+  STING_TRACE_EVENT(StealCommit, T.id(), 0);
   return true;
 }
 
@@ -377,6 +403,8 @@ void ThreadController::runStolen(Thread &T) {
   --C.StealDepth;
   C.Active = Previous;
   T.vm().stats().Steals.fetch_add(1, std::memory_order_relaxed);
+  C.Vp->stats().ThreadsTerminated.inc();
+  STING_TRACE_EVENT(ThreadExit, T.id(), 1);
 
   // A terminate request aimed at the stealer may have been re-armed while
   // the stolen thunk ran; honor it now that the steal frame is unwound.
@@ -479,9 +507,11 @@ void ThreadController::exitCurrent(AnyValue Result, bool ViaTerminate) {
   T.determine(std::move(Result), ViaTerminate);
 
   VirtualProcessor &Vp = *C.Vp;
+  Vp.stats().ThreadsTerminated.inc();
+  STING_TRACE_EVENT(ThreadExit, T.id(), 0);
   Vp.Action = SchedAction::Exit;
   Vp.ActionTcb = &C;
-  stingContextSwitch(&C.Ctx, &Vp.SchedCtx);
+  switchContext(C.Ctx, Vp.SchedCtx);
   STING_UNREACHABLE("resumed an exited thread");
 }
 
@@ -523,7 +553,7 @@ void ThreadController::yieldProcessor() {
   Vp.Action = SchedAction::Yield;
   Vp.ActionTcb = &C;
   Vp.ActionReason = EnqueueReason::Yielded;
-  stingContextSwitch(&C.Ctx, &Vp.SchedCtx);
+  switchContext(C.Ctx, Vp.SchedCtx);
   applyRequests(*currentTcb());
 }
 
@@ -542,13 +572,17 @@ void ThreadController::checkpoint() {
     // Paper 4.2.2: ignore this preemption but mark that the next one (the
     // re-enable point) must not be ignored.
     C->DeferredPreempt = true;
+    Vp.stats().PreemptsDeferred.inc();
+    STING_TRACE_EVENT(PreemptDefer, C->Active ? C->Active->id() : 0, 0);
     return;
   }
 
+  Vp.stats().PreemptsDelivered.inc();
+  STING_TRACE_EVENT(PreemptDeliver, C->Active ? C->Active->id() : 0, 0);
   Vp.Action = SchedAction::Yield;
   Vp.ActionTcb = C;
   Vp.ActionReason = EnqueueReason::Preempted;
-  stingContextSwitch(&C->Ctx, &C->Vp->SchedCtx);
+  switchContext(C->Ctx, C->Vp->SchedCtx);
   applyRequests(*currentTcb());
 }
 

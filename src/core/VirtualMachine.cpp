@@ -11,6 +11,7 @@
 #include "core/ThreadController.h"
 #include "core/VirtualProcessor.h"
 #include "gc/GlobalHeap.h"
+#include "obs/TraceExporter.h"
 
 namespace sting {
 
@@ -88,6 +89,52 @@ AnyValue VirtualMachine::run(Thread::Thunk Code, const SpawnOptions &Opts) {
   T->join();
   T->rethrowIfFailed();
   return T->takeResult();
+}
+
+obs::SchedStatsSnapshot VirtualMachine::aggregateStats() const {
+  obs::SchedStatsSnapshot Total;
+  for (const auto &Vp : Vps)
+    Total += Vp->stats().snapshot();
+  return Total;
+}
+
+std::vector<obs::SchedStatsSnapshot> VirtualMachine::perVpStats() const {
+  std::vector<obs::SchedStatsSnapshot> Out;
+  Out.reserve(Vps.size());
+  for (const auto &Vp : Vps)
+    Out.push_back(Vp->stats().snapshot());
+  return Out;
+}
+
+std::string VirtualMachine::statsReport() const {
+  return obs::formatStatsReport(aggregateStats(), perVpStats());
+}
+
+void VirtualMachine::setTracingEnabled(bool On) {
+  for (const auto &Vp : Vps)
+    if (obs::TraceBuffer *B = Vp->traceBuffer())
+      B->setEnabled(On);
+}
+
+std::vector<obs::VpTraceSnapshot> VirtualMachine::snapshotTrace() const {
+  std::vector<obs::VpTraceSnapshot> Out;
+  for (const auto &Vp : Vps) {
+    obs::TraceBuffer *B = Vp->traceBuffer();
+    if (!B)
+      continue;
+    Out.push_back({B->vpId(), B->dropped(), B->snapshot()});
+  }
+  return Out;
+}
+
+bool VirtualMachine::writeChromeTrace(const std::string &Path,
+                                      const std::string &ProcessName) const {
+  std::vector<obs::VpTraceSnapshot> Snaps = snapshotTrace();
+  if (Snaps.empty())
+    return false;
+  obs::TraceExporter Exporter;
+  Exporter.addProcess(ProcessName, std::move(Snaps));
+  return Exporter.writeFile(Path);
 }
 
 gc::GlobalHeap &VirtualMachine::globalHeap() {

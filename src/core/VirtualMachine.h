@@ -23,11 +23,14 @@
 #include "core/Thread.h"
 #include "core/ThreadGroup.h"
 #include "core/Topology.h"
+#include "obs/SchedStats.h"
+#include "obs/TraceBuffer.h"
 #include "support/Parker.h"
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace sting {
@@ -68,6 +71,14 @@ struct VmConfig {
   PhysicalPolicyFactory PpPolicy;
   /// VP interconnection for self-relative addressing.
   TopologyKind Topology = TopologyKind::Ring;
+  /// Allocate per-VP trace rings and start with event tracing on. Only
+  /// effective in builds with STING_TRACE; otherwise rings are never
+  /// allocated and emission sites compile to nothing. Counters
+  /// (SchedStats) are unconditional either way.
+  bool EnableTracing = true;
+  /// Entries per VP trace ring (rounded up to a power of two). Overflow
+  /// overwrites the oldest events; see obs/TraceBuffer.h.
+  std::size_t TraceCapacity = 1 << 14;
 };
 
 /// Machine-wide counters surfaced to tests and the benchmark harness.
@@ -117,6 +128,32 @@ public:
   ThreadGroup &rootGroup() const { return *RootGroup; }
   PreemptionClock &clock() const { return *Clock; }
   VmStats &stats() { return Stats; }
+
+  // --- Observability (see DESIGN.md "Observability") ----------------------
+
+  /// Sums the per-VP SchedStats blocks. Counters are monotonic and read
+  /// relaxed, so this is safe at any time; for exact balances (enqueues ==
+  /// dequeues) call it after the machine quiesces.
+  obs::SchedStatsSnapshot aggregateStats() const;
+
+  /// One snapshot per VP, in VP-index order.
+  std::vector<obs::SchedStatsSnapshot> perVpStats() const;
+
+  /// Plain-text table of aggregate plus per-VP counters.
+  std::string statsReport() const;
+
+  /// Toggles event emission on every VP's ring at runtime. No-op when the
+  /// machine has no rings (STING_TRACE off or EnableTracing false).
+  void setTracingEnabled(bool On);
+
+  /// Captures every VP's trace ring. Empty when the machine has no rings.
+  std::vector<obs::VpTraceSnapshot> snapshotTrace() const;
+
+  /// Exports this machine's trace as Chrome trace_event JSON (one process
+  /// named \p ProcessName, one track per VP). \returns false when there is
+  /// nothing to export or the file cannot be written.
+  bool writeChromeTrace(const std::string &Path,
+                        const std::string &ProcessName = "sting-vm") const;
 
   /// The machine's shared older generation (paper Fig. 1: "Shared older
   /// generation" in the VM address space). Created lazily.

@@ -38,6 +38,13 @@ VirtualProcessor::VirtualProcessor(VirtualMachine &Vm, unsigned Index,
   initContext(SchedCtx, SchedStack->base(), SchedStack->size(),
               &VirtualProcessor::schedulerEntry, this);
   DispatchBudget = SliceDispatches;
+#ifdef STING_TRACE
+  if (Vm.config().EnableTracing) {
+    Trace = std::make_unique<obs::TraceBuffer>(Index,
+                                               Vm.config().TraceCapacity);
+    Trace->setEnabled(true);
+  }
+#endif
 }
 
 VirtualProcessor::~VirtualProcessor() {
@@ -70,6 +77,13 @@ VirtualProcessor::~VirtualProcessor() {
 }
 
 void VirtualProcessor::enqueue(Schedulable &Item, EnqueueReason Reason) {
+  // Attribute the enqueue to the VP doing the inserting (single-writer
+  // fast path); producers with no VP — the clock, external callers —
+  // charge the target with a shared increment.
+  if (VirtualProcessor *Cur = currentVp())
+    Cur->Stats.Enqueues.inc();
+  else
+    Stats.Enqueues.incShared();
   Policy->enqueueThread(Item, *this, Reason);
   Vm->notifyWork();
 }
@@ -112,7 +126,7 @@ void VirtualProcessor::schedulerLoop() {
       ShouldYield = true;
     if (ShouldYield) {
       STING_DCHECK(Pp, "scheduler running without a physical processor");
-      stingContextSwitch(&SchedCtx, &Pp->PpCtx);
+      switchContext(SchedCtx, Pp->PpCtx);
       // Re-entered by a PP: start a fresh slice.
       DispatchBudget = SliceDispatches;
       PpSliceDeadline = nowNanos() + Vm->config().VpSliceNanos;
@@ -123,18 +137,20 @@ void VirtualProcessor::schedulerLoop() {
 bool VirtualProcessor::dispatchOne() {
   Schedulable *Item = Policy->getNextThread(*this);
   if (!Item) {
-    ++Stats.IdleCalls;
+    Stats.IdleCalls.inc();
     Item = Policy->vpIdle(*this);
   }
   if (!Item)
     return false;
+  Stats.Dequeues.inc();
 
   if (Item->isThread()) {
     Thread &T = Item->asThread();
     // Claim the thread. A failure means it was stolen or terminated while
     // queued — lazy removal, drop the queue's reference and move on.
     if (!T.tryTransition(ThreadState::Scheduled, ThreadState::Evaluating)) {
-      ++Stats.SkippedStale;
+      Stats.SkippedStale.inc();
+      STING_TRACE_EVENT(DequeueStale, T.id(), 0);
       T.release();
       return true;
     }
@@ -142,7 +158,7 @@ bool VirtualProcessor::dispatchOne() {
     return true;
   }
 
-  ++Stats.Resumes;
+  Stats.Resumes.inc();
   resume(Item->asTcb());
   return true;
 }
@@ -161,7 +177,8 @@ void VirtualProcessor::runFresh(Thread &T) {
     T.OwnedTcb = &C;
   }
   initContext(C.Ctx, C.Stk->base(), C.Stk->size(), &tcbEntry, &C);
-  ++Stats.FreshBinds;
+  Stats.FreshBinds.inc();
+  STING_TRACE_EVENT(ThreadStart, T.id(), 0);
   switchInto(C);
 }
 
@@ -180,9 +197,10 @@ void VirtualProcessor::switchInto(Tcb &C) {
   C.SliceStartNanos = nowNanos();
   SliceDeadline.store(saturatingAdd(C.SliceStartNanos, C.QuantumNanos),
                       std::memory_order_relaxed);
-  ++Stats.Dispatches;
+  Stats.Dispatches.inc();
+  STING_TRACE_EVENT(Dispatch, C.Active ? C.Active->id() : 0, 0);
 
-  stingContextSwitch(&SchedCtx, &C.Ctx);
+  switchContext(SchedCtx, C.Ctx);
 
   // Back in the scheduler; perform whatever the outgoing thread asked for.
   SliceDeadline.store(0, std::memory_order_relaxed);
@@ -195,17 +213,41 @@ void VirtualProcessor::switchInto(Tcb &C) {
   Action = SchedAction::None;
   ActionTcb = nullptr;
 
+#ifdef STING_TRACE
+  // The run-slice histogram costs an extra clock read, so it is recorded
+  // only while this VP's ring is live; the switch-back event reuses the
+  // same timestamping path inside emit().
+  if (Out && Trace && Trace->enabled()) {
+    Stats.RunSliceNanos.record(nowNanos() - C.SliceStartNanos);
+    std::uint64_t OutId = Out->Active ? Out->Active->id() : 0;
+    switch (A) {
+    case SchedAction::Yield:
+      Trace->emit(obs::TraceEventKind::SwitchYield, OutId,
+                  static_cast<std::uint32_t>(Reason));
+      break;
+    case SchedAction::Park:
+      Trace->emit(obs::TraceEventKind::SwitchPark, OutId, 0);
+      break;
+    case SchedAction::Exit:
+      Trace->emit(obs::TraceEventKind::SwitchExit, OutId, 0);
+      break;
+    case SchedAction::None:
+      break;
+    }
+  }
+#endif
+
   switch (A) {
   case SchedAction::None:
     return;
 
   case SchedAction::Yield:
-    ++Stats.Yields;
+    Stats.Yields.inc();
     enqueue(*Out, Reason);
     return;
 
   case SchedAction::Park: {
-    ++Stats.Parks;
+    Stats.Parks.inc();
     // Complete the park handshake now that the thread is off its stack.
     for (;;) {
       ParkState S = Out->Park.load(std::memory_order_acquire);
@@ -228,7 +270,7 @@ void VirtualProcessor::switchInto(Tcb &C) {
   }
 
   case SchedAction::Exit:
-    ++Stats.Exits;
+    Stats.Exits.inc();
     recycleTcb(*Out);
     return;
   }
@@ -244,10 +286,10 @@ Tcb &VirtualProcessor::acquireTcb() {
   if (!TcbCache.empty()) {
     C = &TcbCache.popFront();
     --CachedTcbs;
-    ++Stats.TcbReuses;
+    Stats.TcbReuses.inc();
   } else {
     C = new Tcb();
-    ++Stats.TcbAllocs;
+    Stats.TcbAllocs.inc();
   }
   if (!C->Stk)
     C->Stk = &Stacks.allocate();

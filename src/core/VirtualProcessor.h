@@ -25,6 +25,8 @@
 #include "arch/Stack.h"
 #include "core/PolicyManager.h"
 #include "core/Tcb.h"
+#include "obs/SchedStats.h"
+#include "obs/TraceBuffer.h"
 
 #include <atomic>
 #include <cstdint>
@@ -47,19 +49,11 @@ enum class SchedAction : std::uint8_t {
   Exit,
 };
 
-/// Per-VP counters surfaced to tests and the benchmark harness.
-struct VpStats {
-  std::uint64_t Dispatches = 0;   ///< threads/TCBs switched into
-  std::uint64_t FreshBinds = 0;   ///< threads bound to a new TCB
-  std::uint64_t Resumes = 0;      ///< parked TCBs resumed
-  std::uint64_t Yields = 0;       ///< yield/preempt re-enqueues
-  std::uint64_t Parks = 0;        ///< completed parks
-  std::uint64_t Exits = 0;        ///< thread completions
-  std::uint64_t IdleCalls = 0;    ///< pm-vp-idle invocations
-  std::uint64_t TcbReuses = 0;    ///< TCBs served from the cache
-  std::uint64_t TcbAllocs = 0;    ///< TCBs newly allocated
-  std::uint64_t SkippedStale = 0; ///< dequeued threads no longer runnable
-};
+/// Per-VP counters surfaced to tests, the monitor and the benchmark
+/// harness. Now the obs-layer counter block; field names are unchanged so
+/// existing `vp.stats().Yields`-style reads keep working (Counter converts
+/// to uint64_t implicitly).
+using VpStats = obs::SchedStats;
 
 /// A first-class virtual processor.
 class VirtualProcessor {
@@ -80,7 +74,16 @@ public:
   /// The physical processor currently executing this VP (null if none).
   PhysicalProcessor *physicalProcessor() const { return Pp; }
 
-  const VpStats &stats() const { return Stats; }
+  const obs::SchedStats &stats() const { return Stats; }
+
+  /// Mutable counter access for the substrate and custom policy managers
+  /// (counters are monotonic telemetry; non-owner writers must use
+  /// Counter::incShared, see obs/SchedStats.h).
+  obs::SchedStats &stats() { return Stats; }
+
+  /// This VP's event ring; null unless the machine was configured with
+  /// tracing and the build has STING_TRACE.
+  obs::TraceBuffer *traceBuffer() const { return Trace.get(); }
 
   /// Enqueues \p Item on this VP via its policy manager and wakes idle
   /// physical processors. Takes over the caller's Thread reference.
@@ -162,7 +165,8 @@ private:
   IntrusiveList<Tcb, TcbCacheTag> TcbCache;
   std::size_t CachedTcbs = 0;
 
-  VpStats Stats;
+  obs::SchedStats Stats;
+  std::unique_ptr<obs::TraceBuffer> Trace;
 };
 
 } // namespace sting

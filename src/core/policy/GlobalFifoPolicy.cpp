@@ -32,8 +32,11 @@ public:
   }
 
   void enqueueThread(Schedulable &Item, VirtualProcessor &,
-                     EnqueueReason) override {
+                     EnqueueReason Reason) override {
     Queue->pushBack(Item);
+    STING_TRACE_EVENT(Enqueue, Item.schedThreadId(),
+                      obs::enqueuePayload(Queue->size(),
+                                          static_cast<std::uint8_t>(Reason)));
   }
 
   bool hasReadyWork(const VirtualProcessor &) const override {

@@ -31,8 +31,11 @@ public:
   }
 
   void enqueueThread(Schedulable &Item, VirtualProcessor &,
-                     EnqueueReason) override {
+                     EnqueueReason Reason) override {
     Queue.pushFront(Item); // LIFO
+    STING_TRACE_EVENT(Enqueue, Item.schedThreadId(),
+                      obs::enqueuePayload(Queue.size(),
+                                          static_cast<std::uint8_t>(Reason)));
   }
 
   bool hasReadyWork(const VirtualProcessor &) const override {

@@ -43,11 +43,17 @@ public:
   }
 
   void enqueueThread(Schedulable &Item, VirtualProcessor &,
-                     EnqueueReason) override {
-    std::lock_guard<SpinLock> Guard(Lock);
-    // multimap keeps equal keys in insertion order -> FIFO within a level.
-    Items.emplace(Item.schedPriority(), &Item);
-    Size.fetch_add(1, std::memory_order_release);
+                     EnqueueReason Reason) override {
+    std::size_t Depth;
+    {
+      std::lock_guard<SpinLock> Guard(Lock);
+      // multimap keeps equal keys in insertion order -> FIFO within a level.
+      Items.emplace(Item.schedPriority(), &Item);
+      Depth = Size.fetch_add(1, std::memory_order_release) + 1;
+    }
+    STING_TRACE_EVENT(Enqueue, Item.schedThreadId(),
+                      obs::enqueuePayload(Depth,
+                                          static_cast<std::uint8_t>(Reason)));
   }
 
   bool hasReadyWork(const VirtualProcessor &) const override {

@@ -51,13 +51,20 @@ public:
   }
 
   void enqueueThread(Schedulable &Item, VirtualProcessor &,
-                     EnqueueReason) override {
+                     EnqueueReason Reason) override {
     // Granularity split: TCBs are pinned (their stacks and heaps are cached
     // on this VP); raw threads are fair game for migration.
-    if (Item.isTcb())
+    std::size_t Depth;
+    if (Item.isTcb()) {
       Private.pushBack(Item);
-    else
+      Depth = Private.size();
+    } else {
       Public.pushBack(Item);
+      Depth = Public.size();
+    }
+    STING_TRACE_EVENT(Enqueue, Item.schedThreadId(),
+                      obs::enqueuePayload(Depth,
+                                          static_cast<std::uint8_t>(Reason)));
   }
 
   bool hasReadyWork(const VirtualProcessor &) const override {
@@ -73,8 +80,12 @@ public:
       StealHalfPolicy *Victim = Members[(VpIndex + Hop) % N];
       if (!Victim || Victim == this || Victim->Public.empty())
         continue;
-      if (Victim->Public.popHalfInto(Public) != 0) {
+      std::size_t Moved = Victim->Public.popHalfInto(Public);
+      if (Moved != 0) {
         ++StealsPerformed;
+        STING_TRACE_EVENT(Migrate, 0,
+                          static_cast<std::uint32_t>(
+                              Moved > 0xffffffff ? 0xffffffff : Moved));
         Vp.vm().notifyWork();
         return Public.popFront();
       }

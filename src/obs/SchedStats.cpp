@@ -1,0 +1,146 @@
+//===- obs/SchedStats.cpp - Per-VP scheduler counters ---------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/SchedStats.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace sting::obs {
+
+SchedStatsSnapshot SchedStats::snapshot() const {
+  SchedStatsSnapshot S;
+  S.Enqueues = Enqueues;
+  S.Dequeues = Dequeues;
+  S.SkippedStale = SkippedStale;
+  S.Dispatches = Dispatches;
+  S.FreshBinds = FreshBinds;
+  S.Resumes = Resumes;
+  S.Yields = Yields;
+  S.Parks = Parks;
+  S.Exits = Exits;
+  S.IdleCalls = IdleCalls;
+  S.TcbReuses = TcbReuses;
+  S.TcbAllocs = TcbAllocs;
+  S.StealsAttempted = StealsAttempted;
+  S.StealsSucceeded = StealsSucceeded;
+  S.StealsFailed = StealsFailed;
+  S.PreemptsDelivered = PreemptsDelivered;
+  S.PreemptsDeferred = PreemptsDeferred;
+  S.ThreadsCreated = ThreadsCreated;
+  S.ThreadsTerminated = ThreadsTerminated;
+  S.Blocks = Blocks;
+  S.Wakeups = Wakeups;
+  S.RunSliceNanos = RunSliceNanos;
+  return S;
+}
+
+SchedStatsSnapshot &
+SchedStatsSnapshot::operator+=(const SchedStatsSnapshot &Other) {
+  Enqueues += Other.Enqueues;
+  Dequeues += Other.Dequeues;
+  SkippedStale += Other.SkippedStale;
+  Dispatches += Other.Dispatches;
+  FreshBinds += Other.FreshBinds;
+  Resumes += Other.Resumes;
+  Yields += Other.Yields;
+  Parks += Other.Parks;
+  Exits += Other.Exits;
+  IdleCalls += Other.IdleCalls;
+  TcbReuses += Other.TcbReuses;
+  TcbAllocs += Other.TcbAllocs;
+  StealsAttempted += Other.StealsAttempted;
+  StealsSucceeded += Other.StealsSucceeded;
+  StealsFailed += Other.StealsFailed;
+  PreemptsDelivered += Other.PreemptsDelivered;
+  PreemptsDeferred += Other.PreemptsDeferred;
+  ThreadsCreated += Other.ThreadsCreated;
+  ThreadsTerminated += Other.ThreadsTerminated;
+  Blocks += Other.Blocks;
+  Wakeups += Other.Wakeups;
+  RunSliceNanos.merge(Other.RunSliceNanos);
+  return *this;
+}
+
+namespace {
+
+struct Row {
+  const char *Name;
+  std::uint64_t SchedStatsSnapshot::*Field;
+};
+
+constexpr Row Rows[] = {
+    {"enqueues", &SchedStatsSnapshot::Enqueues},
+    {"dequeues", &SchedStatsSnapshot::Dequeues},
+    {"stale skips", &SchedStatsSnapshot::SkippedStale},
+    {"dispatches", &SchedStatsSnapshot::Dispatches},
+    {"  fresh binds", &SchedStatsSnapshot::FreshBinds},
+    {"  resumes", &SchedStatsSnapshot::Resumes},
+    {"yields", &SchedStatsSnapshot::Yields},
+    {"parks", &SchedStatsSnapshot::Parks},
+    {"exits", &SchedStatsSnapshot::Exits},
+    {"idle calls", &SchedStatsSnapshot::IdleCalls},
+    {"tcb reuses", &SchedStatsSnapshot::TcbReuses},
+    {"tcb allocs", &SchedStatsSnapshot::TcbAllocs},
+    {"steals attempted", &SchedStatsSnapshot::StealsAttempted},
+    {"steals succeeded", &SchedStatsSnapshot::StealsSucceeded},
+    {"steals failed", &SchedStatsSnapshot::StealsFailed},
+    {"preempts delivered", &SchedStatsSnapshot::PreemptsDelivered},
+    {"preempts deferred", &SchedStatsSnapshot::PreemptsDeferred},
+    {"threads created", &SchedStatsSnapshot::ThreadsCreated},
+    {"threads terminated", &SchedStatsSnapshot::ThreadsTerminated},
+    {"blocks", &SchedStatsSnapshot::Blocks},
+    {"wakeups", &SchedStatsSnapshot::Wakeups},
+};
+
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[256];
+  va_list Args;
+  va_start(Args, Fmt);
+  int N = std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  if (N > 0)
+    Out.append(Buf, static_cast<std::size_t>(N) < sizeof(Buf)
+                        ? static_cast<std::size_t>(N)
+                        : sizeof(Buf) - 1);
+}
+
+} // namespace
+
+std::string formatStatsReport(const SchedStatsSnapshot &Total,
+                              const std::vector<SchedStatsSnapshot> &PerVp) {
+  std::string Out;
+  Out += "--- scheduler stats ";
+  Out.append(59, '-');
+  Out += '\n';
+  appendf(Out, "%-20s %14s", "counter", "total");
+  for (std::size_t V = 0; V != PerVp.size(); ++V)
+    appendf(Out, " %10s%zu", "vp", V);
+  Out += '\n';
+  for (const Row &R : Rows) {
+    appendf(Out, "%-20s %14" PRIu64, R.Name, Total.*(R.Field));
+    for (const SchedStatsSnapshot &S : PerVp)
+      appendf(Out, " %11" PRIu64, S.*(R.Field));
+    Out += '\n';
+  }
+  // Zero samples is the common case (slices are only timed while event
+  // tracing is on); print the line anyway so readers learn it exists.
+  appendf(Out,
+          "run slices: %" PRIu64 " samples, mean %.0fns, "
+          "p50 %" PRIu64 "ns, p95 %" PRIu64 "ns, p99 %" PRIu64 "ns\n",
+          Total.RunSliceNanos.count(), Total.RunSliceNanos.meanNanos(),
+          Total.RunSliceNanos.p50Nanos(), Total.RunSliceNanos.p95Nanos(),
+          Total.RunSliceNanos.p99Nanos());
+  Out.append(79, '-');
+  Out += '\n';
+  return Out;
+}
+
+} // namespace sting::obs

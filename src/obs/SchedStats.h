@@ -1,0 +1,144 @@
+//===- obs/SchedStats.h - Per-VP scheduler counters -------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache-line-padded scheduler counters, one block per VirtualProcessor.
+///
+/// Nearly every counter is written only by the VP that owns the block (a VP
+/// is pinned to one OS thread for its whole life), so increments use a
+/// relaxed load/store pair instead of a lock-prefixed RMW — other threads
+/// may read a value that is one behind, never a torn one. The few counters
+/// that genuinely have remote writers (Enqueues and Wakeups can come from
+/// the clock thread or from outside the machine) fall back to fetch_add via
+/// incShared().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_OBS_SCHEDSTATS_H
+#define STING_OBS_SCHEDSTATS_H
+
+#include "support/Histogram.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sting::obs {
+
+/// A monotonic event counter. Reads are always safe; inc()/add() are
+/// single-writer only (the owning VP), incShared() is safe from anywhere.
+class Counter {
+public:
+  /// Owner-only increment: no lock prefix, so the scheduler fast path pays
+  /// a plain load+store per event.
+  void inc() {
+    Value.store(Value.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  }
+
+  /// Owner-only bulk add.
+  void add(std::uint64_t N) {
+    Value.store(Value.load(std::memory_order_relaxed) + N,
+                std::memory_order_relaxed);
+  }
+
+  /// Increment from a thread that does not own the stats block.
+  void incShared() { Value.fetch_add(1, std::memory_order_relaxed); }
+
+  std::uint64_t get() const { return Value.load(std::memory_order_relaxed); }
+
+  /// Implicit read so call sites can compare counters like plain integers.
+  operator std::uint64_t() const { return get(); }
+
+private:
+  std::atomic<std::uint64_t> Value{0};
+};
+
+struct SchedStatsSnapshot;
+
+/// The per-VP counter block. Padded to cache-line multiples so two VPs'
+/// counters never share a line (the whole point of per-VP blocks).
+struct alignas(64) SchedStats {
+  // Ready-queue traffic.
+  Counter Enqueues;     ///< schedulables inserted into this VP's queues
+  Counter Dequeues;     ///< schedulables popped by this VP's scheduler loop
+  Counter SkippedStale; ///< popped entries whose thread was already taken
+
+  // Context switches.
+  Counter Dispatches;  ///< switches from the scheduler into a thread
+  Counter FreshBinds;  ///< dispatches that bound a fresh thread to a TCB
+  Counter Resumes;     ///< dispatches that resumed a suspended TCB
+  Counter Yields;      ///< switches back caused by an explicit yield
+  Counter Parks;       ///< switches back caused by blocking
+  Counter Exits;       ///< switches back caused by thread termination
+  Counter IdleCalls;   ///< times the policy's vpIdle hook ran
+
+  // TCB cache (paper 4.2: stack/TCB reuse is the fork fast path).
+  Counter TcbReuses; ///< TCB acquisitions served from the per-VP cache
+  Counter TcbAllocs; ///< TCB acquisitions that had to allocate
+
+  // Thunk stealing.
+  Counter StealsAttempted;
+  Counter StealsSucceeded;
+  Counter StealsFailed;
+
+  // Preemption.
+  Counter PreemptsDelivered; ///< checkpoint consumed a flag and yielded
+  Counter PreemptsDeferred;  ///< flag seen while preemption was disabled
+
+  // Thread lifecycle and blocking, attributed to the VP that ran the op.
+  Counter ThreadsCreated;
+  Counter ThreadsTerminated;
+  Counter Blocks;  ///< parkCurrent entries (intent to block)
+  Counter Wakeups; ///< unparks delivered from this VP (incShared for
+                   ///< deliveries from non-VP threads, e.g. the clock)
+
+  /// Run-slice lengths (dispatch to switch-back), recorded only while
+  /// tracing is enabled so the default path never pays the extra clock
+  /// read. Owner-written, racy to read mid-run; snapshot after quiesce.
+  Histogram RunSliceNanos;
+
+  SchedStatsSnapshot snapshot() const;
+};
+
+/// A plain-integer copy of SchedStats, safe to aggregate and pass around.
+/// Field names match SchedStats so reporting code reads naturally.
+struct SchedStatsSnapshot {
+  std::uint64_t Enqueues = 0;
+  std::uint64_t Dequeues = 0;
+  std::uint64_t SkippedStale = 0;
+  std::uint64_t Dispatches = 0;
+  std::uint64_t FreshBinds = 0;
+  std::uint64_t Resumes = 0;
+  std::uint64_t Yields = 0;
+  std::uint64_t Parks = 0;
+  std::uint64_t Exits = 0;
+  std::uint64_t IdleCalls = 0;
+  std::uint64_t TcbReuses = 0;
+  std::uint64_t TcbAllocs = 0;
+  std::uint64_t StealsAttempted = 0;
+  std::uint64_t StealsSucceeded = 0;
+  std::uint64_t StealsFailed = 0;
+  std::uint64_t PreemptsDelivered = 0;
+  std::uint64_t PreemptsDeferred = 0;
+  std::uint64_t ThreadsCreated = 0;
+  std::uint64_t ThreadsTerminated = 0;
+  std::uint64_t Blocks = 0;
+  std::uint64_t Wakeups = 0;
+  Histogram RunSliceNanos;
+
+  SchedStatsSnapshot &operator+=(const SchedStatsSnapshot &Other);
+};
+
+/// Renders the aggregate and the per-VP breakdown as a plain-text table.
+/// \p PerVp may be empty (totals only).
+std::string formatStatsReport(const SchedStatsSnapshot &Total,
+                              const std::vector<SchedStatsSnapshot> &PerVp);
+
+} // namespace sting::obs
+
+#endif // STING_OBS_SCHEDSTATS_H

@@ -1,0 +1,125 @@
+//===- obs/TraceBuffer.cpp - Per-VP SPSC trace ring -----------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceBuffer.h"
+
+#include "support/Clock.h"
+
+#include <bit>
+
+namespace sting::obs {
+
+namespace detail {
+thread_local TraceBuffer *TlsTraceBuffer = nullptr;
+} // namespace detail
+
+TraceBuffer::TraceBuffer(unsigned VpId, std::size_t Capacity)
+    : OwnerVpId(VpId) {
+  if (Capacity < 8)
+    Capacity = 8;
+  Ring.resize(std::bit_ceil(Capacity));
+}
+
+void TraceBuffer::emit(TraceEventKind Kind, std::uint64_t ThreadId,
+                       std::uint32_t Payload) {
+  // The emission macro pre-checks enabled() to skip payload computation,
+  // but direct callers rely on the gate living here.
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.TimeNanos = nowNanos();
+  E.ThreadId = ThreadId;
+  E.Payload = Payload;
+  E.KindRaw = static_cast<std::uint8_t>(Kind);
+  push(E);
+}
+
+void TraceBuffer::push(const TraceEvent &E) {
+  std::uint64_t H = Head.load(std::memory_order_relaxed);
+  TraceEvent &Slot = Ring[H & (Ring.size() - 1)];
+  Slot = E;
+  Slot.VpId = static_cast<std::uint16_t>(OwnerVpId);
+  // Publish after the slot write so a concurrent snapshot never reads an
+  // unwritten recent entry.
+  Head.store(H + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::uint64_t H = Head.load(std::memory_order_acquire);
+  std::uint64_t From = H > Ring.size() ? H - Ring.size() : 0;
+  std::vector<TraceEvent> Out;
+  Out.reserve(H - From);
+  for (std::uint64_t I = From; I != H; ++I)
+    Out.push_back(Ring[I & (Ring.size() - 1)]);
+  return Out;
+}
+
+void mark(std::uint64_t ThreadId, std::uint32_t Payload) {
+  if (TraceBuffer *B = threadTraceBuffer(); B && B->enabled())
+    B->emit(TraceEventKind::UserMark, ThreadId, Payload);
+}
+
+const char *traceEventKindName(TraceEventKind K) {
+  switch (K) {
+  case TraceEventKind::ThreadCreate:
+    return "thread_create";
+  case TraceEventKind::ThreadStart:
+    return "thread_start";
+  case TraceEventKind::ThreadExit:
+    return "thread_exit";
+  case TraceEventKind::Dispatch:
+    return "dispatch";
+  case TraceEventKind::SwitchYield:
+    return "switch_yield";
+  case TraceEventKind::SwitchPark:
+    return "switch_park";
+  case TraceEventKind::SwitchExit:
+    return "switch_exit";
+  case TraceEventKind::Enqueue:
+    return "enqueue";
+  case TraceEventKind::DequeueStale:
+    return "dequeue_stale";
+  case TraceEventKind::Wakeup:
+    return "wakeup";
+  case TraceEventKind::StealAttempt:
+    return "steal_attempt";
+  case TraceEventKind::StealCommit:
+    return "steal_commit";
+  case TraceEventKind::StealFail:
+    return "steal_fail";
+  case TraceEventKind::Migrate:
+    return "migrate";
+  case TraceEventKind::PreemptDeliver:
+    return "preempt_deliver";
+  case TraceEventKind::PreemptDefer:
+    return "preempt_defer";
+  case TraceEventKind::MutexBlock:
+    return "mutex_block";
+  case TraceEventKind::MutexAcquire:
+    return "mutex_acquire";
+  case TraceEventKind::BarrierArrive:
+    return "barrier_arrive";
+  case TraceEventKind::BarrierRelease:
+    return "barrier_release";
+  case TraceEventKind::SemaphoreBlock:
+    return "semaphore_block";
+  case TraceEventKind::TuplePut:
+    return "tuple_put";
+  case TraceEventKind::TupleTake:
+    return "tuple_take";
+  case TraceEventKind::TupleRead:
+    return "tuple_read";
+  case TraceEventKind::TupleBlock:
+    return "tuple_block";
+  case TraceEventKind::UserMark:
+    return "user_mark";
+  case TraceEventKind::NumKinds:
+    break;
+  }
+  return "unknown";
+}
+
+} // namespace sting::obs

@@ -1,0 +1,136 @@
+//===- obs/TraceBuffer.h - Per-VP SPSC trace ring ---------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-free single-producer ring of TraceEvent records, one per
+/// VirtualProcessor.
+///
+/// The single-writer discipline: a VP is pinned to exactly one OS thread
+/// for the lifetime of the machine, and PhysicalProcessor points a
+/// thread-local at the current VP's ring around every switch into VP
+/// context. All substrate code therefore writes to *its own* VP's ring —
+/// events about another VP or thread carry the target in the payload —
+/// and threads with no VP (the preemption clock, external callers) see a
+/// null thread-local and drop the event. Readers (the exporter) run after
+/// quiesce or tolerate a slightly stale tail.
+///
+/// Overflow policy is overwrite-oldest: the writer never blocks or fails,
+/// Head counts every event ever pushed, and a snapshot reconstructs the
+/// most recent capacity() events plus a dropped() count for the rest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_OBS_TRACEBUFFER_H
+#define STING_OBS_TRACEBUFFER_H
+
+#include "obs/TraceEvent.h"
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace sting::obs {
+
+class TraceBuffer {
+public:
+  /// \p Capacity is rounded up to a power of two (minimum 8).
+  TraceBuffer(unsigned VpId, std::size_t Capacity);
+
+  TraceBuffer(const TraceBuffer &) = delete;
+  TraceBuffer &operator=(const TraceBuffer &) = delete;
+
+  unsigned vpId() const { return OwnerVpId; }
+  std::size_t capacity() const { return Ring.size(); }
+
+  /// Runtime gate. emit() is a no-op while disabled; the check is one
+  /// relaxed load and a predicted-not-taken branch.
+  void setEnabled(bool On) { Enabled.store(On, std::memory_order_relaxed); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Stamps the current time and the owning VP and appends. Owner thread
+  /// only.
+  void emit(TraceEventKind Kind, std::uint64_t ThreadId,
+            std::uint32_t Payload);
+
+  /// Appends a fully-formed record, bypassing the clock and the enabled
+  /// gate. Owner thread only; used by tests and replay tooling to build
+  /// deterministic rings.
+  void push(const TraceEvent &E);
+
+  /// Total events ever pushed (monotonic).
+  std::uint64_t written() const {
+    return Head.load(std::memory_order_acquire);
+  }
+
+  /// Events lost to overwrite: written() minus what a snapshot can return.
+  std::uint64_t dropped() const {
+    std::uint64_t H = written();
+    return H > Ring.size() ? H - Ring.size() : 0;
+  }
+
+  /// The retained window, oldest first. Safe to call from any thread once
+  /// the owner has quiesced; concurrent with the writer it may tear the
+  /// oldest entries (they are being overwritten), never the recent ones.
+  std::vector<TraceEvent> snapshot() const;
+
+private:
+  std::vector<TraceEvent> Ring;
+  std::atomic<std::uint64_t> Head{0};
+  std::atomic<bool> Enabled{false};
+  unsigned OwnerVpId;
+};
+
+/// A ring snapshot bundled with its provenance, as consumed by the
+/// exporter.
+struct VpTraceSnapshot {
+  unsigned VpId = 0;
+  std::uint64_t Dropped = 0;
+  std::vector<TraceEvent> Events;
+};
+
+namespace detail {
+extern thread_local TraceBuffer *TlsTraceBuffer;
+} // namespace detail
+
+/// Installs \p Buffer as the calling OS thread's event sink (null to
+/// clear). Called by PhysicalProcessor around VP context entry.
+inline void setThreadTraceBuffer(TraceBuffer *Buffer) {
+  detail::TlsTraceBuffer = Buffer;
+}
+
+/// \returns the calling OS thread's event sink, null off-substrate.
+inline TraceBuffer *threadTraceBuffer() { return detail::TlsTraceBuffer; }
+
+/// Emits a user-defined mark into the current VP's ring (dropped when the
+/// caller is not on a traced VP or tracing is off).
+void mark(std::uint64_t ThreadId, std::uint32_t Payload);
+
+} // namespace sting::obs
+
+/// Event-emission macro used at instrumentation sites. Compiles to nothing
+/// without STING_TRACE; with it, costs a TLS load and a predicted-not-taken
+/// branch when tracing is disabled. Arguments are evaluated only when the
+/// event will actually be recorded, so sites may compute payloads freely.
+#ifdef STING_TRACE
+#define STING_TRACE_EVENT(Kind, ThreadId, Payload)                           \
+  do {                                                                       \
+    if (::sting::obs::TraceBuffer *TraceBuf_ =                               \
+            ::sting::obs::threadTraceBuffer();                               \
+        TraceBuf_ && TraceBuf_->enabled())                                   \
+      TraceBuf_->emit(::sting::obs::TraceEventKind::Kind, (ThreadId),        \
+                      (Payload));                                            \
+  } while (false)
+#else
+// sizeof keeps the operands unevaluated (zero cost) while still marking
+// their variables as used, so instrumented functions need no (void) casts.
+#define STING_TRACE_EVENT(Kind, ThreadId, Payload)                           \
+  do {                                                                       \
+    (void)sizeof(ThreadId);                                                  \
+    (void)sizeof(Payload);                                                   \
+  } while (false)
+#endif
+
+#endif // STING_OBS_TRACEBUFFER_H

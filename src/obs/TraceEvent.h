@@ -1,0 +1,104 @@
+//===- obs/TraceEvent.h - Fixed-size scheduler trace record -----*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event taxonomy and the fixed-size record written into per-VP trace
+/// rings. Records are 24 bytes so a 16K-entry ring is 384KiB per VP; the
+/// writer never allocates or takes a lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_OBS_TRACEEVENT_H
+#define STING_OBS_TRACEEVENT_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sting::obs {
+
+/// Everything the substrate considers schedulingly interesting. Grouped by
+/// the subsystem that emits it; see DESIGN.md "Observability" for the full
+/// taxonomy with payload meanings.
+enum class TraceEventKind : std::uint8_t {
+  // Thread lifecycle (core/Thread, core/ThreadController).
+  ThreadCreate,  ///< a Thread object was created (payload: creating VP)
+  ThreadStart,   ///< a fresh thread was bound to a TCB and first ran
+  ThreadExit,    ///< a thread was determined (payload: 1 if absorbed inline)
+
+  // Context switches (core/VirtualProcessor scheduler loop).
+  Dispatch,      ///< the scheduler switched into a thread
+  SwitchYield,   ///< the running thread yielded back to the scheduler
+  SwitchPark,    ///< the running thread parked (blocked)
+  SwitchExit,    ///< the running thread terminated
+
+  // Ready-queue traffic (core/policy managers).
+  Enqueue,       ///< a policy manager enqueued a schedulable (payload:
+                 ///< queue depth after insert, low 24 bits | reason << 24)
+  DequeueStale,  ///< a queue entry was skipped because the thread was
+                 ///< already stolen or running elsewhere
+  Wakeup,        ///< an unpark was delivered (payload: target VP)
+
+  // Thunk stealing (core/ThreadController::trySteal).
+  StealAttempt,  ///< a VP tried to absorb a Scheduled thread
+  StealCommit,   ///< the steal ran the thread to determination
+  StealFail,     ///< the thread was no longer stealable (payload: reason)
+
+  // Migration (core/policy/StealHalfPolicy and friends).
+  Migrate,       ///< threads moved between VPs in bulk (payload: count)
+
+  // Preemption (core/ThreadController::checkpoint).
+  PreemptDeliver, ///< a preemption flag was consumed and the thread yielded
+  PreemptDefer,   ///< a preemption flag was seen while preemption-disabled
+
+  // Blocking primitives (sync/).
+  MutexBlock,     ///< a mutex acquire escalated to blocking
+  MutexAcquire,   ///< a previously blocked acquire finally succeeded
+  BarrierArrive,  ///< a party arrived at a cyclic barrier (payload: phase)
+  BarrierRelease, ///< the last party released a barrier phase
+  SemaphoreBlock, ///< a semaphore acquire blocked
+
+  // Tuple space (tuple/TupleSpace).
+  TuplePut,      ///< a tuple was deposited (payload: tuple width)
+  TupleTake,     ///< a take matched (payload: tuple width)
+  TupleRead,     ///< a read matched (payload: tuple width)
+  TupleBlock,    ///< a take/read found no match and blocked
+
+  // User-defined marks (obs::mark).
+  UserMark,
+
+  NumKinds
+};
+
+/// \returns a stable short name for \p K, used by the exporter and reports.
+const char *traceEventKindName(TraceEventKind K);
+
+/// Packs an Enqueue event payload: queue depth after the insert (saturated
+/// to 24 bits) in the low bits, the policy's EnqueueReason ordinal in the
+/// high byte.
+inline std::uint32_t enqueuePayload(std::size_t Depth, std::uint8_t Reason) {
+  std::uint32_t D = Depth > 0xffffff ? 0xffffffu
+                                     : static_cast<std::uint32_t>(Depth);
+  return D | (static_cast<std::uint32_t>(Reason) << 24);
+}
+
+/// One ring entry. Timestamps come from support/Clock (monotonic ns); VpId
+/// is the ring owner's index and is stamped by the buffer, not the caller.
+struct TraceEvent {
+  std::uint64_t TimeNanos = 0;
+  std::uint64_t ThreadId = 0; ///< subject thread, 0 when not thread-specific
+  std::uint32_t Payload = 0;  ///< kind-specific, see taxonomy above
+  std::uint16_t VpId = 0;
+  std::uint8_t KindRaw = 0;
+  std::uint8_t Reserved = 0;
+
+  TraceEventKind kind() const { return static_cast<TraceEventKind>(KindRaw); }
+};
+
+static_assert(sizeof(TraceEvent) == 24, "ring entries must stay compact");
+
+} // namespace sting::obs
+
+#endif // STING_OBS_TRACEEVENT_H

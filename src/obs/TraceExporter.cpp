@@ -1,0 +1,197 @@
+//===- obs/TraceExporter.cpp - Chrome trace_event export ------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceExporter.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace sting::obs {
+
+namespace {
+
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[512];
+  va_list Args;
+  va_start(Args, Fmt);
+  int N = std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  if (N > 0)
+    Out.append(Buf, static_cast<std::size_t>(N) < sizeof(Buf)
+                        ? static_cast<std::size_t>(N)
+                        : sizeof(Buf) - 1);
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        appendf(Out, "\\u%04x", static_cast<unsigned char>(C));
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+/// Chrome expects microseconds; keep sub-ns precision out of the file so
+/// golden comparisons are byte-stable.
+void appendMicros(std::string &Out, std::uint64_t Nanos,
+                  std::uint64_t Base) {
+  std::uint64_t Rel = Nanos >= Base ? Nanos - Base : 0;
+  appendf(Out, "%" PRIu64 ".%03u", Rel / 1000,
+          static_cast<unsigned>(Rel % 1000));
+}
+
+bool isSwitchBack(TraceEventKind K) {
+  return K == TraceEventKind::SwitchYield ||
+         K == TraceEventKind::SwitchPark || K == TraceEventKind::SwitchExit;
+}
+
+} // namespace
+
+void TraceExporter::addProcess(std::string Name,
+                               std::vector<VpTraceSnapshot> Vps) {
+  Procs.push_back({std::move(Name), std::move(Vps)});
+}
+
+std::string TraceExporter::toJson() const {
+  // Rebase to the earliest timestamp so Perfetto opens at t=0.
+  std::uint64_t Base = ~0ull;
+  for (const Process &P : Procs)
+    for (const VpTraceSnapshot &V : P.Vps)
+      for (const TraceEvent &E : V.Events)
+        if (E.TimeNanos < Base)
+          Base = E.TimeNanos;
+  if (Base == ~0ull)
+    Base = 0;
+
+  std::string Out;
+  Out += "{\"traceEvents\":[";
+  bool First = true;
+  auto comma = [&] {
+    if (!First)
+      Out += ",\n";
+    else
+      Out += "\n";
+    First = false;
+  };
+
+  for (std::size_t Pid = 0; Pid != Procs.size(); ++Pid) {
+    const Process &P = Procs[Pid];
+    comma();
+    appendf(Out,
+            "{\"ph\":\"M\",\"pid\":%zu,\"name\":\"process_name\","
+            "\"args\":{\"name\":\"%s\"}}",
+            Pid, jsonEscape(P.Name).c_str());
+    for (const VpTraceSnapshot &V : P.Vps) {
+      comma();
+      appendf(Out,
+              "{\"ph\":\"M\",\"pid\":%zu,\"tid\":%u,\"name\":"
+              "\"thread_name\",\"args\":{\"name\":\"vp%u\"}}",
+              Pid, V.VpId, V.VpId);
+      if (V.Dropped != 0 && !V.Events.empty()) {
+        // Flag the overwrite so a truncated ring is visible in the viewer.
+        comma();
+        appendf(Out,
+                "{\"ph\":\"i\",\"pid\":%zu,\"tid\":%u,\"ts\":", Pid,
+                V.VpId);
+        appendMicros(Out, V.Events.front().TimeNanos, Base);
+        appendf(Out,
+                ",\"s\":\"t\",\"name\":\"trace_overflow\",\"args\":"
+                "{\"thread\":0,\"payload\":%" PRIu64 "}}",
+                V.Dropped);
+      }
+
+      // One pass: Dispatch opens a run slice, the matching Switch* closes
+      // it as a complete event; everything else is an instant.
+      bool SliceOpen = false;
+      std::uint64_t SliceStart = 0, SliceThread = 0;
+      for (const TraceEvent &E : V.Events) {
+        TraceEventKind K = E.kind();
+        if (K == TraceEventKind::Dispatch) {
+          SliceOpen = true;
+          SliceStart = E.TimeNanos;
+          SliceThread = E.ThreadId;
+          continue;
+        }
+        if (isSwitchBack(K)) {
+          if (SliceOpen) {
+            SliceOpen = false;
+            comma();
+            appendf(Out,
+                    "{\"ph\":\"X\",\"pid\":%zu,\"tid\":%u,\"ts\":", Pid,
+                    V.VpId);
+            appendMicros(Out, SliceStart, Base);
+            std::uint64_t End = E.TimeNanos >= SliceStart ? E.TimeNanos
+                                                          : SliceStart;
+            appendf(Out, ",\"dur\":");
+            appendMicros(Out, End - SliceStart, 0);
+            appendf(Out,
+                    ",\"name\":\"run\",\"args\":{\"thread\":%" PRIu64
+                    ",\"end\":\"%s\"}}",
+                    SliceThread, traceEventKindName(K));
+          }
+          continue;
+        }
+        comma();
+        appendf(Out, "{\"ph\":\"i\",\"pid\":%zu,\"tid\":%u,\"ts\":", Pid,
+                V.VpId);
+        appendMicros(Out, E.TimeNanos, Base);
+        appendf(Out,
+                ",\"s\":\"t\",\"name\":\"%s\",\"args\":{\"thread\":%" PRIu64
+                ",\"payload\":%" PRIu32 "}}",
+                traceEventKindName(K), E.ThreadId, E.Payload);
+      }
+      // A slice still open at the end of the ring (the VP was mid-run when
+      // captured, or the closer was overwritten) degrades to an instant.
+      if (SliceOpen) {
+        comma();
+        appendf(Out, "{\"ph\":\"i\",\"pid\":%zu,\"tid\":%u,\"ts\":", Pid,
+                V.VpId);
+        appendMicros(Out, SliceStart, Base);
+        appendf(Out,
+                ",\"s\":\"t\",\"name\":\"dispatch\",\"args\":{\"thread\":%"
+                PRIu64 ",\"payload\":0}}",
+                SliceThread);
+      }
+    }
+  }
+
+  Out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return Out;
+}
+
+bool TraceExporter::writeFile(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Json = toJson();
+  bool Ok = std::fwrite(Json.data(), 1, Json.size(), F) == Json.size();
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}
+
+} // namespace sting::obs

@@ -1,0 +1,51 @@
+//===- obs/TraceExporter.h - Chrome trace_event export ----------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Merges per-VP trace rings into Chrome trace_event JSON ("JSON Object
+/// Format"), loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+/// Each captured machine becomes a process, each VP a thread track;
+/// Dispatch→Switch* pairs become complete ("X") slices and everything else
+/// an instant ("i") event, so both the run-slice structure and the raw
+/// event stream survive the export.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_OBS_TRACEEXPORTER_H
+#define STING_OBS_TRACEEXPORTER_H
+
+#include "obs/TraceBuffer.h"
+
+#include <string>
+#include <vector>
+
+namespace sting::obs {
+
+class TraceExporter {
+public:
+  /// Adds one captured machine as a Chrome process named \p Name.
+  void addProcess(std::string Name, std::vector<VpTraceSnapshot> Vps);
+
+  bool empty() const { return Procs.empty(); }
+
+  /// Renders everything added so far. Timestamps are rebased to the
+  /// earliest event across all processes so traces open near t=0.
+  std::string toJson() const;
+
+  /// Writes toJson() to \p Path. \returns false on I/O failure.
+  bool writeFile(const std::string &Path) const;
+
+private:
+  struct Process {
+    std::string Name;
+    std::vector<VpTraceSnapshot> Vps;
+  };
+  std::vector<Process> Procs;
+};
+
+} // namespace sting::obs
+
+#endif // STING_OBS_TRACEEXPORTER_H

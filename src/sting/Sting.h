@@ -67,6 +67,9 @@
 #include "gc/HeapImage.h"
 #include "gc/Object.h"
 #include "io/IoService.h"
+#include "obs/SchedStats.h"
+#include "obs/TraceBuffer.h"
+#include "obs/TraceExporter.h"
 #include "sync/Barrier.h"
 #include "sync/Channel.h"
 #include "sync/Future.h"

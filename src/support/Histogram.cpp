@@ -20,36 +20,50 @@ static int bucketFor(std::uint64_t Nanos) {
 }
 
 void Histogram::record(std::uint64_t Nanos) {
-  ++Buckets[bucketFor(Nanos)];
-  ++Count;
-  Sum += Nanos;
-  if (Nanos < Min)
-    Min = Nanos;
-  if (Nanos > Max)
-    Max = Nanos;
+  detail::RelaxedCell &B = Buckets[bucketFor(Nanos)];
+  B.set(B.get() + 1);
+  Count.set(Count.get() + 1);
+  Sum.set(Sum.get() + Nanos);
+  if (Nanos < Min.get())
+    Min.set(Nanos);
+  if (Nanos > Max.get())
+    Max.set(Nanos);
 }
 
 double Histogram::meanNanos() const {
-  if (Count == 0)
+  std::uint64_t N = Count.get();
+  if (N == 0)
     return 0.0;
-  return static_cast<double>(Sum) / static_cast<double>(Count);
+  return static_cast<double>(Sum.get()) / static_cast<double>(N);
 }
 
 std::uint64_t Histogram::quantileNanos(double Q) const {
-  if (Count == 0)
+  std::uint64_t N = Count.get();
+  if (N == 0)
     return 0;
   if (Q < 0)
     Q = 0;
   if (Q > 1)
     Q = 1;
-  std::uint64_t Target = static_cast<std::uint64_t>(Q * (Count - 1)) + 1;
+  std::uint64_t Target = static_cast<std::uint64_t>(Q * (N - 1)) + 1;
   std::uint64_t Seen = 0;
   for (int B = 0; B != NumBuckets; ++B) {
-    Seen += Buckets[B];
+    Seen += Buckets[B].get();
     if (Seen >= Target)
       return B == 0 ? 0 : (1ull << B) - 1;
   }
-  return Max;
+  return Max.get();
+}
+
+void Histogram::merge(const Histogram &Other) {
+  for (int B = 0; B != NumBuckets; ++B)
+    Buckets[B].set(Buckets[B].get() + Other.Buckets[B].get());
+  Count.set(Count.get() + Other.Count.get());
+  Sum.set(Sum.get() + Other.Sum.get());
+  if (Other.Min.get() < Min.get())
+    Min.set(Other.Min.get());
+  if (Other.Max.get() > Max.get())
+    Max.set(Other.Max.get());
 }
 
 void Histogram::clear() { *this = Histogram(); }

@@ -8,14 +8,43 @@
 /// A log-bucketed latency histogram for the benchmark harness. Records
 /// nanosecond samples; reports count, mean and approximate percentiles.
 ///
+/// Concurrency contract: one writer (record/merge/clear), any number of
+/// concurrent readers. Storage is relaxed-atomic cells, so remote readers
+/// (a stats snapshot taken while the owning VP still runs) get tear-free
+/// per-field values; cross-field consistency is only guaranteed once the
+/// writer has quiesced.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STING_SUPPORT_HISTOGRAM_H
 #define STING_SUPPORT_HISTOGRAM_H
 
+#include <atomic>
 #include <cstdint>
 
 namespace sting {
+
+namespace detail {
+
+/// A uint64 with relaxed atomic access and value-copy semantics: plain
+/// mov instructions on x86, but defined behaviour when a reader samples a
+/// cell the single writer is updating.
+class RelaxedCell {
+public:
+  RelaxedCell(std::uint64_t Init = 0) : V(Init) {}
+  RelaxedCell(const RelaxedCell &Other) : V(Other.get()) {}
+  RelaxedCell &operator=(const RelaxedCell &Other) {
+    set(Other.get());
+    return *this;
+  }
+  std::uint64_t get() const { return V.load(std::memory_order_relaxed); }
+  void set(std::uint64_t X) { V.store(X, std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::uint64_t> V;
+};
+
+} // namespace detail
 
 /// Fixed-footprint histogram with power-of-two buckets from 1ns to ~1100s.
 class Histogram {
@@ -24,23 +53,33 @@ public:
 
   void record(std::uint64_t Nanos);
 
-  std::uint64_t count() const { return Count; }
+  std::uint64_t count() const { return Count.get(); }
   double meanNanos() const;
-  std::uint64_t minNanos() const { return Count ? Min : 0; }
-  std::uint64_t maxNanos() const { return Max; }
+  std::uint64_t minNanos() const { return Count.get() ? Min.get() : 0; }
+  std::uint64_t maxNanos() const { return Max.get(); }
 
   /// \returns an upper bound on the \p Q quantile (0 <= Q <= 1), accurate to
   /// a factor of two (the bucket width).
   std::uint64_t quantileNanos(double Q) const;
 
+  std::uint64_t p50Nanos() const { return quantileNanos(0.50); }
+  std::uint64_t p95Nanos() const { return quantileNanos(0.95); }
+  std::uint64_t p99Nanos() const { return quantileNanos(0.99); }
+
+  /// Folds \p Other into this histogram. Buckets are summed, so the merged
+  /// quantiles are exactly what a single histogram fed both sample streams
+  /// would report. Used by the trace exporter to aggregate per-VP latency
+  /// histograms.
+  void merge(const Histogram &Other);
+
   void clear();
 
 private:
-  std::uint64_t Buckets[NumBuckets] = {};
-  std::uint64_t Count = 0;
-  std::uint64_t Sum = 0;
-  std::uint64_t Min = ~0ull;
-  std::uint64_t Max = 0;
+  detail::RelaxedCell Buckets[NumBuckets] = {};
+  detail::RelaxedCell Count;
+  detail::RelaxedCell Sum;
+  detail::RelaxedCell Min{~0ull};
+  detail::RelaxedCell Max;
 };
 
 } // namespace sting

@@ -6,7 +6,10 @@
 
 #include "sync/Barrier.h"
 
+#include "core/Current.h"
+#include "core/Thread.h"
 #include "core/ThreadController.h"
+#include "obs/TraceBuffer.h"
 
 namespace sting {
 
@@ -28,6 +31,7 @@ CyclicBarrier::CyclicBarrier(std::size_t Parties) : Parties(Parties) {
 
 std::uint64_t CyclicBarrier::arriveAndWait() {
   std::uint64_t MyPhase;
+  bool Last = false;
   {
     std::lock_guard<SpinLock> Guard(Lock);
     MyPhase = Phase.load(std::memory_order_relaxed);
@@ -35,8 +39,16 @@ std::uint64_t CyclicBarrier::arriveAndWait() {
       Arrived = 0;
       Phase.store(MyPhase + 1, std::memory_order_release);
       Waiters.wakeAll();
-      return MyPhase;
+      Last = true;
     }
+  }
+  Thread *Self = currentThread();
+  STING_TRACE_EVENT(BarrierArrive, Self ? Self->id() : 0,
+                    static_cast<std::uint32_t>(MyPhase));
+  if (Last) {
+    STING_TRACE_EVENT(BarrierRelease, Self ? Self->id() : 0,
+                      static_cast<std::uint32_t>(MyPhase));
+    return MyPhase;
   }
   Waiters.await(
       [&] { return Phase.load(std::memory_order_acquire) != MyPhase; },

@@ -6,6 +6,9 @@
 
 #include "sync/Mutex.h"
 
+#include "core/Current.h"
+#include "core/Thread.h"
+#include "obs/TraceBuffer.h"
 #include "support/Backoff.h"
 
 namespace sting {
@@ -44,7 +47,9 @@ void Mutex::acquire() {
   // Phase 3: block — "if the passive spin count is exhausted ... the
   // executing thread blocks on the mutex."
   Stats.BlockedAcquires.fetch_add(1, std::memory_order_relaxed);
+  STING_TRACE_EVENT(MutexBlock, currentThread()->id(), 0);
   Blocked.await([this] { return tryAcquire(); }, this);
+  STING_TRACE_EVENT(MutexAcquire, currentThread()->id(), 0);
 }
 
 void Mutex::release() {

@@ -6,6 +6,10 @@
 
 #include "sync/Semaphore.h"
 
+#include "core/Current.h"
+#include "core/Thread.h"
+#include "obs/TraceBuffer.h"
+
 namespace sting {
 
 bool Semaphore::tryAcquire() {
@@ -19,6 +23,10 @@ bool Semaphore::tryAcquire() {
 }
 
 void Semaphore::acquire() {
+  if (tryAcquire())
+    return;
+  Thread *Self = currentThread();
+  STING_TRACE_EVENT(SemaphoreBlock, Self ? Self->id() : 0, 0);
   Waiters.await([this] { return tryAcquire(); }, this);
 }
 

@@ -18,8 +18,10 @@
 
 #include "tuple/TupleSpace.h"
 
+#include "core/Current.h"
 #include "core/Gc.h"
 #include "core/ThreadController.h"
+#include "obs/TraceBuffer.h"
 #include "gc/GlobalHeap.h"
 #include "gc/Object.h"
 #include "sync/ParkList.h"
@@ -192,12 +194,16 @@ public:
         // our match. (Steals of delayed/scheduled threads happen inside
         // threadWait.)
         Stats.Blocks.fetch_add(1, std::memory_order_relaxed);
+        STING_TRACE_EVENT(TupleBlock,
+                          currentThread() ? currentThread()->id() : 0, 1);
         ThreadController::threadWait(*Unresolved);
         continue;
       }
 
       // Block until another deposit lands (the HB row).
       Stats.Blocks.fetch_add(1, std::memory_order_relaxed);
+      STING_TRACE_EVENT(TupleBlock,
+                        currentThread() ? currentThread()->id() : 0, 0);
       Bin &B = binForTemplate(Template);
       B.Waiters.await(
           [&] {
@@ -433,6 +439,8 @@ void TupleSpace::put(Tuple T) {
                 "put tuple may not contain formals or thunks");
   prepare(T);
   Stats.Puts.fetch_add(1, std::memory_order_relaxed);
+  STING_TRACE_EVENT(TuplePut, currentThread() ? currentThread()->id() : 0,
+                    static_cast<std::uint32_t>(T.size()));
   Impl->put(std::move(T));
 }
 
@@ -464,12 +472,16 @@ std::vector<ThreadRef> TupleSpace::spawn(Tuple T) {
 Match TupleSpace::read(Tuple Template) {
   prepare(Template);
   Stats.Reads.fetch_add(1, std::memory_order_relaxed);
+  STING_TRACE_EVENT(TupleRead, currentThread() ? currentThread()->id() : 0,
+                    static_cast<std::uint32_t>(Template.size()));
   return Impl->match(std::move(Template), /*Remove=*/false, Stats);
 }
 
 Match TupleSpace::take(Tuple Template) {
   prepare(Template);
   Stats.Takes.fetch_add(1, std::memory_order_relaxed);
+  STING_TRACE_EVENT(TupleTake, currentThread() ? currentThread()->id() : 0,
+                    static_cast<std::uint32_t>(Template.size()));
   return Impl->match(std::move(Template), /*Remove=*/true, Stats);
 }
 

@@ -36,6 +36,10 @@ TEST(StealTest, TouchingDelayedThreadStealsIt) {
   });
   EXPECT_TRUE(V.as<bool>());
   EXPECT_GE(Vm.stats().Steals.load(), 1u);
+  // The per-VP scheduler counters must agree with the machine-wide one.
+  obs::SchedStatsSnapshot Sched = Vm.aggregateStats();
+  EXPECT_GE(Sched.StealsSucceeded, 1u);
+  EXPECT_GE(Sched.StealsAttempted, Sched.StealsSucceeded);
 }
 
 TEST(StealTest, StolenThreadReportsItselfAsCurrent) {
@@ -76,6 +80,7 @@ TEST(StealTest, NonStealableThreadIsNotStolen) {
   });
   EXPECT_EQ(V.as<int>(), 4);
   EXPECT_EQ(Vm.stats().Steals.load(), 0u);
+  EXPECT_EQ(Vm.aggregateStats().StealsSucceeded, 0u);
 }
 
 TEST(StealTest, ScheduledThreadStolenBeforeDispatchIsSkipped) {

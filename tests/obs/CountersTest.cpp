@@ -1,0 +1,213 @@
+//===- tests/obs/CountersTest.cpp - SchedStats consistency ------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Checks the accounting invariants of the per-VP scheduler counters:
+// every enqueue is matched by exactly one dequeue once the machine
+// quiesces, creations match terminations, and the aggregate view is the
+// sum of the per-VP views.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ThreadController.h"
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+#include "gtest/gtest.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace sting;
+using TC = ThreadController;
+
+// Counters are charged by whichever OS thread performs the transition, so
+// the last few dequeues of a workload can land just after run() returns to
+// the external caller. Poll briefly for the balance to settle.
+bool pollUntil(const VirtualMachine &Vm,
+               bool (*Pred)(const obs::SchedStatsSnapshot &)) {
+  for (int I = 0; I != 2000; ++I) {
+    if (Pred(Vm.aggregateStats()))
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+TEST(CountersTest, EnqueuesBalanceDequeuesAfterQuiesce) {
+  VmConfig Config;
+  Config.NumVps = 4;
+  Config.NumPps = 2;
+  VirtualMachine Vm(Config);
+
+  Vm.run([]() -> AnyValue {
+    std::vector<ThreadRef> Workers;
+    SpawnOptions Opts;
+    Opts.Stealable = false; // force every worker through the ready queues
+    for (int I = 0; I != 64; ++I)
+      Workers.push_back(TC::forkThread(
+          [I]() -> AnyValue {
+            for (int J = 0; J != I % 7; ++J)
+              TC::yieldProcessor();
+            return AnyValue(I);
+          },
+          Opts));
+    for (ThreadRef &W : Workers)
+      TC::threadWait(*W);
+    return AnyValue();
+  });
+
+  ASSERT_TRUE(pollUntil(Vm, [](const obs::SchedStatsSnapshot &S) {
+    return S.Enqueues == S.Dequeues;
+  })) << Vm.statsReport();
+
+  obs::SchedStatsSnapshot S = Vm.aggregateStats();
+  // 64 workers plus the root thread all passed through a queue at least
+  // once; yields re-enqueue, so the totals are well above the floor.
+  EXPECT_GE(S.Enqueues, 65u);
+  EXPECT_EQ(S.Enqueues, S.Dequeues);
+  EXPECT_GE(S.Dispatches, S.FreshBinds);
+  EXPECT_GE(S.ThreadsCreated, 65u);
+}
+
+TEST(CountersTest, CreationsMatchTerminations) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    std::vector<ThreadRef> Workers;
+    for (int I = 0; I != 16; ++I)
+      Workers.push_back(
+          TC::forkThread([]() -> AnyValue { return AnyValue(1); }));
+    for (ThreadRef &W : Workers)
+      TC::threadWait(*W);
+    return AnyValue();
+  });
+
+  // Workers (16) are determined; the root thread's own exit may land after
+  // run() returns, hence >= 16 rather than an exact count.
+  ASSERT_TRUE(pollUntil(Vm, [](const obs::SchedStatsSnapshot &S) {
+    return S.ThreadsTerminated >= 16;
+  })) << Vm.statsReport();
+  obs::SchedStatsSnapshot S = Vm.aggregateStats();
+  EXPECT_GE(S.ThreadsCreated, S.ThreadsTerminated);
+}
+
+TEST(CountersTest, AggregateIsSumOfPerVp) {
+  VmConfig Config;
+  Config.NumVps = 3;
+  VirtualMachine Vm(Config);
+  Vm.run([]() -> AnyValue {
+    for (int I = 0; I != 8; ++I)
+      TC::yieldProcessor();
+    return AnyValue();
+  });
+
+  std::vector<obs::SchedStatsSnapshot> PerVp = Vm.perVpStats();
+  ASSERT_EQ(PerVp.size(), 3u);
+  obs::SchedStatsSnapshot Sum;
+  for (const obs::SchedStatsSnapshot &V : PerVp)
+    Sum += V;
+  obs::SchedStatsSnapshot Total = Vm.aggregateStats();
+  // Counters only grow, and the machine is idle between the two reads ...
+  // mostly: a PP may still be draining, so compare with slack in one
+  // direction only.
+  EXPECT_LE(Sum.Dispatches, Total.Dispatches + PerVp.size());
+  EXPECT_GE(Total.Yields, 8u);
+}
+
+TEST(CountersTest, StatsReportNamesEveryCounter) {
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    TC::yieldProcessor();
+    return AnyValue();
+  });
+  std::string Report = Vm.statsReport();
+  for (const char *Name :
+       {"enqueues", "dequeues", "dispatches", "yields", "parks",
+        "steals attempted", "preempts delivered", "threads created",
+        "run slices"})
+    EXPECT_NE(Report.find(Name), std::string::npos)
+        << "missing '" << Name << "' in:\n"
+        << Report;
+}
+
+#ifdef STING_TRACE
+TEST(CountersTest, TracedWorkloadFillsRingsAndExports) {
+  VmConfig Config;
+  Config.NumVps = 2;
+  Config.NumPps = 2;
+  Config.EnableTracing = true;
+  Config.TraceCapacity = 1 << 10;
+  VirtualMachine Vm(Config);
+
+  Vm.run([]() -> AnyValue {
+    std::vector<ThreadRef> Workers;
+    SpawnOptions Opts;
+    Opts.Stealable = false;
+    for (int I = 0; I != 32; ++I)
+      Workers.push_back(TC::forkThread(
+          []() -> AnyValue {
+            for (int J = 0; J != 4; ++J)
+              TC::yieldProcessor();
+            return AnyValue();
+          },
+          Opts));
+    for (ThreadRef &W : Workers)
+      TC::threadWait(*W);
+    return AnyValue();
+  });
+
+  std::vector<obs::VpTraceSnapshot> Snaps = Vm.snapshotTrace();
+  ASSERT_EQ(Snaps.size(), 2u);
+  std::size_t TotalEvents = 0;
+  for (const obs::VpTraceSnapshot &S : Snaps)
+    TotalEvents += S.Events.size();
+  EXPECT_GT(TotalEvents, 32u);
+
+  std::string Path = ::testing::TempDir() + "sting_counters_trace.json";
+  ASSERT_TRUE(Vm.writeChromeTrace(Path, "counters-test"));
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  std::string Content;
+  char Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Content.append(Buf, N);
+  std::fclose(F);
+  std::remove(Path.c_str());
+
+  EXPECT_NE(Content.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Content.find("counters-test"), std::string::npos);
+  EXPECT_NE(Content.find("\"vp0\""), std::string::npos);
+  EXPECT_NE(Content.find("\"vp1\""), std::string::npos);
+}
+
+TEST(CountersTest, SetTracingEnabledGatesEmission) {
+  VmConfig Config;
+  Config.NumVps = 1;
+  Config.EnableTracing = true;
+  VirtualMachine Vm(Config);
+
+  Vm.setTracingEnabled(false);
+  Vm.run([]() -> AnyValue {
+    TC::yieldProcessor();
+    return AnyValue();
+  });
+  std::vector<obs::VpTraceSnapshot> Off = Vm.snapshotTrace();
+  ASSERT_EQ(Off.size(), 1u);
+  EXPECT_TRUE(Off[0].Events.empty());
+
+  Vm.setTracingEnabled(true);
+  Vm.run([]() -> AnyValue {
+    TC::yieldProcessor();
+    return AnyValue();
+  });
+  std::vector<obs::VpTraceSnapshot> On = Vm.snapshotTrace();
+  EXPECT_FALSE(On[0].Events.empty());
+}
+#endif // STING_TRACE
+
+} // namespace

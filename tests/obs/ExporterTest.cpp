@@ -1,0 +1,184 @@
+//===- tests/obs/ExporterTest.cpp - Chrome trace_event export ---------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Feeds the exporter hand-built, fully deterministic VP snapshots and
+// checks the JSON both structurally and byte-for-byte against a committed
+// golden file. Regenerate the golden after an intentional format change
+// with:
+//
+//   STING_UPDATE_GOLDEN=1 ./sting_test_obs --gtest_filter='*Golden*'
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceExporter.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace sting;
+
+obs::TraceEvent event(std::uint64_t Time, obs::TraceEventKind Kind,
+                      std::uint64_t Tid, std::uint32_t Payload,
+                      std::uint16_t VpId) {
+  obs::TraceEvent E{};
+  E.TimeNanos = Time;
+  E.ThreadId = Tid;
+  E.Payload = Payload;
+  E.VpId = VpId;
+  E.KindRaw = static_cast<std::uint8_t>(Kind);
+  return E;
+}
+
+/// Two VPs with every exporter-relevant shape: closed run slices (yield,
+/// park, exit closers), instants between and inside slices, a dangling
+/// dispatch, and an overflowed ring.
+obs::TraceExporter goldenExporter() {
+  using K = obs::TraceEventKind;
+  std::vector<obs::VpTraceSnapshot> Vps(2);
+
+  Vps[0].VpId = 0;
+  Vps[0].Events = {
+      event(1000, K::ThreadCreate, 1, 0, 0),
+      event(1200, K::Enqueue, 1, obs::enqueuePayload(1, 0), 0),
+      event(1500, K::Dispatch, 1, 0, 0),
+      event(1800, K::StealAttempt, 0, 0, 0),
+      event(2200, K::StealCommit, 2, 0, 0),
+      event(2600, K::SwitchYield, 1, 6, 0),
+      event(3000, K::Dispatch, 1, 0, 0),
+      event(4100, K::SwitchExit, 1, 0, 0),
+      event(4500, K::Dispatch, 3, 0, 0), // dangling: ring captured mid-run
+  };
+
+  Vps[1].VpId = 1;
+  Vps[1].Dropped = 5; // oldest five events were overwritten
+  Vps[1].Events = {
+      event(1700, K::PreemptDeliver, 2, 0, 1),
+      event(1900, K::Dispatch, 2, 0, 1),
+      event(2400, K::MutexBlock, 2, 0, 1),
+      event(2800, K::SwitchPark, 2, 0, 1),
+      event(3300, K::Wakeup, 2, 1, 1),
+  };
+
+  obs::TraceExporter Exporter;
+  Exporter.addProcess("golden-vm", std::move(Vps));
+  return Exporter;
+}
+
+std::size_t countOccurrences(const std::string &Haystack,
+                             const std::string &Needle) {
+  std::size_t Count = 0;
+  for (std::size_t Pos = Haystack.find(Needle); Pos != std::string::npos;
+       Pos = Haystack.find(Needle, Pos + Needle.size()))
+    ++Count;
+  return Count;
+}
+
+TEST(ExporterTest, EmptyExportIsStillValidJson) {
+  obs::TraceExporter Exporter;
+  EXPECT_TRUE(Exporter.empty());
+  EXPECT_EQ(Exporter.toJson(),
+            "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(ExporterTest, StructureMatchesEventStream) {
+  std::string Json = goldenExporter().toJson();
+
+  // Frame and metadata.
+  EXPECT_EQ(Json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(Json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_EQ(countOccurrences(Json, "\"process_name\""), 1u);
+  EXPECT_EQ(countOccurrences(Json, "\"thread_name\""), 2u);
+  EXPECT_NE(Json.find("\"golden-vm\""), std::string::npos);
+
+  // Three Dispatch→Switch pairs become three complete slices; the dangling
+  // dispatch degrades to an instant rather than an unterminated slice.
+  EXPECT_EQ(countOccurrences(Json, "\"ph\":\"X\""), 3u);
+  EXPECT_EQ(countOccurrences(Json, "\"end\":\"switch_yield\""), 1u);
+  EXPECT_EQ(countOccurrences(Json, "\"end\":\"switch_exit\""), 1u);
+  EXPECT_EQ(countOccurrences(Json, "\"end\":\"switch_park\""), 1u);
+  EXPECT_EQ(countOccurrences(Json, "\"name\":\"dispatch\""), 1u);
+
+  // The overflowed VP announces its dropped count.
+  EXPECT_EQ(countOccurrences(Json, "\"trace_overflow\""), 1u);
+  EXPECT_NE(Json.find("\"payload\":5"), std::string::npos);
+
+  // Instants survive: the steal pair, the preempt, the block, the wakeup.
+  for (const char *Name : {"\"steal_attempt\"", "\"steal_commit\"",
+                           "\"preempt_deliver\"", "\"mutex_block\"",
+                           "\"wakeup\"", "\"thread_create\""})
+    EXPECT_NE(Json.find(Name), std::string::npos) << Name;
+
+  // Timestamps are rebased: the earliest event (t=1000ns) prints as 0.000.
+  EXPECT_NE(Json.find("\"ts\":0.000,"), std::string::npos);
+
+  // Nothing smuggles raw braces into string values, so a brace balance
+  // check approximates well-formedness.
+  EXPECT_EQ(countOccurrences(Json, "{"), countOccurrences(Json, "}"));
+  EXPECT_EQ(countOccurrences(Json, "["), countOccurrences(Json, "]"));
+}
+
+TEST(ExporterTest, ProcessNamesAreJsonEscaped) {
+  obs::TraceExporter Exporter;
+  Exporter.addProcess("evil\"name\\with\ncontrol",
+                      {obs::VpTraceSnapshot{0, 0, {}}});
+  std::string Json = Exporter.toJson();
+  EXPECT_NE(Json.find("evil\\\"name\\\\with\\ncontrol"),
+            std::string::npos);
+  // The raw control character must not survive into the output.
+  EXPECT_EQ(Json.find("with\ncontrol"), std::string::npos);
+}
+
+TEST(ExporterTest, GoldenFileMatchesByteForByte) {
+  const std::string GoldenPath =
+      std::string(STING_OBS_GOLDEN_DIR) + "/chrome_trace_golden.json";
+  std::string Json = goldenExporter().toJson();
+
+  if (std::getenv("STING_UPDATE_GOLDEN")) {
+    std::FILE *F = std::fopen(GoldenPath.c_str(), "w");
+    ASSERT_NE(F, nullptr) << "cannot write " << GoldenPath;
+    std::fwrite(Json.data(), 1, Json.size(), F);
+    std::fclose(F);
+    GTEST_SKIP() << "golden regenerated at " << GoldenPath;
+  }
+
+  std::FILE *F = std::fopen(GoldenPath.c_str(), "r");
+  ASSERT_NE(F, nullptr) << "missing golden file " << GoldenPath
+                        << " (run with STING_UPDATE_GOLDEN=1 to create)";
+  std::string Golden;
+  char Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Golden.append(Buf, N);
+  std::fclose(F);
+
+  EXPECT_EQ(Json, Golden)
+      << "exporter output drifted from the committed golden; if the "
+         "change is intentional, regenerate with STING_UPDATE_GOLDEN=1";
+}
+
+TEST(ExporterTest, WriteFileRoundTrips) {
+  obs::TraceExporter Exporter = goldenExporter();
+  std::string Path = ::testing::TempDir() + "sting_exporter_roundtrip.json";
+  ASSERT_TRUE(Exporter.writeFile(Path));
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  std::string Content;
+  char Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Content.append(Buf, N);
+  std::fclose(F);
+  std::remove(Path.c_str());
+  EXPECT_EQ(Content, Exporter.toJson());
+
+  EXPECT_FALSE(Exporter.writeFile("/nonexistent-dir/trace.json"));
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+//===- tests/obs/TraceBufferTest.cpp - SPSC trace ring ----------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Pins the ring's contract: capacity rounding, the overwrite-oldest
+// overflow policy, the dropped() accounting, and the enabled gate. These
+// tests drive the ring directly (single-threaded) — the single-writer
+// discipline in the live system is the VP-to-PP pinning, exercised by the
+// STING_TRACE integration test in CountersTest.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceBuffer.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+#include <string>
+
+namespace {
+
+using namespace sting;
+
+obs::TraceEvent makeEvent(std::uint64_t Time, obs::TraceEventKind Kind,
+                          std::uint64_t Tid, std::uint32_t Payload) {
+  obs::TraceEvent E{};
+  E.TimeNanos = Time;
+  E.ThreadId = Tid;
+  E.Payload = Payload;
+  E.KindRaw = static_cast<std::uint8_t>(Kind);
+  return E;
+}
+
+TEST(TraceBufferTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(obs::TraceBuffer(0, 10).capacity(), 16u);
+  EXPECT_EQ(obs::TraceBuffer(0, 64).capacity(), 64u);
+  EXPECT_EQ(obs::TraceBuffer(0, 65).capacity(), 128u);
+  // Degenerate requests clamp to the minimum.
+  EXPECT_EQ(obs::TraceBuffer(0, 0).capacity(), 8u);
+  EXPECT_EQ(obs::TraceBuffer(0, 1).capacity(), 8u);
+}
+
+TEST(TraceBufferTest, EmitIsNoOpWhileDisabled) {
+  obs::TraceBuffer Ring(3, 16);
+  ASSERT_FALSE(Ring.enabled());
+  Ring.emit(obs::TraceEventKind::UserMark, 7, 1);
+  EXPECT_EQ(Ring.written(), 0u);
+  EXPECT_TRUE(Ring.snapshot().empty());
+
+  Ring.setEnabled(true);
+  Ring.emit(obs::TraceEventKind::UserMark, 7, 1);
+  EXPECT_EQ(Ring.written(), 1u);
+
+  Ring.setEnabled(false);
+  Ring.emit(obs::TraceEventKind::UserMark, 7, 2);
+  EXPECT_EQ(Ring.written(), 1u);
+}
+
+TEST(TraceBufferTest, EmitStampsTimeAndOwnerVp) {
+  obs::TraceBuffer Ring(5, 16);
+  Ring.setEnabled(true);
+  Ring.emit(obs::TraceEventKind::StealCommit, 42, 9);
+  std::vector<obs::TraceEvent> Events = Ring.snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].kind(), obs::TraceEventKind::StealCommit);
+  EXPECT_EQ(Events[0].ThreadId, 42u);
+  EXPECT_EQ(Events[0].Payload, 9u);
+  EXPECT_EQ(Events[0].VpId, 5u);
+  EXPECT_GT(Events[0].TimeNanos, 0u);
+}
+
+TEST(TraceBufferTest, WraparoundKeepsMostRecentInOrder) {
+  obs::TraceBuffer Ring(0, 8);
+  ASSERT_EQ(Ring.capacity(), 8u);
+  for (std::uint64_t I = 0; I != 20; ++I)
+    Ring.push(makeEvent(1000 + I, obs::TraceEventKind::UserMark, I,
+                        static_cast<std::uint32_t>(I)));
+
+  EXPECT_EQ(Ring.written(), 20u);
+  EXPECT_EQ(Ring.dropped(), 12u); // 20 pushed, 8 retained
+
+  std::vector<obs::TraceEvent> Events = Ring.snapshot();
+  ASSERT_EQ(Events.size(), 8u);
+  // The window is the last capacity() events, oldest first.
+  for (std::uint64_t I = 0; I != 8; ++I) {
+    EXPECT_EQ(Events[I].ThreadId, 12 + I);
+    EXPECT_EQ(Events[I].TimeNanos, 1012 + I);
+  }
+}
+
+TEST(TraceBufferTest, NoDropsBeforeCapacity) {
+  obs::TraceBuffer Ring(0, 8);
+  for (std::uint64_t I = 0; I != 8; ++I)
+    Ring.push(makeEvent(I, obs::TraceEventKind::UserMark, I, 0));
+  EXPECT_EQ(Ring.dropped(), 0u);
+  EXPECT_EQ(Ring.snapshot().size(), 8u);
+}
+
+TEST(TraceBufferTest, PushBypassesEnabledGate) {
+  // push() is the deterministic-replay entry point; it must work on a
+  // disabled ring so tests can build rings without racing the gate.
+  obs::TraceBuffer Ring(0, 8);
+  ASSERT_FALSE(Ring.enabled());
+  Ring.push(makeEvent(1, obs::TraceEventKind::Dispatch, 1, 0));
+  EXPECT_EQ(Ring.written(), 1u);
+}
+
+TEST(TraceBufferTest, ThreadLocalSinkRoutesMark) {
+  obs::TraceBuffer Ring(2, 8);
+  Ring.setEnabled(true);
+
+  // No sink installed: mark() drops the event (off-substrate caller).
+  obs::setThreadTraceBuffer(nullptr);
+  obs::mark(11, 0);
+  EXPECT_EQ(Ring.written(), 0u);
+
+  obs::setThreadTraceBuffer(&Ring);
+  obs::mark(11, 123);
+  obs::setThreadTraceBuffer(nullptr);
+
+  std::vector<obs::TraceEvent> Events = Ring.snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].kind(), obs::TraceEventKind::UserMark);
+  EXPECT_EQ(Events[0].Payload, 123u);
+}
+
+TEST(TraceBufferTest, EnqueuePayloadPacksDepthAndReason) {
+  std::uint32_t P = obs::enqueuePayload(5, 3);
+  EXPECT_EQ(P & 0xffffffu, 5u);
+  EXPECT_EQ(P >> 24, 3u);
+  // Depth saturates at 24 bits instead of corrupting the reason byte.
+  std::uint32_t Big = obs::enqueuePayload(std::size_t(1) << 30, 2);
+  EXPECT_EQ(Big & 0xffffffu, 0xffffffu);
+  EXPECT_EQ(Big >> 24, 2u);
+}
+
+TEST(TraceBufferTest, KindNamesAreUniqueAndWellFormed) {
+  std::set<std::string> Names;
+  unsigned NumKinds =
+      static_cast<unsigned>(obs::TraceEventKind::NumKinds);
+  for (unsigned K = 0; K != NumKinds; ++K) {
+    const char *Name =
+        obs::traceEventKindName(static_cast<obs::TraceEventKind>(K));
+    ASSERT_NE(Name, nullptr);
+    EXPECT_NE(Name[0], '\0');
+    // Names land in JSON string literals: lower_snake_case only.
+    for (const char *C = Name; *C; ++C)
+      EXPECT_TRUE((*C >= 'a' && *C <= 'z') || *C == '_')
+          << "bad char in kind name: " << Name;
+    EXPECT_TRUE(Names.insert(Name).second) << "duplicate name: " << Name;
+  }
+}
+
+TEST(TraceBufferTest, EventRecordStaysCompact) {
+  // 24 bytes keeps a 16K-entry ring under 400KB per VP; growing the record
+  // is a deliberate decision, not an accident of adding a field.
+  static_assert(sizeof(obs::TraceEvent) == 24);
+  SUCCEED();
+}
+
+} // namespace

@@ -73,4 +73,61 @@ TEST(HistogramTest, HugeSampleClampsToLastBucket) {
   EXPECT_GT(H.quantileNanos(1.0), 0u);
 }
 
+TEST(HistogramTest, NamedPercentilesMatchQuantiles) {
+  Histogram H;
+  for (int I = 0; I != 100; ++I)
+    H.record(static_cast<std::uint64_t>(I) * 100);
+  EXPECT_EQ(H.p50Nanos(), H.quantileNanos(0.50));
+  EXPECT_EQ(H.p95Nanos(), H.quantileNanos(0.95));
+  EXPECT_EQ(H.p99Nanos(), H.quantileNanos(0.99));
+  EXPECT_LE(H.p50Nanos(), H.p95Nanos());
+  EXPECT_LE(H.p95Nanos(), H.p99Nanos());
+}
+
+TEST(HistogramTest, MergeCombinesCountsAndBounds) {
+  Histogram A, B;
+  A.record(10);
+  A.record(20);
+  B.record(5);
+  B.record(100000);
+  A.merge(B);
+  EXPECT_EQ(A.count(), 4u);
+  EXPECT_EQ(A.minNanos(), 5u);
+  EXPECT_EQ(A.maxNanos(), 100000u);
+  EXPECT_DOUBLE_EQ(A.meanNanos(), (10.0 + 20.0 + 5.0 + 100000.0) / 4.0);
+}
+
+TEST(HistogramTest, MergeMatchesDirectRecording) {
+  // Splitting a sample stream across two histograms and merging must give
+  // the same quantiles as recording everything into one.
+  Histogram Split1, Split2, Direct;
+  for (int I = 0; I != 200; ++I) {
+    std::uint64_t Sample = static_cast<std::uint64_t>(I * I);
+    ((I % 2) ? Split1 : Split2).record(Sample);
+    Direct.record(Sample);
+  }
+  Split1.merge(Split2);
+  EXPECT_EQ(Split1.count(), Direct.count());
+  EXPECT_EQ(Split1.p50Nanos(), Direct.p50Nanos());
+  EXPECT_EQ(Split1.p95Nanos(), Direct.p95Nanos());
+  EXPECT_EQ(Split1.p99Nanos(), Direct.p99Nanos());
+  EXPECT_EQ(Split1.minNanos(), Direct.minNanos());
+  EXPECT_EQ(Split1.maxNanos(), Direct.maxNanos());
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram A, Empty;
+  A.record(42);
+  A.merge(Empty);
+  EXPECT_EQ(A.count(), 1u);
+  EXPECT_EQ(A.minNanos(), 42u);
+  EXPECT_EQ(A.maxNanos(), 42u);
+
+  Histogram B;
+  B.merge(A); // merging into an empty histogram adopts the other's bounds
+  EXPECT_EQ(B.count(), 1u);
+  EXPECT_EQ(B.minNanos(), 42u);
+  EXPECT_EQ(B.maxNanos(), 42u);
+}
+
 } // namespace

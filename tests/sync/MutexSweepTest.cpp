@@ -70,8 +70,13 @@ INSTANTIATE_TEST_SUITE_P(
                       SpinConfig{10000, 64} // spin-heavy
                       ),
     [](const ::testing::TestParamInfo<SpinConfig> &Info) {
-      return "a" + std::to_string(Info.param.Active) + "_p" +
-             std::to_string(Info.param.Passive);
+      // Built with += rather than operator+ chains: GCC 12's -Wrestrict
+      // misfires on the temporary-string concatenation under -O2.
+      std::string Name = "a";
+      Name += std::to_string(Info.param.Active);
+      Name += "_p";
+      Name += std::to_string(Info.param.Passive);
+      return Name;
     });
 
 TEST(MutexEscalationTest, ZeroSpinsAlwaysBlockOnContention) {
