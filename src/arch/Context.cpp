@@ -10,6 +10,10 @@
 
 #include <cstring>
 
+#if STING_ASAN_CONTEXT
+#include <pthread.h>
+#endif
+
 namespace sting {
 
 extern "C" void stingContextTrampoline();
@@ -48,6 +52,28 @@ void initContext(Context &Ctx, void *StackBase, std::size_t StackSize,
   if (!Ctx.TsanFiber)
     Ctx.TsanFiber = __tsan_create_fiber(0);
 #endif
+#if STING_ASAN_CONTEXT
+  Ctx.AsanStackBottom = StackBase;
+  Ctx.AsanStackSize = StackSize;
+  // A stale fake-stack save from the stack's previous occupant must not be
+  // consumed by the fresh context's first resume.
+  Ctx.AsanFakeStack = nullptr;
+#endif
 }
+
+#if STING_ASAN_CONTEXT
+void asanCaptureNativeStack(Context &Ctx) {
+  pthread_attr_t Attr;
+  if (pthread_getattr_np(pthread_self(), &Attr) != 0)
+    return;
+  void *Base = nullptr;
+  std::size_t Size = 0;
+  if (pthread_attr_getstack(&Attr, &Base, &Size) == 0) {
+    Ctx.AsanStackBottom = Base;
+    Ctx.AsanStackSize = Size;
+  }
+  pthread_attr_destroy(&Attr);
+}
+#endif
 
 } // namespace sting

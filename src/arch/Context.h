@@ -37,6 +37,23 @@
 #include <sanitizer/tsan_interface.h>
 #endif
 
+// AddressSanitizer likewise tracks one stack region per OS thread; a
+// user-level switch must be bracketed with start/finish_switch_fiber or
+// ASan misattributes the live stack (and __asan_handle_no_return — run on
+// every throw — unpoisons garbage bounds). Each Context records its stack
+// extent; native thread stacks (a PP's PpCtx) are captured lazily the
+// first time they are switched away from.
+#if defined(__SANITIZE_ADDRESS__)
+#define STING_ASAN_CONTEXT 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define STING_ASAN_CONTEXT 1
+#endif
+#endif
+#if STING_ASAN_CONTEXT
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace sting {
 
 /// A suspended user-level execution context.
@@ -50,6 +67,16 @@ struct Context {
   /// is switched away from. Fibers are retained for reuse when a context
   /// is re-initialized (TCB caching), never destroyed.
   void *TsanFiber = nullptr;
+#endif
+#if STING_ASAN_CONTEXT
+  /// Lowest address of this context's stack; set by initContext for fiber
+  /// stacks, captured from pthread attributes for native stacks. Null
+  /// means "not yet known" (a native stack never switched away from).
+  const void *AsanStackBottom = nullptr;
+  std::size_t AsanStackSize = 0;
+  /// ASan fake-stack handle saved when this context last switched away;
+  /// consumed (and cleared) when it resumes.
+  void *AsanFakeStack = nullptr;
 #endif
 };
 
@@ -70,16 +97,43 @@ extern "C" {
 void stingContextSwitch(Context *From, Context *To);
 } // extern "C"
 
+#if STING_ASAN_CONTEXT
+/// Records the calling OS thread's stack extent into \p Ctx (used for
+/// native contexts, whose stacks we did not allocate).
+void asanCaptureNativeStack(Context &Ctx);
+#endif
+
+/// Must be the first act of every fresh-context entry function (before any
+/// ASan-instrumented frame does real work): tells ASan the switch into
+/// this brand-new fiber completed. No-op without ASan.
+inline void enteredContext() {
+#if STING_ASAN_CONTEXT
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+}
+
 /// The substrate's context-switch entry point: annotates the fiber change
-/// for ThreadSanitizer (no-op otherwise) and performs the switch. \p To
-/// must be initialized (initContext) or previously switched away from.
+/// for Thread/AddressSanitizer (no-op otherwise) and performs the switch.
+/// \p To must be initialized (initContext) or previously switched away
+/// from.
 inline void switchContext(Context &From, Context &To) {
 #if STING_TSAN_CONTEXT
   if (!From.TsanFiber)
     From.TsanFiber = __tsan_get_current_fiber();
   __tsan_switch_to_fiber(To.TsanFiber, 0);
 #endif
+#if STING_ASAN_CONTEXT
+  if (!From.AsanStackBottom)
+    asanCaptureNativeStack(From);
+  __sanitizer_start_switch_fiber(&From.AsanFakeStack, To.AsanStackBottom,
+                                 To.AsanStackSize);
+#endif
   stingContextSwitch(&From, &To);
+#if STING_ASAN_CONTEXT
+  // Back on From's stack: complete the switch that resumed us.
+  __sanitizer_finish_switch_fiber(From.AsanFakeStack, nullptr, nullptr);
+  From.AsanFakeStack = nullptr;
+#endif
 }
 
 } // namespace sting

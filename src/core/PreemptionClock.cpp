@@ -50,6 +50,21 @@ void PreemptionClock::scheduleResume(ThreadRef T, std::uint64_t DelayNanos) {
   TimerCv.notify_all();
 }
 
+void PreemptionClock::scheduleTimeout(ThreadRef T, std::uint64_t ParkSeq,
+                                      std::uint64_t DeadlineNanos) {
+  {
+    std::lock_guard<std::mutex> Guard(TimerLock);
+    Timers.push(Timer{DeadlineNanos, std::move(T), Timer::Kind::KernelTimeout,
+                      ParkSeq});
+  }
+  TimerCv.notify_all();
+}
+
+std::size_t PreemptionClock::pendingTimers() const {
+  std::lock_guard<std::mutex> Guard(TimerLock);
+  return Timers.size();
+}
+
 void PreemptionClock::raisePreemptFlags(std::uint64_t Now) {
   for (const auto &Vp : Vm->vps()) {
     std::uint64_t Deadline = Vp->SliceDeadline.load(std::memory_order_relaxed);
@@ -62,17 +77,26 @@ void PreemptionClock::raisePreemptFlags(std::uint64_t Now) {
 
 void PreemptionClock::fireDueTimers(std::uint64_t Now) {
   // Collect due targets under the lock, resume them outside it: threadRun
-  // walks thread/queue locks that must not nest inside TimerLock.
-  std::vector<ThreadRef> Due;
+  // and deliverTimeout walk thread/queue locks that must not nest inside
+  // TimerLock.
+  std::vector<Timer> Due;
   {
     std::lock_guard<std::mutex> Guard(TimerLock);
     while (!Timers.empty() && Timers.top().DeadlineNanos <= Now) {
-      Due.push_back(Timers.top().Target);
+      Due.push_back(Timers.top());
       Timers.pop();
     }
   }
-  for (const ThreadRef &T : Due)
-    ThreadController::threadRun(*T);
+  for (const Timer &T : Due) {
+    switch (T.What) {
+    case Timer::Kind::Resume:
+      ThreadController::threadRun(*T.Target);
+      break;
+    case Timer::Kind::KernelTimeout:
+      ThreadController::deliverTimeout(*T.Target, T.ParkSeq);
+      break;
+    }
+  }
 }
 
 void PreemptionClock::run() {

@@ -55,6 +55,18 @@ public:
   /// is still suspended at that point.
   void scheduleResume(ThreadRef T, std::uint64_t DelayNanos);
 
+  /// Arms a timed-park timeout: at the absolute monotonic time
+  /// \p DeadlineNanos, wakes \p T's TCB if it is still in park generation
+  /// \p ParkSeq (ThreadController::deliverTimeout). Used by
+  /// parkCurrent for every timed kernel park.
+  void scheduleTimeout(ThreadRef T, std::uint64_t ParkSeq,
+                       std::uint64_t DeadlineNanos);
+
+  /// Number of timers currently armed (resumes + park timeouts); a
+  /// heartbeat input for the stall watchdog — a machine with live threads,
+  /// no ready work and no pending timers is wedged.
+  std::size_t pendingTimers() const;
+
   /// Number of preempt flags raised so far (for tests/benches).
   std::uint64_t preemptsRaised() const {
     return Raised.load(std::memory_order_relaxed);
@@ -68,8 +80,14 @@ private:
   void raisePreemptFlags(std::uint64_t Now);
 
   struct Timer {
+    enum class Kind : std::uint8_t {
+      Resume,        ///< threadRun the target (suspend quantum elapsed)
+      KernelTimeout, ///< deliverTimeout to the target's parked TCB
+    };
     std::uint64_t DeadlineNanos;
     ThreadRef Target;
+    Kind What = Kind::Resume;
+    std::uint64_t ParkSeq = 0; ///< valid for KernelTimeout
     bool operator>(const Timer &RHS) const {
       return DeadlineNanos > RHS.DeadlineNanos;
     }
@@ -81,7 +99,7 @@ private:
   std::atomic<bool> Stopping{false};
   std::atomic<std::uint64_t> Raised{0};
 
-  std::mutex TimerLock;
+  mutable std::mutex TimerLock;
   std::condition_variable TimerCv;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> Timers;
 

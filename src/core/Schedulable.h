@@ -28,8 +28,16 @@ class Tcb;
 /// Tag for the ready-queue hook shared by Thread and Tcb.
 struct ReadyQueueTag;
 
+/// Tag for the waiter-queue hook (ParkList). Distinct from the ready-queue
+/// hook: a timeout or async raise unparks a kernel-parked TCB *without*
+/// unlinking it from its waiter list (only the structure's own lock may do
+/// that), so the TCB can transiently sit in a waiter list and a ready
+/// queue at once. The waiter re-retracts its node itself on resume.
+struct WaiterQueueTag;
+
 /// Base class for objects a policy manager can enqueue and dispatch.
-class Schedulable : public ListNode<ReadyQueueTag> {
+class Schedulable : public ListNode<ReadyQueueTag>,
+                    public ListNode<WaiterQueueTag> {
 public:
   enum class Kind : std::uint8_t {
     Thread, ///< A scheduled thread with no dynamic context yet.

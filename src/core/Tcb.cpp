@@ -19,7 +19,7 @@ Tcb::~Tcb() {
 
 gc::LocalHeap &Tcb::ensureHeap() {
   if (!Heap)
-    Heap = new gc::LocalHeap(Vp->vm().globalHeap());
+    Heap = new gc::LocalHeap(vp()->vm().globalHeap());
   return *Heap;
 }
 

@@ -89,8 +89,11 @@ public:
   /// the stolen thunk runs on the toucher's TCB).
   Thread *activeThread() const { return Active; }
 
-  /// The VP the TCB last ran on.
-  VirtualProcessor *vp() const { return Vp; }
+  /// The VP the TCB last ran on. Relaxed: cross-thread readers (wakeup
+  /// stats attribution on the clock thread) only need *a* recent value;
+  /// readers that act on it (post-park enqueue) are ordered through the
+  /// acquire/release protocol on Park.
+  VirtualProcessor *vp() const { return Vp.load(std::memory_order_relaxed); }
 
   // --- Requested transitions -------------------------------------------
 
@@ -136,6 +139,20 @@ public:
   /// (e.g. scheduleResume) and completing the park.
   std::atomic<bool> PendingUserWake{false};
 
+  /// The kernel-class counterpart: a structure wakeup (ParkList::wakeOne,
+  /// a barrier completion, a timeout) that landed while the TCB was
+  /// transiently Running — e.g. between a spurious return from a park and
+  /// the re-park. Consumed at the next kernel park, which it cancels, so
+  /// every kernel park site must tolerate spurious returns by re-checking
+  /// its condition in a loop (see ParkList::awaitUntil).
+  std::atomic<bool> PendingKernelWake{false};
+
+  /// Park generation, bumped at every park entry. Timed parks arm a clock
+  /// timer carrying the generation; delivery is dropped unless it still
+  /// matches, so a stale timer can never wake a later park (see
+  /// ThreadController::deliverTimeout).
+  std::atomic<std::uint64_t> ParkSeq{0};
+
   // --- Barrier bookkeeping (paper section 4.3) --------------------------
 
   /// "Associated with a TCB structure is information on the number of
@@ -160,7 +177,12 @@ private:
   Stack *Stk = nullptr;
   ThreadRef Current;
   Thread *Active = nullptr;
-  VirtualProcessor *Vp = nullptr;
+  /// Written by the dispatching scheduler (switchInto/runFresh) while the
+  /// clock thread may concurrently read it for stats — hence atomic, but
+  /// always accessed relaxed (see vp()).
+  std::atomic<VirtualProcessor *> Vp{nullptr};
+
+  void setVp(VirtualProcessor *P) { Vp.store(P, std::memory_order_relaxed); }
 
   std::atomic<std::uint32_t> Requests{0};
   std::uint64_t SuspendQuantumNanos = 0;

@@ -250,4 +250,44 @@ void Thread::join() {
   EJ.Cv.wait(Lock, [&] { return EJ.Done; });
 }
 
+bool Thread::joinFor(Deadline D) {
+  if (D.isNever()) {
+    join();
+    return true;
+  }
+  if (isDetermined())
+    return true;
+
+  STING_CHECK(!onStingThread() || &currentThread()->vm() != Vm,
+              "joinFor() called from inside the machine; use threadWaitFor");
+
+  ExternalJoin EJ;
+  ThreadBarrier TB;
+  TB.Kind = ThreadBarrier::WaiterKind::ExternalWaiter;
+  TB.ExternalSignal = &EJ;
+  if (!addWaiter(TB))
+    return true; // determined in the meantime
+
+  {
+    std::unique_lock<std::mutex> Lock(EJ.M);
+    while (!EJ.Done) {
+      std::uint64_t Rem = D.remainingNanos();
+      if (Rem == 0)
+        break;
+      EJ.Cv.wait_for(Lock, std::chrono::nanoseconds(Rem));
+    }
+    if (EJ.Done)
+      return true;
+  }
+
+  // Timed out: retract the record so the stack frame can pop. If the
+  // record is already gone, determine() is (or was) signalling it — wait
+  // out the handshake, then report success.
+  if (removeWaiter(TB))
+    return false;
+  std::unique_lock<std::mutex> Lock(EJ.M);
+  EJ.Cv.wait(Lock, [&] { return EJ.Done; });
+  return true;
+}
+
 } // namespace sting

@@ -29,6 +29,7 @@
 
 #include "core/Schedulable.h"
 #include "support/AnyValue.h"
+#include "support/Deadline.h"
 #include "support/IntrusivePtr.h"
 #include "support/SpinLock.h"
 #include "support/UniqueFunction.h"
@@ -130,6 +131,11 @@ public:
   /// use from outside the virtual machine (e.g. main). Inside a sting
   /// thread, use sting::threadWait, which blocks via the thread controller.
   void join();
+
+  /// Timed join. \returns true once determined, false if \p D expired
+  /// first; a timed-out joiner retracts its waiter record before
+  /// returning. Same calling rules as join().
+  bool joinFor(Deadline D);
 
   /// True if the thread is evaluating and currently parked by
   /// thread-block / thread-suspend (i.e. resumable by threadRun). Racy by

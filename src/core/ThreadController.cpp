@@ -23,6 +23,7 @@
 #include "core/PhysicalProcessor.h"
 #include "core/VirtualMachine.h"
 #include "core/VirtualProcessor.h"
+#include "support/Chaos.h"
 #include "support/Clock.h"
 
 #include <exception>
@@ -35,6 +36,17 @@ namespace {
 /// Thrown by terminateSelf while executing a *stolen* thunk: unwinds only
 /// the stolen evaluation, back to runStolen's handler on the same TCB.
 struct StealTerminated {
+  AnyValue Result;
+};
+
+/// Thrown to deliver a thread-terminate request at steal depth zero: the
+/// whole thread body unwinds — releasing mutexes, retracting waiter-queue
+/// registrations, running destructors — before runToCompletion catches it
+/// and determines the thread with \p Result. Termination used to bypass
+/// the stack (exitCurrent straight from applyRequests), which leaked any
+/// guard the dying thread held; cancellation-as-unwind is what makes
+/// terminating a thread parked inside a primitive safe (DESIGN.md 7.2).
+struct ThreadTerminated {
   AnyValue Result;
 };
 
@@ -123,19 +135,24 @@ void ThreadController::threadRun(Thread &T, VirtualProcessor *Vp) {
 // Park / unpark protocol
 //===----------------------------------------------------------------------===//
 
-void ThreadController::parkCurrent(ParkClass Class, const void *Blocker) {
+void ThreadController::parkCurrent(ParkClass Class, const void *Blocker,
+                                   Deadline D) {
   STING_CHECK(onStingThread(), "parkCurrent outside a sting thread");
   Tcb &C = *currentTcb();
-  C.Vp->stats().Blocks.inc();
+  C.vp()->stats().Blocks.inc();
 
-  // A terminate or raise request that raced ahead of a *user* park would
-  // otherwise strand the target: nothing is obliged to resume a
-  // user-parked thread. (Kernel parks must proceed — the thread already
-  // registered with a structure that owes it a wakeup, and unwinding here
-  // would leave those registrations dangling.)
-  if (Class == ParkClass::User &&
-      (C.Requests.load(std::memory_order_acquire) &
-       (ReqTerminate | ReqRaise)))
+  // New park generation: timers armed for earlier parks of this TCB are
+  // now stale and deliverTimeout drops them.
+  const std::uint64_t Seq =
+      C.ParkSeq.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // A terminate or raise request that raced ahead of the park would
+  // strand a *user* park (nothing is obliged to resume it) and would
+  // pointlessly stall a kernel park until its structure's next wake.
+  // Apply it now: kernel park sites retract their waiter-queue
+  // registrations on unwind, so throwing here is safe.
+  if (C.Requests.load(std::memory_order_acquire) &
+      (ReqTerminate | ReqRaise))
     applyRequests(C); // terminates or throws
 
   C.ParkKind = Class;
@@ -156,7 +173,35 @@ void ThreadController::parkCurrent(ParkClass Class, const void *Blocker) {
     return;
   }
 
-  VirtualProcessor &Vp = *C.Vp;
+  if (Class == ParkClass::Kernel) {
+    // Chaos: pretend a structure wakeup already landed. This exercises the
+    // real sticky-wake protocol below, so the injected fault is exactly
+    // the spurious return every kernel park site must tolerate.
+    if (STING_CHAOS_FIRE(SpuriousWake)) {
+      STING_TRACE_EVENT(ChaosInject, C.thread()->id(),
+                        static_cast<std::uint32_t>(
+                            chaos::Site::SpuriousWake));
+      C.PendingKernelWake.store(true, std::memory_order_release);
+    }
+    // The kernel counterpart of the sticky user wake: a structure wakeup
+    // that hit this TCB while it was transiently Running (between a
+    // spurious park return and the re-park) cancels this park.
+    if (C.PendingKernelWake.exchange(false, std::memory_order_acq_rel)) {
+      C.Park.store(ParkState::Running, std::memory_order_release);
+      C.ParkKind = ParkClass::None;
+      C.BlockedOn = nullptr;
+      applyRequests(C);
+      return;
+    }
+  }
+
+  // Arm the timeout only once the park is committed; the timer races the
+  // switch-out harmlessly (unparkTcb handles the Parking window).
+  if (!D.isNever())
+    C.vp()->vm().clock().scheduleTimeout(ThreadRef(C.thread()), Seq,
+                                       D.AtNanos);
+
+  VirtualProcessor &Vp = *C.vp();
   Vp.Action = SchedAction::Park;
   Vp.ActionTcb = &C;
   Vp.ActionReason = Class == ParkClass::User ? EnqueueReason::UserBlock
@@ -172,6 +217,13 @@ void ThreadController::parkCurrent(ParkClass Class, const void *Blocker) {
 
 bool ThreadController::unparkImpl(Tcb &C, EnqueueReason Reason,
                                   bool RequireUser) {
+  // Chaos: stall the wakeup before it touches the park state word,
+  // widening the Parking/Running windows the protocol must cover.
+  if (STING_CHAOS_FIRE(UnparkDelay)) {
+    STING_TRACE_EVENT(ChaosInject, C.thread() ? C.thread()->id() : 0,
+                      static_cast<std::uint32_t>(chaos::Site::UnparkDelay));
+    spinForNanos(2'000);
+  }
   // Wakeups are charged to the waker's VP (single-writer); wakers with no
   // VP — the preemption clock, external joiners — charge the target.
   auto NoteWakeup = [&C](std::uint32_t Payload) {
@@ -217,7 +269,14 @@ bool ThreadController::unparkImpl(Tcb &C, EnqueueReason Reason,
         NoteWakeup(2);
         return true;
       }
-      return false;
+      // Kernel wake onto a transiently-Running TCB: the waiter already
+      // returned from its park (spuriously, by timeout, or popped just as
+      // it gave up) and is between re-checks. Dropping the wake here
+      // could strand its re-park forever; leave the kernel sticky wake,
+      // which the next kernel park consumes and cancels.
+      C.PendingKernelWake.store(true, std::memory_order_release);
+      NoteWakeup(3);
+      return true;
     case ParkState::WakeupPending:
       return false; // someone else already woke it
     }
@@ -226,6 +285,20 @@ bool ThreadController::unparkImpl(Tcb &C, EnqueueReason Reason,
 
 bool ThreadController::unparkTcb(Tcb &C, EnqueueReason Reason) {
   return unparkImpl(C, Reason, /*RequireUser=*/false);
+}
+
+void ThreadController::deliverTimeout(Thread &T, std::uint64_t ParkSeq) {
+  // Runs on the machine clock's OS thread. The waiter lock pins the TCB;
+  // the generation check drops timers whose park already ended — a stale
+  // delivery that slips past it anyway (same generation, waiter mid-wake)
+  // only produces a spurious return, which every kernel park tolerates.
+  std::lock_guard<SpinLock> Guard(T.WaiterLock);
+  if (T.state() != ThreadState::Evaluating)
+    return;
+  Tcb *C = T.OwnedTcb;
+  if (!C || C->ParkSeq.load(std::memory_order_acquire) != ParkSeq)
+    return;
+  unparkTcb(*C, EnqueueReason::KernelBlock);
 }
 
 bool ThreadController::unparkTcbIfUser(Tcb &C, EnqueueReason Reason) {
@@ -244,7 +317,7 @@ void ThreadController::threadSuspend(std::uint64_t QuantumNanos) {
   STING_CHECK(onStingThread(), "threadSuspend outside a sting thread");
   Tcb &C = *currentTcb();
   if (QuantumNanos != 0)
-    C.Vp->vm().clock().scheduleResume(ThreadRef(C.thread()), QuantumNanos);
+    C.vp()->vm().clock().scheduleResume(ThreadRef(C.thread()), QuantumNanos);
   parkCurrent(ParkClass::User, "thread-suspend");
 }
 
@@ -274,9 +347,15 @@ void ThreadController::threadSuspend(Thread &T, std::uint64_t QuantumNanos) {
 
 void ThreadController::blockOnGroup(std::size_t Count,
                                     std::span<Thread *const> Group) {
+  (void)blockOnGroupUntil(Count, Group, Deadline::never());
+}
+
+WaitResult ThreadController::blockOnGroupUntil(std::size_t Count,
+                                               std::span<Thread *const> Group,
+                                               Deadline D) {
   STING_CHECK(onStingThread(), "blockOnGroup outside a sting thread");
   if (Count == 0)
-    return;
+    return WaitResult::Ready;
   STING_CHECK(Count <= Group.size(), "blockOnGroup count exceeds group");
 
   Tcb &C = *currentTcb();
@@ -289,6 +368,44 @@ void ThreadController::blockOnGroup(std::size_t Count,
 
   std::vector<ThreadBarrier> Records(Group.size());
   std::vector<std::uint8_t> Registered(Group.size(), 0);
+
+  // Every exit — completion, timeout, or an async terminate/raise
+  // unwinding out of the park — must retract the registrations before the
+  // stack frame holding Records pops; a record already absent was fully
+  // processed under its target's waiter lock (lifetime protocol in
+  // Thread.h), so popping the frame after this guard runs is safe.
+  struct DeregisterOnExit {
+    std::span<Thread *const> Group;
+    std::vector<ThreadBarrier> &Records;
+    std::vector<std::uint8_t> &Registered;
+    Tcb &C;
+    ~DeregisterOnExit() {
+      for (std::size_t I = 0; I != Group.size(); ++I)
+        if (Registered[I])
+          Group[I]->removeWaiter(Records[I]);
+      C.WaitCount.store(0, std::memory_order_relaxed);
+    }
+  } Guard{Group, Records, Registered, C};
+
+  // Liveness: the wait completes only if at least Count members run to
+  // determination, but a delayed member sits on no ready queue — the steal
+  // fast path was the only other thing that would ever run it, and it may
+  // have declined (depth bound, state race, injected fault). Blocking on a
+  // thread is a demand for its value, so schedule just enough delayed
+  // members to cover the deficit. No more than that: a wait-for-one over a
+  // forked favorite and a delayed fallback must leave the fallback lazy.
+  std::size_t Progressing = 0;
+  for (Thread *T : Group)
+    if (T->state() != ThreadState::Delayed)
+      ++Progressing;
+  for (std::size_t I = 0; I != Group.size() && Progressing < Count; ++I)
+    if (Group[I]->state() == ThreadState::Delayed) {
+      if (Group[I]->tryTransition(ThreadState::Delayed,
+                                  ThreadState::Scheduled))
+        scheduleThread(*Group[I], nullptr, EnqueueReason::Delayed);
+      ++Progressing; // scheduled by us, or raced into a live state
+    }
+
   std::size_t AlreadyDone = 0;
   for (std::size_t I = 0; I != Group.size(); ++I) {
     Records[I].Kind = ThreadBarrier::WaiterKind::TcbWaiter;
@@ -308,17 +425,17 @@ void ThreadController::blockOnGroup(std::size_t Count,
     MustPark = NewValue > 0;
   }
 
-  if (MustPark)
-    parkCurrent(ParkClass::Kernel, Group.data());
-
-  // Deregister leftover records so our stack frame becomes unreachable.
-  // A record already absent was fully processed under its target's waiter
-  // lock (lifetime protocol in Thread.h), so popping the frame is safe.
-  for (std::size_t I = 0; I != Group.size(); ++I)
-    if (Registered[I])
-      Group[I]->removeWaiter(Records[I]);
-
-  C.WaitCount.store(0, std::memory_order_relaxed);
+  // Re-check the count around every park: wakeWaiter decrements it before
+  // unparking, so a wake that lands while we are transiently Running is
+  // observed here (and any park it cancelled was spurious by definition).
+  while (MustPark && C.WaitCount.load(std::memory_order_acquire) > 0) {
+    if (D.expired()) {
+      STING_TRACE_EVENT(TimeoutFired, C.thread()->id(), 0);
+      return WaitResult::Timeout;
+    }
+    parkCurrent(ParkClass::Kernel, Group.data(), D);
+  }
+  return WaitResult::Ready;
 }
 
 void ThreadController::threadWait(Thread &T) {
@@ -335,6 +452,21 @@ void ThreadController::threadWait(Thread &T) {
   blockOnGroup(1, std::span<Thread *const>(&Target, 1));
 }
 
+bool ThreadController::threadWaitFor(Thread &T, Deadline D) {
+  if (T.isDetermined())
+    return true;
+  if (!onStingThread())
+    return T.joinFor(D);
+  STING_CHECK(&T != currentThread(), "thread waiting on itself");
+  // Stealing makes progress instead of waiting, so it beats any deadline
+  // the blocking path could honor.
+  if (T.isStealable() && trySteal(T))
+    return true;
+  Thread *Target = &T;
+  return blockOnGroupUntil(1, std::span<Thread *const>(&Target, 1), D) ==
+         WaitResult::Ready;
+}
+
 const AnyValue &ThreadController::threadValue(Thread &T) {
   threadWait(T);
   T.rethrowIfFailed();
@@ -349,20 +481,29 @@ bool ThreadController::trySteal(Thread &T) {
   if (!onStingThread())
     return false;
   Tcb &C = *currentTcb();
-  C.Vp->stats().StealsAttempted.inc();
+  C.vp()->stats().StealsAttempted.inc();
   STING_TRACE_EVENT(StealAttempt, T.id(), 0);
+  // Chaos: refuse a perfectly stealable thread, forcing the caller onto
+  // the blocking path it would otherwise skip.
+  if (STING_CHAOS_FIRE(StealDeny)) {
+    STING_TRACE_EVENT(ChaosInject, T.id(),
+                      static_cast<std::uint32_t>(chaos::Site::StealDeny));
+    C.vp()->stats().StealsFailed.inc();
+    STING_TRACE_EVENT(StealFail, T.id(), 2);
+    return false;
+  }
   // Every steal nests the stolen thunk on this TCB's stack; beyond the
   // machine's depth bound, fall back to blocking so deep dependency
   // chains cannot overflow it.
   if (C.StealDepth >= T.vm().config().MaxStealDepth) {
-    C.Vp->stats().StealsFailed.inc();
+    C.vp()->stats().StealsFailed.inc();
     STING_TRACE_EVENT(StealFail, T.id(), 1);
     return false;
   }
   for (;;) {
     ThreadState S = T.state();
     if (S != ThreadState::Delayed && S != ThreadState::Scheduled) {
-      C.Vp->stats().StealsFailed.inc();
+      C.vp()->stats().StealsFailed.inc();
       STING_TRACE_EVENT(StealFail, T.id(), 0);
       return false;
     }
@@ -372,7 +513,7 @@ bool ThreadController::trySteal(Thread &T) {
   runStolen(T);
   // C.Vp may have moved while the stolen thunk ran; charge wherever the
   // stealer resumed.
-  C.Vp->stats().StealsSucceeded.inc();
+  C.vp()->stats().StealsSucceeded.inc();
   STING_TRACE_EVENT(StealCommit, T.id(), 0);
   return true;
 }
@@ -403,7 +544,7 @@ void ThreadController::runStolen(Thread &T) {
   --C.StealDepth;
   C.Active = Previous;
   T.vm().stats().Steals.fetch_add(1, std::memory_order_relaxed);
-  C.Vp->stats().ThreadsTerminated.inc();
+  C.vp()->stats().ThreadsTerminated.inc();
   STING_TRACE_EVENT(ThreadExit, T.id(), 1);
 
   // A terminate request aimed at the stealer may have been re-armed while
@@ -446,11 +587,12 @@ bool ThreadController::threadTerminate(Thread &T, AnyValue Result) {
         continue; // binding in flight; retry
       C->PendingTerminateValue = std::move(Result);
       C->requestTerminate();
-      // Let suspended / user-blocked targets die promptly. Kernel parks
-      // stay put: their owning structure will resume them, and the request
-      // fires at that controller exit. Holding the waiter lock keeps the
-      // TCB from being recycled underneath us.
-      unparkTcbIfUser(*C, EnqueueReason::UserBlock);
+      // Wake the target whatever it is parked in. A kernel-parked waiter
+      // returns spuriously into its primitive's re-check loop, which
+      // applies the request at the park exit; the unwind then retracts its
+      // waiter-queue registration (DESIGN.md 7.2). Holding the waiter lock
+      // keeps the TCB from being recycled underneath us.
+      unparkTcb(*C, EnqueueReason::KernelBlock);
       return true;
     }
     }
@@ -487,7 +629,10 @@ bool ThreadController::raiseIn(Thread &T, std::exception_ptr E) {
         continue; // binding in flight
       C->PendingException = E;
       C->Requests.fetch_or(ReqRaise, std::memory_order_release);
-      unparkTcbIfUser(*C, EnqueueReason::UserBlock);
+      // Deliver through kernel parks too: the woken waiter's park exit
+      // rethrows, and the primitive's unwind guards keep its waiter queue
+      // intact (the satellite fix for raiseIn-while-blocked).
+      unparkTcb(*C, EnqueueReason::KernelBlock);
       return true;
     }
     }
@@ -498,7 +643,10 @@ void ThreadController::terminateSelf(AnyValue Result) {
   Tcb &C = *currentTcb();
   if (C.StealDepth > 0 && C.Active != C.thread())
     throw StealTerminated{std::move(Result)}; // unwind just the stolen thunk
-  exitCurrent(std::move(Result), /*ViaTerminate=*/true);
+  // Unwind rather than exit in place so every guard on the dying stack —
+  // mutex releases, waiter-queue registrations — runs before the thread
+  // determines. runToCompletion turns this back into a terminate.
+  throw ThreadTerminated{std::move(Result)};
 }
 
 void ThreadController::exitCurrent(AnyValue Result, bool ViaTerminate) {
@@ -506,7 +654,7 @@ void ThreadController::exitCurrent(AnyValue Result, bool ViaTerminate) {
   Thread &T = *C.thread();
   T.determine(std::move(Result), ViaTerminate);
 
-  VirtualProcessor &Vp = *C.Vp;
+  VirtualProcessor &Vp = *C.vp();
   Vp.stats().ThreadsTerminated.inc();
   STING_TRACE_EVENT(ThreadExit, T.id(), 0);
   Vp.Action = SchedAction::Exit;
@@ -526,10 +674,15 @@ void ThreadController::runToCompletion(Tcb &C) {
   bool ViaTerminate = false;
   try {
     Value = T.Code();
+  } catch (ThreadTerminated &E) {
+    // A terminate request (or terminateSelf) unwound the whole body; the
+    // guards on the dying stack have run by the time we get here.
+    Value = std::move(E.Result);
+    ViaTerminate = true;
   } catch (StealTerminated &E) {
-    // terminateSelf at steal depth zero would not throw; this can only
-    // escape if a stolen thunk's terminate unwound past user frames that
-    // swallowed it incorrectly. Treat it as termination of this thread.
+    // Stolen-thunk termination unwinding past runStolen can only happen if
+    // user frames swallowed it incorrectly. Treat it as termination of
+    // this thread.
     Value = std::move(E.Result);
     ViaTerminate = true;
   } catch (...) {
@@ -549,7 +702,7 @@ void ThreadController::yieldProcessor() {
   Tcb &C = *currentTcb();
   applyRequests(C);
 
-  VirtualProcessor &Vp = *C.Vp;
+  VirtualProcessor &Vp = *C.vp();
   Vp.Action = SchedAction::Yield;
   Vp.ActionTcb = &C;
   Vp.ActionReason = EnqueueReason::Yielded;
@@ -563,7 +716,7 @@ void ThreadController::checkpoint() {
     return;
   applyRequests(*C);
 
-  VirtualProcessor &Vp = *C->Vp;
+  VirtualProcessor &Vp = *C->vp();
   if (!Vp.PreemptFlag.load(std::memory_order_relaxed))
     return;
   Vp.PreemptFlag.store(false, std::memory_order_relaxed);
@@ -582,7 +735,7 @@ void ThreadController::checkpoint() {
   Vp.Action = SchedAction::Yield;
   Vp.ActionTcb = C;
   Vp.ActionReason = EnqueueReason::Preempted;
-  switchContext(C->Ctx, C->Vp->SchedCtx);
+  switchContext(C->Ctx, C->vp()->SchedCtx);
   applyRequests(*currentTcb());
 }
 
@@ -611,7 +764,11 @@ void ThreadController::applyRequests(Tcb &C) {
       std::lock_guard<SpinLock> Guard(C.thread()->WaiterLock);
       Result = std::move(C.PendingTerminateValue);
     }
-    exitCurrent(std::move(Result), /*ViaTerminate=*/true);
+    STING_TRACE_EVENT(CancelDelivered, C.thread()->id(), 0);
+    // Unwind (not exitCurrent): the target may be deep inside a blocking
+    // primitive whose guards must retract waiter-queue registrations and
+    // release held locks before the thread determines.
+    throw ThreadTerminated{std::move(Result)};
   }
 
   if (R & ReqRaise) {
@@ -630,6 +787,7 @@ void ThreadController::applyRequests(Tcb &C) {
         C.PendingException = E;
         C.Requests.fetch_or(ReqRaise, std::memory_order_release);
       }
+      STING_TRACE_EVENT(CancelDelivered, C.thread()->id(), 1);
       std::rethrow_exception(E);
     }
   }
@@ -637,7 +795,7 @@ void ThreadController::applyRequests(Tcb &C) {
   if (R & ReqSuspend) {
     std::uint64_t Quantum = C.SuspendQuantumNanos;
     if (Quantum != 0)
-      C.Vp->vm().clock().scheduleResume(ThreadRef(C.thread()), Quantum);
+      C.vp()->vm().clock().scheduleResume(ThreadRef(C.thread()), Quantum);
     parkCurrent(ParkClass::User, "thread-suspend-request");
   }
 }

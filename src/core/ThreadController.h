@@ -33,6 +33,7 @@
 #include "core/PolicyManager.h"
 #include "core/Tcb.h"
 #include "core/Thread.h"
+#include "support/Deadline.h"
 
 #include <span>
 
@@ -69,6 +70,12 @@ public:
   /// inline on the caller's TCB instead of blocking — the paper's stealing
   /// optimization (section 4.1.1).
   static void threadWait(Thread &T);
+
+  /// Timed thread-wait. \returns true once \p T is determined, false if
+  /// \p D expired first (the wait leaves no residue on \p T's waiter
+  /// chain). Callable from external OS threads, where it maps to a timed
+  /// join.
+  static bool threadWaitFor(Thread &T, Deadline D);
 
   /// thread-wait followed by reading the result (thread-value).
   static const AnyValue &threadValue(Thread &T);
@@ -121,6 +128,13 @@ public:
   static void blockOnGroup(std::size_t Count,
                            std::span<Thread *const> Group);
 
+  /// Timed blockOnGroup. Registration is retracted on every exit path
+  /// (completion, timeout, async terminate/raise unwinding through the
+  /// park), so the caller's stack records never outlive the call.
+  static WaitResult blockOnGroupUntil(std::size_t Count,
+                                      std::span<Thread *const> Group,
+                                      Deadline D);
+
   // --- Building blocks for higher-level structures (sync/, tuple/) --------
 
   /// Parks the calling thread. \p Class selects who may resume it
@@ -128,7 +142,14 @@ public:
   /// structure that holds it). The caller must have published its TCB to
   /// the waking side *before* calling; the park protocol tolerates wakeups
   /// that arrive between publication and the final context switch.
-  static void parkCurrent(ParkClass Class, const void *Blocker);
+  ///
+  /// With a real \p D the machine clock delivers a wakeup once the
+  /// deadline passes. The return is then indistinguishable from any other
+  /// wake — kernel park sites re-check their condition (and the deadline)
+  /// in a loop, which also makes them tolerant of spurious returns; every
+  /// kernel park may return spuriously (chaos injection exploits this).
+  static void parkCurrent(ParkClass Class, const void *Blocker,
+                          Deadline D = Deadline::never());
 
   /// Resumes a parked TCB; the counterpart of parkCurrent, used by wakeup
   /// paths inside runtime structures. Safe against the Parking window.
@@ -147,6 +168,11 @@ public:
   /// evaluates the thunk on the caller's TCB. \returns true if this call
   /// performed the steal (T is then determined).
   static bool trySteal(Thread &T);
+
+  /// Timeout delivery from the machine clock: wakes \p T's TCB if it is
+  /// still in the park generation \p ParkSeq the timer was armed for.
+  /// Internal — PreemptionClock only.
+  static void deliverTimeout(Thread &T, std::uint64_t ParkSeq);
 
 private:
   friend class VirtualProcessor;

@@ -10,8 +10,10 @@
 #include "core/PhysicalProcessor.h"
 #include "core/ThreadController.h"
 #include "core/VirtualProcessor.h"
+#include "core/Watchdog.h"
 #include "gc/GlobalHeap.h"
 #include "obs/TraceExporter.h"
+#include "support/Chaos.h"
 
 namespace sting {
 
@@ -36,6 +38,7 @@ static VmConfig sanitize(VmConfig Config) {
 VirtualMachine::VirtualMachine(VmConfig InConfig)
     : Config(sanitize(std::move(InConfig))),
       Topo(Config.Topology, Config.NumVps), RootGroup(ThreadGroup::create()) {
+  chaos::initFromEnvOnce();
   for (unsigned I = 0; I != Config.NumVps; ++I)
     Vps.push_back(
         std::make_unique<VirtualProcessor>(*this, I, Config.Policy(*this, I)));
@@ -51,12 +54,18 @@ VirtualMachine::VirtualMachine(VmConfig InConfig)
   Clock = std::make_unique<PreemptionClock>(*this, Config.PreemptTickNanos,
                                             Config.EnablePreemption);
 
+  if (Config.StallBudgetNanos != 0)
+    Dog = std::make_unique<Watchdog>(*this, Config.StallBudgetNanos,
+                                     Config.StallPollNanos);
+
   for (auto &Pp : Pps)
     Pp->start();
 }
 
 VirtualMachine::~VirtualMachine() {
   ShuttingDown.store(true, std::memory_order_release);
+  if (Dog)
+    Dog->stop(); // before VPs/PPs go away underneath its sampler
   IdleParker.notify();
   Clock->stop();
   for (auto &Pp : Pps)
@@ -124,6 +133,11 @@ std::vector<obs::VpTraceSnapshot> VirtualMachine::snapshotTrace() const {
       continue;
     Out.push_back({B->vpId(), B->dropped(), B->snapshot()});
   }
+  // The watchdog's pseudo-VP ring rides along so WatchdogReport events
+  // show up in exports.
+  if (Dog)
+    if (obs::TraceBuffer *B = Dog->traceBuffer())
+      Out.push_back({B->vpId(), B->dropped(), B->snapshot()});
   return Out;
 }
 

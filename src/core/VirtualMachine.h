@@ -37,6 +37,7 @@ namespace sting {
 
 class PhysicalProcessor;
 class VirtualProcessor;
+class Watchdog;
 namespace gc {
 class GlobalHeap;
 } // namespace gc
@@ -79,6 +80,12 @@ struct VmConfig {
   /// Entries per VP trace ring (rounded up to a power of two). Overflow
   /// overwrites the oldest events; see obs/TraceBuffer.h.
   std::size_t TraceCapacity = 1 << 14;
+  /// Stall budget for the watchdog: a machine with no dispatch progress
+  /// for this long is reported (see core/Watchdog.h). 0 (the default)
+  /// disables the watchdog entirely — no monitor thread is created.
+  std::uint64_t StallBudgetNanos = 0;
+  /// Watchdog sampling period. Only meaningful with a non-zero budget.
+  std::uint64_t StallPollNanos = 10'000'000; // 10 ms
 };
 
 /// Machine-wide counters surfaced to tests and the benchmark harness.
@@ -128,6 +135,9 @@ public:
   ThreadGroup &rootGroup() const { return *RootGroup; }
   PreemptionClock &clock() const { return *Clock; }
   VmStats &stats() { return Stats; }
+
+  /// The stall watchdog; null unless VmConfig::StallBudgetNanos was set.
+  Watchdog *watchdog() const { return Dog.get(); }
 
   // --- Observability (see DESIGN.md "Observability") ----------------------
 
@@ -193,6 +203,7 @@ private:
   std::vector<std::unique_ptr<VirtualProcessor>> Vps;
   std::vector<std::unique_ptr<PhysicalProcessor>> Pps;
   std::unique_ptr<PreemptionClock> Clock;
+  std::unique_ptr<Watchdog> Dog;
   ThreadGroupRef RootGroup;
 
   SpinLock GlobalHeapLock;

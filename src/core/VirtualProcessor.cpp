@@ -106,6 +106,7 @@ VirtualProcessor &VirtualProcessor::downVp() const {
 //===----------------------------------------------------------------------===//
 
 void VirtualProcessor::schedulerEntry(void *Arg) {
+  enteredContext();
   static_cast<VirtualProcessor *>(Arg)->schedulerLoop();
   STING_UNREACHABLE("scheduler loop returned");
 }
@@ -167,7 +168,7 @@ void VirtualProcessor::runFresh(Thread &T) {
   Tcb &C = acquireTcb();
   C.Current = ThreadRef::adopt(&T); // absorb the ready queue's reference
   C.Active = &T;
-  C.Vp = this;
+  C.setVp(this);
   C.QuantumNanos = T.quantumNanos() ? T.quantumNanos()
                                     : Vm->config().DefaultQuantumNanos;
   {
@@ -183,6 +184,7 @@ void VirtualProcessor::runFresh(Thread &T) {
 }
 
 void VirtualProcessor::tcbEntry(void *Arg) {
+  enteredContext();
   ThreadController::runToCompletion(*static_cast<Tcb *>(Arg));
 }
 
@@ -191,9 +193,9 @@ void VirtualProcessor::resume(Tcb &C) { switchInto(C); }
 void VirtualProcessor::switchInto(Tcb &C) {
   STING_DCHECK(C.Park.load(std::memory_order_relaxed) == ParkState::Running,
                "dispatching a TCB that is not Running");
-  Running = &C;
+  Running.store(&C, std::memory_order_relaxed);
   currentCursor().CurTcb = &C;
-  C.Vp = this;
+  C.setVp(this);
   C.SliceStartNanos = nowNanos();
   SliceDeadline.store(saturatingAdd(C.SliceStartNanos, C.QuantumNanos),
                       std::memory_order_relaxed);
@@ -205,7 +207,7 @@ void VirtualProcessor::switchInto(Tcb &C) {
   // Back in the scheduler; perform whatever the outgoing thread asked for.
   SliceDeadline.store(0, std::memory_order_relaxed);
   currentCursor().CurTcb = nullptr;
-  Running = nullptr;
+  Running.store(nullptr, std::memory_order_relaxed);
 
   Tcb *Out = ActionTcb;
   SchedAction A = Action;
@@ -308,6 +310,7 @@ void VirtualProcessor::recycleTcb(Tcb &C) {
   C.WaitCount.store(0, std::memory_order_relaxed);
   C.PreemptPending.store(false, std::memory_order_relaxed);
   C.PendingUserWake.store(false, std::memory_order_relaxed);
+  C.PendingKernelWake.store(false, std::memory_order_relaxed);
   C.DeferredPreempt = false;
   C.PreemptDisableDepth = 0;
   C.StealDepth = 0;

@@ -92,6 +92,12 @@ public:
   /// True if this VP's policy reports ready work.
   bool hasReadyWork() const { return Policy->hasReadyWork(*this); }
 
+  /// True while a thread is dispatched on this VP (readable from any
+  /// thread; the watchdog's heartbeat sampler uses it).
+  bool isRunningThread() const {
+    return Running.load(std::memory_order_relaxed) != nullptr;
+  }
+
   // --- Preemption interface used by the machine clock -------------------
 
   /// Absolute deadline (ns) of the running thread's slice; 0 while idle.
@@ -148,7 +154,9 @@ private:
   bool SchedStarted = false;
 
   /// The TCB currently running on this VP (null while in the scheduler).
-  Tcb *Running = nullptr;
+  /// Atomic only so off-VP observers (the watchdog) read it untorn; the
+  /// owning VP uses relaxed plain-store semantics.
+  std::atomic<Tcb *> Running{nullptr};
 
   /// Action requested by the thread that last switched back to SchedCtx.
   SchedAction Action = SchedAction::None;

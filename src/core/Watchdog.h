@@ -1,0 +1,109 @@
+//===- core/Watchdog.h - Stall watchdog over VP heartbeats -------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A low-priority monitor (one OS thread, asleep between polls) that
+/// samples every VP's dispatch-progress counters, feeds them to the pure
+/// obs::StallDetector, and emits a diagnostic report when the machine
+/// stalls: per-VP heartbeats and waiter counters, live-thread and
+/// pending-timer totals, any caller-registered diagnostics (waiter-queue
+/// depths, mutex owners, ...), and the tail of each VP's trace ring.
+///
+/// Off by default: created only when VmConfig::StallBudgetNanos is
+/// non-zero, so the default build pays nothing. Reports go to stderr, to
+/// the path named by $STING_WATCHDOG_REPORT (if set), to the report hook
+/// (if installed), and — since the watchdog thread owns a pseudo-VP trace
+/// ring — as WatchdogReport trace events visible in Chrome exports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_CORE_WATCHDOG_H
+#define STING_CORE_WATCHDOG_H
+
+#include "obs/StallDetector.h"
+#include "obs/TraceBuffer.h"
+#include "support/UniqueFunction.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace sting {
+
+class VirtualMachine;
+
+/// The stall watchdog. Lifetime is owned by the VirtualMachine; stop()
+/// runs before VPs are torn down.
+class Watchdog {
+public:
+  Watchdog(VirtualMachine &Vm, std::uint64_t BudgetNanos,
+           std::uint64_t PollNanos);
+  ~Watchdog();
+
+  Watchdog(const Watchdog &) = delete;
+  Watchdog &operator=(const Watchdog &) = delete;
+
+  /// Stops the monitor thread (idempotent).
+  void stop();
+
+  /// Registers a named diagnostic rendered into every report (e.g. a
+  /// test's mutex owners or a channel's waiter depth). Callbacks run on
+  /// the watchdog thread and must not block on the machine.
+  void addDiagnostic(std::string Name, std::function<std::string()> Fn);
+
+  /// Number of stall reports emitted so far.
+  std::uint64_t reportsEmitted() const {
+    return Reports.load(std::memory_order_acquire);
+  }
+
+  /// The most recent report text ("" if none yet).
+  std::string lastReport() const;
+
+  /// Installs a callback invoked (on the watchdog thread) with each
+  /// report.
+  void setReportHook(std::function<void(const std::string &)> Hook);
+
+  /// The watchdog's own trace ring (pseudo-VP), null when the machine is
+  /// untraced.
+  obs::TraceBuffer *traceBuffer() const { return Ring.get(); }
+
+  std::uint64_t budgetNanos() const { return Detector.budgetNanos(); }
+
+private:
+  void loop();
+  obs::MachineSample sample() const;
+  std::string buildReport(obs::StallVerdict Verdict,
+                          const obs::MachineSample &S) const;
+  void emitReport(const std::string &Report);
+
+  VirtualMachine &Vm;
+  obs::StallDetector Detector;
+  std::uint64_t PollNanos;
+
+  std::unique_ptr<obs::TraceBuffer> Ring;
+
+  mutable std::mutex Mu; ///< guards Diagnostics, Hook, Last, Cv
+  std::condition_variable Cv;
+  bool Stop = false;
+  std::vector<std::pair<std::string, std::function<std::string()>>>
+      Diagnostics;
+  std::function<void(const std::string &)> Hook;
+  std::string Last;
+  std::atomic<std::uint64_t> Reports{0};
+
+  std::thread Monitor;
+};
+
+} // namespace sting
+
+#endif // STING_CORE_WATCHDOG_H

@@ -33,8 +33,11 @@ public:
 
   void enqueueThread(Schedulable &Item, VirtualProcessor &,
                      EnqueueReason Reason) override {
+    // Read the id before publishing: once the item is visible in a queue
+    // another VP (dispatch or steal) may pop and recycle it concurrently.
+    const std::uint64_t TraceId = Item.schedThreadId();
     Queue->pushBack(Item);
-    STING_TRACE_EVENT(Enqueue, Item.schedThreadId(),
+    STING_TRACE_EVENT(Enqueue, TraceId,
                       obs::enqueuePayload(Queue->size(),
                                           static_cast<std::uint8_t>(Reason)));
   }

@@ -44,6 +44,9 @@ public:
 
   void enqueueThread(Schedulable &Item, VirtualProcessor &,
                      EnqueueReason Reason) override {
+    // Read the id before publishing: once the item is visible in a queue
+    // another VP (dispatch or steal) may pop and recycle it concurrently.
+    const std::uint64_t TraceId = Item.schedThreadId();
     std::size_t Depth;
     {
       std::lock_guard<SpinLock> Guard(Lock);
@@ -51,7 +54,7 @@ public:
       Items.emplace(Item.schedPriority(), &Item);
       Depth = Size.fetch_add(1, std::memory_order_release) + 1;
     }
-    STING_TRACE_EVENT(Enqueue, Item.schedThreadId(),
+    STING_TRACE_EVENT(Enqueue, TraceId,
                       obs::enqueuePayload(Depth,
                                           static_cast<std::uint8_t>(Reason)));
   }

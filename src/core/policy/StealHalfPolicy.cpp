@@ -52,6 +52,9 @@ public:
 
   void enqueueThread(Schedulable &Item, VirtualProcessor &,
                      EnqueueReason Reason) override {
+    // Read the id before publishing: once the item is visible in a queue
+    // another VP (dispatch or steal) may pop and recycle it concurrently.
+    const std::uint64_t TraceId = Item.schedThreadId();
     // Granularity split: TCBs are pinned (their stacks and heaps are cached
     // on this VP); raw threads are fair game for migration.
     std::size_t Depth;
@@ -62,7 +65,7 @@ public:
       Public.pushBack(Item);
       Depth = Public.size();
     }
-    STING_TRACE_EVENT(Enqueue, Item.schedThreadId(),
+    STING_TRACE_EVENT(Enqueue, TraceId,
                       obs::enqueuePayload(Depth,
                                           static_cast<std::uint8_t>(Reason)));
   }

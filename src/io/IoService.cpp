@@ -10,6 +10,7 @@
 #include "core/Tcb.h"
 #include "core/ThreadController.h"
 #include "core/VirtualProcessor.h"
+#include "support/Clock.h"
 
 #include <cerrno>
 #include <cstring>
@@ -75,18 +76,71 @@ void IoService::arm(int Fd) {
 }
 
 void IoService::await(int Fd, IoEvent Event) {
+  awaitUntil(Fd, Event, Deadline::never());
+}
+
+WaitResult IoService::awaitUntil(int Fd, IoEvent Event, Deadline D) {
   STING_CHECK(onStingThread(), "IoService::await outside a sting thread");
   Tcb &Self = *currentTcb();
+  IoWaitState State;
   {
     std::lock_guard<SpinLock> Guard(Lock);
     Waiter W;
     W.Parked = &Self;
+    W.State = &State;
     W.Event = Event;
     Waiters[Fd].push_back(std::move(W));
     arm(Fd);
   }
   Stats.Waits.fetch_add(1, std::memory_order_relaxed);
-  ThreadController::parkCurrent(ParkClass::Kernel, this);
+
+  // Retracts this wait's record. \returns false if the poller already
+  // extracted it (a wake is in flight or landed).
+  auto Retract = [&] {
+    std::lock_guard<SpinLock> Guard(Lock);
+    auto It = Waiters.find(Fd);
+    if (It == Waiters.end())
+      return false;
+    auto &List = It->second;
+    for (std::size_t J = 0; J != List.size(); ++J) {
+      if (List[J].State != &State)
+        continue;
+      List.erase(List.begin() + static_cast<std::ptrdiff_t>(J));
+      if (List.empty())
+        Waiters.erase(It);
+      return true;
+    }
+    return false;
+  };
+  // Once the poller has our record, its unpark must land before the
+  // stack-resident State dies. Pure spin: a controller call here could
+  // itself throw and abandon the record mid-store.
+  auto DrainInFlightWake = [&] {
+    while (!State.UnparkDone.load(std::memory_order_acquire))
+      spinForNanos(100);
+  };
+
+  try {
+    // Ready is checked *before* the deadline each pass, so a readiness
+    // notification racing the deadline is never reported as a timeout.
+    while (!State.Ready.load(std::memory_order_acquire)) {
+      if (D.expired()) {
+        if (Retract())
+          return WaitResult::Timeout;
+        DrainInFlightWake(); // the wake won the race
+        return WaitResult::Ready;
+      }
+      ThreadController::parkCurrent(ParkClass::Kernel, this, D);
+    }
+  } catch (...) {
+    // Async cancellation mid-wait: leave no record behind; if the poller
+    // beat us to it, absorb its unpark before unwinding further.
+    if (!Retract())
+      DrainInFlightWake();
+    throw;
+  }
+  DrainInFlightWake();
+  return WaitResult::Ready;
 }
 
 void IoService::onReadable(int Fd, UniqueFunction<void()> Callback) {
@@ -150,8 +204,11 @@ void IoService::pollerLoop() {
       for (Waiter &W : Ready) {
         if (W.Parked) {
           Stats.Wakeups.fetch_add(1, std::memory_order_relaxed);
+          W.State->Ready.store(true, std::memory_order_release);
           ThreadController::unparkTcb(*W.Parked,
                                       EnqueueReason::KernelBlock);
+          // After this store the waiter may return and destroy its State.
+          W.State->UnparkDone.store(true, std::memory_order_release);
           continue;
         }
         Stats.Callbacks.fetch_add(1, std::memory_order_relaxed);

@@ -24,6 +24,7 @@
 #define STING_IO_IOSERVICE_H
 
 #include "core/Thread.h"
+#include "support/Deadline.h"
 #include "support/SpinLock.h"
 #include "support/UniqueFunction.h"
 
@@ -63,8 +64,13 @@ public:
   static bool makeNonBlocking(int Fd);
 
   /// Parks the calling thread until \p Fd satisfies \p Event. Must run on
-  /// a sting thread.
+  /// a sting thread. Tolerates spurious wakeups (re-parks) and async
+  /// cancellation (the waiter record is retracted on unwind).
   void await(int Fd, IoEvent Event);
+
+  /// Timed await: \returns Timeout if \p D expired before readiness. A
+  /// readiness notification racing the deadline wins.
+  WaitResult awaitUntil(int Fd, IoEvent Event, Deadline D);
 
   /// Reads up to \p N bytes, parking the thread (not the VP) while the
   /// descriptor is empty. \returns bytes read, 0 on EOF, -1 on error
@@ -86,8 +92,17 @@ public:
   const IoStats &stats() const { return Stats; }
 
 private:
+  /// Stack-resident state of one parked await; lets the waiter re-check
+  /// readiness after spurious wakes and lets the poller signal when it has
+  /// finished touching the waiter's TCB (so the record can safely die).
+  struct IoWaitState {
+    std::atomic<bool> Ready{false};
+    std::atomic<bool> UnparkDone{false};
+  };
+
   struct Waiter {
     Tcb *Parked = nullptr; ///< thread to unpark, or
+    IoWaitState *State = nullptr;    ///< parked waiter's stack record
     UniqueFunction<void()> Callback; ///< callback to fork
     VirtualProcessor *Vp = nullptr;  ///< fork target for callbacks
     IoEvent Event = IoEvent::Readable;

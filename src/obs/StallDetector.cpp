@@ -1,0 +1,91 @@
+//===- obs/StallDetector.cpp - Dispatch-progress stall detection -------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/StallDetector.h"
+
+namespace sting::obs {
+
+const char *stallVerdictName(StallVerdict V) {
+  switch (V) {
+  case StallVerdict::Healthy:
+    return "healthy";
+  case StallVerdict::VpStalled:
+    return "vp-stalled";
+  case StallVerdict::MachineBlocked:
+    return "machine-blocked";
+  }
+  return "unknown";
+}
+
+std::uint64_t StallDetector::stallAgeNanos(unsigned Vp) const {
+  if (Vp >= History.size() || !History[Vp].Seen)
+    return 0;
+  return LastNowNanos - History[Vp].LastChangeNanos;
+}
+
+StallVerdict StallDetector::observe(const MachineSample &S) {
+  History.resize(S.Vps.size());
+  LastNowNanos = S.NowNanos;
+
+  bool AnyProgress = false;
+  for (std::size_t I = 0; I != S.Vps.size(); ++I) {
+    VpHistory &H = History[I];
+    if (!H.Seen || S.Vps[I].Progress != H.LastProgress) {
+      H.LastProgress = S.Vps[I].Progress;
+      H.LastChangeNanos = S.NowNanos;
+      H.Seen = true;
+      AnyProgress = true;
+    }
+  }
+
+  // Re-arm the latch as soon as anything moves again.
+  if (AnyProgress)
+    Reported = false;
+
+  Stalled.clear();
+  bool AllDead = true; // every VP budget-stale with no work and no thread
+  for (std::size_t I = 0; I != S.Vps.size(); ++I) {
+    const VpSample &Vp = S.Vps[I];
+    VpHistory &H = History[I];
+    const bool Stale = S.NowNanos - H.LastChangeNanos >= BudgetNanos;
+    const bool HasWork = Vp.HasReadyWork || Vp.RunningThread;
+    if (HasWork && !H.HadWork)
+      H.WorkSinceNanos = S.NowNanos;
+    H.HadWork = HasWork;
+    // Work must also have sat unserviced for a full budget: a fresh
+    // enqueue onto a long-idle VP (a timer wake racing this sample) is
+    // about to be dispatched, not stalled.
+    const bool WorkAged =
+        HasWork && S.NowNanos - H.WorkSinceNanos >= BudgetNanos;
+    if (Stale && WorkAged)
+      Stalled.push_back(static_cast<unsigned>(I));
+    if (!Stale || HasWork)
+      AllDead = false;
+  }
+
+  if (Reported)
+    return StallVerdict::Healthy;
+
+  if (!Stalled.empty()) {
+    Reported = true;
+    return StallVerdict::VpStalled;
+  }
+
+  // Deadlock: threads exist, every VP has been idle past the budget, and
+  // no pending timer can inject a wakeup from outside.
+  if (AllDead && !S.Vps.empty() && S.LiveThreads > 0 &&
+      S.PendingTimers == 0) {
+    Stalled.reserve(S.Vps.size());
+    for (std::size_t I = 0; I != S.Vps.size(); ++I)
+      Stalled.push_back(static_cast<unsigned>(I));
+    Reported = true;
+    return StallVerdict::MachineBlocked;
+  }
+
+  return StallVerdict::Healthy;
+}
+
+} // namespace sting::obs

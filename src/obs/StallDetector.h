@@ -1,0 +1,102 @@
+//===- obs/StallDetector.h - Dispatch-progress stall detection ---*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pure stall-detection logic over per-VP heartbeat samples (DESIGN.md
+/// section 7.3). The obs layer cannot see core types, so the sampler
+/// (core/Watchdog) flattens machine state into plain structs and feeds
+/// them in; the detector keeps per-VP progress history and renders
+/// budget-sustained verdicts:
+///
+///   - VpStalled: a VP has held work (a running thread or a non-empty
+///     ready queue) for a full budget while its dispatch-progress counter
+///     never moved — a runaway thread that never reaches a checkpoint, or
+///     a wedged scheduler loop. Both clocks must exhaust the budget: work
+///     that just arrived on a long-idle VP (a timer wake racing the
+///     sampler) is not a stall until it sits unserviced for a budget too.
+///   - MachineBlocked: every VP has been progress-free and work-free for a
+///     full budget while live threads remain and no timer is pending —
+///     nothing inside the machine can ever wake it (a deadlock).
+///
+/// Verdicts are edge-triggered: once a stall is reported the detector
+/// stays silent until progress resumes, so one deadlock yields one report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_OBS_STALLDETECTOR_H
+#define STING_OBS_STALLDETECTOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sting::obs {
+
+/// One VP's heartbeat at a sampling instant.
+struct VpSample {
+  /// Monotonic dispatch-progress value (sum of switch counters); any
+  /// change means the scheduler loop is alive and moving threads.
+  std::uint64_t Progress = 0;
+  bool HasReadyWork = false;  ///< policy reports queued schedulables
+  bool RunningThread = false; ///< a TCB is dispatched right now
+};
+
+/// The whole machine's heartbeat at a sampling instant.
+struct MachineSample {
+  std::uint64_t NowNanos = 0;
+  std::uint64_t LiveThreads = 0;   ///< created minus determined
+  std::uint64_t PendingTimers = 0; ///< clock timers that will still fire
+  std::vector<VpSample> Vps;
+};
+
+enum class StallVerdict : std::uint8_t {
+  Healthy,
+  VpStalled,      ///< at least one VP holds work without progressing
+  MachineBlocked, ///< no VP can ever progress again (deadlock)
+};
+
+const char *stallVerdictName(StallVerdict V);
+
+/// Budget-sustained stall detection over a stream of samples.
+class StallDetector {
+public:
+  explicit StallDetector(std::uint64_t BudgetNanos)
+      : BudgetNanos(BudgetNanos) {}
+
+  /// Feeds one sample; \returns the verdict for this instant. Healthy is
+  /// returned while a previously reported stall persists (edge
+  /// triggering); a fresh verdict fires again only after progress resumes.
+  StallVerdict observe(const MachineSample &S);
+
+  /// VP indexes implicated by the last non-Healthy verdict.
+  const std::vector<unsigned> &stalledVps() const { return Stalled; }
+
+  /// Nanoseconds the given VP has gone without progress as of the last
+  /// sample (0 if it progressed in that sample).
+  std::uint64_t stallAgeNanos(unsigned Vp) const;
+
+  std::uint64_t budgetNanos() const { return BudgetNanos; }
+
+private:
+  struct VpHistory {
+    std::uint64_t LastProgress = 0;
+    std::uint64_t LastChangeNanos = 0;
+    /// Instant work was first seen in the current continuously-has-work
+    /// run (meaningful while HadWork).
+    std::uint64_t WorkSinceNanos = 0;
+    bool HadWork = false;
+    bool Seen = false;
+  };
+
+  std::uint64_t BudgetNanos;
+  std::vector<VpHistory> History;
+  std::vector<unsigned> Stalled;
+  std::uint64_t LastNowNanos = 0;
+  bool Reported = false; ///< edge-trigger latch
+};
+
+} // namespace sting::obs
+
+#endif // STING_OBS_STALLDETECTOR_H

@@ -116,6 +116,14 @@ const char *traceEventKindName(TraceEventKind K) {
     return "tuple_block";
   case TraceEventKind::UserMark:
     return "user_mark";
+  case TraceEventKind::TimeoutFired:
+    return "timeout_fired";
+  case TraceEventKind::CancelDelivered:
+    return "cancel_delivered";
+  case TraceEventKind::WatchdogReport:
+    return "watchdog_report";
+  case TraceEventKind::ChaosInject:
+    return "chaos_inject";
   case TraceEventKind::NumKinds:
     break;
   }

@@ -69,6 +69,14 @@ enum class TraceEventKind : std::uint8_t {
   // User-defined marks (obs::mark).
   UserMark,
 
+  // Fault paths (appended after UserMark so earlier ordinals — and the
+  // golden traces pinned to them — stay stable).
+  TimeoutFired,     ///< a timed wait gave up (payload: site-specific)
+  CancelDelivered,  ///< an async terminate (0) / raise (1) unwound a thread
+  WatchdogReport,   ///< the stall watchdog emitted a report (payload:
+                    ///< stalled-VP count)
+  ChaosInject,      ///< a chaos fault fired (payload: chaos::Site ordinal)
+
   NumKinds
 };
 

@@ -53,6 +53,8 @@
 
 #include "core/Current.h"
 #include "core/Fluid.h"
+#include "support/Chaos.h"
+#include "support/Deadline.h"
 #include "core/Gc.h"
 #include "core/Monitor.h"
 #include "core/PhysicalPolicy.h"
@@ -64,10 +66,12 @@
 #include "core/Topology.h"
 #include "core/VirtualMachine.h"
 #include "core/VirtualProcessor.h"
+#include "core/Watchdog.h"
 #include "gc/HeapImage.h"
 #include "gc/Object.h"
 #include "io/IoService.h"
 #include "obs/SchedStats.h"
+#include "obs/StallDetector.h"
 #include "obs/TraceBuffer.h"
 #include "obs/TraceExporter.h"
 #include "sync/Barrier.h"

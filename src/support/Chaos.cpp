@@ -1,0 +1,153 @@
+//===- support/Chaos.cpp - Deterministic fault injection -------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Determinism model: each OS thread draws from its own SplitMix64 stream,
+// seeded as mix(GlobalSeed, StreamIndex) where StreamIndex is assigned in
+// thread-creation order. A given (seed, thread, call ordinal) therefore
+// always produces the same decision; cross-thread interleaving still
+// varies, which is exactly the space the soak tests want to explore while
+// keeping any single thread's fault schedule replayable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Chaos.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace sting::chaos {
+
+namespace {
+
+struct State {
+  std::atomic<bool> Enabled{false};
+  std::atomic<std::uint64_t> Seed{1};
+  std::atomic<std::uint32_t> RatePerMille{20};
+  /// Bumped by configure(); threads reseed lazily when it changes.
+  std::atomic<std::uint64_t> Epoch{0};
+  std::atomic<std::uint64_t> NextStream{0};
+  std::atomic<std::uint64_t> Injections[static_cast<int>(Site::NumSites)]{};
+};
+
+State &state() {
+  static State S;
+  return S;
+}
+
+std::uint64_t splitmix64(std::uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ull;
+  std::uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+struct ThreadStream {
+  std::uint64_t X = 0;
+  std::uint64_t SeenEpoch = ~0ull;
+  std::uint64_t StreamIndex = ~0ull;
+};
+
+thread_local ThreadStream TlsStream;
+
+std::uint64_t nextRandom() {
+  State &S = state();
+  ThreadStream &T = TlsStream;
+  std::uint64_t E = S.Epoch.load(std::memory_order_acquire);
+  if (T.SeenEpoch != E) {
+    if (T.StreamIndex == ~0ull)
+      T.StreamIndex = S.NextStream.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t Mix = S.Seed.load(std::memory_order_relaxed);
+    // Fold the stream index in through two splitmix steps so adjacent
+    // streams do not correlate.
+    std::uint64_t X = Mix + 0x632be59bd9b4e019ull * (T.StreamIndex + 1);
+    (void)splitmix64(X);
+    T.X = X;
+    T.SeenEpoch = E;
+  }
+  return splitmix64(T.X);
+}
+
+} // namespace
+
+const char *siteName(Site S) {
+  switch (S) {
+  case Site::SpuriousWake:
+    return "spurious-wake";
+  case Site::PreemptPoint:
+    return "preempt-point";
+  case Site::StealDeny:
+    return "steal-deny";
+  case Site::UnparkDelay:
+    return "unpark-delay";
+  case Site::NumSites:
+    break;
+  }
+  return "?";
+}
+
+void configure(std::uint64_t Seed, std::uint32_t RatePerMille) {
+  State &S = state();
+  S.Seed.store(Seed, std::memory_order_relaxed);
+  S.RatePerMille.store(RatePerMille > 1000 ? 1000 : RatePerMille,
+                       std::memory_order_relaxed);
+  for (auto &C : S.Injections)
+    C.store(0, std::memory_order_relaxed);
+  S.Epoch.fetch_add(1, std::memory_order_release);
+  S.Enabled.store(true, std::memory_order_release);
+}
+
+void initFromEnvOnce() {
+#ifdef STING_CHAOS
+  static bool Done = [] {
+    const char *On = std::getenv("STING_CHAOS");
+    if (!On || On[0] == '\0' || On[0] == '0')
+      return true;
+    std::uint64_t Seed = 1;
+    std::uint32_t Rate = 20;
+    if (const char *S = std::getenv("STING_CHAOS_SEED"))
+      Seed = std::strtoull(S, nullptr, 10);
+    if (const char *R = std::getenv("STING_CHAOS_RATE"))
+      Rate = static_cast<std::uint32_t>(std::strtoul(R, nullptr, 10));
+    configure(Seed ? Seed : 1, Rate);
+    return true;
+  }();
+  (void)Done;
+#endif
+}
+
+void setEnabled(bool On) {
+  state().Enabled.store(On, std::memory_order_release);
+}
+
+bool enabled() { return state().Enabled.load(std::memory_order_acquire); }
+
+std::uint64_t seed() { return state().Seed.load(std::memory_order_relaxed); }
+
+bool fire(Site S) {
+  State &St = state();
+  if (!St.Enabled.load(std::memory_order_relaxed))
+    return false;
+  std::uint32_t Rate = St.RatePerMille.load(std::memory_order_relaxed);
+  if (Rate == 0)
+    return false;
+  if (nextRandom() % 1000 >= Rate)
+    return false;
+  St.Injections[static_cast<int>(S)].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t injections(Site S) {
+  return state().Injections[static_cast<int>(S)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t totalInjections() {
+  std::uint64_t Sum = 0;
+  for (int I = 0; I != static_cast<int>(Site::NumSites); ++I)
+    Sum += injections(static_cast<Site>(I));
+  return Sum;
+}
+
+} // namespace sting::chaos

@@ -1,0 +1,80 @@
+//===- support/Deadline.h - Timed-wait deadlines ----------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared deadline/result vocabulary for every timed blocking
+/// operation in the substrate (DESIGN.md section 7). A Deadline is an
+/// absolute point on the monotonic clock; "wait forever" is the distinct
+/// never() value, so the untimed paths stay branch-cheap (one comparison
+/// against a sentinel) and a deadline survives retry loops unchanged —
+/// re-deriving it from a relative duration each iteration would stretch
+/// the total wait.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_SUPPORT_DEADLINE_H
+#define STING_SUPPORT_DEADLINE_H
+
+#include "support/Clock.h"
+
+#include <cstdint>
+#include <limits>
+
+namespace sting {
+
+/// Outcome of a timed wait. Ready means the awaited condition held (a
+/// timed wait that races its deadline resolves in favor of the wake:
+/// waiters re-check the condition before reporting Timeout).
+enum class WaitResult : std::uint8_t {
+  Ready,   ///< the condition held / the resource was acquired
+  Timeout, ///< the deadline passed with the condition still false
+};
+
+/// An absolute point on the monotonic nanosecond clock, or never().
+struct Deadline {
+  /// Sentinel for "no deadline"; compares after every real time point.
+  static constexpr std::uint64_t NeverNanos =
+      std::numeric_limits<std::uint64_t>::max();
+
+  std::uint64_t AtNanos = NeverNanos;
+
+  /// A wait with no deadline (the untimed default).
+  static constexpr Deadline never() { return Deadline{NeverNanos}; }
+
+  /// A deadline \p DelayNanos from now.
+  static Deadline in(std::uint64_t DelayNanos) {
+    std::uint64_t Now = nowNanos();
+    // Saturate: a huge relative delay must not wrap into the past.
+    if (DelayNanos >= NeverNanos - Now)
+      return never();
+    return Deadline{Now + DelayNanos};
+  }
+
+  /// A deadline at the absolute monotonic time \p AbsNanos.
+  static constexpr Deadline at(std::uint64_t AbsNanos) {
+    return Deadline{AbsNanos};
+  }
+
+  constexpr bool isNever() const { return AtNanos == NeverNanos; }
+
+  /// True once the deadline has passed. never() never expires.
+  bool expired() const { return !isNever() && nowNanos() >= AtNanos; }
+  constexpr bool expired(std::uint64_t NowNanos) const {
+    return !isNever() && NowNanos >= AtNanos;
+  }
+
+  /// Nanoseconds until expiry (0 if already expired, NeverNanos if never).
+  std::uint64_t remainingNanos() const {
+    if (isNever())
+      return NeverNanos;
+    std::uint64_t Now = nowNanos();
+    return Now >= AtNanos ? 0 : AtNanos - Now;
+  }
+};
+
+} // namespace sting
+
+#endif // STING_SUPPORT_DEADLINE_H

@@ -25,6 +25,18 @@ void waitForAll(std::span<const ThreadRef> Group) {
   ThreadController::blockOnGroup(Raw.size(), Raw);
 }
 
+WaitResult waitForAllUntil(std::span<Thread *const> Group, Deadline D) {
+  return ThreadController::blockOnGroupUntil(Group.size(), Group, D);
+}
+
+WaitResult waitForAllUntil(std::span<const ThreadRef> Group, Deadline D) {
+  std::vector<Thread *> Raw;
+  Raw.reserve(Group.size());
+  for (const ThreadRef &T : Group)
+    Raw.push_back(T.get());
+  return ThreadController::blockOnGroupUntil(Raw.size(), Raw, D);
+}
+
 CyclicBarrier::CyclicBarrier(std::size_t Parties) : Parties(Parties) {
   STING_CHECK(Parties > 0, "barrier needs at least one party");
 }
@@ -50,10 +62,63 @@ std::uint64_t CyclicBarrier::arriveAndWait() {
                       static_cast<std::uint32_t>(MyPhase));
     return MyPhase;
   }
-  Waiters.await(
-      [&] { return Phase.load(std::memory_order_acquire) != MyPhase; },
-      this);
+  try {
+    Waiters.await(
+        [&] { return Phase.load(std::memory_order_acquire) != MyPhase; },
+        this);
+  } catch (...) {
+    retractArrival(MyPhase);
+    throw;
+  }
   return MyPhase;
+}
+
+std::optional<std::uint64_t> CyclicBarrier::arriveAndWaitUntil(Deadline D) {
+  std::uint64_t MyPhase;
+  bool Last = false;
+  {
+    std::lock_guard<SpinLock> Guard(Lock);
+    MyPhase = Phase.load(std::memory_order_relaxed);
+    if (++Arrived == Parties) {
+      Arrived = 0;
+      Phase.store(MyPhase + 1, std::memory_order_release);
+      Waiters.wakeAll();
+      Last = true;
+    }
+  }
+  Thread *Self = currentThread();
+  STING_TRACE_EVENT(BarrierArrive, Self ? Self->id() : 0,
+                    static_cast<std::uint32_t>(MyPhase));
+  if (Last) {
+    STING_TRACE_EVENT(BarrierRelease, Self ? Self->id() : 0,
+                      static_cast<std::uint32_t>(MyPhase));
+    return MyPhase;
+  }
+  WaitResult R;
+  try {
+    R = Waiters.awaitUntil(
+        [&] { return Phase.load(std::memory_order_acquire) != MyPhase; },
+        this, D);
+  } catch (...) {
+    retractArrival(MyPhase);
+    throw;
+  }
+  if (R == WaitResult::Ready)
+    return MyPhase;
+  // Timed out. The release may still race us here: retraction succeeds
+  // only if the phase has not advanced; otherwise we were in fact freed.
+  if (!retractArrival(MyPhase))
+    return MyPhase;
+  return std::nullopt;
+}
+
+bool CyclicBarrier::retractArrival(std::uint64_t MyPhase) {
+  std::lock_guard<SpinLock> Guard(Lock);
+  if (Phase.load(std::memory_order_relaxed) != MyPhase)
+    return false; // phase completed: our arrival already counted
+  STING_CHECK(Arrived > 0, "barrier retraction with no arrivals");
+  --Arrived;
+  return true;
 }
 
 } // namespace sting

@@ -20,6 +20,7 @@
 #include "sync/ParkList.h"
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -29,6 +30,12 @@ namespace sting {
 /// determined. "Acts as a barrier synchronization point."
 void waitForAll(std::span<const ThreadRef> Group);
 void waitForAll(std::span<Thread *const> Group);
+
+/// Timed wait-for-all. \returns Timeout if \p D expired with group members
+/// still undetermined; all stack-side waiter records are retracted either
+/// way.
+WaitResult waitForAllUntil(std::span<Thread *const> Group, Deadline D);
+WaitResult waitForAllUntil(std::span<const ThreadRef> Group, Deadline D);
 
 /// A reusable counting barrier for N participants. arriveAndWait parks
 /// until all N arrive, then releases the phase and resets.
@@ -40,12 +47,27 @@ public:
   /// \returns the phase number that just completed.
   std::uint64_t arriveAndWait();
 
+  /// Timed arrival: if \p D expires before the phase completes, the
+  /// arrival is *retracted* (the barrier behaves as if this party never
+  /// showed up) and nullopt is returned; other parties keep a consistent
+  /// count. A phase release racing the deadline wins and returns the
+  /// completed phase. An async cancellation unwinding out of the wait
+  /// retracts the arrival the same way.
+  std::optional<std::uint64_t> arriveAndWaitUntil(Deadline D);
+  std::optional<std::uint64_t> arriveAndWaitFor(std::uint64_t Nanos) {
+    return arriveAndWaitUntil(Deadline::in(Nanos));
+  }
+
   std::size_t parties() const { return Parties; }
   std::uint64_t phase() const {
     return Phase.load(std::memory_order_acquire);
   }
 
 private:
+  /// Undoes an arrival for a waiter that timed out or was cancelled.
+  /// \returns false if the phase already completed (the arrival counted).
+  bool retractArrival(std::uint64_t MyPhase);
+
   const std::size_t Parties;
   SpinLock Lock;
   std::size_t Arrived = 0;

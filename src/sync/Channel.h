@@ -45,6 +45,28 @@ public:
     return std::move(*Out);
   }
 
+  /// Timed send: \returns false if \p D expired with the channel still
+  /// full. \p Val is consumed only on success, so a timed-out sender can
+  /// retry with the same value.
+  bool sendUntil(T &Val, Deadline D) {
+    return NotFull.awaitUntil([&] { return trySend(Val); }, this, D) ==
+           WaitResult::Ready;
+  }
+  bool sendFor(T &Val, std::uint64_t Nanos) {
+    return sendUntil(Val, Deadline::in(Nanos));
+  }
+
+  /// Timed receive: \returns nullopt if \p D expired with the channel
+  /// still empty. A send racing the deadline wins.
+  std::optional<T> recvUntil(Deadline D) {
+    std::optional<T> Out;
+    NotEmpty.awaitUntil([&] { return tryRecvInto(Out); }, this, D);
+    return Out;
+  }
+  std::optional<T> recvFor(std::uint64_t Nanos) {
+    return recvUntil(Deadline::in(Nanos));
+  }
+
   /// Non-blocking send; \returns false when full. (\p Val is consumed only
   /// on success.)
   bool trySend(T &Val) {

@@ -59,6 +59,21 @@ public:
     return ThreadController::threadValue(*Th).template as<T>();
   }
 
+  /// Timed touch (the issue's Future::get_for): \returns a pointer to the
+  /// value, or null if \p D expired before the computing thread
+  /// determined. A determination racing the deadline wins. Rethrows if
+  /// the computation failed.
+  const T *touchUntil(Deadline D) const {
+    STING_CHECK(Th, "touch of an empty future");
+    if (!ThreadController::threadWaitFor(*Th, D))
+      return nullptr;
+    Th->rethrowIfFailed();
+    return &Th->result().template as<T>();
+  }
+  const T *touchFor(std::uint64_t Nanos) const {
+    return touchUntil(Deadline::in(Nanos));
+  }
+
   /// Schedules a delayed future for asynchronous evaluation (thread-run).
   void run() const {
     STING_CHECK(Th, "run of an empty future");

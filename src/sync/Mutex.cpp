@@ -52,6 +52,58 @@ void Mutex::acquire() {
   STING_TRACE_EVENT(MutexAcquire, currentThread()->id(), 0);
 }
 
+bool Mutex::tryAcquireUntil(Deadline D) {
+  STING_CHECK(onStingThread(), "Mutex::tryAcquireUntil outside a sting thread");
+
+  if (tryAcquire()) {
+    Stats.FastAcquires.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Phase 1: active spin rounds separated by bounded exponential backoff —
+  // the deadline is only consulted between rounds so the common contended
+  // case stays a pure register loop.
+  Backoff B;
+  for (std::uint32_t I = 0; I != ActiveSpins; ++I) {
+    B.pause();
+    if (!Locked.load(std::memory_order_relaxed) && tryAcquire()) {
+      Stats.ActiveAcquires.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (D.expired())
+      return tryAcquireExpiring();
+  }
+
+  // Phase 2: passive yields, deadline-checked on each redispatch.
+  for (std::uint32_t I = 0; I != PassiveSpins; ++I) {
+    ThreadController::yieldProcessor();
+    if (tryAcquire()) {
+      Stats.PassiveAcquires.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (D.expired())
+      return tryAcquireExpiring();
+  }
+
+  // Phase 3: timed park.
+  Stats.BlockedAcquires.fetch_add(1, std::memory_order_relaxed);
+  STING_TRACE_EVENT(MutexBlock, currentThread()->id(), 1);
+  WaitResult R = Blocked.awaitUntil([this] { return tryAcquire(); }, this, D);
+  if (R == WaitResult::Timeout)
+    return false;
+  STING_TRACE_EVENT(MutexAcquire, currentThread()->id(), 1);
+  return true;
+}
+
+bool Mutex::tryAcquireExpiring() {
+  // Last chance at the deadline: a release racing the expiry must win
+  // (the "wake racing the deadline is never lost" rule).
+  if (!tryAcquire())
+    return false;
+  Stats.ActiveAcquires.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 void Mutex::release() {
   STING_DCHECK(isLocked(), "releasing an unlocked Mutex");
   Locked.store(false, std::memory_order_release);

@@ -50,6 +50,16 @@ public:
   /// Acquires the mutex (mutex-acquire). Must run on a sting thread.
   void acquire();
 
+  /// Timed acquire: escalates through active spin rounds (with bounded
+  /// exponential backoff between rounds), passive yields, then a timed
+  /// park. \returns false if \p D expired unacquired — the waiter queue
+  /// then holds no residue for this thread. An acquire racing the
+  /// deadline wins: the lock is re-tested before reporting failure.
+  bool tryAcquireUntil(Deadline D);
+  bool tryAcquireFor(std::uint64_t Nanos) {
+    return tryAcquireUntil(Deadline::in(Nanos));
+  }
+
   /// Single acquisition attempt.
   bool tryAcquire() {
     return !Locked.load(std::memory_order_relaxed) &&
@@ -68,6 +78,9 @@ public:
   const MutexStats &stats() const { return Stats; }
 
 private:
+  /// Final lock test once the deadline has passed.
+  bool tryAcquireExpiring();
+
   std::uint32_t ActiveSpins;
   std::uint32_t PassiveSpins;
   std::atomic<bool> Locked{false};

@@ -14,9 +14,19 @@
 ///
 /// Protocol: a waiter re-checks its condition under the list lock before
 /// parking; wakers make the condition true *before* calling wake. A waker
-/// unlinks the TCB before unparking it, so a waiter that returns from the
-/// park owns its link node again (and spurious unparks — e.g. a wakeAll
-/// that raced with the waiter's own acquisition — simply re-run the loop).
+/// unlinks the TCB before unparking it; a waiter that returns from the
+/// park without having been popped (timeout, spurious return, chaos)
+/// unlinks itself under the lock before the next loop iteration, so the
+/// queue never holds residue for a thread that is no longer waiting.
+///
+/// Timed waits (awaitUntil) check the condition *before* the deadline on
+/// every pass, so a wake racing the deadline is never lost: if the waker
+/// made the condition true, the waiter reports Ready even when the clock
+/// has expired. Async cancellation (terminate / raiseIn) unwinds out of
+/// the park; the catch block below retracts the waiter's queue node and —
+/// if a waker had already popped it, i.e. the dying waiter consumed a
+/// wake — passes that wake to the next waiter so signals are never
+/// swallowed by cancellation.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +36,9 @@
 #include "core/Current.h"
 #include "core/Tcb.h"
 #include "core/ThreadController.h"
+#include "obs/TraceBuffer.h"
+#include "support/Chaos.h"
+#include "support/Deadline.h"
 #include "support/IntrusiveList.h"
 #include "support/SpinLock.h"
 
@@ -35,23 +48,70 @@ namespace sting {
 
 /// A queue of parked thread control blocks.
 class ParkList {
+  using List = IntrusiveList<Schedulable, WaiterQueueTag>;
+
 public:
   /// Blocks the calling thread until \p Condition() returns true.
   /// \p Condition may have side effects (e.g. a try-acquire); it runs
   /// either outside the lock (fast path) or under it (pre-park check).
   template <typename Cond> void await(Cond Condition, const void *Blocker) {
+    (void)awaitUntil(Condition, Blocker, Deadline::never());
+  }
+
+  /// Timed await: blocks until \p Condition() holds (Ready) or \p D
+  /// expires with the condition still false (Timeout). The condition is
+  /// re-checked before reporting Timeout, so a wake racing the deadline
+  /// resolves as Ready; a timed-out waiter leaves no queue node behind.
+  template <typename Cond>
+  WaitResult awaitUntil(Cond Condition, const void *Blocker, Deadline D) {
     for (;;) {
       if (Condition())
-        return;
+        return WaitResult::Ready;
+      if (D.expired()) {
+        STING_TRACE_EVENT(TimeoutFired, currentThread()->id(), 1);
+        return WaitResult::Timeout;
+      }
+      // Chaos: an extra control transfer right where a waiter decides to
+      // publish itself — the window the park protocol must keep safe.
+      if (STING_CHAOS_FIRE(PreemptPoint)) {
+        STING_TRACE_EVENT(ChaosInject, currentThread()->id(),
+                          static_cast<std::uint32_t>(
+                              chaos::Site::PreemptPoint));
+        ThreadController::yieldProcessor();
+      }
       Tcb &Self = *currentTcb();
       {
         std::lock_guard<SpinLock> Guard(Lock);
         if (Condition())
-          return;
+          return WaitResult::Ready;
         Waiters.pushBack(Self);
       }
-      ThreadController::parkCurrent(ParkClass::Kernel, Blocker);
-      // Whoever woke us unlinked our node first; loop and re-test.
+      try {
+        ThreadController::parkCurrent(ParkClass::Kernel, Blocker, D);
+      } catch (...) {
+        // Async terminate / raise unwinding out of the park. Retract our
+        // node; if a waker already popped it, this cancellation consumed
+        // a wake some other waiter may be owed — pass the baton.
+        bool ConsumedWake = false;
+        {
+          std::lock_guard<SpinLock> Guard(Lock);
+          if (waiterLinked(Self))
+            List::erase(Self);
+          else
+            ConsumedWake = true;
+        }
+        if (ConsumedWake)
+          wakeOne();
+        throw;
+      }
+      // Normal resume. A real waker popped our node before unparking; a
+      // timeout or spurious return left it queued — take it back before
+      // re-checking, so a timed-out waiter never lingers in the queue.
+      {
+        std::lock_guard<SpinLock> Guard(Lock);
+        if (waiterLinked(Self))
+          List::erase(Self);
+      }
     }
   }
 
@@ -71,7 +131,7 @@ public:
   /// Wakes every waiter (the paper's mutex-release semantics: "all threads
   /// blocked on this mutex are restored onto some ready queue").
   void wakeAll() {
-    IntrusiveList<Schedulable, ReadyQueueTag> Woken;
+    List Woken;
     {
       std::lock_guard<SpinLock> Guard(Lock);
       Woken.splice(Waiters);
@@ -89,8 +149,17 @@ public:
   }
 
 private:
+  /// Is \p Self's waiter-queue hook linked? The hook is dedicated to park
+  /// lists (never touched by ready queues), so under our lock "linked"
+  /// means exactly "still in Waiters".
+  static bool waiterLinked(Tcb &Self) {
+    return static_cast<ListNode<WaiterQueueTag> &>(
+               static_cast<Schedulable &>(Self))
+        .isLinked();
+  }
+
   mutable SpinLock Lock;
-  IntrusiveList<Schedulable, ReadyQueueTag> Waiters;
+  List Waiters;
 };
 
 } // namespace sting

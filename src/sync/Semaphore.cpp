@@ -30,6 +30,15 @@ void Semaphore::acquire() {
   Waiters.await([this] { return tryAcquire(); }, this);
 }
 
+bool Semaphore::tryAcquireUntil(Deadline D) {
+  if (tryAcquire())
+    return true;
+  Thread *Self = currentThread();
+  STING_TRACE_EVENT(SemaphoreBlock, Self ? Self->id() : 0, 1);
+  return Waiters.awaitUntil([this] { return tryAcquire(); }, this, D) ==
+         WaitResult::Ready;
+}
+
 void Semaphore::release(std::int64_t N) {
   Count.fetch_add(N, std::memory_order_release);
   if (N == 1)

@@ -32,6 +32,13 @@ public:
   /// P / wait: blocks until a permit is available, then takes it.
   void acquire();
 
+  /// Timed P: \returns false if \p D expired with no permit taken (the
+  /// waiter queue is left clean); a release racing the deadline wins.
+  bool tryAcquireUntil(Deadline D);
+  bool tryAcquireFor(std::uint64_t Nanos) {
+    return tryAcquireUntil(Deadline::in(Nanos));
+  }
+
   /// Non-blocking P.
   bool tryAcquire();
 

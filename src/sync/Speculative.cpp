@@ -9,6 +9,14 @@
 namespace sting {
 
 ThreadRef waitForOne(std::span<const ThreadRef> Group, bool TerminateLosers) {
+  ThreadRef Winner =
+      waitForOneUntil(Group, Deadline::never(), TerminateLosers);
+  STING_CHECK(Winner, "blockOnGroup returned without a determined member");
+  return Winner;
+}
+
+ThreadRef waitForOneUntil(std::span<const ThreadRef> Group, Deadline D,
+                          bool TerminateLosers) {
   STING_CHECK(!Group.empty(), "waitForOne over an empty group");
 
   std::vector<Thread *> Raw;
@@ -16,7 +24,8 @@ ThreadRef waitForOne(std::span<const ThreadRef> Group, bool TerminateLosers) {
   for (const ThreadRef &T : Group)
     Raw.push_back(T.get());
 
-  ThreadController::blockOnGroup(1, Raw);
+  if (ThreadController::blockOnGroupUntil(1, Raw, D) == WaitResult::Timeout)
+    return ThreadRef(); // losers keep running; caller decides their fate
 
   ThreadRef Winner;
   for (const ThreadRef &T : Group) {
@@ -25,8 +34,10 @@ ThreadRef waitForOne(std::span<const ThreadRef> Group, bool TerminateLosers) {
       continue;
     }
     // "(map thread-terminate block-group)" — the paper terminates every
-    // member; terminate of the already-determined winner is a no-op, and
-    // losers die at their next controller call.
+    // member. Termination is idempotent: an already-determined loser (it
+    // raced the winner) is a no-op, a not-yet-started (delayed/scheduled)
+    // loser is determined in place without ever running, and an evaluating
+    // loser unwinds at its next controller call or park exit.
     if (TerminateLosers)
       ThreadController::threadTerminate(*T);
   }

@@ -34,6 +34,12 @@ namespace sting {
 ThreadRef waitForOne(std::span<const ThreadRef> Group,
                      bool TerminateLosers = true);
 
+/// Timed wait-for-one: \returns an empty ref if \p D expired with no
+/// member determined — in that case no loser is terminated, so the caller
+/// can keep waiting or abort explicitly.
+ThreadRef waitForOneUntil(std::span<const ThreadRef> Group, Deadline D,
+                          bool TerminateLosers = true);
+
 /// A set of speculative alternatives. Tasks added with higher priority are
 /// favored by priority policy managers ("promising tasks can execute
 /// before unlikely ones because priorities are programmable").
@@ -59,6 +65,11 @@ public:
 
   /// Waits for the first completion; terminates the rest.
   ThreadRef awaitFirst() { return waitForOne(Tasks); }
+
+  /// Timed awaitFirst: empty ref on timeout (tasks keep running).
+  ThreadRef awaitFirstUntil(Deadline D) {
+    return waitForOneUntil(Tasks, D);
+  }
 
   /// Requests termination of every still-running task.
   void abortAll() {

@@ -22,6 +22,7 @@
 #include "sync/ParkList.h"
 
 #include <atomic>
+#include <optional>
 
 namespace sting {
 
@@ -87,6 +88,34 @@ public:
       Readers.await([&] { return (C = nextCell(Pos)) != nullptr; }, this);
     }
     return C->Val;
+  }
+
+  /// Timed head: \returns null if \p D expired before the element after
+  /// \p Pos appeared; an attach racing the deadline wins.
+  const T *hdUntil(const Cursor &Pos, Deadline D) {
+    Cell *C = nextCell(Pos);
+    if (!C &&
+        Readers.awaitUntil([&] { return (C = nextCell(Pos)) != nullptr; },
+                           this, D) == WaitResult::Timeout)
+      return nullptr;
+    return &C->Val;
+  }
+  const T *hdFor(const Cursor &Pos, std::uint64_t Nanos) {
+    return hdUntil(Pos, Deadline::in(Nanos));
+  }
+
+  /// Timed hd + rest: \returns nullopt on timeout; otherwise returns the
+  /// next element by value and advances \p Pos.
+  std::optional<T> nextUntil(Cursor &Pos, Deadline D) {
+    const T *Val = hdUntil(Pos, D);
+    if (!Val)
+      return std::nullopt;
+    T Out = *Val;
+    Pos = rest(Pos);
+    return Out;
+  }
+  std::optional<T> nextFor(Cursor &Pos, std::uint64_t Nanos) {
+    return nextUntil(Pos, Deadline::in(Nanos));
   }
 
   /// Non-blocking head probe.

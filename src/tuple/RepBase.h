@@ -28,11 +28,22 @@ public:
   virtual ~TupleSpaceRepBase() = default;
 
   virtual void put(Tuple T) = 0;
-  virtual Match match(const Tuple &Template, bool Remove,
-                      TupleSpaceStats &Stats) = 0;
+  /// Blocking match bounded by \p D; nullopt only on timeout. A deposit
+  /// racing the deadline wins: implementations re-scan before reporting
+  /// failure.
+  virtual std::optional<Match> matchUntil(const Tuple &Template, bool Remove,
+                                          TupleSpaceStats &Stats,
+                                          Deadline D) = 0;
   virtual std::optional<Match> tryMatch(const Tuple &Template,
                                         bool Remove) = 0;
   virtual std::size_t size() const = 0;
+
+  /// Unbounded match: a never deadline cannot time out.
+  Match match(const Tuple &Template, bool Remove, TupleSpaceStats &Stats) {
+    auto M = matchUntil(Template, Remove, Stats, Deadline::never());
+    STING_CHECK(M, "unbounded tuple match timed out");
+    return std::move(*M);
+  }
 };
 
 /// The general two-hash-table representation (TupleSpace.cpp).

@@ -41,17 +41,18 @@ public:
       Heap.removeRoot(Slot.get());
   }
 
-  Match match(const Tuple &Template, bool Remove,
-              TupleSpaceStats &Stats) override {
+  std::optional<Match> matchUntil(const Tuple &Template, bool Remove,
+                                  TupleSpaceStats &Stats,
+                                  Deadline D) override {
     std::optional<Match> Result;
-    Waiters.await(
+    Waiters.awaitUntil(
         [&] {
           Result = tryMatch(Template, Remove);
           return Result.has_value();
         },
-        this);
+        this, D);
     (void)Stats;
-    return std::move(*Result);
+    return Result;
   }
 
 protected:
@@ -319,16 +320,16 @@ public:
     Waiters.wakeAll();
   }
 
-  Match match(const Tuple &Template, bool Remove,
-              TupleSpaceStats &) override {
+  std::optional<Match> matchUntil(const Tuple &Template, bool Remove,
+                                  TupleSpaceStats &, Deadline D) override {
     std::optional<Match> Result;
-    Waiters.await(
+    Waiters.awaitUntil(
         [&] {
           Result = tryMatch(Template, Remove);
           return Result.has_value();
         },
-        this);
-    return std::move(*Result);
+        this, D);
+    return Result;
   }
 
   std::optional<Match> tryMatch(const Tuple &Template,

@@ -177,8 +177,9 @@ public:
     return scanOnce(Template, Remove, /*AllowSteal=*/true, Unresolved);
   }
 
-  Match match(const Tuple &Template, bool Remove,
-              TupleSpaceStats &Stats) override {
+  std::optional<Match> matchUntil(const Tuple &Template, bool Remove,
+                                  TupleSpaceStats &Stats,
+                                  Deadline D) override {
     for (;;) {
       // Snapshot the deposit epoch *before* scanning: a deposit landing
       // mid-scan advances it, so the await below cannot sleep through it.
@@ -187,16 +188,25 @@ public:
       ThreadRef Unresolved;
       if (auto M =
               scanOnce(Template, Remove, /*AllowSteal=*/true, Unresolved))
-        return std::move(*M);
+        return M;
+
+      // Scan-before-deadline ordering: the scan above is the final
+      // re-check, so a deposit racing the deadline is never lost.
+      if (D.expired()) {
+        STING_TRACE_EVENT(TimeoutFired,
+                          currentThread() ? currentThread()->id() : 0, 2);
+        return std::nullopt;
+      }
 
       if (Unresolved) {
         // Wait on the thread element itself; its completion may complete
         // our match. (Steals of delayed/scheduled threads happen inside
-        // threadWait.)
+        // threadWaitFor.) On timeout, loop back: the re-scan then falls
+        // through to the expired() check above.
         Stats.Blocks.fetch_add(1, std::memory_order_relaxed);
         STING_TRACE_EVENT(TupleBlock,
                           currentThread() ? currentThread()->id() : 0, 1);
-        ThreadController::threadWait(*Unresolved);
+        ThreadController::threadWaitFor(*Unresolved, D);
         continue;
       }
 
@@ -205,11 +215,11 @@ public:
       STING_TRACE_EVENT(TupleBlock,
                         currentThread() ? currentThread()->id() : 0, 0);
       Bin &B = binForTemplate(Template);
-      B.Waiters.await(
+      B.Waiters.awaitUntil(
           [&] {
             return DepositEpoch.load(std::memory_order_acquire) != Epoch;
           },
-          this);
+          this, D);
     }
   }
 
@@ -483,6 +493,22 @@ Match TupleSpace::take(Tuple Template) {
   STING_TRACE_EVENT(TupleTake, currentThread() ? currentThread()->id() : 0,
                     static_cast<std::uint32_t>(Template.size()));
   return Impl->match(std::move(Template), /*Remove=*/true, Stats);
+}
+
+std::optional<Match> TupleSpace::readUntil(Tuple Template, Deadline D) {
+  prepare(Template);
+  Stats.Reads.fetch_add(1, std::memory_order_relaxed);
+  STING_TRACE_EVENT(TupleRead, currentThread() ? currentThread()->id() : 0,
+                    static_cast<std::uint32_t>(Template.size()));
+  return Impl->matchUntil(Template, /*Remove=*/false, Stats, D);
+}
+
+std::optional<Match> TupleSpace::takeUntil(Tuple Template, Deadline D) {
+  prepare(Template);
+  Stats.Takes.fetch_add(1, std::memory_order_relaxed);
+  STING_TRACE_EVENT(TupleTake, currentThread() ? currentThread()->id() : 0,
+                    static_cast<std::uint32_t>(Template.size()));
+  return Impl->matchUntil(Template, /*Remove=*/true, Stats, D);
 }
 
 std::optional<Match> TupleSpace::tryRead(Tuple Template) {

@@ -29,6 +29,7 @@
 #ifndef STING_TUPLE_TUPLESPACE_H
 #define STING_TUPLE_TUPLESPACE_H
 
+#include "support/Deadline.h"
 #include "support/IntrusivePtr.h"
 #include "tuple/Tuple.h"
 
@@ -118,6 +119,17 @@ public:
   /// Non-blocking variants.
   std::optional<Match> tryRead(Tuple Template);
   std::optional<Match> tryTake(Tuple Template);
+
+  /// Timed variants: nullopt if \p D expired with no match; a deposit (or
+  /// live-thread determination) racing the deadline wins.
+  std::optional<Match> readUntil(Tuple Template, Deadline D);
+  std::optional<Match> takeUntil(Tuple Template, Deadline D);
+  std::optional<Match> readFor(Tuple Template, std::uint64_t Nanos) {
+    return readUntil(std::move(Template), Deadline::in(Nanos));
+  }
+  std::optional<Match> takeFor(Tuple Template, std::uint64_t Nanos) {
+    return takeUntil(std::move(Template), Deadline::in(Nanos));
+  }
 
   /// Deposits an *active* tuple: thunk fields are forked into threads that
   /// live in the tuple until resolved by a matcher (the paper's spawn).

@@ -1,0 +1,257 @@
+//===- tests/chaos/ChaosSoakTest.cpp - Soak workloads under fault injection --===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Runs the three canonical workloads — the sieve over synchronizing
+// streams, speculative wait-for-one search, and tuple-space master/slave —
+// for many iterations with the chaos layer injecting spurious wakeups,
+// extra preemption points, denied steals and delayed unparks (DESIGN.md
+// section 7.4). Each iteration must still produce the exact answer: the
+// faults may only cost time, never correctness.
+//
+// The seed comes from STING_CHAOS_SEED (CI pins three of them) so a
+// failing run replays; STING_CHAOS_SOAK_ITERS overrides the iteration
+// count for quick local runs. In builds without -DSTING_CHAOS the suite
+// skips: the injection sites compile to nothing, so it would only re-run
+// the plain examples.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ThreadController.h"
+
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+#include "support/Chaos.h"
+#include "sync/Barrier.h"
+#include "sync/Speculative.h"
+#include "sync/Stream.h"
+#include "tuple/TupleSpace.h"
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+
+namespace {
+
+using namespace sting;
+using TC = ThreadController;
+
+std::uint64_t envU64(const char *Name, std::uint64_t Default) {
+  const char *V = std::getenv(Name);
+  return V && V[0] ? std::strtoull(V, nullptr, 10) : Default;
+}
+
+/// Soak fixture: configures the chaos layer from the environment (seed 1,
+/// rate 20 per-mille unless overridden) and skips outside chaos builds.
+class ChaosSoak : public ::testing::Test {
+protected:
+  void SetUp() override {
+#ifndef STING_CHAOS
+    GTEST_SKIP() << "build lacks -DSTING_CHAOS; injection sites compiled out";
+#endif
+    Seed = envU64("STING_CHAOS_SEED", 1);
+    Iterations = static_cast<int>(envU64("STING_CHAOS_SOAK_ITERS", 100));
+    chaos::configure(Seed, static_cast<std::uint32_t>(
+                               envU64("STING_CHAOS_RATE", 20)));
+  }
+
+  void TearDown() override {
+#ifdef STING_CHAOS
+    chaos::setEnabled(false);
+#endif
+  }
+
+  static VmConfig soakConfig() {
+    VmConfig Config;
+    Config.NumVps = 4;
+    Config.NumPps = 2;
+    Config.EnablePreemption = true;
+    return Config;
+  }
+
+  std::uint64_t Seed = 1;
+  int Iterations = 100;
+};
+
+//===----------------------------------------------------------------------===//
+// Workload 1: the paper's sieve (section 3.1.1) over synchronizing streams.
+//===----------------------------------------------------------------------===//
+
+constexpr int EndMarker = -1;
+
+using FilterOp = std::function<ThreadRef(Thread::Thunk)>;
+
+void filterStage(int Prime, std::shared_ptr<Stream<int>> Input,
+                 const FilterOp &Op, std::shared_ptr<Stream<int>> Primes) {
+  auto NextOut = std::make_shared<Stream<int>>();
+  auto Pos = Input->begin();
+  bool SpawnedNext = false;
+  for (;;) {
+    int N = Input->next(Pos);
+    if (N == EndMarker)
+      break;
+    if (N % Prime == 0)
+      continue;
+    if (!SpawnedNext) {
+      SpawnedNext = true;
+      Primes->attach(N);
+      const FilterOp OpCopy = Op;
+      Op([NextPrime = N, NextOut, OpCopy, Primes]() -> AnyValue {
+        filterStage(NextPrime, NextOut, OpCopy, Primes);
+        return AnyValue();
+      });
+    }
+    NextOut->attach(N);
+  }
+  if (SpawnedNext)
+    NextOut->attach(EndMarker);
+  else
+    Primes->attach(EndMarker);
+}
+
+int sieveCount(const FilterOp &Op, int Limit) {
+  auto Input = std::make_shared<Stream<int>>();
+  auto Primes = std::make_shared<Stream<int>>();
+  Primes->attach(2);
+  Op([Input, Op, Primes]() -> AnyValue {
+    filterStage(2, Input, Op, Primes);
+    return AnyValue();
+  });
+  for (int N = 3; N <= Limit; ++N)
+    Input->attach(N);
+  Input->attach(EndMarker);
+  int Count = 0;
+  auto Pos = Primes->begin();
+  while (Primes->next(Pos) != EndMarker)
+    ++Count;
+  return Count;
+}
+
+TEST_F(ChaosSoak, SieveStaysCorrect) {
+  constexpr int Limit = 200; // pi(200) = 46
+  for (int Iter = 0; Iter != Iterations; ++Iter) {
+    VirtualMachine Vm(soakConfig());
+    AnyValue R = Vm.run([&]() -> AnyValue {
+      // Alternate the eager and throttled regimes so both the local and
+      // the cross-VP spawn paths see injected faults.
+      FilterOp Op;
+      if (Iter % 2 == 0)
+        Op = [](Thread::Thunk Code) { return TC::forkThread(std::move(Code)); };
+      else
+        Op = [](Thread::Thunk Code) {
+          SpawnOptions Opts;
+          Opts.Vp = &currentVp()->rightVp();
+          return TC::forkThread(std::move(Code), Opts);
+        };
+      return AnyValue((long)sieveCount(Op, Limit));
+    });
+    ASSERT_EQ(R.as<long>(), 46) << "seed " << Seed << " iteration " << Iter;
+  }
+  EXPECT_GT(chaos::totalInjections(), 0u)
+      << "chaos enabled but no site ever fired";
+}
+
+//===----------------------------------------------------------------------===//
+// Workload 2: speculative wait-for-one search (section 4.3) — the winner
+// must hold the planted key and every loser must be terminated or hold a
+// valid key of its own, under injected faults in park/unpark and steal.
+//===----------------------------------------------------------------------===//
+
+TEST_F(ChaosSoak, SpeculativeSearchStaysCorrect) {
+  for (int Iter = 0; Iter != Iterations; ++Iter) {
+    VirtualMachine Vm(soakConfig());
+    AnyValue R = Vm.run([&]() -> AnyValue {
+      SpeculativeSet Set;
+      // Each searcher scans its own region for a key planted a
+      // region-dependent distance in; region 0 is nearest so it usually
+      // wins, but chaos may let another region land first.
+      for (long Region = 0; Region != 3; ++Region)
+        Set.add([Region]() -> long {
+          const long Base = Region * 1'000'000;
+          const long Key = Base + 2'000 + Region * 3'000;
+          for (long N = Base;; ++N) {
+            if (N == Key)
+              return N;
+            if ((N & 0xff) == 0)
+              TC::checkpoint(); // preemption + termination safe point
+          }
+        });
+
+      ThreadRef Winner = Set.awaitFirst();
+      long Key = Winner->result().as<long>();
+      for (const ThreadRef &T : Set.tasks())
+        TC::threadWait(*T);
+
+      auto IsPlanted = [](long K) {
+        return K == 2'000 || K == 1'005'000 || K == 2'008'000;
+      };
+      bool Valid = IsPlanted(Key);
+      for (const ThreadRef &T : Set.tasks()) {
+        if (T->wasTerminated())
+          continue;
+        Valid &= IsPlanted(T->result().as<long>());
+      }
+      return AnyValue(Valid);
+    });
+    ASSERT_TRUE(R.as<bool>()) << "seed " << Seed << " iteration " << Iter;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Workload 3: tuple-space master/slave (section 4.2) — partial sums must
+// collate to pi regardless of which worker takes which chunk or how often
+// a take is spuriously woken.
+//===----------------------------------------------------------------------===//
+
+TEST_F(ChaosSoak, TupleMasterSlaveStaysCorrect) {
+  for (int Iter = 0; Iter != Iterations; ++Iter) {
+    VirtualMachine Vm(soakConfig());
+    AnyValue R = Vm.run([]() -> AnyValue {
+      constexpr int Workers = 3;
+      constexpr int Chunks = 8;
+      constexpr int StepsPerChunk = 500;
+
+      TupleSpaceRef Work = TupleSpace::create();
+      TupleSpaceRef Results = TupleSpace::create();
+
+      std::vector<ThreadRef> Pool;
+      for (int W = 0; W != Workers; ++W)
+        Pool.push_back(TC::forkThread([Work, Results]() -> AnyValue {
+          for (;;) {
+            Match M = Work->take(makeTuple("work", formal(0)));
+            std::int64_t Chunk = M.binding(0).asFixnum();
+            if (Chunk < 0)
+              return AnyValue();
+            double Acc = 0;
+            const double H = 1.0 / (Chunks * (double)StepsPerChunk);
+            for (int I = 0; I != StepsPerChunk; ++I) {
+              double X = (Chunk * (double)StepsPerChunk + I + 0.5) * H;
+              Acc += 4.0 / (1.0 + X * X);
+            }
+            auto Scaled = (std::int64_t)llround(Acc * H * 1e12);
+            Results->put(makeTuple("partial", (long long)Chunk, Scaled));
+          }
+        }));
+
+      for (int C = 0; C != Chunks; ++C)
+        Work->put(makeTuple("work", C));
+
+      std::int64_t Total = 0;
+      for (int C = 0; C != Chunks; ++C) {
+        Match M = Results->take(makeTuple("partial", formal(0), formal(1)));
+        Total += M.binding(1).asFixnum();
+      }
+
+      for (int W = 0; W != Workers; ++W)
+        Work->put(makeTuple("work", -1));
+      waitForAll(Pool);
+
+      return AnyValue(std::fabs((double)Total / 1e12 - M_PI) < 1e-6);
+    });
+    ASSERT_TRUE(R.as<bool>()) << "iteration " << Iter;
+  }
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+//===- tests/obs/StallDetectorTest.cpp - Stall-verdict logic -----------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Pure-logic tests over synthetic heartbeat samples: no VM, no clock, no
+// races — every verdict transition of DESIGN.md section 7.3 is pinned
+// down deterministically here; WatchdogTest covers the live wiring.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/StallDetector.h"
+
+#include "gtest/gtest.h"
+
+namespace {
+
+using namespace sting::obs;
+
+constexpr std::uint64_t Budget = 1000;
+
+MachineSample sample(std::uint64_t Now, std::uint64_t LiveThreads,
+                     std::uint64_t PendingTimers,
+                     std::vector<VpSample> Vps) {
+  MachineSample S;
+  S.NowNanos = Now;
+  S.LiveThreads = LiveThreads;
+  S.PendingTimers = PendingTimers;
+  S.Vps = std::move(Vps);
+  return S;
+}
+
+TEST(StallDetectorTest, ProgressingMachineIsHealthy) {
+  StallDetector D(Budget);
+  for (std::uint64_t T = 0; T != 10; ++T) {
+    auto V = D.observe(sample(T * Budget, 4, 0,
+                              {{.Progress = T, .HasReadyWork = true,
+                                .RunningThread = true},
+                               {.Progress = T * 2}}));
+    EXPECT_EQ(V, StallVerdict::Healthy) << "at sample " << T;
+  }
+}
+
+TEST(StallDetectorTest, IdleMachineWithNoThreadsIsHealthy) {
+  StallDetector D(Budget);
+  // No progress anywhere, but also nothing to run: just an idle machine.
+  for (std::uint64_t T = 0; T != 10; ++T)
+    EXPECT_EQ(D.observe(sample(T * Budget, 0, 0, {{}, {}})),
+              StallVerdict::Healthy);
+}
+
+TEST(StallDetectorTest, VpWithWorkButNoProgressStalls) {
+  StallDetector D(Budget);
+  VpSample Busy{.Progress = 7, .HasReadyWork = true, .RunningThread = false};
+  VpSample Fine{.Progress = 1};
+  EXPECT_EQ(D.observe(sample(0, 2, 0, {Busy, Fine})),
+            StallVerdict::Healthy); // first sighting establishes history
+  // Within budget: still healthy.
+  Fine.Progress = 2;
+  EXPECT_EQ(D.observe(sample(Budget / 2, 2, 0, {Busy, Fine})),
+            StallVerdict::Healthy);
+  // Past budget with queued work and a frozen counter: stalled.
+  Fine.Progress = 3;
+  EXPECT_EQ(D.observe(sample(Budget, 2, 0, {Busy, Fine})),
+            StallVerdict::VpStalled);
+  ASSERT_EQ(D.stalledVps().size(), 1u);
+  EXPECT_EQ(D.stalledVps()[0], 0u);
+  EXPECT_GE(D.stallAgeNanos(0), Budget);
+  EXPECT_EQ(D.stallAgeNanos(1), 0u);
+}
+
+TEST(StallDetectorTest, VerdictIsEdgeTriggeredAndRearmsOnProgress) {
+  StallDetector D(Budget);
+  VpSample Busy{.Progress = 7, .HasReadyWork = true};
+  EXPECT_EQ(D.observe(sample(0, 1, 0, {Busy})), StallVerdict::Healthy);
+  EXPECT_EQ(D.observe(sample(Budget, 1, 0, {Busy})),
+            StallVerdict::VpStalled);
+  // The stall persists: latched, no repeat report.
+  EXPECT_EQ(D.observe(sample(2 * Budget, 1, 0, {Busy})),
+            StallVerdict::Healthy);
+  EXPECT_EQ(D.observe(sample(3 * Budget, 1, 0, {Busy})),
+            StallVerdict::Healthy);
+  // Progress resumes, then freezes again: a fresh report fires.
+  Busy.Progress = 8;
+  EXPECT_EQ(D.observe(sample(4 * Budget, 1, 0, {Busy})),
+            StallVerdict::Healthy);
+  EXPECT_EQ(D.observe(sample(5 * Budget, 1, 0, {Busy})),
+            StallVerdict::VpStalled);
+}
+
+TEST(StallDetectorTest, DeadlockIsMachineBlocked) {
+  StallDetector D(Budget);
+  // Two VPs, both workless and progress-frozen, two live (parked) threads,
+  // nothing on the timer wheel: nobody can ever wake this machine.
+  VpSample Dead0{.Progress = 5};
+  VpSample Dead1{.Progress = 9};
+  EXPECT_EQ(D.observe(sample(0, 2, 0, {Dead0, Dead1})),
+            StallVerdict::Healthy);
+  EXPECT_EQ(D.observe(sample(Budget / 2, 2, 0, {Dead0, Dead1})),
+            StallVerdict::Healthy);
+  EXPECT_EQ(D.observe(sample(Budget, 2, 0, {Dead0, Dead1})),
+            StallVerdict::MachineBlocked);
+  EXPECT_EQ(D.stalledVps().size(), 2u); // every VP implicated
+  // Latched while the deadlock persists.
+  EXPECT_EQ(D.observe(sample(2 * Budget, 2, 0, {Dead0, Dead1})),
+            StallVerdict::Healthy);
+}
+
+TEST(StallDetectorTest, PendingTimerSuppressesMachineBlocked) {
+  StallDetector D(Budget);
+  VpSample Dead{.Progress = 5};
+  EXPECT_EQ(D.observe(sample(0, 1, 1, {Dead})), StallVerdict::Healthy);
+  // A pending timer can still wake the machine (a timed wait is in
+  // flight): this is quiescence, not deadlock.
+  EXPECT_EQ(D.observe(sample(2 * Budget, 1, 1, {Dead})),
+            StallVerdict::Healthy);
+  // The timer fires without producing progress (e.g. stale generation) and
+  // the wheel drains: now it is a deadlock.
+  EXPECT_EQ(D.observe(sample(3 * Budget, 1, 0, {Dead})),
+            StallVerdict::MachineBlocked);
+}
+
+TEST(StallDetectorTest, RunningThreadOnOneVpSuppressesMachineBlocked) {
+  StallDetector D(Budget);
+  // VP1 hosts a long-running thread between checkpoints. The machine is
+  // not blocked (that thread may yet release everything) — but VP1 itself
+  // is stalled-with-work once the budget passes.
+  VpSample Dead{.Progress = 5};
+  VpSample Spinner{.Progress = 3, .RunningThread = true};
+  EXPECT_EQ(D.observe(sample(0, 2, 0, {Dead, Spinner})),
+            StallVerdict::Healthy);
+  EXPECT_EQ(D.observe(sample(2 * Budget, 2, 0, {Dead, Spinner})),
+            StallVerdict::VpStalled);
+  ASSERT_EQ(D.stalledVps().size(), 1u);
+  EXPECT_EQ(D.stalledVps()[0], 1u);
+}
+
+TEST(StallDetectorTest, FreshWorkOnIdleVpIsNotAStall) {
+  StallDetector D(Budget);
+  VpSample Idle{.Progress = 5};
+  EXPECT_EQ(D.observe(sample(0, 1, 1, {Idle})), StallVerdict::Healthy);
+  EXPECT_EQ(D.observe(sample(10 * Budget, 1, 1, {Idle})),
+            StallVerdict::Healthy);
+  // A timer wake lands work on the long-idle VP just before this sample:
+  // progress is budget-stale but the work is brand new — it is about to
+  // be dispatched, not stalled.
+  VpSample JustWoken{.Progress = 5, .HasReadyWork = true};
+  EXPECT_EQ(D.observe(sample(10 * Budget + 1, 1, 0, {JustWoken})),
+            StallVerdict::Healthy);
+  // Only once the work itself has sat unserviced for a full budget does
+  // the verdict flip.
+  EXPECT_EQ(D.observe(sample(11 * Budget + 1, 1, 0, {JustWoken})),
+            StallVerdict::VpStalled);
+}
+
+TEST(StallDetectorTest, VerdictNames) {
+  EXPECT_STREQ(stallVerdictName(StallVerdict::Healthy), "healthy");
+  EXPECT_STREQ(stallVerdictName(StallVerdict::VpStalled), "vp-stalled");
+  EXPECT_STREQ(stallVerdictName(StallVerdict::MachineBlocked),
+               "machine-blocked");
+}
+
+} // namespace

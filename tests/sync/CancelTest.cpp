@@ -1,0 +1,405 @@
+//===- tests/sync/CancelTest.cpp - Async cancellation through blocking -------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Cancellation hardening (DESIGN.md section 7.2): an async exception or
+// terminate delivered to a thread blocked in *any* synchronization
+// primitive must (a) wake it, (b) unwind out of the wait running the
+// primitive's retraction guards, and (c) leave the primitive fully
+// usable — no queue residue, no leaked arrival counts, no held locks.
+// One test per primitive, each proving usability after the cancellation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ThreadController.h"
+#include "core/VirtualMachine.h"
+#include "support/Clock.h"
+#include "sync/Barrier.h"
+#include "sync/Channel.h"
+#include "sync/Future.h"
+#include "sync/Mutex.h"
+#include "sync/ParkList.h"
+#include "sync/Semaphore.h"
+#include "sync/Speculative.h"
+#include "tuple/TupleSpace.h"
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+using namespace sting;
+using TC = ThreadController;
+
+struct Cancelled : std::runtime_error {
+  Cancelled() : std::runtime_error("cancelled") {}
+};
+
+/// Raises Cancelled in \p Victim and waits for it to determine. The raise
+/// request is sticky (delivered at the next controller call even if the
+/// victim has not parked yet), so a single raise suffices once the victim
+/// has passed its "about to block" flag.
+void cancelAndJoin(Thread &Victim) {
+  TC::raiseIn(Victim, std::make_exception_ptr(Cancelled()));
+  TC::threadWait(Victim);
+}
+
+/// Spins (yielding the VP) until \p Flag is set by the victim just before
+/// it blocks.
+void awaitFlag(const std::atomic<bool> &Flag) {
+  while (!Flag.load(std::memory_order_acquire))
+    TC::yieldProcessor();
+}
+
+TEST(CancelTest, ParkListWaiterUnlinksOnRaise) {
+  VirtualMachine Vm(VmConfig{.NumVps = 2, .NumPps = 2});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    ParkList List;
+    std::atomic<bool> Blocked{false};
+    ThreadRef Waiter = TC::forkThread([&]() -> AnyValue {
+      try {
+        List.await(
+            [&] {
+              Blocked.store(true, std::memory_order_release);
+              return false;
+            },
+            &List);
+        return AnyValue(std::string("woke"));
+      } catch (const Cancelled &) {
+        return AnyValue(std::string("cancelled"));
+      }
+    });
+    awaitFlag(Blocked);
+    cancelAndJoin(*Waiter);
+    bool Clean = List.waiterCount() == 0;
+    return AnyValue(Clean &&
+                    Waiter->valueAs<std::string>() == "cancelled");
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(CancelTest, MutexWaiterCancelledThenMutexStillWorks) {
+  VirtualMachine Vm(VmConfig{.NumVps = 2, .NumPps = 2});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Mutex M(/*ActiveSpins=*/1, /*PassiveSpins=*/1);
+    M.acquire(); // main holds it; the victim must park
+    std::atomic<bool> Blocked{false};
+    ThreadRef Waiter = TC::forkThread([&]() -> AnyValue {
+      try {
+        Blocked.store(true, std::memory_order_release);
+        M.acquire();
+        M.release();
+        return AnyValue(std::string("acquired"));
+      } catch (const Cancelled &) {
+        return AnyValue(std::string("cancelled"));
+      }
+    });
+    awaitFlag(Blocked);
+    // Give the victim time to reach the blocked phase of the acquire.
+    for (int I = 0; I != 20; ++I)
+      TC::yieldProcessor();
+    cancelAndJoin(*Waiter);
+    bool VictimCancelled = Waiter->valueAs<std::string>() == "cancelled";
+    // The cancelled waiter must not have taken or corrupted the lock.
+    M.release();
+    ThreadRef After = TC::forkThread([&]() -> AnyValue {
+      M.acquire();
+      M.release();
+      return AnyValue(true);
+    });
+    bool StillWorks = TC::threadValue(*After).as<bool>();
+    return AnyValue(VictimCancelled && StillWorks);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(CancelTest, WithMutexReleasesOnRaiseDuringBody) {
+  VirtualMachine Vm(VmConfig{.NumVps = 2, .NumPps = 2});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Mutex M;
+    std::atomic<bool> InBody{false};
+    ThreadRef Holder = TC::forkThread([&]() -> AnyValue {
+      try {
+        withMutex(M, [&] {
+          InBody.store(true, std::memory_order_release);
+          // Yield, not checkpoint: without preemption a pure checkpoint
+          // spin would monopolize this VP and could strand the raiser.
+          for (;;)
+            TC::yieldProcessor();
+        });
+        return AnyValue(std::string("left body"));
+      } catch (const Cancelled &) {
+        return AnyValue(std::string("cancelled"));
+      }
+    });
+    awaitFlag(InBody);
+    cancelAndJoin(*Holder);
+    // The unwind must have released the mutex: an uncontended timed
+    // acquire succeeds immediately.
+    bool Released = M.tryAcquire();
+    if (Released)
+      M.release();
+    return AnyValue(Released &&
+                    Holder->valueAs<std::string>() == "cancelled");
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(CancelTest, WithMutexReleasesOnTerminateDuringBody) {
+  VirtualMachine Vm(VmConfig{.NumVps = 2, .NumPps = 2});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Mutex M;
+    std::atomic<bool> InBody{false};
+    std::atomic<bool> GuardsRan{false};
+    ThreadRef Holder = TC::forkThread([&]() -> AnyValue {
+      struct Flag {
+        std::atomic<bool> &F;
+        ~Flag() { F.store(true, std::memory_order_release); }
+      } OnUnwind{GuardsRan};
+      withMutex(M, [&] {
+        InBody.store(true, std::memory_order_release);
+        for (;;)
+          TC::yieldProcessor();
+      });
+      return AnyValue();
+    });
+    awaitFlag(InBody);
+    TC::threadTerminate(*Holder, AnyValue(7));
+    TC::threadWait(*Holder);
+    bool Released = M.tryAcquire();
+    if (Released)
+      M.release();
+    return AnyValue(Released && GuardsRan.load() &&
+                    Holder->wasTerminated());
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(CancelTest, FutureToucherCancelledThenValueStillDelivered) {
+  VirtualMachine Vm(VmConfig{.NumVps = 2, .NumPps = 2});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    std::atomic<bool> Release{false};
+    // Non-stealable so the toucher parks instead of stealing the
+    // computation (which spins on a flag set only after the cancel).
+    SpawnOptions Opts;
+    Opts.Stealable = false;
+    auto F = future(
+        [&]() -> int {
+          while (!Release.load(std::memory_order_acquire))
+            TC::yieldProcessor();
+          return 42;
+        },
+        Opts);
+    std::atomic<bool> Blocked{false};
+    ThreadRef Toucher = TC::forkThread([&]() -> AnyValue {
+      try {
+        Blocked.store(true, std::memory_order_release);
+        return AnyValue(F.touch());
+      } catch (const Cancelled &) {
+        return AnyValue(std::string("cancelled"));
+      }
+    });
+    awaitFlag(Blocked);
+    for (int I = 0; I != 20; ++I)
+      TC::yieldProcessor();
+    cancelAndJoin(*Toucher);
+    bool ToucherCancelled =
+        Toucher->valueAs<std::string>() == "cancelled";
+    Release.store(true, std::memory_order_release);
+    // The future itself is unaffected: a fresh touch sees the value.
+    return AnyValue(ToucherCancelled && F.touch() == 42);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(CancelTest, ChannelReceiverCancelledThenChannelStillWorks) {
+  VirtualMachine Vm(VmConfig{.NumVps = 2, .NumPps = 2});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Channel<int> C(2);
+    std::atomic<bool> Blocked{false};
+    ThreadRef Receiver = TC::forkThread([&]() -> AnyValue {
+      try {
+        Blocked.store(true, std::memory_order_release);
+        return AnyValue(C.recv());
+      } catch (const Cancelled &) {
+        return AnyValue(-1);
+      }
+    });
+    awaitFlag(Blocked);
+    for (int I = 0; I != 20; ++I)
+      TC::yieldProcessor();
+    cancelAndJoin(*Receiver);
+    bool ReceiverCancelled = Receiver->valueAs<int>() == -1;
+    // Channel still functions end to end after the cancelled wait.
+    C.send(5);
+    return AnyValue(ReceiverCancelled && C.recv() == 5);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(CancelTest, SemaphoreWaiterCancelledPermitNotLost) {
+  VirtualMachine Vm(VmConfig{.NumVps = 2, .NumPps = 2});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    Semaphore Sem(0);
+    std::atomic<bool> Blocked{false};
+    ThreadRef Waiter = TC::forkThread([&]() -> AnyValue {
+      try {
+        Blocked.store(true, std::memory_order_release);
+        Sem.acquire();
+        return AnyValue(std::string("acquired"));
+      } catch (const Cancelled &) {
+        return AnyValue(std::string("cancelled"));
+      }
+    });
+    awaitFlag(Blocked);
+    for (int I = 0; I != 20; ++I)
+      TC::yieldProcessor();
+    cancelAndJoin(*Waiter);
+    bool WaiterCancelled = Waiter->valueAs<std::string>() == "cancelled";
+    // The cancelled waiter consumed no permit: release one and a fresh
+    // acquirer gets it.
+    Sem.release();
+    ThreadRef After = TC::forkThread([&]() -> AnyValue {
+      Sem.acquire();
+      return AnyValue(true);
+    });
+    bool Got = TC::threadValue(*After).as<bool>();
+    return AnyValue(WaiterCancelled && Got && Sem.available() == 0);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(CancelTest, BarrierArrivalRetractedOnCancel) {
+  VirtualMachine Vm(VmConfig{.NumVps = 2, .NumPps = 2});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    CyclicBarrier B(2);
+    std::atomic<bool> Blocked{false};
+    ThreadRef Arrival = TC::forkThread([&]() -> AnyValue {
+      try {
+        Blocked.store(true, std::memory_order_release);
+        B.arriveAndWait();
+        return AnyValue(std::string("released"));
+      } catch (const Cancelled &) {
+        return AnyValue(std::string("cancelled"));
+      }
+    });
+    awaitFlag(Blocked);
+    for (int I = 0; I != 20; ++I)
+      TC::yieldProcessor();
+    cancelAndJoin(*Arrival);
+    // The cancelled arrival was retracted: phase 0 has NOT completed,
+    // and two fresh arrivals complete it as if the victim never came.
+    bool PhaseUnchanged = B.phase() == 0;
+    ThreadRef Peer = TC::forkThread(
+        [&]() -> AnyValue { return AnyValue(B.arriveAndWait()); });
+    std::uint64_t Mine = B.arriveAndWait();
+    std::uint64_t Theirs = TC::threadValue(*Peer).as<std::uint64_t>();
+    return AnyValue(PhaseUnchanged && Mine == 0 && Theirs == 0 &&
+                    B.phase() == 1 &&
+                    Arrival->valueAs<std::string>() == "cancelled");
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(CancelTest, TupleSpaceTakerCancelledThenSpaceStillWorks) {
+  VirtualMachine Vm(VmConfig{.NumVps = 2, .NumPps = 2});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    TupleSpaceRef Ts = TupleSpace::create();
+    std::atomic<bool> Blocked{false};
+    ThreadRef Taker = TC::forkThread([&]() -> AnyValue {
+      try {
+        Blocked.store(true, std::memory_order_release);
+        Match M = Ts->take(makeTuple("job", formal(0)));
+        return AnyValue(static_cast<int>(M.binding(0).asFixnum()));
+      } catch (const Cancelled &) {
+        return AnyValue(-1);
+      }
+    });
+    awaitFlag(Blocked);
+    for (int I = 0; I != 20; ++I)
+      TC::yieldProcessor();
+    cancelAndJoin(*Taker);
+    bool TakerCancelled = Taker->valueAs<int>() == -1;
+    // A put after the cancellation is matched by a fresh taker; the
+    // cancelled waiter left no registration that could swallow it.
+    Ts->put(makeTuple("job", 13));
+    Match M = Ts->take(makeTuple("job", formal(0)));
+    return AnyValue(TakerCancelled && M.binding(0).asFixnum() == 13 &&
+                    Ts->size() == 0);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(CancelTest, CancelDoesNotSwallowWakeForOtherWaiter) {
+  // Baton rule: if the cancellation races a real wake (the waker already
+  // popped the victim), the victim must pass that wake on, or a second
+  // waiter starves. Run many rounds to hit the race window.
+  VirtualMachine Vm(VmConfig{.NumVps = 2, .NumPps = 2});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    for (int Round = 0; Round != 30; ++Round) {
+      Semaphore Sem(0);
+      std::atomic<bool> VictimBlocked{false};
+      std::atomic<bool> OtherBlocked{false};
+      ThreadRef Victim = TC::forkThread([&]() -> AnyValue {
+        try {
+          VictimBlocked.store(true, std::memory_order_release);
+          Sem.acquire();
+          Sem.release(); // consumed a permit legitimately: give it back
+          return AnyValue(0);
+        } catch (const Cancelled &) {
+          return AnyValue(1);
+        }
+      });
+      ThreadRef Other = TC::forkThread([&]() -> AnyValue {
+        OtherBlocked.store(true, std::memory_order_release);
+        Sem.acquire();
+        return AnyValue(2);
+      });
+      awaitFlag(VictimBlocked);
+      awaitFlag(OtherBlocked);
+      // Release one permit and cancel the victim at the same time; the
+      // permit must end up with *someone* — Other must not hang.
+      Sem.release();
+      TC::raiseIn(*Victim, std::make_exception_ptr(Cancelled()));
+      TC::threadWait(*Victim);
+      if (!TC::threadWaitFor(*Other, Deadline::in(5'000'000'000)))
+        return AnyValue(false); // Other starved: wake was swallowed
+      TC::threadWait(*Other);
+    }
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(CancelTest, SpeculativeLoserTerminationIsIdempotent) {
+  VirtualMachine Vm(VmConfig{.NumVps = 2, .NumPps = 2});
+  AnyValue V = Vm.run([]() -> AnyValue {
+    std::atomic<bool> LoserRan{false};
+    ThreadRef Winner = TC::forkThread([]() -> AnyValue {
+      return AnyValue(std::string("fast"));
+    });
+    // A delayed loser: never scheduled, must still be terminated.
+    SpawnOptions Opts;
+    Opts.Stealable = false;
+    ThreadRef Delayed = TC::createThread(
+        [&]() -> AnyValue {
+          LoserRan.store(true);
+          return AnyValue(std::string("slow"));
+        },
+        Opts);
+    ThreadRef Group[] = {Winner, Delayed};
+    ThreadRef Won = waitForOne(Group);
+    bool RightWinner = Won == Winner;
+    // Loser termination is idempotent: terminating again is a no-op.
+    TC::threadWait(*Delayed);
+    bool AlreadyDead = !TC::threadTerminate(*Delayed);
+    return AnyValue(RightWinner && Delayed->wasTerminated() &&
+                    !LoserRan.load() && AlreadyDead &&
+                    Won->valueAs<std::string>() == "fast");
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+} // namespace
