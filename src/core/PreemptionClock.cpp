@@ -50,12 +50,12 @@ void PreemptionClock::scheduleResume(ThreadRef T, std::uint64_t DelayNanos) {
   TimerCv.notify_all();
 }
 
-void PreemptionClock::scheduleTimeout(ThreadRef T, std::uint64_t ParkSeq,
+void PreemptionClock::scheduleTimeout(ThreadRef T,
                                       std::uint64_t DeadlineNanos) {
   {
     std::lock_guard<std::mutex> Guard(TimerLock);
-    Timers.push(Timer{DeadlineNanos, std::move(T), Timer::Kind::KernelTimeout,
-                      ParkSeq});
+    Timers.push(
+        Timer{DeadlineNanos, std::move(T), Timer::Kind::KernelTimeout});
   }
   TimerCv.notify_all();
 }
@@ -93,7 +93,7 @@ void PreemptionClock::fireDueTimers(std::uint64_t Now) {
       ThreadController::threadRun(*T.Target);
       break;
     case Timer::Kind::KernelTimeout:
-      ThreadController::deliverTimeout(*T.Target, T.ParkSeq);
+      ThreadController::deliverTimeout(*T.Target, T.DeadlineNanos);
       break;
     }
   }

@@ -56,11 +56,11 @@ public:
   void scheduleResume(ThreadRef T, std::uint64_t DelayNanos);
 
   /// Arms a timed-park timeout: at the absolute monotonic time
-  /// \p DeadlineNanos, wakes \p T's TCB if it is still in park generation
-  /// \p ParkSeq (ThreadController::deliverTimeout). Used by
-  /// parkCurrent for every timed kernel park.
-  void scheduleTimeout(ThreadRef T, std::uint64_t ParkSeq,
-                       std::uint64_t DeadlineNanos);
+  /// \p DeadlineNanos, wakes \p T's TCB if it is still in a timed park
+  /// with that exact deadline (ThreadController::deliverTimeout).
+  /// parkCurrent arms at most one timer per (TCB, deadline): re-parks of
+  /// the same wait reuse the queued timer.
+  void scheduleTimeout(ThreadRef T, std::uint64_t DeadlineNanos);
 
   /// Number of timers currently armed (resumes + park timeouts); a
   /// heartbeat input for the stall watchdog — a machine with live threads,
@@ -87,7 +87,6 @@ private:
     std::uint64_t DeadlineNanos;
     ThreadRef Target;
     Kind What = Kind::Resume;
-    std::uint64_t ParkSeq = 0; ///< valid for KernelTimeout
     bool operator>(const Timer &RHS) const {
       return DeadlineNanos > RHS.DeadlineNanos;
     }

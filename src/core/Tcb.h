@@ -147,11 +147,15 @@ public:
   /// its condition in a loop (see ParkList::awaitUntil).
   std::atomic<bool> PendingKernelWake{false};
 
-  /// Park generation, bumped at every park entry. Timed parks arm a clock
-  /// timer carrying the generation; delivery is dropped unless it still
-  /// matches, so a stale timer can never wake a later park (see
-  /// ThreadController::deliverTimeout).
-  std::atomic<std::uint64_t> ParkSeq{0};
+  /// Absolute deadline (monotonic nanos) of the current park; 0 while the
+  /// park is untimed — including every user park. Written by the owner at
+  /// each park entry, read by the machine clock: deliverTimeout drops a
+  /// timer unless it matches, so a stale timer cannot wake a park with a
+  /// different deadline, and timer delivery is additionally kernel-only
+  /// (UnparkClass::KernelOnly), so it can never resume a user park
+  /// (thread-suspend) early — at worst it produces a spurious return in a
+  /// kernel park, which every kernel park site tolerates.
+  std::atomic<std::uint64_t> TimedParkDeadline{0};
 
   // --- Barrier bookkeeping (paper section 4.3) --------------------------
 
@@ -200,6 +204,12 @@ private:
   int PreemptDisableDepth = 0;
   std::uint64_t SliceStartNanos = 0;
   std::uint64_t QuantumNanos = 0;
+
+  /// Deadline of the most recently armed park-timeout timer (owner thread
+  /// only). parkCurrent skips re-arming when the deadline is unchanged, so
+  /// a re-park loop (spurious wakes, group re-checks) holds one clock
+  /// timer for its whole wait instead of one per pass.
+  std::uint64_t ArmedTimeoutDeadline = 0;
 
   /// Depth of stolen thunks currently running on this TCB (section 4.1.1).
   int StealDepth = 0;

@@ -141,10 +141,13 @@ void ThreadController::parkCurrent(ParkClass Class, const void *Blocker,
   Tcb &C = *currentTcb();
   C.vp()->stats().Blocks.inc();
 
-  // New park generation: timers armed for earlier parks of this TCB are
-  // now stale and deliverTimeout drops them.
-  const std::uint64_t Seq =
-      C.ParkSeq.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Publish this park's deadline (0 = untimed) before the park state
+  // becomes visible: deliverTimeout validates timers against it, so a
+  // stale timer can match only while a park with this exact deadline is
+  // current — any other delivery is dropped or degrades to a spurious
+  // kernel wake.
+  const std::uint64_t DeadlineNanos = D.isNever() ? 0 : D.AtNanos;
+  C.TimedParkDeadline.store(DeadlineNanos, std::memory_order_release);
 
   // A terminate or raise request that raced ahead of the park would
   // strand a *user* park (nothing is obliged to resume it) and would
@@ -196,10 +199,16 @@ void ThreadController::parkCurrent(ParkClass Class, const void *Blocker,
   }
 
   // Arm the timeout only once the park is committed; the timer races the
-  // switch-out harmlessly (unparkTcb handles the Parking window).
-  if (!D.isNever())
-    C.vp()->vm().clock().scheduleTimeout(ThreadRef(C.thread()), Seq,
-                                       D.AtNanos);
+  // switch-out harmlessly (unparkImpl handles the Parking window). A
+  // re-park with an unchanged deadline (spurious wake, group re-check)
+  // reuses the timer already queued for it — the timer validates against
+  // TimedParkDeadline, not a park generation, so one timer serves every
+  // pass of the wait and the clock's queue stays bounded.
+  if (DeadlineNanos != 0 && C.ArmedTimeoutDeadline != DeadlineNanos) {
+    C.ArmedTimeoutDeadline = DeadlineNanos;
+    C.vp()->vm().clock().scheduleTimeout(ThreadRef(C.thread()),
+                                         DeadlineNanos);
+  }
 
   VirtualProcessor &Vp = *C.vp();
   Vp.Action = SchedAction::Park;
@@ -216,7 +225,7 @@ void ThreadController::parkCurrent(ParkClass Class, const void *Blocker,
 }
 
 bool ThreadController::unparkImpl(Tcb &C, EnqueueReason Reason,
-                                  bool RequireUser) {
+                                  UnparkClass Constraint) {
   // Chaos: stall the wakeup before it touches the park state word,
   // widening the Parking/Running windows the protocol must cover.
   if (STING_CHAOS_FIRE(UnparkDelay)) {
@@ -238,7 +247,9 @@ bool ThreadController::unparkImpl(Tcb &C, EnqueueReason Reason,
     switch (S) {
     case ParkState::ParkedUser:
     case ParkState::ParkedKernel: {
-      if (RequireUser && S == ParkState::ParkedKernel)
+      if (Constraint == UnparkClass::UserOnly && S == ParkState::ParkedKernel)
+        return false;
+      if (Constraint == UnparkClass::KernelOnly && S == ParkState::ParkedUser)
         return false;
       if (!C.Park.compare_exchange_weak(S, ParkState::Running,
                                         std::memory_order_acq_rel))
@@ -249,7 +260,9 @@ bool ThreadController::unparkImpl(Tcb &C, EnqueueReason Reason,
     }
     case ParkState::ParkingUser:
     case ParkState::ParkingKernel: {
-      if (RequireUser && S == ParkState::ParkingKernel)
+      if (Constraint == UnparkClass::UserOnly && S == ParkState::ParkingKernel)
+        return false;
+      if (Constraint == UnparkClass::KernelOnly && S == ParkState::ParkingUser)
         return false;
       // The target is still walking off its stack; hand the wakeup to its
       // scheduler, which re-enqueues once the switch-out completes.
@@ -261,7 +274,7 @@ bool ThreadController::unparkImpl(Tcb &C, EnqueueReason Reason,
       continue;
     }
     case ParkState::Running:
-      if (RequireUser) {
+      if (Constraint == UnparkClass::UserOnly) {
         // The target has not parked yet (e.g. a suspend timer fired
         // between scheduleResume and the park). Leave a sticky wake; the
         // park-entry check below consumes it and cancels the park.
@@ -269,11 +282,13 @@ bool ThreadController::unparkImpl(Tcb &C, EnqueueReason Reason,
         NoteWakeup(2);
         return true;
       }
-      // Kernel wake onto a transiently-Running TCB: the waiter already
-      // returned from its park (spuriously, by timeout, or popped just as
-      // it gave up) and is between re-checks. Dropping the wake here
-      // could strand its re-park forever; leave the kernel sticky wake,
-      // which the next kernel park consumes and cancels.
+      // Kernel wake (structure or timer) onto a transiently-Running TCB:
+      // the waiter already returned from its park (spuriously, by timeout,
+      // or popped just as it gave up) and is between re-checks. Dropping
+      // the wake here could strand its re-park forever; leave the kernel
+      // sticky wake, which the next *kernel* park consumes and cancels —
+      // user parks never consume it, so this path stays safe for
+      // KernelOnly (timer) deliveries too.
       C.PendingKernelWake.store(true, std::memory_order_release);
       NoteWakeup(3);
       return true;
@@ -284,25 +299,42 @@ bool ThreadController::unparkImpl(Tcb &C, EnqueueReason Reason,
 }
 
 bool ThreadController::unparkTcb(Tcb &C, EnqueueReason Reason) {
-  return unparkImpl(C, Reason, /*RequireUser=*/false);
+  return unparkImpl(C, Reason, UnparkClass::Any);
 }
 
-void ThreadController::deliverTimeout(Thread &T, std::uint64_t ParkSeq) {
+void ThreadController::deliverTimeout(Thread &T, std::uint64_t DeadlineNanos) {
   // Runs on the machine clock's OS thread. The waiter lock pins the TCB;
-  // the generation check drops timers whose park already ended — a stale
-  // delivery that slips past it anyway (same generation, waiter mid-wake)
-  // only produces a spurious return, which every kernel park tolerates.
+  // the deadline check drops timers whose timed park already ended. A
+  // stale delivery that slips past it anyway (the target re-parked with
+  // the same deadline, or is mid-wake) is constrained to kernel parks: at
+  // worst it produces a spurious return there, which every kernel park
+  // site tolerates — it can never resume a user park (thread-suspend)
+  // early, whatever the target parked into since the check.
   std::lock_guard<SpinLock> Guard(T.WaiterLock);
   if (T.state() != ThreadState::Evaluating)
     return;
   Tcb *C = T.OwnedTcb;
-  if (!C || C->ParkSeq.load(std::memory_order_acquire) != ParkSeq)
+  if (!C ||
+      C->TimedParkDeadline.load(std::memory_order_acquire) != DeadlineNanos)
     return;
-  unparkTcb(*C, EnqueueReason::KernelBlock);
+  unparkImpl(*C, EnqueueReason::KernelBlock, UnparkClass::KernelOnly);
 }
 
 bool ThreadController::unparkTcbIfUser(Tcb &C, EnqueueReason Reason) {
-  return unparkImpl(C, Reason, /*RequireUser=*/true);
+  return unparkImpl(C, Reason, UnparkClass::UserOnly);
+}
+
+bool ThreadController::unparkThreadKernel(Thread &T, EnqueueReason Reason) {
+  // Same pinning discipline as deliverTimeout: the waiter lock keeps the
+  // Evaluating -> OwnedTcb binding stable, so the unpark can never touch a
+  // TCB that was recycled after the caller let go of its structure lock.
+  std::lock_guard<SpinLock> Guard(T.WaiterLock);
+  if (T.state() != ThreadState::Evaluating)
+    return false;
+  Tcb *C = T.OwnedTcb;
+  if (!C)
+    return false;
+  return unparkImpl(*C, Reason, UnparkClass::KernelOnly);
 }
 
 //===----------------------------------------------------------------------===//

@@ -160,6 +160,18 @@ public:
   /// thread-suspend); the threadRun path.
   static bool unparkTcbIfUser(Tcb &C, EnqueueReason Reason);
 
+  /// Kernel wake addressed by *thread identity*: re-validates under \p T's
+  /// waiter lock that the thread is still evaluating and bound to a TCB,
+  /// then delivers a kernel-only unpark. Wake paths that unlink a waiter
+  /// under a structure lock but unpark after releasing it must use this:
+  /// between the unlink and the unpark, the waiter may be woken
+  /// independently (a timeout timer), finish its wait, terminate, and have
+  /// its TCB recycled — a raw Tcb* dangles there, a ThreadRef cannot. The
+  /// kernel-only constraint keeps a late delivery away from any user park
+  /// the target may have entered since; at worst it spuriously returns a
+  /// later kernel park, which every kernel park site tolerates.
+  static bool unparkThreadKernel(Thread &T, EnqueueReason Reason);
+
   /// Runs the thread bound to \p C to completion and exits. The VP's entry
   /// trampoline for fresh TCBs; never returns. Internal.
   [[noreturn]] static void runToCompletion(Tcb &C);
@@ -170,15 +182,26 @@ public:
   static bool trySteal(Thread &T);
 
   /// Timeout delivery from the machine clock: wakes \p T's TCB if it is
-  /// still in the park generation \p ParkSeq the timer was armed for.
-  /// Internal — PreemptionClock only.
-  static void deliverTimeout(Thread &T, std::uint64_t ParkSeq);
+  /// still in a timed park whose deadline is \p DeadlineNanos. Delivery is
+  /// kernel-only: a stale timer that slips past the deadline check can
+  /// only produce a spurious return in a kernel park (tolerated by
+  /// construction), never resume a user park early. Internal —
+  /// PreemptionClock only.
+  static void deliverTimeout(Thread &T, std::uint64_t DeadlineNanos);
 
 private:
   friend class VirtualProcessor;
 
-  /// Shared unpark machinery; \p RequireUser restricts to user-class parks.
-  static bool unparkImpl(Tcb &C, EnqueueReason Reason, bool RequireUser);
+  /// Which park classes a wakeup may affect.
+  enum class UnparkClass : std::uint8_t {
+    Any,        ///< structure wakeups (unparkTcb)
+    UserOnly,   ///< threadRun / suspend-resume timers (unparkTcbIfUser)
+    KernelOnly, ///< park-timeout delivery; must never touch a user park
+  };
+
+  /// Shared unpark machinery; \p Constraint restricts which park classes
+  /// this wakeup is allowed to resume.
+  static bool unparkImpl(Tcb &C, EnqueueReason Reason, UnparkClass Constraint);
 
   /// Applies requested transitions / preemption; called at controller
   /// entries. May not return (terminate) or may park (suspend).

@@ -43,6 +43,7 @@
 #include "support/SpinLock.h"
 
 #include <mutex>
+#include <vector>
 
 namespace sting {
 
@@ -116,30 +117,43 @@ public:
   }
 
   /// Wakes the oldest waiter, if any. \returns true if one was woken.
+  ///
+  /// A linked waiter is pinned inside awaitUntil (its stack frame holds
+  /// the queue node), so reading its thread binding under the lock is
+  /// safe; once unlinked and the lock released, the waiter may be woken
+  /// independently (its timeout timer), finish, and have its TCB recycled
+  /// — so the deferred unpark goes by ThreadRef, which re-validates under
+  /// the thread's waiter lock (ThreadController::unparkThreadKernel),
+  /// never by a raw Tcb pointer.
   bool wakeOne() {
-    Tcb *Woken = nullptr;
+    ThreadRef Woken;
     {
       std::lock_guard<SpinLock> Guard(Lock);
       if (Waiters.empty())
         return false;
-      Woken = &Waiters.popFront().asTcb();
+      Woken = ThreadRef(Waiters.popFront().asTcb().thread());
     }
-    ThreadController::unparkTcb(*Woken, EnqueueReason::KernelBlock);
+    ThreadController::unparkThreadKernel(*Woken, EnqueueReason::KernelBlock);
     return true;
   }
 
   /// Wakes every waiter (the paper's mutex-release semantics: "all threads
-  /// blocked on this mutex are restored onto some ready queue").
+  /// blocked on this mutex are restored onto some ready queue"). Each
+  /// waiter is *fully unlinked* while the lock is held — waiters unlink
+  /// themselves under the same lock on timeout/cancellation, so splicing
+  /// the queue aside and draining it unlocked would let the two race on
+  /// the same intrusive nodes. Only the unparks (pinned by ThreadRef, see
+  /// wakeOne) run outside the lock.
   void wakeAll() {
-    List Woken;
+    std::vector<ThreadRef> Woken;
     {
       std::lock_guard<SpinLock> Guard(Lock);
-      Woken.splice(Waiters);
+      Woken.reserve(Waiters.size());
+      while (!Waiters.empty())
+        Woken.push_back(ThreadRef(Waiters.popFront().asTcb().thread()));
     }
-    while (!Woken.empty()) {
-      Tcb &C = Woken.popFront().asTcb();
-      ThreadController::unparkTcb(C, EnqueueReason::KernelBlock);
-    }
+    for (const ThreadRef &T : Woken)
+      ThreadController::unparkThreadKernel(*T, EnqueueReason::KernelBlock);
   }
 
   /// Racy count for tests and diagnostics.
@@ -150,8 +164,9 @@ public:
 
 private:
   /// Is \p Self's waiter-queue hook linked? The hook is dedicated to park
-  /// lists (never touched by ready queues), so under our lock "linked"
-  /// means exactly "still in Waiters".
+  /// lists (never touched by ready queues), and every wake path unlinks
+  /// nodes while holding Lock, so under our lock "linked" means exactly
+  /// "still in Waiters" — the premise the self-unlink paths above rest on.
   static bool waiterLinked(Tcb &Self) {
     return static_cast<ListNode<WaiterQueueTag> &>(
                static_cast<Schedulable &>(Self))

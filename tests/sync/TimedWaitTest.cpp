@@ -86,6 +86,95 @@ TEST(TimedWaitTest, ParkListWakeRacingDeadlineWins) {
   });
 }
 
+TEST(TimedWaitTest, ParkListWakeAllRacingTimeoutsKeepsQueueIntact) {
+  VirtualMachine Vm(VmConfig{.NumVps = 4, .NumPps = 4});
+  Vm.run([]() -> AnyValue {
+    // wakeAll churns while waiters time out of tiny waits: every unlink —
+    // a waker's pop or a timed-out waiter's self-retract — must happen
+    // under the list lock, or the shared intrusive nodes corrupt.
+    ParkList P;
+    std::atomic<bool> Stop{false};
+    ThreadRef Waker = TC::forkThread([&]() -> AnyValue {
+      while (!Stop.load(std::memory_order_acquire)) {
+        P.wakeAll();
+        TC::yieldProcessor();
+      }
+      return AnyValue();
+    });
+    std::vector<ThreadRef> Waiters;
+    for (int I = 0; I != 8; ++I)
+      Waiters.push_back(TC::forkThread([&]() -> AnyValue {
+        for (int J = 0; J != 40; ++J)
+          (void)P.awaitUntil([] { return false; }, &P,
+                             Deadline::in(ShortNanos / 8));
+        return AnyValue();
+      }));
+    for (auto &W : Waiters)
+      TC::threadWait(*W);
+    Stop.store(true, std::memory_order_release);
+    TC::threadWait(*Waker);
+    EXPECT_EQ(P.waiterCount(), 0u);
+    return AnyValue();
+  });
+}
+
+TEST(TimedWaitTest, ReparkStormArmsOneTimerPerDeadline) {
+  VirtualMachine Vm(VmConfig{.NumVps = 2, .NumPps = 2});
+  Vm.run([&Vm]() -> AnyValue {
+    // Spurious wakes force the waiter back through the park entry many
+    // times with the *same* deadline; each pass must reuse the clock
+    // timer already armed for it rather than queueing a fresh one.
+    ParkList P;
+    std::atomic<int> Wakes{0};
+    constexpr int N = 50;
+    ThreadRef Waker = TC::forkThread([&]() -> AnyValue {
+      for (int I = 0; I != N; ++I) {
+        Wakes.fetch_add(1, std::memory_order_release);
+        P.wakeAll();
+        spinForNanos(ShortNanos / 50);
+      }
+      return AnyValue();
+    });
+    WaitResult R = P.awaitUntil(
+        [&] { return Wakes.load(std::memory_order_acquire) >= N; }, &P,
+        Deadline::in(LongNanos));
+    EXPECT_EQ(R, WaitResult::Ready);
+    TC::threadWait(*Waker);
+    EXPECT_LE(Vm.clock().pendingTimers(), 2u);
+    return AnyValue();
+  });
+}
+
+TEST(TimedWaitTest, StaleTimeoutNeverResumesSuspendedThread) {
+  VirtualMachine Vm(VmConfig{.NumVps = 2, .NumPps = 2});
+  Vm.run([]() -> AnyValue {
+    Semaphore S(0);
+    std::atomic<bool> Resumed{false};
+    std::atomic<bool> Suspending{false};
+    ThreadRef T = TC::forkThread([&]() -> AnyValue {
+      // The timed acquire arms a timer; the release below wins the race,
+      // so that timer is stale by the time we park again — as a *user*
+      // park this time, which a stale kernel timeout must never resume.
+      EXPECT_TRUE(S.tryAcquireFor(ShortNanos));
+      Suspending.store(true, std::memory_order_release);
+      TC::threadSuspend();
+      Resumed.store(true, std::memory_order_release);
+      return AnyValue();
+    });
+    spinForNanos(ShortNanos / 4);
+    S.release(); // real wake, well before the deadline
+    while (!Suspending.load(std::memory_order_acquire))
+      TC::yieldProcessor();
+    // Outlive the stale timer's deadline; the suspend must hold.
+    spinForNanos(ShortNanos * 2);
+    EXPECT_FALSE(Resumed.load(std::memory_order_acquire));
+    TC::threadRun(*T);
+    TC::threadWait(*T);
+    EXPECT_TRUE(Resumed.load(std::memory_order_acquire));
+    return AnyValue();
+  });
+}
+
 TEST(TimedWaitTest, ParkListNeverDeadlineBlocksUntilWake) {
   VirtualMachine Vm(VmConfig{.NumVps = 2, .NumPps = 2});
   Vm.run([]() -> AnyValue {
