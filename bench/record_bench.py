@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Record and check committed benchmark baselines.
+
+Runs a Google-Benchmark binary with JSON output, reduces each benchmark
+family to its median real time across repetitions, and either writes the
+result as a committed baseline file or compares it against one:
+
+    # Refresh the committed baseline (run on a quiet machine):
+    python3 bench/record_bench.py record \
+        --bench build/bench/fig6_baseline --out bench/BENCH_fig6.json
+
+    # CI perf smoke: fail on a >2x per-benchmark regression:
+    python3 bench/record_bench.py check \
+        --bench build/bench/fig6_baseline --baseline bench/BENCH_fig6.json \
+        --max-ratio 2.0 --out fig6-current.json
+
+The baseline stores medians in nanoseconds keyed by benchmark run name.
+Medians (not means) keep one descheduled repetition from poisoning the
+record; the check ratio is generous because CI runners are slower and
+noisier than the recording machine — the gate exists to catch order-of-
+magnitude mistakes (an accidental lock on the fast path), not 10% drifts.
+"""
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+
+
+def run_benchmarks(bench, repetitions, bench_filter, warmup):
+    cmd = [
+        bench,
+        "--benchmark_format=json",
+        f"--benchmark_repetitions={repetitions}",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    # The harness prints its stats report to stderr; stdout is pure JSON.
+    out = subprocess.run(cmd, check=True, stdout=subprocess.PIPE).stdout
+    data = json.loads(out)
+
+    samples = {}
+    for run in data.get("benchmarks", []):
+        # One entry per repetition; skip the synthesized aggregate rows.
+        if run.get("run_type") != "iteration":
+            continue
+        name = run.get("run_name", run["name"])
+        samples.setdefault(name, []).append(float(run["real_time"]))
+
+    medians = {}
+    for name, times in samples.items():
+        # Repetitions arrive in execution order; the first few in a fresh
+        # process are dominated by allocator and page-fault warmup (up to
+        # ~7x on the scheduling microbenchmarks), so drop them as long as
+        # at least one sample survives.
+        keep = times[warmup:] if len(times) > warmup else times[-1:]
+        medians[name] = statistics.median(keep)
+    if not medians:
+        sys.exit(f"error: {bench} produced no iteration runs")
+    return medians
+
+
+def cmd_record(args):
+    medians = run_benchmarks(args.bench, args.repetitions, args.filter,
+                             args.warmup)
+    doc = {
+        "schema": 1,
+        "unit": "ns",
+        "repetitions": args.repetitions,
+        "benchmarks": medians,
+    }
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"recorded {len(medians)} benchmark(s) -> {args.out}")
+    for name in sorted(medians):
+        print(f"  {name:<50} {medians[name]:10.1f} ns")
+
+
+def cmd_check(args):
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    base = baseline.get("benchmarks", {})
+    medians = run_benchmarks(args.bench, args.repetitions, args.filter,
+                             args.warmup)
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(
+                {"schema": 1, "unit": "ns", "benchmarks": medians}, f,
+                indent=2, sort_keys=True)
+            f.write("\n")
+
+    failures = []
+    for name in sorted(base):
+        if name not in medians:
+            print(f"MISSING  {name} (in baseline, not measured)")
+            failures.append(name)
+            continue
+        ratio = medians[name] / base[name] if base[name] > 0 else float("inf")
+        verdict = "FAIL" if ratio > args.max_ratio else "ok"
+        print(f"{verdict:<8} {name:<50} {base[name]:10.1f} -> "
+              f"{medians[name]:10.1f} ns  ({ratio:.2f}x)")
+        if ratio > args.max_ratio:
+            failures.append(name)
+    for name in sorted(set(medians) - set(base)):
+        print(f"NEW      {name:<50} {medians[name]:10.1f} ns (no baseline)")
+
+    if failures:
+        sys.exit(f"error: {len(failures)} benchmark(s) regressed beyond "
+                 f"{args.max_ratio}x: {', '.join(failures)}")
+    print(f"all {len(base)} baselined benchmark(s) within "
+          f"{args.max_ratio}x")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--bench", required=True,
+                        help="path to the benchmark binary")
+    common.add_argument("--repetitions", type=int, default=5)
+    common.add_argument("--warmup", type=int, default=2,
+                        help="leading repetitions to discard per benchmark")
+    common.add_argument("--filter", default=None,
+                        help="--benchmark_filter regex passthrough")
+
+    rec = sub.add_parser("record", parents=[common],
+                         help="write a new baseline file")
+    rec.add_argument("--out", required=True)
+    rec.set_defaults(func=cmd_record)
+
+    chk = sub.add_parser("check", parents=[common],
+                         help="compare against a baseline; nonzero exit on "
+                              "regression")
+    chk.add_argument("--baseline", required=True)
+    chk.add_argument("--max-ratio", type=float, default=2.0)
+    chk.add_argument("--out", default=None,
+                     help="also write the current medians here (artifact)")
+    chk.set_defaults(func=cmd_check)
+
+    args = parser.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

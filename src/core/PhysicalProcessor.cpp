@@ -44,21 +44,23 @@ void PhysicalProcessor::stop() {
 void PhysicalProcessor::run() {
   currentCursor().Pp = this;
 
-  Parker &Idle = Vm->idleParker();
+  EventCount &Idle = Vm->idleEventCount();
   while (!Vm->isShuttingDown()) {
     VirtualProcessor *Vp = Policy->nextVp(*this);
     if (!Vp) {
       // Sleep until an enqueue notifies, with a nap cap as a safety net.
-      Vm->markPpIdle(true);
-      Parker::Epoch E = Idle.prepareWait();
+      // The eventcount handshake: register as a waiter, re-check every
+      // VP's queues, and only then sleep — an enqueue that lands between
+      // the re-check and the sleep sees the waiter registration and bumps
+      // the epoch, so the commit returns immediately (no lost wakeups).
+      EventCount::Key K = Idle.prepareWait();
       bool Work = false;
       for (VirtualProcessor *Candidate : Vps)
         Work |= Candidate->hasReadyWork();
       if (Work || Vm->isShuttingDown())
         Idle.cancelWait();
       else
-        Idle.commitWait(E, IdleNapNanos);
-      Vm->markPpIdle(false);
+        Idle.commitWait(K, IdleNapNanos);
       Policy->workPublished(*this);
       continue;
     }

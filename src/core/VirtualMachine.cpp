@@ -66,7 +66,7 @@ VirtualMachine::~VirtualMachine() {
   ShuttingDown.store(true, std::memory_order_release);
   if (Dog)
     Dog->stop(); // before VPs/PPs go away underneath its sampler
-  IdleParker.notify();
+  IdleEc.notifyAll();
   Clock->stop();
   for (auto &Pp : Pps)
     Pp->stop();

@@ -25,7 +25,7 @@
 #include "core/Topology.h"
 #include "obs/SchedStats.h"
 #include "obs/TraceBuffer.h"
-#include "support/Parker.h"
+#include "support/EventCount.h"
 
 #include <atomic>
 #include <cstdint>
@@ -170,19 +170,9 @@ public:
   gc::GlobalHeap &globalHeap();
 
   /// Wakes idle physical processors; called after any enqueue. Cheap when
-  /// nobody sleeps: the notification is skipped unless a PP is parked.
-  void notifyWork() {
-    if (IdlePps.load(std::memory_order_seq_cst) > 0)
-      IdleParker.notify();
-  }
-
-  /// Idle-accounting hook used by physical processors around their naps.
-  void markPpIdle(bool Idle) {
-    if (Idle)
-      IdlePps.fetch_add(1, std::memory_order_seq_cst);
-    else
-      IdlePps.fetch_sub(1, std::memory_order_seq_cst);
-  }
+  /// nobody sleeps: the eventcount folds the waiter count into the epoch
+  /// word, so this is one uncontended atomic load unless a PP is parked.
+  void notifyWork() { IdleEc.notifyAll(); }
 
   bool isShuttingDown() const {
     return ShuttingDown.load(std::memory_order_acquire);
@@ -192,7 +182,9 @@ public:
     return NextThreadId.fetch_add(1, std::memory_order_relaxed);
   }
 
-  Parker &idleParker() { return IdleParker; }
+  /// The idle-PP eventcount (DESIGN.md section 8): PPs with no runnable VP
+  /// sleep here; notifyWork advances the epoch.
+  EventCount &idleEventCount() { return IdleEc; }
 
 private:
   friend class PhysicalProcessor;
@@ -209,8 +201,7 @@ private:
   SpinLock GlobalHeapLock;
   std::atomic<gc::GlobalHeap *> Heap{nullptr};
 
-  Parker IdleParker;
-  std::atomic<int> IdlePps{0};
+  EventCount IdleEc;
   std::atomic<bool> ShuttingDown{false};
   std::atomic<std::uint64_t> NextThreadId{1};
   VmStats Stats;

@@ -141,8 +141,26 @@ bool VirtualProcessor::dispatchOne() {
     Stats.IdleCalls.inc();
     Item = Policy->vpIdle(*this);
   }
-  if (!Item)
+  if (!Item) {
+    // First fruitless dispatch of an idle episode: this VP is parking (its
+    // PP may go on to sleep on the machine eventcount). Counted once per
+    // episode, not once per idle poll.
+    if (!IdleParked) {
+      IdleParked = true;
+      Stats.VpParks.inc();
+      STING_TRACE_EVENT(VpPark, 0, 0);
+    }
     return false;
+  }
+  if (IdleParked) {
+    IdleParked = false;
+    Stats.VpUnparks.inc();
+    STING_TRACE_EVENT(VpUnpark, 0,
+                      static_cast<std::uint32_t>(
+                          Stats.VpParks.get() > 0xffffffff
+                              ? 0xffffffff
+                              : Stats.VpParks.get()));
+  }
   Stats.Dequeues.inc();
 
   if (Item->isThread()) {

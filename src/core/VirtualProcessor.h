@@ -163,6 +163,14 @@ private:
   EnqueueReason ActionReason = EnqueueReason::Yielded;
   Tcb *ActionTcb = nullptr;
 
+  /// True between a fruitless dispatch (nothing runnable anywhere) and the
+  /// next successful one; drives the VpParks/VpUnparks counters and the
+  /// park/unpark trace events. VPs are born parked: a VP that has never
+  /// dispatched is idle by definition, so startup emits no event (a trace
+  /// gated off right after construction must stay empty). Owner-only, so
+  /// a plain bool.
+  bool IdleParked = true;
+
   /// Dispatches remaining before this VP yields to its physical processor
   /// so sibling VPs get processor time (backstop for the time slice).
   int DispatchBudget = 0;

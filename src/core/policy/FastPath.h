@@ -1,0 +1,71 @@
+//===- core/policy/FastPath.h - Shared lock-free policy plumbing -*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The owner/remote split shared by the deque-backed policies (local FIFO,
+/// local LIFO, steal-half): an enqueue performed *by the VP that owns the
+/// queue* goes straight to the Chase-Lev deque; everything else — unparks
+/// from sibling VPs, the preemption clock, off-machine callers — posts to
+/// the owner's MPSC mailbox, which the owner drains at the top of every
+/// dispatch. See DESIGN.md section 8 for the full protocol.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_CORE_POLICY_FASTPATH_H
+#define STING_CORE_POLICY_FASTPATH_H
+
+#include "core/Current.h"
+#include "core/VirtualProcessor.h"
+#include "core/policy/RemoteMailbox.h"
+#include "core/policy/WorkStealingDeque.h"
+
+#include <cstdint>
+
+namespace sting::fastpath {
+
+/// True when the calling thread is dispatching for \p Vp — the only case
+/// allowed to touch the owner end of \p Vp's deque. A policy instance is
+/// owned by exactly one VP, and every PolicyManager entry point receives
+/// that VP, so this is the complete owner test.
+inline bool onOwner(const VirtualProcessor &Vp) { return currentVp() == &Vp; }
+
+/// Remote-enqueue path: posts \p Item to \p Vp's mailbox and charges the
+/// target's (shared-writer) counters. The caller's reference to a Thread
+/// item transfers to the mailbox exactly as it would to a ready queue.
+inline void postRemote(RemoteMailbox &Mailbox, Schedulable &Item,
+                       VirtualProcessor &Vp, EnqueueReason Reason) {
+  // Read the id before publishing: once the item is visible the owner may
+  // drain, dispatch and recycle it concurrently.
+  const std::uint64_t TraceId = Item.schedThreadId();
+  const bool Ring = Mailbox.post(Item);
+  Vp.stats().MailboxPosts.incShared();
+  STING_TRACE_EVENT(MailboxPost, TraceId,
+                    obs::mailboxPostPayload(Vp.index(), Ring));
+  STING_TRACE_EVENT(Enqueue, TraceId,
+                    obs::enqueuePayload(Mailbox.size(),
+                                        static_cast<std::uint8_t>(Reason)));
+}
+
+/// Owner-side drain: moves every published mailbox item into the owner's
+/// structures via \p Consume and charges the drain counters. Costs two
+/// uncontended loads when the mailbox is empty (the common case).
+template <typename Fn>
+inline void drainMailbox(RemoteMailbox &Mailbox, VirtualProcessor &Vp,
+                         Fn &&Consume) {
+  if (Mailbox.empty())
+    return;
+  std::size_t N = Mailbox.drain(static_cast<Fn &&>(Consume));
+  if (N == 0)
+    return;
+  Vp.stats().MailboxDrains.add(N);
+  STING_TRACE_EVENT(MailboxDrain, 0,
+                    N > 0xffffffff ? 0xffffffffu
+                                   : static_cast<std::uint32_t>(N));
+}
+
+} // namespace sting::fastpath
+
+#endif // STING_CORE_POLICY_FASTPATH_H

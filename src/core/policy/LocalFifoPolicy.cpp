@@ -7,13 +7,18 @@
 // "round-robin preemptive scheduler" the paper recommends for master/slave
 // and worker-farm fairness (sections 3.3, 4.2.2). No migration.
 //
+// Backed by the lock-free fast path (DESIGN.md section 8): the owning VP
+// pushes at the bottom of a Chase-Lev deque and pops FIFO from the top
+// (one uncontended CAS); remote enqueuers post to an MPSC mailbox the
+// owner drains at dispatch, preserving arrival order.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/PolicyManager.h"
 
 #include "core/VirtualMachine.h"
 #include "core/VirtualProcessor.h"
-#include "core/policy/ReadyQueue.h"
+#include "core/policy/FastPath.h"
 
 #include <memory>
 
@@ -27,23 +32,29 @@ public:
                   std::shared_ptr<std::atomic<unsigned>> PlacementCursor)
       : Vm(&Vm), PlacementCursor(std::move(PlacementCursor)) {}
 
-  Schedulable *getNextThread(VirtualProcessor &) override {
-    return Queue.popFront();
+  Schedulable *getNextThread(VirtualProcessor &Vp) override {
+    // Mailbox items entered the machine at their post time; appending them
+    // at the bottom keeps global FIFO order within this VP.
+    fastpath::drainMailbox(Mailbox, Vp,
+                          [&](Schedulable &Item) { Deque.pushBottom(Item); });
+    return Deque.takeTop(); // FIFO
   }
 
-  void enqueueThread(Schedulable &Item, VirtualProcessor &,
+  void enqueueThread(Schedulable &Item, VirtualProcessor &Vp,
                      EnqueueReason Reason) override {
+    if (!fastpath::onOwner(Vp))
+      return fastpath::postRemote(Mailbox, Item, Vp, Reason);
     // Read the id before publishing: once the item is visible in a queue
     // another VP (dispatch or steal) may pop and recycle it concurrently.
     const std::uint64_t TraceId = Item.schedThreadId();
-    Queue.pushBack(Item);
+    Deque.pushBottom(Item);
     STING_TRACE_EVENT(Enqueue, TraceId,
-                      obs::enqueuePayload(Queue.size(),
+                      obs::enqueuePayload(Deque.size(),
                                           static_cast<std::uint8_t>(Reason)));
   }
 
   bool hasReadyWork(const VirtualProcessor &) const override {
-    return !Queue.empty();
+    return !Deque.empty() || !Mailbox.empty();
   }
 
   VirtualProcessor &selectVpForNewThread(VirtualProcessor &) override {
@@ -54,13 +65,17 @@ public:
 
   void drain(VirtualProcessor &,
              const std::function<void(Schedulable &)> &Drop) override {
-    Queue.drainInto(Drop);
+    // Runs single-threaded after the PPs have joined.
+    Mailbox.drain(Drop);
+    while (Schedulable *Item = Deque.takeTop())
+      Drop(*Item);
   }
 
 private:
   VirtualMachine *Vm;
   std::shared_ptr<std::atomic<unsigned>> PlacementCursor;
-  ReadyQueue Queue;
+  WorkStealingDeque Deque;
+  RemoteMailbox Mailbox;
 };
 
 } // namespace

@@ -8,13 +8,17 @@
 // earlier results find them still delayed/scheduled and steal them,
 // unfolding the call graph without context switches (section 4.1.1).
 //
+// Backed by the lock-free fast path (DESIGN.md section 8): the owning VP
+// pushes and pops the bottom of a Chase-Lev deque with no atomic RMW;
+// remote enqueuers post to an MPSC mailbox the owner drains at dispatch.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/PolicyManager.h"
 
 #include "core/VirtualMachine.h"
 #include "core/VirtualProcessor.h"
-#include "core/policy/ReadyQueue.h"
+#include "core/policy/FastPath.h"
 
 #include <memory>
 
@@ -26,33 +30,43 @@ class LocalLifoPolicy final : public PolicyManager {
 public:
   explicit LocalLifoPolicy(VirtualMachine &Vm) : Vm(&Vm) {}
 
-  Schedulable *getNextThread(VirtualProcessor &) override {
-    return Queue.popFront();
+  Schedulable *getNextThread(VirtualProcessor &Vp) override {
+    // Remote posts first reach the deque here; they slot in as if freshly
+    // pushed, so the newest runnable work (local or remote) runs next.
+    fastpath::drainMailbox(Mailbox, Vp,
+                          [&](Schedulable &Item) { Deque.pushBottom(Item); });
+    return Deque.popBottom();
   }
 
-  void enqueueThread(Schedulable &Item, VirtualProcessor &,
+  void enqueueThread(Schedulable &Item, VirtualProcessor &Vp,
                      EnqueueReason Reason) override {
+    if (!fastpath::onOwner(Vp))
+      return fastpath::postRemote(Mailbox, Item, Vp, Reason);
     // Read the id before publishing: once the item is visible in a queue
     // another VP (dispatch or steal) may pop and recycle it concurrently.
     const std::uint64_t TraceId = Item.schedThreadId();
-    Queue.pushFront(Item); // LIFO
+    Deque.pushBottom(Item); // LIFO via popBottom
     STING_TRACE_EVENT(Enqueue, TraceId,
-                      obs::enqueuePayload(Queue.size(),
+                      obs::enqueuePayload(Deque.size(),
                                           static_cast<std::uint8_t>(Reason)));
   }
 
   bool hasReadyWork(const VirtualProcessor &) const override {
-    return !Queue.empty();
+    return !Deque.empty() || !Mailbox.empty();
   }
 
   void drain(VirtualProcessor &,
              const std::function<void(Schedulable &)> &Drop) override {
-    Queue.drainInto(Drop);
+    // Runs single-threaded after the PPs have joined.
+    Mailbox.drain(Drop);
+    while (Schedulable *Item = Deque.popBottom())
+      Drop(*Item);
   }
 
 private:
   VirtualMachine *Vm;
-  ReadyQueue Queue;
+  WorkStealingDeque Deque;
+  RemoteMailbox Mailbox;
 };
 
 } // namespace

@@ -50,19 +50,35 @@ public:
     return &Items.popFront();
   }
 
-  /// Moves roughly half of this queue's items (from the back) into \p Out;
-  /// the migration primitive of steal-half policies. \returns the count.
+  /// Moves the back half of this queue (ceil(size/2) items, at least one
+  /// when non-empty) to the *front* of \p Out, preserving the segment's
+  /// relative order; the migration primitive of locked steal-half
+  /// policies. LockFreeQueueTest pins the ordering contract.
+  ///
+  /// The two locks are never held together: the segment is detached under
+  /// this queue's lock into a local list, then spliced under Out's lock —
+  /// so two queues stealing from each other concurrently cannot deadlock
+  /// (the ABBA hazard the previous nested-lock version had).
   std::size_t popHalfInto(ReadyQueue &Out) {
-    std::lock_guard<SpinLock> Guard(Lock);
-    std::size_t N = Items.size();
-    std::size_t Take = N / 2 + (N % 2); // at least 1 when non-empty
+    IntrusiveList<Schedulable, ReadyQueueTag> Seg;
     std::size_t Taken = 0;
-    while (Taken != Take && !Items.empty()) {
-      Schedulable &Item = Items.popBack();
-      Size.fetch_sub(1, std::memory_order_release);
-      Out.pushFront(Item);
-      ++Taken;
+    {
+      std::lock_guard<SpinLock> Guard(Lock);
+      std::size_t N = Items.size();
+      std::size_t Take = N / 2 + (N % 2); // at least 1 when non-empty
+      while (Taken != Take && !Items.empty()) {
+        // popBack walks newest-first; pushFront rebuilds original order.
+        Seg.pushFront(Items.popBack());
+        ++Taken;
+      }
+      Size.fetch_sub(Taken, std::memory_order_release);
     }
+    if (Taken == 0)
+      return 0;
+    std::lock_guard<SpinLock> Guard(Out.Lock);
+    while (!Seg.empty())
+      Out.Items.pushFront(Seg.popBack());
+    Out.Size.fetch_add(Taken, std::memory_order_release);
     return Taken;
   }
 
@@ -80,7 +96,9 @@ public:
 private:
   SpinLock Lock;
   IntrusiveList<Schedulable, ReadyQueueTag> Items;
-  std::atomic<std::size_t> Size{0};
+  /// Own line: the lock-free emptiness probe is hammered by idle PPs and
+  /// the watchdog, and must not contend with the lock word above.
+  alignas(64) std::atomic<std::size_t> Size{0};
 };
 
 } // namespace sting

@@ -1,0 +1,171 @@
+//===- core/policy/RemoteMailbox.h - Per-VP remote enqueues -----*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded MPSC mailbox, one per VP, carrying cross-VP enqueues —
+/// unparks, migrations, tuple-space wakeups, enqueues from off-machine
+/// threads and the preemption clock. Remote producers never touch the
+/// owner's Chase-Lev deque (which tolerates exactly one writer at the
+/// bottom); they post here and the owner drains at dispatch. The ring is
+/// Vyukov's bounded MPMC queue specialized to a single consumer: a
+/// producer claims a cell with one CAS on Tail and publishes with one
+/// release store of the cell sequence; the owner consumes with plain
+/// loads plus one release store per cell. When the ring is full —
+/// pathological fan-in to one VP — producers overflow into a spin-locked
+/// intrusive list, so posting never blocks and never spins unboundedly.
+///
+/// Emptiness is answered from Tail/Head/OverflowSize alone, so
+/// hasReadyWork stays accurate from any thread: Tail is advanced *before*
+/// the cell is published, hence a claimed-but-unpublished post already
+/// reports non-empty (the no-lost-wakeup direction; the drain may
+/// transiently see the unpublished cell and return short, but the VP's
+/// physical processor re-polls instead of sleeping).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_CORE_POLICY_REMOTEMAILBOX_H
+#define STING_CORE_POLICY_REMOTEMAILBOX_H
+
+#include "core/Schedulable.h"
+#include "support/SpinLock.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace sting {
+
+/// A bounded MPSC queue of Schedulable pointers with a locked overflow
+/// list. Any thread may post(); exactly one owner thread may drain().
+class RemoteMailbox {
+public:
+  explicit RemoteMailbox(std::size_t Capacity = 1024)
+      : Cells(roundUpPow2(Capacity)), Mask(Cells.size() - 1) {
+    for (std::size_t I = 0; I != Cells.size(); ++I)
+      Cells[I].Seq.store(I, std::memory_order_relaxed);
+  }
+
+  RemoteMailbox(const RemoteMailbox &) = delete;
+  RemoteMailbox &operator=(const RemoteMailbox &) = delete;
+
+  /// Posts \p Item from any thread. Lock-free unless the ring is full, in
+  /// which case the item goes to the overflow list under a spin lock.
+  /// \returns true when the fast (ring) path was taken.
+  bool post(Schedulable &Item) {
+    std::uint64_t T = Tail.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell &C = Cells[T & Mask];
+      std::uint64_t Seq = C.Seq.load(std::memory_order_acquire);
+      std::int64_t Dif =
+          static_cast<std::int64_t>(Seq) - static_cast<std::int64_t>(T);
+      if (Dif == 0) {
+        if (Tail.compare_exchange_weak(T, T + 1,
+                                       std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+          C.Item = &Item;
+          C.Seq.store(T + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded T; retry with the fresh value.
+      } else if (Dif < 0) {
+        // Ring full: fall back to the locked overflow list.
+        {
+          std::lock_guard<SpinLock> Guard(OverflowLock);
+          Overflow.pushBack(Item);
+        }
+        OverflowSize.fetch_add(1, std::memory_order_seq_cst);
+        return false;
+      } else {
+        T = Tail.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Owner-only: drains every currently-published item, invoking
+  /// \p Consume in post order (ring first, then overflow). \returns the
+  /// number of items delivered.
+  template <typename Fn> std::size_t drain(Fn &&Consume) {
+    std::size_t N = 0;
+    std::uint64_t H = Head.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell &C = Cells[H & Mask];
+      std::uint64_t Seq = C.Seq.load(std::memory_order_acquire);
+      if (Seq != H + 1)
+        break; // unpublished (or empty) — stop, do not spin on a slow poster
+      Schedulable *Item = C.Item;
+      C.Seq.store(H + Cells.size(), std::memory_order_release);
+      ++H;
+      Head.store(H, std::memory_order_release);
+      Consume(*Item);
+      ++N;
+    }
+    if (OverflowSize.load(std::memory_order_seq_cst) != 0) {
+      IntrusiveList<Schedulable, ReadyQueueTag> Spilled;
+      std::size_t Count = 0;
+      {
+        std::lock_guard<SpinLock> Guard(OverflowLock);
+        while (!Overflow.empty()) {
+          Spilled.pushBack(Overflow.popFront());
+          ++Count;
+        }
+      }
+      OverflowSize.fetch_sub(Count, std::memory_order_seq_cst);
+      while (!Spilled.empty()) {
+        Consume(Spilled.popFront());
+        ++N;
+      }
+    }
+    return N;
+  }
+
+  /// True when no post is pending. Accurate from any thread: a producer
+  /// advances Tail (or OverflowSize) before publishing, so a pending item
+  /// is never reported empty.
+  bool empty() const {
+    return Head.load(std::memory_order_seq_cst) ==
+               Tail.load(std::memory_order_seq_cst) &&
+           OverflowSize.load(std::memory_order_seq_cst) == 0;
+  }
+
+  /// Approximate pending count (diagnostics).
+  std::size_t size() const {
+    std::uint64_t H = Head.load(std::memory_order_acquire);
+    std::uint64_t T = Tail.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(T - H) +
+           OverflowSize.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return Cells.size(); }
+
+private:
+  struct Cell {
+    std::atomic<std::uint64_t> Seq;
+    Schedulable *Item = nullptr;
+  };
+
+  static std::size_t roundUpPow2(std::size_t N) {
+    std::size_t P = 8;
+    while (P < N)
+      P <<= 1;
+    return P;
+  }
+
+  std::vector<Cell> Cells;
+  std::size_t Mask;
+  // Producers contend on Tail; the owner walks Head. Separate lines so a
+  // posting storm does not bounce the consumer's cursor.
+  alignas(64) std::atomic<std::uint64_t> Tail{0};
+  alignas(64) std::atomic<std::uint64_t> Head{0};
+  alignas(64) SpinLock OverflowLock;
+  IntrusiveList<Schedulable, ReadyQueueTag> Overflow;
+  std::atomic<std::size_t> OverflowSize{0};
+};
+
+} // namespace sting
+
+#endif // STING_CORE_POLICY_REMOTEMAILBOX_H

@@ -10,13 +10,21 @@
 // thread queue is local to the VP on which it was created", which lets the
 // private queue skip ready-queue contention entirely.
 //
+// Backed by the lock-free fast path (DESIGN.md section 8): the public
+// queue is a Chase-Lev deque — the owner pushes/pops without locks and an
+// idle sibling steals a batch of up to half the visible elements from the
+// top, one CAS per element, preserving FIFO order. The private queue is a
+// plain intrusive list (owner-only by construction; remote wakeups of
+// pinned TCBs arrive through the mailbox and are routed by the owner).
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/PolicyManager.h"
 
 #include "core/VirtualMachine.h"
 #include "core/VirtualProcessor.h"
-#include "core/policy/ReadyQueue.h"
+#include "core/policy/FastPath.h"
+#include "support/Chaos.h"
 
 #include <memory>
 #include <vector>
@@ -42,27 +50,33 @@ public:
     this->Registry->Members[VpIndex] = this;
   }
 
-  Schedulable *getNextThread(VirtualProcessor &) override {
+  Schedulable *getNextThread(VirtualProcessor &Vp) override {
+    fastpath::drainMailbox(Mailbox, Vp,
+                          [&](Schedulable &Item) { route(Item); });
     // Private (evaluating) work first: resuming a blocked thread preserves
-    // its warm TCB; then local public threads.
-    if (Schedulable *Item = Private.popFront())
-      return Item;
-    return Public.popFront();
+    // its warm TCB; then local public threads in FIFO order.
+    if (!Private.empty()) {
+      Schedulable &Item = Private.popFront();
+      PrivateSize.store(PrivateSize.load(std::memory_order_relaxed) - 1,
+                        std::memory_order_release);
+      return &Item;
+    }
+    return Public.takeTop();
   }
 
-  void enqueueThread(Schedulable &Item, VirtualProcessor &,
+  void enqueueThread(Schedulable &Item, VirtualProcessor &Vp,
                      EnqueueReason Reason) override {
+    if (!fastpath::onOwner(Vp))
+      return fastpath::postRemote(Mailbox, Item, Vp, Reason);
     // Read the id before publishing: once the item is visible in a queue
     // another VP (dispatch or steal) may pop and recycle it concurrently.
     const std::uint64_t TraceId = Item.schedThreadId();
-    // Granularity split: TCBs are pinned (their stacks and heaps are cached
-    // on this VP); raw threads are fair game for migration.
     std::size_t Depth;
     if (Item.isTcb()) {
-      Private.pushBack(Item);
-      Depth = Private.size();
+      pushPrivate(Item);
+      Depth = PrivateSize.load(std::memory_order_relaxed);
     } else {
-      Public.pushBack(Item);
+      Public.pushBottom(Item);
       Depth = Public.size();
     }
     STING_TRACE_EVENT(Enqueue, TraceId,
@@ -71,26 +85,60 @@ public:
   }
 
   bool hasReadyWork(const VirtualProcessor &) const override {
-    return !Private.empty() || !Public.empty();
+    return PrivateSize.load(std::memory_order_acquire) != 0 ||
+           !Public.empty() || !Mailbox.empty();
   }
 
   Schedulable *vpIdle(VirtualProcessor &Vp) override {
     // Dynamic load balancing: scan siblings (nearest first in index order)
-    // and steal half of the first non-empty public queue.
+    // and steal up to half of the first non-empty public deque, one CAS
+    // per element. Elements come off the victim's top (its FIFO end), so
+    // the batch preserves the victim's dispatch order; the first stolen
+    // element dispatches here immediately and the rest are pushed to our
+    // own deque bottom, where takeTop recovers the same order.
     const auto &Members = Registry->Members;
     const std::size_t N = Members.size();
     for (std::size_t Hop = 1; Hop < N; ++Hop) {
       StealHalfPolicy *Victim = Members[(VpIndex + Hop) % N];
-      if (!Victim || Victim == this || Victim->Public.empty())
+      if (!Victim || Victim == this)
         continue;
-      std::size_t Moved = Victim->Public.popHalfInto(Public);
+      std::size_t Visible = Victim->Public.size();
+      if (Visible == 0)
+        continue;
+      if (STING_CHAOS_FIRE(StealDeny)) {
+        STING_TRACE_EVENT(ChaosInject, 0,
+                          static_cast<std::uint32_t>(chaos::Site::StealDeny));
+        continue;
+      }
+      std::size_t Target = Visible / 2 + (Visible % 2); // at least 1
+      Schedulable *First = nullptr;
+      std::size_t Moved = 0;
+      while (Moved != Target) {
+        Schedulable *Item = nullptr;
+        WorkStealingDeque::StealResult R = Victim->Public.steal(Item);
+        if (R == WorkStealingDeque::StealResult::Lost) {
+          Vp.stats().DequeStealCas.inc();
+          // Another thief (or the victim's last-element pop) won; the
+          // deque may still hold work, so retry the same victim.
+          continue;
+        }
+        if (R == WorkStealingDeque::StealResult::Empty)
+          break;
+        if (First)
+          Public.pushBottom(*Item);
+        else
+          First = Item;
+        ++Moved;
+      }
       if (Moved != 0) {
         ++StealsPerformed;
+        Vp.stats().DequeSteals.add(Moved);
         STING_TRACE_EVENT(Migrate, 0,
                           static_cast<std::uint32_t>(
                               Moved > 0xffffffff ? 0xffffffff : Moved));
-        Vp.vm().notifyWork();
-        return Public.popFront();
+        if (Moved > 1)
+          Vp.vm().notifyWork();
+        return First;
       }
     }
     return nullptr;
@@ -98,18 +146,47 @@ public:
 
   void drain(VirtualProcessor &,
              const std::function<void(Schedulable &)> &Drop) override {
-    Private.drainInto(Drop);
-    Public.drainInto(Drop);
+    // Runs single-threaded after the PPs have joined.
+    Mailbox.drain(Drop);
+    while (!Private.empty()) {
+      PrivateSize.store(PrivateSize.load(std::memory_order_relaxed) - 1,
+                        std::memory_order_release);
+      Drop(Private.popFront());
+    }
+    while (Schedulable *Item = Public.takeTop())
+      Drop(*Item);
   }
 
   std::uint64_t StealsPerformed = 0;
 
 private:
+  void pushPrivate(Schedulable &Item) {
+    Private.pushBack(Item);
+    PrivateSize.store(PrivateSize.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_release);
+  }
+
+  /// Mailbox-drain router: pinned TCBs rejoin the private queue, raw
+  /// threads become public (and thus stealable) work.
+  void route(Schedulable &Item) {
+    if (Item.isTcb())
+      pushPrivate(Item);
+    else
+      Public.pushBottom(Item);
+  }
+
   VirtualMachine *Vm;
   unsigned VpIndex;
   std::shared_ptr<StealRegistry> Registry;
-  ReadyQueue Private; ///< evaluating TCBs; never a migration target
-  ReadyQueue Public;  ///< scheduled threads; migratable
+
+  /// Evaluating TCBs; never a migration target. Owner-only plain list —
+  /// the size mirror is atomic because hasReadyWork is read cross-thread
+  /// (idle PPs, the watchdog's heartbeat sampler).
+  IntrusiveList<Schedulable, ReadyQueueTag> Private;
+  std::atomic<std::size_t> PrivateSize{0};
+
+  WorkStealingDeque Public; ///< scheduled threads; migratable
+  RemoteMailbox Mailbox;
 };
 
 } // namespace

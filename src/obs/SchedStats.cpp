@@ -17,6 +17,8 @@ SchedStatsSnapshot SchedStats::snapshot() const {
   S.Enqueues = Enqueues;
   S.Dequeues = Dequeues;
   S.SkippedStale = SkippedStale;
+  S.MailboxPosts = MailboxPosts;
+  S.MailboxDrains = MailboxDrains;
   S.Dispatches = Dispatches;
   S.FreshBinds = FreshBinds;
   S.Resumes = Resumes;
@@ -29,6 +31,10 @@ SchedStatsSnapshot SchedStats::snapshot() const {
   S.StealsAttempted = StealsAttempted;
   S.StealsSucceeded = StealsSucceeded;
   S.StealsFailed = StealsFailed;
+  S.DequeSteals = DequeSteals;
+  S.DequeStealCas = DequeStealCas;
+  S.VpParks = VpParks;
+  S.VpUnparks = VpUnparks;
   S.PreemptsDelivered = PreemptsDelivered;
   S.PreemptsDeferred = PreemptsDeferred;
   S.ThreadsCreated = ThreadsCreated;
@@ -44,6 +50,8 @@ SchedStatsSnapshot::operator+=(const SchedStatsSnapshot &Other) {
   Enqueues += Other.Enqueues;
   Dequeues += Other.Dequeues;
   SkippedStale += Other.SkippedStale;
+  MailboxPosts += Other.MailboxPosts;
+  MailboxDrains += Other.MailboxDrains;
   Dispatches += Other.Dispatches;
   FreshBinds += Other.FreshBinds;
   Resumes += Other.Resumes;
@@ -56,6 +64,10 @@ SchedStatsSnapshot::operator+=(const SchedStatsSnapshot &Other) {
   StealsAttempted += Other.StealsAttempted;
   StealsSucceeded += Other.StealsSucceeded;
   StealsFailed += Other.StealsFailed;
+  DequeSteals += Other.DequeSteals;
+  DequeStealCas += Other.DequeStealCas;
+  VpParks += Other.VpParks;
+  VpUnparks += Other.VpUnparks;
   PreemptsDelivered += Other.PreemptsDelivered;
   PreemptsDeferred += Other.PreemptsDeferred;
   ThreadsCreated += Other.ThreadsCreated;
@@ -77,6 +89,8 @@ constexpr Row Rows[] = {
     {"enqueues", &SchedStatsSnapshot::Enqueues},
     {"dequeues", &SchedStatsSnapshot::Dequeues},
     {"stale skips", &SchedStatsSnapshot::SkippedStale},
+    {"mailbox posts", &SchedStatsSnapshot::MailboxPosts},
+    {"mailbox drains", &SchedStatsSnapshot::MailboxDrains},
     {"dispatches", &SchedStatsSnapshot::Dispatches},
     {"  fresh binds", &SchedStatsSnapshot::FreshBinds},
     {"  resumes", &SchedStatsSnapshot::Resumes},
@@ -89,6 +103,10 @@ constexpr Row Rows[] = {
     {"steals attempted", &SchedStatsSnapshot::StealsAttempted},
     {"steals succeeded", &SchedStatsSnapshot::StealsSucceeded},
     {"steals failed", &SchedStatsSnapshot::StealsFailed},
+    {"deque steals", &SchedStatsSnapshot::DequeSteals},
+    {"deque steal cas", &SchedStatsSnapshot::DequeStealCas},
+    {"vp parks", &SchedStatsSnapshot::VpParks},
+    {"vp unparks", &SchedStatsSnapshot::VpUnparks},
     {"preempts delivered", &SchedStatsSnapshot::PreemptsDelivered},
     {"preempts deferred", &SchedStatsSnapshot::PreemptsDeferred},
     {"threads created", &SchedStatsSnapshot::ThreadsCreated},

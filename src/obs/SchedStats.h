@@ -61,12 +61,24 @@ private:
 struct SchedStatsSnapshot;
 
 /// The per-VP counter block. Padded to cache-line multiples so two VPs'
-/// counters never share a line (the whole point of per-VP blocks).
+/// counters never share a line (the whole point of per-VP blocks), and
+/// internally split so the counters that remote threads bump via
+/// incShared() (Enqueues, Wakeups, MailboxPosts) live on their own line —
+/// a posting storm from sibling VPs must not invalidate the line holding
+/// the owner's dispatch-loop counters.
 struct alignas(64) SchedStats {
-  // Ready-queue traffic.
+  // --- Remote-written line(s): any thread may incShared() these. --------
   Counter Enqueues;     ///< schedulables inserted into this VP's queues
-  Counter Dequeues;     ///< schedulables popped by this VP's scheduler loop
+  Counter Wakeups;      ///< unparks delivered from this VP (incShared for
+                        ///< deliveries from non-VP threads, e.g. the clock)
+  Counter MailboxPosts; ///< cross-VP enqueues posted to this VP's mailbox
+                        ///< (always written by the remote producer)
+
+  // --- Owner-written lines: only the owning VP's OS thread writes. ------
+  alignas(64) Counter Dequeues; ///< schedulables popped by this VP's
+                                ///< scheduler loop
   Counter SkippedStale; ///< popped entries whose thread was already taken
+  Counter MailboxDrains; ///< items the owner drained from its mailbox
 
   // Context switches.
   Counter Dispatches;  ///< switches from the scheduler into a thread
@@ -86,6 +98,16 @@ struct alignas(64) SchedStats {
   Counter StealsSucceeded;
   Counter StealsFailed;
 
+  // Ready-queue stealing (the Chase-Lev migration edge).
+  Counter DequeSteals;    ///< elements this VP stole from sibling deques
+  Counter DequeStealCas;  ///< failed steal CASes (lost races, retried)
+
+  // Idle protocol (DESIGN.md section 8): a VP "parks" when its dispatch
+  // loop finds no work anywhere and yields to its physical processor,
+  // which then sleeps on the machine eventcount.
+  Counter VpParks;   ///< transitions into the parked-idle state
+  Counter VpUnparks; ///< dispatches that ended a parked-idle episode
+
   // Preemption.
   Counter PreemptsDelivered; ///< checkpoint consumed a flag and yielded
   Counter PreemptsDeferred;  ///< flag seen while preemption was disabled
@@ -93,9 +115,7 @@ struct alignas(64) SchedStats {
   // Thread lifecycle and blocking, attributed to the VP that ran the op.
   Counter ThreadsCreated;
   Counter ThreadsTerminated;
-  Counter Blocks;  ///< parkCurrent entries (intent to block)
-  Counter Wakeups; ///< unparks delivered from this VP (incShared for
-                   ///< deliveries from non-VP threads, e.g. the clock)
+  Counter Blocks; ///< parkCurrent entries (intent to block)
 
   /// Run-slice lengths (dispatch to switch-back), recorded only while
   /// tracing is enabled so the default path never pays the extra clock
@@ -111,6 +131,8 @@ struct SchedStatsSnapshot {
   std::uint64_t Enqueues = 0;
   std::uint64_t Dequeues = 0;
   std::uint64_t SkippedStale = 0;
+  std::uint64_t MailboxPosts = 0;
+  std::uint64_t MailboxDrains = 0;
   std::uint64_t Dispatches = 0;
   std::uint64_t FreshBinds = 0;
   std::uint64_t Resumes = 0;
@@ -123,6 +145,10 @@ struct SchedStatsSnapshot {
   std::uint64_t StealsAttempted = 0;
   std::uint64_t StealsSucceeded = 0;
   std::uint64_t StealsFailed = 0;
+  std::uint64_t DequeSteals = 0;
+  std::uint64_t DequeStealCas = 0;
+  std::uint64_t VpParks = 0;
+  std::uint64_t VpUnparks = 0;
   std::uint64_t PreemptsDelivered = 0;
   std::uint64_t PreemptsDeferred = 0;
   std::uint64_t ThreadsCreated = 0;

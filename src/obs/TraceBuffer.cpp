@@ -124,6 +124,14 @@ const char *traceEventKindName(TraceEventKind K) {
     return "watchdog_report";
   case TraceEventKind::ChaosInject:
     return "chaos_inject";
+  case TraceEventKind::MailboxPost:
+    return "mailbox_post";
+  case TraceEventKind::MailboxDrain:
+    return "mailbox_drain";
+  case TraceEventKind::VpPark:
+    return "vp_park";
+  case TraceEventKind::VpUnpark:
+    return "vp_unpark";
   case TraceEventKind::NumKinds:
     break;
   }

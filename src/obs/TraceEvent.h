@@ -77,8 +77,25 @@ enum class TraceEventKind : std::uint8_t {
                     ///< stalled-VP count)
   ChaosInject,      ///< a chaos fault fired (payload: chaos::Site ordinal)
 
+  // Lock-free scheduling fast path (appended after ChaosInject so earlier
+  // ordinals — and the golden traces pinned to them — stay stable).
+  MailboxPost,  ///< a cross-VP enqueue was posted to a mailbox (payload:
+                ///< target VP | ring-path bit << 16)
+  MailboxDrain, ///< the owner drained its mailbox (payload: items moved)
+  VpPark,       ///< a VP's dispatch loop found no work and parked
+  VpUnpark,     ///< a parked VP dispatched again (payload: idle episodes)
+
   NumKinds
 };
+
+/// Packs a MailboxPost payload: the target VP index in the low 16 bits and
+/// whether the lock-free ring path was taken (vs. the locked overflow
+/// list) in bit 16.
+inline std::uint32_t mailboxPostPayload(unsigned TargetVp, bool RingPath) {
+  std::uint32_t V = TargetVp > 0xffff ? 0xffffu
+                                      : static_cast<std::uint32_t>(TargetVp);
+  return V | (RingPath ? (1u << 16) : 0u);
+}
 
 /// \returns a stable short name for \p K, used by the exporter and reports.
 const char *traceEventKindName(TraceEventKind K);

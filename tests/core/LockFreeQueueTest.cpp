@@ -1,0 +1,408 @@
+//===- tests/core/LockFreeQueueTest.cpp - Fast-path queue tests ------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// The lock-free scheduling fast path (DESIGN.md section 8) in isolation:
+// the Chase-Lev deque (owner ops vs. concurrent thieves, growth under
+// race, the last-element CAS), the MPSC remote mailbox (order, overflow,
+// multi-producer conservation), the locked ReadyQueue's migration
+// primitive (order contract pinned), and the end-to-end no-lost-wakeup
+// property of remote enqueues against parked VPs. The concurrency tests
+// are conservation arguments — every item consumed exactly once — and are
+// meant to run under TSan and ASan in CI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/policy/RemoteMailbox.h"
+#include "core/policy/WorkStealingDeque.h"
+
+#include "core/VirtualMachine.h"
+#include "core/policy/ReadyQueue.h"
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace sting;
+
+/// Minimal concrete Schedulable for queue tests (never dispatched, so the
+/// Thread/Tcb downcasts are never exercised).
+struct Item final : Schedulable {
+  explicit Item(int V = 0) : Schedulable(Kind::Thread), Value(V) {}
+  int Value;
+};
+
+std::vector<std::unique_ptr<Item>> makeItems(int N) {
+  std::vector<std::unique_ptr<Item>> Items;
+  Items.reserve(static_cast<std::size_t>(N));
+  for (int I = 0; I != N; ++I)
+    Items.push_back(std::make_unique<Item>(I));
+  return Items;
+}
+
+//===----------------------------------------------------------------------===//
+// Chase-Lev deque
+//===----------------------------------------------------------------------===//
+
+TEST(DequeTest, PopBottomIsLifo) {
+  WorkStealingDeque D;
+  auto Items = makeItems(3);
+  for (auto &I : Items)
+    D.pushBottom(*I);
+  EXPECT_EQ(D.size(), 3u);
+  EXPECT_EQ(D.popBottom(), Items[2].get());
+  EXPECT_EQ(D.popBottom(), Items[1].get());
+  EXPECT_EQ(D.popBottom(), Items[0].get());
+  EXPECT_EQ(D.popBottom(), nullptr);
+  EXPECT_TRUE(D.empty());
+}
+
+TEST(DequeTest, TakeTopIsFifo) {
+  WorkStealingDeque D;
+  auto Items = makeItems(3);
+  for (auto &I : Items)
+    D.pushBottom(*I);
+  EXPECT_EQ(D.takeTop(), Items[0].get());
+  EXPECT_EQ(D.takeTop(), Items[1].get());
+  EXPECT_EQ(D.takeTop(), Items[2].get());
+  EXPECT_EQ(D.takeTop(), nullptr);
+}
+
+TEST(DequeTest, StealTakesOldest) {
+  WorkStealingDeque D;
+  auto Items = makeItems(2);
+  for (auto &I : Items)
+    D.pushBottom(*I);
+  Schedulable *Out = nullptr;
+  ASSERT_EQ(D.steal(Out), WorkStealingDeque::StealResult::Ok);
+  EXPECT_EQ(Out, Items[0].get());
+  EXPECT_EQ(D.popBottom(), Items[1].get());
+  ASSERT_EQ(D.steal(Out), WorkStealingDeque::StealResult::Empty);
+}
+
+TEST(DequeTest, GrowthPreservesContentsAndOrder) {
+  WorkStealingDeque D(8);
+  const std::size_t Initial = D.capacity();
+  auto Items = makeItems(1000); // forces several doublings
+  for (auto &I : Items)
+    D.pushBottom(*I);
+  EXPECT_GT(D.capacity(), Initial);
+  EXPECT_EQ(D.size(), 1000u);
+  for (int I = 0; I != 1000; ++I) {
+    Schedulable *Got = D.takeTop();
+    ASSERT_NE(Got, nullptr);
+    EXPECT_EQ(static_cast<Item *>(Got)->Value, I);
+  }
+  EXPECT_TRUE(D.empty());
+}
+
+TEST(DequeTest, WraparoundAfterInterleavedPushPop) {
+  WorkStealingDeque D(8);
+  auto Items = makeItems(64);
+  // Push/pop churn walks the indices far past the ring capacity without
+  // ever holding more than 4 elements, exercising index wraparound.
+  std::size_t Next = 0;
+  for (int Round = 0; Round != 200; ++Round) {
+    for (int K = 0; K != 4; ++K)
+      D.pushBottom(*Items[(Next++) % Items.size()]);
+    for (int K = 0; K != 4; ++K)
+      ASSERT_NE(D.popBottom(), nullptr);
+  }
+  EXPECT_TRUE(D.empty());
+  EXPECT_EQ(D.capacity(), 8u);
+}
+
+// Conservation under concurrency: one owner pushing and popping at the
+// bottom, two thieves stealing from the top, growth forced mid-race by the
+// tiny initial ring. Every item must be consumed by exactly one party.
+TEST(DequeTest, OwnerVsThievesStress) {
+  constexpr int N = 20000;
+  WorkStealingDeque D(8);
+  auto Items = makeItems(N);
+
+  std::atomic<bool> Done{false};
+  std::vector<std::vector<int>> Stolen(2);
+  std::vector<std::thread> Thieves;
+  for (int T = 0; T != 2; ++T)
+    Thieves.emplace_back([&, T] {
+      auto &Mine = Stolen[static_cast<std::size_t>(T)];
+      for (;;) {
+        Schedulable *Out = nullptr;
+        switch (D.steal(Out)) {
+        case WorkStealingDeque::StealResult::Ok:
+          Mine.push_back(static_cast<Item *>(Out)->Value);
+          break;
+        case WorkStealingDeque::StealResult::Lost:
+          break; // re-read and retry
+        case WorkStealingDeque::StealResult::Empty:
+          if (Done.load(std::memory_order_acquire))
+            return;
+          std::this_thread::yield();
+          break;
+        }
+      }
+    });
+
+  std::vector<int> Popped;
+  for (int I = 0; I != N; ++I) {
+    D.pushBottom(*Items[static_cast<std::size_t>(I)]);
+    // Pop every third push so the owner end stays hot and the last-element
+    // race (Top == Bottom) occurs repeatedly at shallow depths.
+    if (I % 3 == 0)
+      if (Schedulable *Out = D.popBottom())
+        Popped.push_back(static_cast<Item *>(Out)->Value);
+  }
+  while (Schedulable *Out = D.popBottom())
+    Popped.push_back(static_cast<Item *>(Out)->Value);
+  Done.store(true, std::memory_order_release);
+  for (auto &T : Thieves)
+    T.join();
+
+  // The deque can only be empty now: thieves saw Empty after Done.
+  EXPECT_TRUE(D.empty());
+
+  std::vector<int> All = Popped;
+  for (auto &V : Stolen)
+    All.insert(All.end(), V.begin(), V.end());
+  ASSERT_EQ(All.size(), static_cast<std::size_t>(N));
+  std::sort(All.begin(), All.end());
+  for (int I = 0; I != N; ++I)
+    ASSERT_EQ(All[static_cast<std::size_t>(I)], I) << "duplicated or lost";
+}
+
+// The last-element race in isolation: a deque holding exactly one item,
+// the owner popping the bottom while a thief steals the top. Exactly one
+// side must win each round.
+TEST(DequeTest, LastElementGoesToExactlyOneConsumer) {
+  constexpr int Rounds = 2000;
+  WorkStealingDeque D;
+  Item Only(7);
+
+  std::atomic<int> Go{0};
+  std::atomic<int> ThiefDone{0};
+  std::atomic<Schedulable *> ThiefGot{nullptr};
+
+  std::thread Thief([&] {
+    for (int R = 1; R <= Rounds; ++R) {
+      while (Go.load(std::memory_order_acquire) != R)
+        std::this_thread::yield();
+      for (;;) {
+        Schedulable *Out = nullptr;
+        auto Res = D.steal(Out);
+        if (Res == WorkStealingDeque::StealResult::Ok) {
+          ThiefGot.store(Out, std::memory_order_release);
+          break;
+        }
+        if (Res == WorkStealingDeque::StealResult::Empty)
+          break;
+        // Lost: the owner's pop may have won the CAS; re-read.
+      }
+      ThiefDone.store(R, std::memory_order_release);
+    }
+  });
+
+  for (int R = 1; R <= Rounds; ++R) {
+    D.pushBottom(Only);
+    Go.store(R, std::memory_order_release);
+    Schedulable *Mine = D.popBottom();
+    while (ThiefDone.load(std::memory_order_acquire) != R)
+      std::this_thread::yield();
+    Schedulable *Theirs = ThiefGot.exchange(nullptr);
+    ASSERT_NE(Mine == nullptr, Theirs == nullptr)
+        << "round " << R << ": item lost or duplicated";
+    ASSERT_EQ(Mine ? Mine : Theirs, &Only);
+    ASSERT_TRUE(D.empty());
+  }
+  Thief.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Remote mailbox
+//===----------------------------------------------------------------------===//
+
+TEST(MailboxTest, DrainDeliversInPostOrder) {
+  RemoteMailbox M(64);
+  auto Items = makeItems(10);
+  for (auto &I : Items)
+    EXPECT_TRUE(M.post(*I)); // all fit: ring path
+  EXPECT_FALSE(M.empty());
+  std::vector<int> Got;
+  std::size_t N = M.drain(
+      [&](Schedulable &S) { Got.push_back(static_cast<Item &>(S).Value); });
+  EXPECT_EQ(N, 10u);
+  ASSERT_EQ(Got.size(), 10u);
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(Got[static_cast<std::size_t>(I)], I);
+  EXPECT_TRUE(M.empty());
+}
+
+TEST(MailboxTest, OverflowSpillsAndDrainsEverything) {
+  RemoteMailbox M(8); // rounds to capacity 8
+  auto Items = makeItems(20);
+  int RingPosts = 0;
+  for (auto &I : Items)
+    RingPosts += M.post(*I) ? 1 : 0;
+  EXPECT_EQ(RingPosts, 8);       // ring filled first
+  EXPECT_EQ(M.size(), 20u);      // overflow counted
+  EXPECT_FALSE(M.empty());
+  std::vector<int> Got;
+  std::size_t N = M.drain(
+      [&](Schedulable &S) { Got.push_back(static_cast<Item &>(S).Value); });
+  EXPECT_EQ(N, 20u);
+  // Ring items (0..7) come first and in order; the spilled tail keeps its
+  // own order too.
+  ASSERT_EQ(Got.size(), 20u);
+  for (int I = 0; I != 20; ++I)
+    EXPECT_EQ(Got[static_cast<std::size_t>(I)], I);
+  EXPECT_TRUE(M.empty());
+}
+
+TEST(MailboxTest, EmptinessVisibleFromOtherThreads) {
+  RemoteMailbox M;
+  EXPECT_TRUE(M.empty());
+  Item I(1);
+  std::thread Producer([&] { M.post(I); });
+  Producer.join();
+  EXPECT_FALSE(M.empty()); // the post happened-before the join
+  M.drain([](Schedulable &) {});
+  EXPECT_TRUE(M.empty());
+}
+
+// Multi-producer conservation through a deliberately tiny ring, so the
+// overflow path runs concurrently with ring posts and drains.
+TEST(MailboxTest, MpscStressConservesItems) {
+  constexpr int Producers = 3;
+  constexpr int PerProducer = 5000;
+  RemoteMailbox M(16);
+  auto Items = makeItems(Producers * PerProducer);
+
+  std::vector<std::thread> Threads;
+  for (int P = 0; P != Producers; ++P)
+    Threads.emplace_back([&, P] {
+      for (int I = 0; I != PerProducer; ++I)
+        M.post(*Items[static_cast<std::size_t>(P * PerProducer + I)]);
+    });
+
+  std::vector<int> Got;
+  Got.reserve(Items.size());
+  while (Got.size() != Items.size()) {
+    M.drain(
+        [&](Schedulable &S) { Got.push_back(static_cast<Item &>(S).Value); });
+    std::this_thread::yield();
+  }
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_TRUE(M.empty());
+
+  std::sort(Got.begin(), Got.end());
+  for (std::size_t I = 0; I != Got.size(); ++I)
+    ASSERT_EQ(Got[I], static_cast<int>(I)) << "duplicated or lost";
+}
+
+//===----------------------------------------------------------------------===//
+// ReadyQueue::popHalfInto (the locked migration primitive)
+//===----------------------------------------------------------------------===//
+
+TEST(ReadyQueueTest, PopHalfIntoTakesCeilHalfFromTheBack) {
+  ReadyQueue From, To;
+  auto Items = makeItems(5); // [0 1 2 3 4]
+  for (auto &I : Items)
+    From.pushBack(*I);
+  std::size_t Moved = From.popHalfInto(To);
+  EXPECT_EQ(Moved, 3u); // ceil(5/2)
+  EXPECT_EQ(From.size(), 2u);
+  EXPECT_EQ(To.size(), 3u);
+  // The victim keeps its oldest items...
+  EXPECT_EQ(static_cast<Item *>(From.popFront())->Value, 0);
+  EXPECT_EQ(static_cast<Item *>(From.popFront())->Value, 1);
+  // ...and the stolen back segment arrives in its original relative order.
+  EXPECT_EQ(static_cast<Item *>(To.popFront())->Value, 2);
+  EXPECT_EQ(static_cast<Item *>(To.popFront())->Value, 3);
+  EXPECT_EQ(static_cast<Item *>(To.popFront())->Value, 4);
+}
+
+TEST(ReadyQueueTest, PopHalfIntoPrependsBeforeExistingItems) {
+  ReadyQueue From, To;
+  auto Items = makeItems(4); // victim gets [0 1 2 3]
+  for (auto &I : Items)
+    From.pushBack(*I);
+  Item Resident(99);
+  To.pushBack(Resident);
+  EXPECT_EQ(From.popHalfInto(To), 2u); // moves [2 3]
+  // Stolen work lands ahead of what the thief already had.
+  EXPECT_EQ(static_cast<Item *>(To.popFront())->Value, 2);
+  EXPECT_EQ(static_cast<Item *>(To.popFront())->Value, 3);
+  EXPECT_EQ(static_cast<Item *>(To.popFront())->Value, 99);
+}
+
+TEST(ReadyQueueTest, PopHalfIntoOfSingletonMovesIt) {
+  ReadyQueue From, To;
+  Item Only(5);
+  From.pushBack(Only);
+  EXPECT_EQ(From.popHalfInto(To), 1u);
+  EXPECT_TRUE(From.empty());
+  EXPECT_EQ(To.popFront(), &Only);
+}
+
+TEST(ReadyQueueTest, PopHalfIntoOfEmptyIsZero) {
+  ReadyQueue From, To;
+  EXPECT_EQ(From.popHalfInto(To), 0u);
+  EXPECT_TRUE(To.empty());
+}
+
+// Two queues stealing from each other concurrently: the old nested-lock
+// implementation could deadlock here (ABBA); the detach-then-splice
+// version must complete and conserve items.
+TEST(ReadyQueueTest, MutualPopHalfIntoDoesNotDeadlock) {
+  ReadyQueue A, B;
+  auto Items = makeItems(200);
+  for (int I = 0; I != 100; ++I)
+    A.pushBack(*Items[static_cast<std::size_t>(I)]);
+  for (int I = 100; I != 200; ++I)
+    B.pushBack(*Items[static_cast<std::size_t>(I)]);
+
+  std::thread T1([&] {
+    for (int R = 0; R != 500; ++R)
+      A.popHalfInto(B);
+  });
+  std::thread T2([&] {
+    for (int R = 0; R != 500; ++R)
+      B.popHalfInto(A);
+  });
+  T1.join();
+  T2.join();
+  EXPECT_EQ(A.size() + B.size(), 200u);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: remote enqueues wake parked VPs (no lost wakeups)
+//===----------------------------------------------------------------------===//
+
+// Forks arrive from outside the machine (this test thread has no VP), so
+// every enqueue takes the mailbox path; the sleeps between forks let the
+// single PP park on the machine eventcount each round. A lost wakeup
+// would hang the join (the PP has a 1ms nap backstop, so in practice a
+// regression shows up as this test timing out only when the backstop is
+// also broken — the counter assertions below catch the softer failure
+// where the fast path silently stops being exercised).
+TEST(MailboxWakeupTest, RemoteEnqueueWakesParkedVp) {
+  VirtualMachine Vm(VmConfig{.NumVps = 1, .NumPps = 1});
+  for (int I = 0; I != 20; ++I) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    Vm.run([]() -> AnyValue { return {}; });
+  }
+  auto S = Vm.aggregateStats();
+  EXPECT_GT(S.MailboxPosts, 0u) << "external forks must take the mailbox";
+  EXPECT_GT(S.MailboxDrains, 0u);
+  EXPECT_GT(S.VpParks, 0u) << "the VP should have idled between forks";
+  EXPECT_GT(S.VpUnparks, 0u) << "each fork should end an idle episode";
+  EXPECT_EQ(S.Enqueues, S.Dequeues) << "accounting must balance at quiesce";
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+//===- tests/support/EventCountTest.cpp ------------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// The eventcount is the idle protocol of the scheduling fast path
+// (DESIGN.md section 8); the stress test here drives the exact handshake
+// the physical processors use — publish work, notifyAll — against waiters
+// doing prepare / re-check / commit, and fails by hanging if a wakeup is
+// ever lost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EventCount.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <thread>
+
+namespace {
+
+using sting::EventCount;
+
+TEST(EventCountTest, NotifyWithNoWaitersIsANoOp) {
+  EventCount Ec;
+  Ec.notifyAll(); // must not touch the mutex path or block
+  EXPECT_EQ(Ec.waiters(), 0u);
+}
+
+TEST(EventCountTest, PrepareAndCancelBalanceTheWaiterCount) {
+  EventCount Ec;
+  auto K = Ec.prepareWait();
+  (void)K;
+  EXPECT_EQ(Ec.waiters(), 1u);
+  Ec.cancelWait();
+  EXPECT_EQ(Ec.waiters(), 0u);
+}
+
+TEST(EventCountTest, NotifyBeforeCommitDoesNotBlock) {
+  EventCount Ec;
+  auto K = Ec.prepareWait();
+  Ec.notifyAll(); // bumps the epoch: a registered waiter exists
+  Ec.commitWait(K);
+  EXPECT_EQ(Ec.waiters(), 0u);
+}
+
+TEST(EventCountTest, TimeoutExpires) {
+  EventCount Ec;
+  auto K = Ec.prepareWait();
+  Ec.commitWait(K, 1'000'000); // 1ms; nobody will notify
+  EXPECT_EQ(Ec.waiters(), 0u);
+}
+
+TEST(EventCountTest, WakesSleeper) {
+  EventCount Ec;
+  std::atomic<bool> Woke{false};
+
+  std::thread Sleeper([&] {
+    auto K = Ec.prepareWait();
+    Ec.commitWait(K);
+    Woke.store(true);
+  });
+
+  while (!Woke.load()) {
+    Ec.notifyAll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Sleeper.join();
+}
+
+// The no-lost-wakeup direction, in the scheduler's exact shape: the
+// notifier publishes (a release store) before notifyAll; the waiter
+// re-checks the condition between prepareWait and commitWait. If the
+// eventcount ever dropped the race where publish lands between the
+// re-check and the sleep, a round would hang (and the untimed commitWait
+// would never return).
+TEST(EventCountTest, NoLostWakeupStress) {
+  EventCount Ec;
+  std::atomic<bool> Work{false};
+  std::atomic<bool> Stop{false};
+  constexpr int Rounds = 2000;
+
+  std::thread Waiter([&] {
+    for (int R = 0; R != Rounds; ++R) {
+      for (;;) {
+        if (Work.load(std::memory_order_acquire))
+          break;
+        auto K = Ec.prepareWait();
+        if (Work.load(std::memory_order_acquire) ||
+            Stop.load(std::memory_order_acquire)) {
+          Ec.cancelWait();
+          break;
+        }
+        Ec.commitWait(K); // untimed: a lost wakeup hangs the test
+      }
+      Work.store(false, std::memory_order_release);
+    }
+  });
+
+  for (int R = 0; R != Rounds; ++R) {
+    Work.store(true, std::memory_order_release);
+    Ec.notifyAll();
+    // Wait for the round to be consumed before publishing the next one.
+    while (Work.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  }
+  Stop.store(true, std::memory_order_release);
+  Ec.notifyAll();
+  Waiter.join();
+  EXPECT_EQ(Ec.waiters(), 0u);
+}
+
+TEST(EventCountTest, NotifyWakesAllWaiters) {
+  EventCount Ec;
+  constexpr int N = 4;
+  std::atomic<int> Awake{0};
+  std::vector<std::thread> Sleepers;
+  for (int I = 0; I != N; ++I)
+    Sleepers.emplace_back([&] {
+      auto K = Ec.prepareWait();
+      Ec.commitWait(K);
+      Awake.fetch_add(1);
+    });
+
+  while (Awake.load() != N) {
+    Ec.notifyAll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto &T : Sleepers)
+    T.join();
+  EXPECT_EQ(Ec.waiters(), 0u);
+}
+
+} // namespace
