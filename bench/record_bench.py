@@ -14,11 +14,20 @@ result as a committed baseline file or compares it against one:
         --bench build/bench/fig6_baseline --baseline bench/BENCH_fig6.json \
         --max-ratio 2.0 --out fig6-current.json
 
+    # Paired mode: additionally run the merge-base build of the same
+    # binary on the same runner and fail on >20% per-row drift. Because
+    # both builds execute back to back on one machine, machine speed
+    # cancels out and the gate can be much tighter than the absolute one:
+    python3 bench/record_bench.py check \
+        --bench build/bench/fig6_baseline --baseline bench/BENCH_fig6.json \
+        --base-bench base-build/bench/fig6_baseline --drift-ratio 1.2
+
 The baseline stores medians in nanoseconds keyed by benchmark run name.
 Medians (not means) keep one descheduled repetition from poisoning the
-record; the check ratio is generous because CI runners are slower and
-noisier than the recording machine — the gate exists to catch order-of-
-magnitude mistakes (an accidental lock on the fast path), not 10% drifts.
+record; the absolute check ratio is generous because CI runners are slower
+and noisier than the recording machine — that gate exists to catch order-
+of-magnitude mistakes (an accidental lock on the fast path), not 10%
+drifts. The paired gate covers the 10%-to-2x gap.
 """
 
 import argparse
@@ -113,6 +122,45 @@ def cmd_check(args):
     print(f"all {len(base)} baselined benchmark(s) within "
           f"{args.max_ratio}x")
 
+    if args.base_bench:
+        check_paired(args, medians)
+
+
+def check_paired(args, medians):
+    """Paired drift gate: re-run the merge-base build of the binary on this
+    same runner and compare row by row. Rows only in one build (added or
+    removed benchmarks) are reported but never fail the gate."""
+    print(f"\npaired drift check against {args.base_bench} "
+          f"(gate {args.drift_ratio:.2f}x):")
+    base = run_benchmarks(args.base_bench, args.repetitions, args.filter,
+                          args.warmup)
+    if args.base_out:
+        with open(args.base_out, "w") as f:
+            json.dump(
+                {"schema": 1, "unit": "ns", "benchmarks": base}, f,
+                indent=2, sort_keys=True)
+            f.write("\n")
+
+    drifted = []
+    for name in sorted(set(base) & set(medians)):
+        ratio = medians[name] / base[name] if base[name] > 0 else float("inf")
+        verdict = "DRIFT" if ratio > args.drift_ratio else "ok"
+        print(f"{verdict:<8} {name:<50} {base[name]:10.1f} -> "
+              f"{medians[name]:10.1f} ns  ({ratio:.2f}x)")
+        if ratio > args.drift_ratio:
+            drifted.append(name)
+    for name in sorted(set(medians) - set(base)):
+        print(f"NEW      {name:<50} (not in merge-base build)")
+    for name in sorted(set(base) - set(medians)):
+        print(f"GONE     {name:<50} (only in merge-base build)")
+
+    if drifted:
+        sys.exit(f"error: {len(drifted)} benchmark(s) drifted beyond "
+                 f"{args.drift_ratio}x vs the merge-base build: "
+                 f"{', '.join(drifted)}")
+    print(f"no paired drift beyond {args.drift_ratio}x "
+          f"({len(set(base) & set(medians))} row(s) compared)")
+
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
@@ -139,6 +187,13 @@ def main():
     chk.add_argument("--max-ratio", type=float, default=2.0)
     chk.add_argument("--out", default=None,
                      help="also write the current medians here (artifact)")
+    chk.add_argument("--base-bench", default=None,
+                     help="merge-base build of the same binary; enables the "
+                          "paired drift gate")
+    chk.add_argument("--drift-ratio", type=float, default=1.2,
+                     help="paired gate: fail when current/base exceeds this")
+    chk.add_argument("--base-out", default=None,
+                     help="write the merge-base medians here (artifact)")
     chk.set_defaults(func=cmd_check)
 
     args = parser.parse_args()

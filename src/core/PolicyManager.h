@@ -53,6 +53,13 @@ enum class EnqueueReason : std::uint8_t {
 /// Serialization is the policy's own affair (the fourth classification axis
 /// in section 3.3): a policy with a purely VP-local queue may skip locking;
 /// one exposing a migration interface or a shared global queue must lock.
+///
+/// Out-of-tree policies that want the built-ins' lock-free fast path
+/// (Chase-Lev deque for owner enqueues + MPSC mailbox for remote ones, see
+/// DESIGN.md section 8) can embed one fastpath::FastPathQueue
+/// (core/policy/FastPath.h) per instance and forward the four mandatory
+/// entry points to it, instead of re-deriving the ownership protocol —
+/// examples/custom_policy.cpp shows a complete policy built this way.
 class PolicyManager {
 public:
   virtual ~PolicyManager();

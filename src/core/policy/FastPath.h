@@ -66,6 +66,78 @@ inline void drainMailbox(RemoteMailbox &Mailbox, VirtualProcessor &Vp,
                                    : static_cast<std::uint32_t>(N));
 }
 
+/// The whole fast path as one value: a Chase-Lev deque plus a remote
+/// mailbox plus the owner test, for *out-of-tree* policy managers that
+/// want the lock-free protocol without re-deriving it (the in-tree
+/// deque-backed policies compose the pieces directly because they
+/// interleave extra structures — e.g. steal-half's private queue —
+/// between the drain and the pop).
+///
+/// Usage, from each PolicyManager entry point:
+///
+///   void enqueueThread(Schedulable &S, VirtualProcessor &Vp,
+///                      EnqueueReason R) override { Q.enqueue(S, Vp, R); }
+///   Schedulable *getNextThread(VirtualProcessor &Vp) override {
+///     return Q.dequeue(Vp);
+///   }
+///   bool hasReadyWork(const VirtualProcessor &) const override {
+///     return Q.hasReadyWork();
+///   }
+///   void drain(VirtualProcessor &Vp, const Drop &D) override {
+///     Q.drainAll(Vp, D);
+///   }
+///
+/// stealTop() is the victim end for cross-instance work stealing.
+class FastPathQueue {
+public:
+  explicit FastPathQueue(std::size_t MailboxCapacity = 1024)
+      : Mailbox(MailboxCapacity) {}
+
+  /// Routes by ownership: the owner pushes straight onto the deque
+  /// bottom, everyone else posts to the mailbox (with the standard
+  /// counters and trace events on both paths).
+  void enqueue(Schedulable &Item, VirtualProcessor &Vp,
+               EnqueueReason Reason) {
+    if (!onOwner(Vp))
+      return postRemote(Mailbox, Item, Vp, Reason);
+    const std::uint64_t TraceId = Item.schedThreadId();
+    Deque.pushBottom(Item);
+    STING_TRACE_EVENT(Enqueue, TraceId,
+                      obs::enqueuePayload(Deque.size(),
+                                          static_cast<std::uint8_t>(Reason)));
+  }
+
+  /// Owner-side dispatch: drains the mailbox into the deque, then takes
+  /// from the top (FIFO order across both paths).
+  Schedulable *dequeue(VirtualProcessor &Vp) {
+    drainMailbox(Mailbox, Vp,
+                 [this](Schedulable &Item) { Deque.pushBottom(Item); });
+    return Deque.takeTop();
+  }
+
+  /// Readable from any thread (idle PPs, the watchdog).
+  bool hasReadyWork() const { return !Deque.empty() || !Mailbox.empty(); }
+
+  /// Victim end for sibling policies: one element off the top, or null.
+  Schedulable *stealTop() {
+    Schedulable *Item = nullptr;
+    while (Deque.steal(Item) == WorkStealingDeque::StealResult::Lost) {
+    }
+    return Item;
+  }
+
+  /// Shutdown drain (runs single-threaded after the PPs have joined).
+  template <typename Fn> void drainAll(VirtualProcessor &, Fn &&Drop) {
+    Mailbox.drain(Drop);
+    while (Schedulable *Item = Deque.takeTop())
+      Drop(*Item);
+  }
+
+private:
+  WorkStealingDeque Deque;
+  RemoteMailbox Mailbox;
+};
+
 } // namespace sting::fastpath
 
 #endif // STING_CORE_POLICY_FASTPATH_H

@@ -9,15 +9,22 @@
 /// unparks, migrations, tuple-space wakeups, enqueues from off-machine
 /// threads and the preemption clock. Remote producers never touch the
 /// owner's Chase-Lev deque (which tolerates exactly one writer at the
-/// bottom); they post here and the owner drains at dispatch. The ring is
+/// bottom); they post here and the owner drains at dispatch. Each ring is
 /// Vyukov's bounded MPMC queue specialized to a single consumer: a
 /// producer claims a cell with one CAS on Tail and publishes with one
 /// release store of the cell sequence; the owner consumes with plain
-/// loads plus one release store per cell. When the ring is full —
-/// pathological fan-in to one VP — producers overflow into a spin-locked
-/// intrusive list, so posting never blocks and never spins unboundedly.
+/// loads plus one release store per cell.
 ///
-/// Emptiness is answered from Tail/Head/OverflowSize alone, so
+/// When a ring is full — pathological fan-in to one VP — producers *chain
+/// a larger ring* onto it (CAS-installed; losers free their candidate)
+/// instead of serializing on a locked overflow list, so sustained overflow
+/// stays lock-free: every producer keeps paying one CAS per post, just in
+/// a later ring. Rings are never freed before the mailbox dies (the same
+/// retirement rule as WorkStealingDeque's grown rings), so a producer that
+/// read a ring pointer can always finish its post; the chain is bounded
+/// because each link doubles capacity up to MaxRingCapacity.
+///
+/// Emptiness is answered from the rings' Tail/Head cursors alone, so
 /// hasReadyWork stays accurate from any thread: Tail is advanced *before*
 /// the cell is published, hence a claimed-but-unpublished post already
 /// reports non-empty (the no-lost-wakeup direction; the drain may
@@ -30,122 +37,174 @@
 #define STING_CORE_POLICY_REMOTEMAILBOX_H
 
 #include "core/Schedulable.h"
-#include "support/SpinLock.h"
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 namespace sting {
 
-/// A bounded MPSC queue of Schedulable pointers with a locked overflow
-/// list. Any thread may post(); exactly one owner thread may drain().
+/// A lock-free MPSC queue of Schedulable pointers built from a chain of
+/// Vyukov rings. Any thread may post(); exactly one owner thread may
+/// drain().
 class RemoteMailbox {
 public:
+  /// Chained rings stop doubling here; a full chain keeps extending at
+  /// this size, so capacity is unbounded either way.
+  static constexpr std::size_t MaxRingCapacity = 1 << 16;
+
   explicit RemoteMailbox(std::size_t Capacity = 1024)
-      : Cells(roundUpPow2(Capacity)), Mask(Cells.size() - 1) {
-    for (std::size_t I = 0; I != Cells.size(); ++I)
-      Cells[I].Seq.store(I, std::memory_order_relaxed);
-  }
+      : Primary(new Ring(roundUpPow2(Capacity))) {}
 
   RemoteMailbox(const RemoteMailbox &) = delete;
   RemoteMailbox &operator=(const RemoteMailbox &) = delete;
 
-  /// Posts \p Item from any thread. Lock-free unless the ring is full, in
-  /// which case the item goes to the overflow list under a spin lock.
-  /// \returns true when the fast (ring) path was taken.
+  ~RemoteMailbox() {
+    Ring *R = Primary;
+    while (R) {
+      Ring *Next = R->Next.load(std::memory_order_acquire);
+      delete R;
+      R = Next;
+    }
+  }
+
+  /// Posts \p Item from any thread; always lock-free. When the primary
+  /// ring is full the post lands in a chained (larger) ring, growing the
+  /// chain on first use. \returns true when the primary-ring fast path was
+  /// taken (the observability bit reported as "ring path").
   bool post(Schedulable &Item) {
-    std::uint64_t T = Tail.load(std::memory_order_relaxed);
+    Ring *R = Primary;
     for (;;) {
-      Cell &C = Cells[T & Mask];
-      std::uint64_t Seq = C.Seq.load(std::memory_order_acquire);
-      std::int64_t Dif =
-          static_cast<std::int64_t>(Seq) - static_cast<std::int64_t>(T);
-      if (Dif == 0) {
-        if (Tail.compare_exchange_weak(T, T + 1,
-                                       std::memory_order_seq_cst,
-                                       std::memory_order_relaxed)) {
-          C.Item = &Item;
-          C.Seq.store(T + 1, std::memory_order_release);
-          return true;
-        }
-        // CAS failure reloaded T; retry with the fresh value.
-      } else if (Dif < 0) {
-        // Ring full: fall back to the locked overflow list.
-        {
-          std::lock_guard<SpinLock> Guard(OverflowLock);
-          Overflow.pushBack(Item);
-        }
-        OverflowSize.fetch_add(1, std::memory_order_seq_cst);
-        return false;
-      } else {
-        T = Tail.load(std::memory_order_relaxed);
+      if (R->tryPost(Item))
+        return R == Primary;
+      // This ring is full; move to (or install) the next link. The CAS
+      // publishes the fully-constructed ring, and losers delete their
+      // candidate — only ever a ring no other thread has seen.
+      Ring *Next = R->Next.load(std::memory_order_acquire);
+      if (!Next) {
+        std::size_t Cap = R->Cells.size() * 2;
+        if (Cap > MaxRingCapacity)
+          Cap = MaxRingCapacity;
+        Ring *Candidate = new Ring(Cap);
+        if (R->Next.compare_exchange_strong(Next, Candidate,
+                                            std::memory_order_release,
+                                            std::memory_order_acquire))
+          Next = Candidate;
+        else
+          delete Candidate; // another producer won; use theirs
       }
+      R = Next;
     }
   }
 
   /// Owner-only: drains every currently-published item, invoking
-  /// \p Consume in post order (ring first, then overflow). \returns the
-  /// number of items delivered.
+  /// \p Consume in post order (primary ring first, then chain order).
+  /// \returns the number of items delivered.
   template <typename Fn> std::size_t drain(Fn &&Consume) {
     std::size_t N = 0;
-    std::uint64_t H = Head.load(std::memory_order_relaxed);
-    for (;;) {
-      Cell &C = Cells[H & Mask];
-      std::uint64_t Seq = C.Seq.load(std::memory_order_acquire);
-      if (Seq != H + 1)
-        break; // unpublished (or empty) — stop, do not spin on a slow poster
-      Schedulable *Item = C.Item;
-      C.Seq.store(H + Cells.size(), std::memory_order_release);
-      ++H;
-      Head.store(H, std::memory_order_release);
-      Consume(*Item);
-      ++N;
-    }
-    if (OverflowSize.load(std::memory_order_seq_cst) != 0) {
-      IntrusiveList<Schedulable, ReadyQueueTag> Spilled;
-      std::size_t Count = 0;
-      {
-        std::lock_guard<SpinLock> Guard(OverflowLock);
-        while (!Overflow.empty()) {
-          Spilled.pushBack(Overflow.popFront());
-          ++Count;
-        }
-      }
-      OverflowSize.fetch_sub(Count, std::memory_order_seq_cst);
-      while (!Spilled.empty()) {
-        Consume(Spilled.popFront());
-        ++N;
-      }
-    }
+    for (Ring *R = Primary; R; R = R->Next.load(std::memory_order_acquire))
+      N += R->drainRing(Consume);
     return N;
   }
 
   /// True when no post is pending. Accurate from any thread: a producer
-  /// advances Tail (or OverflowSize) before publishing, so a pending item
-  /// is never reported empty.
+  /// advances a ring's Tail before publishing, and a full ring (the only
+  /// reason to move down the chain) is by definition non-empty, so a
+  /// pending item is never reported empty.
   bool empty() const {
-    return Head.load(std::memory_order_seq_cst) ==
-               Tail.load(std::memory_order_seq_cst) &&
-           OverflowSize.load(std::memory_order_seq_cst) == 0;
+    for (Ring *R = Primary; R; R = R->Next.load(std::memory_order_acquire))
+      if (R->Head.load(std::memory_order_seq_cst) !=
+          R->Tail.load(std::memory_order_seq_cst))
+        return false;
+    return true;
   }
 
   /// Approximate pending count (diagnostics).
   std::size_t size() const {
-    std::uint64_t H = Head.load(std::memory_order_acquire);
-    std::uint64_t T = Tail.load(std::memory_order_acquire);
-    return static_cast<std::size_t>(T - H) +
-           OverflowSize.load(std::memory_order_acquire);
+    std::size_t N = 0;
+    for (Ring *R = Primary; R; R = R->Next.load(std::memory_order_acquire)) {
+      std::uint64_t H = R->Head.load(std::memory_order_acquire);
+      std::uint64_t T = R->Tail.load(std::memory_order_acquire);
+      N += static_cast<std::size_t>(T - H);
+    }
+    return N;
   }
 
-  std::size_t capacity() const { return Cells.size(); }
+  /// Capacity of the primary ring (posts beyond it chain, they never
+  /// block).
+  std::size_t capacity() const { return Primary->Cells.size(); }
+
+  /// Number of rings in the chain (1 until the first overflow).
+  std::size_t ringCount() const {
+    std::size_t N = 0;
+    for (Ring *R = Primary; R; R = R->Next.load(std::memory_order_acquire))
+      ++N;
+    return N;
+  }
 
 private:
   struct Cell {
     std::atomic<std::uint64_t> Seq;
     Schedulable *Item = nullptr;
+  };
+
+  struct Ring {
+    explicit Ring(std::size_t Capacity) : Cells(Capacity), Mask(Capacity - 1) {
+      for (std::size_t I = 0; I != Cells.size(); ++I)
+        Cells[I].Seq.store(I, std::memory_order_relaxed);
+    }
+
+    /// One-CAS Vyukov post. \returns false when this ring is full.
+    bool tryPost(Schedulable &Item) {
+      std::uint64_t T = Tail.load(std::memory_order_relaxed);
+      for (;;) {
+        Cell &C = Cells[T & Mask];
+        std::uint64_t Seq = C.Seq.load(std::memory_order_acquire);
+        std::int64_t Dif =
+            static_cast<std::int64_t>(Seq) - static_cast<std::int64_t>(T);
+        if (Dif == 0) {
+          if (Tail.compare_exchange_weak(T, T + 1, std::memory_order_seq_cst,
+                                         std::memory_order_relaxed)) {
+            C.Item = &Item;
+            C.Seq.store(T + 1, std::memory_order_release);
+            return true;
+          }
+          // CAS failure reloaded T; retry with the fresh value.
+        } else if (Dif < 0) {
+          return false; // full
+        } else {
+          T = Tail.load(std::memory_order_relaxed);
+        }
+      }
+    }
+
+    /// Owner-only drain of this ring's published items.
+    template <typename Fn> std::size_t drainRing(Fn &&Consume) {
+      std::size_t N = 0;
+      std::uint64_t H = Head.load(std::memory_order_relaxed);
+      for (;;) {
+        Cell &C = Cells[H & Mask];
+        std::uint64_t Seq = C.Seq.load(std::memory_order_acquire);
+        if (Seq != H + 1)
+          break; // unpublished (or empty) — stop, do not spin on a poster
+        Schedulable *Item = C.Item;
+        C.Seq.store(H + Cells.size(), std::memory_order_release);
+        ++H;
+        Head.store(H, std::memory_order_release);
+        Consume(*Item);
+        ++N;
+      }
+      return N;
+    }
+
+    std::vector<Cell> Cells;
+    std::size_t Mask;
+    // Producers contend on Tail; the owner walks Head. Separate lines so a
+    // posting storm does not bounce the consumer's cursor.
+    alignas(64) std::atomic<std::uint64_t> Tail{0};
+    alignas(64) std::atomic<std::uint64_t> Head{0};
+    alignas(64) std::atomic<Ring *> Next{nullptr};
   };
 
   static std::size_t roundUpPow2(std::size_t N) {
@@ -155,15 +214,7 @@ private:
     return P;
   }
 
-  std::vector<Cell> Cells;
-  std::size_t Mask;
-  // Producers contend on Tail; the owner walks Head. Separate lines so a
-  // posting storm does not bounce the consumer's cursor.
-  alignas(64) std::atomic<std::uint64_t> Tail{0};
-  alignas(64) std::atomic<std::uint64_t> Head{0};
-  alignas(64) SpinLock OverflowLock;
-  IntrusiveList<Schedulable, ReadyQueueTag> Overflow;
-  std::atomic<std::size_t> OverflowSize{0};
+  Ring *const Primary;
 };
 
 } // namespace sting

@@ -25,6 +25,7 @@
 #include "core/VirtualProcessor.h"
 #include "core/policy/FastPath.h"
 #include "support/Chaos.h"
+#include "support/Random.h"
 
 #include <memory>
 #include <vector>
@@ -90,56 +91,41 @@ public:
   }
 
   Schedulable *vpIdle(VirtualProcessor &Vp) override {
-    // Dynamic load balancing: scan siblings (nearest first in index order)
-    // and steal up to half of the first non-empty public deque, one CAS
-    // per element. Elements come off the victim's top (its FIFO end), so
-    // the batch preserves the victim's dispatch order; the first stolen
-    // element dispatches here immediately and the rest are pushed to our
-    // own deque bottom, where takeTop recovers the same order.
+    // Dynamic load balancing in two phases. First, randomized two-choice
+    // selection: probe two distinct random siblings and steal from the one
+    // with the deeper visible deque. Power-of-two-choices keeps thieves
+    // from convoying on the same victim (the failure mode of a fixed scan
+    // order when one VP holds all the work and many VPs go idle at once)
+    // while staying O(1) per idle transition. The RNG is a private
+    // Xoshiro256 seeded from (chaos seed, VP index), so chaos soak runs
+    // replay the same probe sequence for a given seed. Second, if both
+    // probes come up empty, fall back to the exhaustive nearest-first
+    // sweep — randomized probing alone could starve a two-VP machine or
+    // miss the single busy sibling indefinitely.
     const auto &Members = Registry->Members;
     const std::size_t N = Members.size();
+    if (N > 2) {
+      std::size_t Ia = siblingIndex(N);
+      std::size_t Ib = siblingIndex(N);
+      // Re-draw once for distinctness; a duplicate pair degrades to a
+      // single probe, which the fallback sweep below covers anyway.
+      if (Ib == Ia)
+        Ib = siblingIndex(N);
+      StealHalfPolicy *A = Registry->Members[Ia];
+      StealHalfPolicy *B = Ib == Ia ? nullptr : Registry->Members[Ib];
+      if (A && B && B->Public.size() > A->Public.size())
+        std::swap(A, B);
+      for (StealHalfPolicy *Victim : {A, B})
+        if (Victim && Victim != this)
+          if (Schedulable *Item = stealFrom(*Victim, Vp))
+            return Item;
+    }
     for (std::size_t Hop = 1; Hop < N; ++Hop) {
       StealHalfPolicy *Victim = Members[(VpIndex + Hop) % N];
       if (!Victim || Victim == this)
         continue;
-      std::size_t Visible = Victim->Public.size();
-      if (Visible == 0)
-        continue;
-      if (STING_CHAOS_FIRE(StealDeny)) {
-        STING_TRACE_EVENT(ChaosInject, 0,
-                          static_cast<std::uint32_t>(chaos::Site::StealDeny));
-        continue;
-      }
-      std::size_t Target = Visible / 2 + (Visible % 2); // at least 1
-      Schedulable *First = nullptr;
-      std::size_t Moved = 0;
-      while (Moved != Target) {
-        Schedulable *Item = nullptr;
-        WorkStealingDeque::StealResult R = Victim->Public.steal(Item);
-        if (R == WorkStealingDeque::StealResult::Lost) {
-          Vp.stats().DequeStealCas.inc();
-          // Another thief (or the victim's last-element pop) won; the
-          // deque may still hold work, so retry the same victim.
-          continue;
-        }
-        if (R == WorkStealingDeque::StealResult::Empty)
-          break;
-        if (First)
-          Public.pushBottom(*Item);
-        else
-          First = Item;
-        ++Moved;
-      }
-      if (Moved != 0) {
-        ++StealsPerformed;
-        Vp.stats().DequeSteals.add(Moved);
-        STING_TRACE_EVENT(Migrate, 0,
-                          static_cast<std::uint32_t>(
-                              Moved > 0xffffffff ? 0xffffffff : Moved));
-        if (Moved > 1)
-          Vp.vm().notifyWork();
-        return First;
-      }
+      if (Schedulable *Item = stealFrom(*Victim, Vp))
+        return Item;
     }
     return nullptr;
   }
@@ -160,6 +146,61 @@ public:
   std::uint64_t StealsPerformed = 0;
 
 private:
+  /// Picks a random registry index other than our own. Requires N > 1.
+  std::size_t siblingIndex(std::size_t N) {
+    std::size_t Pick = StealRng.nextBelow(N - 1);
+    if (Pick >= VpIndex)
+      ++Pick; // skew past our own slot
+    return Pick;
+  }
+
+  /// Steals up to half of \p Victim's visible public deque, one CAS per
+  /// element. Elements come off the victim's top (its FIFO end), so the
+  /// batch preserves the victim's dispatch order; the first stolen element
+  /// dispatches here immediately and the rest are pushed to our own deque
+  /// bottom, where takeTop recovers the same order. \returns the element
+  /// to dispatch, or null if nothing was moved.
+  Schedulable *stealFrom(StealHalfPolicy &Victim, VirtualProcessor &Vp) {
+    std::size_t Visible = Victim.Public.size();
+    if (Visible == 0)
+      return nullptr;
+    if (STING_CHAOS_FIRE(StealDeny)) {
+      STING_TRACE_EVENT(ChaosInject, 0,
+                        static_cast<std::uint32_t>(chaos::Site::StealDeny));
+      return nullptr;
+    }
+    std::size_t Target = Visible / 2 + (Visible % 2); // at least 1
+    Schedulable *First = nullptr;
+    std::size_t Moved = 0;
+    while (Moved != Target) {
+      Schedulable *Item = nullptr;
+      WorkStealingDeque::StealResult R = Victim.Public.steal(Item);
+      if (R == WorkStealingDeque::StealResult::Lost) {
+        Vp.stats().DequeStealCas.inc();
+        // Another thief (or the victim's last-element pop) won; the
+        // deque may still hold work, so retry the same victim.
+        continue;
+      }
+      if (R == WorkStealingDeque::StealResult::Empty)
+        break;
+      if (First)
+        Public.pushBottom(*Item);
+      else
+        First = Item;
+      ++Moved;
+    }
+    if (Moved == 0)
+      return nullptr;
+    ++StealsPerformed;
+    Vp.stats().DequeSteals.add(Moved);
+    STING_TRACE_EVENT(Migrate, 0,
+                      static_cast<std::uint32_t>(
+                          Moved > 0xffffffff ? 0xffffffff : Moved));
+    if (Moved > 1)
+      Vp.vm().notifyWork();
+    return First;
+  }
+
   void pushPrivate(Schedulable &Item) {
     Private.pushBack(Item);
     PrivateSize.store(PrivateSize.load(std::memory_order_relaxed) + 1,
@@ -178,6 +219,12 @@ private:
   VirtualMachine *Vm;
   unsigned VpIndex;
   std::shared_ptr<StealRegistry> Registry;
+
+  /// Victim-probe RNG, owner-only (vpIdle runs on the VP's dispatcher).
+  /// Seeded from (chaos seed, VP index) so a chaos run's probe sequence is
+  /// a pure function of the seed; outside chaos builds the seed defaults
+  /// to 1 and runs are still repeatable.
+  Xoshiro256 StealRng{chaos::seed() * 0x9E3779B97F4A7C15ull + VpIndex + 1};
 
   /// Evaluating TCBs; never a migration target. Owner-only plain list —
   /// the size mirror is atomic because hasReadyWork is read cross-thread

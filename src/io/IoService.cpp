@@ -43,8 +43,33 @@ IoService::~IoService() {
   wake();
   if (Poller.joinable())
     Poller.join();
+  // Waiters may still be parked (their descriptors never became ready).
+  // Unpark every parked one until all awaitUntil frames have exited: a
+  // woken waiter re-checks Stopping before re-parking and retracts its own
+  // record, so repeated unparks are harmless and the spin below cannot
+  // strand a thread that raced its registration with the shutdown flag.
+  // Pending onReadable callbacks are dropped — the service that would have
+  // forked them is gone.
+  while (ActiveAwaits.load(std::memory_order_acquire) != 0) {
+    {
+      std::lock_guard<SpinLock> Guard(Lock);
+      for (auto &[Fd, List] : Waiters)
+        for (Waiter &W : List)
+          if (W.Parked)
+            ThreadController::unparkTcb(*W.Parked, EnqueueReason::KernelBlock);
+    }
+    spinForNanos(1000);
+  }
   close(WakeFd);
   close(EpollFd);
+}
+
+std::size_t IoService::waiterCount() const {
+  std::lock_guard<SpinLock> Guard(Lock);
+  std::size_t N = 0;
+  for (const auto &[Fd, List] : Waiters)
+    N += List.size();
+  return N;
 }
 
 bool IoService::makeNonBlocking(int Fd) {
@@ -82,6 +107,15 @@ void IoService::await(int Fd, IoEvent Event) {
 WaitResult IoService::awaitUntil(int Fd, IoEvent Event, Deadline D) {
   STING_CHECK(onStingThread(), "IoService::await outside a sting thread");
   Tcb &Self = *currentTcb();
+  // Visible to the destructor before our record is: a teardown that starts
+  // now will keep unparking until this frame has left.
+  ActiveAwaits.fetch_add(1, std::memory_order_acq_rel);
+  struct AwaitScope {
+    std::atomic<std::size_t> &Counter;
+    ~AwaitScope() { Counter.fetch_sub(1, std::memory_order_acq_rel); }
+  } Scope{ActiveAwaits};
+  if (Stopping.load(std::memory_order_acquire))
+    return WaitResult::Timeout;
   IoWaitState State;
   {
     std::lock_guard<SpinLock> Guard(Lock);
@@ -123,8 +157,11 @@ WaitResult IoService::awaitUntil(int Fd, IoEvent Event, Deadline D) {
   try {
     // Ready is checked *before* the deadline each pass, so a readiness
     // notification racing the deadline is never reported as a timeout.
+    // Shutdown is checked like an expired deadline: the destructor keeps
+    // unparking registered waiters, so this loop always gets a pass in
+    // which to retract and leave.
     while (!State.Ready.load(std::memory_order_acquire)) {
-      if (D.expired()) {
+      if (D.expired() || Stopping.load(std::memory_order_acquire)) {
         if (Retract())
           return WaitResult::Timeout;
         DrainInFlightWake(); // the wake won the race
@@ -233,6 +270,10 @@ ssize_t IoService::read(int Fd, void *Buf, std::size_t N) {
     if (errno != EAGAIN && errno != EWOULDBLOCK)
       return -1;
     await(Fd, IoEvent::Readable);
+    if (Stopping.load(std::memory_order_acquire)) {
+      errno = ECANCELED;
+      return -1;
+    }
   }
 }
 
@@ -244,6 +285,10 @@ ssize_t IoService::write(int Fd, const void *Buf, std::size_t N) {
     if (errno != EAGAIN && errno != EWOULDBLOCK)
       return -1;
     await(Fd, IoEvent::Writable);
+    if (Stopping.load(std::memory_order_acquire)) {
+      errno = ECANCELED;
+      return -1;
+    }
   }
 }
 

@@ -69,7 +69,9 @@ public:
   void await(int Fd, IoEvent Event);
 
   /// Timed await: \returns Timeout if \p D expired before readiness. A
-  /// readiness notification racing the deadline wins.
+  /// readiness notification racing the deadline wins. Also returns Timeout
+  /// (after retracting the waiter record) when the service is shutting
+  /// down, so waiters drain out of a dying poller instead of hanging.
   WaitResult awaitUntil(int Fd, IoEvent Event, Deadline D);
 
   /// Reads up to \p N bytes, parking the thread (not the VP) while the
@@ -90,6 +92,14 @@ public:
   void onReadable(int Fd, UniqueFunction<void()> Callback);
 
   const IoStats &stats() const { return Stats; }
+
+  /// Number of waiter records currently registered (parked threads plus
+  /// pending callbacks). For tests: 0 means no queue residue.
+  std::size_t waiterCount() const;
+
+  /// True once the destructor has begun; read/write return ECANCELED and
+  /// awaitUntil returns Timeout from this point on.
+  bool stopping() const { return Stopping.load(std::memory_order_acquire); }
 
 private:
   /// Stack-resident state of one parked await; lets the waiter re-check
@@ -114,9 +124,12 @@ private:
 
   int EpollFd = -1;
   int WakeFd = -1; ///< eventfd used to nudge the poller
-  SpinLock Lock;
+  mutable SpinLock Lock;
   std::unordered_map<int, std::vector<Waiter>> Waiters;
   std::atomic<bool> Stopping{false};
+  /// Threads currently inside awaitUntil; the destructor unparks stragglers
+  /// and spins until this reaches zero before tearing members down.
+  std::atomic<std::size_t> ActiveAwaits{0};
   IoStats Stats;
   std::thread Poller;
 };

@@ -1,0 +1,125 @@
+//===- net/BufferedConn.cpp - Buffered connection I/O ------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/BufferedConn.h"
+
+#include "core/Current.h"
+#include "core/VirtualProcessor.h"
+#include "obs/TraceBuffer.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace sting::net {
+
+bool BufferedConn::ensureBuffered(std::size_t N, Deadline D) {
+  while (In.size() - InPos < N) {
+    // Compact a dominant consumed prefix before growing further.
+    if (InPos > 4096 && InPos > In.size() / 2) {
+      In.erase(In.begin(), In.begin() + static_cast<std::ptrdiff_t>(InPos));
+      InPos = 0;
+    }
+    std::size_t Old = In.size();
+    std::size_t Need = N - (Old - InPos);
+    In.resize(Old + (Need < 4096 ? 4096 : Need));
+    ssize_t Rc = Sock.readUntil(In.data() + Old, In.size() - Old, D);
+    if (Rc <= 0) {
+      In.resize(Old); // a timed-out/EOF'd call consumes and keeps nothing
+      return false;
+    }
+    In.resize(Old + static_cast<std::size_t>(Rc));
+  }
+  return true;
+}
+
+bool BufferedConn::readExact(void *Buf, std::size_t N, Deadline D) {
+  if (!ensureBuffered(N, D))
+    return false;
+  std::memcpy(Buf, In.data() + InPos, N);
+  InPos += N;
+  if (InPos == In.size()) {
+    In.clear();
+    InPos = 0;
+  }
+  return true;
+}
+
+bool BufferedConn::readFrame(std::vector<std::uint8_t> &Frame, Deadline D,
+                             std::size_t MaxFrame) {
+  // Buffer the whole frame before consuming any of it, so a deadline that
+  // fires mid-frame leaves the stream position untouched.
+  if (!ensureBuffered(4, D))
+    return false;
+  const std::uint8_t *L = In.data() + InPos;
+  std::uint32_t Len = static_cast<std::uint32_t>(L[0]) |
+                      static_cast<std::uint32_t>(L[1]) << 8 |
+                      static_cast<std::uint32_t>(L[2]) << 16 |
+                      static_cast<std::uint32_t>(L[3]) << 24;
+  if (Len > MaxFrame) {
+    errno = EMSGSIZE;
+    return false;
+  }
+  if (!ensureBuffered(4 + static_cast<std::size_t>(Len), D))
+    return false;
+  Frame.assign(In.begin() + static_cast<std::ptrdiff_t>(InPos) + 4,
+               In.begin() + static_cast<std::ptrdiff_t>(InPos) + 4 + Len);
+  InPos += 4 + Len;
+  if (InPos == In.size()) {
+    In.clear();
+    InPos = 0;
+  }
+  return true;
+}
+
+bool BufferedConn::write(const void *Buf, std::size_t N) {
+  const std::uint8_t *P = static_cast<const std::uint8_t *>(Buf);
+  Out.insert(Out.end(), P, P + N);
+  if (pendingWrite() <= HighWater)
+    return true;
+  // Backpressure: the producer thread parks inside the socket write until
+  // the residue is back under the mark. The VP keeps running other
+  // connections; only this producer stalls.
+  if (VirtualProcessor *Vp = currentVp())
+    Vp->stats().NetBackpressureStalls.inc();
+  STING_TRACE_EVENT(NetBackpressure, 0,
+                    static_cast<std::uint32_t>(
+                        pendingWrite() > 0xffffffff ? 0xffffffff
+                                                    : pendingWrite()));
+  return drainTo(HighWater);
+}
+
+bool BufferedConn::writeFrame(const void *Buf, std::size_t N) {
+  std::uint8_t LenBytes[4] = {
+      static_cast<std::uint8_t>(N & 0xff),
+      static_cast<std::uint8_t>((N >> 8) & 0xff),
+      static_cast<std::uint8_t>((N >> 16) & 0xff),
+      static_cast<std::uint8_t>((N >> 24) & 0xff),
+  };
+  return write(LenBytes, sizeof(LenBytes)) && (N == 0 || write(Buf, N));
+}
+
+bool BufferedConn::flush() { return drainTo(0); }
+
+bool BufferedConn::drainTo(std::size_t Target) {
+  while (pendingWrite() > Target) {
+    ssize_t Rc = Sock.write(Out.data() + OutPos, Out.size() - OutPos);
+    if (Rc <= 0)
+      return false;
+    OutPos += static_cast<std::size_t>(Rc);
+  }
+  if (OutPos == Out.size()) {
+    Out.clear();
+    OutPos = 0;
+  } else if (OutPos > (1 << 16) && OutPos > Out.size() / 2) {
+    // Compact once the flushed prefix dominates, so Out does not grow
+    // without bound across a long-lived connection.
+    Out.erase(Out.begin(), Out.begin() + static_cast<std::ptrdiff_t>(OutPos));
+    OutPos = 0;
+  }
+  return true;
+}
+
+} // namespace sting::net

@@ -1,0 +1,95 @@
+//===- net/BufferedConn.h - Buffered connection I/O -------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Growable read/write buffering over a Socket, owned by exactly one
+/// connection thread (the Server forks one per accept). Reads accumulate
+/// until a frame is complete; writes append to an output buffer that is
+/// flushed opportunistically and *parks the producer* once it crosses the
+/// high-water mark — backpressure propagates to whoever generates the
+/// bytes instead of ballooning memory. Each stall charges the VP's
+/// NetBackpressureStalls counter and emits a NetBackpressure trace event.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_NET_BUFFEREDCONN_H
+#define STING_NET_BUFFEREDCONN_H
+
+#include "net/Socket.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sting::net {
+
+/// Buffered, single-owner connection I/O. Not thread-safe: one connection
+/// thread drives it (the Server's model), so no locks.
+class BufferedConn {
+public:
+  /// \p WriteHighWater bounds the pending output before write() parks the
+  /// producer to drain it.
+  explicit BufferedConn(Socket Sock, std::size_t WriteHighWater = 1 << 20)
+      : Sock(std::move(Sock)), HighWater(WriteHighWater) {}
+
+  Socket &socket() { return Sock; }
+  bool valid() const { return Sock.valid(); }
+
+  /// Reads exactly \p N bytes into \p Buf. \returns false on EOF/error
+  /// before \p N bytes arrived (errno preserved; ETIMEDOUT on deadline).
+  /// Timeout-safe: a timed-out call consumes nothing — partial bytes stay
+  /// buffered, so the same read can simply be retried.
+  bool readExact(void *Buf, std::size_t N,
+                 Deadline D = Deadline::never());
+
+  /// Reads one u32-length-prefixed frame into \p Frame (replacing its
+  /// contents). \returns false on EOF/error/deadline or a frame larger
+  /// than \p MaxFrame (errno=EMSGSIZE). Like readExact, a timed-out call
+  /// consumes nothing: the length prefix and any partial body stay
+  /// buffered for the retry.
+  bool readFrame(std::vector<std::uint8_t> &Frame,
+                 Deadline D = Deadline::never(),
+                 std::size_t MaxFrame = 1 << 24);
+
+  /// Appends \p N bytes to the output buffer, flushing to the socket as
+  /// the kernel accepts them. Parks (backpressure) while the buffered
+  /// residue exceeds the high-water mark. \returns false on write error.
+  bool write(const void *Buf, std::size_t N);
+
+  /// Appends a u32 length prefix followed by the \p N payload bytes.
+  bool writeFrame(const void *Buf, std::size_t N);
+
+  /// Flushes the entire output buffer. \returns false on error.
+  bool flush();
+
+  /// Bytes currently buffered for write (diagnostics/tests).
+  std::size_t pendingWrite() const { return Out.size() - OutPos; }
+
+  /// Bytes buffered but not yet consumed by readExact/readFrame.
+  std::size_t pendingRead() const { return In.size() - InPos; }
+
+  void close() { Sock.close(); }
+
+private:
+  /// Accumulates socket bytes into In until at least \p N are unconsumed.
+  /// Never consumes; this is what makes timed reads retryable.
+  bool ensureBuffered(std::size_t N, Deadline D);
+
+  /// Flushes until pendingWrite() <= \p Target. \returns false on error.
+  bool drainTo(std::size_t Target);
+
+  Socket Sock;
+  std::size_t HighWater;
+
+  std::vector<std::uint8_t> In; ///< read-side accumulation
+  std::size_t InPos = 0;        ///< consumed prefix of In
+
+  std::vector<std::uint8_t> Out; ///< write-side pending bytes
+  std::size_t OutPos = 0;        ///< flushed prefix of Out
+};
+
+} // namespace sting::net
+
+#endif // STING_NET_BUFFEREDCONN_H

@@ -1,0 +1,132 @@
+//===- net/Server.cpp - Thread-per-connection TCP server ---------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Server.h"
+
+#include "core/Current.h"
+#include "core/ThreadController.h"
+#include "obs/TraceBuffer.h"
+
+#include <cerrno>
+#include <thread>
+#include <utility>
+
+namespace sting::net {
+
+std::unique_ptr<Server> Server::start(VirtualMachine &Vm, IoService &Io,
+                                      Handler OnConnection,
+                                      ServerConfig Config) {
+  Listener Lst = Listener::listenOn(Io, Config.Port, Config.Backlog);
+  if (!Lst.valid())
+    return nullptr;
+
+  // The unique_ptr constructor is private to Server; build by hand.
+  std::unique_ptr<Server> S(new Server());
+  S->Vm = &Vm;
+  S->Io = &Io;
+  S->OnConnection = std::move(OnConnection);
+  S->Config = Config;
+  S->Port = Lst.port();
+  S->Lst = std::move(Lst);
+  S->Group = ThreadGroup::create(&Vm.rootGroup());
+
+  SpawnOptions Opts;
+  Opts.Group = S->Group.get();
+  Server *Raw = S.get();
+  S->ListenerThread = Vm.fork(
+      [Raw]() -> AnyValue {
+        Raw->listenerLoop();
+        return AnyValue();
+      },
+      Opts);
+  return S;
+}
+
+void Server::listenerLoop() {
+  while (!Stopped.load(std::memory_order_acquire)) {
+    // Admission control: at the cap, stop accepting and re-poll on a timed
+    // park. The kernel backlog queues the burst; a connection close (or
+    // the cap being raised) is picked up at the next lap.
+    if (Config.MaxConnections != 0 &&
+        Live.load(std::memory_order_acquire) >= Config.MaxConnections) {
+      Io->awaitUntil(Lst.fd(), IoEvent::Readable,
+                     Deadline::in(Config.AcceptBackoffNanos));
+      continue;
+    }
+
+    Socket Conn = Lst.accept();
+    if (!Conn.valid()) {
+      if (errno == ECANCELED || Stopped.load(std::memory_order_acquire))
+        return;
+      continue; // transient accept failure (e.g. EMFILE burst)
+    }
+
+    Accepted.fetch_add(1, std::memory_order_relaxed);
+    std::size_t NowLive = Live.fetch_add(1, std::memory_order_acq_rel) + 1;
+    STING_TRACE_EVENT(NetAccept, 0, static_cast<std::uint32_t>(NowLive));
+    Slot Admission(this);
+
+    SpawnOptions Opts;
+    Opts.Group = Group.get();
+    // The connection thread owns the socket and its admission slot; moving
+    // both into the thunk is what makes kill-group leak-free — destroying
+    // the thunk (on any exit path, even termination before the thread's
+    // first instruction) closes the descriptor and releases the slot.
+    Vm->fork(
+        [this, C = std::move(Conn),
+         A = std::move(Admission)]() mutable -> AnyValue {
+          (void)A;
+          serveConnection(std::move(C));
+          return AnyValue();
+        },
+        Opts);
+  }
+}
+
+void Server::Slot::release() {
+  if (!S)
+    return;
+  std::size_t NowLive = S->Live.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  STING_TRACE_EVENT(NetClose, 0, static_cast<std::uint32_t>(NowLive));
+  S = nullptr;
+}
+
+void Server::serveConnection(Socket Conn) {
+  BufferedConn C(std::move(Conn), Config.WriteHighWater);
+  OnConnection(C);
+  C.flush();
+}
+
+void Server::shutdown() {
+  if (Stopped.exchange(true, std::memory_order_acq_rel))
+    return;
+  if (Group) {
+    // terminateAll snapshots the membership, but a connection accepted
+    // just as Stopped flipped may still be mid-fork in the listener: its
+    // thread joins the group (in Thread's constructor) after the snapshot.
+    // Loop: each lap terminates and joins every member visible at that
+    // instant; once the listener is dead no new members can appear, so an
+    // empty group is final. threadWaitFor works from sting threads and
+    // external OS threads alike, so shutdown can be driven from either.
+    do {
+      Group->terminateAll();
+      for (ThreadRef &T : Group->threads())
+        ThreadController::threadWaitFor(*T, Deadline::never());
+    } while (Group->liveCount() != 0);
+  }
+  // A joiner can race a few instructions ahead of the determine path that
+  // destroys a dead thread's thunk (and releases its admission slot);
+  // settle the counter before promising liveConnections() == 0.
+  while (Live.load(std::memory_order_acquire) != 0) {
+    if (onStingThread())
+      ThreadController::yieldProcessor();
+    else
+      std::this_thread::yield();
+  }
+  Lst.close();
+}
+
+} // namespace sting::net

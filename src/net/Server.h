@@ -1,0 +1,127 @@
+//===- net/Server.h - Thread-per-connection TCP server ----------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A TCP server in the substrate's own idiom: one listener *thread* (not
+/// OS thread) accepting connections, forking one connection thread per
+/// accept, all of them members of a dedicated ThreadGroup — so the
+/// paper's kill-group is literally the server's graceful shutdown: every
+/// connection thread unwinds out of whatever park it is in (socket
+/// readiness, tuple-space block, backpressure stall), runs its RAII
+/// cleanup, and the descriptors close.
+///
+/// Admission control: a connection cap. At the cap the listener stops
+/// accepting and backs off on a timed park, so the kernel backlog absorbs
+/// bursts and excess clients see queueing, not resets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_NET_SERVER_H
+#define STING_NET_SERVER_H
+
+#include "core/ThreadGroup.h"
+#include "core/VirtualMachine.h"
+#include "net/BufferedConn.h"
+#include "net/Socket.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace sting::net {
+
+struct ServerConfig {
+  std::uint16_t Port = 0;          ///< 0 = ephemeral; read back via port()
+  int Backlog = 128;               ///< kernel listen backlog
+  std::size_t MaxConnections = 0;  ///< 0 = unlimited
+  std::size_t WriteHighWater = 1 << 20; ///< per-connection backpressure mark
+  std::uint64_t AcceptBackoffNanos = 2'000'000; ///< cap-full re-poll period
+};
+
+/// A running server. start() forks the listener; shutdown() terminates
+/// the server's thread group and joins every member.
+class Server {
+public:
+  /// Per-connection entry point, run on a fresh thread inside the server's
+  /// group. Return (or throw) to close the connection.
+  using Handler = std::function<void(BufferedConn &)>;
+
+  /// Binds and starts serving. \returns null on bind failure (errno
+  /// preserved). Must be called with \p Vm running.
+  static std::unique_ptr<Server> start(VirtualMachine &Vm, IoService &Io,
+                                       Handler OnConnection,
+                                       ServerConfig Config = {});
+
+  ~Server() { shutdown(); }
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  std::uint16_t port() const { return Port; }
+
+  /// Connections currently being served.
+  std::size_t liveConnections() const {
+    return Live.load(std::memory_order_acquire);
+  }
+
+  /// Connections accepted over the server's lifetime.
+  std::uint64_t totalAccepted() const {
+    return Accepted.load(std::memory_order_relaxed);
+  }
+
+  /// The group holding the listener and every connection thread.
+  ThreadGroup &group() { return *Group; }
+
+  /// Graceful stop: kill-group on the server's ThreadGroup, then join all
+  /// members. Parked connection threads unwind through their cancellation
+  /// paths; every socket closes via RAII. Idempotent.
+  void shutdown();
+
+private:
+  Server() = default;
+
+  /// Owns one admission slot (a `Live` increment) from accept time until
+  /// the connection thunk is destroyed. The thunk is destroyed on *every*
+  /// exit path — normal return, handler throw, kill-group unwind, and
+  /// termination before the thread's first instruction (Thread::determine
+  /// resets the thunk) — so the counter always drains to zero once the
+  /// server's group is empty.
+  struct Slot {
+    Server *S = nullptr;
+    explicit Slot(Server *Srv) : S(Srv) {}
+    Slot(Slot &&O) noexcept : S(std::exchange(O.S, nullptr)) {}
+    Slot &operator=(Slot &&O) noexcept {
+      if (this != &O) {
+        release();
+        S = std::exchange(O.S, nullptr);
+      }
+      return *this;
+    }
+    ~Slot() { release(); }
+    void release();
+  };
+
+  void listenerLoop();
+  void serveConnection(Socket Conn);
+
+  VirtualMachine *Vm = nullptr;
+  IoService *Io = nullptr;
+  Handler OnConnection;
+  ServerConfig Config;
+  Listener Lst;
+  std::uint16_t Port = 0;
+  ThreadGroupRef Group;
+  ThreadRef ListenerThread;
+  std::atomic<std::size_t> Live{0};
+  std::atomic<std::uint64_t> Accepted{0};
+  std::atomic<bool> Stopped{false};
+};
+
+} // namespace sting::net
+
+#endif // STING_NET_SERVER_H

@@ -1,0 +1,103 @@
+//===- net/Services.cpp - Wire-protocol services ------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Services.h"
+
+#include "net/Wire.h"
+
+#include <vector>
+
+namespace sting::net {
+
+namespace {
+
+bool sendPayload(BufferedConn &C, const wire::Writer &W) {
+  return C.writeFrame(W.payload().data(), W.payload().size()) && C.flush();
+}
+
+bool sendError(BufferedConn &C, const char *Reason) {
+  wire::Writer W(wire::Op::Err);
+  W.text(Reason);
+  return sendPayload(C, W);
+}
+
+} // namespace
+
+Server::Handler echoHandler() {
+  return [](BufferedConn &C) {
+    std::vector<std::uint8_t> Frame;
+    while (C.readFrame(Frame)) {
+      wire::Reader R(Frame.data(), Frame.size());
+      if (!R.ok() || R.op() != wire::Op::Echo) {
+        if (!sendError(C, "expected Echo"))
+          return;
+        continue;
+      }
+      // Echo the raw field bytes back under the reply opcode; no decode
+      // round-trip needed.
+      std::vector<std::uint8_t> Reply;
+      Reply.push_back(static_cast<std::uint8_t>(wire::Op::EchoReply));
+      Reply.insert(Reply.end(), Frame.begin() + 1, Frame.end());
+      if (!C.writeFrame(Reply.data(), Reply.size()) || !C.flush())
+        return;
+    }
+  };
+}
+
+Server::Handler tupleSpaceHandler(TupleSpaceRef Space) {
+  return [Space](BufferedConn &C) {
+    std::vector<std::uint8_t> Frame;
+    while (C.readFrame(Frame)) {
+      wire::Reader R(Frame.data(), Frame.size());
+      if (!R.ok()) {
+        if (!sendError(C, "malformed frame"))
+          return;
+        continue;
+      }
+      Tuple T;
+      switch (R.op()) {
+      case wire::Op::TsOut: {
+        if (!wire::readTuple(R, T)) {
+          if (!sendError(C, "malformed tuple"))
+            return;
+          break;
+        }
+        Space->put(std::move(T));
+        wire::Writer W(wire::Op::TsAck);
+        if (!sendPayload(C, W))
+          return;
+        break;
+      }
+      case wire::Op::TsRd:
+      case wire::Op::TsIn: {
+        bool Destructive = R.op() == wire::Op::TsIn;
+        if (!wire::readTuple(R, T)) {
+          if (!sendError(C, "malformed template"))
+            return;
+          break;
+        }
+        // Blocks the *connection thread* in the space — it parks in the
+        // blocked-reader table like any local reader while the VP keeps
+        // serving other connections; kill-group cancellation unwinds it
+        // out of the park.
+        Match M = Destructive ? Space->take(std::move(T))
+                              : Space->read(std::move(T));
+        wire::Writer W(wire::Op::TsMatch);
+        wire::writeMatch(W, M);
+        if (!sendPayload(C, W))
+          return;
+        break;
+      }
+      default:
+        if (!sendError(C, "unknown op"))
+          return;
+        break;
+      }
+    }
+  };
+}
+
+} // namespace sting::net

@@ -1,0 +1,41 @@
+//===- net/Services.h - Wire-protocol services ------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Connection handlers speaking the net::wire protocol. Two services:
+///
+///  - echoHandler: EchoReply's each Echo frame's fields back verbatim —
+///    the protocol smoke test and throughput baseline.
+///
+///  - tupleSpaceHandler: exposes a first-class tuple space over the wire.
+///    TsOut deposits; TsRd/TsIn match templates (Formal fields allowed)
+///    and *block the connection thread in the space* exactly like a local
+///    reader — the thread parks in the space's blocked-reader table while
+///    the VP serves other connections, and a matching deposit (from any
+///    client or local thread) wakes it. Blob fields arrive as young
+///    strings on the connection thread's heap and ride
+///    LocalHeap::escape() into the shared old generation on deposit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_NET_SERVICES_H
+#define STING_NET_SERVICES_H
+
+#include "net/Server.h"
+#include "tuple/TupleSpace.h"
+
+namespace sting::net {
+
+/// \returns a handler that echoes every Echo frame's fields back.
+Server::Handler echoHandler();
+
+/// \returns a handler serving out/rd/in on \p Space. The reference keeps
+/// the space alive for the server's lifetime.
+Server::Handler tupleSpaceHandler(TupleSpaceRef Space);
+
+} // namespace sting::net
+
+#endif // STING_NET_SERVICES_H

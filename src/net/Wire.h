@@ -1,0 +1,143 @@
+//===- net/Wire.h - Length-prefixed binary protocol -------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol spoken by net::Server services: u32-LE
+/// length-prefixed frames whose payload is one opcode byte followed by a
+/// sequence of tagged fields. The field vocabulary mirrors the substrate's
+/// tagged gc::Value plus the tuple-template formal, so a remote client can
+/// express exactly the out/rd/in requests a local thread can:
+///
+///   frame   := u32 payload-length, payload
+///   payload := u8 opcode, field*
+///   field   := u8 tag, body
+///     Fixnum(0): i64 LE          True(1)/False(2)/Nil(3): empty
+///     Text(4):   u32 len, bytes  -- interned as a Symbol on arrival
+///     Formal(5): u32 index       -- template binding slot (?x)
+///     Blob(6):   u32 len, bytes  -- a fresh (young) String; the tuple
+///                                   space's prepare() escapes it to the
+///                                   shared old generation
+///
+/// Opcodes: requests Echo/TsOut/TsRd/TsIn; replies EchoReply/TsAck/
+/// TsMatch/Err. TsMatch carries the matched tuple's resolved fields in
+/// positional order (bindings are recovered client-side from the request's
+/// formal positions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_NET_WIRE_H
+#define STING_NET_WIRE_H
+
+#include "gc/Value.h"
+#include "tuple/Tuple.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sting::net::wire {
+
+enum class Op : std::uint8_t {
+  // Requests.
+  Echo = 0,  ///< fields echoed back verbatim
+  TsOut = 1, ///< deposit the fields as a tuple
+  TsRd = 2,  ///< blocking read of a template (formals allowed)
+  TsIn = 3,  ///< blocking take of a template (formals allowed)
+  // Replies.
+  EchoReply = 16,
+  TsAck = 17,   ///< out accepted
+  TsMatch = 18, ///< rd/in matched; fields are the resolved tuple
+  Err = 19,     ///< one Text field: human-readable reason
+};
+
+enum class Tag : std::uint8_t {
+  Fixnum = 0,
+  True = 1,
+  False = 2,
+  Nil = 3,
+  Text = 4,
+  Formal = 5,
+  Blob = 6,
+};
+
+/// Serializes one frame payload (opcode + fields). The payload is handed
+/// to BufferedConn::writeFrame, which adds the length prefix.
+class Writer {
+public:
+  explicit Writer(Op O) { Buf.push_back(static_cast<std::uint8_t>(O)); }
+
+  void fixnum(std::int64_t N);
+  void boolean(bool B) {
+    Buf.push_back(static_cast<std::uint8_t>(B ? Tag::True : Tag::False));
+  }
+  void nil() { Buf.push_back(static_cast<std::uint8_t>(Tag::Nil)); }
+  void text(std::string_view S) { bytesField(Tag::Text, S); }
+  void blob(std::string_view S) { bytesField(Tag::Blob, S); }
+  void formal(std::uint32_t Index);
+
+  /// Marshals a resolved gc::Value: fixnum/bool/nil map to their tags,
+  /// Symbols to Text, Strings and Bytes to Blob. Anything else (foreign
+  /// pointers, pairs, live threads' unboxed slots) degrades to Nil — the
+  /// wire carries data, not references into the server heap.
+  void value(gc::Value V);
+
+  const std::vector<std::uint8_t> &payload() const { return Buf; }
+
+private:
+  void bytesField(Tag T, std::string_view S);
+  void u32(std::uint32_t N);
+
+  std::vector<std::uint8_t> Buf;
+};
+
+/// One decoded field. Bytes-backed kinds (Text/Blob) view into the frame
+/// buffer the Reader was constructed over.
+struct ReadField {
+  Tag T = Tag::Nil;
+  std::int64_t Num = 0;          ///< Fixnum payload
+  std::string_view Bytes;        ///< Text/Blob payload
+  std::uint32_t FormalIndex = 0; ///< Formal payload
+};
+
+/// Decodes one frame payload. Malformed input flips ok() to false and
+/// stops iteration; it never reads out of bounds.
+class Reader {
+public:
+  Reader(const std::uint8_t *Data, std::size_t N);
+
+  bool ok() const { return Ok; }
+  Op op() const { return TheOp; }
+
+  /// Decodes the next field into \p F. \returns false at end of payload
+  /// or on malformed input (distinguish via ok()).
+  bool next(ReadField &F);
+
+  bool atEnd() const { return Pos == Len; }
+
+private:
+  bool take(std::size_t N, const std::uint8_t *&P);
+
+  const std::uint8_t *Data;
+  std::size_t Len;
+  std::size_t Pos = 0;
+  Op TheOp = Op::Err;
+  bool Ok = false;
+};
+
+/// Rebuilds a Tuple (or template) from the remaining fields of \p R. Text
+/// fields become pending-intern symbol fields, Blob fields become fresh
+/// *young* Strings on the calling thread's heap (TupleSpace::prepare
+/// escapes them on deposit), Formal fields become template formals.
+/// \returns false on malformed input.
+bool readTuple(Reader &R, Tuple &Out);
+
+/// Marshals \p M's resolved fields into \p W (positional order).
+void writeMatch(Writer &W, const Match &M);
+
+} // namespace sting::net::wire
+
+#endif // STING_NET_WIRE_H

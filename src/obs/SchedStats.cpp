@@ -41,6 +41,10 @@ SchedStatsSnapshot SchedStats::snapshot() const {
   S.ThreadsTerminated = ThreadsTerminated;
   S.Blocks = Blocks;
   S.Wakeups = Wakeups;
+  S.NetAccepts = NetAccepts;
+  S.NetReads = NetReads;
+  S.NetWrites = NetWrites;
+  S.NetBackpressureStalls = NetBackpressureStalls;
   S.RunSliceNanos = RunSliceNanos;
   return S;
 }
@@ -74,6 +78,10 @@ SchedStatsSnapshot::operator+=(const SchedStatsSnapshot &Other) {
   ThreadsTerminated += Other.ThreadsTerminated;
   Blocks += Other.Blocks;
   Wakeups += Other.Wakeups;
+  NetAccepts += Other.NetAccepts;
+  NetReads += Other.NetReads;
+  NetWrites += Other.NetWrites;
+  NetBackpressureStalls += Other.NetBackpressureStalls;
   RunSliceNanos.merge(Other.RunSliceNanos);
   return *this;
 }
@@ -113,6 +121,10 @@ constexpr Row Rows[] = {
     {"threads terminated", &SchedStatsSnapshot::ThreadsTerminated},
     {"blocks", &SchedStatsSnapshot::Blocks},
     {"wakeups", &SchedStatsSnapshot::Wakeups},
+    {"net accepts", &SchedStatsSnapshot::NetAccepts},
+    {"net reads", &SchedStatsSnapshot::NetReads},
+    {"net writes", &SchedStatsSnapshot::NetWrites},
+    {"net bp stalls", &SchedStatsSnapshot::NetBackpressureStalls},
 };
 
 void appendf(std::string &Out, const char *Fmt, ...)

@@ -117,6 +117,13 @@ struct alignas(64) SchedStats {
   Counter ThreadsTerminated;
   Counter Blocks; ///< parkCurrent entries (intent to block)
 
+  // Network subsystem (src/net), attributed to the VP whose thread ran the
+  // operation.
+  Counter NetAccepts;            ///< connections accepted by servers
+  Counter NetReads;              ///< successful socket read syscalls
+  Counter NetWrites;             ///< successful socket write syscalls
+  Counter NetBackpressureStalls; ///< writers parked on the high-water mark
+
   /// Run-slice lengths (dispatch to switch-back), recorded only while
   /// tracing is enabled so the default path never pays the extra clock
   /// read. Owner-written, racy to read mid-run; snapshot after quiesce.
@@ -155,6 +162,10 @@ struct SchedStatsSnapshot {
   std::uint64_t ThreadsTerminated = 0;
   std::uint64_t Blocks = 0;
   std::uint64_t Wakeups = 0;
+  std::uint64_t NetAccepts = 0;
+  std::uint64_t NetReads = 0;
+  std::uint64_t NetWrites = 0;
+  std::uint64_t NetBackpressureStalls = 0;
   Histogram RunSliceNanos;
 
   SchedStatsSnapshot &operator+=(const SchedStatsSnapshot &Other);

@@ -132,6 +132,12 @@ const char *traceEventKindName(TraceEventKind K) {
     return "vp_park";
   case TraceEventKind::VpUnpark:
     return "vp_unpark";
+  case TraceEventKind::NetAccept:
+    return "net_accept";
+  case TraceEventKind::NetClose:
+    return "net_close";
+  case TraceEventKind::NetBackpressure:
+    return "net_backpressure";
   case TraceEventKind::NumKinds:
     break;
   }

@@ -85,6 +85,13 @@ enum class TraceEventKind : std::uint8_t {
   VpPark,       ///< a VP's dispatch loop found no work and parked
   VpUnpark,     ///< a parked VP dispatched again (payload: idle episodes)
 
+  // Network subsystem (appended after VpUnpark so earlier ordinals — and
+  // the golden traces pinned to them — stay stable).
+  NetAccept,       ///< a server accepted a connection (payload: live count)
+  NetClose,        ///< a connection closed (payload: live count after)
+  NetBackpressure, ///< a writer stalled on the write high-water mark
+                   ///< (payload: buffered bytes, saturated)
+
   NumKinds
 };
 

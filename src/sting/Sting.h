@@ -42,6 +42,12 @@
 ///     TupleSpace, Tuple, Field, formal    tuple/TupleSpace.h
 ///     TupleSpaceRep, chooseRepresentation representation specialization
 ///
+///   Network subsystem (section 6's non-blocking I/O, applied to TCP)
+///     net::Socket, net::Listener          net/Socket.h
+///     net::BufferedConn                   net/BufferedConn.h
+///     net::Server, net::ServerConfig      net/Server.h
+///     net::wire, echo/tuple services      net/Wire.h, net/Services.h
+///
 ///   Storage model (section 2 item 3)
 ///     gc::Value, gc::LocalHeap,
 ///     gc::GlobalHeap, gc::HandleScope     gc/, core/Gc.h
@@ -70,6 +76,11 @@
 #include "gc/HeapImage.h"
 #include "gc/Object.h"
 #include "io/IoService.h"
+#include "net/BufferedConn.h"
+#include "net/Server.h"
+#include "net/Services.h"
+#include "net/Socket.h"
+#include "net/Wire.h"
 #include "obs/SchedStats.h"
 #include "obs/StallDetector.h"
 #include "obs/TraceBuffer.h"

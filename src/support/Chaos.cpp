@@ -81,6 +81,10 @@ const char *siteName(Site S) {
     return "steal-deny";
   case Site::UnparkDelay:
     return "unpark-delay";
+  case Site::NetShortIo:
+    return "net-short-io";
+  case Site::NetAcceptDeny:
+    return "net-accept-deny";
   case Site::NumSites:
     break;
   }

@@ -32,10 +32,12 @@ namespace sting::chaos {
 /// The chaos-site taxonomy: every injection point belongs to exactly one
 /// site class, and rates/counters are tracked per site.
 enum class Site : std::uint8_t {
-  SpuriousWake, ///< kernel park entry: pretend a wake already arrived
-  PreemptPoint, ///< extra control-transfer inside await/retry loops
-  StealDeny,    ///< trySteal artificially refuses a stealable thread
-  UnparkDelay,  ///< unpark stalls before touching the park state word
+  SpuriousWake,  ///< kernel park entry: pretend a wake already arrived
+  PreemptPoint,  ///< extra control-transfer inside await/retry loops
+  StealDeny,     ///< trySteal artificially refuses a stealable thread
+  UnparkDelay,   ///< unpark stalls before touching the park state word
+  NetShortIo,    ///< socket read/write artificially truncated to one byte
+  NetAcceptDeny, ///< accept pretends the queue was empty and re-parks
   NumSites
 };
 

@@ -21,6 +21,8 @@
 
 #include "core/VirtualMachine.h"
 #include "core/VirtualProcessor.h"
+#include "net/Services.h"
+#include "net/Wire.h"
 #include "support/Chaos.h"
 #include "sync/Barrier.h"
 #include "sync/Speculative.h"
@@ -251,6 +253,82 @@ TEST_F(ChaosSoak, TupleMasterSlaveStaysCorrect) {
       return AnyValue(std::fabs((double)Total / 1e12 - M_PI) < 1e-6);
     });
     ASSERT_TRUE(R.as<bool>()) << "iteration " << Iter;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Workload 4: the net subsystem — echo and tuple-space service traffic with
+// the chaos layer truncating socket reads/writes (net-short-io) and
+// stalling accepts (net-accept-deny). Short I/O may only fragment the
+// byte stream; framing must reassemble every message exactly, and the
+// tuple tokens must be consumed exactly once.
+//===----------------------------------------------------------------------===//
+
+TEST_F(ChaosSoak, NetTrafficStaysExact) {
+  const int NetIters = std::max(1, Iterations / 10); // servers are pricier
+  for (int Iter = 0; Iter != NetIters; ++Iter) {
+    VirtualMachine Vm(soakConfig());
+    IoService Io;
+    AnyValue R = Vm.run([&]() -> AnyValue {
+      TupleSpaceRef Space = TupleSpace::create();
+      auto Server = net::Server::start(Vm, Io, net::tupleSpaceHandler(Space));
+      if (!Server)
+        return AnyValue(false);
+
+      constexpr int Producers = 2, Consumers = 2, PerProducer = 8;
+      constexpr int Total = Producers * PerProducer;
+      std::atomic<int> Sum{0};
+      std::vector<ThreadRef> Tasks;
+      for (int P = 0; P != Producers; ++P)
+        Tasks.push_back(TC::forkThread([&, P]() -> AnyValue {
+          net::BufferedConn C(
+              net::Socket::connectTo(Io, "127.0.0.1", Server->port()));
+          if (!C.valid())
+            return AnyValue(false);
+          std::vector<std::uint8_t> Frame;
+          for (int I = 0; I != PerProducer; ++I) {
+            net::wire::Writer Out(net::wire::Op::TsOut);
+            Out.text("tok");
+            Out.fixnum(P * PerProducer + I);
+            if (!C.writeFrame(Out.payload().data(), Out.payload().size()) ||
+                !C.flush() || !C.readFrame(Frame))
+              return AnyValue(false);
+          }
+          return AnyValue(true);
+        }));
+      for (int K = 0; K != Consumers; ++K)
+        Tasks.push_back(TC::forkThread([&]() -> AnyValue {
+          net::BufferedConn C(
+              net::Socket::connectTo(Io, "127.0.0.1", Server->port()));
+          if (!C.valid())
+            return AnyValue(false);
+          std::vector<std::uint8_t> Frame;
+          for (int I = 0; I != Total / Consumers; ++I) {
+            net::wire::Writer In(net::wire::Op::TsIn);
+            In.text("tok");
+            In.formal(0);
+            if (!C.writeFrame(In.payload().data(), In.payload().size()) ||
+                !C.flush() || !C.readFrame(Frame))
+              return AnyValue(false);
+            net::wire::Reader Rd(Frame.data(), Frame.size());
+            net::wire::ReadField F;
+            if (Rd.op() != net::wire::Op::TsMatch || !Rd.next(F) ||
+                !Rd.next(F))
+              return AnyValue(false);
+            Sum.fetch_add(static_cast<int>(F.Num), std::memory_order_relaxed);
+          }
+          return AnyValue(true);
+        }));
+
+      bool Ok = true;
+      for (ThreadRef &T : Tasks)
+        Ok = Ok && TC::threadValue(*T).as<bool>();
+      Ok = Ok && Sum.load() == Total * (Total - 1) / 2; // each token once
+      Ok = Ok && Space->size() == 0;
+      Server->shutdown();
+      return AnyValue(Ok);
+    });
+    ASSERT_TRUE(R.as<bool>()) << "seed " << Seed << " iteration " << Iter;
   }
 }
 

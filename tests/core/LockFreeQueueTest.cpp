@@ -263,6 +263,70 @@ TEST(MailboxTest, OverflowSpillsAndDrainsEverything) {
   EXPECT_TRUE(M.empty());
 }
 
+TEST(MailboxTest, OverflowChainsASecondRing) {
+  RemoteMailbox M(8);
+  EXPECT_EQ(M.ringCount(), 1u);
+  auto Items = makeItems(64);
+  for (auto &I : Items)
+    M.post(*I);
+  // The spill CAS-installed chained rings rather than taking a lock.
+  EXPECT_GE(M.ringCount(), 2u);
+  EXPECT_EQ(M.size(), 64u);
+
+  // A single producer's order survives across the ring boundary: primary
+  // drains first, then each chained ring in install order.
+  std::vector<int> Got;
+  std::size_t N = M.drain(
+      [&](Schedulable &S) { Got.push_back(static_cast<Item &>(S).Value); });
+  EXPECT_EQ(N, 64u);
+  ASSERT_EQ(Got.size(), 64u);
+  for (int I = 0; I != 64; ++I)
+    EXPECT_EQ(Got[static_cast<std::size_t>(I)], I);
+  EXPECT_TRUE(M.empty());
+
+  // The chain persists after the drain; a second burst reuses it.
+  for (auto &I : Items)
+    M.post(*I);
+  EXPECT_EQ(M.size(), 64u);
+  Got.clear();
+  M.drain([&](Schedulable &S) { Got.push_back(static_cast<Item &>(S).Value); });
+  EXPECT_EQ(Got.size(), 64u);
+  EXPECT_TRUE(M.empty());
+}
+
+// Hammer the chain-install CAS: many producers racing into a tiny primary
+// ring force concurrent overflow while a consumer drains. Nothing may be
+// lost or duplicated, and the overflow must have chained at least one ring.
+TEST(MailboxTest, ChainedOverflowStressConservesItems) {
+  constexpr int Producers = 4;
+  constexpr int PerProducer = 8000;
+  RemoteMailbox M(8);
+  auto Items = makeItems(Producers * PerProducer);
+
+  std::vector<std::thread> Threads;
+  for (int P = 0; P != Producers; ++P)
+    Threads.emplace_back([&, P] {
+      for (int I = 0; I != PerProducer; ++I)
+        M.post(*Items[static_cast<std::size_t>(P * PerProducer + I)]);
+    });
+
+  std::vector<int> Got;
+  Got.reserve(Items.size());
+  while (Got.size() != Items.size()) {
+    M.drain(
+        [&](Schedulable &S) { Got.push_back(static_cast<Item &>(S).Value); });
+    std::this_thread::yield();
+  }
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_TRUE(M.empty());
+  EXPECT_GE(M.ringCount(), 2u) << "burst never overflowed the primary ring";
+
+  std::sort(Got.begin(), Got.end());
+  for (std::size_t I = 0; I != Got.size(); ++I)
+    ASSERT_EQ(Got[I], static_cast<int>(I)) << "duplicated or lost";
+}
+
 TEST(MailboxTest, EmptinessVisibleFromOtherThreads) {
   RemoteMailbox M;
   EXPECT_TRUE(M.empty());

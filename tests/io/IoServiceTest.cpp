@@ -11,6 +11,7 @@
 #include "gtest/gtest.h"
 
 #include <atomic>
+#include <cerrno>
 #include <cstring>
 
 #include <fcntl.h>
@@ -206,6 +207,104 @@ TEST(IoServiceTest, PingPongThroughPipes) {
   Driver->join();
   EXPECT_TRUE(Echo->valueAs<bool>());
   EXPECT_EQ(Driver->valueAs<int>(), 20);
+}
+
+TEST(IoServiceTest, TerminateRetractsParkedWaiter) {
+  VirtualMachine Vm;
+  IoService Io;
+  Pipe P;
+
+  std::atomic<bool> Parked{false};
+  ThreadRef Reader = Vm.fork([&]() -> AnyValue {
+    char C;
+    Parked.store(true);
+    (void)Io.read(P.readEnd(), &C, 1); // nobody ever writes
+    return AnyValue(false);
+  });
+  while (!Parked.load() || Io.waiterCount() == 0)
+    sched_yield();
+
+  // Async cancellation lands while the thread is parked on the descriptor:
+  // the unwind must retract the waiter record, leaving no queue residue
+  // and no dangling pointer into the dead thread's stack.
+  AnyValue Ok = Vm.run([&]() -> AnyValue {
+    TC::threadTerminate(*Reader);
+    TC::threadWait(*Reader);
+    return AnyValue(Reader->wasTerminated());
+  });
+  EXPECT_TRUE(Ok.as<bool>());
+  EXPECT_EQ(Io.waiterCount(), 0u);
+
+  // The pipe still works for a fresh waiter afterwards.
+  ssize_t W = ::write(P.writeEnd(), "z", 1);
+  EXPECT_EQ(W, 1);
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    char C;
+    return AnyValue(Io.read(P.readEnd(), &C, 1) == 1 && C == 'z');
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(IoServiceTest, DeadlineRacingReadinessNeverLosesData) {
+  VirtualMachine Vm;
+  IoService Io;
+  Pipe P;
+
+  // Drive the deadline through the readiness window: short deadlines
+  // mostly time out, longer ones mostly see the byte. Whatever the
+  // interleaving, every written byte is observed exactly once and the
+  // waiter table is empty between rounds.
+  int SeenNow = 0, SeenLate = 0;
+  for (int Round = 0; Round != 60; ++Round) {
+    std::int64_t Nanos = 1 + (Round % 20) * 100'000; // 1ns .. ~2ms
+    ThreadRef Waiter = Vm.fork([&, Nanos]() -> AnyValue {
+      WaitResult R =
+          Io.awaitUntil(P.readEnd(), IoEvent::Readable, Deadline::in(Nanos));
+      return AnyValue(R == WaitResult::Ready);
+    });
+    ssize_t W = ::write(P.writeEnd(), "r", 1);
+    EXPECT_EQ(W, 1);
+    Waiter->join();
+
+    // Win or lose, the byte is still in the pipe (awaitUntil does not
+    // consume) and must be drained before the next round.
+    char C = 0;
+    AnyValue Got = Vm.run(
+        [&]() -> AnyValue { return AnyValue(Io.read(P.readEnd(), &C, 1)); });
+    EXPECT_EQ(Got.as<ssize_t>(), 1);
+    EXPECT_EQ(C, 'r');
+    ++(Waiter->valueAs<bool>() ? SeenNow : SeenLate);
+    EXPECT_EQ(Io.waiterCount(), 0u) << "round " << Round;
+  }
+  EXPECT_EQ(SeenNow + SeenLate, 60);
+}
+
+TEST(IoServiceTest, DestructionDrainsQueuedWaiters) {
+  VirtualMachine Vm(VmConfig{.NumVps = 2});
+  auto Io = std::make_unique<IoService>();
+  constexpr int N = 4;
+  std::vector<std::unique_ptr<Pipe>> Pipes;
+  for (int I = 0; I != N; ++I)
+    Pipes.push_back(std::make_unique<Pipe>());
+
+  std::vector<ThreadRef> Readers;
+  for (int I = 0; I != N; ++I)
+    Readers.push_back(Vm.fork([&, I]() -> AnyValue {
+      char C;
+      ssize_t Rc = Io->read(Pipes[I]->readEnd(), &C, 1);
+      return AnyValue(Rc == -1 && errno == ECANCELED);
+    }));
+  while (Io->waiterCount() != static_cast<std::size_t>(N))
+    sched_yield();
+
+  // Tearing the service down with threads parked inside it must eject
+  // every waiter with ECANCELED rather than leaving them parked forever
+  // (or letting them touch freed poller state).
+  Io.reset();
+  for (ThreadRef &R : Readers) {
+    R->join();
+    EXPECT_TRUE(R->valueAs<bool>());
+  }
 }
 
 } // namespace

@@ -1,0 +1,261 @@
+//===- tests/net/TupleServiceTest.cpp - Tuple space over the wire -------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Services.h"
+
+#include "core/Gc.h"
+#include "core/ThreadController.h"
+#include "core/VirtualMachine.h"
+#include "net/Wire.h"
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace sting;
+using namespace sting::net;
+using TC = ThreadController;
+
+// ASSERT_* cannot be used inside the AnyValue-returning machine lambdas;
+// this fails the test and bails out of the lambda instead.
+#define REQUIRE_OK(Cond)                                                       \
+  do {                                                                         \
+    if (!(Cond)) {                                                             \
+      ADD_FAILURE() << #Cond;                                                  \
+      return AnyValue(false);                                                  \
+    }                                                                          \
+  } while (0)
+
+struct Client {
+  BufferedConn Conn;
+
+  explicit Client(IoService &Io, std::uint16_t Port)
+      : Conn(Socket::connectTo(Io, "127.0.0.1", Port)) {}
+
+  bool send(const wire::Writer &W) {
+    return Conn.writeFrame(W.payload().data(), W.payload().size()) &&
+           Conn.flush();
+  }
+
+  bool recv(std::vector<std::uint8_t> &Frame,
+            Deadline D = Deadline::never()) {
+    return Conn.readFrame(Frame, D);
+  }
+};
+
+TEST(TupleServiceTest, OutThenInRoundTrips) {
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    TupleSpaceRef Space = TupleSpace::create();
+    auto Server = net::Server::start(Vm, Io, tupleSpaceHandler(Space));
+    if (!Server)
+      return AnyValue(false);
+
+    Client C(Io, Server->port());
+    if (!C.Conn.valid())
+      return AnyValue(false);
+
+    // out ["job" 7 #t]
+    wire::Writer Out(wire::Op::TsOut);
+    Out.text("job");
+    Out.fixnum(7);
+    Out.boolean(true);
+    EXPECT_TRUE(C.send(Out));
+    std::vector<std::uint8_t> Frame;
+    REQUIRE_OK(C.recv(Frame));
+    EXPECT_EQ(wire::Reader(Frame.data(), Frame.size()).op(), wire::Op::TsAck);
+
+    // in ["job" ?x ?y] -> match carries [job 7 #t]
+    wire::Writer In(wire::Op::TsIn);
+    In.text("job");
+    In.formal(0);
+    In.formal(1);
+    EXPECT_TRUE(C.send(In));
+    REQUIRE_OK(C.recv(Frame));
+    wire::Reader R(Frame.data(), Frame.size());
+    EXPECT_EQ(R.op(), wire::Op::TsMatch);
+    wire::ReadField F;
+    REQUIRE_OK(R.next(F));
+    EXPECT_EQ(F.T, wire::Tag::Text);
+    EXPECT_EQ(F.Bytes, "job");
+    REQUIRE_OK(R.next(F));
+    EXPECT_EQ(F.Num, 7);
+    REQUIRE_OK(R.next(F));
+    EXPECT_EQ(F.T, wire::Tag::True);
+
+    // The take consumed it.
+    EXPECT_EQ(Space->size(), 0u);
+    Server->shutdown();
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(TupleServiceTest, BlockingInParksConnectionThreadUntilLocalOut) {
+  VmConfig Config;
+  Config.NumVps = 2;
+  Config.NumPps = 2;
+  VirtualMachine Vm(Config);
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    TupleSpaceRef Space = TupleSpace::create();
+    auto Server = net::Server::start(Vm, Io, tupleSpaceHandler(Space));
+    if (!Server)
+      return AnyValue(false);
+
+    Client C(Io, Server->port());
+    wire::Writer In(wire::Op::TsIn);
+    In.text("result");
+    In.formal(0);
+    EXPECT_TRUE(C.send(In));
+
+    // No match exists: the *connection thread* is now parked inside the
+    // space's blocked-reader table. Wait until it registered as a blocked
+    // reader, then deposit locally — the remote reader must wake exactly
+    // like a local one.
+    while (Space->stats().Blocks.load() == 0)
+      TC::yieldProcessor();
+    std::vector<std::uint8_t> Frame;
+    EXPECT_FALSE(C.recv(Frame, Deadline::in(1'000'000))) // still blocked
+        << "in returned before any out";
+
+    Space->put(makeTuple("result", 1234));
+
+    REQUIRE_OK(C.recv(Frame, Deadline::in(5'000'000'000)));
+    wire::Reader R(Frame.data(), Frame.size());
+    EXPECT_EQ(R.op(), wire::Op::TsMatch);
+    wire::ReadField F;
+    REQUIRE_OK(R.next(F));
+    REQUIRE_OK(R.next(F));
+    EXPECT_EQ(F.Num, 1234);
+    Server->shutdown();
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(TupleServiceTest, BlobValuesEscapeToSharedHeapAndComeBack) {
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    TupleSpaceRef Space = TupleSpace::create();
+    auto Server = net::Server::start(Vm, Io, tupleSpaceHandler(Space));
+    if (!Server)
+      return AnyValue(false);
+
+    Client C(Io, Server->port());
+    const std::string Payload(4096, '\x5a'); // big enough to be a real copy
+
+    // The blob arrives as a *young* String on the connection thread's
+    // heap; depositing rides LocalHeap::escape into the shared old
+    // generation (the same promotion local producers get).
+    wire::Writer Out(wire::Op::TsOut);
+    Out.text("blob");
+    Out.blob(Payload);
+    EXPECT_TRUE(C.send(Out));
+    std::vector<std::uint8_t> Frame;
+    REQUIRE_OK(C.recv(Frame));
+
+    // A *local* reader sees the escaped object...
+    Match M = Space->read(makeTuple("blob", formal(0)));
+    gc::Value Blob = M.binding(0);
+    REQUIRE_OK(Blob.isObject());
+    EXPECT_TRUE(Blob.asObject()->isInOld()) << "blob value was not escaped";
+    EXPECT_EQ(std::string_view(Blob.asObject()->bytes(),
+                               Blob.asObject()->byteLength()),
+              Payload);
+
+    // ...and a remote take gets the bytes back intact.
+    wire::Writer In(wire::Op::TsIn);
+    In.text("blob");
+    In.formal(0);
+    EXPECT_TRUE(C.send(In));
+    REQUIRE_OK(C.recv(Frame));
+    wire::Reader R(Frame.data(), Frame.size());
+    EXPECT_EQ(R.op(), wire::Op::TsMatch);
+    wire::ReadField F;
+    REQUIRE_OK(R.next(F)); // key
+    REQUIRE_OK(R.next(F)); // blob
+    EXPECT_EQ(F.T, wire::Tag::Blob);
+    EXPECT_EQ(F.Bytes, Payload);
+    Server->shutdown();
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(TupleServiceTest, ManyClientsNoLostOrDuplicatedReplies) {
+  VmConfig Config;
+  Config.NumVps = 4;
+  Config.NumPps = 2;
+  VirtualMachine Vm(Config);
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    TupleSpaceRef Space = TupleSpace::create();
+    auto Server = net::Server::start(Vm, Io, tupleSpaceHandler(Space));
+    if (!Server)
+      return AnyValue(false);
+
+    // Producers out [k] tokens; consumers in [?x] them. Every token must
+    // be consumed exactly once across all remote consumers.
+    const int Producers = 4, Consumers = 4, PerProducer = 32;
+    const int Total = Producers * PerProducer;
+    std::atomic<int> Sum{0};
+
+    std::vector<ThreadRef> Tasks;
+    for (int P = 0; P != Producers; ++P)
+      Tasks.push_back(TC::forkThread([&, P]() -> AnyValue {
+        Client C(Io, Server->port());
+        if (!C.Conn.valid())
+          return AnyValue(false);
+        std::vector<std::uint8_t> Frame;
+        for (int I = 0; I != PerProducer; ++I) {
+          wire::Writer Out(wire::Op::TsOut);
+          Out.text("tok");
+          Out.fixnum(P * PerProducer + I);
+          if (!C.send(Out) || !C.recv(Frame))
+            return AnyValue(false);
+        }
+        return AnyValue(true);
+      }));
+    for (int K = 0; K != Consumers; ++K)
+      Tasks.push_back(TC::forkThread([&]() -> AnyValue {
+        Client C(Io, Server->port());
+        if (!C.Conn.valid())
+          return AnyValue(false);
+        std::vector<std::uint8_t> Frame;
+        for (int I = 0; I != Total / Consumers; ++I) {
+          wire::Writer In(wire::Op::TsIn);
+          In.text("tok");
+          In.formal(0);
+          if (!C.send(In) || !C.recv(Frame))
+            return AnyValue(false);
+          wire::Reader R(Frame.data(), Frame.size());
+          wire::ReadField F;
+          if (R.op() != wire::Op::TsMatch || !R.next(F) || !R.next(F))
+            return AnyValue(false);
+          Sum.fetch_add(static_cast<int>(F.Num), std::memory_order_relaxed);
+        }
+        return AnyValue(true);
+      }));
+
+    bool Ok = true;
+    for (ThreadRef &T : Tasks)
+      Ok = Ok && TC::threadValue(*T).as<bool>();
+    // Sum of 0..Total-1: each token delivered exactly once.
+    EXPECT_EQ(Sum.load(), Total * (Total - 1) / 2);
+    EXPECT_EQ(Space->size(), 0u);
+    Server->shutdown();
+    return AnyValue(Ok && Sum.load() == Total * (Total - 1) / 2);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+} // namespace

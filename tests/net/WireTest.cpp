@@ -1,0 +1,121 @@
+//===- tests/net/WireTest.cpp - Wire protocol encode/decode -------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Wire.h"
+
+#include "gtest/gtest.h"
+
+#include <limits>
+
+namespace {
+
+using namespace sting;
+using namespace sting::net;
+
+TEST(WireTest, RoundTripsEveryScalarTag) {
+  wire::Writer W(wire::Op::Echo);
+  W.fixnum(42);
+  W.fixnum(-7);
+  W.fixnum(std::numeric_limits<std::int64_t>::min() / 16);
+  W.boolean(true);
+  W.boolean(false);
+  W.nil();
+  W.formal(3);
+
+  wire::Reader R(W.payload().data(), W.payload().size());
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.op(), wire::Op::Echo);
+
+  wire::ReadField F;
+  ASSERT_TRUE(R.next(F));
+  EXPECT_EQ(F.T, wire::Tag::Fixnum);
+  EXPECT_EQ(F.Num, 42);
+  ASSERT_TRUE(R.next(F));
+  EXPECT_EQ(F.Num, -7);
+  ASSERT_TRUE(R.next(F));
+  EXPECT_EQ(F.Num, std::numeric_limits<std::int64_t>::min() / 16);
+  ASSERT_TRUE(R.next(F));
+  EXPECT_EQ(F.T, wire::Tag::True);
+  ASSERT_TRUE(R.next(F));
+  EXPECT_EQ(F.T, wire::Tag::False);
+  ASSERT_TRUE(R.next(F));
+  EXPECT_EQ(F.T, wire::Tag::Nil);
+  ASSERT_TRUE(R.next(F));
+  EXPECT_EQ(F.T, wire::Tag::Formal);
+  EXPECT_EQ(F.FormalIndex, 3u);
+  EXPECT_FALSE(R.next(F));
+  EXPECT_TRUE(R.ok()); // clean end, not malformed
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(WireTest, RoundTripsTextAndBlob) {
+  wire::Writer W(wire::Op::TsOut);
+  W.text("key");
+  W.blob(std::string_view("\x00\x01\xff payload", 12));
+  W.text(""); // empty text is legal
+
+  wire::Reader R(W.payload().data(), W.payload().size());
+  wire::ReadField F;
+  ASSERT_TRUE(R.next(F));
+  EXPECT_EQ(F.T, wire::Tag::Text);
+  EXPECT_EQ(F.Bytes, "key");
+  ASSERT_TRUE(R.next(F));
+  EXPECT_EQ(F.T, wire::Tag::Blob);
+  EXPECT_EQ(F.Bytes, std::string_view("\x00\x01\xff payload", 12));
+  ASSERT_TRUE(R.next(F));
+  EXPECT_EQ(F.T, wire::Tag::Text);
+  EXPECT_TRUE(F.Bytes.empty());
+  EXPECT_FALSE(R.next(F));
+  EXPECT_TRUE(R.ok());
+}
+
+TEST(WireTest, TruncatedPayloadFlipsOkNotCrashes) {
+  wire::Writer W(wire::Op::Echo);
+  W.fixnum(1234567);
+  W.text("hello");
+
+  const auto &Full = W.payload();
+  // Every strict prefix must decode without reading out of bounds. A cut
+  // that lands exactly on a field boundary is simply a legal shorter
+  // payload; anywhere else the reader must finish with ok()==false.
+  // Boundaries here: 1 (bare opcode), 10 (opcode + complete fixnum).
+  for (std::size_t Cut = 1; Cut + 1 < Full.size(); ++Cut) {
+    wire::Reader R(Full.data(), Cut);
+    wire::ReadField F;
+    while (R.next(F)) {
+    }
+    if (Cut == 1 || Cut == 10)
+      EXPECT_TRUE(R.ok()) << "boundary cut at " << Cut;
+    else
+      EXPECT_FALSE(R.ok()) << "cut at " << Cut;
+  }
+}
+
+TEST(WireTest, UnknownTagIsMalformed) {
+  std::uint8_t Payload[] = {static_cast<std::uint8_t>(wire::Op::Echo), 0x7f};
+  wire::Reader R(Payload, sizeof(Payload));
+  wire::ReadField F;
+  EXPECT_FALSE(R.next(F));
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(WireTest, EmptyFrameIsNotOk) {
+  wire::Reader R(nullptr, 0);
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(WireTest, BlobLengthBeyondBufferIsMalformed) {
+  // Claims 100 bytes, provides 2.
+  std::uint8_t Payload[] = {static_cast<std::uint8_t>(wire::Op::TsOut),
+                            static_cast<std::uint8_t>(wire::Tag::Blob),
+                            100, 0, 0, 0, 'a', 'b'};
+  wire::Reader R(Payload, sizeof(Payload));
+  wire::ReadField F;
+  EXPECT_FALSE(R.next(F));
+  EXPECT_FALSE(R.ok());
+}
+
+} // namespace
