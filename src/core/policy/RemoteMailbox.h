@@ -22,7 +22,9 @@
 /// a later ring. Rings are never freed before the mailbox dies (the same
 /// retirement rule as WorkStealingDeque's grown rings), so a producer that
 /// read a ring pointer can always finish its post; the chain is bounded
-/// because each link doubles capacity up to MaxRingCapacity.
+/// because each link doubles capacity up to MaxRingCapacity. Chaining
+/// trades global FIFO for lock-freedom: order holds within a ring (and
+/// across a burst drained whole), not across drains — see drain().
 ///
 /// Emptiness is answered from the rings' Tail/Head cursors alone, so
 /// hasReadyWork stays accurate from any thread: Tail is advanced *before*
@@ -98,9 +100,15 @@ public:
     }
   }
 
-  /// Owner-only: drains every currently-published item, invoking
-  /// \p Consume in post order (primary ring first, then chain order).
-  /// \returns the number of items delivered.
+  /// Owner-only: drains every currently-published item, walking the
+  /// primary ring first and then each chained ring in install order.
+  /// Delivery is FIFO *within each ring*; a single overflow burst drained
+  /// by one call therefore comes out in post order, but order is NOT
+  /// preserved across drains once a chained ring holds residue — an item
+  /// stranded in a chained ring is delivered after later posts that
+  /// landed in the since-drained primary. Consumers (VP dispatch) treat
+  /// mailbox order as best-effort fairness, never as a correctness
+  /// invariant. \returns the number of items delivered.
   template <typename Fn> std::size_t drain(Fn &&Consume) {
     std::size_t N = 0;
     for (Ring *R = Primary; R; R = R->Next.load(std::memory_order_acquire))

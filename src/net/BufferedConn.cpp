@@ -92,6 +92,12 @@ bool BufferedConn::write(const void *Buf, std::size_t N) {
 }
 
 bool BufferedConn::writeFrame(const void *Buf, std::size_t N) {
+  if (N > 0xffffffffu) {
+    // The u32 prefix cannot carry it; emitting a truncated length followed
+    // by all N bytes would corrupt the stream framing for good.
+    errno = EMSGSIZE;
+    return false;
+  }
   std::uint8_t LenBytes[4] = {
       static_cast<std::uint8_t>(N & 0xff),
       static_cast<std::uint8_t>((N >> 8) & 0xff),

@@ -59,6 +59,8 @@ public:
   bool write(const void *Buf, std::size_t N);
 
   /// Appends a u32 length prefix followed by the \p N payload bytes.
+  /// \returns false without buffering anything when \p N exceeds the u32
+  /// prefix (errno=EMSGSIZE) — mirroring the read side's MaxFrame guard.
   bool writeFrame(const void *Buf, std::size_t N);
 
   /// Flushes the entire output buffer. \returns false on error.

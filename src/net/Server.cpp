@@ -47,13 +47,20 @@ std::unique_ptr<Server> Server::start(VirtualMachine &Vm, IoService &Io,
 
 void Server::listenerLoop() {
   while (!Stopped.load(std::memory_order_acquire)) {
-    // Admission control: at the cap, stop accepting and re-poll on a timed
-    // park. The kernel backlog queues the burst; a connection close (or
-    // the cap being raised) is picked up at the next lap.
+    // Admission control: at the cap, stop accepting and park until a slot
+    // frees (Slot::release wakes us) with the configured backoff as a
+    // timed backstop. Parking on the listen fd would busy-loop here: with
+    // the backlog non-empty the fd is already readable, so a readiness
+    // wait returns immediately. The kernel backlog queues the burst.
     if (Config.MaxConnections != 0 &&
         Live.load(std::memory_order_acquire) >= Config.MaxConnections) {
-      Io->awaitUntil(Lst.fd(), IoEvent::Readable,
-                     Deadline::in(Config.AcceptBackoffNanos));
+      AdmissionWaiters.awaitUntil(
+          [this] {
+            return Stopped.load(std::memory_order_acquire) ||
+                   Live.load(std::memory_order_acquire) <
+                       Config.MaxConnections;
+          },
+          this, Deadline::in(Config.AcceptBackoffNanos));
       continue;
     }
 
@@ -61,7 +68,15 @@ void Server::listenerLoop() {
     if (!Conn.valid()) {
       if (errno == ECANCELED || Stopped.load(std::memory_order_acquire))
         return;
-      continue; // transient accept failure (e.g. EMFILE burst)
+      // Transient accept failure (e.g. an EMFILE/ENFILE burst): accept
+      // fails synchronously, so retrying immediately would hot-spin. Back
+      // off on a timed park; a connection close (which frees a
+      // descriptor — exactly what EMFILE is waiting for) wakes it early
+      // via Slot::release.
+      AdmissionWaiters.awaitUntil(
+          [this] { return Stopped.load(std::memory_order_acquire); }, this,
+          Deadline::in(Config.AcceptBackoffNanos));
+      continue;
     }
 
     Accepted.fetch_add(1, std::memory_order_relaxed);
@@ -89,9 +104,20 @@ void Server::listenerLoop() {
 void Server::Slot::release() {
   if (!S)
     return;
-  std::size_t NowLive = S->Live.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  Server *Srv = std::exchange(S, nullptr);
+  // Pin the server before the decrement: once Live hits zero shutdown()
+  // may return and the Server be destroyed, so everything after the
+  // fetch_sub below must be covered by ReleasesInFlight (shutdown drains
+  // it after the Live spin).
+  Srv->ReleasesInFlight.fetch_add(1, std::memory_order_acq_rel);
+  std::size_t NowLive =
+      Srv->Live.fetch_sub(1, std::memory_order_acq_rel) - 1;
   STING_TRACE_EVENT(NetClose, 0, static_cast<std::uint32_t>(NowLive));
-  S = nullptr;
+  // A listener parked at the cap (or backing off after EMFILE) wants this
+  // slot/descriptor; wake it rather than letting the timed backstop burn
+  // the full backoff period.
+  Srv->AdmissionWaiters.wakeOne();
+  Srv->ReleasesInFlight.fetch_sub(1, std::memory_order_release);
 }
 
 void Server::serveConnection(Socket Conn) {
@@ -119,8 +145,13 @@ void Server::shutdown() {
   }
   // A joiner can race a few instructions ahead of the determine path that
   // destroys a dead thread's thunk (and releases its admission slot);
-  // settle the counter before promising liveConnections() == 0.
-  while (Live.load(std::memory_order_acquire) != 0) {
+  // settle the counter before promising liveConnections() == 0. Then
+  // drain in-flight releases: a release that already decremented Live may
+  // still be about to wake AdmissionWaiters, and destruction must wait
+  // for that last touch. (A release pins itself *before* decrementing, so
+  // observing Live == 0 guarantees its pin is visible here.)
+  while (Live.load(std::memory_order_acquire) != 0 ||
+         ReleasesInFlight.load(std::memory_order_acquire) != 0) {
     if (onStingThread())
       ThreadController::yieldProcessor();
     else

@@ -14,8 +14,11 @@
 /// cleanup, and the descriptors close.
 ///
 /// Admission control: a connection cap. At the cap the listener stops
-/// accepting and backs off on a timed park, so the kernel backlog absorbs
-/// bursts and excess clients see queueing, not resets.
+/// accepting and parks on a condition signaled when a slot frees (with a
+/// timed backstop) — *not* on the listen fd, which is already readable
+/// while the backlog holds the burst and would return immediately. The
+/// kernel backlog absorbs the excess, so clients see queueing, not
+/// resets, and the listener wakes the instant a connection closes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +29,7 @@
 #include "core/VirtualMachine.h"
 #include "net/BufferedConn.h"
 #include "net/Socket.h"
+#include "sync/ParkList.h"
 
 #include <atomic>
 #include <cstdint>
@@ -120,6 +124,15 @@ private:
   std::atomic<std::size_t> Live{0};
   std::atomic<std::uint64_t> Accepted{0};
   std::atomic<bool> Stopped{false};
+  /// Parks the listener while at the connection cap (and between retries
+  /// after a transient accept failure); Slot::release wakes it, so a
+  /// freed slot — or a freed descriptor — is picked up immediately.
+  ParkList AdmissionWaiters;
+  /// Releases between their first and last touch of this Server. A release
+  /// decrements Live and *then* wakes AdmissionWaiters; shutdown() must
+  /// not return (allowing destruction) between those two steps, so it
+  /// drains this counter after Live reaches zero.
+  std::atomic<std::size_t> ReleasesInFlight{0};
 };
 
 } // namespace sting::net

@@ -6,8 +6,7 @@
 
 #include "net/Wire.h"
 
-#include "core/Gc.h"
-#include "gc/LocalHeap.h"
+#include "gc/Object.h"
 
 #include <cstring>
 
@@ -154,10 +153,11 @@ bool readTuple(Reader &R, Tuple &Out) {
       Out.emplace_back(Field::formal(F.FormalIndex));
       break;
     case Tag::Blob:
-      // A young String on the connection thread's local heap; prepare()
-      // escapes it to the shared old generation when the tuple is
-      // deposited — the same promotion path local producers take.
-      Out.emplace_back(mutatorHeap().makeString(std::string_view(F.Bytes)));
+      // Pending bytes: TupleSpace::prepare allocates the String directly
+      // in the shared heap. Decode must not allocate GC objects — a young
+      // String held unrooted in the half-built tuple would be moved or
+      // reclaimed by any scavenge a later field's allocation triggers.
+      Out.emplace_back(Field::blob(F.Bytes));
       break;
     }
   }

@@ -17,9 +17,9 @@
 ///     Fixnum(0): i64 LE          True(1)/False(2)/Nil(3): empty
 ///     Text(4):   u32 len, bytes  -- interned as a Symbol on arrival
 ///     Formal(5): u32 index       -- template binding slot (?x)
-///     Blob(6):   u32 len, bytes  -- a fresh (young) String; the tuple
-///                                   space's prepare() escapes it to the
-///                                   shared old generation
+///     Blob(6):   u32 len, bytes  -- carried as pending bytes; the tuple
+///                                   space's prepare() allocates it as a
+///                                   String in the shared old generation
 ///
 /// Opcodes: requests Echo/TsOut/TsRd/TsIn; replies EchoReply/TsAck/
 /// TsMatch/Err. TsMatch carries the matched tuple's resolved fields in
@@ -129,10 +129,11 @@ private:
 };
 
 /// Rebuilds a Tuple (or template) from the remaining fields of \p R. Text
-/// fields become pending-intern symbol fields, Blob fields become fresh
-/// *young* Strings on the calling thread's heap (TupleSpace::prepare
-/// escapes them on deposit), Formal fields become template formals.
-/// \returns false on malformed input.
+/// fields become pending-intern symbol fields, Blob fields become
+/// pending-bytes fields (TupleSpace::prepare allocates them as shared-heap
+/// Strings on deposit — decode itself never allocates GC objects, so no
+/// young value sits unrooted while later fields are read), Formal fields
+/// become template formals. \returns false on malformed input.
 bool readTuple(Reader &R, Tuple &Out);
 
 /// Marshals \p M's resolved fields into \p W (positional order).

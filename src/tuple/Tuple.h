@@ -36,7 +36,7 @@ namespace sting {
 class Field {
 public:
   enum class Kind : std::uint8_t {
-    Datum,      ///< a gc::Value (possibly pending symbol interning)
+    Datum,      ///< a gc::Value (possibly pending text/blob allocation)
     LiveThread, ///< a running/scheduled thread; its value is the field
     Thunk,      ///< spawn-only: code to fork into a LiveThread
     Formal,     ///< template-only: binds the matched value
@@ -51,8 +51,10 @@ public:
   Field(bool B) : TheKind(Kind::Datum), V(gc::Value::boolean(B)) {}
 
   /// Text datum; interned as a symbol when the tuple enters a space.
-  Field(const char *Text) : TheKind(Kind::Datum), Text(Text) {}
-  Field(std::string_view Text) : TheKind(Kind::Datum), Text(Text) {}
+  Field(const char *Text)
+      : TheKind(Kind::Datum), ThePending(Pending::Text), Text(Text) {}
+  Field(std::string_view Text)
+      : TheKind(Kind::Datum), ThePending(Pending::Text), Text(Text) {}
 
   /// Arbitrary tagged value. Young values are escaped to the shared old
   /// generation when the tuple enters a space.
@@ -74,27 +76,41 @@ public:
     return F;
   }
 
+  /// Binary datum carried as raw pending bytes; allocated as a String in
+  /// the *shared* heap when the tuple enters a space. Decode paths
+  /// (net/Wire) use this so building a tuple never allocates young
+  /// objects — a young String held unrooted in a half-built tuple would
+  /// be lost to any scavenge a later field's allocation triggers.
+  static Field blob(std::string_view Bytes) {
+    Field F;
+    F.TheKind = Kind::Datum;
+    F.ThePending = Pending::Blob;
+    F.Text.assign(Bytes.data(), Bytes.size());
+    return F;
+  }
+
   Kind kind() const { return TheKind; }
   bool isDatum() const { return TheKind == Kind::Datum; }
   bool isFormal() const { return TheKind == Kind::Formal; }
   bool isLiveThread() const { return TheKind == Kind::LiveThread; }
   bool isThunk() const { return TheKind == Kind::Thunk; }
 
-  /// Datum access; pending text must have been interned by the space.
+  /// Datum access; pending text/blob must have been resolved by the space.
   gc::Value value() const {
-    STING_DCHECK(isDatum() && !hasPendingText(), "field has no value yet");
+    STING_DCHECK(isDatum() && !hasPendingText() && !hasPendingBlob(),
+                 "field has no value yet");
     return V;
   }
 
   /// Address of the datum slot, for GC root registration by spaces.
   gc::Value *valueSlot() { return &V; }
 
-  bool hasPendingText() const { return !Text.empty(); }
+  bool hasPendingText() const { return ThePending == Pending::Text; }
+  bool hasPendingBlob() const { return ThePending == Pending::Blob; }
   const std::string &pendingText() const { return Text; }
-  void resolveText(gc::Value Symbol) {
-    V = Symbol;
-    Text.clear();
-  }
+  const std::string &pendingBlob() const { return Text; }
+  void resolveText(gc::Value Symbol) { resolvePending(Symbol); }
+  void resolveBlob(gc::Value String) { resolvePending(String); }
   void setValue(gc::Value NewV) { V = NewV; }
 
   unsigned formalIndex() const {
@@ -121,11 +137,22 @@ public:
   }
 
 private:
+  /// Datum payloads that defer GC-heap allocation until the tuple enters
+  /// a space (where they resolve under TupleSpace::prepare's rooting).
+  enum class Pending : std::uint8_t { None, Text, Blob };
+
   Field() = default;
 
+  void resolvePending(gc::Value NewV) {
+    V = NewV;
+    Text.clear();
+    ThePending = Pending::None;
+  }
+
   Kind TheKind = Kind::Datum;
+  Pending ThePending = Pending::None;
   gc::Value V;
-  std::string Text;
+  std::string Text; ///< pending Text or Blob bytes
   ThreadRef Th;
   UniqueFunction<gc::Value()> Code;
   unsigned FormalIndex = 0;

@@ -427,6 +427,32 @@ TupleSpaceRef TupleSpace::create(const TupleOpsProfile &Profile,
 }
 
 void TupleSpace::prepare(Tuple &T) {
+  // Pass 1: root every young datum slot for the duration. Escaping one
+  // field scavenges the caller's young heap, and a scavenge roots only
+  // handle scopes / external roots / the remembered set — an unrooted
+  // sibling young value would be left behind in from-space (dangling once
+  // the space is reused). Pending text/blob fields carry plain bytes, not
+  // heap values, so they need no rooting.
+  gc::LocalHeap *Mutator = nullptr;
+  std::vector<gc::Value *> Rooted;
+  for (Field &F : T) {
+    if (!F.isDatum() || F.hasPendingText() || F.hasPendingBlob())
+      continue;
+    gc::Value V = F.value();
+    if (V.isObject() && !V.asObject()->isInOld()) {
+      STING_CHECK(onStingThread(),
+                  "young tuple values require a sting thread to escape");
+      if (!Mutator)
+        Mutator = &mutatorHeap();
+      Mutator->addRoot(F.valueSlot());
+      Rooted.push_back(F.valueSlot());
+    }
+  }
+
+  // Pass 2: resolve. Pending bytes go straight to the shared heap (no
+  // young object ever exists for them — the reason net/Wire defers blob
+  // allocation here); young values are promoted via escape, with the
+  // remaining fields' slots forwarded by the roots above.
   for (Field &F : T) {
     if (!F.isDatum())
       continue;
@@ -434,13 +460,17 @@ void TupleSpace::prepare(Tuple &T) {
       F.resolveText(Heap->intern(F.pendingText()));
       continue;
     }
-    gc::Value V = F.value();
-    if (V.isObject() && !V.asObject()->isInOld()) {
-      STING_CHECK(onStingThread(),
-                  "young tuple values require a sting thread to escape");
-      F.setValue(mutatorHeap().escape(V));
+    if (F.hasPendingBlob()) {
+      F.resolveBlob(Heap->makeStringShared(F.pendingBlob()));
+      continue;
     }
+    gc::Value V = F.value();
+    if (V.isObject() && !V.asObject()->isInOld())
+      F.setValue(Mutator->escape(V));
   }
+
+  for (std::size_t I = Rooted.size(); I != 0; --I)
+    Mutator->removeRoot(Rooted[I - 1]);
 }
 
 void TupleSpace::put(Tuple T) {

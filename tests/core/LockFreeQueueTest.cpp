@@ -273,8 +273,11 @@ TEST(MailboxTest, OverflowChainsASecondRing) {
   EXPECT_GE(M.ringCount(), 2u);
   EXPECT_EQ(M.size(), 64u);
 
-  // A single producer's order survives across the ring boundary: primary
-  // drains first, then each chained ring in install order.
+  // A single burst drained by one call survives the ring boundary in
+  // post order: primary drains first, then each chained ring in install
+  // order. (This is the strongest order the mailbox promises — across
+  // *separate* drains, chained-ring residue can be delivered after later
+  // posts to the refilled primary; see RemoteMailbox::drain.)
   std::vector<int> Got;
   std::size_t N = M.drain(
       [&](Schedulable &S) { Got.push_back(static_cast<Item &>(S).Value); });

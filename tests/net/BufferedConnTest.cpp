@@ -71,6 +71,39 @@ TEST(BufferedConnTest, FramesSurviveArbitraryFragmentation) {
   EXPECT_TRUE(V.as<bool>());
 }
 
+TEST(BufferedConnTest, OversizedWriteFrameIsRejectedNotTruncated) {
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    LoopPair P(Io);
+    EXPECT_TRUE(P.valid());
+    BufferedConn Tx(std::move(P.A));
+
+    // A payload the u32 prefix cannot carry must be rejected up front —
+    // emitting a truncated length followed by all N bytes would corrupt
+    // the stream framing. Nothing may be buffered (the guard fires before
+    // the payload pointer is touched; hence nullptr is safe here).
+    if constexpr (sizeof(std::size_t) > 4) {
+      const std::size_t TooBig = (std::size_t{1} << 32) + 7;
+      errno = 0;
+      EXPECT_FALSE(Tx.writeFrame(nullptr, TooBig));
+      EXPECT_EQ(errno, EMSGSIZE);
+      EXPECT_EQ(Tx.pendingWrite(), 0u);
+    }
+
+    // The connection stays usable: a legal frame still goes through.
+    const char Payload[] = "still alive";
+    EXPECT_TRUE(Tx.writeFrame(Payload, sizeof(Payload)));
+    EXPECT_TRUE(Tx.flush());
+    BufferedConn Rx(std::move(P.B));
+    std::vector<std::uint8_t> Frame;
+    EXPECT_TRUE(Rx.readFrame(Frame));
+    EXPECT_EQ(Frame.size(), sizeof(Payload));
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
 TEST(BufferedConnTest, TimedOutFrameReadConsumesNothing) {
   VirtualMachine Vm;
   IoService Io;

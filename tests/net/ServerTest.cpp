@@ -134,6 +134,52 @@ TEST(ServerTest, ConnectionCapQueuesExcessClients) {
   EXPECT_TRUE(V.as<bool>());
 }
 
+TEST(ServerTest, FreedSlotWakesCapParkedListenerPromptly) {
+  // At the cap the listener parks on the admission ParkList — not on the
+  // listen fd, which is permanently readable while the backlog queues the
+  // excess and would turn the "timed backoff" into a busy-loop. With the
+  // timed backstop pushed out to 30 s, only the Slot::release wake can
+  // serve the queued client in time, so this pins both halves: the
+  // listener really sleeps, and a freed slot really wakes it.
+  VmConfig Config;
+  Config.NumVps = 2;
+  Config.NumPps = 2;
+  VirtualMachine Vm(Config);
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    ServerConfig SC;
+    SC.MaxConnections = 1;
+    SC.AcceptBackoffNanos = 30'000'000'000; // backstop far beyond the test
+    auto Server = net::Server::start(Vm, Io, echoHandler(), SC);
+    if (!Server)
+      return AnyValue(false);
+
+    Socket H1 = Socket::connectTo(Io, "127.0.0.1", Server->port());
+    EXPECT_TRUE(H1.valid());
+    BufferedConn C1(std::move(H1));
+    EXPECT_TRUE(echoOnce(C1, 1));
+    while (Server->liveConnections() < 1)
+      TC::yieldProcessor();
+
+    ThreadRef Second = TC::forkThread([&]() -> AnyValue {
+      Socket S = Socket::connectTo(Io, "127.0.0.1", Server->port());
+      if (!S.valid())
+        return AnyValue(false);
+      BufferedConn Conn(std::move(S));
+      return AnyValue(echoOnce(Conn, 2)); // queued until the slot frees
+    });
+
+    C1.close(); // EOF -> server connection thread exits -> Slot::release
+    EXPECT_TRUE(TC::threadWaitFor(*Second, Deadline::in(10'000'000'000)))
+        << "freed slot did not wake the cap-parked listener";
+    bool SecondOk = TC::threadValue(*Second).as<bool>();
+    EXPECT_TRUE(SecondOk);
+    Server->shutdown();
+    return AnyValue(SecondOk);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
 TEST(ServerTest, ShutdownUnderLoadLeaksNoDescriptors) {
   VmConfig Config;
   Config.NumVps = 2;

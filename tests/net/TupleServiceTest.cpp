@@ -153,9 +153,10 @@ TEST(TupleServiceTest, BlobValuesEscapeToSharedHeapAndComeBack) {
     Client C(Io, Server->port());
     const std::string Payload(4096, '\x5a'); // big enough to be a real copy
 
-    // The blob arrives as a *young* String on the connection thread's
-    // heap; depositing rides LocalHeap::escape into the shared old
-    // generation (the same promotion local producers get).
+    // The blob travels as pending bytes in its Field; depositing
+    // allocates it as a String directly in the shared old generation
+    // (TupleSpace::prepare), so decode never holds an unrooted young
+    // object.
     wire::Writer Out(wire::Op::TsOut);
     Out.text("blob");
     Out.blob(Payload);
@@ -185,6 +186,64 @@ TEST(TupleServiceTest, BlobValuesEscapeToSharedHeapAndComeBack) {
     REQUIRE_OK(R.next(F)); // blob
     EXPECT_EQ(F.T, wire::Tag::Blob);
     EXPECT_EQ(F.Bytes, Payload);
+    Server->shutdown();
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(TupleServiceTest, ManyBlobsInOneFrameDecodeIntact) {
+  // Regression: readTuple used to allocate a young String per blob field
+  // *during* decode, so with several blobs in one frame a later
+  // allocation could scavenge the connection thread's young heap and
+  // relocate the earlier Strings while they sat unrooted in the
+  // half-built tuple (use-after-free). Blobs now ride as pending bytes
+  // and materialize in the shared heap at deposit. The blobs here total
+  // 1.5x the 256 KiB young area, so the old code could not have survived
+  // without corruption.
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    TupleSpaceRef Space = TupleSpace::create();
+    auto Server = net::Server::start(Vm, Io, tupleSpaceHandler(Space));
+    if (!Server)
+      return AnyValue(false);
+
+    Client C(Io, Server->port());
+    const int Blobs = 48;
+    const std::size_t BlobBytes = 8192;
+    std::vector<std::string> Payloads;
+    wire::Writer Out(wire::Op::TsOut);
+    Out.text("bulk");
+    for (int I = 0; I != Blobs; ++I) {
+      std::string P(BlobBytes, static_cast<char>('a' + I % 26));
+      P[0] = static_cast<char>(I); // distinguish rotations of the fill
+      Out.blob(P);
+      Payloads.push_back(std::move(P));
+    }
+    EXPECT_TRUE(C.send(Out));
+    std::vector<std::uint8_t> Frame;
+    REQUIRE_OK(C.recv(Frame));
+    EXPECT_EQ(wire::Reader(Frame.data(), Frame.size()).op(), wire::Op::TsAck);
+
+    wire::Writer In(wire::Op::TsIn);
+    In.text("bulk");
+    for (int I = 0; I != Blobs; ++I)
+      In.formal(static_cast<std::uint32_t>(I));
+    EXPECT_TRUE(C.send(In));
+    REQUIRE_OK(C.recv(Frame));
+    wire::Reader R(Frame.data(), Frame.size());
+    EXPECT_EQ(R.op(), wire::Op::TsMatch);
+    wire::ReadField F;
+    REQUIRE_OK(R.next(F)); // key
+    EXPECT_EQ(F.Bytes, "bulk");
+    for (int I = 0; I != Blobs; ++I) {
+      REQUIRE_OK(R.next(F));
+      EXPECT_EQ(F.T, wire::Tag::Blob) << "field " << I;
+      EXPECT_TRUE(F.Bytes == Payloads[static_cast<std::size_t>(I)])
+          << "blob " << I << " corrupted";
+    }
+    EXPECT_EQ(Space->size(), 0u);
     Server->shutdown();
     return AnyValue(true);
   });

@@ -202,6 +202,43 @@ TEST(TupleSpaceTest, HeapValuesEscapeOnPut) {
   EXPECT_TRUE(V.as<bool>());
 }
 
+TEST(TupleSpaceTest, MultipleYoungValuesAllSurviveOnePut) {
+  // prepare() escapes young fields one at a time, and every escape is a
+  // full scavenge of the caller's young heap (rooted at handle scopes,
+  // external roots and the remembered set only). The space must root the
+  // sibling datum slots for the duration, or escaping the first value
+  // strands the second in from-space — a silent use-after-free once the
+  // semispace is reused.
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    TupleSpaceRef Ts = TupleSpace::create();
+    gc::LocalHeap &Heap = mutatorHeap();
+    gc::HandleScope Scope(Heap);
+    gc::Value *A = Scope.pin(Heap.makeString("alpha-payload"));
+    gc::Value *B = Scope.pin(Heap.makeString("beta-payload"));
+    EXPECT_FALSE(A->asObject()->isInOld());
+    EXPECT_FALSE(B->asObject()->isInOld());
+    Ts->put(makeTuple("pair", *A, *B));
+
+    Tuple Template;
+    Template.emplace_back("pair");
+    Template.push_back(formal(0));
+    Template.push_back(formal(1));
+    Match M = Ts->take(std::move(Template));
+    gc::Value SA = M.binding(0), SB = M.binding(1);
+    bool Ok = SA.isObject() && SA.asObject()->isInOld() && SB.isObject() &&
+              SB.asObject()->isInOld();
+    Ok = Ok &&
+         std::string_view(SA.asObject()->bytes(),
+                          SA.asObject()->byteLength()) == "alpha-payload" &&
+         std::string_view(SB.asObject()->bytes(),
+                          SB.asObject()->byteLength()) == "beta-payload";
+    EXPECT_TRUE(Ok);
+    return AnyValue(Ok);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
 TEST(TupleSpaceTest, ProducersAndConsumersConcurrently) {
   VirtualMachine Vm(VmConfig{.NumVps = 2, .NumPps = 2});
   AnyValue V = Vm.run([]() -> AnyValue {
