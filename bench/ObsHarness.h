@@ -31,6 +31,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -45,8 +46,11 @@ public:
     return Harness;
   }
 
-  /// Consumes --trace-out from argv (before benchmark::Initialize, which
-  /// rejects flags it does not know).
+  /// Consumes --trace-out and --sample from argv (before
+  /// benchmark::Initialize, which rejects flags it does not know).
+  /// --sample <period-ns> turns on the background load sampler on every
+  /// harness-configured machine; its series ride the trace file as
+  /// Chrome counter events.
   void parseArgs(int *Argc, char **Argv) {
     int Out = 1;
     for (int In = 1; In != *Argc; ++In) {
@@ -56,6 +60,14 @@ public:
       }
       if (std::strncmp(Argv[In], "--trace-out=", 12) == 0) {
         TraceOutPath = Argv[In] + 12;
+        continue;
+      }
+      if (std::strcmp(Argv[In], "--sample") == 0 && In + 1 != *Argc) {
+        SamplePeriodNanos = std::strtoull(Argv[++In], nullptr, 10);
+        continue;
+      }
+      if (std::strncmp(Argv[In], "--sample=", 9) == 0) {
+        SamplePeriodNanos = std::strtoull(Argv[In] + 9, nullptr, 10);
         continue;
       }
       Argv[Out++] = Argv[In];
@@ -68,6 +80,7 @@ public:
   /// Applies harness policy to a machine the benchmark is about to build.
   void configure(VmConfig &Config) const {
     Config.EnableTracing = tracingRequested();
+    Config.SamplerPeriodNanos = SamplePeriodNanos;
     if (tracingRequested() && Config.EnablePreemption) {
       // Surface preemption on sub-millisecond workloads.
       if (Config.DefaultQuantumNanos > 50'000)
@@ -95,6 +108,8 @@ public:
     if (Events > Best.Events) {
       Best.Events = Events;
       Best.Snaps = std::move(Snaps);
+      Best.Samples = Vm.sampler() ? Vm.sampler()->snapshot()
+                                  : std::vector<obs::LoadSample>();
     }
   }
 
@@ -109,8 +124,11 @@ public:
     if (!tracingRequested())
       return true;
     for (auto &[Label, Best] : Traced)
-      if (!Best.Snaps.empty())
+      if (!Best.Snaps.empty()) {
         Exporter.addProcess(Label, std::move(Best.Snaps));
+        if (!Best.Samples.empty())
+          Exporter.addLoadSamples(std::move(Best.Samples));
+      }
     if (Exporter.empty()) {
       std::fprintf(stderr,
                    "--trace-out: no events captured (build with "
@@ -131,9 +149,11 @@ private:
   struct BestPerLabel {
     std::size_t Events = 0;
     std::vector<obs::VpTraceSnapshot> Snaps;
+    std::vector<obs::LoadSample> Samples;
   };
 
   std::string TraceOutPath;
+  std::uint64_t SamplePeriodNanos = 0;
   obs::SchedStatsSnapshot Total;
   obs::TraceExporter Exporter;
   std::map<std::string, BestPerLabel> Traced;

@@ -1,0 +1,156 @@
+//===- bench/app_introspect.cpp - Live-introspection demo ---------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// Not a Google-Benchmark binary: a small end-to-end demo of the
+// observability surface, and the CI artifact generator for it. Brings up
+// a machine with a tuple-space service and a metrics service, drives
+// client traffic whose requests carry causal flow ids across the wire,
+// then scrapes its own /metrics endpoint over plain HTTP exactly the way
+// curl would and prints the exposition body to stdout. With --trace-out
+// (and a -DSTING_TRACE=ON build) the run's event rings, flow arrows and
+// sampler series are written as Chrome trace_event JSON.
+//
+//   app_introspect [--trace-out FILE] [--clients N] [--requests N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "sting/Sting.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace sting;
+using namespace sting::net;
+using TC = ThreadController;
+
+namespace {
+
+/// One client connection doing \p Requests out/in round trips, each
+/// request stamped with its own fresh flow so every round trip renders as
+/// a distinct causal path through the server.
+bool runClient(IoService &Io, std::uint16_t Port, int Requests) {
+  BufferedConn Conn(Socket::connectTo(Io, "127.0.0.1", Port));
+  if (!Conn.valid())
+    return false;
+  std::vector<std::uint8_t> Frame;
+  for (int I = 0; I != Requests; ++I) {
+    obs::FlowId Flow = obs::newFlowId();
+    wire::Writer Out(wire::Op::TsOut);
+    Out.flow(Flow);
+    Out.text("job");
+    Out.fixnum(I);
+    if (!Conn.writeFrame(Out.payload().data(), Out.payload().size()) ||
+        !Conn.flush() || !Conn.readFrame(Frame))
+      return false;
+
+    wire::Writer In(wire::Op::TsIn);
+    In.flow(Flow);
+    In.text("job");
+    In.formal(0);
+    if (!Conn.writeFrame(In.payload().data(), In.payload().size()) ||
+        !Conn.flush() || !Conn.readFrame(Frame))
+      return false;
+    if (wire::Reader(Frame.data(), Frame.size()).op() != wire::Op::TsMatch)
+      return false;
+  }
+  return true;
+}
+
+/// Scrapes http://127.0.0.1:Port/metrics the way curl would and \returns
+/// the exposition body ("" on failure).
+std::string httpScrape(IoService &Io, std::uint16_t Port) {
+  BufferedConn Conn(Socket::connectTo(Io, "127.0.0.1", Port));
+  if (!Conn.valid())
+    return "";
+  const char Req[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  if (!Conn.write(Req, sizeof(Req) - 1) || !Conn.flush())
+    return "";
+  std::string Response;
+  char B = 0;
+  Deadline D = Deadline::in(10'000'000'000);
+  while (Response.size() < (1u << 20) && Conn.readExact(&B, 1, D))
+    Response.push_back(B);
+  std::size_t BodyAt = Response.find("\r\n\r\n");
+  if (Response.rfind("HTTP/1.0 200", 0) != 0 || BodyAt == std::string::npos)
+    return "";
+  return Response.substr(BodyAt + 4);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string TraceOut;
+  int Clients = 4, Requests = 64;
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strcmp(Argv[I], "--trace-out") == 0 && I + 1 != Argc)
+      TraceOut = Argv[++I];
+    else if (std::strncmp(Argv[I], "--trace-out=", 12) == 0)
+      TraceOut = Argv[I] + 12;
+    else if (std::strcmp(Argv[I], "--clients") == 0 && I + 1 != Argc)
+      Clients = std::atoi(Argv[++I]);
+    else if (std::strcmp(Argv[I], "--requests") == 0 && I + 1 != Argc)
+      Requests = std::atoi(Argv[++I]);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace-out FILE] [--clients N] "
+                   "[--requests N]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  VmConfig Config;
+  Config.NumVps = 2;
+  Config.EnableTracing = true;
+  Config.SamplerPeriodNanos = 100'000; // 10 kHz load samples
+  VirtualMachine Vm(Config);
+  IoService Io;
+
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    TupleSpaceRef Space = TupleSpace::create();
+    auto TupleServer = Server::start(Vm, Io, tupleSpaceHandler(Space));
+    auto MetricsServer = Server::start(Vm, Io, metricsHandler(Vm));
+    if (!TupleServer || !MetricsServer)
+      return AnyValue(false);
+
+    std::vector<ThreadRef> Workers;
+    for (int I = 0; I != Clients; ++I)
+      Workers.push_back(TC::forkThread([&]() -> AnyValue {
+        return AnyValue(runClient(Io, TupleServer->port(), Requests));
+      }));
+    bool Ok = true;
+    for (ThreadRef &W : Workers)
+      Ok = TC::threadValue(*W).as<bool>() && Ok;
+
+    // Scrape the machine we are running on, over the wire, while it is
+    // still serving — the same path `curl http://host:port/metrics` takes.
+    std::string Scrape = httpScrape(Io, MetricsServer->port());
+    Ok = Ok && !Scrape.empty();
+    std::fwrite(Scrape.data(), 1, Scrape.size(), stdout);
+
+    std::fprintf(stderr,
+                 "app_introspect: %d client(s) x %d round trip(s); "
+                 "tuple port %u, metrics port %u, scrape %zu bytes\n",
+                 Clients, Requests, TupleServer->port(),
+                 MetricsServer->port(), Scrape.size());
+
+    TupleServer->shutdown();
+    MetricsServer->shutdown();
+    return AnyValue(Ok);
+  });
+
+  if (!TraceOut.empty()) {
+    if (Vm.writeChromeTrace(TraceOut, "app_introspect"))
+      std::fprintf(stderr, "trace written to %s (load at ui.perfetto.dev)\n",
+                   TraceOut.c_str());
+    else
+      std::fprintf(stderr,
+                   "--trace-out: no events captured (build with "
+                   "-DSTING_TRACE=ON?)\n");
+  }
+  return V.as<bool>() ? 0 : 1;
+}

@@ -192,6 +192,7 @@ void BM_TupleService(benchmark::State &State) {
                 !C.flush() || !C.readFrame(Frame))
               return AnyValue(false);
             net::wire::Reader Rd(Frame.data(), Frame.size());
+            Rd.takeFlow(); // replies carry the server-side causal flow
             net::wire::ReadField F;
             if (Rd.op() != net::wire::Op::TsMatch || !Rd.next(F) ||
                 !Rd.next(F))

@@ -79,6 +79,17 @@ public:
   /// but must never report false when a locally enqueued item is pending.
   virtual bool hasReadyWork(const VirtualProcessor &Vp) const = 0;
 
+  /// Occupancy probe for the load sampler (obs/Sampler.h): approximate
+  /// counts of items waiting in this VP's ready structures.
+  /// \p ReadyDepth counts owner-visible ready items, \p MailboxDepth
+  /// counts posted-but-undrained remote enqueues. Must be callable from
+  /// any thread; values may be racy, never torn. The default derives a
+  /// 0/1 depth from hasReadyWork(); queue-backed policies override with
+  /// real sizes.
+  virtual void loadDepths(const VirtualProcessor &Vp,
+                          std::uint64_t &ReadyDepth,
+                          std::uint64_t &MailboxDepth) const;
+
   /// Hint: the currently running thread's priority changed (pm-priority).
   virtual void priorityHint(VirtualProcessor &Vp, int Priority);
 

@@ -23,4 +23,11 @@ VirtualProcessor &PolicyManager::selectVpForNewThread(
 
 Schedulable *PolicyManager::vpIdle(VirtualProcessor &) { return nullptr; }
 
+void PolicyManager::loadDepths(const VirtualProcessor &Vp,
+                               std::uint64_t &ReadyDepth,
+                               std::uint64_t &MailboxDepth) const {
+  ReadyDepth = hasReadyWork(Vp) ? 1 : 0;
+  MailboxDepth = 0;
+}
+
 } // namespace sting

@@ -18,8 +18,17 @@ Tcb::~Tcb() {
 }
 
 gc::LocalHeap &Tcb::ensureHeap() {
-  if (!Heap)
+  if (!Heap) {
     Heap = new gc::LocalHeap(vp()->vm().globalHeap());
+    // A scavenge always runs on the OS thread of the VP currently running
+    // this TCB, so recording into that VP's stats satisfies the
+    // histogram's single-writer contract.
+    Heap->setPauseSink(
+        [](void *Ctx, std::uint64_t Nanos) {
+          static_cast<Tcb *>(Ctx)->vp()->stats().GcPauseNanos.record(Nanos);
+        },
+        this);
+  }
   return *Heap;
 }
 

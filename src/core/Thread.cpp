@@ -13,6 +13,7 @@
 #include "core/ThreadGroup.h"
 #include "core/VirtualMachine.h"
 #include "core/VirtualProcessor.h"
+#include "obs/Flow.h"
 
 #include <condition_variable>
 #include <exception>
@@ -93,6 +94,14 @@ Thread::Thread(VirtualMachine &Vm, Thunk Code, const SpawnOptions &Opts)
       Group = IntrusivePtr<ThreadGroup>(&Vm.rootGroup());
     Group->addMember(*this);
   }
+
+  // Causal flow: continue the creator's flow when there is one (fork
+  // extends the request the creator was serving), otherwise start a fresh
+  // flow at this root. Every thread carries a nonzero id.
+  if (obs::FlowId F = obs::currentFlowId())
+    Flow.store(F, std::memory_order_relaxed);
+  else
+    Flow.store(obs::newFlowId(), std::memory_order_relaxed);
 
   Vm.stats().ThreadsCreated.fetch_add(1, std::memory_order_relaxed);
   if (VirtualProcessor *Vp = currentVp())

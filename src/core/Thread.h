@@ -156,6 +156,18 @@ public:
   std::uint64_t id() const { return Id; }
   VirtualMachine &vm() const { return *Vm; }
 
+  /// The causal flow this thread works on behalf of (obs/Flow.h).
+  /// Inherited from the creator at fork; re-adopted from the waker on
+  /// unpark edges and from tuple depositors on match, so one request keeps
+  /// a single id across its whole cross-VP journey. Relaxed atomics: the
+  /// id is telemetry, never a synchronization channel.
+  std::uint64_t flowId() const {
+    return Flow.load(std::memory_order_relaxed);
+  }
+  void setFlowId(std::uint64_t F) {
+    Flow.store(F, std::memory_order_relaxed);
+  }
+
   int priority() const { return Priority.load(std::memory_order_relaxed); }
   void setPriority(int P) { Priority.store(P, std::memory_order_relaxed); }
 
@@ -237,6 +249,7 @@ private:
   std::atomic<bool> SuspendOnStart{false};
   std::uint64_t SuspendOnStartQuantum = 0;
   std::atomic<int> Priority{0};
+  std::atomic<std::uint64_t> Flow{0};
   std::uint64_t QuantumNanos = 0;
   std::uint64_t Id;
 

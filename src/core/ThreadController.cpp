@@ -23,6 +23,7 @@
 #include "core/PhysicalProcessor.h"
 #include "core/VirtualMachine.h"
 #include "core/VirtualProcessor.h"
+#include "obs/Flow.h"
 #include "support/Chaos.h"
 #include "support/Clock.h"
 
@@ -240,6 +241,12 @@ bool ThreadController::unparkImpl(Tcb &C, EnqueueReason Reason,
       Cur->stats().Wakeups.inc();
     else if (VirtualProcessor *Target = C.vp())
       Target->stats().Wakeups.incShared();
+    // Causal flow crosses the wake edge: the wakee continues whatever
+    // request the waker was serving. Flow-less wakers (the preemption
+    // clock, timers, external joiners) leave the wakee's flow alone.
+    if (obs::FlowId F = obs::currentFlowId())
+      if (Thread *T = C.thread())
+        T->setFlowId(F);
     STING_TRACE_EVENT(Wakeup, C.thread() ? C.thread()->id() : 0, Payload);
   };
   for (;;) {
@@ -555,6 +562,9 @@ void ThreadController::runStolen(Thread &T) {
   Thread *Previous = C.Active;
   C.Active = &T;
   ++C.StealDepth;
+  // The stolen thunk executes on the stealer's TCB but on behalf of T's
+  // flow; restore the stealer's flow when the nested evaluation unwinds.
+  obs::FlowScope StolenFlow(T.flowId());
 
   // A scheduled thread stolen out of a ready queue stays queued; dispatch
   // skips it when the CAS to Evaluating fails (lazy removal).

@@ -12,6 +12,7 @@
 #include "core/VirtualProcessor.h"
 #include "core/Watchdog.h"
 #include "gc/GlobalHeap.h"
+#include "obs/Exposition.h"
 #include "obs/TraceExporter.h"
 #include "support/Chaos.h"
 
@@ -58,12 +59,31 @@ VirtualMachine::VirtualMachine(VmConfig InConfig)
     Dog = std::make_unique<Watchdog>(*this, Config.StallBudgetNanos,
                                      Config.StallPollNanos);
 
+  if (Config.SamplerPeriodNanos != 0) {
+    LoadSampler = std::make_unique<obs::Sampler>(
+        Config.SamplerPeriodNanos, Config.SamplerCapacity, [this] {
+          obs::LoadSample S;
+          for (const auto &Vp : Vps) {
+            std::uint64_t Ready = 0, Mailbox = 0;
+            Vp->loadDepths(Ready, Mailbox);
+            S.ReadyDepth += Ready;
+            S.MailboxDepth += Mailbox;
+            if (!Vp->isRunningThread() && Ready + Mailbox == 0)
+              ++S.ParkedVps;
+          }
+          return S;
+        });
+    LoadSampler->start();
+  }
+
   for (auto &Pp : Pps)
     Pp->start();
 }
 
 VirtualMachine::~VirtualMachine() {
   ShuttingDown.store(true, std::memory_order_release);
+  if (LoadSampler)
+    LoadSampler->stop(); // its probe walks Vps; stop before they go away
   if (Dog)
     Dog->stop(); // before VPs/PPs go away underneath its sampler
   IdleEc.notifyAll();
@@ -102,21 +122,33 @@ AnyValue VirtualMachine::run(Thread::Thunk Code, const SpawnOptions &Opts) {
 
 obs::SchedStatsSnapshot VirtualMachine::aggregateStats() const {
   obs::SchedStatsSnapshot Total;
-  for (const auto &Vp : Vps)
-    Total += Vp->stats().snapshot();
+  for (const obs::SchedStatsSnapshot &S : perVpStats())
+    Total += S;
   return Total;
 }
 
 std::vector<obs::SchedStatsSnapshot> VirtualMachine::perVpStats() const {
   std::vector<obs::SchedStatsSnapshot> Out;
   Out.reserve(Vps.size());
-  for (const auto &Vp : Vps)
-    Out.push_back(Vp->stats().snapshot());
+  for (const auto &Vp : Vps) {
+    obs::SchedStatsSnapshot S = Vp->stats().snapshot();
+    // The trace totals live in the ring, not the counter block; fold them
+    // in here so truncated traces show up in every report and scrape.
+    if (const obs::TraceBuffer *B = Vp->traceBuffer()) {
+      S.TraceEvents = B->written();
+      S.TraceDrops = B->dropped();
+    }
+    Out.push_back(std::move(S));
+  }
   return Out;
 }
 
 std::string VirtualMachine::statsReport() const {
   return obs::formatStatsReport(aggregateStats(), perVpStats());
+}
+
+std::string VirtualMachine::metricsText() const {
+  return obs::formatPrometheus(aggregateStats(), perVpStats());
 }
 
 void VirtualMachine::setTracingEnabled(bool On) {
@@ -148,6 +180,8 @@ bool VirtualMachine::writeChromeTrace(const std::string &Path,
     return false;
   obs::TraceExporter Exporter;
   Exporter.addProcess(ProcessName, std::move(Snaps));
+  if (LoadSampler)
+    Exporter.addLoadSamples(LoadSampler->snapshot());
   return Exporter.writeFile(Path);
 }
 

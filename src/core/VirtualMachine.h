@@ -24,6 +24,7 @@
 #include "core/ThreadGroup.h"
 #include "core/Topology.h"
 #include "obs/SchedStats.h"
+#include "obs/Sampler.h"
 #include "obs/TraceBuffer.h"
 #include "support/EventCount.h"
 
@@ -86,6 +87,14 @@ struct VmConfig {
   std::uint64_t StallBudgetNanos = 0;
   /// Watchdog sampling period. Only meaningful with a non-zero budget.
   std::uint64_t StallPollNanos = 10'000'000; // 10 ms
+  /// Background load-sampler period (obs/Sampler.h): every period the
+  /// sampler thread records ready-queue depth, mailbox occupancy and the
+  /// parked-VP count into a ring exported as Chrome counter events. 0
+  /// (the default) disables the sampler — no thread is created.
+  std::uint64_t SamplerPeriodNanos = 0;
+  /// Entries in the sampler ring (rounded up to a power of two).
+  /// Overflow overwrites the oldest samples.
+  std::size_t SamplerCapacity = 4096;
 };
 
 /// Machine-wide counters surfaced to tests and the benchmark harness.
@@ -152,6 +161,14 @@ public:
   /// Plain-text table of aggregate plus per-VP counters.
   std::string statsReport() const;
 
+  /// Prometheus text exposition of the same counters (plus run-slice and
+  /// GC-pause summaries); what the net-layer metrics service serves.
+  std::string metricsText() const;
+
+  /// The background load sampler; null unless VmConfig::SamplerPeriodNanos
+  /// was set.
+  obs::Sampler *sampler() const { return LoadSampler.get(); }
+
   /// Toggles event emission on every VP's ring at runtime. No-op when the
   /// machine has no rings (STING_TRACE off or EnableTracing false).
   void setTracingEnabled(bool On);
@@ -196,6 +213,7 @@ private:
   std::vector<std::unique_ptr<PhysicalProcessor>> Pps;
   std::unique_ptr<PreemptionClock> Clock;
   std::unique_ptr<Watchdog> Dog;
+  std::unique_ptr<obs::Sampler> LoadSampler;
   ThreadGroupRef RootGroup;
 
   SpinLock GlobalHeapLock;

@@ -10,6 +10,7 @@
 #include "core/PhysicalProcessor.h"
 #include "core/ThreadController.h"
 #include "core/VirtualMachine.h"
+#include "obs/Flow.h"
 #include "support/Clock.h"
 
 namespace sting {
@@ -197,6 +198,9 @@ void VirtualProcessor::runFresh(Thread &T) {
   }
   initContext(C.Ctx, C.Stk->base(), C.Stk->size(), &tcbEntry, &C);
   Stats.FreshBinds.inc();
+  // Install the thread's flow before the start event so the first-run
+  // record already belongs to the request the thread serves.
+  obs::FlowScope StartFlow(T.flowId());
   STING_TRACE_EVENT(ThreadStart, T.id(), 0);
   switchInto(C);
 }
@@ -218,6 +222,13 @@ void VirtualProcessor::switchInto(Tcb &C) {
   SliceDeadline.store(saturatingAdd(C.SliceStartNanos, C.QuantumNanos),
                       std::memory_order_relaxed);
   Stats.Dispatches.inc();
+  // The dispatched thread's flow rides the OS thread's TLS slot for the
+  // whole occupancy: the Dispatch record, everything the thread emits
+  // while running, and the switch-out record below all carry it (the
+  // thread may adopt a different flow mid-run; whatever it left installed
+  // labels the switch-out). Restored to the scheduler's no-flow state on
+  // every exit path from this function.
+  obs::FlowScope DispatchFlow(C.Active ? C.Active->flowId() : 0);
   STING_TRACE_EVENT(Dispatch, C.Active ? C.Active->id() : 0, 0);
 
   switchContext(SchedCtx, C.Ctx);

@@ -92,6 +92,12 @@ public:
   /// True if this VP's policy reports ready work.
   bool hasReadyWork() const { return Policy->hasReadyWork(*this); }
 
+  /// Occupancy probe for the load sampler; forwards to the policy.
+  void loadDepths(std::uint64_t &ReadyDepth,
+                  std::uint64_t &MailboxDepth) const {
+    Policy->loadDepths(*this, ReadyDepth, MailboxDepth);
+  }
+
   /// True while a thread is dispatched on this VP (readable from any
   /// thread; the watchdog's heartbeat sampler uses it).
   bool isRunningThread() const {

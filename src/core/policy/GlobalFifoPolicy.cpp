@@ -46,6 +46,15 @@ public:
     return !Queue->empty();
   }
 
+  /// The queue is machine-global, so every VP reports the same depth; the
+  /// sampler's per-machine sum over-counts by numVps-1. Attribute the
+  /// depth to VP 0 only so the aggregate stays truthful.
+  void loadDepths(const VirtualProcessor &Vp, std::uint64_t &ReadyDepth,
+                  std::uint64_t &MailboxDepth) const override {
+    ReadyDepth = Vp.index() == 0 ? Queue->size() : 0;
+    MailboxDepth = 0;
+  }
+
   void drain(VirtualProcessor &,
              const std::function<void(Schedulable &)> &Drop) override {
     Queue->drainInto(Drop); // first VP drains everything; the rest no-op

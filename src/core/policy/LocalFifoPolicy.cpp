@@ -57,6 +57,12 @@ public:
     return !Deque.empty() || !Mailbox.empty();
   }
 
+  void loadDepths(const VirtualProcessor &, std::uint64_t &ReadyDepth,
+                  std::uint64_t &MailboxDepth) const override {
+    ReadyDepth = Deque.size();
+    MailboxDepth = Mailbox.size();
+  }
+
   VirtualProcessor &selectVpForNewThread(VirtualProcessor &) override {
     unsigned I =
         PlacementCursor->fetch_add(1, std::memory_order_relaxed);

@@ -55,6 +55,12 @@ public:
     return !Deque.empty() || !Mailbox.empty();
   }
 
+  void loadDepths(const VirtualProcessor &, std::uint64_t &ReadyDepth,
+                  std::uint64_t &MailboxDepth) const override {
+    ReadyDepth = Deque.size();
+    MailboxDepth = Mailbox.size();
+  }
+
   void drain(VirtualProcessor &,
              const std::function<void(Schedulable &)> &Drop) override {
     // Runs single-threaded after the PPs have joined.

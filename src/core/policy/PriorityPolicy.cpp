@@ -63,6 +63,12 @@ public:
     return Size.load(std::memory_order_acquire) != 0;
   }
 
+  void loadDepths(const VirtualProcessor &, std::uint64_t &ReadyDepth,
+                  std::uint64_t &MailboxDepth) const override {
+    ReadyDepth = Size.load(std::memory_order_acquire);
+    MailboxDepth = 0;
+  }
+
   VirtualProcessor &selectVpForNewThread(VirtualProcessor &) override {
     unsigned I = PlacementCursor->fetch_add(1, std::memory_order_relaxed);
     return Vm->vp(I % Vm->numVps());

@@ -90,6 +90,12 @@ public:
            !Public.empty() || !Mailbox.empty();
   }
 
+  void loadDepths(const VirtualProcessor &, std::uint64_t &ReadyDepth,
+                  std::uint64_t &MailboxDepth) const override {
+    ReadyDepth = PrivateSize.load(std::memory_order_acquire) + Public.size();
+    MailboxDepth = Mailbox.size();
+  }
+
   Schedulable *vpIdle(VirtualProcessor &Vp) override {
     // Dynamic load balancing in two phases. First, randomized two-choice
     // selection: probe two distinct random siblings and steal from the one

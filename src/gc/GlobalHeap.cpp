@@ -7,6 +7,7 @@
 #include "gc/GlobalHeap.h"
 
 #include "gc/LocalHeap.h"
+#include "support/Clock.h"
 
 #include <cstring>
 #include <mutex>
@@ -173,6 +174,7 @@ void GlobalHeap::markValue(Value V, std::vector<Object *> &Gray) {
 void GlobalHeap::collectFull(const std::vector<LocalHeap *> &Mutators) {
   std::lock_guard<SpinLock> Guard(Lock);
   ++Stats.FullCollections;
+  std::uint64_t PauseStart = nowNanos();
 
   // --- Mark -------------------------------------------------------------
   std::vector<Object *> Gray;
@@ -257,6 +259,7 @@ void GlobalHeap::collectFull(const std::vector<LocalHeap *> &Mutators) {
 
   Stats.BytesSwept += Swept;
   Stats.LiveBytesAfterLastGc = Live;
+  Stats.PauseNanos.record(nowNanos() - PauseStart);
 }
 
 } // namespace gc

@@ -18,6 +18,7 @@
 #define STING_GC_GLOBALHEAP_H
 
 #include "gc/Area.h"
+#include "support/Histogram.h"
 #include "support/SpinLock.h"
 
 #include <cstdint>
@@ -39,6 +40,8 @@ struct GlobalHeapStats {
   std::uint64_t FullCollections = 0;
   std::uint64_t BytesSwept = 0;
   std::uint64_t LiveBytesAfterLastGc = 0;
+  /// Stop-the-world duration of each full collection, in ns.
+  Histogram PauseNanos;
 };
 
 /// The shared older generation of one virtual machine.

@@ -12,6 +12,7 @@
 #include "gc/LocalHeap.h"
 
 #include "gc/GlobalHeap.h"
+#include "support/Clock.h"
 
 #include <cstring>
 
@@ -241,6 +242,7 @@ void LocalHeap::scavengeWith(Value *EscapeRoot) {
   STING_CHECK(!Collecting, "recursive scavenge (allocation during GC?)");
   Collecting = true;
   ++Stats.Scavenges;
+  std::uint64_t PauseStart = nowNanos();
 
   To->reset();
   char *Scan = To->base();
@@ -296,6 +298,11 @@ void LocalHeap::scavengeWith(Value *EscapeRoot) {
 
   std::swap(From, To);
   Collecting = false;
+
+  std::uint64_t Pause = nowNanos() - PauseStart;
+  Stats.PauseNanos.record(Pause);
+  if (Sink)
+    Sink(SinkCtx, Pause);
 }
 
 } // namespace gc

@@ -26,6 +26,7 @@
 
 #include "gc/Area.h"
 #include "gc/Handles.h"
+#include "support/Histogram.h"
 
 #include <cstdint>
 #include <memory>
@@ -45,6 +46,8 @@ struct LocalHeapStats {
   std::uint64_t ObjectsAllocated = 0;
   std::uint64_t BytesAllocated = 0;
   std::uint64_t Escapes = 0;
+  /// Stop duration of each scavenge (and escape promotion), in ns.
+  Histogram PauseNanos;
 };
 
 /// A thread's private young generation.
@@ -111,6 +114,16 @@ public:
   std::size_t usedBytes() const { return From->used(); }
   std::size_t capacityBytes() const { return From->capacity(); }
 
+  /// Pause-notification hook, fired after every scavenge with the stop
+  /// duration in nanoseconds. The gc layer links only against support, so
+  /// this is a plain function pointer rather than an obs type; core wires
+  /// it to the owning VP's scheduler stats (see Tcb::ensureHeap).
+  using PauseSink = void (*)(void *Ctx, std::uint64_t Nanos);
+  void setPauseSink(PauseSink S, void *Ctx) {
+    Sink = S;
+    SinkCtx = Ctx;
+  }
+
 private:
   friend class HandleScope;
 
@@ -147,6 +160,8 @@ private:
   std::vector<Object *> PromotedGray;
 
   LocalHeapStats Stats;
+  PauseSink Sink = nullptr;
+  void *SinkCtx = nullptr;
   bool Collecting = false;
 };
 

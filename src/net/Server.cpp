@@ -8,6 +8,7 @@
 
 #include "core/Current.h"
 #include "core/ThreadController.h"
+#include "obs/Flow.h"
 #include "obs/TraceBuffer.h"
 
 #include <cerrno>
@@ -121,6 +122,15 @@ void Server::Slot::release() {
 }
 
 void Server::serveConnection(Socket Conn) {
+  // Fresh causal flow per connection: forked threads inherit their
+  // creator's flow, so without this every connection thread would share
+  // the listener's flow and all requests would render as one path.
+  // Requests carrying their own Flow field re-adopt on top (Services).
+  obs::FlowId F = obs::newFlowId();
+  obs::setCurrentFlowId(F);
+  if (Thread *T = currentThread())
+    T->setFlowId(F);
+
   BufferedConn C(std::move(Conn), Config.WriteHighWater);
   OnConnection(C);
   C.flush();

@@ -6,8 +6,15 @@
 
 #include "net/Services.h"
 
+#include "core/Current.h"
 #include "net/Wire.h"
+#include "obs/Exposition.h"
+#include "obs/Flow.h"
+#include "obs/SchedStats.h"
 
+#include <cerrno>
+#include <cstring>
+#include <string>
 #include <vector>
 
 namespace sting::net {
@@ -24,6 +31,28 @@ bool sendError(BufferedConn &C, const char *Reason) {
   return sendPayload(C, W);
 }
 
+/// Adopts a client-supplied flow id into the connection thread, so this
+/// request's server-side work — trace events, forks, tuple deposits —
+/// joins the client's causal flow. Updating Thread::flowId as well as the
+/// TLS keeps the adoption across re-dispatches (yield, park/unpark).
+void adoptFlow(std::uint64_t F) {
+  if (!F)
+    return;
+  obs::setCurrentFlowId(F);
+  if (Thread *T = currentThread())
+    T->setFlowId(F);
+}
+
+/// Prefixes \p W with the connection's current flow so the client can
+/// stitch the reply into its trace. For matched reads the current flow is
+/// the *depositor's* (the facade adopts it on take/read) — the reply then
+/// carries the causal history of the data, which is the edge the flow
+/// arrows want.
+void stampReplyFlow(wire::Writer &W) {
+  if (obs::FlowId F = obs::currentFlowId())
+    W.flow(F);
+}
+
 } // namespace
 
 Server::Handler echoHandler() {
@@ -36,6 +65,9 @@ Server::Handler echoHandler() {
           return;
         continue;
       }
+      // Adopt the request flow (the raw echo below returns the Flow field
+      // to the client automatically).
+      adoptFlow(R.takeFlow());
       // Echo the raw field bytes back under the reply opcode; no decode
       // round-trip needed.
       std::vector<std::uint8_t> Reply;
@@ -43,6 +75,95 @@ Server::Handler echoHandler() {
       Reply.insert(Reply.end(), Frame.begin() + 1, Frame.end());
       if (!C.writeFrame(Reply.data(), Reply.size()) || !C.flush())
         return;
+    }
+  };
+}
+
+namespace {
+
+/// Serves one plain-HTTP scrape for curl/Prometheus after the "GET " sniff
+/// matched. Drains the request head (bounded), then writes a complete
+/// HTTP/1.0 response and closes.
+void serveHttpScrape(VirtualMachine &Vm, BufferedConn &C) {
+  // Consume the request line and headers up to the blank line. Bounded in
+  // both bytes and time so a stalled client cannot pin the thread.
+  Deadline D = Deadline::in(2'000'000'000); // 2 s
+  unsigned Seen = 0;
+  for (std::size_t N = 0; Seen != 4 && N < 8192; ++N) {
+    char B = 0;
+    if (!C.readExact(&B, 1, D))
+      break; // EOF/timeout: answer anyway, the GET line already arrived
+    if (B == (Seen % 2 == 0 ? '\r' : '\n'))
+      ++Seen;
+    else
+      Seen = B == '\r' ? 1 : 0;
+  }
+  std::string Body = Vm.metricsText();
+  std::string Head = "HTTP/1.0 200 OK\r\n"
+                     "Content-Type: text/plain; version=0.0.4\r\n"
+                     "Content-Length: " +
+                     std::to_string(Body.size()) +
+                     "\r\n"
+                     "Connection: close\r\n\r\n";
+  if (C.write(Head.data(), Head.size()) && C.write(Body.data(), Body.size()))
+    C.flush();
+}
+
+} // namespace
+
+Server::Handler metricsHandler(VirtualMachine &Vm) {
+  return [&Vm](BufferedConn &C) {
+    std::vector<std::uint8_t> Frame;
+    for (;;) {
+      if (!C.readFrame(Frame)) {
+        if (errno != EMSGSIZE)
+          return;
+        // The length prefix was implausibly large — likely ASCII, and
+        // readFrame consumed nothing. Sniff for an HTTP GET ("GET " reads
+        // as length 0x20544547, far above MaxFrame) and serve a one-shot
+        // plain-text scrape so `curl http://host:port/metrics` works.
+        char Head[4] = {};
+        if (!C.readExact(Head, sizeof(Head)) ||
+            std::memcmp(Head, "GET ", 4) != 0)
+          return;
+        serveHttpScrape(Vm, C);
+        return;
+      }
+      wire::Reader R(Frame.data(), Frame.size());
+      if (!R.ok()) {
+        if (!sendError(C, "malformed frame"))
+          return;
+        continue;
+      }
+      adoptFlow(R.takeFlow());
+      switch (R.op()) {
+      case wire::Op::Metrics: {
+        wire::Writer W(wire::Op::MetricsText);
+        stampReplyFlow(W);
+        W.blob(Vm.metricsText());
+        if (!sendPayload(C, W))
+          return;
+        break;
+      }
+      case wire::Op::StatsSnap: {
+        obs::SchedStatsSnapshot S = Vm.aggregateStats();
+        wire::Writer W(wire::Op::StatsReply);
+        stampReplyFlow(W);
+        std::size_t NumRows = 0;
+        const obs::CounterRow *Rows = obs::counterRows(NumRows);
+        for (std::size_t I = 0; I != NumRows; ++I) {
+          W.text(Rows[I].MetricName);
+          W.fixnum(static_cast<std::int64_t>(S.*(Rows[I].Field)));
+        }
+        if (!sendPayload(C, W))
+          return;
+        break;
+      }
+      default:
+        if (!sendError(C, "unknown op"))
+          return;
+        break;
+      }
     }
   };
 }
@@ -57,6 +178,7 @@ Server::Handler tupleSpaceHandler(TupleSpaceRef Space) {
           return;
         continue;
       }
+      adoptFlow(R.takeFlow());
       Tuple T;
       switch (R.op()) {
       case wire::Op::TsOut: {
@@ -67,6 +189,7 @@ Server::Handler tupleSpaceHandler(TupleSpaceRef Space) {
         }
         Space->put(std::move(T));
         wire::Writer W(wire::Op::TsAck);
+        stampReplyFlow(W);
         if (!sendPayload(C, W))
           return;
         break;
@@ -86,6 +209,7 @@ Server::Handler tupleSpaceHandler(TupleSpaceRef Space) {
         Match M = Destructive ? Space->take(std::move(T))
                               : Space->read(std::move(T));
         wire::Writer W(wire::Op::TsMatch);
+        stampReplyFlow(W);
         wire::writeMatch(W, M);
         if (!sendPayload(C, W))
           return;

@@ -19,6 +19,17 @@
 ///    strings on the connection thread's heap and ride
 ///    LocalHeap::escape() into the shared old generation on deposit.
 ///
+///  - metricsHandler: live introspection of a running machine. Speaks the
+///    wire protocol (Metrics -> MetricsText with the Prometheus scrape as
+///    one Blob; StatsSnap -> StatsReply with (name, value) pairs) and also
+///    sniffs plain HTTP GETs so `curl http://host:port/metrics` works
+///    against the same port.
+///
+/// Every handler peels an optional leading Flow field (net/Wire.h) and
+/// adopts it into the connection thread, so one client request's
+/// cross-thread journey through the server shares a single causal flow id
+/// in exported traces.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STING_NET_SERVICES_H
@@ -35,6 +46,11 @@ Server::Handler echoHandler();
 /// \returns a handler serving out/rd/in on \p Space. The reference keeps
 /// the space alive for the server's lifetime.
 Server::Handler tupleSpaceHandler(TupleSpaceRef Space);
+
+/// \returns a handler serving live metrics for \p Vm (which must outlive
+/// the server): Metrics/StatsSnap wire requests plus plain-HTTP GET
+/// scrapes on the same port.
+Server::Handler metricsHandler(VirtualMachine &Vm);
 
 } // namespace sting::net
 

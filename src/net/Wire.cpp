@@ -31,6 +31,12 @@ void Writer::formal(std::uint32_t Index) {
   u32(Index);
 }
 
+void Writer::flow(std::uint64_t F) {
+  Buf.push_back(static_cast<std::uint8_t>(Tag::Flow));
+  for (int I = 0; I != 8; ++I)
+    Buf.push_back(static_cast<std::uint8_t>((F >> (8 * I)) & 0xff));
+}
+
 void Writer::bytesField(Tag T, std::string_view S) {
   Buf.push_back(static_cast<std::uint8_t>(T));
   u32(static_cast<std::uint32_t>(S.size()));
@@ -109,6 +115,13 @@ bool Reader::next(ReadField &F) {
                     static_cast<std::uint32_t>(P[3]) << 24;
     return true;
   }
+  case Tag::Flow: {
+    if (!take(8, P))
+      return false;
+    for (int I = 0; I != 8; ++I)
+      F.Flow |= static_cast<std::uint64_t>(P[I]) << (8 * I);
+    return true;
+  }
   case Tag::Text:
   case Tag::Blob: {
     if (!take(4, P))
@@ -126,6 +139,15 @@ bool Reader::next(ReadField &F) {
   }
   Ok = false; // unknown tag
   return false;
+}
+
+std::uint64_t Reader::takeFlow() {
+  if (!Ok || atEnd() || static_cast<Tag>(Data[Pos]) != Tag::Flow)
+    return 0;
+  ReadField F;
+  if (!next(F))
+    return 0;
+  return F.Flow;
 }
 
 bool readTuple(Reader &R, Tuple &Out) {
@@ -158,6 +180,10 @@ bool readTuple(Reader &R, Tuple &Out) {
       // String held unrooted in the half-built tuple would be moved or
       // reclaimed by any scavenge a later field's allocation triggers.
       Out.emplace_back(Field::blob(F.Bytes));
+      break;
+    case Tag::Flow:
+      // Request metadata, not a tuple field; tolerated mid-payload so a
+      // client that tags late still round-trips.
       break;
     }
   }

@@ -20,11 +20,16 @@
 ///     Blob(6):   u32 len, bytes  -- carried as pending bytes; the tuple
 ///                                   space's prepare() allocates it as a
 ///                                   String in the shared old generation
+///     Flow(7):   u64 LE          -- causal flow id (obs/Flow.h); request
+///                                   metadata, sent first when present.
+///                                   Handlers adopt it so server-side
+///                                   trace events join the client's flow,
+///                                   and echo it ahead of reply fields.
 ///
-/// Opcodes: requests Echo/TsOut/TsRd/TsIn; replies EchoReply/TsAck/
-/// TsMatch/Err. TsMatch carries the matched tuple's resolved fields in
-/// positional order (bindings are recovered client-side from the request's
-/// formal positions).
+/// Opcodes: requests Echo/TsOut/TsRd/TsIn/Metrics/StatsSnap; replies
+/// EchoReply/TsAck/TsMatch/Err/MetricsText/StatsReply. TsMatch carries the
+/// matched tuple's resolved fields in positional order (bindings are
+/// recovered client-side from the request's formal positions).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,15 +48,19 @@ namespace sting::net::wire {
 
 enum class Op : std::uint8_t {
   // Requests.
-  Echo = 0,  ///< fields echoed back verbatim
-  TsOut = 1, ///< deposit the fields as a tuple
-  TsRd = 2,  ///< blocking read of a template (formals allowed)
-  TsIn = 3,  ///< blocking take of a template (formals allowed)
+  Echo = 0,      ///< fields echoed back verbatim
+  TsOut = 1,     ///< deposit the fields as a tuple
+  TsRd = 2,      ///< blocking read of a template (formals allowed)
+  TsIn = 3,      ///< blocking take of a template (formals allowed)
+  Metrics = 4,   ///< no fields: request a Prometheus text scrape
+  StatsSnap = 5, ///< no fields: request a binary stats snapshot
   // Replies.
   EchoReply = 16,
-  TsAck = 17,   ///< out accepted
-  TsMatch = 18, ///< rd/in matched; fields are the resolved tuple
-  Err = 19,     ///< one Text field: human-readable reason
+  TsAck = 17,       ///< out accepted
+  TsMatch = 18,     ///< rd/in matched; fields are the resolved tuple
+  Err = 19,         ///< one Text field: human-readable reason
+  MetricsText = 20, ///< one Blob field: Prometheus text exposition
+  StatsReply = 21,  ///< (Text name, Fixnum value) pairs, aggregate totals
 };
 
 enum class Tag : std::uint8_t {
@@ -62,6 +71,7 @@ enum class Tag : std::uint8_t {
   Text = 4,
   Formal = 5,
   Blob = 6,
+  Flow = 7,
 };
 
 /// Serializes one frame payload (opcode + fields). The payload is handed
@@ -78,6 +88,8 @@ public:
   void text(std::string_view S) { bytesField(Tag::Text, S); }
   void blob(std::string_view S) { bytesField(Tag::Blob, S); }
   void formal(std::uint32_t Index);
+  /// Causal flow id; by convention the first field when present.
+  void flow(std::uint64_t F);
 
   /// Marshals a resolved gc::Value: fixnum/bool/nil map to their tags,
   /// Symbols to Text, Strings and Bytes to Blob. Anything else (foreign
@@ -101,6 +113,7 @@ struct ReadField {
   std::int64_t Num = 0;          ///< Fixnum payload
   std::string_view Bytes;        ///< Text/Blob payload
   std::uint32_t FormalIndex = 0; ///< Formal payload
+  std::uint64_t Flow = 0;        ///< Flow payload
 };
 
 /// Decodes one frame payload. Malformed input flips ok() to false and
@@ -115,6 +128,12 @@ public:
   /// Decodes the next field into \p F. \returns false at end of payload
   /// or on malformed input (distinguish via ok()).
   bool next(ReadField &F);
+
+  /// If the next field is a Flow tag, consumes it and \returns its value;
+  /// otherwise leaves the position untouched and \returns 0. Handlers call
+  /// this once after construction to peel request metadata before the
+  /// payload fields.
+  std::uint64_t takeFlow();
 
   bool atEnd() const { return Pos == Len; }
 

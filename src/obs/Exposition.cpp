@@ -1,0 +1,71 @@
+//===- obs/Exposition.cpp - Prometheus text exposition --------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Exposition.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace sting::obs {
+
+namespace {
+
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[256];
+  va_list Args;
+  va_start(Args, Fmt);
+  int N = std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  if (N > 0)
+    Out.append(Buf, static_cast<std::size_t>(N) < sizeof(Buf)
+                        ? static_cast<std::size_t>(N)
+                        : sizeof(Buf) - 1);
+}
+
+/// One summary block: quantile samples plus _sum and _count. The
+/// histogram tracks its sum internally but only exposes the mean, so the
+/// exported _sum is mean*count — exact up to double rounding.
+void appendSummary(std::string &Out, const char *Name, const Histogram &H) {
+  appendf(Out, "# TYPE %s summary\n", Name);
+  appendf(Out, "%s{quantile=\"0.5\"} %" PRIu64 "\n", Name, H.p50Nanos());
+  appendf(Out, "%s{quantile=\"0.95\"} %" PRIu64 "\n", Name, H.p95Nanos());
+  appendf(Out, "%s{quantile=\"0.99\"} %" PRIu64 "\n", Name, H.p99Nanos());
+  appendf(Out, "%s_sum %.0f\n", Name,
+          H.meanNanos() * static_cast<double>(H.count()));
+  appendf(Out, "%s_count %" PRIu64 "\n", Name, H.count());
+}
+
+} // namespace
+
+std::string formatPrometheus(const SchedStatsSnapshot &Total,
+                             const std::vector<SchedStatsSnapshot> &PerVp) {
+  std::string Out;
+  // ~40 counters x (header + 1 + nvp) short lines; reserve generously so
+  // the scrape path does one allocation in the common case.
+  Out.reserve(4096 + PerVp.size() * 2048);
+
+  std::size_t NumRows = 0;
+  const CounterRow *Rows = counterRows(NumRows);
+  for (std::size_t I = 0; I != NumRows; ++I) {
+    const CounterRow &R = Rows[I];
+    appendf(Out, "# TYPE %s counter\n", R.MetricName);
+    appendf(Out, "%s %" PRIu64 "\n", R.MetricName, Total.*(R.Field));
+    for (std::size_t V = 0; V != PerVp.size(); ++V)
+      appendf(Out, "%s{vp=\"%zu\"} %" PRIu64 "\n", R.MetricName, V,
+              PerVp[V].*(R.Field));
+  }
+
+  appendf(Out, "# TYPE sting_vps gauge\nsting_vps %zu\n", PerVp.size());
+  appendSummary(Out, "sting_run_slice_nanos", Total.RunSliceNanos);
+  appendSummary(Out, "sting_gc_pause_nanos", Total.GcPauseNanos);
+  return Out;
+}
+
+} // namespace sting::obs

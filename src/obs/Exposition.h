@@ -1,0 +1,38 @@
+//===- obs/Exposition.h - Prometheus text exposition ------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders scheduler statistics in the Prometheus text exposition format
+/// (version 0.0.4), so a running VM can be scraped over the wire by the
+/// net-layer metrics service or dumped by tools.
+///
+/// Every counter from the shared CounterRow table becomes a `# TYPE`
+/// header plus an aggregate sample and one `{vp="N"}`-labelled sample per
+/// virtual processor. The run-slice and GC-pause histograms are exported
+/// as summaries (p50/p95/p99 quantiles, _sum, _count). The formatter is
+/// pure string work over snapshots — callers decide when it is safe to
+/// snapshot (see SchedStats.h for the concurrency contract).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_OBS_EXPOSITION_H
+#define STING_OBS_EXPOSITION_H
+
+#include "obs/SchedStats.h"
+
+#include <string>
+#include <vector>
+
+namespace sting::obs {
+
+/// Renders \p Total plus the per-VP breakdown as Prometheus text.
+/// \p PerVp may be empty (aggregate samples only).
+std::string formatPrometheus(const SchedStatsSnapshot &Total,
+                             const std::vector<SchedStatsSnapshot> &PerVp);
+
+} // namespace sting::obs
+
+#endif // STING_OBS_EXPOSITION_H

@@ -1,0 +1,25 @@
+//===- obs/Flow.cpp - Causal flow identifiers ------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Flow.h"
+
+#include <atomic>
+
+namespace sting::obs {
+
+namespace detail {
+thread_local FlowId TlsCurrentFlow = 0;
+} // namespace detail
+
+FlowId newFlowId() {
+  // Process-wide; flows cross VM boundaries (a test may run several VMs),
+  // so the counter cannot live on VirtualMachine. Starts at 1: 0 is the
+  // "no flow" sentinel.
+  static std::atomic<FlowId> Next{1};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace sting::obs

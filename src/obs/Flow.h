@@ -1,0 +1,71 @@
+//===- obs/Flow.h - Causal flow identifiers ----------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 64-bit causal flow identifiers. A flow names one logical request or
+/// activity as it hops across threads, VPs and machines: every thread gets
+/// a FlowId at fork (inherited from its creator when the creator has one,
+/// freshly minted otherwise), unpark edges adopt the waker's flow into the
+/// wakee, tuple put→take handoffs carry the depositor's flow to the
+/// matcher, and the wire protocol's Flow tag extends the chain across
+/// request/reply frames. TraceBuffer stamps the current flow into every
+/// record, and TraceExporter turns same-flow hops across VP tracks into
+/// Chrome/Perfetto flow arrows.
+///
+/// Propagation is unconditional — a TLS word plus relaxed atomics, cheap
+/// enough to leave on in every build — while *recording* stays behind
+/// STING_TRACE like every other event.
+///
+/// FlowId 0 means "no flow": external OS threads (the preemption clock,
+/// test drivers) carry 0 and never overwrite a thread's inherited flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_OBS_FLOW_H
+#define STING_OBS_FLOW_H
+
+#include <cstdint>
+
+namespace sting::obs {
+
+/// Identifies one causal flow; 0 = no flow.
+using FlowId = std::uint64_t;
+
+namespace detail {
+extern thread_local FlowId TlsCurrentFlow;
+} // namespace detail
+
+/// \returns the flow the calling OS thread is currently executing on
+/// behalf of (0 off-substrate or before any flow was installed).
+inline FlowId currentFlowId() { return detail::TlsCurrentFlow; }
+
+/// Installs \p Flow as the calling OS thread's current flow. The scheduler
+/// calls this around every dispatch; subsystems adopting a flow (unpark,
+/// tuple match, net handlers) call it with the adopted id.
+inline void setCurrentFlowId(FlowId Flow) { detail::TlsCurrentFlow = Flow; }
+
+/// Mints a fresh process-unique nonzero FlowId.
+FlowId newFlowId();
+
+/// Saves the current flow, installs \p Flow, restores on destruction.
+/// Used around stolen-thunk execution and net connection handlers.
+class FlowScope {
+public:
+  explicit FlowScope(FlowId Flow) : Saved(currentFlowId()) {
+    setCurrentFlowId(Flow);
+  }
+  ~FlowScope() { setCurrentFlowId(Saved); }
+
+  FlowScope(const FlowScope &) = delete;
+  FlowScope &operator=(const FlowScope &) = delete;
+
+private:
+  FlowId Saved;
+};
+
+} // namespace sting::obs
+
+#endif // STING_OBS_FLOW_H

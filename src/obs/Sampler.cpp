@@ -1,0 +1,74 @@
+//===- obs/Sampler.cpp - Periodic load sampler ------------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Sampler.h"
+
+#include "support/Clock.h"
+
+#include <bit>
+#include <chrono>
+
+namespace sting::obs {
+
+Sampler::Sampler(std::uint64_t PeriodNanos, std::size_t Capacity, Probe P)
+    : PeriodNanos(PeriodNanos ? PeriodNanos : 1'000'000),
+      TheProbe(std::move(P)) {
+  if (Capacity < 8)
+    Capacity = 8;
+  Ring.resize(std::bit_ceil(Capacity));
+}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::start() {
+  if (Thread.joinable())
+    return;
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    StopRequested = false;
+  }
+  Thread = std::thread([this] { run(); });
+}
+
+void Sampler::stop() {
+  if (!Thread.joinable())
+    return;
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    StopRequested = true;
+  }
+  Cv.notify_all();
+  Thread.join();
+}
+
+void Sampler::run() {
+  std::unique_lock<std::mutex> Lock(M);
+  while (!StopRequested) {
+    // Probe outside the lock so a concurrent stop() is never delayed by a
+    // slow probe's counters.
+    Lock.unlock();
+    LoadSample S = TheProbe();
+    S.TimeNanos = nowNanos();
+    std::uint64_t H = Head.load(std::memory_order_relaxed);
+    Ring[H & (Ring.size() - 1)] = S;
+    Head.store(H + 1, std::memory_order_release);
+    Lock.lock();
+    Cv.wait_for(Lock, std::chrono::nanoseconds(PeriodNanos),
+                [this] { return StopRequested; });
+  }
+}
+
+std::vector<LoadSample> Sampler::snapshot() const {
+  std::uint64_t H = Head.load(std::memory_order_acquire);
+  std::uint64_t From = H > Ring.size() ? H - Ring.size() : 0;
+  std::vector<LoadSample> Out;
+  Out.reserve(H - From);
+  for (std::uint64_t I = From; I != H; ++I)
+    Out.push_back(Ring[I & (Ring.size() - 1)]);
+  return Out;
+}
+
+} // namespace sting::obs

@@ -1,0 +1,94 @@
+//===- obs/Sampler.h - Periodic load sampler --------------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A background thread that periodically probes machine load — ready-queue
+/// depth, mailbox occupancy, parked-VP count — into a fixed ring of
+/// samples, exported as Chrome counter ("ph":"C") series next to the event
+/// trace. Off by default (VmConfig::SamplerPeriodNanos == 0); one probe
+/// per period touches a handful of relaxed counters, so the overhead
+/// budget is microseconds per sample.
+///
+/// The obs layer cannot see core, so the probe is a caller-supplied
+/// closure: VirtualMachine wires a lambda over its VPs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_OBS_SAMPLER_H
+#define STING_OBS_SAMPLER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sting::obs {
+
+/// One probe result. TimeNanos is stamped by the sampler.
+struct LoadSample {
+  std::uint64_t TimeNanos = 0;
+  std::uint64_t ReadyDepth = 0;   ///< runnable items across all VPs
+  std::uint64_t MailboxDepth = 0; ///< cross-VP posts not yet drained
+  std::uint64_t ParkedVps = 0;    ///< VPs idle-parked right now
+};
+
+/// Periodic sampler with an overwrite-oldest ring, same retention policy
+/// as TraceBuffer: the writer never blocks, taken() counts every sample,
+/// and a snapshot returns the most recent capacity() of them.
+class Sampler {
+public:
+  /// The probe fills everything but TimeNanos; it runs on the sampler
+  /// thread and must only touch data safe to read off-VP (relaxed
+  /// counters, atomics).
+  using Probe = std::function<LoadSample()>;
+
+  /// \p Capacity is rounded up to a power of two (minimum 8).
+  Sampler(std::uint64_t PeriodNanos, std::size_t Capacity, Probe P);
+  ~Sampler();
+
+  Sampler(const Sampler &) = delete;
+  Sampler &operator=(const Sampler &) = delete;
+
+  /// Starts the sampler thread. No-op if already running.
+  void start();
+
+  /// Stops and joins the sampler thread. No-op if not running. The ring
+  /// keeps its samples so a stopped sampler can still be exported.
+  void stop();
+
+  bool running() const { return Thread.joinable(); }
+  std::uint64_t periodNanos() const { return PeriodNanos; }
+  std::size_t capacity() const { return Ring.size(); }
+
+  /// Total samples ever taken (monotonic across start/stop cycles).
+  std::uint64_t taken() const {
+    return Head.load(std::memory_order_acquire);
+  }
+
+  /// The retained window, oldest first. Callable while running; may tear
+  /// the oldest entries (being overwritten), never the recent ones.
+  std::vector<LoadSample> snapshot() const;
+
+private:
+  void run();
+
+  std::uint64_t PeriodNanos;
+  Probe TheProbe;
+  std::vector<LoadSample> Ring;
+  std::atomic<std::uint64_t> Head{0};
+
+  std::mutex M;
+  std::condition_variable Cv;
+  bool StopRequested = false;
+  std::thread Thread;
+};
+
+} // namespace sting::obs
+
+#endif // STING_OBS_SAMPLER_H

@@ -46,6 +46,7 @@ SchedStatsSnapshot SchedStats::snapshot() const {
   S.NetWrites = NetWrites;
   S.NetBackpressureStalls = NetBackpressureStalls;
   S.RunSliceNanos = RunSliceNanos;
+  S.GcPauseNanos = GcPauseNanos;
   return S;
 }
 
@@ -82,49 +83,72 @@ SchedStatsSnapshot::operator+=(const SchedStatsSnapshot &Other) {
   NetReads += Other.NetReads;
   NetWrites += Other.NetWrites;
   NetBackpressureStalls += Other.NetBackpressureStalls;
+  TraceEvents += Other.TraceEvents;
+  TraceDrops += Other.TraceDrops;
   RunSliceNanos.merge(Other.RunSliceNanos);
+  GcPauseNanos.merge(Other.GcPauseNanos);
   return *this;
 }
 
 namespace {
 
-struct Row {
-  const char *Name;
-  std::uint64_t SchedStatsSnapshot::*Field;
-};
-
-constexpr Row Rows[] = {
-    {"enqueues", &SchedStatsSnapshot::Enqueues},
-    {"dequeues", &SchedStatsSnapshot::Dequeues},
-    {"stale skips", &SchedStatsSnapshot::SkippedStale},
-    {"mailbox posts", &SchedStatsSnapshot::MailboxPosts},
-    {"mailbox drains", &SchedStatsSnapshot::MailboxDrains},
-    {"dispatches", &SchedStatsSnapshot::Dispatches},
-    {"  fresh binds", &SchedStatsSnapshot::FreshBinds},
-    {"  resumes", &SchedStatsSnapshot::Resumes},
-    {"yields", &SchedStatsSnapshot::Yields},
-    {"parks", &SchedStatsSnapshot::Parks},
-    {"exits", &SchedStatsSnapshot::Exits},
-    {"idle calls", &SchedStatsSnapshot::IdleCalls},
-    {"tcb reuses", &SchedStatsSnapshot::TcbReuses},
-    {"tcb allocs", &SchedStatsSnapshot::TcbAllocs},
-    {"steals attempted", &SchedStatsSnapshot::StealsAttempted},
-    {"steals succeeded", &SchedStatsSnapshot::StealsSucceeded},
-    {"steals failed", &SchedStatsSnapshot::StealsFailed},
-    {"deque steals", &SchedStatsSnapshot::DequeSteals},
-    {"deque steal cas", &SchedStatsSnapshot::DequeStealCas},
-    {"vp parks", &SchedStatsSnapshot::VpParks},
-    {"vp unparks", &SchedStatsSnapshot::VpUnparks},
-    {"preempts delivered", &SchedStatsSnapshot::PreemptsDelivered},
-    {"preempts deferred", &SchedStatsSnapshot::PreemptsDeferred},
-    {"threads created", &SchedStatsSnapshot::ThreadsCreated},
-    {"threads terminated", &SchedStatsSnapshot::ThreadsTerminated},
-    {"blocks", &SchedStatsSnapshot::Blocks},
-    {"wakeups", &SchedStatsSnapshot::Wakeups},
-    {"net accepts", &SchedStatsSnapshot::NetAccepts},
-    {"net reads", &SchedStatsSnapshot::NetReads},
-    {"net writes", &SchedStatsSnapshot::NetWrites},
-    {"net bp stalls", &SchedStatsSnapshot::NetBackpressureStalls},
+constexpr CounterRow Rows[] = {
+    {"enqueues", "sting_enqueues_total", &SchedStatsSnapshot::Enqueues},
+    {"dequeues", "sting_dequeues_total", &SchedStatsSnapshot::Dequeues},
+    {"stale skips", "sting_stale_skips_total",
+     &SchedStatsSnapshot::SkippedStale},
+    {"mailbox posts", "sting_mailbox_posts_total",
+     &SchedStatsSnapshot::MailboxPosts},
+    {"mailbox drains", "sting_mailbox_drains_total",
+     &SchedStatsSnapshot::MailboxDrains},
+    {"dispatches", "sting_dispatches_total",
+     &SchedStatsSnapshot::Dispatches},
+    {"  fresh binds", "sting_fresh_binds_total",
+     &SchedStatsSnapshot::FreshBinds},
+    {"  resumes", "sting_resumes_total", &SchedStatsSnapshot::Resumes},
+    {"yields", "sting_yields_total", &SchedStatsSnapshot::Yields},
+    {"parks", "sting_parks_total", &SchedStatsSnapshot::Parks},
+    {"exits", "sting_exits_total", &SchedStatsSnapshot::Exits},
+    {"idle calls", "sting_idle_calls_total",
+     &SchedStatsSnapshot::IdleCalls},
+    {"tcb reuses", "sting_tcb_reuses_total",
+     &SchedStatsSnapshot::TcbReuses},
+    {"tcb allocs", "sting_tcb_allocs_total",
+     &SchedStatsSnapshot::TcbAllocs},
+    {"steals attempted", "sting_steals_attempted_total",
+     &SchedStatsSnapshot::StealsAttempted},
+    {"steals succeeded", "sting_steals_succeeded_total",
+     &SchedStatsSnapshot::StealsSucceeded},
+    {"steals failed", "sting_steals_failed_total",
+     &SchedStatsSnapshot::StealsFailed},
+    {"deque steals", "sting_deque_steals_total",
+     &SchedStatsSnapshot::DequeSteals},
+    {"deque steal cas", "sting_deque_steal_cas_total",
+     &SchedStatsSnapshot::DequeStealCas},
+    {"vp parks", "sting_vp_parks_total", &SchedStatsSnapshot::VpParks},
+    {"vp unparks", "sting_vp_unparks_total",
+     &SchedStatsSnapshot::VpUnparks},
+    {"preempts delivered", "sting_preempts_delivered_total",
+     &SchedStatsSnapshot::PreemptsDelivered},
+    {"preempts deferred", "sting_preempts_deferred_total",
+     &SchedStatsSnapshot::PreemptsDeferred},
+    {"threads created", "sting_threads_created_total",
+     &SchedStatsSnapshot::ThreadsCreated},
+    {"threads terminated", "sting_threads_terminated_total",
+     &SchedStatsSnapshot::ThreadsTerminated},
+    {"blocks", "sting_blocks_total", &SchedStatsSnapshot::Blocks},
+    {"wakeups", "sting_wakeups_total", &SchedStatsSnapshot::Wakeups},
+    {"net accepts", "sting_net_accepts_total",
+     &SchedStatsSnapshot::NetAccepts},
+    {"net reads", "sting_net_reads_total", &SchedStatsSnapshot::NetReads},
+    {"net writes", "sting_net_writes_total",
+     &SchedStatsSnapshot::NetWrites},
+    {"net bp stalls", "sting_net_backpressure_stalls_total",
+     &SchedStatsSnapshot::NetBackpressureStalls},
+    {"trace events", "sting_trace_events_total",
+     &SchedStatsSnapshot::TraceEvents},
+    {"trace drops", "sting_trace_drops_total",
+     &SchedStatsSnapshot::TraceDrops},
 };
 
 void appendf(std::string &Out, const char *Fmt, ...)
@@ -144,6 +168,11 @@ void appendf(std::string &Out, const char *Fmt, ...) {
 
 } // namespace
 
+const CounterRow *counterRows(std::size_t &Count) {
+  Count = sizeof(Rows) / sizeof(Rows[0]);
+  return Rows;
+}
+
 std::string formatStatsReport(const SchedStatsSnapshot &Total,
                               const std::vector<SchedStatsSnapshot> &PerVp) {
   std::string Out;
@@ -154,7 +183,7 @@ std::string formatStatsReport(const SchedStatsSnapshot &Total,
   for (std::size_t V = 0; V != PerVp.size(); ++V)
     appendf(Out, " %10s%zu", "vp", V);
   Out += '\n';
-  for (const Row &R : Rows) {
+  for (const CounterRow &R : Rows) {
     appendf(Out, "%-20s %14" PRIu64, R.Name, Total.*(R.Field));
     for (const SchedStatsSnapshot &S : PerVp)
       appendf(Out, " %11" PRIu64, S.*(R.Field));
@@ -168,6 +197,12 @@ std::string formatStatsReport(const SchedStatsSnapshot &Total,
           Total.RunSliceNanos.count(), Total.RunSliceNanos.meanNanos(),
           Total.RunSliceNanos.p50Nanos(), Total.RunSliceNanos.p95Nanos(),
           Total.RunSliceNanos.p99Nanos());
+  appendf(Out,
+          "gc pauses:  %" PRIu64 " samples, mean %.0fns, "
+          "p50 %" PRIu64 "ns, p95 %" PRIu64 "ns, p99 %" PRIu64 "ns\n",
+          Total.GcPauseNanos.count(), Total.GcPauseNanos.meanNanos(),
+          Total.GcPauseNanos.p50Nanos(), Total.GcPauseNanos.p95Nanos(),
+          Total.GcPauseNanos.p99Nanos());
   Out.append(79, '-');
   Out += '\n';
   return Out;

@@ -129,6 +129,14 @@ struct alignas(64) SchedStats {
   /// read. Owner-written, racy to read mid-run; snapshot after quiesce.
   Histogram RunSliceNanos;
 
+  /// Per-collection stop durations of this VP's local heap scavenges
+  /// (plus any full collections its thread triggered). Fed by the gc
+  /// layer's pause sink (gc cannot link obs, so gc::LocalHeap exposes a
+  /// plain function-pointer hook that core wires here). Always recorded:
+  /// a scavenge already costs tens of microseconds, so one extra clock
+  /// read is noise.
+  Histogram GcPauseNanos;
+
   SchedStatsSnapshot snapshot() const;
 };
 
@@ -166,10 +174,28 @@ struct SchedStatsSnapshot {
   std::uint64_t NetReads = 0;
   std::uint64_t NetWrites = 0;
   std::uint64_t NetBackpressureStalls = 0;
+  /// Snapshot-only (no SchedStats counterpart): filled by the machine at
+  /// snapshot time from the VP's trace ring, so truncated traces are
+  /// detectable instead of silently misleading.
+  std::uint64_t TraceEvents = 0; ///< events ever emitted into the ring
+  std::uint64_t TraceDrops = 0;  ///< events lost to ring overwrite
   Histogram RunSliceNanos;
+  Histogram GcPauseNanos;
 
   SchedStatsSnapshot &operator+=(const SchedStatsSnapshot &Other);
 };
+
+/// One reportable counter: the report label, the Prometheus-style metric
+/// name the exposition formatter serves, and the snapshot field. The
+/// table is shared by formatStatsReport and obs/Exposition.
+struct CounterRow {
+  const char *Name;       ///< report label (may carry indent for grouping)
+  const char *MetricName; ///< e.g. "sting_dispatches_total"
+  std::uint64_t SchedStatsSnapshot::*Field;
+};
+
+/// The full counter table, in report order.
+const CounterRow *counterRows(std::size_t &Count);
 
 /// Renders the aggregate and the per-VP breakdown as a plain-text table.
 /// \p PerVp may be empty (totals only).

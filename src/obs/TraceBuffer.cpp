@@ -6,6 +6,7 @@
 
 #include "obs/TraceBuffer.h"
 
+#include "obs/Flow.h"
 #include "support/Clock.h"
 
 #include <bit>
@@ -32,6 +33,7 @@ void TraceBuffer::emit(TraceEventKind Kind, std::uint64_t ThreadId,
   TraceEvent E;
   E.TimeNanos = nowNanos();
   E.ThreadId = ThreadId;
+  E.Flow = currentFlowId();
   E.Payload = Payload;
   E.KindRaw = static_cast<std::uint8_t>(Kind);
   push(E);

@@ -6,7 +6,7 @@
 ///
 /// \file
 /// The event taxonomy and the fixed-size record written into per-VP trace
-/// rings. Records are 24 bytes so a 16K-entry ring is 384KiB per VP; the
+/// rings. Records are 32 bytes so a 16K-entry ring is 512KiB per VP; the
 /// writer never allocates or takes a lock.
 ///
 //===----------------------------------------------------------------------===//
@@ -121,6 +121,7 @@ inline std::uint32_t enqueuePayload(std::size_t Depth, std::uint8_t Reason) {
 struct TraceEvent {
   std::uint64_t TimeNanos = 0;
   std::uint64_t ThreadId = 0; ///< subject thread, 0 when not thread-specific
+  std::uint64_t Flow = 0;     ///< causal flow id (obs/Flow.h), 0 = no flow
   std::uint32_t Payload = 0;  ///< kind-specific, see taxonomy above
   std::uint16_t VpId = 0;
   std::uint8_t KindRaw = 0;
@@ -129,7 +130,7 @@ struct TraceEvent {
   TraceEventKind kind() const { return static_cast<TraceEventKind>(KindRaw); }
 };
 
-static_assert(sizeof(TraceEvent) == 24, "ring entries must stay compact");
+static_assert(sizeof(TraceEvent) == 32, "ring entries must stay compact");
 
 } // namespace sting::obs
 

@@ -6,6 +6,7 @@
 
 #include "obs/TraceExporter.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
@@ -74,17 +75,27 @@ bool isSwitchBack(TraceEventKind K) {
 
 void TraceExporter::addProcess(std::string Name,
                                std::vector<VpTraceSnapshot> Vps) {
-  Procs.push_back({std::move(Name), std::move(Vps)});
+  Procs.push_back({std::move(Name), std::move(Vps), {}});
+}
+
+void TraceExporter::addLoadSamples(std::vector<LoadSample> Samples) {
+  if (Procs.empty())
+    return;
+  Procs.back().Samples = std::move(Samples);
 }
 
 std::string TraceExporter::toJson() const {
   // Rebase to the earliest timestamp so Perfetto opens at t=0.
   std::uint64_t Base = ~0ull;
-  for (const Process &P : Procs)
+  for (const Process &P : Procs) {
     for (const VpTraceSnapshot &V : P.Vps)
       for (const TraceEvent &E : V.Events)
         if (E.TimeNanos < Base)
           Base = E.TimeNanos;
+    for (const LoadSample &S : P.Samples)
+      if (S.TimeNanos < Base)
+        Base = S.TimeNanos;
+  }
   if (Base == ~0ull)
     Base = 0;
 
@@ -99,6 +110,7 @@ std::string TraceExporter::toJson() const {
     First = false;
   };
 
+  std::uint64_t BindId = 0; // arrow ids are unique across the whole file
   for (std::size_t Pid = 0; Pid != Procs.size(); ++Pid) {
     const Process &P = Procs[Pid];
     comma();
@@ -177,6 +189,67 @@ std::string TraceExporter::toJson() const {
                 PRIu64 ",\"payload\":0}}",
                 SliceThread);
       }
+    }
+
+    // Causal flow arrows: every hop of a nonzero FlowId between VP tracks
+    // becomes an "s"/"f" bind pair, so one request's cross-VP journey
+    // renders as a connected path. Same-track steps need no arrow (they
+    // are already adjacent on the track), and flow-less events render
+    // exactly as before — a trace with no flows is byte-identical to the
+    // pre-flow format.
+    struct FlowRef {
+      std::uint64_t Flow = 0;
+      std::uint64_t TimeNanos = 0;
+      unsigned VpId = 0;
+    };
+    std::vector<FlowRef> Refs;
+    for (const VpTraceSnapshot &V : P.Vps)
+      for (const TraceEvent &E : V.Events)
+        if (E.Flow != 0)
+          Refs.push_back({E.Flow, E.TimeNanos, V.VpId});
+    std::stable_sort(Refs.begin(), Refs.end(),
+                     [](const FlowRef &A, const FlowRef &B) {
+                       if (A.Flow != B.Flow)
+                         return A.Flow < B.Flow;
+                       if (A.TimeNanos != B.TimeNanos)
+                         return A.TimeNanos < B.TimeNanos;
+                       return A.VpId < B.VpId;
+                     });
+    for (std::size_t I = 1; I < Refs.size(); ++I) {
+      const FlowRef &From = Refs[I - 1];
+      const FlowRef &To = Refs[I];
+      if (From.Flow != To.Flow || From.VpId == To.VpId)
+        continue;
+      ++BindId;
+      comma();
+      appendf(Out,
+              "{\"ph\":\"s\",\"pid\":%zu,\"tid\":%u,\"ts\":", Pid,
+              From.VpId);
+      appendMicros(Out, From.TimeNanos, Base);
+      appendf(Out,
+              ",\"cat\":\"flow\",\"name\":\"flow\",\"id\":%" PRIu64
+              ",\"args\":{\"flow\":%" PRIu64 "}}",
+              BindId, From.Flow);
+      comma();
+      appendf(Out,
+              "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":%zu,\"tid\":%u,\"ts\":",
+              Pid, To.VpId);
+      appendMicros(Out, To.TimeNanos, Base);
+      appendf(Out,
+              ",\"cat\":\"flow\",\"name\":\"flow\",\"id\":%" PRIu64
+              ",\"args\":{\"flow\":%" PRIu64 "}}",
+              BindId, To.Flow);
+    }
+
+    // Sampler series: one counter track with the three load series.
+    for (const LoadSample &S : P.Samples) {
+      comma();
+      appendf(Out, "{\"ph\":\"C\",\"pid\":%zu,\"tid\":0,\"ts\":", Pid);
+      appendMicros(Out, S.TimeNanos, Base);
+      appendf(Out,
+              ",\"name\":\"vm_load\",\"args\":{\"ready\":%" PRIu64
+              ",\"mailbox\":%" PRIu64 ",\"parked\":%" PRIu64 "}}",
+              S.ReadyDepth, S.MailboxDepth, S.ParkedVps);
     }
   }
 

@@ -12,11 +12,18 @@
 /// an instant ("i") event, so both the run-slice structure and the raw
 /// event stream survive the export.
 ///
+/// Events carrying a nonzero causal FlowId (obs/Flow.h) additionally get
+/// flow arrows: every hop of a flow between VP tracks becomes an
+/// "s"/"f" bind pair, so one request's cross-VP journey renders as one
+/// connected path. Load samples (obs/Sampler.h) become counter ("C")
+/// series on the owning process.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STING_OBS_TRACEEXPORTER_H
 #define STING_OBS_TRACEEXPORTER_H
 
+#include "obs/Sampler.h"
 #include "obs/TraceBuffer.h"
 
 #include <string>
@@ -28,6 +35,11 @@ class TraceExporter {
 public:
   /// Adds one captured machine as a Chrome process named \p Name.
   void addProcess(std::string Name, std::vector<VpTraceSnapshot> Vps);
+
+  /// Attaches \p Samples to the most recently added process as counter
+  /// series (ready depth, mailbox occupancy, parked VPs). No-op without a
+  /// process.
+  void addLoadSamples(std::vector<LoadSample> Samples);
 
   bool empty() const { return Procs.empty(); }
 
@@ -42,6 +54,7 @@ private:
   struct Process {
     std::string Name;
     std::vector<VpTraceSnapshot> Vps;
+    std::vector<LoadSample> Samples;
   };
   std::vector<Process> Procs;
 };

@@ -81,6 +81,7 @@
 #include "net/Services.h"
 #include "net/Socket.h"
 #include "net/Wire.h"
+#include "obs/Flow.h"
 #include "obs/SchedStats.h"
 #include "obs/StallDetector.h"
 #include "obs/TraceBuffer.h"

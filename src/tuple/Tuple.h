@@ -179,6 +179,10 @@ template <typename... Args> Tuple makeTuple(Args &&...As) {
 struct Match {
   std::vector<gc::Value> Fields;
   std::vector<gc::Value> Bindings;
+  /// The depositor's causal flow (obs/Flow.h), carried across the
+  /// put→take handoff; 0 when the representation does not stamp deposits.
+  /// The facade adopts a nonzero flow into the matching thread.
+  std::uint64_t Flow = 0;
 
   gc::Value binding(unsigned Index) const {
     STING_CHECK(Index < Bindings.size(), "formal index out of range");

@@ -21,6 +21,7 @@
 #include "core/Current.h"
 #include "core/Gc.h"
 #include "core/ThreadController.h"
+#include "obs/Flow.h"
 #include "obs/TraceBuffer.h"
 #include "gc/GlobalHeap.h"
 #include "gc/Object.h"
@@ -105,7 +106,7 @@ constexpr std::size_t NumBins = 64;
 /// thread-field resolution while a competing taker removes it.
 struct Entry {
   explicit Entry(Tuple T, gc::GlobalHeap &Heap)
-      : Fields(std::move(T)), Heap(Heap) {
+      : Fields(std::move(T)), Heap(Heap), Flow(obs::currentFlowId()) {
     for (Field &F : Fields)
       if (F.isDatum())
         Heap.addRoot(F.valueSlot());
@@ -129,6 +130,8 @@ struct Entry {
   Tuple Fields;
   gc::GlobalHeap &Heap;
   SpinLock Lock; ///< guards live-thread resolution
+  /// The depositor's causal flow at put time, handed to the matcher.
+  std::uint64_t Flow;
   bool Removed = false;
 };
 
@@ -291,7 +294,9 @@ private:
         continue;
       if (Remove && !removeEntry(B, E))
         continue; // a competing taker won; keep scanning
-      return buildMatch(Values, Template);
+      Match M = buildMatch(Values, Template);
+      M.Flow = E->Flow;
+      return M;
     }
     return std::nullopt;
   }
@@ -406,6 +411,21 @@ detail::makeHashedRep(gc::GlobalHeap &Heap) {
 // Facade
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// A successful match continues the depositor's causal flow: the matcher
+/// adopts it for its subsequent work (and trace records). Deposits from
+/// flow-less contexts leave the matcher's flow untouched.
+void adoptMatchFlow(const Match &M) {
+  if (!M.Flow)
+    return;
+  obs::setCurrentFlowId(M.Flow);
+  if (Thread *T = currentThread())
+    T->setFlowId(M.Flow);
+}
+
+} // namespace
+
 TupleSpace::TupleSpace(TupleSpaceRep Rep, gc::GlobalHeap &Heap)
     : Rep(Rep), Heap(&Heap) {
   if (Rep == TupleSpaceRep::Hashed)
@@ -514,7 +534,9 @@ Match TupleSpace::read(Tuple Template) {
   Stats.Reads.fetch_add(1, std::memory_order_relaxed);
   STING_TRACE_EVENT(TupleRead, currentThread() ? currentThread()->id() : 0,
                     static_cast<std::uint32_t>(Template.size()));
-  return Impl->match(std::move(Template), /*Remove=*/false, Stats);
+  Match M = Impl->match(std::move(Template), /*Remove=*/false, Stats);
+  adoptMatchFlow(M);
+  return M;
 }
 
 Match TupleSpace::take(Tuple Template) {
@@ -522,7 +544,9 @@ Match TupleSpace::take(Tuple Template) {
   Stats.Takes.fetch_add(1, std::memory_order_relaxed);
   STING_TRACE_EVENT(TupleTake, currentThread() ? currentThread()->id() : 0,
                     static_cast<std::uint32_t>(Template.size()));
-  return Impl->match(std::move(Template), /*Remove=*/true, Stats);
+  Match M = Impl->match(std::move(Template), /*Remove=*/true, Stats);
+  adoptMatchFlow(M);
+  return M;
 }
 
 std::optional<Match> TupleSpace::readUntil(Tuple Template, Deadline D) {
@@ -530,7 +554,10 @@ std::optional<Match> TupleSpace::readUntil(Tuple Template, Deadline D) {
   Stats.Reads.fetch_add(1, std::memory_order_relaxed);
   STING_TRACE_EVENT(TupleRead, currentThread() ? currentThread()->id() : 0,
                     static_cast<std::uint32_t>(Template.size()));
-  return Impl->matchUntil(Template, /*Remove=*/false, Stats, D);
+  auto M = Impl->matchUntil(Template, /*Remove=*/false, Stats, D);
+  if (M)
+    adoptMatchFlow(*M);
+  return M;
 }
 
 std::optional<Match> TupleSpace::takeUntil(Tuple Template, Deadline D) {
@@ -538,19 +565,27 @@ std::optional<Match> TupleSpace::takeUntil(Tuple Template, Deadline D) {
   Stats.Takes.fetch_add(1, std::memory_order_relaxed);
   STING_TRACE_EVENT(TupleTake, currentThread() ? currentThread()->id() : 0,
                     static_cast<std::uint32_t>(Template.size()));
-  return Impl->matchUntil(Template, /*Remove=*/true, Stats, D);
+  auto M = Impl->matchUntil(Template, /*Remove=*/true, Stats, D);
+  if (M)
+    adoptMatchFlow(*M);
+  return M;
 }
 
 std::optional<Match> TupleSpace::tryRead(Tuple Template) {
   prepare(Template);
-  return Impl->tryMatch(std::move(Template), /*Remove=*/false);
+  auto M = Impl->tryMatch(std::move(Template), /*Remove=*/false);
+  if (M)
+    adoptMatchFlow(*M);
+  return M;
 }
 
 std::optional<Match> TupleSpace::tryTake(Tuple Template) {
   prepare(Template);
   auto M = Impl->tryMatch(std::move(Template), /*Remove=*/true);
-  if (M)
+  if (M) {
     Stats.Takes.fetch_add(1, std::memory_order_relaxed);
+    adoptMatchFlow(*M);
+  }
   return M;
 }
 

@@ -311,6 +311,7 @@ TEST_F(ChaosSoak, NetTrafficStaysExact) {
                 !C.flush() || !C.readFrame(Frame))
               return AnyValue(false);
             net::wire::Reader Rd(Frame.data(), Frame.size());
+            Rd.takeFlow(); // replies carry the server-side causal flow
             net::wire::ReadField F;
             if (Rd.op() != net::wire::Op::TsMatch || !Rd.next(F) ||
                 !Rd.next(F))

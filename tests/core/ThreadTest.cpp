@@ -11,6 +11,7 @@
 #include "core/ThreadGroup.h"
 #include "core/VirtualMachine.h"
 #include "core/VirtualProcessor.h"
+#include "obs/Flow.h"
 #include "gtest/gtest.h"
 
 #include <atomic>
@@ -182,6 +183,59 @@ TEST(ThreadTest, StatsCountCreationsAndDeterminations) {
   T->join();
   EXPECT_GE(Vm.stats().ThreadsCreated.load(), 1u);
   EXPECT_GE(Vm.stats().ThreadsDetermined.load(), 1u);
+}
+
+TEST(ThreadTest, EveryThreadCarriesANonzeroFlowFromBirth) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    return AnyValue(currentThread()->flowId() != 0 &&
+                    obs::currentFlowId() == currentThread()->flowId());
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(ThreadTest, ForkInheritsCreatorFlow) {
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    // Mark this thread with a known flow; children must continue it.
+    obs::FlowId Marker = obs::newFlowId();
+    obs::setCurrentFlowId(Marker);
+    currentThread()->setFlowId(Marker);
+
+    ThreadRef Child = ThreadController::forkThread([]() -> AnyValue {
+      ThreadRef Grandchild = ThreadController::forkThread([]() -> AnyValue {
+        return AnyValue(static_cast<std::uint64_t>(obs::currentFlowId()));
+      });
+      std::uint64_t GcFlow =
+          ThreadController::threadValue(*Grandchild).as<std::uint64_t>();
+      return AnyValue(GcFlow == obs::currentFlowId()
+                          ? static_cast<std::uint64_t>(obs::currentFlowId())
+                          : std::uint64_t(0));
+    });
+    std::uint64_t ChildFlow =
+        ThreadController::threadValue(*Child).as<std::uint64_t>();
+    return AnyValue(ChildFlow == Marker);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(ThreadTest, ExternalForksStartDistinctFreshFlows) {
+  // Forks from an external OS thread (this test driver) have no current
+  // flow to continue: each root thread mints its own.
+  VirtualMachine Vm;
+  ThreadRef A = Vm.fork([]() -> AnyValue {
+    return AnyValue(static_cast<std::uint64_t>(obs::currentFlowId()));
+  });
+  ThreadRef B = Vm.fork([]() -> AnyValue {
+    return AnyValue(static_cast<std::uint64_t>(obs::currentFlowId()));
+  });
+  A->join();
+  B->join();
+  std::uint64_t FlowA = A->valueAs<std::uint64_t>();
+  std::uint64_t FlowB = B->valueAs<std::uint64_t>();
+  EXPECT_NE(FlowA, 0u);
+  EXPECT_NE(FlowB, 0u);
+  EXPECT_NE(FlowA, FlowB);
 }
 
 } // namespace

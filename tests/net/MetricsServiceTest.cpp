@@ -1,0 +1,304 @@
+//===- tests/net/MetricsServiceTest.cpp - Live introspection service ----------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// The metrics service is read-only introspection of a running machine, so
+// most assertions are conservation laws: monotonic counters only grow,
+// per-VP lines sum to the aggregate line within one scrape, and a wire
+// snapshot taken before local quiesce is a floor for the end-of-run stats.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Services.h"
+
+#include "core/ThreadController.h"
+#include "core/VirtualMachine.h"
+#include "net/Wire.h"
+#include "obs/SchedStats.h"
+#include "gtest/gtest.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace sting;
+using namespace sting::net;
+using TC = ThreadController;
+
+#define REQUIRE_OK(Cond)                                                       \
+  do {                                                                         \
+    if (!(Cond)) {                                                             \
+      ADD_FAILURE() << #Cond;                                                  \
+      return AnyValue(false);                                                  \
+    }                                                                          \
+  } while (0)
+
+struct Client {
+  BufferedConn Conn;
+
+  explicit Client(IoService &Io, std::uint16_t Port)
+      : Conn(Socket::connectTo(Io, "127.0.0.1", Port)) {}
+
+  bool send(const wire::Writer &W) {
+    return Conn.writeFrame(W.payload().data(), W.payload().size()) &&
+           Conn.flush();
+  }
+
+  bool recv(std::vector<std::uint8_t> &Frame,
+            Deadline D = Deadline::never()) {
+    return Conn.readFrame(Frame, D);
+  }
+};
+
+/// Parses one exposition line "name value" or "name{vp=\"N\"} value".
+/// \returns false when \p Metric has no line with exactly \p Labels.
+bool findMetric(const std::string &Text, const std::string &Metric,
+                const std::string &Labels, std::uint64_t &Value) {
+  std::string Needle = "\n" + Metric + Labels + " ";
+  std::size_t Pos = Text.find(Needle);
+  if (Pos == std::string::npos)
+    return false;
+  Value = std::strtoull(Text.c_str() + Pos + Needle.size(), nullptr, 10);
+  return true;
+}
+
+/// Runs a burst of forked threads to give every counter something to
+/// count, and joins them so thread-lifecycle counters quiesce.
+void generateLoad() {
+  std::vector<ThreadRef> Work;
+  for (int I = 0; I != 16; ++I)
+    Work.push_back(TC::forkThread([I]() -> AnyValue {
+      for (int K = 0; K != I; ++K)
+        TC::yieldProcessor();
+      return AnyValue(I);
+    }));
+  for (ThreadRef &T : Work)
+    TC::threadValue(*T);
+}
+
+TEST(MetricsServiceTest, ScrapeUnderLoadObeysConservation) {
+  VmConfig Config;
+  Config.NumVps = 2;
+  VirtualMachine Vm(Config);
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    auto Server = net::Server::start(Vm, Io, metricsHandler(Vm));
+    if (!Server)
+      return AnyValue(false);
+    generateLoad();
+    obs::SchedStatsSnapshot Floor = Vm.aggregateStats();
+
+    Client C(Io, Server->port());
+    REQUIRE_OK(C.Conn.valid());
+    wire::Writer Req(wire::Op::Metrics);
+    EXPECT_TRUE(C.send(Req));
+    std::vector<std::uint8_t> Frame;
+    REQUIRE_OK(C.recv(Frame));
+    wire::Reader R(Frame.data(), Frame.size());
+    EXPECT_EQ(R.op(), wire::Op::MetricsText);
+    // The connection got a fresh flow at accept; the reply is stamped
+    // with it even though the request carried none.
+    EXPECT_NE(R.takeFlow(), 0u);
+    wire::ReadField F;
+    REQUIRE_OK(R.next(F));
+    EXPECT_EQ(F.T, wire::Tag::Blob);
+    std::string Text(F.Bytes);
+
+    // Every counter in the shared row table is exposed, typed, and at
+    // least as large as the pre-scrape local snapshot (monotonicity).
+    std::size_t NumRows = 0;
+    const obs::CounterRow *Rows = obs::counterRows(NumRows);
+    EXPECT_GE(NumRows, 30u);
+    for (std::size_t I = 0; I != NumRows; ++I) {
+      const std::string Name = Rows[I].MetricName;
+      EXPECT_NE(Text.find("# TYPE " + Name + " counter"), std::string::npos)
+          << Name;
+      std::uint64_t Agg = 0;
+      EXPECT_TRUE(findMetric(Text, Name, "", Agg)) << Name;
+      EXPECT_GE(Agg, Floor.*(Rows[I].Field)) << Name;
+    }
+
+    // Conservation within one scrape: thread creation quiesced before the
+    // scrape (all forks joined, the connection thread already exists), so
+    // the per-VP lines must sum exactly to the aggregate line.
+    std::uint64_t Agg = 0, Vp0 = 0, Vp1 = 0;
+    EXPECT_TRUE(findMetric(Text, "sting_threads_created_total", "", Agg));
+    EXPECT_TRUE(
+        findMetric(Text, "sting_threads_created_total", "{vp=\"0\"}", Vp0));
+    EXPECT_TRUE(
+        findMetric(Text, "sting_threads_created_total", "{vp=\"1\"}", Vp1));
+    EXPECT_EQ(Agg, Vp0 + Vp1);
+    EXPECT_GE(Agg, 16u); // the load burst alone forked 16 threads
+
+    // Machine shape and latency summaries.
+    std::uint64_t Vps = 0;
+    EXPECT_TRUE(findMetric(Text, "sting_vps", "", Vps));
+    EXPECT_EQ(Vps, 2u);
+    EXPECT_NE(Text.find("# TYPE sting_run_slice_nanos summary"),
+              std::string::npos);
+    EXPECT_NE(Text.find("sting_run_slice_nanos{quantile=\"0.99\"}"),
+              std::string::npos);
+    EXPECT_NE(Text.find("# TYPE sting_gc_pause_nanos summary"),
+              std::string::npos);
+    // The slice histogram only accumulates in STING_TRACE builds with the
+    // rings live; the exposition lines must exist either way.
+    std::uint64_t Slices = 0;
+    EXPECT_TRUE(findMetric(Text, "sting_run_slice_nanos_count", "", Slices));
+
+    Server->shutdown();
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(MetricsServiceTest, StatsSnapPairsAreCompleteAndMonotonic) {
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    auto Server = net::Server::start(Vm, Io, metricsHandler(Vm));
+    if (!Server)
+      return AnyValue(false);
+    generateLoad();
+
+    Client C(Io, Server->port());
+    REQUIRE_OK(C.Conn.valid());
+
+    auto snap = [&](std::map<std::string, std::int64_t> &Out) -> bool {
+      wire::Writer Req(wire::Op::StatsSnap);
+      Req.flow(0x5105); // client-chosen flow: the reply must echo it
+      if (!C.send(Req))
+        return false;
+      std::vector<std::uint8_t> Frame;
+      if (!C.recv(Frame))
+        return false;
+      wire::Reader R(Frame.data(), Frame.size());
+      if (R.op() != wire::Op::StatsReply)
+        return false;
+      if (R.takeFlow() != 0x5105)
+        return false;
+      wire::ReadField Name, Value;
+      while (R.next(Name)) {
+        if (Name.T != wire::Tag::Text || !R.next(Value) ||
+            Value.T != wire::Tag::Fixnum)
+          return false;
+        Out[std::string(Name.Bytes)] = Value.Num;
+      }
+      return R.ok();
+    };
+
+    std::map<std::string, std::int64_t> First, Second;
+    REQUIRE_OK(snap(First));
+    generateLoad();
+    REQUIRE_OK(snap(Second));
+
+    // One pair per counter row, same names both times.
+    std::size_t NumRows = 0;
+    const obs::CounterRow *Rows = obs::counterRows(NumRows);
+    EXPECT_EQ(First.size(), NumRows);
+    EXPECT_EQ(Second.size(), NumRows);
+    for (std::size_t I = 0; I != NumRows; ++I) {
+      const std::string Name = Rows[I].MetricName;
+      REQUIRE_OK(First.count(Name) == 1 && Second.count(Name) == 1);
+      EXPECT_GE(Second[Name], First[Name]) << Name << " went backwards";
+    }
+    EXPECT_GT(Second["sting_dispatches_total"], 0);
+    // The second load burst forked 16 more threads; the snapshots must
+    // straddle them.
+    EXPECT_GE(Second["sting_threads_created_total"],
+              First["sting_threads_created_total"] + 16);
+
+    // Wire snapshot is a floor for the local end-of-run aggregate.
+    obs::SchedStatsSnapshot Local = Vm.aggregateStats();
+    EXPECT_GE(static_cast<std::int64_t>(Local.Dispatches),
+              Second["sting_dispatches_total"]);
+
+    Server->shutdown();
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(MetricsServiceTest, PlainHttpGetServesOneShotScrape) {
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    auto Server = net::Server::start(Vm, Io, metricsHandler(Vm));
+    if (!Server)
+      return AnyValue(false);
+    generateLoad();
+
+    Client C(Io, Server->port());
+    REQUIRE_OK(C.Conn.valid());
+    const char Req[] = "GET /metrics HTTP/1.0\r\n"
+                       "Host: localhost\r\n"
+                       "Accept: */*\r\n\r\n";
+    REQUIRE_OK(C.Conn.write(Req, sizeof(Req) - 1) && C.Conn.flush());
+
+    // The server answers and closes; drain to EOF.
+    std::string Response;
+    char B = 0;
+    Deadline D = Deadline::in(10'000'000'000);
+    while (Response.size() < 1 << 20 && C.Conn.readExact(&B, 1, D))
+      Response.push_back(B);
+
+    EXPECT_EQ(Response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+    EXPECT_NE(Response.find("Content-Type: text/plain"), std::string::npos);
+    EXPECT_NE(Response.find("Connection: close"), std::string::npos);
+    // Headers end, then the exposition body with real counters.
+    std::size_t BodyAt = Response.find("\r\n\r\n");
+    REQUIRE_OK(BodyAt != std::string::npos);
+    std::string Body = Response.substr(BodyAt + 4);
+    EXPECT_NE(Body.find("# TYPE sting_dispatches_total counter"),
+              std::string::npos);
+    std::uint64_t Threads = 0;
+    EXPECT_TRUE(
+        findMetric(Body, "sting_threads_created_total", "", Threads));
+    EXPECT_GE(Threads, 16u);
+
+    // Content-Length matches the body exactly.
+    std::size_t LenAt = Response.find("Content-Length: ");
+    REQUIRE_OK(LenAt != std::string::npos);
+    EXPECT_EQ(std::strtoull(Response.c_str() + LenAt + 16, nullptr, 10),
+              Body.size());
+
+    Server->shutdown();
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(MetricsServiceTest, UnknownOpGetsErrNotDisconnect) {
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    auto Server = net::Server::start(Vm, Io, metricsHandler(Vm));
+    if (!Server)
+      return AnyValue(false);
+
+    Client C(Io, Server->port());
+    REQUIRE_OK(C.Conn.valid());
+    wire::Writer Bad(wire::Op::TsOut); // tuple op on the metrics port
+    Bad.text("nope");
+    EXPECT_TRUE(C.send(Bad));
+    std::vector<std::uint8_t> Frame;
+    REQUIRE_OK(C.recv(Frame));
+    EXPECT_EQ(wire::Reader(Frame.data(), Frame.size()).op(), wire::Op::Err);
+
+    // The connection survives the error and still serves metrics.
+    wire::Writer Req(wire::Op::Metrics);
+    EXPECT_TRUE(C.send(Req));
+    REQUIRE_OK(C.recv(Frame));
+    EXPECT_EQ(wire::Reader(Frame.data(), Frame.size()).op(),
+              wire::Op::MetricsText);
+
+    Server->shutdown();
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+} // namespace

@@ -81,6 +81,9 @@ TEST(TupleServiceTest, OutThenInRoundTrips) {
     REQUIRE_OK(C.recv(Frame));
     wire::Reader R(Frame.data(), Frame.size());
     EXPECT_EQ(R.op(), wire::Op::TsMatch);
+    // Replies are stamped with the server-side causal flow; peel it
+    // before the tuple fields.
+    EXPECT_NE(R.takeFlow(), 0u);
     wire::ReadField F;
     REQUIRE_OK(R.next(F));
     EXPECT_EQ(F.T, wire::Tag::Text);
@@ -131,6 +134,7 @@ TEST(TupleServiceTest, BlockingInParksConnectionThreadUntilLocalOut) {
     REQUIRE_OK(C.recv(Frame, Deadline::in(5'000'000'000)));
     wire::Reader R(Frame.data(), Frame.size());
     EXPECT_EQ(R.op(), wire::Op::TsMatch);
+    R.takeFlow();
     wire::ReadField F;
     REQUIRE_OK(R.next(F));
     REQUIRE_OK(R.next(F));
@@ -181,6 +185,7 @@ TEST(TupleServiceTest, BlobValuesEscapeToSharedHeapAndComeBack) {
     REQUIRE_OK(C.recv(Frame));
     wire::Reader R(Frame.data(), Frame.size());
     EXPECT_EQ(R.op(), wire::Op::TsMatch);
+    R.takeFlow();
     wire::ReadField F;
     REQUIRE_OK(R.next(F)); // key
     REQUIRE_OK(R.next(F)); // blob
@@ -234,6 +239,7 @@ TEST(TupleServiceTest, ManyBlobsInOneFrameDecodeIntact) {
     REQUIRE_OK(C.recv(Frame));
     wire::Reader R(Frame.data(), Frame.size());
     EXPECT_EQ(R.op(), wire::Op::TsMatch);
+    R.takeFlow();
     wire::ReadField F;
     REQUIRE_OK(R.next(F)); // key
     EXPECT_EQ(F.Bytes, "bulk");
@@ -297,6 +303,7 @@ TEST(TupleServiceTest, ManyClientsNoLostOrDuplicatedReplies) {
           if (!C.send(In) || !C.recv(Frame))
             return AnyValue(false);
           wire::Reader R(Frame.data(), Frame.size());
+          R.takeFlow();
           wire::ReadField F;
           if (R.op() != wire::Op::TsMatch || !R.next(F) || !R.next(F))
             return AnyValue(false);

@@ -26,13 +26,14 @@ using namespace sting;
 
 obs::TraceEvent event(std::uint64_t Time, obs::TraceEventKind Kind,
                       std::uint64_t Tid, std::uint32_t Payload,
-                      std::uint16_t VpId) {
+                      std::uint16_t VpId, std::uint64_t Flow = 0) {
   obs::TraceEvent E{};
   E.TimeNanos = Time;
   E.ThreadId = Tid;
   E.Payload = Payload;
   E.VpId = VpId;
   E.KindRaw = static_cast<std::uint8_t>(Kind);
+  E.Flow = Flow;
   return E;
 }
 
@@ -68,6 +69,35 @@ obs::TraceExporter goldenExporter() {
 
   obs::TraceExporter Exporter;
   Exporter.addProcess("golden-vm", std::move(Vps));
+  return Exporter;
+}
+
+/// Two VPs exercising the flow-arrow and counter-series paths: flow 7
+/// hops VP0 -> VP1 -> VP0 (two arrows), flow 9 stays on VP0 (adjacent on
+/// one track, no arrow), plus flow-less events and three load samples.
+obs::TraceExporter flowExporter() {
+  using K = obs::TraceEventKind;
+  std::vector<obs::VpTraceSnapshot> Vps(2);
+
+  Vps[0].VpId = 0;
+  Vps[0].Events = {
+      event(1000, K::ThreadCreate, 1, 0, 0, 7),
+      event(1300, K::Enqueue, 1, obs::enqueuePayload(1, 0), 0), // no flow
+      event(1500, K::Wakeup, 2, 1, 0, 7),   // hop out: VP0 -> VP1
+      event(2000, K::TuplePut, 1, 2, 0, 9), // same-track flow...
+      event(2300, K::TupleTake, 3, 2, 0, 9), // ...no arrow
+      event(3600, K::Dispatch, 1, 0, 0, 7), // hop back: VP1 -> VP0
+  };
+
+  Vps[1].VpId = 1;
+  Vps[1].Events = {
+      event(2600, K::Dispatch, 2, 0, 1, 7),
+      event(3100, K::SwitchPark, 2, 0, 1, 7), // same track, no arrow
+  };
+
+  obs::TraceExporter Exporter;
+  Exporter.addProcess("flow-vm", std::move(Vps));
+  Exporter.addLoadSamples({{1200, 3, 1, 0}, {2200, 1, 0, 1}, {3200, 0, 0, 2}});
   return Exporter;
 }
 
@@ -122,6 +152,70 @@ TEST(ExporterTest, StructureMatchesEventStream) {
   // check approximates well-formedness.
   EXPECT_EQ(countOccurrences(Json, "{"), countOccurrences(Json, "}"));
   EXPECT_EQ(countOccurrences(Json, "["), countOccurrences(Json, "]"));
+}
+
+TEST(ExporterTest, FlowArrowsConnectCrossVpHopsOnly) {
+  std::string Json = flowExporter().toJson();
+
+  // Flow 7 makes two cross-VP hops (VP0->VP1 at 1500->2600, VP1->VP0 at
+  // 3100->3600); flow 9 never leaves VP0. Exactly two bind pairs.
+  EXPECT_EQ(countOccurrences(Json, "\"ph\":\"s\""), 2u);
+  EXPECT_EQ(countOccurrences(Json, "\"ph\":\"f\",\"bp\":\"e\""), 2u);
+  EXPECT_EQ(countOccurrences(Json, "\"args\":{\"flow\":7}"), 4u);
+  EXPECT_EQ(countOccurrences(Json, "\"args\":{\"flow\":9}"), 0u);
+
+  // Bind ids are distinct and start at 1.
+  EXPECT_EQ(countOccurrences(Json, "\"id\":1,"), 2u);
+  EXPECT_EQ(countOccurrences(Json, "\"id\":2,"), 2u);
+
+  // Load samples become one counter series with all three values.
+  EXPECT_EQ(countOccurrences(Json, "\"ph\":\"C\""), 3u);
+  EXPECT_NE(Json.find("\"name\":\"vm_load\""), std::string::npos);
+  EXPECT_NE(Json.find("{\"ready\":3,\"mailbox\":1,\"parked\":0}"),
+            std::string::npos);
+  EXPECT_NE(Json.find("{\"ready\":0,\"mailbox\":0,\"parked\":2}"),
+            std::string::npos);
+
+  EXPECT_EQ(countOccurrences(Json, "{"), countOccurrences(Json, "}"));
+  EXPECT_EQ(countOccurrences(Json, "["), countOccurrences(Json, "]"));
+}
+
+TEST(ExporterTest, FlowlessTraceEmitsNoFlowMachinery) {
+  // A trace with no nonzero flows must render exactly as the pre-flow
+  // format did: the zero-flow golden (GoldenFileMatchesByteForByte) pins
+  // the bytes; this pins the absence of flow/counter events explicitly.
+  std::string Json = goldenExporter().toJson();
+  EXPECT_EQ(Json.find("\"cat\":\"flow\""), std::string::npos);
+  EXPECT_EQ(Json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_EQ(Json.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(ExporterTest, FlowGoldenFileMatchesByteForByte) {
+  const std::string GoldenPath =
+      std::string(STING_OBS_GOLDEN_DIR) + "/chrome_trace_flow_golden.json";
+  std::string Json = flowExporter().toJson();
+
+  if (std::getenv("STING_UPDATE_GOLDEN")) {
+    std::FILE *F = std::fopen(GoldenPath.c_str(), "w");
+    ASSERT_NE(F, nullptr) << "cannot write " << GoldenPath;
+    std::fwrite(Json.data(), 1, Json.size(), F);
+    std::fclose(F);
+    GTEST_SKIP() << "golden regenerated at " << GoldenPath;
+  }
+
+  std::FILE *F = std::fopen(GoldenPath.c_str(), "r");
+  ASSERT_NE(F, nullptr) << "missing golden file " << GoldenPath
+                        << " (run with STING_UPDATE_GOLDEN=1 to create)";
+  std::string Golden;
+  char Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Golden.append(Buf, N);
+  std::fclose(F);
+
+  EXPECT_EQ(Json, Golden)
+      << "flow-arrow export drifted from the committed golden; if the "
+         "change is intentional, regenerate with STING_UPDATE_GOLDEN=1";
 }
 
 TEST(ExporterTest, ProcessNamesAreJsonEscaped) {

@@ -1,0 +1,127 @@
+//===- tests/obs/SamplerTest.cpp - Background load sampler --------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Sampler.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace {
+
+using namespace sting;
+
+obs::Sampler::Probe countingProbe(std::atomic<std::uint64_t> &Calls) {
+  return [&Calls] {
+    std::uint64_t N = Calls.fetch_add(1, std::memory_order_relaxed);
+    obs::LoadSample S;
+    S.ReadyDepth = N;
+    S.MailboxDepth = N * 2;
+    S.ParkedVps = 1;
+    return S;
+  };
+}
+
+TEST(SamplerTest, NeverStartedLeavesNoResidue) {
+  std::atomic<std::uint64_t> Calls{0};
+  {
+    obs::Sampler S(1'000'000, 16, countingProbe(Calls));
+    EXPECT_FALSE(S.running());
+    EXPECT_EQ(S.taken(), 0u);
+    EXPECT_TRUE(S.snapshot().empty());
+    // Destructor without start() must not hang or touch the probe.
+  }
+  EXPECT_EQ(Calls.load(), 0u);
+}
+
+TEST(SamplerTest, TakesSamplesWhileRunningAndStopsCleanly) {
+  std::atomic<std::uint64_t> Calls{0};
+  obs::Sampler S(100'000 /* 0.1 ms */, 16, countingProbe(Calls));
+  S.start();
+  EXPECT_TRUE(S.running());
+  S.start(); // idempotent
+  EXPECT_TRUE(S.running());
+
+  while (S.taken() < 3)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  S.stop();
+  EXPECT_FALSE(S.running());
+  std::uint64_t Taken = S.taken();
+  std::uint64_t Probed = Calls.load();
+  EXPECT_GE(Taken, 3u);
+  EXPECT_EQ(Taken, Probed);
+
+  // Stopped means stopped: no probe runs after stop() returns.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(Calls.load(), Probed);
+  EXPECT_EQ(S.taken(), Taken);
+  S.stop(); // idempotent on a stopped sampler
+}
+
+TEST(SamplerTest, SnapshotSurvivesStopAndKeepsProbeValues) {
+  std::atomic<std::uint64_t> Calls{0};
+  obs::Sampler S(100'000, 16, countingProbe(Calls));
+  S.start();
+  while (S.taken() < 4)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  S.stop();
+
+  std::vector<obs::LoadSample> Snap = S.snapshot();
+  ASSERT_EQ(Snap.size(), S.taken() > S.capacity()
+                             ? S.capacity()
+                             : static_cast<std::size_t>(S.taken()));
+  for (std::size_t I = 0; I != Snap.size(); ++I) {
+    // Probe values round-trip untouched; timestamps are stamped and
+    // monotonic oldest-first.
+    EXPECT_EQ(Snap[I].MailboxDepth, Snap[I].ReadyDepth * 2) << "sample " << I;
+    EXPECT_EQ(Snap[I].ParkedVps, 1u) << "sample " << I;
+    if (I != 0) {
+      EXPECT_GE(Snap[I].TimeNanos, Snap[I - 1].TimeNanos) << "sample " << I;
+      EXPECT_EQ(Snap[I].ReadyDepth, Snap[I - 1].ReadyDepth + 1)
+          << "sample " << I;
+    }
+  }
+}
+
+TEST(SamplerTest, RingOverwritesOldestButCountsEverySample) {
+  std::atomic<std::uint64_t> Calls{0};
+  obs::Sampler S(10'000 /* 10 us: overflow the ring quickly */, 8,
+                 countingProbe(Calls));
+  EXPECT_EQ(S.capacity(), 8u);
+  S.start();
+  while (S.taken() < 20)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  S.stop();
+
+  std::vector<obs::LoadSample> Snap = S.snapshot();
+  EXPECT_EQ(Snap.size(), 8u);
+  EXPECT_GE(S.taken(), 20u);
+  // The retained window is the most recent capacity() samples: its last
+  // entry is the last sample taken.
+  EXPECT_EQ(Snap.back().ReadyDepth, S.taken() - 1);
+}
+
+TEST(SamplerTest, RestartContinuesCounting) {
+  std::atomic<std::uint64_t> Calls{0};
+  obs::Sampler S(100'000, 16, countingProbe(Calls));
+  S.start();
+  while (S.taken() < 2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  S.stop();
+  std::uint64_t FirstRun = S.taken();
+
+  S.start();
+  EXPECT_TRUE(S.running());
+  while (S.taken() < FirstRun + 2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  S.stop();
+  EXPECT_GE(S.taken(), FirstRun + 2);
+}
+
+} // namespace

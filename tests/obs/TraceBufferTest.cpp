@@ -12,6 +12,8 @@
 
 #include "obs/TraceBuffer.h"
 
+#include "obs/Flow.h"
+
 #include "gtest/gtest.h"
 
 #include <set>
@@ -151,10 +153,42 @@ TEST(TraceBufferTest, KindNamesAreUniqueAndWellFormed) {
   }
 }
 
+TEST(TraceBufferTest, EmitStampsCurrentFlow) {
+  obs::TraceBuffer Ring(1, 8);
+  Ring.setEnabled(true);
+
+  // No flow installed: records carry the 0 sentinel.
+  obs::setCurrentFlowId(0);
+  Ring.emit(obs::TraceEventKind::UserMark, 1, 0);
+
+  obs::FlowId F = obs::newFlowId();
+  ASSERT_NE(F, 0u);
+  {
+    obs::FlowScope Scope(F);
+    EXPECT_EQ(obs::currentFlowId(), F);
+    Ring.emit(obs::TraceEventKind::UserMark, 2, 0);
+  }
+  // FlowScope restores the previous (no-flow) state on exit.
+  EXPECT_EQ(obs::currentFlowId(), 0u);
+
+  std::vector<obs::TraceEvent> Events = Ring.snapshot();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].Flow, 0u);
+  EXPECT_EQ(Events[1].Flow, F);
+}
+
+TEST(TraceBufferTest, FlowIdsAreUniqueAndNonzero) {
+  obs::FlowId A = obs::newFlowId();
+  obs::FlowId B = obs::newFlowId();
+  EXPECT_NE(A, 0u);
+  EXPECT_NE(B, 0u);
+  EXPECT_NE(A, B);
+}
+
 TEST(TraceBufferTest, EventRecordStaysCompact) {
-  // 24 bytes keeps a 16K-entry ring under 400KB per VP; growing the record
+  // 32 bytes keeps a 16K-entry ring at 512KB per VP; growing the record
   // is a deliberate decision, not an accident of adding a field.
-  static_assert(sizeof(obs::TraceEvent) == 24);
+  static_assert(sizeof(obs::TraceEvent) == 32);
   SUCCEED();
 }
 

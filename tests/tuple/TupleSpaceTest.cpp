@@ -6,13 +6,16 @@
 
 #include "tuple/TupleSpace.h"
 
+#include "core/Current.h"
 #include "core/Gc.h"
 #include "core/ThreadController.h"
 #include "core/VirtualMachine.h"
 #include "gc/Object.h"
+#include "obs/Flow.h"
 #include "gtest/gtest.h"
 
 #include <atomic>
+#include <utility>
 
 namespace {
 
@@ -306,6 +309,42 @@ TEST(TupleSpaceTest, StatsTrackOperations) {
     EXPECT_EQ(Ts->stats().Takes.load(), 1u);
     return AnyValue();
   });
+}
+
+TEST(TupleSpaceTest, TakeAdoptsDepositorFlow) {
+  // put -> take is a causal handoff: the matcher continues the
+  // depositor's flow, so a request's journey through the space renders
+  // as one connected path in exported traces.
+  VirtualMachine Vm;
+  AnyValue V = Vm.run([]() -> AnyValue {
+    TupleSpaceRef Ts = TupleSpace::create();
+
+    ThreadRef Producer = ThreadController::forkThread([Ts]() -> AnyValue {
+      obs::FlowId Mine = obs::newFlowId();
+      obs::setCurrentFlowId(Mine);
+      currentThread()->setFlowId(Mine);
+      Ts->put(makeTuple("flow-key", 1));
+      return AnyValue(static_cast<std::uint64_t>(Mine));
+    });
+    std::uint64_t DepositorFlow =
+        ThreadController::threadValue(*Producer).as<std::uint64_t>();
+
+    ThreadRef Consumer = ThreadController::forkThread([Ts]() -> AnyValue {
+      std::uint64_t Before = obs::currentFlowId();
+      Ts->take(makeTuple("flow-key", formal(0)));
+      // The take rebound this thread to the depositor's flow.
+      return AnyValue(
+          std::make_pair(Before, static_cast<std::uint64_t>(
+                                     obs::currentFlowId())));
+    });
+    auto [Before, After] =
+        ThreadController::threadValue(*Consumer)
+            .as<std::pair<std::uint64_t, std::uint64_t>>();
+    EXPECT_NE(Before, DepositorFlow) << "consumer started on its own flow";
+    EXPECT_EQ(After, DepositorFlow);
+    return AnyValue(After == DepositorFlow);
+  });
+  EXPECT_TRUE(V.as<bool>());
 }
 
 } // namespace
