@@ -29,13 +29,15 @@ using TC = ThreadController;
 
 namespace {
 
-/// One client connection doing \p Requests out/in round trips, each
-/// request stamped with its own fresh flow so every round trip renders as
-/// a distinct causal path through the server.
+/// One client doing \p Requests out/in round trips over a resilient
+/// net::Client (lazy connect, retry with backoff, reconnect on reset),
+/// each request stamped with its own fresh flow so every round trip
+/// renders as a distinct causal path through the server.
 bool runClient(IoService &Io, std::uint16_t Port, int Requests) {
-  BufferedConn Conn(Socket::connectTo(Io, "127.0.0.1", Port));
-  if (!Conn.valid())
-    return false;
+  ClientConfig CC;
+  CC.Port = Port;
+  CC.MaxAttempts = 5;
+  Client Cl(Io, CC);
   std::vector<std::uint8_t> Frame;
   for (int I = 0; I != Requests; ++I) {
     obs::FlowId Flow = obs::newFlowId();
@@ -43,16 +45,14 @@ bool runClient(IoService &Io, std::uint16_t Port, int Requests) {
     Out.flow(Flow);
     Out.text("job");
     Out.fixnum(I);
-    if (!Conn.writeFrame(Out.payload().data(), Out.payload().size()) ||
-        !Conn.flush() || !Conn.readFrame(Frame))
+    if (Cl.request(Out, Frame) != RequestStatus::Ok)
       return false;
 
     wire::Writer In(wire::Op::TsIn);
     In.flow(Flow);
     In.text("job");
     In.formal(0);
-    if (!Conn.writeFrame(In.payload().data(), In.payload().size()) ||
-        !Conn.flush() || !Conn.readFrame(Frame))
+    if (Cl.request(In, Frame) != RequestStatus::Ok)
       return false;
     if (wire::Reader(Frame.data(), Frame.size()).op() != wire::Op::TsMatch)
       return false;

@@ -19,12 +19,18 @@
 /// a larger ring* onto it (CAS-installed; losers free their candidate)
 /// instead of serializing on a locked overflow list, so sustained overflow
 /// stays lock-free: every producer keeps paying one CAS per post, just in
-/// a later ring. Rings are never freed before the mailbox dies (the same
-/// retirement rule as WorkStealingDeque's grown rings), so a producer that
-/// read a ring pointer can always finish its post; the chain is bounded
-/// because each link doubles capacity up to MaxRingCapacity. Chaining
-/// trades global FIFO for lock-freedom: order holds within a ring (and
-/// across a burst drained whole), not across drains — see drain().
+/// a later ring. The chain is bounded because each link doubles capacity
+/// up to MaxRingCapacity. Chaining trades global FIFO for lock-freedom:
+/// order holds within a ring (and across a burst drained whole), not
+/// across drains — see drain().
+///
+/// Chained rings do not pin memory forever: once the whole overflow chain
+/// has sat empty for several consecutive drains, the owner detaches it
+/// into a still-visible Retired slot and frees it as soon as no producer
+/// is mid-walk (the SlowPosts counter). A producer that read a ring
+/// pointer can therefore always finish its post — rings move from the
+/// live chain to Retired (where empty()/size()/drain() keep covering
+/// them) and are only deleted after the slow-path population quiesces.
 ///
 /// Emptiness is answered from the rings' Tail/Head cursors alone, so
 /// hasReadyWork stays accurate from any thread: Tail is advanced *before*
@@ -63,12 +69,8 @@ public:
   RemoteMailbox &operator=(const RemoteMailbox &) = delete;
 
   ~RemoteMailbox() {
-    Ring *R = Primary;
-    while (R) {
-      Ring *Next = R->Next.load(std::memory_order_acquire);
-      delete R;
-      R = Next;
-    }
+    freeChain(Primary);
+    freeChain(Retired.load(std::memory_order_acquire));
   }
 
   /// Posts \p Item from any thread; always lock-free. When the primary
@@ -76,14 +78,27 @@ public:
   /// chain on first use. \returns true when the primary-ring fast path was
   /// taken (the observability bit reported as "ring path").
   bool post(Schedulable &Item) {
+    if (Primary->tryPost(Item))
+      return true;
+    // Slow path: about to walk (and possibly extend) the overflow chain.
+    // The SlowPosts window pins every ring pointer this walk can read —
+    // the owner's shrink frees a detached chain only once SlowPosts has
+    // been observed at zero *after* the detach, so the chain we are about
+    // to traverse cannot be deleted under us. seq_cst on the increment
+    // pairs with the seq_cst detach/re-check in maybeShrink (a Dekker
+    // store-load: either the owner sees our count, or we see its unlink).
+    SlowPosts.fetch_add(1, std::memory_order_seq_cst);
     Ring *R = Primary;
+    bool Fast = false;
     for (;;) {
-      if (R->tryPost(Item))
-        return R == Primary;
+      if (R->tryPost(Item)) {
+        Fast = R == Primary;
+        break;
+      }
       // This ring is full; move to (or install) the next link. The CAS
       // publishes the fully-constructed ring, and losers delete their
       // candidate — only ever a ring no other thread has seen.
-      Ring *Next = R->Next.load(std::memory_order_acquire);
+      Ring *Next = R->Next.load(std::memory_order_seq_cst);
       if (!Next) {
         std::size_t Cap = R->Cells.size() * 2;
         if (Cap > MaxRingCapacity)
@@ -98,6 +113,10 @@ public:
       }
       R = Next;
     }
+    // Release: the post's publish store must be visible to an owner that
+    // later observes the decremented count and frees the chain.
+    SlowPosts.fetch_sub(1, std::memory_order_release);
+    return Fast;
   }
 
   /// Owner-only: drains every currently-published item, walking the
@@ -113,15 +132,27 @@ public:
     std::size_t N = 0;
     for (Ring *R = Primary; R; R = R->Next.load(std::memory_order_acquire))
       N += R->drainRing(Consume);
+    for (Ring *R = Retired.load(std::memory_order_acquire); R;
+         R = R->Next.load(std::memory_order_acquire))
+      N += R->drainRing(Consume);
+    maybeShrink(Consume);
     return N;
   }
 
   /// True when no post is pending. Accurate from any thread: a producer
   /// advances a ring's Tail before publishing, and a full ring (the only
   /// reason to move down the chain) is by definition non-empty, so a
-  /// pending item is never reported empty.
+  /// pending item is never reported empty. Covers the retired chain too —
+  /// the detach protocol publishes Retired *before* unlinking, so a
+  /// straggler's post is visible through one pointer or the other at
+  /// every instant (no lost-wakeup window).
   bool empty() const {
     for (Ring *R = Primary; R; R = R->Next.load(std::memory_order_acquire))
+      if (R->Head.load(std::memory_order_seq_cst) !=
+          R->Tail.load(std::memory_order_seq_cst))
+        return false;
+    for (Ring *R = Retired.load(std::memory_order_seq_cst); R;
+         R = R->Next.load(std::memory_order_acquire))
       if (R->Head.load(std::memory_order_seq_cst) !=
           R->Tail.load(std::memory_order_seq_cst))
         return false;
@@ -131,11 +162,11 @@ public:
   /// Approximate pending count (diagnostics).
   std::size_t size() const {
     std::size_t N = 0;
-    for (Ring *R = Primary; R; R = R->Next.load(std::memory_order_acquire)) {
-      std::uint64_t H = R->Head.load(std::memory_order_acquire);
-      std::uint64_t T = R->Tail.load(std::memory_order_acquire);
-      N += static_cast<std::size_t>(T - H);
-    }
+    for (Ring *R = Primary; R; R = R->Next.load(std::memory_order_acquire))
+      N += R->pending();
+    for (Ring *R = Retired.load(std::memory_order_acquire); R;
+         R = R->Next.load(std::memory_order_acquire))
+      N += R->pending();
     return N;
   }
 
@@ -143,10 +174,21 @@ public:
   /// block).
   std::size_t capacity() const { return Primary->Cells.size(); }
 
-  /// Number of rings in the chain (1 until the first overflow).
+  /// Number of rings still reachable (live chain + retired, 1 after a
+  /// completed shrink).
   std::size_t ringCount() const {
     std::size_t N = 0;
     for (Ring *R = Primary; R; R = R->Next.load(std::memory_order_acquire))
+      ++N;
+    N += retiredRingCount();
+    return N;
+  }
+
+  /// Rings detached but not yet freed (diagnostics/tests).
+  std::size_t retiredRingCount() const {
+    std::size_t N = 0;
+    for (Ring *R = Retired.load(std::memory_order_acquire); R;
+         R = R->Next.load(std::memory_order_acquire))
       ++N;
     return N;
   }
@@ -206,6 +248,13 @@ private:
       return N;
     }
 
+    /// Approximate occupancy (diagnostics).
+    std::size_t pending() const {
+      std::uint64_t H = Head.load(std::memory_order_acquire);
+      std::uint64_t T = Tail.load(std::memory_order_acquire);
+      return static_cast<std::size_t>(T - H);
+    }
+
     std::vector<Cell> Cells;
     std::size_t Mask;
     // Producers contend on Tail; the owner walks Head. Separate lines so a
@@ -222,7 +271,76 @@ private:
     return P;
   }
 
+  static void freeChain(Ring *R) {
+    while (R) {
+      Ring *Next = R->Next.load(std::memory_order_acquire);
+      delete R;
+      R = Next;
+    }
+  }
+
+  /// Owner-only, called at the end of every drain. Two independent
+  /// phases of the shrink protocol:
+  ///
+  /// Phase 2 — free a previously detached chain once it is provably
+  /// unreachable: the detach's seq_cst unlink and the producers' seq_cst
+  /// SlowPosts increment form a Dekker store-load pair, so a SlowPosts
+  /// of zero read *after* the unlink means every producer that could
+  /// have read a detached ring pointer has finished its post. Each ring
+  /// is drained one last time on the way out — a straggler may have
+  /// landed a post in the Retired window — so no item is ever freed
+  /// with its ring.
+  ///
+  /// Phase 1 — detach the overflow chain after it has sat empty for
+  /// QuiescentDrains consecutive drains (hysteresis so a steady overflow
+  /// load does not thrash allocate/free). Publish order is the safety
+  /// hinge: Retired is stored *before* Primary->Next is cleared, so at
+  /// every instant the chain is visible through at least one of the two
+  /// pointers — empty()/size()/drain() never transiently lose a posted
+  /// item (the no-lost-wakeup direction of hasReadyWork).
+  template <typename Fn> void maybeShrink(Fn &&Consume) {
+    if (Ring *Detached = Retired.load(std::memory_order_relaxed)) {
+      if (SlowPosts.load(std::memory_order_seq_cst) != 0)
+        return; // a producer may still hold a detached ring pointer
+      for (Ring *R = Detached; R;) {
+        Ring *Next = R->Next.load(std::memory_order_acquire);
+        R->drainRing(Consume); // straggler posts from the detach window
+        delete R;
+        R = Next;
+      }
+      Retired.store(nullptr, std::memory_order_release);
+      return; // one phase per drain keeps the tail of drain() cheap
+    }
+    Ring *Chain = Primary->Next.load(std::memory_order_acquire);
+    if (!Chain) {
+      EmptyChainDrains = 0;
+      return;
+    }
+    for (Ring *R = Chain; R; R = R->Next.load(std::memory_order_acquire))
+      if (R->Head.load(std::memory_order_seq_cst) !=
+          R->Tail.load(std::memory_order_seq_cst)) {
+        EmptyChainDrains = 0;
+        return;
+      }
+    if (++EmptyChainDrains < QuiescentDrains)
+      return;
+    EmptyChainDrains = 0;
+    // Detach: publish to Retired first, then unlink (seq_cst — the
+    // Dekker partner of post()'s SlowPosts increment).
+    Retired.store(Chain, std::memory_order_release);
+    Primary->Next.store(nullptr, std::memory_order_seq_cst);
+  }
+
   Ring *const Primary;
+  /// Detached-but-not-yet-freed overflow chain (phase 2 input).
+  std::atomic<Ring *> Retired{nullptr};
+  /// Producers mid-walk on the overflow chain; seq_cst Dekker partner of
+  /// the detach unlink. Own line: bumped only on the overflow slow path,
+  /// and sharing it with Primary would dirty the fast path's line.
+  alignas(64) std::atomic<std::size_t> SlowPosts{0};
+  /// Consecutive drains that found the whole overflow chain empty.
+  unsigned EmptyChainDrains = 0;
+  static constexpr unsigned QuiescentDrains = 8;
 };
 
 } // namespace sting

@@ -15,22 +15,44 @@
 
 namespace sting::net {
 
+void BufferedConn::reserveTail(std::size_t Chunk) {
+  if (In.size() - InEnd >= Chunk)
+    return;
+  std::size_t Live = InEnd - InPos;
+  // Compact only once the consumed head dominates the store: the memmove
+  // costs O(live) and reclaims InPos bytes, so each buffered byte moves at
+  // most O(1) amortized times. Compacting eagerly (the old scheme) made a
+  // large frame arriving in small chunks pay O(frame) per refill.
+  if (InPos > In.size() / 2) {
+    std::memmove(In.data(), In.data() + InPos, Live);
+    InCopied += Live;
+    InPos = 0;
+    InEnd = Live;
+    if (In.size() - InEnd >= Chunk)
+      return;
+  }
+  // Grow geometrically, carrying only the live bytes into the new store —
+  // a plain resize() would both zero-fill and drag the dead head along.
+  std::size_t NewCap = In.empty() ? 4096 : In.size() * 2;
+  while (NewCap - Live < Chunk)
+    NewCap *= 2;
+  std::vector<std::uint8_t> Fresh(NewCap);
+  if (Live != 0) // In.data() is null while the store is still unallocated
+    std::memcpy(Fresh.data(), In.data() + InPos, Live);
+  InCopied += Live;
+  In.swap(Fresh);
+  InPos = 0;
+  InEnd = Live;
+}
+
 bool BufferedConn::ensureBuffered(std::size_t N, Deadline D) {
-  while (In.size() - InPos < N) {
-    // Compact a dominant consumed prefix before growing further.
-    if (InPos > 4096 && InPos > In.size() / 2) {
-      In.erase(In.begin(), In.begin() + static_cast<std::ptrdiff_t>(InPos));
-      InPos = 0;
-    }
-    std::size_t Old = In.size();
-    std::size_t Need = N - (Old - InPos);
-    In.resize(Old + (Need < 4096 ? 4096 : Need));
-    ssize_t Rc = Sock.readUntil(In.data() + Old, In.size() - Old, D);
-    if (Rc <= 0) {
-      In.resize(Old); // a timed-out/EOF'd call consumes and keeps nothing
-      return false;
-    }
-    In.resize(Old + static_cast<std::size_t>(Rc));
+  while (InEnd - InPos < N) {
+    std::size_t Need = N - (InEnd - InPos);
+    reserveTail(Need < 4096 ? 4096 : Need);
+    ssize_t Rc = Sock.readUntil(In.data() + InEnd, In.size() - InEnd, D);
+    if (Rc <= 0)
+      return false; // a timed-out/EOF'd call consumes and keeps nothing
+    InEnd += static_cast<std::size_t>(Rc);
   }
   return true;
 }
@@ -40,10 +62,8 @@ bool BufferedConn::readExact(void *Buf, std::size_t N, Deadline D) {
     return false;
   std::memcpy(Buf, In.data() + InPos, N);
   InPos += N;
-  if (InPos == In.size()) {
-    In.clear();
-    InPos = 0;
-  }
+  if (InPos == InEnd)
+    InPos = InEnd = 0; // cheap rewind; the store is kept for reuse
   return true;
 }
 
@@ -64,17 +84,15 @@ bool BufferedConn::readFrame(std::vector<std::uint8_t> &Frame, Deadline D,
   }
   if (!ensureBuffered(4 + static_cast<std::size_t>(Len), D))
     return false;
-  Frame.assign(In.begin() + static_cast<std::ptrdiff_t>(InPos) + 4,
-               In.begin() + static_cast<std::ptrdiff_t>(InPos) + 4 + Len);
+  const std::uint8_t *Body = In.data() + InPos + 4;
+  Frame.assign(Body, Body + Len);
   InPos += 4 + Len;
-  if (InPos == In.size()) {
-    In.clear();
-    InPos = 0;
-  }
+  if (InPos == InEnd)
+    InPos = InEnd = 0;
   return true;
 }
 
-bool BufferedConn::write(const void *Buf, std::size_t N) {
+bool BufferedConn::write(const void *Buf, std::size_t N, Deadline D) {
   const std::uint8_t *P = static_cast<const std::uint8_t *>(Buf);
   Out.insert(Out.end(), P, P + N);
   if (pendingWrite() <= HighWater)
@@ -88,10 +106,10 @@ bool BufferedConn::write(const void *Buf, std::size_t N) {
                     static_cast<std::uint32_t>(
                         pendingWrite() > 0xffffffff ? 0xffffffff
                                                     : pendingWrite()));
-  return drainTo(HighWater);
+  return drainTo(HighWater, D);
 }
 
-bool BufferedConn::writeFrame(const void *Buf, std::size_t N) {
+bool BufferedConn::writeFrame(const void *Buf, std::size_t N, Deadline D) {
   if (N > 0xffffffffu) {
     // The u32 prefix cannot carry it; emitting a truncated length followed
     // by all N bytes would corrupt the stream framing for good.
@@ -104,14 +122,14 @@ bool BufferedConn::writeFrame(const void *Buf, std::size_t N) {
       static_cast<std::uint8_t>((N >> 16) & 0xff),
       static_cast<std::uint8_t>((N >> 24) & 0xff),
   };
-  return write(LenBytes, sizeof(LenBytes)) && (N == 0 || write(Buf, N));
+  return write(LenBytes, sizeof(LenBytes), D) && (N == 0 || write(Buf, N, D));
 }
 
-bool BufferedConn::flush() { return drainTo(0); }
+bool BufferedConn::flush(Deadline D) { return drainTo(0, D); }
 
-bool BufferedConn::drainTo(std::size_t Target) {
+bool BufferedConn::drainTo(std::size_t Target, Deadline D) {
   while (pendingWrite() > Target) {
-    ssize_t Rc = Sock.write(Out.data() + OutPos, Out.size() - OutPos);
+    ssize_t Rc = Sock.writeUntil(Out.data() + OutPos, Out.size() - OutPos, D);
     if (Rc <= 0)
       return false;
     OutPos += static_cast<std::size_t>(Rc);

@@ -13,6 +13,13 @@
 /// bytes instead of ballooning memory. Each stall charges the VP's
 /// NetBackpressureStalls counter and emits a NetBackpressure trace event.
 ///
+/// The read side is a head-offset buffer: valid bytes live in
+/// [InPos, InEnd) of a fixed-capacity store, refills append at InEnd, and
+/// the consumed head is only compacted (one memmove of the live bytes)
+/// once it exceeds half the capacity. A large frame dribbling in over many
+/// refills therefore copies each byte O(1) amortized times instead of the
+/// O(n)-per-refill the old resize/erase scheme paid.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STING_NET_BUFFEREDCONN_H
@@ -55,22 +62,31 @@ public:
 
   /// Appends \p N bytes to the output buffer, flushing to the socket as
   /// the kernel accepts them. Parks (backpressure) while the buffered
-  /// residue exceeds the high-water mark. \returns false on write error.
-  bool write(const void *Buf, std::size_t N);
+  /// residue exceeds the high-water mark. \returns false on write error
+  /// (ETIMEDOUT once \p D expires mid-drain).
+  bool write(const void *Buf, std::size_t N, Deadline D = Deadline::never());
 
   /// Appends a u32 length prefix followed by the \p N payload bytes.
   /// \returns false without buffering anything when \p N exceeds the u32
   /// prefix (errno=EMSGSIZE) — mirroring the read side's MaxFrame guard.
-  bool writeFrame(const void *Buf, std::size_t N);
+  bool writeFrame(const void *Buf, std::size_t N,
+                  Deadline D = Deadline::never());
 
   /// Flushes the entire output buffer. \returns false on error.
-  bool flush();
+  bool flush(Deadline D = Deadline::never());
 
   /// Bytes currently buffered for write (diagnostics/tests).
   std::size_t pendingWrite() const { return Out.size() - OutPos; }
 
   /// Bytes buffered but not yet consumed by readExact/readFrame.
-  std::size_t pendingRead() const { return In.size() - InPos; }
+  std::size_t pendingRead() const { return InEnd - InPos; }
+
+  /// Test hook: total bytes the read side has re-copied (compaction
+  /// memmoves plus live bytes carried across a growth reallocation). The
+  /// head-offset scheme bounds this at O(bytes ever buffered); the unit
+  /// test pins that bound so compaction regressions show up as a counter
+  /// jump, not a silent p99 cliff.
+  std::uint64_t readCopiedBytes() const { return InCopied; }
 
   void close() { Sock.close(); }
 
@@ -79,14 +95,20 @@ private:
   /// Never consumes; this is what makes timed reads retryable.
   bool ensureBuffered(std::size_t N, Deadline D);
 
+  /// Makes room for at least \p Chunk bytes after InEnd, compacting the
+  /// consumed head or growing the store as needed.
+  void reserveTail(std::size_t Chunk);
+
   /// Flushes until pendingWrite() <= \p Target. \returns false on error.
-  bool drainTo(std::size_t Target);
+  bool drainTo(std::size_t Target, Deadline D);
 
   Socket Sock;
   std::size_t HighWater;
 
-  std::vector<std::uint8_t> In; ///< read-side accumulation
-  std::size_t InPos = 0;        ///< consumed prefix of In
+  std::vector<std::uint8_t> In; ///< read store; size() == capacity in use
+  std::size_t InPos = 0;        ///< first unconsumed byte
+  std::size_t InEnd = 0;        ///< one past the last valid byte
+  std::uint64_t InCopied = 0;   ///< test hook: bytes moved by compaction/growth
 
   std::vector<std::uint8_t> Out; ///< write-side pending bytes
   std::size_t OutPos = 0;        ///< flushed prefix of Out

@@ -1,0 +1,261 @@
+//===- net/Client.cpp - Resilient request/reply client -----------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Client.h"
+
+#include "core/Current.h"
+#include "core/VirtualProcessor.h"
+#include "obs/TraceBuffer.h"
+#include "support/Chaos.h"
+#include "support/Clock.h"
+
+#include <cerrno>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace sting::net {
+
+namespace {
+
+void chargeVp(obs::Counter obs::SchedStats::*Field) {
+  if (VirtualProcessor *Vp = currentVp())
+    (Vp->stats().*Field).inc();
+}
+
+std::uint64_t selfThreadId() {
+  Thread *T = currentThread();
+  return T ? T->id() : 0;
+}
+
+Deadline minDeadline(Deadline A, Deadline B) {
+  return A.AtNanos < B.AtNanos ? A : B;
+}
+
+} // namespace
+
+const char *breakerStateName(BreakerState S) {
+  switch (S) {
+  case BreakerState::Closed:
+    return "closed";
+  case BreakerState::Open:
+    return "open";
+  case BreakerState::HalfOpen:
+    return "half-open";
+  }
+  return "?";
+}
+
+const char *requestStatusName(RequestStatus S) {
+  switch (S) {
+  case RequestStatus::Ok:
+    return "ok";
+  case RequestStatus::Overload:
+    return "overload";
+  case RequestStatus::Timeout:
+    return "timeout";
+  case RequestStatus::BreakerOpen:
+    return "breaker-open";
+  case RequestStatus::Canceled:
+    return "canceled";
+  case RequestStatus::Error:
+    return "error";
+  }
+  return "?";
+}
+
+void CircuitBreaker::transitionLocked(BreakerState To) {
+  STING_TRACE_EVENT(BreakerTransition, selfThreadId(),
+                    static_cast<std::uint32_t>(St) << 8 |
+                        static_cast<std::uint32_t>(To));
+  St = To;
+  if (To == BreakerState::Open) {
+    Opens.fetch_add(1, std::memory_order_relaxed);
+    chargeVp(&obs::SchedStats::NetBreakerOpens);
+  }
+}
+
+bool CircuitBreaker::tryAdmit() {
+  std::lock_guard<SpinLock> Guard(Lock);
+  switch (St) {
+  case BreakerState::Closed:
+    return true;
+  case BreakerState::Open:
+    if (nowNanos() - OpenedAtNanos < Config.OpenCooldownNanos)
+      return false;
+    // Cooldown over: this caller becomes the half-open probe.
+    transitionLocked(BreakerState::HalfOpen);
+    ProbeInFlight = true;
+    return true;
+  case BreakerState::HalfOpen:
+    if (ProbeInFlight)
+      return false;
+    ProbeInFlight = true;
+    return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::recordSuccess() {
+  std::lock_guard<SpinLock> Guard(Lock);
+  Failures = 0;
+  ProbeInFlight = false;
+  if (St != BreakerState::Closed)
+    transitionLocked(BreakerState::Closed);
+}
+
+void CircuitBreaker::recordFailure() {
+  std::lock_guard<SpinLock> Guard(Lock);
+  ++Failures;
+  if (St == BreakerState::HalfOpen) {
+    // The probe failed; the endpoint is still down.
+    ProbeInFlight = false;
+    OpenedAtNanos = nowNanos();
+    transitionLocked(BreakerState::Open);
+    return;
+  }
+  if (St == BreakerState::Closed && Failures >= Config.FailureThreshold) {
+    OpenedAtNanos = nowNanos();
+    transitionLocked(BreakerState::Open);
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<SpinLock> Guard(Lock);
+  return St;
+}
+
+Client::Client(IoService &Io, ClientConfig Config,
+               CircuitBreaker *SharedBreaker)
+    : Io(&Io), Config(std::move(Config)), OwnBreaker(this->Config.Breaker),
+      Breaker(SharedBreaker ? SharedBreaker : &OwnBreaker),
+      RngState(this->Config.RetrySeed
+                   ? this->Config.RetrySeed
+                   : reinterpret_cast<std::uintptr_t>(this) ^ nowNanos()) {}
+
+RequestStatus Client::request(const void *Payload, std::size_t N,
+                              std::vector<std::uint8_t> &Reply) {
+  RequestStatus Last = RequestStatus::Error;
+  unsigned Attempts = Config.MaxAttempts ? Config.MaxAttempts : 1;
+  for (unsigned Attempt = 0; Attempt != Attempts; ++Attempt) {
+    if (Attempt != 0) {
+      // Bounded exponential backoff with jitter between attempts; the
+      // jitter decorrelates a swarm retrying against one endpoint.
+      ++Retries;
+      chargeVp(&obs::SchedStats::NetRetries);
+      STING_TRACE_EVENT(NetRetry, selfThreadId(), Attempt);
+      sleepFor(Config.Retry.delayNanos(Attempt - 1, RngState));
+    }
+    if (!Breaker->tryAdmit()) {
+      // Keep consuming attempts while open: the backoff above waits out
+      // the cooldown, so a long MaxAttempts rides through an endpoint
+      // restart instead of failing the whole request fast.
+      Last = RequestStatus::BreakerOpen;
+      continue;
+    }
+    Last = attemptOnce(Payload, N, Reply);
+    if (Last == RequestStatus::Ok) {
+      Breaker->recordSuccess();
+      return Last;
+    }
+    if (Last == RequestStatus::Canceled)
+      return Last; // shutdown, not endpoint health: leave the breaker be
+    Breaker->recordFailure();
+  }
+  return Last;
+}
+
+RequestStatus Client::attemptOnce(const void *Payload, std::size_t N,
+                                  std::vector<std::uint8_t> &Reply) {
+  Deadline D = Deadline::in(Config.RequestTimeoutNanos);
+
+  // Chaos: drop the cached connection as if the peer had reset it —
+  // injected *before* the send so the retry can never duplicate a
+  // request the server already executed.
+  if (Conn.valid() && STING_CHAOS_FIRE(NetPeerReset)) {
+    STING_TRACE_EVENT(ChaosInject, selfThreadId(),
+                      static_cast<std::uint32_t>(chaos::Site::NetPeerReset));
+    dropConnection();
+  }
+
+  if (!ensureConnected(D)) {
+    if (errno == ECANCELED)
+      return RequestStatus::Canceled;
+    return errno == ETIMEDOUT ? RequestStatus::Timeout : RequestStatus::Error;
+  }
+
+  if (!Conn.writeFrame(Payload, N, D) || !Conn.flush(D)) {
+    int E = errno;
+    dropConnection(); // EPIPE/reset/timeout: the stream is unusable
+    if (E == ECANCELED)
+      return RequestStatus::Canceled;
+    return E == ETIMEDOUT ? RequestStatus::Timeout : RequestStatus::Error;
+  }
+
+  // Chaos: a peer that takes its time — stretches the reply-wait window
+  // without breaking anything, shaking out deadline arithmetic.
+  if (STING_CHAOS_FIRE(NetSlowPeer)) {
+    STING_TRACE_EVENT(ChaosInject, selfThreadId(),
+                      static_cast<std::uint32_t>(chaos::Site::NetSlowPeer));
+    spinForNanos(200'000);
+  }
+
+  if (!Conn.readFrame(Reply, D)) {
+    int E = errno;
+    // EOF, reset, short frame, or deadline: in every case the stream has
+    // fallen out of request/reply lockstep (a late reply to *this*
+    // request could arrive after we resend), so reconnect on retry.
+    dropConnection();
+    if (E == ECANCELED)
+      return RequestStatus::Canceled;
+    return E == ETIMEDOUT ? RequestStatus::Timeout : RequestStatus::Error;
+  }
+
+  if (!Reply.empty() &&
+      Reply[0] == static_cast<std::uint8_t>(wire::Op::Overload)) {
+    // The server shed this connection before serving it and closes right
+    // after; retry against a fresh connection after backoff.
+    dropConnection();
+    return RequestStatus::Overload;
+  }
+  return RequestStatus::Ok;
+}
+
+bool Client::ensureConnected(Deadline D) {
+  if (Conn.valid())
+    return true;
+  if (STING_CHAOS_FIRE(NetConnectFail)) {
+    STING_TRACE_EVENT(ChaosInject, selfThreadId(),
+                      static_cast<std::uint32_t>(chaos::Site::NetConnectFail));
+    errno = ECONNREFUSED;
+    return false;
+  }
+  Socket S =
+      Socket::connectUntil(*Io, Config.Host.c_str(), Config.Port,
+                           minDeadline(D, Deadline::in(Config.ConnectTimeoutNanos)));
+  if (!S.valid())
+    return false;
+  Conn = BufferedConn(std::move(S), Config.WriteHighWater);
+  return true;
+}
+
+void Client::dropConnection() { Conn = BufferedConn(Socket()); }
+
+void Client::sleepFor(std::uint64_t Nanos) {
+  if (Nanos == 0)
+    return;
+  if (onStingThread()) {
+    // A timed park on a never-signaled list is the substrate's sleep: the
+    // VP keeps dispatching other threads, and kill-group cancellation
+    // unwinds straight out of the wait.
+    (void)RetrySleep.awaitUntil([] { return false; }, this,
+                                Deadline::in(Nanos));
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::nanoseconds(Nanos));
+}
+
+} // namespace sting::net

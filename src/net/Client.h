@@ -1,0 +1,188 @@
+//===- net/Client.h - Resilient request/reply client ------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the resilient wire layer (DESIGN.md section 11): a
+/// reusable request/reply endpoint that wraps connect + writeFrame +
+/// readFrame with per-attempt Deadlines, bounded exponential backoff with
+/// jitter (support/Backoff.h's BackoffPolicy), transparent reconnect on
+/// ECONNRESET/EPIPE/EOF/short-frame, and a per-endpoint circuit breaker
+/// (closed → open → half-open with probe requests). Every bench and test
+/// that used to hand-roll a connect loop rides this instead, so the
+/// retry/timeout discipline lives in the substrate once — not per
+/// application.
+///
+/// Chaos builds perturb exactly the paths that are built to absorb
+/// faults: Site::NetConnectFail fails a connect attempt as if refused,
+/// Site::NetPeerReset drops the cached connection before a send (never
+/// after — a retried request must not duplicate server-side effects), and
+/// Site::NetSlowPeer stalls briefly before the reply read.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_NET_CLIENT_H
+#define STING_NET_CLIENT_H
+
+#include "net/BufferedConn.h"
+#include "net/Socket.h"
+#include "net/Wire.h"
+#include "support/Backoff.h"
+#include "support/SpinLock.h"
+#include "sync/ParkList.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sting::net {
+
+/// Circuit-breaker state machine (DESIGN.md section 11). Closed admits
+/// everything; Open fails fast until a cooldown elapses; HalfOpen admits
+/// exactly one probe whose outcome decides between Closed and Open.
+enum class BreakerState : std::uint8_t { Closed = 0, Open = 1, HalfOpen = 2 };
+
+/// \returns a stable short name for \p S (reports, tests).
+const char *breakerStateName(BreakerState S);
+
+struct BreakerConfig {
+  /// Consecutive failures that trip Closed -> Open.
+  std::uint32_t FailureThreshold = 5;
+  /// How long Open fails fast before admitting a half-open probe.
+  std::uint64_t OpenCooldownNanos = 100'000'000;
+};
+
+/// Thread-safe per-endpoint circuit breaker, shareable between the
+/// clients of a ConnectionPool so one endpoint outage is learned once.
+class CircuitBreaker {
+public:
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(BreakerConfig Config) : Config(Config) {}
+
+  /// Admission gate, called before each attempt. Closed: always true.
+  /// Open: false until the cooldown elapses, then transitions to HalfOpen
+  /// and admits the caller as the probe. HalfOpen: false while the probe
+  /// is in flight.
+  bool tryAdmit();
+
+  /// The admitted attempt got a reply: reset the failure count and close
+  /// from any state.
+  void recordSuccess();
+
+  /// The admitted attempt failed: HalfOpen reopens immediately (the probe
+  /// answered the question), Closed opens at the failure threshold.
+  void recordFailure();
+
+  BreakerState state() const;
+
+  /// Transitions into Open over this breaker's lifetime.
+  std::uint64_t opens() const {
+    return Opens.load(std::memory_order_relaxed);
+  }
+
+private:
+  void transitionLocked(BreakerState To);
+
+  BreakerConfig Config;
+  mutable SpinLock Lock;
+  BreakerState St = BreakerState::Closed;
+  std::uint32_t Failures = 0; ///< consecutive, reset on success
+  std::uint64_t OpenedAtNanos = 0;
+  bool ProbeInFlight = false;
+  std::atomic<std::uint64_t> Opens{0};
+};
+
+struct ClientConfig {
+  std::string Host = "127.0.0.1";
+  std::uint16_t Port = 0;
+  std::uint64_t ConnectTimeoutNanos = 1'000'000'000;
+  /// Per-attempt budget covering send and reply.
+  std::uint64_t RequestTimeoutNanos = 5'000'000'000;
+  /// Total attempts per request() (first try + retries); min 1.
+  unsigned MaxAttempts = 5;
+  /// Delay policy between attempts.
+  BackoffPolicy Retry{1'000'000, 50'000'000};
+  /// Breaker thresholds (ignored when a shared breaker is supplied).
+  BreakerConfig Breaker;
+  std::size_t WriteHighWater = 1 << 20;
+  /// Jitter seed; 0 derives one from the client's identity so concurrent
+  /// clients decorrelate.
+  std::uint64_t RetrySeed = 0;
+};
+
+/// How a request() ended. Only Ok delivered a reply frame (which may
+/// still carry Op::Err — application errors are not transport failures
+/// and are never retried).
+enum class RequestStatus : std::uint8_t {
+  Ok,          ///< a reply frame arrived; parse it
+  Overload,    ///< server shed us every attempt (explicit Op::Overload)
+  Timeout,     ///< an attempt deadline expired on the final attempt
+  BreakerOpen, ///< breaker failed the final attempt fast
+  Canceled,    ///< IoService shutdown unwound the operation
+  Error,       ///< connect/socket error on the final attempt
+};
+
+/// \returns a stable short name for \p S.
+const char *requestStatusName(RequestStatus S);
+
+/// A resilient request/reply client for the net::Server wire protocol.
+/// Single-owner like BufferedConn: one thread drives it at a time (the
+/// ConnectionPool enforces that with leases). Connects lazily on first
+/// use and transparently reconnects after resets, EOFs, short frames,
+/// timeouts, and Overload sheds.
+class Client {
+public:
+  /// \p SharedBreaker (optional) replaces the client's own breaker so a
+  /// pool's clients share one view of the endpoint's health.
+  Client(IoService &Io, ClientConfig Config,
+         CircuitBreaker *SharedBreaker = nullptr);
+
+  ~Client() { close(); }
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Sends \p Payload as one frame and reads one reply frame into
+  /// \p Reply. Retries with backoff on transport failures and Overload
+  /// sheds, reconnecting as needed, for up to MaxAttempts attempts.
+  RequestStatus request(const void *Payload, std::size_t N,
+                        std::vector<std::uint8_t> &Reply);
+
+  /// Convenience: sends \p W's payload.
+  RequestStatus request(const wire::Writer &W,
+                        std::vector<std::uint8_t> &Reply) {
+    return request(W.payload().data(), W.payload().size(), Reply);
+  }
+
+  bool connected() const { return Conn.valid(); }
+  CircuitBreaker &breaker() { return *Breaker; }
+
+  /// Attempts beyond the first across this client's lifetime.
+  std::uint64_t retries() const { return Retries; }
+
+  /// Drops the cached connection (next request reconnects).
+  void close() { dropConnection(); }
+
+private:
+  RequestStatus attemptOnce(const void *Payload, std::size_t N,
+                            std::vector<std::uint8_t> &Reply);
+  bool ensureConnected(Deadline D);
+  void dropConnection();
+  void sleepFor(std::uint64_t Nanos);
+
+  IoService *Io;
+  ClientConfig Config;
+  BufferedConn Conn{Socket()};
+  CircuitBreaker OwnBreaker;
+  CircuitBreaker *Breaker; ///< &OwnBreaker or the shared one
+  ParkList RetrySleep;     ///< never signaled; timed park = backoff sleep
+  std::uint64_t RngState;
+  std::uint64_t Retries = 0;
+};
+
+} // namespace sting::net
+
+#endif // STING_NET_CLIENT_H

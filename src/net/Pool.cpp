@@ -1,0 +1,71 @@
+//===- net/Pool.cpp - Bounded client connection pool --------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Pool.h"
+
+#include "core/Current.h"
+#include "core/VirtualProcessor.h"
+
+#include <cerrno>
+#include <mutex>
+
+namespace sting::net {
+
+std::unique_ptr<Client> ConnectionPool::tryTake() {
+  std::lock_guard<SpinLock> Guard(Lock);
+  if (!Idle.empty()) {
+    std::unique_ptr<Client> C = std::move(Idle.back());
+    Idle.pop_back();
+    ++Outstanding;
+    return C;
+  }
+  if (Outstanding + Idle.size() < Config.MaxConnections) {
+    ++Outstanding;
+    return std::make_unique<Client>(*Io, Config.Client, &Breaker);
+  }
+  return nullptr;
+}
+
+ConnectionPool::Lease ConnectionPool::checkout(Deadline D) {
+  std::unique_ptr<Client> C = tryTake();
+  if (!C) {
+    // At the cap: park until a checkin frees a client. The condition's
+    // side effect (taking the client) runs under the ParkList protocol,
+    // so a checkin racing the deadline is never lost.
+    Waits.fetch_add(1, std::memory_order_relaxed);
+    if (VirtualProcessor *Vp = currentVp())
+      Vp->stats().PoolCheckoutWaits.inc();
+    WaitResult W = Waiters.awaitUntil(
+        [&] { return (C = tryTake()) != nullptr; }, this, D);
+    if (W == WaitResult::Timeout) {
+      errno = ETIMEDOUT;
+      return Lease();
+    }
+  }
+  return Lease(this, std::move(C));
+}
+
+RequestStatus ConnectionPool::request(const wire::Writer &W,
+                                      std::vector<std::uint8_t> &Reply,
+                                      Deadline D) {
+  Lease L = checkout(D);
+  if (!L)
+    return RequestStatus::Timeout;
+  return L->request(W, Reply);
+}
+
+void ConnectionPool::checkin(std::unique_ptr<Client> C) {
+  {
+    std::lock_guard<SpinLock> Guard(Lock);
+    --Outstanding;
+    // Returned even when its connection broke: the client reconnects
+    // lazily, and dropping it here would shrink the pool under churn.
+    Idle.push_back(std::move(C));
+  }
+  Waiters.wakeOne();
+}
+
+} // namespace sting::net

@@ -1,0 +1,146 @@
+//===- net/Pool.h - Bounded client connection pool --------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded pool of net::Clients for one endpoint, with the substrate's
+/// own blocking discipline: checkout at the size cap parks the calling
+/// *thread* on a ParkList (charging PoolCheckoutWaits) until a lease is
+/// returned — the VP keeps dispatching. All clients share one
+/// CircuitBreaker, so the pool learns an endpoint outage once instead of
+/// MaxConnections times.
+///
+/// Invariants (pinned by tests, documented in DESIGN.md section 11):
+///  - at most MaxConnections clients exist (leased + idle);
+///  - a Lease is single-owner and returns its client on destruction, on
+///    every path including cancellation unwind;
+///  - clients are returned to the pool even when their connection broke —
+///    reconnect is the client's own lazy job, not the pool's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_NET_POOL_H
+#define STING_NET_POOL_H
+
+#include "net/Client.h"
+#include "support/SpinLock.h"
+#include "sync/ParkList.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace sting::net {
+
+struct PoolConfig {
+  std::size_t MaxConnections = 8; ///< hard cap on clients (leased + idle)
+  ClientConfig Client;            ///< endpoint + retry policy per client
+};
+
+/// A bounded, parking client pool. Thread-safe; leases are not.
+class ConnectionPool {
+public:
+  ConnectionPool(IoService &Io, PoolConfig Config)
+      : Io(&Io), Config(std::move(Config)),
+        Breaker(this->Config.Client.Breaker) {
+    if (this->Config.MaxConnections == 0)
+      this->Config.MaxConnections = 1;
+  }
+
+  ~ConnectionPool() {
+    // Every lease must be home before the pool dies (same contract as a
+    // Server outliving its connections).
+    assert(Outstanding == 0 && "pool destroyed with leases outstanding");
+  }
+
+  ConnectionPool(const ConnectionPool &) = delete;
+  ConnectionPool &operator=(const ConnectionPool &) = delete;
+
+  /// An exclusively-owned checkout; returns the client on destruction.
+  class Lease {
+  public:
+    Lease() = default;
+    Lease(Lease &&O) noexcept
+        : P(std::exchange(O.P, nullptr)), C(std::move(O.C)) {}
+    Lease &operator=(Lease &&O) noexcept {
+      if (this != &O) {
+        reset();
+        P = std::exchange(O.P, nullptr);
+        C = std::move(O.C);
+      }
+      return *this;
+    }
+    ~Lease() { reset(); }
+
+    explicit operator bool() const { return C != nullptr; }
+    Client &operator*() { return *C; }
+    Client *operator->() { return C.get(); }
+
+    /// Early checkin.
+    void reset() {
+      if (P && C)
+        P->checkin(std::move(C));
+      P = nullptr;
+      C = nullptr;
+    }
+
+  private:
+    friend class ConnectionPool;
+    Lease(ConnectionPool *Pool, std::unique_ptr<Client> Cl)
+        : P(Pool), C(std::move(Cl)) {}
+
+    ConnectionPool *P = nullptr;
+    std::unique_ptr<Client> C;
+  };
+
+  /// Checks a client out, parking at the cap until one is returned or
+  /// \p D expires (empty lease, errno=ETIMEDOUT). Parking requires a
+  /// sting thread; off-substrate callers must size the pool so the fast
+  /// path always succeeds.
+  Lease checkout(Deadline D = Deadline::never());
+
+  /// Convenience: checkout + request + checkin.
+  RequestStatus request(const wire::Writer &W,
+                        std::vector<std::uint8_t> &Reply,
+                        Deadline D = Deadline::never());
+
+  /// The shared per-endpoint breaker.
+  CircuitBreaker &breaker() { return Breaker; }
+
+  /// Clients in existence (leased + idle).
+  std::size_t clientCount() const {
+    std::lock_guard<SpinLock> Guard(Lock);
+    return Outstanding + Idle.size();
+  }
+
+  /// Checkouts that had to park at the cap.
+  std::uint64_t checkoutWaits() const {
+    return Waits.load(std::memory_order_relaxed);
+  }
+
+private:
+  friend class Lease;
+
+  void checkin(std::unique_ptr<Client> C);
+  /// Idle pop or under-cap create; null at the cap. Bumps Outstanding on
+  /// success.
+  std::unique_ptr<Client> tryTake();
+
+  IoService *Io;
+  PoolConfig Config;
+  CircuitBreaker Breaker;
+  mutable SpinLock Lock;
+  std::vector<std::unique_ptr<Client>> Idle;
+  std::size_t Outstanding = 0;
+  ParkList Waiters;
+  std::atomic<std::uint64_t> Waits{0};
+};
+
+} // namespace sting::net
+
+#endif // STING_NET_POOL_H

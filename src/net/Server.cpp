@@ -8,20 +8,37 @@
 
 #include "core/Current.h"
 #include "core/ThreadController.h"
+#include "core/VirtualProcessor.h"
+#include "net/Wire.h"
 #include "obs/Flow.h"
 #include "obs/TraceBuffer.h"
+#include "support/Chaos.h"
 
 #include <cerrno>
+#include <deque>
 #include <thread>
 #include <utility>
 
 namespace sting::net {
 
+namespace {
+
+Deadline minDeadline(Deadline A, Deadline B) {
+  return A.AtNanos < B.AtNanos ? A : B;
+}
+
+} // namespace
+
 std::unique_ptr<Server> Server::start(VirtualMachine &Vm, IoService &Io,
                                       Handler OnConnection,
                                       ServerConfig Config) {
-  Listener Lst = Listener::listenOn(Io, Config.Port, Config.Backlog);
-  if (!Lst.valid())
+  if (Config.NumListeners == 0)
+    Config.NumListeners = 1;
+  // Every member of an SO_REUSEPORT group must set the flag before bind,
+  // including the first socket.
+  bool Reuse = Config.NumListeners > 1;
+  Listener First = Listener::listenOn(Io, Config.Port, Config.Backlog, Reuse);
+  if (!First.valid())
     return nullptr;
 
   // The unique_ptr constructor is private to Server; build by hand.
@@ -30,45 +47,122 @@ std::unique_ptr<Server> Server::start(VirtualMachine &Vm, IoService &Io,
   S->Io = &Io;
   S->OnConnection = std::move(OnConnection);
   S->Config = Config;
-  S->Port = Lst.port();
-  S->Lst = std::move(Lst);
+  S->Port = First.port();
+  S->Listeners.push_back(std::move(First));
+  for (unsigned I = 1; I != Config.NumListeners; ++I) {
+    Listener L = Listener::listenOn(Io, S->Port, Config.Backlog, true);
+    if (!L.valid())
+      return nullptr; // earlier listeners close via RAII
+    S->Listeners.push_back(std::move(L));
+  }
   S->Group = ThreadGroup::create(&Vm.rootGroup());
 
   SpawnOptions Opts;
   Opts.Group = S->Group.get();
   Server *Raw = S.get();
-  S->ListenerThread = Vm.fork(
-      [Raw]() -> AnyValue {
-        Raw->listenerLoop();
-        return AnyValue();
-      },
-      Opts);
+  for (Listener &L : S->Listeners) {
+    Listener *Lp = &L; // stable: Listeners never grows after this loop
+    S->ListenerThreads.push_back(Vm.fork(
+        [Raw, Lp]() -> AnyValue {
+          Raw->listenerLoop(*Lp);
+          return AnyValue();
+        },
+        Opts));
+  }
   return S;
 }
 
-void Server::listenerLoop() {
+bool Server::tryAcquireSlot() {
+  if (Config.MaxConnections == 0) {
+    Live.fetch_add(1, std::memory_order_acq_rel);
+    return true;
+  }
+  std::size_t L = Live.load(std::memory_order_relaxed);
+  while (L < Config.MaxConnections)
+    if (Live.compare_exchange_weak(L, L + 1, std::memory_order_acq_rel,
+                                   std::memory_order_relaxed))
+      return true;
+  return false;
+}
+
+void Server::listenerLoop(Listener &L) {
+  // Connections accepted while all slots were taken (shedding mode, plus
+  // the multi-listener race in queueing mode). Local to this listener
+  // thread; kill-group unwind destroys the deque and RAII closes every
+  // queued descriptor.
+  std::deque<PendingConn> Pending;
+
   while (!Stopped.load(std::memory_order_acquire)) {
-    // Admission control: at the cap, stop accepting and park until a slot
+    // Promote queued connections into freed slots, oldest first — they
+    // have been waiting longest and are closest to their budget.
+    while (!Pending.empty() && tryAcquireSlot()) {
+      Socket C = std::move(Pending.front().Conn);
+      Pending.pop_front();
+      admit(std::move(C));
+    }
+
+    // Shed whoever overstayed the admission budget. Chaos builds also
+    // shed the oldest pending connection at random (Site::NetSynFlood),
+    // simulating a flood that exhausts budgets faster than real time —
+    // only in shedding mode, where clients expect Overload replies.
+    bool ChaosShed = Config.AdmissionBudgetNanos != 0 && !Pending.empty() &&
+                     STING_CHAOS_FIRE(NetSynFlood);
+    if (ChaosShed)
+      STING_TRACE_EVENT(ChaosInject, 0,
+                        static_cast<std::uint32_t>(chaos::Site::NetSynFlood));
+    while (!Pending.empty() &&
+           (ChaosShed || Pending.front().Expiry.expired())) {
+      ChaosShed = false;
+      Socket C = std::move(Pending.front().Conn);
+      Pending.pop_front();
+      shed(std::move(C), Pending.size());
+    }
+
+    bool AtCap = atCap();
+
+    // Queueing mode at the cap: stop accepting and park until a slot
     // frees (Slot::release wakes us) with the configured backoff as a
     // timed backstop. Parking on the listen fd would busy-loop here: with
     // the backlog non-empty the fd is already readable, so a readiness
     // wait returns immediately. The kernel backlog queues the burst.
-    if (Config.MaxConnections != 0 &&
-        Live.load(std::memory_order_acquire) >= Config.MaxConnections) {
+    if (AtCap && Config.AdmissionBudgetNanos == 0 && Pending.empty()) {
       AdmissionWaiters.awaitUntil(
           [this] {
-            return Stopped.load(std::memory_order_acquire) ||
-                   Live.load(std::memory_order_acquire) <
-                       Config.MaxConnections;
+            return Stopped.load(std::memory_order_acquire) || !atCap();
           },
           this, Deadline::in(Config.AcceptBackoffNanos));
       continue;
     }
 
-    Socket Conn = Lst.accept();
+    // Shedding mode with a full pending queue: accepting more would only
+    // grow the shed list, so wait for a slot or the oldest expiry.
+    if (AtCap && !Pending.empty() &&
+        Pending.size() >= Config.MaxPendingAdmissions) {
+      AdmissionWaiters.awaitUntil(
+          [this] {
+            return Stopped.load(std::memory_order_acquire) || !atCap();
+          },
+          this,
+          minDeadline(Pending.front().Expiry,
+                      Deadline::in(Config.AcceptBackoffNanos)));
+      continue;
+    }
+
+    // Accept with a deadline when there is queued work to revisit: the
+    // oldest expiry bounds the shed latency, the backoff period bounds
+    // how long a freed slot waits for promotion (Slot::release wakes
+    // AdmissionWaiters, but this thread is parked on the fd here).
+    Deadline AcceptBy = Deadline::never();
+    if (!Pending.empty())
+      AcceptBy = minDeadline(Pending.front().Expiry,
+                             Deadline::in(Config.AcceptBackoffNanos));
+
+    Socket Conn = L.acceptUntil(AcceptBy);
     if (!Conn.valid()) {
       if (errno == ECANCELED || Stopped.load(std::memory_order_acquire))
         return;
+      if (errno == ETIMEDOUT)
+        continue; // lap back to promote/shed
       // Transient accept failure (e.g. an EMFILE/ENFILE burst): accept
       // fails synchronously, so retrying immediately would hot-spin. Back
       // off on a timed park; a connection close (which frees a
@@ -80,26 +174,59 @@ void Server::listenerLoop() {
       continue;
     }
 
-    Accepted.fetch_add(1, std::memory_order_relaxed);
-    std::size_t NowLive = Live.fetch_add(1, std::memory_order_acq_rel) + 1;
-    STING_TRACE_EVENT(NetAccept, 0, static_cast<std::uint32_t>(NowLive));
-    Slot Admission(this);
-
-    SpawnOptions Opts;
-    Opts.Group = Group.get();
-    // The connection thread owns the socket and its admission slot; moving
-    // both into the thunk is what makes kill-group leak-free — destroying
-    // the thunk (on any exit path, even termination before the thread's
-    // first instruction) closes the descriptor and releases the slot.
-    Vm->fork(
-        [this, C = std::move(Conn),
-         A = std::move(Admission)]() mutable -> AnyValue {
-          (void)A;
-          serveConnection(std::move(C));
-          return AnyValue();
-        },
-        Opts);
+    if (tryAcquireSlot()) {
+      admit(std::move(Conn));
+      continue;
+    }
+    // All slots taken. In shedding mode the connection waits out its
+    // budget in the pending queue; in queueing mode this point is only
+    // reachable through a multi-listener race (the at-cap check above ran
+    // before a sibling filled the last slot), and un-accepting is not
+    // possible — hold the connection without a deadline until a slot
+    // frees, which preserves the never-shed contract.
+    Pending.push_back({std::move(Conn),
+                       Config.AdmissionBudgetNanos != 0
+                           ? Deadline::in(Config.AdmissionBudgetNanos)
+                           : Deadline::never()});
   }
+}
+
+void Server::admit(Socket Conn) {
+  Accepted.fetch_add(1, std::memory_order_relaxed);
+  STING_TRACE_EVENT(
+      NetAccept, 0,
+      static_cast<std::uint32_t>(Live.load(std::memory_order_acquire)));
+  Slot Admission(this);
+
+  SpawnOptions Opts;
+  Opts.Group = Group.get();
+  // The connection thread owns the socket and its admission slot; moving
+  // both into the thunk is what makes kill-group leak-free — destroying
+  // the thunk (on any exit path, even termination before the thread's
+  // first instruction) closes the descriptor and releases the slot.
+  Vm->fork(
+      [this, C = std::move(Conn),
+       A = std::move(Admission)]() mutable -> AnyValue {
+        (void)A;
+        serveConnection(std::move(C));
+        return AnyValue();
+      },
+      Opts);
+}
+
+void Server::shed(Socket Conn, std::size_t DepthAfter) {
+  // Explicit refusal beats a silent stall: one tiny Overload frame so the
+  // peer can tell "server overloaded, retry later" from a crash, sent
+  // best-effort under a short deadline so a peer that never reads cannot
+  // stall the listener. The descriptor closes via RAII either way.
+  static const std::uint8_t Frame[5] = {
+      1, 0, 0, 0, static_cast<std::uint8_t>(wire::Op::Overload)};
+  (void)Conn.writeAllUntil(Frame, sizeof(Frame),
+                           Deadline::in(Config.AcceptBackoffNanos));
+  Shedded.fetch_add(1, std::memory_order_relaxed);
+  if (VirtualProcessor *Vp = currentVp())
+    Vp->stats().NetShedded.inc();
+  STING_TRACE_EVENT(NetShed, 0, static_cast<std::uint32_t>(DepthAfter));
 }
 
 void Server::Slot::release() {
@@ -167,7 +294,8 @@ void Server::shutdown() {
     else
       std::this_thread::yield();
   }
-  Lst.close();
+  for (Listener &L : Listeners)
+    L.close();
 }
 
 } // namespace sting::net

@@ -6,19 +6,31 @@
 ///
 /// \file
 /// A TCP server in the substrate's own idiom: one listener *thread* (not
-/// OS thread) accepting connections, forking one connection thread per
-/// accept, all of them members of a dedicated ThreadGroup — so the
-/// paper's kill-group is literally the server's graceful shutdown: every
+/// OS thread) per accept path, forking one connection thread per accept,
+/// all of them members of a dedicated ThreadGroup — so the paper's
+/// kill-group is literally the server's graceful shutdown: every
 /// connection thread unwinds out of whatever park it is in (socket
 /// readiness, tuple-space block, backpressure stall), runs its RAII
 /// cleanup, and the descriptors close.
 ///
-/// Admission control: a connection cap. At the cap the listener stops
-/// accepting and parks on a condition signaled when a slot frees (with a
-/// timed backstop) — *not* on the listen fd, which is already readable
-/// while the backlog holds the burst and would return immediately. The
-/// kernel backlog absorbs the excess, so clients see queueing, not
-/// resets, and the listener wakes the instant a connection closes.
+/// Admission control comes in two flavors (DESIGN.md section 11):
+///
+/// - Queueing (AdmissionBudgetNanos == 0, the default): at the connection
+///   cap the listener stops accepting and parks on a condition signaled
+///   when a slot frees (with a timed backstop) — *not* on the listen fd,
+///   which is already readable while the backlog holds the burst and
+///   would return immediately. The kernel backlog absorbs the excess, so
+///   clients see queueing, not resets.
+///
+/// - Shedding (AdmissionBudgetNanos > 0): the listener keeps accepting at
+///   the cap into a bounded pending queue; a connection still waiting for
+///   a slot when its budget expires gets one explicit wire::Op::Overload
+///   frame and a close instead of an unbounded stall. Explicit refusal is
+///   what lets net::Client retry with backoff rather than hang.
+///
+/// NumListeners > 1 forks that many listener threads over an SO_REUSEPORT
+/// group, so accept throughput scales past one thread for listener-bound
+/// workloads.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +48,7 @@
 #include <functional>
 #include <memory>
 #include <utility>
+#include <vector>
 
 namespace sting::net {
 
@@ -45,9 +58,19 @@ struct ServerConfig {
   std::size_t MaxConnections = 0;  ///< 0 = unlimited
   std::size_t WriteHighWater = 1 << 20; ///< per-connection backpressure mark
   std::uint64_t AcceptBackoffNanos = 2'000'000; ///< cap-full re-poll period
+  /// Overload protection: how long an accepted connection may wait for an
+  /// admission slot before being shed with an explicit Overload reply.
+  /// 0 keeps the queueing behavior (never shed; the kernel backlog and a
+  /// parked listener absorb bursts).
+  std::uint64_t AdmissionBudgetNanos = 0;
+  /// Shedding mode only: accepted-but-unadmitted connections held per
+  /// listener before it stops accepting and waits for slots/expiries.
+  std::size_t MaxPendingAdmissions = 256;
+  /// Listener threads sharing the port via SO_REUSEPORT (1 = plain bind).
+  unsigned NumListeners = 1;
 };
 
-/// A running server. start() forks the listener; shutdown() terminates
+/// A running server. start() forks the listener(s); shutdown() terminates
 /// the server's thread group and joins every member.
 class Server {
 public:
@@ -73,9 +96,16 @@ public:
     return Live.load(std::memory_order_acquire);
   }
 
-  /// Connections accepted over the server's lifetime.
+  /// Connections admitted (forked a connection thread) over the server's
+  /// lifetime. Shed connections are not counted here.
   std::uint64_t totalAccepted() const {
     return Accepted.load(std::memory_order_relaxed);
+  }
+
+  /// Connections refused with an Overload reply over the server's
+  /// lifetime (shedding mode only).
+  std::uint64_t totalShedded() const {
+    return Shedded.load(std::memory_order_relaxed);
   }
 
   /// The group holding the listener and every connection thread.
@@ -110,21 +140,43 @@ private:
     void release();
   };
 
-  void listenerLoop();
+  /// A connection accepted while all slots were taken: it waits in the
+  /// listener's pending queue until a slot frees or its budget expires.
+  struct PendingConn {
+    Socket Conn;
+    Deadline Expiry; ///< never() in queueing mode (multi-listener race)
+  };
+
+  bool atCap() const {
+    return Config.MaxConnections != 0 &&
+           Live.load(std::memory_order_acquire) >= Config.MaxConnections;
+  }
+
+  /// Claims one admission slot if the cap allows (CAS loop, so concurrent
+  /// listeners cannot overshoot). \returns false at the cap.
+  bool tryAcquireSlot();
+
+  void listenerLoop(Listener &L);
+  /// Forks the connection thread for an admitted connection (slot already
+  /// acquired via tryAcquireSlot).
+  void admit(Socket Conn);
+  /// Refuses \p Conn: best-effort Overload frame, then close.
+  void shed(Socket Conn, std::size_t DepthAfter);
   void serveConnection(Socket Conn);
 
   VirtualMachine *Vm = nullptr;
   IoService *Io = nullptr;
   Handler OnConnection;
   ServerConfig Config;
-  Listener Lst;
+  std::vector<Listener> Listeners;
   std::uint16_t Port = 0;
   ThreadGroupRef Group;
-  ThreadRef ListenerThread;
+  std::vector<ThreadRef> ListenerThreads;
   std::atomic<std::size_t> Live{0};
   std::atomic<std::uint64_t> Accepted{0};
+  std::atomic<std::uint64_t> Shedded{0};
   std::atomic<bool> Stopped{false};
-  /// Parks the listener while at the connection cap (and between retries
+  /// Parks listeners while at the connection cap (and between retries
   /// after a transient accept failure); Slot::release wakes it, so a
   /// freed slot — or a freed descriptor — is picked up immediately.
   ParkList AdmissionWaiters;

@@ -161,13 +161,16 @@ Socket Socket::connectUntil(IoService &Io, const char *Host,
   return Socket(Io, Fd);
 }
 
-Listener Listener::listenOn(IoService &Io, std::uint16_t Port, int Backlog) {
+Listener Listener::listenOn(IoService &Io, std::uint16_t Port, int Backlog,
+                            bool ReusePort) {
   int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (Fd < 0)
     return Listener();
 
   int One = 1;
   setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (ReusePort)
+    setsockopt(Fd, SOL_SOCKET, SO_REUSEPORT, &One, sizeof(One));
 
   sockaddr_in Addr{};
   Addr.sin_family = AF_INET;

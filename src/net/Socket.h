@@ -136,10 +136,13 @@ public:
   Listener &operator=(const Listener &) = delete;
 
   /// Binds and listens on 127.0.0.1:\p Port (0 picks an ephemeral port,
-  /// readable afterwards via port()). \returns an invalid Listener on
-  /// failure (errno preserved).
+  /// readable afterwards via port()). With \p ReusePort the socket joins
+  /// (or starts) an SO_REUSEPORT group, letting several listeners share
+  /// one port with kernel-side load balancing — every member of the group
+  /// must set the flag, including the first. \returns an invalid Listener
+  /// on failure (errno preserved).
   static Listener listenOn(IoService &Io, std::uint16_t Port,
-                           int Backlog = 128);
+                           int Backlog = 128, bool ReusePort = false);
 
   bool valid() const { return Fd >= 0; }
   int fd() const { return Fd; }

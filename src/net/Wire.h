@@ -61,6 +61,10 @@ enum class Op : std::uint8_t {
   Err = 19,         ///< one Text field: human-readable reason
   MetricsText = 20, ///< one Blob field: Prometheus text exposition
   StatsReply = 21,  ///< (Text name, Fixnum value) pairs, aggregate totals
+  Overload = 22,    ///< no fields: the server shed this connection before
+                    ///< serving it (admission budget exceeded). Sent by the
+                    ///< listener, not a handler; the connection closes right
+                    ///< after. net::Client treats it as retryable.
 };
 
 enum class Tag : std::uint8_t {

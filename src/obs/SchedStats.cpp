@@ -45,6 +45,10 @@ SchedStatsSnapshot SchedStats::snapshot() const {
   S.NetReads = NetReads;
   S.NetWrites = NetWrites;
   S.NetBackpressureStalls = NetBackpressureStalls;
+  S.NetRetries = NetRetries;
+  S.NetBreakerOpens = NetBreakerOpens;
+  S.NetShedded = NetShedded;
+  S.PoolCheckoutWaits = PoolCheckoutWaits;
   S.RunSliceNanos = RunSliceNanos;
   S.GcPauseNanos = GcPauseNanos;
   return S;
@@ -83,6 +87,10 @@ SchedStatsSnapshot::operator+=(const SchedStatsSnapshot &Other) {
   NetReads += Other.NetReads;
   NetWrites += Other.NetWrites;
   NetBackpressureStalls += Other.NetBackpressureStalls;
+  NetRetries += Other.NetRetries;
+  NetBreakerOpens += Other.NetBreakerOpens;
+  NetShedded += Other.NetShedded;
+  PoolCheckoutWaits += Other.PoolCheckoutWaits;
   TraceEvents += Other.TraceEvents;
   TraceDrops += Other.TraceDrops;
   RunSliceNanos.merge(Other.RunSliceNanos);
@@ -145,6 +153,14 @@ constexpr CounterRow Rows[] = {
      &SchedStatsSnapshot::NetWrites},
     {"net bp stalls", "sting_net_backpressure_stalls_total",
      &SchedStatsSnapshot::NetBackpressureStalls},
+    {"net retries", "sting_net_retries_total",
+     &SchedStatsSnapshot::NetRetries},
+    {"net breaker opens", "sting_net_breaker_opens_total",
+     &SchedStatsSnapshot::NetBreakerOpens},
+    {"net shedded", "sting_net_shedded_total",
+     &SchedStatsSnapshot::NetShedded},
+    {"pool checkout waits", "sting_pool_checkout_waits_total",
+     &SchedStatsSnapshot::PoolCheckoutWaits},
     {"trace events", "sting_trace_events_total",
      &SchedStatsSnapshot::TraceEvents},
     {"trace drops", "sting_trace_drops_total",

@@ -123,6 +123,10 @@ struct alignas(64) SchedStats {
   Counter NetReads;              ///< successful socket read syscalls
   Counter NetWrites;             ///< successful socket write syscalls
   Counter NetBackpressureStalls; ///< writers parked on the high-water mark
+  Counter NetRetries;            ///< client request attempts after the first
+  Counter NetBreakerOpens;       ///< circuit-breaker closed/half-open -> open
+  Counter NetShedded;            ///< connections shed past the admission budget
+  Counter PoolCheckoutWaits;     ///< pool checkouts that parked at the cap
 
   /// Run-slice lengths (dispatch to switch-back), recorded only while
   /// tracing is enabled so the default path never pays the extra clock
@@ -174,6 +178,10 @@ struct SchedStatsSnapshot {
   std::uint64_t NetReads = 0;
   std::uint64_t NetWrites = 0;
   std::uint64_t NetBackpressureStalls = 0;
+  std::uint64_t NetRetries = 0;
+  std::uint64_t NetBreakerOpens = 0;
+  std::uint64_t NetShedded = 0;
+  std::uint64_t PoolCheckoutWaits = 0;
   /// Snapshot-only (no SchedStats counterpart): filled by the machine at
   /// snapshot time from the VP's trace ring, so truncated traces are
   /// detectable instead of silently misleading.

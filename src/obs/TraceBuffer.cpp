@@ -140,6 +140,12 @@ const char *traceEventKindName(TraceEventKind K) {
     return "net_close";
   case TraceEventKind::NetBackpressure:
     return "net_backpressure";
+  case TraceEventKind::NetRetry:
+    return "net_retry";
+  case TraceEventKind::NetShed:
+    return "net_shed";
+  case TraceEventKind::BreakerTransition:
+    return "breaker_transition";
   case TraceEventKind::NumKinds:
     break;
   }

@@ -92,6 +92,14 @@ enum class TraceEventKind : std::uint8_t {
   NetBackpressure, ///< a writer stalled on the write high-water mark
                    ///< (payload: buffered bytes, saturated)
 
+  // Wire-layer resilience (appended after NetBackpressure so earlier
+  // ordinals — and the golden traces pinned to them — stay stable).
+  NetRetry,          ///< a client retried a request (payload: attempt number)
+  NetShed,           ///< the server shed a queued connection past its
+                     ///< admission budget (payload: pending-queue depth)
+  BreakerTransition, ///< a circuit breaker changed state (payload:
+                     ///< from-state << 8 | to-state, BreakerState ordinals)
+
   NumKinds
 };
 

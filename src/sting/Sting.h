@@ -46,6 +46,8 @@
 ///     net::Socket, net::Listener          net/Socket.h
 ///     net::BufferedConn                   net/BufferedConn.h
 ///     net::Server, net::ServerConfig      net/Server.h
+///     net::Client, net::CircuitBreaker    net/Client.h
+///     net::ConnectionPool                 net/Pool.h
 ///     net::wire, echo/tuple services      net/Wire.h, net/Services.h
 ///
 ///   Storage model (section 2 item 3)
@@ -77,6 +79,8 @@
 #include "gc/Object.h"
 #include "io/IoService.h"
 #include "net/BufferedConn.h"
+#include "net/Client.h"
+#include "net/Pool.h"
 #include "net/Server.h"
 #include "net/Services.h"
 #include "net/Socket.h"

@@ -10,6 +10,11 @@
 /// instruction through sched_yield so a single-core host (like the paper's
 /// uniprocessor degenerate case) still makes progress.
 ///
+/// Also home of BackoffPolicy, the shared retry-delay policy (bounded
+/// exponential growth with decorrelating jitter) used by the resilient
+/// wire layer (net::Client) and anything else that retries a failed
+/// operation on a timescale of milliseconds rather than cycles.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STING_SUPPORT_BACKOFF_H
@@ -55,6 +60,35 @@ public:
 private:
   static constexpr std::uint32_t SpinCap = 1u << 10;
   std::uint32_t Limit = 1;
+};
+
+/// Retry-delay policy: bounded exponential backoff with jitter. Attempt 0
+/// draws from [Base/2, Base], attempt K from [Base*2^K / 2, Base*2^K],
+/// saturating at CapNanos. Jitter is drawn from a caller-owned SplitMix64
+/// state so concurrent retriers decorrelate (no thundering herd on the
+/// endpoint that just came back) while any single retrier's schedule stays
+/// replayable from its seed.
+struct BackoffPolicy {
+  std::uint64_t BaseNanos = 1'000'000;  ///< first-retry delay (1ms)
+  std::uint64_t CapNanos = 100'000'000; ///< delay ceiling (100ms)
+
+  /// \returns the jittered delay for retry number \p Attempt (0-based),
+  /// advancing \p RngState (SplitMix64).
+  std::uint64_t delayNanos(unsigned Attempt, std::uint64_t &RngState) const {
+    std::uint64_t Ceiling = BaseNanos ? BaseNanos : 1;
+    // Saturating doubling: stop shifting once past the cap.
+    for (unsigned I = 0; I != Attempt && Ceiling < CapNanos; ++I)
+      Ceiling *= 2;
+    if (Ceiling > CapNanos)
+      Ceiling = CapNanos;
+    RngState += 0x9e3779b97f4a7c15ull;
+    std::uint64_t Z = RngState;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    Z ^= Z >> 31;
+    std::uint64_t Half = Ceiling / 2;
+    return Half + (Half ? Z % (Ceiling - Half + 1) : Ceiling);
+  }
 };
 
 } // namespace sting

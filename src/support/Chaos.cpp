@@ -85,6 +85,14 @@ const char *siteName(Site S) {
     return "net-short-io";
   case Site::NetAcceptDeny:
     return "net-accept-deny";
+  case Site::NetConnectFail:
+    return "net-connect-fail";
+  case Site::NetPeerReset:
+    return "net-peer-reset";
+  case Site::NetSlowPeer:
+    return "net-slow-peer";
+  case Site::NetSynFlood:
+    return "net-syn-flood";
   case Site::NumSites:
     break;
   }

@@ -38,6 +38,15 @@ enum class Site : std::uint8_t {
   UnparkDelay,   ///< unpark stalls before touching the park state word
   NetShortIo,    ///< socket read/write artificially truncated to one byte
   NetAcceptDeny, ///< accept pretends the queue was empty and re-parks
+  // Wire-layer resilience sites. These fire only on paths whose callers
+  // absorb the fault by design: the first three inside net::Client (which
+  // retries with backoff), the last inside the server's admission queue
+  // (which sheds with an explicit Overload reply). Raw Socket/BufferedConn
+  // users never see them.
+  NetConnectFail, ///< client connect attempt fails as if refused
+  NetPeerReset,   ///< client drops its connection as if the peer reset it
+  NetSlowPeer,    ///< client stalls briefly before reading the reply
+  NetSynFlood,    ///< admission queue sheds its oldest pending connection
   NumSites
 };
 

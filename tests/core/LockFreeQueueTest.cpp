@@ -307,10 +307,12 @@ TEST(MailboxTest, ChainedOverflowStressConservesItems) {
   auto Items = makeItems(Producers * PerProducer);
 
   std::vector<std::thread> Threads;
+  std::atomic<bool> Overflowed{false};
   for (int P = 0; P != Producers; ++P)
     Threads.emplace_back([&, P] {
       for (int I = 0; I != PerProducer; ++I)
-        M.post(*Items[static_cast<std::size_t>(P * PerProducer + I)]);
+        if (!M.post(*Items[static_cast<std::size_t>(P * PerProducer + I)]))
+          Overflowed.store(true, std::memory_order_relaxed);
     });
 
   std::vector<int> Got;
@@ -323,7 +325,9 @@ TEST(MailboxTest, ChainedOverflowStressConservesItems) {
   for (auto &T : Threads)
     T.join();
   EXPECT_TRUE(M.empty());
-  EXPECT_GE(M.ringCount(), 2u) << "burst never overflowed the primary ring";
+  // The chain path must have run (post() returning false), but the chain
+  // itself may already have been shrunk away by the quiescent detach.
+  EXPECT_TRUE(Overflowed.load()) << "burst never overflowed the primary ring";
 
   std::sort(Got.begin(), Got.end());
   for (std::size_t I = 0; I != Got.size(); ++I)
@@ -370,6 +374,90 @@ TEST(MailboxTest, MpscStressConservesItems) {
   std::sort(Got.begin(), Got.end());
   for (std::size_t I = 0; I != Got.size(); ++I)
     ASSERT_EQ(Got[I], static_cast<int>(I)) << "duplicated or lost";
+}
+
+//===----------------------------------------------------------------------===//
+// RemoteMailbox quiescent shrink
+//===----------------------------------------------------------------------===//
+
+TEST(MailboxTest, QuiescentChainShrinksAndConservesAcrossRegrowth) {
+  RemoteMailbox M(8);
+  auto Items = makeItems(64);
+  for (auto &I : Items)
+    M.post(*I);
+  EXPECT_GE(M.ringCount(), 2u);
+
+  std::vector<int> Got;
+  M.drain([&](Schedulable &S) { Got.push_back(static_cast<Item &>(S).Value); });
+  ASSERT_EQ(Got.size(), 64u);
+
+  // Hysteresis: the chain survives the first empty drains, so a steady
+  // overflow load does not thrash allocate/free.
+  for (int I = 0; I != 3; ++I) {
+    M.drain([](Schedulable &) {});
+    EXPECT_GE(M.ringCount(), 2u) << "shrank before the quiescent threshold";
+  }
+
+  // Enough further empty drains detach the chain and then free it once
+  // the slow-path population is provably quiescent.
+  for (int I = 0; I != 16 && M.ringCount() != 1; ++I)
+    M.drain([](Schedulable &) {});
+  EXPECT_EQ(M.ringCount(), 1u);
+  EXPECT_EQ(M.retiredRingCount(), 0u);
+  EXPECT_TRUE(M.empty());
+
+  // A second burst regrows the chain and loses nothing.
+  for (auto &I : Items)
+    M.post(*I);
+  EXPECT_GE(M.ringCount(), 2u);
+  EXPECT_EQ(M.size(), 64u);
+  Got.clear();
+  M.drain([&](Schedulable &S) { Got.push_back(static_cast<Item &>(S).Value); });
+  ASSERT_EQ(Got.size(), 64u);
+  for (int I = 0; I != 64; ++I)
+    EXPECT_EQ(Got[static_cast<std::size_t>(I)], I);
+}
+
+// Producers with deliberate traffic gaps force shrink cycles to interleave
+// with live posting: detaches race straggler slow-path walks, freed chains
+// regrow, and at the end everything must still be conserved — every item
+// delivered exactly once, the mailbox back to a single ring.
+TEST(MailboxTest, ShrinkUnderConcurrentProducersConservesItems) {
+  constexpr int Producers = 3;
+  constexpr int PerProducer = 4000;
+  RemoteMailbox M(8);
+  auto Items = makeItems(Producers * PerProducer);
+
+  std::vector<std::thread> Threads;
+  for (int P = 0; P != Producers; ++P)
+    Threads.emplace_back([&, P] {
+      for (int I = 0; I != PerProducer; ++I) {
+        M.post(*Items[static_cast<std::size_t>(P * PerProducer + I)]);
+        if (I % 512 == 511) // gaps: give the owner quiescent streaks
+          std::this_thread::sleep_for(std::chrono::microseconds(300));
+      }
+    });
+
+  std::vector<int> Got;
+  Got.reserve(Items.size());
+  while (Got.size() != Items.size()) {
+    M.drain(
+        [&](Schedulable &S) { Got.push_back(static_cast<Item &>(S).Value); });
+    std::this_thread::yield();
+  }
+  for (auto &T : Threads)
+    T.join();
+
+  // Fully quiesced now: the drain loop must converge back to one ring.
+  for (int I = 0; I != 32 && M.ringCount() != 1; ++I)
+    M.drain([](Schedulable &) {});
+  EXPECT_EQ(M.ringCount(), 1u);
+  EXPECT_EQ(M.retiredRingCount(), 0u);
+  EXPECT_TRUE(M.empty());
+
+  std::sort(Got.begin(), Got.end());
+  for (std::size_t I = 0; I != Got.size(); ++I)
+    ASSERT_EQ(Got[I], static_cast<int>(I)) << "duplicated or lost across shrink";
 }
 
 //===----------------------------------------------------------------------===//

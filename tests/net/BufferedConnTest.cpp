@@ -10,6 +10,7 @@
 #include "core/VirtualMachine.h"
 #include "gtest/gtest.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <numeric>
@@ -143,6 +144,91 @@ TEST(BufferedConnTest, OversizedFrameIsRejected) {
     EXPECT_FALSE(Rx.readFrame(Frame));
     EXPECT_EQ(errno, EMSGSIZE);
     return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(BufferedConnTest, DribbledLargeFrameCopiesLinearNotQuadratic) {
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    LoopPair P(Io);
+    EXPECT_TRUE(P.valid());
+    BufferedConn Rx(std::move(P.B));
+
+    // A 64 KiB frame dribbled in 512-byte chunks. The old eager-compact
+    // read buffer re-copied the entire unconsumed residue on every refill
+    // (O(frame) per chunk, ~4 MB moved in total here); the head-offset
+    // buffer only moves bytes on growth and on half-dead compaction, so
+    // the copy meter must stay well under one frame's worth.
+    const std::uint32_t Len = 64 * 1024;
+    std::vector<std::uint8_t> Stream;
+    Stream.push_back(Len & 0xff);
+    Stream.push_back((Len >> 8) & 0xff);
+    Stream.push_back((Len >> 16) & 0xff);
+    Stream.push_back((Len >> 24) & 0xff);
+    for (std::uint32_t I = 0; I != Len; ++I)
+      Stream.push_back(static_cast<std::uint8_t>(I * 7));
+
+    ThreadRef Writer = TC::forkThread([&]() -> AnyValue {
+      for (std::size_t Off = 0; Off < Stream.size(); Off += 512) {
+        std::size_t N = std::min<std::size_t>(512, Stream.size() - Off);
+        if (!P.A.writeAll(Stream.data() + Off, N))
+          return AnyValue(false);
+      }
+      return AnyValue(true);
+    });
+
+    std::vector<std::uint8_t> Frame;
+    EXPECT_TRUE(Rx.readFrame(Frame));
+    EXPECT_EQ(Frame.size(), Len);
+    if (Frame.size() == Len) {
+      EXPECT_EQ(Frame[Len - 1], static_cast<std::uint8_t>((Len - 1) * 7));
+    }
+    EXPECT_LE(Rx.readCopiedBytes(), std::uint64_t(Len) / 2)
+        << "refills are re-copying the buffered residue";
+    return AnyValue(TC::threadValue(*Writer).as<bool>());
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(BufferedConnTest, SustainedSmallFramesCompactAmortizedOnce) {
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    LoopPair P(Io);
+    EXPECT_TRUE(P.valid());
+    BufferedConn Rx(std::move(P.B));
+
+    // A long run of small frames walks InPos forward through the buffer;
+    // lazy compaction (only when the dead head outgrows half the store)
+    // keeps each buffered byte's move count O(1) amortized, so the copy
+    // meter is bounded by a small multiple of the bytes streamed.
+    const int Frames = 2048;
+    const std::uint32_t Body = 100;
+    std::vector<std::uint8_t> Blast;
+    for (int I = 0; I != Frames; ++I) {
+      Blast.push_back(Body & 0xff);
+      Blast.push_back(0);
+      Blast.push_back(0);
+      Blast.push_back(0);
+      for (std::uint32_t B = 0; B != Body; ++B)
+        Blast.push_back(static_cast<std::uint8_t>(I + B));
+    }
+    ThreadRef Writer = TC::forkThread(
+        [&]() -> AnyValue { return AnyValue(P.A.writeAll(Blast.data(),
+                                                         Blast.size())); });
+
+    std::vector<std::uint8_t> Frame;
+    for (int I = 0; I != Frames; ++I) {
+      if (!Rx.readFrame(Frame) || Frame.size() != Body ||
+          Frame[0] != static_cast<std::uint8_t>(I))
+        return AnyValue(false);
+    }
+    EXPECT_EQ(Rx.pendingRead(), 0u);
+    EXPECT_LE(Rx.readCopiedBytes(), 2 * std::uint64_t(Blast.size()))
+        << "compaction is not amortized-linear";
+    return AnyValue(TC::threadValue(*Writer).as<bool>());
   });
   EXPECT_TRUE(V.as<bool>());
 }

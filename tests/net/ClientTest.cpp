@@ -1,0 +1,174 @@
+//===- tests/net/ClientTest.cpp - Resilient client retry/breaker --------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// The client half of the resilient wire layer: request/reply round trips,
+// transparent reconnect across a server restart, and the circuit breaker's
+// closed -> open -> half-open -> closed lifecycle against a dead-then-live
+// endpoint.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Client.h"
+
+#include "core/ThreadController.h"
+#include "core/VirtualMachine.h"
+#include "net/Server.h"
+#include "net/Services.h"
+#include "support/Chaos.h"
+#include "gtest/gtest.h"
+
+#include <vector>
+
+namespace {
+
+using namespace sting;
+using namespace sting::net;
+using TC = ThreadController;
+
+bool echoedToken(const std::vector<std::uint8_t> &Reply, std::int64_t Token) {
+  wire::Reader R(Reply.data(), Reply.size());
+  wire::ReadField F;
+  return R.op() == wire::Op::EchoReply && R.next(F) && F.Num == Token;
+}
+
+TEST(ClientTest, RequestRoundTripReusesTheConnection) {
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    auto Server = net::Server::start(Vm, Io, echoHandler());
+    if (!Server)
+      return AnyValue(false);
+
+    ClientConfig CC;
+    CC.Port = Server->port();
+    CC.MaxAttempts = 10;
+    Client Cl(Io, CC);
+    EXPECT_FALSE(Cl.connected()); // lazy: nothing until the first request
+
+    bool Ok = true;
+    for (std::int64_t Token = 0; Token != 4; ++Token) {
+      wire::Writer W(wire::Op::Echo);
+      W.fixnum(Token);
+      std::vector<std::uint8_t> Reply;
+      RequestStatus S = Cl.request(W, Reply);
+      Ok = Ok && S == RequestStatus::Ok && echoedToken(Reply, Token);
+    }
+    EXPECT_TRUE(Cl.connected());
+    // One connection served all four — unless fault injection reset it
+    // mid-run, in which case the transparent reconnect is the point.
+    if (!chaos::enabled()) {
+      EXPECT_EQ(Server->totalAccepted(), 1u);
+    } else {
+      EXPECT_GE(Server->totalAccepted(), 1u);
+    }
+    Server->shutdown();
+    return AnyValue(Ok);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(ClientTest, ReconnectsAcrossServerRestart) {
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    auto First = net::Server::start(Vm, Io, echoHandler());
+    if (!First)
+      return AnyValue(false);
+    const std::uint16_t Port = First->port();
+
+    ClientConfig CC;
+    CC.Port = Port;
+    CC.MaxAttempts = 20;
+    CC.Retry = BackoffPolicy{1'000'000, 10'000'000};
+    Client Cl(Io, CC);
+
+    wire::Writer W(wire::Op::Echo);
+    W.fixnum(1);
+    std::vector<std::uint8_t> Reply;
+    EXPECT_EQ(Cl.request(W, Reply), RequestStatus::Ok);
+
+    // Restart on the same port. The client's cached connection is now a
+    // dead stream; the next request must absorb the EOF/reset and
+    // reconnect rather than surface a transport error.
+    First->shutdown();
+    ServerConfig SC;
+    SC.Port = Port;
+    auto Second = net::Server::start(Vm, Io, echoHandler(), SC);
+    if (!Second)
+      return AnyValue(false);
+
+    wire::Writer W2(wire::Op::Echo);
+    W2.fixnum(2);
+    RequestStatus S = Cl.request(W2, Reply);
+    EXPECT_EQ(S, RequestStatus::Ok);
+    EXPECT_TRUE(echoedToken(Reply, 2));
+    EXPECT_GE(Cl.retries(), 1u) << "restart absorbed without any retry?";
+    Second->shutdown();
+    return AnyValue(S == RequestStatus::Ok);
+  });
+  EXPECT_TRUE(V.as<bool>());
+  obs::SchedStatsSnapshot S = Vm.aggregateStats();
+  EXPECT_GE(S.NetRetries, 1u);
+}
+
+TEST(ClientTest, BreakerOpensOnDeadEndpointAndRecoversViaProbe) {
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    // A port with no listener: bind one ephemerally, note the port, close.
+    std::uint16_t Port;
+    {
+      Listener Probe = Listener::listenOn(Io, 0);
+      if (!Probe.valid())
+        return AnyValue(false);
+      Port = Probe.port();
+    }
+
+    ClientConfig CC;
+    CC.Port = Port;
+    CC.MaxAttempts = 4;
+    CC.ConnectTimeoutNanos = 500'000'000;
+    CC.Retry = BackoffPolicy{500'000, 2'000'000};
+    CC.Breaker.FailureThreshold = 2;
+    CC.Breaker.OpenCooldownNanos = 250'000'000;
+    Client Cl(Io, CC);
+
+    wire::Writer W(wire::Op::Echo);
+    W.fixnum(7);
+    std::vector<std::uint8_t> Reply;
+    EXPECT_NE(Cl.request(W, Reply), RequestStatus::Ok);
+    EXPECT_EQ(Cl.breaker().state(), BreakerState::Open);
+    EXPECT_GE(Cl.breaker().opens(), 1u);
+
+    // While open (well inside the cooldown) requests fail fast without a
+    // connect: either every attempt is refused admission (BreakerOpen) or
+    // a just-elapsed cooldown admits a probe that fails (Error). Both
+    // leave the breaker open against a dead endpoint.
+    RequestStatus Fast = Cl.request(W, Reply);
+    EXPECT_NE(Fast, RequestStatus::Ok);
+    EXPECT_EQ(Cl.breaker().state(), BreakerState::Open);
+
+    // Bring the endpoint up on the same port: once the cooldown elapses a
+    // half-open probe succeeds and closes the breaker.
+    ServerConfig SC;
+    SC.Port = Port;
+    auto Server = net::Server::start(Vm, Io, echoHandler(), SC);
+    if (!Server)
+      return AnyValue(false);
+    Deadline Give = Deadline::in(15'000'000'000);
+    RequestStatus S = RequestStatus::Error;
+    while (S != RequestStatus::Ok && !Give.expired())
+      S = Cl.request(W, Reply);
+    EXPECT_EQ(S, RequestStatus::Ok);
+    EXPECT_TRUE(echoedToken(Reply, 7));
+    EXPECT_EQ(Cl.breaker().state(), BreakerState::Closed);
+    Server->shutdown();
+    return AnyValue(S == RequestStatus::Ok);
+  });
+  EXPECT_TRUE(V.as<bool>());
+  obs::SchedStatsSnapshot S = Vm.aggregateStats();
+  EXPECT_GE(S.NetBreakerOpens, 1u);
+}
+
+} // namespace

@@ -1,0 +1,194 @@
+//===- tests/net/OverloadTest.cpp - Shedding under SYN flood -------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// The overload half of the resilient wire layer: a connection swarm far
+// beyond the admission cap (and the kernel backlog) must end in explicit
+// Overload sheds absorbed by client retries — never hangs, never silent
+// resets, never leaked descriptors — and a server restart mid-swarm must
+// be absorbed the same way.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Client.h"
+#include "net/Server.h"
+
+#include "core/ThreadController.h"
+#include "core/VirtualMachine.h"
+#include "net/Services.h"
+#include "support/Clock.h"
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <vector>
+
+#include <dirent.h>
+
+namespace {
+
+using namespace sting;
+using namespace sting::net;
+using TC = ThreadController;
+
+/// Open descriptors in this process, via /proc/self/fd (the traversal's
+/// own fd cancels in the caller's delta).
+std::size_t openFdCount() {
+  DIR *D = opendir("/proc/self/fd");
+  if (!D)
+    return 0;
+  std::size_t N = 0;
+  while (readdir(D))
+    ++N;
+  closedir(D);
+  return N;
+}
+
+TEST(OverloadTest, SynFloodIsShedExplicitlyAndRetriesDrainTheSwarm) {
+  VmConfig Config;
+  Config.NumVps = 2;
+  Config.NumPps = 2;
+  VirtualMachine Vm(Config);
+  IoService Io;
+
+  const std::size_t FdsBefore = openFdCount();
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    // Two slots, an 8ms hold per request, a 4ms admission budget and a
+    // backlog of 4 against 16 clients arriving at once: the first lap
+    // over-admits nothing, the pending queue outlives its budget before a
+    // slot can free, and sheds are guaranteed.
+    ServerConfig SC;
+    SC.MaxConnections = 2;
+    SC.Backlog = 4;
+    SC.AdmissionBudgetNanos = 4'000'000;
+    SC.MaxPendingAdmissions = 64;
+    SC.AcceptBackoffNanos = 1'000'000;
+    auto Server = net::Server::start(
+        Vm, Io,
+        [](BufferedConn &C) {
+          // One slow request per connection, then close — slot churn is
+          // what lets the swarm eventually drain through two slots.
+          std::vector<std::uint8_t> Frame;
+          if (!C.readFrame(Frame) || Frame.empty())
+            return;
+          spinForNanos(8'000'000);
+          Frame[0] = static_cast<std::uint8_t>(wire::Op::EchoReply);
+          if (C.writeFrame(Frame.data(), Frame.size()))
+            C.flush();
+        },
+        SC);
+    if (!Server)
+      return AnyValue(false);
+
+    const int Swarm = 16;
+    std::vector<ThreadRef> Clients;
+    for (int C = 0; C != Swarm; ++C)
+      Clients.push_back(TC::forkThread([&, C]() -> AnyValue {
+        ClientConfig CC;
+        CC.Port = Server->port();
+        CC.MaxAttempts = 100;
+        CC.ConnectTimeoutNanos = 500'000'000;
+        CC.RequestTimeoutNanos = 2'000'000'000;
+        CC.Retry = BackoffPolicy{1'000'000, 20'000'000};
+        // Soak semantics: overload is expected, so the breaker must not
+        // fail the swarm fast — only transport health matters here.
+        CC.Breaker.FailureThreshold = 1u << 30;
+        Client Cl(Io, CC);
+        wire::Writer W(wire::Op::Echo);
+        W.fixnum(C);
+        std::vector<std::uint8_t> Reply;
+        RequestStatus S = Cl.request(W, Reply);
+        if (S != RequestStatus::Ok)
+          return AnyValue(false);
+        wire::Reader R(Reply.data(), Reply.size());
+        wire::ReadField F;
+        return AnyValue(R.op() == wire::Op::EchoReply && R.next(F) &&
+                        F.Num == C);
+      }));
+
+    bool AllOk = true;
+    for (ThreadRef &T : Clients)
+      AllOk = AllOk && TC::threadValue(*T).as<bool>();
+    EXPECT_TRUE(AllOk) << "a client finished without a served reply";
+    EXPECT_GE(Server->totalShedded(), 1u)
+        << "4x oversubscription never shed — budget not enforced";
+    EXPECT_GE(Server->totalAccepted(), static_cast<std::uint64_t>(Swarm));
+    Server->shutdown();
+    return AnyValue(AllOk);
+  });
+  EXPECT_TRUE(V.as<bool>());
+
+  obs::SchedStatsSnapshot S = Vm.aggregateStats();
+  EXPECT_GE(S.NetShedded, 1u);
+  EXPECT_GE(S.NetRetries, 1u) << "sheds absorbed without a single retry?";
+
+  const std::size_t FdsAfter = openFdCount();
+  EXPECT_EQ(FdsBefore, FdsAfter) << "descriptor leak across the flood";
+}
+
+TEST(OverloadTest, ServerRestartMidSwarmIsAbsorbedByRetries) {
+  VmConfig Config;
+  Config.NumVps = 2;
+  Config.NumPps = 2;
+  VirtualMachine Vm(Config);
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    ServerConfig SC;
+    SC.MaxConnections = 4;
+    SC.AdmissionBudgetNanos = 5'000'000;
+    SC.AcceptBackoffNanos = 1'000'000;
+    auto Server = net::Server::start(Vm, Io, echoHandler(), SC);
+    if (!Server)
+      return AnyValue(false);
+    const std::uint16_t Port = Server->port();
+
+    const int Swarm = 8, Rounds = 30;
+    std::atomic<int> Done{0};
+    std::vector<ThreadRef> Clients;
+    for (int C = 0; C != Swarm; ++C)
+      Clients.push_back(TC::forkThread([&, C]() -> AnyValue {
+        ClientConfig CC;
+        CC.Port = Port;
+        CC.MaxAttempts = 200;
+        CC.ConnectTimeoutNanos = 500'000'000;
+        CC.Retry = BackoffPolicy{1'000'000, 20'000'000};
+        // Small thresholds so the restart window actually exercises the
+        // breaker: it opens against the dead port and recovers by probe.
+        CC.Breaker.FailureThreshold = 3;
+        CC.Breaker.OpenCooldownNanos = 10'000'000;
+        Client Cl(Io, CC);
+        for (int I = 0; I != Rounds; ++I) {
+          wire::Writer W(wire::Op::Echo);
+          W.fixnum(C * 1000 + I);
+          std::vector<std::uint8_t> Reply;
+          if (Cl.request(W, Reply) != RequestStatus::Ok)
+            return AnyValue(false);
+          Done.fetch_add(1, std::memory_order_relaxed);
+        }
+        return AnyValue(true);
+      }));
+
+    // Let the swarm make real progress, then yank the server mid-flight
+    // and bring a fresh one up on the same port.
+    while (Done.load(std::memory_order_relaxed) < Swarm * Rounds / 4)
+      TC::yieldProcessor();
+    Server->shutdown();
+    SC.Port = Port;
+    auto Revived = net::Server::start(Vm, Io, echoHandler(), SC);
+    if (!Revived)
+      return AnyValue(false);
+
+    bool AllOk = true;
+    for (ThreadRef &T : Clients)
+      AllOk = AllOk && TC::threadValue(*T).as<bool>();
+    EXPECT_TRUE(AllOk) << "restart surfaced to a client as failure";
+    EXPECT_EQ(Done.load(), Swarm * Rounds);
+    EXPECT_GE(Revived->totalAccepted(), 1u);
+    Revived->shutdown();
+    return AnyValue(AllOk);
+  });
+  EXPECT_TRUE(V.as<bool>());
+  obs::SchedStatsSnapshot S = Vm.aggregateStats();
+  EXPECT_GE(S.NetRetries, 1u);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+//===- tests/net/PoolTest.cpp - Bounded client pool ----------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+// The connection pool's contracts: the size cap holds, checkout at the cap
+// parks the calling thread (charging PoolCheckoutWaits) until a lease comes
+// home, a timed checkout fails with ETIMEDOUT, and every client shares the
+// pool's one circuit breaker.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Pool.h"
+
+#include "core/ThreadController.h"
+#include "core/VirtualMachine.h"
+#include "net/Server.h"
+#include "net/Services.h"
+#include "gtest/gtest.h"
+
+#include <cerrno>
+#include <vector>
+
+namespace {
+
+using namespace sting;
+using namespace sting::net;
+using TC = ThreadController;
+
+TEST(PoolTest, CapHoldsAndCheckoutParksUntilCheckin) {
+  VmConfig Config;
+  Config.NumVps = 2;
+  Config.NumPps = 2;
+  VirtualMachine Vm(Config);
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    auto Server = net::Server::start(Vm, Io, echoHandler());
+    if (!Server)
+      return AnyValue(false);
+
+    PoolConfig PC;
+    PC.MaxConnections = 1;
+    PC.Client.Port = Server->port();
+    PC.Client.MaxAttempts = 20;
+    ConnectionPool Pool(Io, PC);
+
+    ConnectionPool::Lease Held = Pool.checkout();
+    EXPECT_TRUE(static_cast<bool>(Held));
+    wire::Writer W(wire::Op::Echo);
+    W.fixnum(1);
+    std::vector<std::uint8_t> Reply;
+    EXPECT_EQ(Held->request(W, Reply), RequestStatus::Ok);
+    EXPECT_EQ(&Held->breaker(), &Pool.breaker())
+        << "pooled client not sharing the pool's breaker";
+
+    // A second checkout must park — the cap is 1 — and complete once the
+    // held lease comes home.
+    ThreadRef Waiter = TC::forkThread([&]() -> AnyValue {
+      wire::Writer W2(wire::Op::Echo);
+      W2.fixnum(2);
+      std::vector<std::uint8_t> R2;
+      return AnyValue(Pool.request(W2, R2) == RequestStatus::Ok);
+    });
+    while (Pool.checkoutWaits() < 1)
+      TC::yieldProcessor();
+    EXPECT_EQ(Pool.clientCount(), 1u) << "cap breached while parked";
+
+    Held.reset(); // checkin wakes the parked checkout
+    EXPECT_TRUE(TC::threadValue(*Waiter).as<bool>());
+    EXPECT_EQ(Pool.clientCount(), 1u);
+    EXPECT_GE(Pool.checkoutWaits(), 1u);
+    Server->shutdown();
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+  obs::SchedStatsSnapshot S = Vm.aggregateStats();
+  EXPECT_GE(S.PoolCheckoutWaits, 1u);
+}
+
+TEST(PoolTest, TimedCheckoutAtCapFailsWithTimeout) {
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    PoolConfig PC;
+    PC.MaxConnections = 1;
+    PC.Client.Port = 1; // never dialed: checkout alone touches no socket
+    ConnectionPool Pool(Io, PC);
+
+    ConnectionPool::Lease Held = Pool.checkout();
+    EXPECT_TRUE(static_cast<bool>(Held));
+    ConnectionPool::Lease Second = Pool.checkout(Deadline::in(5'000'000));
+    EXPECT_FALSE(static_cast<bool>(Second));
+    EXPECT_EQ(errno, ETIMEDOUT);
+    EXPECT_EQ(Pool.clientCount(), 1u);
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(PoolTest, BrokenClientIsReturnedAndReconnectsOnNextLease) {
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    auto Server = net::Server::start(Vm, Io, echoHandler());
+    if (!Server)
+      return AnyValue(false);
+
+    PoolConfig PC;
+    PC.MaxConnections = 2;
+    PC.Client.Port = Server->port();
+    PC.Client.MaxAttempts = 20;
+    PC.Client.Retry = BackoffPolicy{1'000'000, 10'000'000};
+    ConnectionPool Pool(Io, PC);
+
+    wire::Writer W(wire::Op::Echo);
+    W.fixnum(3);
+    std::vector<std::uint8_t> Reply;
+    {
+      ConnectionPool::Lease L = Pool.checkout();
+      EXPECT_EQ(L->request(W, Reply), RequestStatus::Ok);
+      L->close(); // sever the cached connection before checkin
+      EXPECT_FALSE(L->connected());
+    }
+    // The broken client went back to the pool (no shrink under churn) and
+    // the next lease reconnects lazily.
+    EXPECT_EQ(Pool.clientCount(), 1u);
+    RequestStatus S = Pool.request(W, Reply);
+    EXPECT_EQ(S, RequestStatus::Ok);
+    EXPECT_EQ(Pool.clientCount(), 1u);
+    Server->shutdown();
+    return AnyValue(S == RequestStatus::Ok);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+} // namespace
