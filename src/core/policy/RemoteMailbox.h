@@ -26,11 +26,16 @@
 ///
 /// Chained rings do not pin memory forever: once the whole overflow chain
 /// has sat empty for several consecutive drains, the owner detaches it
-/// into a still-visible Retired slot and frees it as soon as no producer
-/// is mid-walk (the SlowPosts counter). A producer that read a ring
-/// pointer can therefore always finish its post — rings move from the
-/// live chain to Retired (where empty()/size()/drain() keep covering
-/// them) and are only deleted after the slow-path population quiesces.
+/// into a still-visible Retired slot, later unpublishes it, and frees it
+/// only once no reader can still hold a pointer into it (the ChainPins
+/// counter, bumped by slow-path producers *and* by cross-thread observers
+/// like empty()/size(), which are read by stealing processors and the
+/// watchdog). A pinned walker can therefore always finish — rings move
+/// from the live chain to Retired (where empty()/size()/drain() keep
+/// covering them) and are only deleted after the pinned population
+/// quiesces twice: once before the unpublish (so no straggler post lands
+/// in an invisible ring) and once after (so no observer that read the
+/// Retired pointer is still dereferencing it).
 ///
 /// Emptiness is answered from the rings' Tail/Head cursors alone, so
 /// hasReadyWork stays accurate from any thread: Tail is advanced *before*
@@ -71,6 +76,7 @@ public:
   ~RemoteMailbox() {
     freeChain(Primary);
     freeChain(Retired.load(std::memory_order_acquire));
+    freeChain(Doomed);
   }
 
   /// Posts \p Item from any thread; always lock-free. When the primary
@@ -81,13 +87,13 @@ public:
     if (Primary->tryPost(Item))
       return true;
     // Slow path: about to walk (and possibly extend) the overflow chain.
-    // The SlowPosts window pins every ring pointer this walk can read —
-    // the owner's shrink frees a detached chain only once SlowPosts has
+    // The ChainPins window pins every ring pointer this walk can read —
+    // the owner's shrink frees a detached chain only once ChainPins has
     // been observed at zero *after* the detach, so the chain we are about
     // to traverse cannot be deleted under us. seq_cst on the increment
     // pairs with the seq_cst detach/re-check in maybeShrink (a Dekker
     // store-load: either the owner sees our count, or we see its unlink).
-    SlowPosts.fetch_add(1, std::memory_order_seq_cst);
+    ChainPins.fetch_add(1, std::memory_order_seq_cst);
     Ring *R = Primary;
     bool Fast = false;
     for (;;) {
@@ -115,7 +121,7 @@ public:
     }
     // Release: the post's publish store must be visible to an owner that
     // later observes the decremented count and frees the chain.
-    SlowPosts.fetch_sub(1, std::memory_order_release);
+    ChainPins.fetch_sub(1, std::memory_order_release);
     return Fast;
   }
 
@@ -143,16 +149,30 @@ public:
   /// advances a ring's Tail before publishing, and a full ring (the only
   /// reason to move down the chain) is by definition non-empty, so a
   /// pending item is never reported empty. Covers the retired chain too —
-  /// the detach protocol publishes Retired *before* unlinking, so a
-  /// straggler's post is visible through one pointer or the other at
-  /// every instant (no lost-wakeup window).
+  /// the detach protocol publishes Retired *before* unlinking, and
+  /// residue in an unpublished (doomed) chain is delivered by the owner
+  /// in the same drain that unpublishes it, so a pending item is visible
+  /// through some pointer (or already being delivered) at every instant.
+  /// The walk runs under a ChainPins pin (see maybeShrink) so the owner
+  /// never frees a ring this thread is still dereferencing — except on
+  /// the pin-free fast path: with no chained and no retired ring, the
+  /// only ring to inspect is the never-freed primary, and this is the
+  /// hot case (hasReadyWork polls here from the dispatch loop). Read
+  /// order matters for the fast path: Next before Retired, so a
+  /// mid-detach chain (Retired published, Next not yet cleared) is seen
+  /// through one pointer or the other.
   bool empty() const {
-    for (Ring *R = Primary; R; R = R->Next.load(std::memory_order_acquire))
+    Ring *Next = Primary->Next.load(std::memory_order_seq_cst);
+    if (!Next && !Retired.load(std::memory_order_seq_cst))
+      return Primary->Head.load(std::memory_order_seq_cst) ==
+             Primary->Tail.load(std::memory_order_seq_cst);
+    PinnedWalk Pin(ChainPins);
+    for (Ring *R = Primary; R; R = R->Next.load(std::memory_order_seq_cst))
       if (R->Head.load(std::memory_order_seq_cst) !=
           R->Tail.load(std::memory_order_seq_cst))
         return false;
     for (Ring *R = Retired.load(std::memory_order_seq_cst); R;
-         R = R->Next.load(std::memory_order_acquire))
+         R = R->Next.load(std::memory_order_seq_cst))
       if (R->Head.load(std::memory_order_seq_cst) !=
           R->Tail.load(std::memory_order_seq_cst))
         return false;
@@ -161,11 +181,15 @@ public:
 
   /// Approximate pending count (diagnostics).
   std::size_t size() const {
+    if (!Primary->Next.load(std::memory_order_seq_cst) &&
+        !Retired.load(std::memory_order_seq_cst))
+      return Primary->pending(); // fast path: only the never-freed ring
+    PinnedWalk Pin(ChainPins);
     std::size_t N = 0;
-    for (Ring *R = Primary; R; R = R->Next.load(std::memory_order_acquire))
+    for (Ring *R = Primary; R; R = R->Next.load(std::memory_order_seq_cst))
       N += R->pending();
-    for (Ring *R = Retired.load(std::memory_order_acquire); R;
-         R = R->Next.load(std::memory_order_acquire))
+    for (Ring *R = Retired.load(std::memory_order_seq_cst); R;
+         R = R->Next.load(std::memory_order_seq_cst))
       N += R->pending();
     return N;
   }
@@ -175,20 +199,25 @@ public:
   std::size_t capacity() const { return Primary->Cells.size(); }
 
   /// Number of rings still reachable (live chain + retired, 1 after a
-  /// completed shrink).
+  /// completed shrink; an unpublished doomed chain awaiting its free is
+  /// owner-private and not counted).
   std::size_t ringCount() const {
+    PinnedWalk Pin(ChainPins);
     std::size_t N = 0;
-    for (Ring *R = Primary; R; R = R->Next.load(std::memory_order_acquire))
+    for (Ring *R = Primary; R; R = R->Next.load(std::memory_order_seq_cst))
       ++N;
-    N += retiredRingCount();
+    for (Ring *R = Retired.load(std::memory_order_seq_cst); R;
+         R = R->Next.load(std::memory_order_seq_cst))
+      ++N;
     return N;
   }
 
-  /// Rings detached but not yet freed (diagnostics/tests).
+  /// Rings detached but still published via Retired (diagnostics/tests).
   std::size_t retiredRingCount() const {
+    PinnedWalk Pin(ChainPins);
     std::size_t N = 0;
-    for (Ring *R = Retired.load(std::memory_order_acquire); R;
-         R = R->Next.load(std::memory_order_acquire))
+    for (Ring *R = Retired.load(std::memory_order_seq_cst); R;
+         R = R->Next.load(std::memory_order_seq_cst))
       ++N;
     return N;
   }
@@ -279,17 +308,24 @@ private:
     }
   }
 
-  /// Owner-only, called at the end of every drain. Two independent
-  /// phases of the shrink protocol:
+  /// Owner-only, called at the end of every drain. Three independent
+  /// phases of the shrink protocol, one per drain:
   ///
-  /// Phase 2 — free a previously detached chain once it is provably
-  /// unreachable: the detach's seq_cst unlink and the producers' seq_cst
-  /// SlowPosts increment form a Dekker store-load pair, so a SlowPosts
-  /// of zero read *after* the unlink means every producer that could
-  /// have read a detached ring pointer has finished its post. Each ring
-  /// is drained one last time on the way out — a straggler may have
-  /// landed a post in the Retired window — so no item is ever freed
-  /// with its ring.
+  /// Phase 3 — free the unpublished (doomed) chain once it is provably
+  /// untouchable: the phase-2 seq_cst unpublish of Retired and a
+  /// reader's seq_cst ChainPins increment form a Dekker store-load pair,
+  /// so a ChainPins of zero read *after* the unpublish means every
+  /// reader that could have loaded a doomed ring pointer — through
+  /// Retired or through a pre-unlink Primary->Next — has finished its
+  /// walk, and every later reader sees nullptr through both pointers.
+  ///
+  /// Phase 2 — unpublish a previously detached chain: a ChainPins of
+  /// zero read after the detach's unlink means no straggler producer is
+  /// mid-walk, so every post that could land in a detached ring is
+  /// published — deliver that residue here, in the same drain, so
+  /// clearing Retired never hides a pending item (the no-lost-wakeup
+  /// direction of hasReadyWork). The chain then parks owner-privately in
+  /// Doomed until phase 3; it can never gain another item.
   ///
   /// Phase 1 — detach the overflow chain after it has sat empty for
   /// QuiescentDrains consecutive drains (hysteresis so a steady overflow
@@ -297,19 +333,26 @@ private:
   /// hinge: Retired is stored *before* Primary->Next is cleared, so at
   /// every instant the chain is visible through at least one of the two
   /// pointers — empty()/size()/drain() never transiently lose a posted
-  /// item (the no-lost-wakeup direction of hasReadyWork).
+  /// item.
   template <typename Fn> void maybeShrink(Fn &&Consume) {
-    if (Ring *Detached = Retired.load(std::memory_order_relaxed)) {
-      if (SlowPosts.load(std::memory_order_seq_cst) != 0)
-        return; // a producer may still hold a detached ring pointer
-      for (Ring *R = Detached; R;) {
-        Ring *Next = R->Next.load(std::memory_order_acquire);
-        R->drainRing(Consume); // straggler posts from the detach window
-        delete R;
-        R = Next;
-      }
-      Retired.store(nullptr, std::memory_order_release);
+    if (Doomed) {
+      if (ChainPins.load(std::memory_order_seq_cst) != 0)
+        return; // a reader admitted before the unpublish may still walk it
+      freeChain(Doomed);
+      Doomed = nullptr;
       return; // one phase per drain keeps the tail of drain() cheap
+    }
+    if (Ring *Detached = Retired.load(std::memory_order_relaxed)) {
+      if (ChainPins.load(std::memory_order_seq_cst) != 0)
+        return; // a straggler may still be posting into a detached ring
+      // Unpublish before delivering residue: readers from here on see
+      // nullptr (Dekker with their pin), and the items a straggler
+      // landed in the Retired window go out through this very drain.
+      Retired.store(nullptr, std::memory_order_seq_cst);
+      for (Ring *R = Detached; R; R = R->Next.load(std::memory_order_acquire))
+        R->drainRing(Consume);
+      Doomed = Detached;
+      return;
     }
     Ring *Chain = Primary->Next.load(std::memory_order_acquire);
     if (!Chain) {
@@ -326,18 +369,38 @@ private:
       return;
     EmptyChainDrains = 0;
     // Detach: publish to Retired first, then unlink (seq_cst — the
-    // Dekker partner of post()'s SlowPosts increment).
+    // Dekker partner of the readers' ChainPins increment).
     Retired.store(Chain, std::memory_order_release);
     Primary->Next.store(nullptr, std::memory_order_seq_cst);
   }
 
+  /// RAII pin for any cross-thread walk of the overflow/retired chains.
+  /// seq_cst on the increment is the Dekker partner of maybeShrink's
+  /// unlink/unpublish stores: either the owner sees the pin and defers
+  /// the free, or the pinned walk sees the cleared pointer.
+  struct PinnedWalk {
+    explicit PinnedWalk(std::atomic<std::size_t> &Pins) : Pins(Pins) {
+      Pins.fetch_add(1, std::memory_order_seq_cst);
+    }
+    ~PinnedWalk() { Pins.fetch_sub(1, std::memory_order_release); }
+    PinnedWalk(const PinnedWalk &) = delete;
+    PinnedWalk &operator=(const PinnedWalk &) = delete;
+    std::atomic<std::size_t> &Pins;
+  };
+
   Ring *const Primary;
-  /// Detached-but-not-yet-freed overflow chain (phase 2 input).
+  /// Detached-but-still-published overflow chain (phase 2 input).
   std::atomic<Ring *> Retired{nullptr};
-  /// Producers mid-walk on the overflow chain; seq_cst Dekker partner of
-  /// the detach unlink. Own line: bumped only on the overflow slow path,
-  /// and sharing it with Primary would dirty the fast path's line.
-  alignas(64) std::atomic<std::size_t> SlowPosts{0};
+  /// Unpublished chain awaiting its final quiescent window (phase 3
+  /// input). Owner-only; never read by other threads.
+  Ring *Doomed = nullptr;
+  /// Readers mid-walk on the overflow/retired chains: slow-path
+  /// producers plus cross-thread observers (empty/size/ringCount).
+  /// seq_cst Dekker partner of the detach unlink and the phase-2
+  /// unpublish. Own line: bumped off the post fast path, and sharing it
+  /// with Primary would dirty the fast path's line. Mutable so const
+  /// observers can pin.
+  alignas(64) mutable std::atomic<std::size_t> ChainPins{0};
   /// Consecutive drains that found the whole overflow chain empty.
   unsigned EmptyChainDrains = 0;
   static constexpr unsigned QuiescentDrains = 8;

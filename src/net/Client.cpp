@@ -78,7 +78,8 @@ void CircuitBreaker::transitionLocked(BreakerState To) {
   }
 }
 
-bool CircuitBreaker::tryAdmit() {
+bool CircuitBreaker::tryAdmit(bool &BecameProbe) {
+  BecameProbe = false;
   std::lock_guard<SpinLock> Guard(Lock);
   switch (St) {
   case BreakerState::Closed:
@@ -89,11 +90,13 @@ bool CircuitBreaker::tryAdmit() {
     // Cooldown over: this caller becomes the half-open probe.
     transitionLocked(BreakerState::HalfOpen);
     ProbeInFlight = true;
+    BecameProbe = true;
     return true;
   case BreakerState::HalfOpen:
     if (ProbeInFlight)
       return false;
     ProbeInFlight = true;
+    BecameProbe = true;
     return true;
   }
   return true;
@@ -123,6 +126,14 @@ void CircuitBreaker::recordFailure() {
   }
 }
 
+void CircuitBreaker::abortProbe() {
+  // No transition and no failure count: the probe never reached a
+  // verdict, so the breaker stays HalfOpen and the next tryAdmit hands
+  // the token to a fresh caller instead of refusing forever.
+  std::lock_guard<SpinLock> Guard(Lock);
+  ProbeInFlight = false;
+}
+
 BreakerState CircuitBreaker::state() const {
   std::lock_guard<SpinLock> Guard(Lock);
   return St;
@@ -149,20 +160,36 @@ RequestStatus Client::request(const void *Payload, std::size_t N,
       STING_TRACE_EVENT(NetRetry, selfThreadId(), Attempt);
       sleepFor(Config.Retry.delayNanos(Attempt - 1, RngState));
     }
-    if (!Breaker->tryAdmit()) {
+    bool Probe = false;
+    if (!Breaker->tryAdmit(Probe)) {
       // Keep consuming attempts while open: the backoff above waits out
       // the cooldown, so a long MaxAttempts rides through an endpoint
       // restart instead of failing the whole request fast.
       Last = RequestStatus::BreakerOpen;
       continue;
     }
-    Last = attemptOnce(Payload, N, Reply);
+    try {
+      Last = attemptOnce(Payload, N, Reply);
+    } catch (...) {
+      // Async terminate/raise unwinding out of a park inside the
+      // attempt. A leaked probe token would wedge a shared breaker in
+      // HalfOpen forever (tryAdmit refusing every survivor), so hand it
+      // back before the unwind continues.
+      if (Probe)
+        Breaker->abortProbe();
+      throw;
+    }
     if (Last == RequestStatus::Ok) {
       Breaker->recordSuccess();
       return Last;
     }
-    if (Last == RequestStatus::Canceled)
-      return Last; // shutdown, not endpoint health: leave the breaker be
+    if (Last == RequestStatus::Canceled) {
+      // Shutdown, not endpoint health: no success/failure to record, but
+      // a probe token must still go back (see the catch above).
+      if (Probe)
+        Breaker->abortProbe();
+      return Last;
+    }
     Breaker->recordFailure();
   }
   return Last;

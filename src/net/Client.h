@@ -65,8 +65,14 @@ public:
   /// Admission gate, called before each attempt. Closed: always true.
   /// Open: false until the cooldown elapses, then transitions to HalfOpen
   /// and admits the caller as the probe. HalfOpen: false while the probe
-  /// is in flight.
-  bool tryAdmit();
+  /// is in flight. \p BecameProbe is set true when this caller holds the
+  /// probe token — it then owes the breaker exactly one of
+  /// recordSuccess/recordFailure/abortProbe, on every exit path.
+  bool tryAdmit(bool &BecameProbe);
+  bool tryAdmit() {
+    bool BecameProbe;
+    return tryAdmit(BecameProbe);
+  }
 
   /// The admitted attempt got a reply: reset the failure count and close
   /// from any state.
@@ -75,6 +81,12 @@ public:
   /// The admitted attempt failed: HalfOpen reopens immediately (the probe
   /// answered the question), Closed opens at the failure threshold.
   void recordFailure();
+
+  /// The probe was abandoned without an outcome (cancellation unwind —
+  /// shutdown says nothing about endpoint health): return the token so
+  /// the breaker is not wedged in HalfOpen with every tryAdmit refused.
+  /// Only the caller tryAdmit marked as the probe may call this.
+  void abortProbe();
 
   BreakerState state() const;
 

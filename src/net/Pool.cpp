@@ -40,8 +40,13 @@ ConnectionPool::Lease ConnectionPool::checkout(Deadline D) {
       Vp->stats().PoolCheckoutWaits.inc();
     WaitResult W = Waiters.awaitUntil(
         [&] { return (C = tryTake()) != nullptr; }, this, D);
-    if (W == WaitResult::Timeout) {
-      errno = ETIMEDOUT;
+    if (!C) {
+      // Tell shutdown apart from endpoint slowness: a wait cut short by
+      // service teardown (or any non-timeout unwind that left us without
+      // a client) is not the endpoint's fault and must not be reported
+      // as one.
+      errno = (W == WaitResult::Timeout && !Io->stopping()) ? ETIMEDOUT
+                                                            : ECANCELED;
       return Lease();
     }
   }
@@ -53,7 +58,8 @@ RequestStatus ConnectionPool::request(const wire::Writer &W,
                                       Deadline D) {
   Lease L = checkout(D);
   if (!L)
-    return RequestStatus::Timeout;
+    return errno == ECANCELED ? RequestStatus::Canceled
+                              : RequestStatus::Timeout;
   return L->request(W, Reply);
 }
 

@@ -99,9 +99,11 @@ public:
   };
 
   /// Checks a client out, parking at the cap until one is returned or
-  /// \p D expires (empty lease, errno=ETIMEDOUT). Parking requires a
-  /// sting thread; off-substrate callers must size the pool so the fast
-  /// path always succeeds.
+  /// \p D expires (empty lease, errno=ETIMEDOUT) — unless the wait was
+  /// cut short by service shutdown, which yields an empty lease with
+  /// errno=ECANCELED so callers can tell teardown from endpoint
+  /// slowness. Parking requires a sting thread; off-substrate callers
+  /// must size the pool so the fast path always succeeds.
   Lease checkout(Deadline D = Deadline::never());
 
   /// Convenience: checkout + request + checkin.

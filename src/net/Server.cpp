@@ -125,7 +125,11 @@ void Server::listenerLoop(Listener &L) {
     // timed backstop. Parking on the listen fd would busy-loop here: with
     // the backlog non-empty the fd is already readable, so a readiness
     // wait returns immediately. The kernel backlog queues the burst.
-    if (AtCap && Config.AdmissionBudgetNanos == 0 && Pending.empty()) {
+    // Pending may hold residue from the multi-listener race below; it is
+    // promoted by the loop top on wake, and must not keep us accepting —
+    // queueing mode's contract is stop-accepting-at-cap, and every
+    // accept here would park a connection in userspace with no deadline.
+    if (AtCap && Config.AdmissionBudgetNanos == 0) {
       AdmissionWaiters.awaitUntil(
           [this] {
             return Stopped.load(std::memory_order_acquire) || !atCap();
@@ -134,8 +138,9 @@ void Server::listenerLoop(Listener &L) {
       continue;
     }
 
-    // Shedding mode with a full pending queue: accepting more would only
-    // grow the shed list, so wait for a slot or the oldest expiry.
+    // Shedding mode with a full pending queue (queueing mode parked
+    // above): accepting more would only grow the shed list, so wait for
+    // a slot or the oldest expiry.
     if (AtCap && !Pending.empty() &&
         Pending.size() >= Config.MaxPendingAdmissions) {
       AdmissionWaiters.awaitUntil(

@@ -418,6 +418,60 @@ TEST(MailboxTest, QuiescentChainShrinksAndConservesAcrossRegrowth) {
     EXPECT_EQ(Got[static_cast<std::size_t>(I)], I);
 }
 
+// Cross-thread observers (hasReadyWork's empty(), diagnostics' size()/
+// ringCount()/retiredRingCount()) walk the overflow and retired chains
+// while the owner cycles the full shrink protocol underneath them —
+// regrow, detach, unpublish, free, hundreds of times. The ChainPins
+// protocol must keep every ring an observer can reach alive until its
+// walk finishes: under ASan/TSan this is the use-after-free regression
+// for freeing retired rings while a reader still held a pointer.
+TEST(MailboxTest, ObserversRaceShrinkWithoutTouchingFreedRings) {
+  constexpr int Bursts = 300;
+  RemoteMailbox M(8);
+  auto Items = makeItems(64);
+
+  std::atomic<bool> Stop{false};
+  std::atomic<int> Running{0};
+  std::atomic<std::size_t> Observed{0};
+  std::vector<std::thread> Observers;
+  for (int T = 0; T != 3; ++T)
+    Observers.emplace_back([&] {
+      Running.fetch_add(1, std::memory_order_relaxed);
+      std::size_t Sink = 0;
+      while (!Stop.load(std::memory_order_relaxed)) {
+        Sink += M.empty() ? 1 : 0;
+        Sink += M.size();
+        Sink += M.ringCount();
+        Sink += M.retiredRingCount();
+        // Unpinned gap: with observers walking back-to-back, ChainPins
+        // never samples zero and the owner's free phases would never
+        // run — the race under test needs frees to actually happen.
+        std::this_thread::yield();
+      }
+      // Publish the walks' results so they cannot be optimized out.
+      Observed.fetch_add(Sink, std::memory_order_relaxed);
+    });
+  // Don't start churning until every observer is actually walking, or a
+  // fast main loop finishes before the race it means to provoke begins.
+  while (Running.load(std::memory_order_relaxed) != 3)
+    std::this_thread::yield();
+
+  std::size_t Delivered = 0;
+  for (int B = 0; B != Bursts; ++B) {
+    for (auto &I : Items)
+      M.post(*I); // regrow the overflow chain
+    // Enough empty drains to walk the whole protocol: hysteresis
+    // (QuiescentDrains), detach, unpublish, then the quiescent free.
+    for (int D = 0; D != 16; ++D)
+      Delivered += M.drain([](Schedulable &) {});
+  }
+  Stop.store(true, std::memory_order_relaxed);
+  for (auto &T : Observers)
+    T.join();
+  EXPECT_EQ(Delivered, static_cast<std::size_t>(Bursts) * 64u);
+  EXPECT_TRUE(M.empty());
+}
+
 // Producers with deliberate traffic gaps force shrink cycles to interleave
 // with live posting: detaches race straggler slow-path walks, freed chains
 // regrow, and at the end everything must still be conserved — every item

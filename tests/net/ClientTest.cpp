@@ -112,6 +112,42 @@ TEST(ClientTest, ReconnectsAcrossServerRestart) {
   EXPECT_GE(S.NetRetries, 1u);
 }
 
+// A canceled probe must hand its token back. The breaker admits exactly
+// one half-open probe; if the caller holding it unwinds without a
+// verdict (service shutdown, kill-group), a leaked token would wedge a
+// pool-shared breaker in HalfOpen with every surviving client refused
+// forever — abortProbe clears the token without recording an outcome.
+TEST(ClientTest, AbortedProbeDoesNotWedgeTheBreakerHalfOpen) {
+  BreakerConfig BC;
+  BC.FailureThreshold = 1;
+  BC.OpenCooldownNanos = 0; // admit a probe immediately after opening
+  CircuitBreaker B(BC);
+
+  bool Probe = true;
+  EXPECT_TRUE(B.tryAdmit(Probe));
+  EXPECT_FALSE(Probe); // closed admissions carry no token
+  B.recordFailure();
+  EXPECT_EQ(B.state(), BreakerState::Open);
+
+  // Cooldown elapsed: the first caller through becomes the probe...
+  ASSERT_TRUE(B.tryAdmit(Probe));
+  EXPECT_TRUE(Probe);
+  EXPECT_EQ(B.state(), BreakerState::HalfOpen);
+  // ...and every other caller is refused while it is in flight.
+  bool Other = true;
+  EXPECT_FALSE(B.tryAdmit(Other));
+  EXPECT_FALSE(Other);
+
+  // The probe's request is canceled: no verdict, token returned, and the
+  // next caller gets to probe instead of being refused forever.
+  B.abortProbe();
+  EXPECT_EQ(B.state(), BreakerState::HalfOpen);
+  ASSERT_TRUE(B.tryAdmit(Other));
+  EXPECT_TRUE(Other);
+  B.recordSuccess();
+  EXPECT_EQ(B.state(), BreakerState::Closed);
+}
+
 TEST(ClientTest, BreakerOpensOnDeadEndpointAndRecoversViaProbe) {
   VirtualMachine Vm;
   IoService Io;
