@@ -274,6 +274,62 @@ void BM_BarrierSynchronization2(benchmark::State &State) {
 }
 BENCHMARK(BM_BarrierSynchronization2);
 
+//===----------------------------------------------------------------------===//
+// Extra row (not in the paper's figure): contended tuple-space traffic.
+// A pool of parked takers services a putter in a put/ack ping-pong across
+// two VPs, so every operation runs the registered-waiter handoff path
+// (DESIGN.md §12) rather than the empty-space fast path BM_TupleSpace
+// measures. The wakeups_per_put counter is the ablation hook: direct
+// handoff holds it at ~1.0 regardless of the pool size, while a wake-all
+// scheme scales it with the number of parked waiters.
+//===----------------------------------------------------------------------===//
+
+void BM_TupleContended(benchmark::State &State) {
+  VmConfig Config;
+  Config.NumVps = 2;
+  Config.NumPps = 2;
+  onMachine(
+      State,
+      [](benchmark::State &State, VirtualMachine &) {
+        TupleSpaceRef Ts = TupleSpace::create();
+        constexpr int Takers = 4;
+        std::vector<ThreadRef> Pool;
+        for (int I = 0; I != Takers; ++I)
+          Pool.push_back(TC::forkThread([Ts]() -> AnyValue {
+            for (;;) {
+              Match M = Ts->take(makeTuple("job", formal(0)));
+              if (M.binding(0).asFixnum() < 0)
+                return AnyValue();
+              Ts->put(makeTuple("ack", M.binding(0).asFixnum()));
+            }
+          }));
+        // Only start timing once the whole pool is parked on "job": the
+        // measurement is the contended path, not pool spin-up.
+        while (Ts->stats().Blocks.load(std::memory_order_acquire) <
+               static_cast<std::uint64_t>(Takers))
+          TC::yieldProcessor();
+        long I = 0;
+        for (auto _ : State) {
+          Ts->put(makeTuple("job", I++));
+          Match A = Ts->take(makeTuple("ack", formal(0)));
+          benchmark::DoNotOptimize(A);
+        }
+        for (int K = 0; K != Takers; ++K)
+          Ts->put(makeTuple("job", -1));
+        for (auto &T : Pool)
+          TC::threadWait(*T);
+        auto Puts = Ts->stats().Puts.load();
+        State.counters["wakeups_per_put"] =
+            Puts ? static_cast<double>(Ts->stats().Wakeups.load()) /
+                       static_cast<double>(Puts)
+                 : 0.0;
+        State.counters["handoffs"] =
+            static_cast<double>(Ts->stats().Handoffs.load());
+      },
+      std::move(Config));
+}
+BENCHMARK(BM_TupleContended);
+
 } // namespace
 
 STING_BENCH_MAIN();

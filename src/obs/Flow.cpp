@@ -10,9 +10,21 @@
 
 namespace sting::obs {
 
-namespace detail {
+namespace {
 thread_local FlowId TlsCurrentFlow = 0;
-} // namespace detail
+} // namespace
+
+// noinline is load-bearing, not an optimization hint: with the accessors
+// inlined (or IPO'd), the compiler may compute the thread_local's address
+// once and reuse it across a user-level context switch, after which the
+// sting thread may be running on a different OS thread — UBSan flagged
+// exactly that as a load through a stale FlowId pointer. An opaque call
+// re-derives the address on every access.
+__attribute__((noinline)) FlowId currentFlowId() { return TlsCurrentFlow; }
+
+__attribute__((noinline)) void setCurrentFlowId(FlowId Flow) {
+  TlsCurrentFlow = Flow;
+}
 
 FlowId newFlowId() {
   // Process-wide; flows cross VM boundaries (a test may run several VMs),

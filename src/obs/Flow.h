@@ -22,6 +22,13 @@
 /// FlowId 0 means "no flow": external OS threads (the preemption clock,
 /// test drivers) carry 0 and never overwrite a thread's inherited flow.
 ///
+/// The accessors are deliberately out-of-line (and noinline): sting
+/// threads migrate between OS threads at user-level context switches, so a
+/// compiler that caches the thread_local's address across a park would
+/// read another OS thread's slot — or a dead one — after resumption.
+/// Keeping every TLS access behind an opaque call makes the address
+/// non-cacheable.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STING_OBS_FLOW_H
@@ -34,18 +41,14 @@ namespace sting::obs {
 /// Identifies one causal flow; 0 = no flow.
 using FlowId = std::uint64_t;
 
-namespace detail {
-extern thread_local FlowId TlsCurrentFlow;
-} // namespace detail
-
 /// \returns the flow the calling OS thread is currently executing on
 /// behalf of (0 off-substrate or before any flow was installed).
-inline FlowId currentFlowId() { return detail::TlsCurrentFlow; }
+FlowId currentFlowId();
 
 /// Installs \p Flow as the calling OS thread's current flow. The scheduler
 /// calls this around every dispatch; subsystems adopting a flow (unpark,
 /// tuple match, net handlers) call it with the adopted id.
-inline void setCurrentFlowId(FlowId Flow) { detail::TlsCurrentFlow = Flow; }
+void setCurrentFlowId(FlowId Flow);
 
 /// Mints a fresh process-unique nonzero FlowId.
 FlowId newFlowId();

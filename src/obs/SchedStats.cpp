@@ -49,6 +49,8 @@ SchedStatsSnapshot SchedStats::snapshot() const {
   S.NetBreakerOpens = NetBreakerOpens;
   S.NetShedded = NetShedded;
   S.PoolCheckoutWaits = PoolCheckoutWaits;
+  S.TupleHandoffs = TupleHandoffs;
+  S.TupleWakeups = TupleWakeups;
   S.RunSliceNanos = RunSliceNanos;
   S.GcPauseNanos = GcPauseNanos;
   return S;
@@ -91,6 +93,8 @@ SchedStatsSnapshot::operator+=(const SchedStatsSnapshot &Other) {
   NetBreakerOpens += Other.NetBreakerOpens;
   NetShedded += Other.NetShedded;
   PoolCheckoutWaits += Other.PoolCheckoutWaits;
+  TupleHandoffs += Other.TupleHandoffs;
+  TupleWakeups += Other.TupleWakeups;
   TraceEvents += Other.TraceEvents;
   TraceDrops += Other.TraceDrops;
   RunSliceNanos.merge(Other.RunSliceNanos);
@@ -161,6 +165,10 @@ constexpr CounterRow Rows[] = {
      &SchedStatsSnapshot::NetShedded},
     {"pool checkout waits", "sting_pool_checkout_waits_total",
      &SchedStatsSnapshot::PoolCheckoutWaits},
+    {"tuple handoffs", "sting_tuple_handoffs_total",
+     &SchedStatsSnapshot::TupleHandoffs},
+    {"tuple wakeups", "sting_tuple_wakeups_total",
+     &SchedStatsSnapshot::TupleWakeups},
     {"trace events", "sting_trace_events_total",
      &SchedStatsSnapshot::TraceEvents},
     {"trace drops", "sting_trace_drops_total",

@@ -128,6 +128,10 @@ struct alignas(64) SchedStats {
   Counter NetShedded;            ///< connections shed past the admission budget
   Counter PoolCheckoutWaits;     ///< pool checkouts that parked at the cap
 
+  // Tuple space (src/tuple), attributed to the depositing VP.
+  Counter TupleHandoffs; ///< deposits transferred straight to a waiter
+  Counter TupleWakeups;  ///< threads woken by deposits (deliveries+nudges)
+
   /// Run-slice lengths (dispatch to switch-back), recorded only while
   /// tracing is enabled so the default path never pays the extra clock
   /// read. Owner-written, racy to read mid-run; snapshot after quiesce.
@@ -182,6 +186,8 @@ struct SchedStatsSnapshot {
   std::uint64_t NetBreakerOpens = 0;
   std::uint64_t NetShedded = 0;
   std::uint64_t PoolCheckoutWaits = 0;
+  std::uint64_t TupleHandoffs = 0;
+  std::uint64_t TupleWakeups = 0;
   /// Snapshot-only (no SchedStats counterpart): filled by the machine at
   /// snapshot time from the VP's trace ring, so truncated traces are
   /// detectable instead of silently misleading.

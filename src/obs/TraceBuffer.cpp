@@ -146,6 +146,8 @@ const char *traceEventKindName(TraceEventKind K) {
     return "net_shed";
   case TraceEventKind::BreakerTransition:
     return "breaker_transition";
+  case TraceEventKind::TupleHandoff:
+    return "tuple_handoff";
   case TraceEventKind::NumKinds:
     break;
   }

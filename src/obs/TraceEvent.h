@@ -100,6 +100,11 @@ enum class TraceEventKind : std::uint8_t {
   BreakerTransition, ///< a circuit breaker changed state (payload:
                      ///< from-state << 8 | to-state, BreakerState ordinals)
 
+  // Tuple-space handoff (appended after BreakerTransition so earlier
+  // ordinals — and the golden traces pinned to them — stay stable).
+  TupleHandoff, ///< a deposit transferred straight into registered
+                ///< waiters' slots (payload: deliveries this deposit)
+
   NumKinds
 };
 

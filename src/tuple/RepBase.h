@@ -25,33 +25,41 @@ namespace detail {
 
 class TupleSpaceRepBase {
 public:
+  /// \p Stats outlives the representation (it is a member of the owning
+  /// TupleSpace, declared before Impl); representations charge Blocks,
+  /// Handoffs and Wakeups to it directly.
+  explicit TupleSpaceRepBase(TupleSpaceStats &Stats) : Stats(Stats) {}
   virtual ~TupleSpaceRepBase() = default;
 
   virtual void put(Tuple T) = 0;
   /// Blocking match bounded by \p D; nullopt only on timeout. A deposit
-  /// racing the deadline wins: implementations re-scan before reporting
-  /// failure.
+  /// racing the deadline wins: implementations re-scan (or consume a
+  /// pending handoff delivery) before reporting failure.
   virtual std::optional<Match> matchUntil(const Tuple &Template, bool Remove,
-                                          TupleSpaceStats &Stats,
                                           Deadline D) = 0;
   virtual std::optional<Match> tryMatch(const Tuple &Template,
                                         bool Remove) = 0;
   virtual std::size_t size() const = 0;
 
   /// Unbounded match: a never deadline cannot time out.
-  Match match(const Tuple &Template, bool Remove, TupleSpaceStats &Stats) {
-    auto M = matchUntil(Template, Remove, Stats, Deadline::never());
+  Match match(const Tuple &Template, bool Remove) {
+    auto M = matchUntil(Template, Remove, Deadline::never());
     STING_CHECK(M, "unbounded tuple match timed out");
     return std::move(*M);
   }
+
+protected:
+  TupleSpaceStats &Stats;
 };
 
 /// The general two-hash-table representation (TupleSpace.cpp).
-std::unique_ptr<TupleSpaceRepBase> makeHashedRep(gc::GlobalHeap &Heap);
+std::unique_ptr<TupleSpaceRepBase> makeHashedRep(gc::GlobalHeap &Heap,
+                                                 TupleSpaceStats &Stats);
 
 /// Specialized representations (Specialize.cpp).
 std::unique_ptr<TupleSpaceRepBase> makeSpecializedRep(TupleSpaceRep Rep,
-                                                      gc::GlobalHeap &Heap);
+                                                      gc::GlobalHeap &Heap,
+                                                      TupleSpaceStats &Stats);
 
 /// Shared helper: number of formals referenced by \p Template (max index
 /// + 1); also validates that formals appear only in templates.

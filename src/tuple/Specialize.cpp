@@ -11,12 +11,26 @@
 // tailored to its access pattern; shape restrictions (singleton tuples,
 // [index value] pairs) are checked at the operation boundary.
 //
+// The queue and bag/set forms use the same direct put→waiter handoff as
+// the hashed representation (DESIGN.md §12): a put matches registered
+// waiters under the storage lock and wakes exactly the threads it
+// satisfied — a queue put with parked takers wakes one taker, not all of
+// them. The shared-variable, semaphore and vector forms keep ParkList
+// (semaphore puts were already wake-one; the others are cell overwrites
+// where every waiter's predicate may flip).
+//
 //===----------------------------------------------------------------------===//
 
 #include "tuple/RepBase.h"
 
+#include "core/Current.h"
+#include "core/Tcb.h"
+#include "core/ThreadController.h"
 #include "gc/GlobalHeap.h"
 #include "gc/Object.h"
+#include "obs/TraceBuffer.h"
+#include "support/Chaos.h"
+#include "sync/HandoffList.h"
 #include "sync/ParkList.h"
 
 #include <deque>
@@ -33,7 +47,8 @@ using namespace sting::detail;
 /// waiter list.
 class SingletonRepBase : public TupleSpaceRepBase {
 public:
-  explicit SingletonRepBase(gc::GlobalHeap &Heap) : Heap(Heap) {}
+  SingletonRepBase(gc::GlobalHeap &Heap, TupleSpaceStats &Stats)
+      : TupleSpaceRepBase(Stats), Heap(Heap) {}
 
   ~SingletonRepBase() override {
     std::lock_guard<SpinLock> Guard(Lock);
@@ -42,7 +57,6 @@ public:
   }
 
   std::optional<Match> matchUntil(const Tuple &Template, bool Remove,
-                                  TupleSpaceStats &Stats,
                                   Deadline D) override {
     std::optional<Match> Result;
     Waiters.awaitUntil(
@@ -51,7 +65,6 @@ public:
           return Result.has_value();
         },
         this, D);
-    (void)Stats;
     return Result;
   }
 
@@ -93,35 +106,202 @@ private:
 };
 
 //===----------------------------------------------------------------------===//
+// Handoff machinery for the queue and bag/set forms.
+//===----------------------------------------------------------------------===//
+
+/// Singleton reps whose put hands the value straight to registered
+/// waiters. Storage access is split into a locked core (matchLocked /
+/// restoreLocked) so a depositor can match waiters' templates against
+/// the just-updated storage without reacquiring the lock. All values are
+/// plain datums here, so every deposit is "direct" in the hashed rep's
+/// sense: there is no nudge path, a completed registration is always a
+/// delivery.
+class HandoffSingletonRep : public SingletonRepBase {
+protected:
+  using SingletonRepBase::SingletonRepBase;
+
+  /// A blocked reader's registration; Slot is a GC root for the duration
+  /// (thread stacks are not scanned, and a delivery may sit in the slot
+  /// across a park).
+  struct SingletonWaiter : HandoffWaiterBase {
+    SingletonWaiter(const Tuple &T, bool Remove)
+        : Template(&T), Remove(Remove) {}
+
+    const Tuple *Template;
+    bool Remove;
+    gc::Value Slot;
+  };
+
+  /// The storage-specific match, with Lock held. A Remove match consumes
+  /// from storage.
+  virtual std::optional<gc::Value> matchLocked(const Tuple &Template,
+                                               bool Remove) = 0;
+
+  /// Returns a consumed value to storage (Lock held): a take delivery
+  /// whose waiter unwound (timeout racing the handoff, cancellation) goes
+  /// back where it came from.
+  virtual void restoreLocked(gc::Value V) = 0;
+
+  /// With Lock held and storage just updated: hand the new state to every
+  /// waiter whose template now matches. rd waiters all receive the value;
+  /// a take match consumes storage (via matchLocked), so exactly the
+  /// first matching taker is satisfied and later takers stay armed.
+  void deliverLocked(std::vector<ThreadRef> &Wakes) {
+    std::uint32_t Deliveries = 0;
+    Handoff.visit([&](SingletonWaiter &W) {
+      if (auto V = matchLocked(*W.Template, W.Remove)) {
+        W.Slot = *V;
+        Wakes.push_back(Handoff.deliver(W));
+        ++Deliveries;
+      }
+      return true;
+    });
+    if (Deliveries) {
+      Stats.Handoffs.fetch_add(Deliveries, std::memory_order_relaxed);
+      Stats.Wakeups.fetch_add(Deliveries, std::memory_order_relaxed);
+      STING_TRACE_EVENT(TupleHandoff,
+                        currentThread() ? currentThread()->id() : 0,
+                        Deliveries);
+    }
+  }
+
+  static void fire(const std::vector<ThreadRef> &Wakes) {
+    for (const ThreadRef &T : Wakes)
+      HandoffList<SingletonWaiter>::wake(T);
+  }
+
+public:
+  std::optional<Match> tryMatch(const Tuple &Template,
+                                bool Remove) override {
+    std::lock_guard<SpinLock> Guard(Lock);
+    if (auto V = matchLocked(Template, Remove))
+      return singletonMatch(*V, Template);
+    return std::nullopt;
+  }
+
+  std::optional<Match> matchUntil(const Tuple &Template, bool Remove,
+                                  Deadline D) override {
+    if (auto M = tryMatch(Template, Remove))
+      return M;
+    if (D.expired())
+      return std::nullopt;
+
+    // Contended path: mirror of the hashed representation's registered
+    // episode (DESIGN.md §12) without the nudge state — register, re-scan
+    // (the lock orders registration against deposits, so no wakeup can be
+    // lost), then park until delivered or timed out.
+    for (;;) {
+      SingletonWaiter W(Template, Remove);
+      {
+        std::lock_guard<SpinLock> Guard(Lock);
+        Handoff.enqueue(W);
+        Heap.addRoot(&W.Slot);
+      }
+      std::optional<Match> M;
+      try {
+        M = tryMatch(Template, Remove);
+      } catch (...) {
+        retire(W, /*Redeposit=*/true);
+        throw;
+      }
+      if (M) {
+        // Our own scan won; a racing delivery of a take value was
+        // consumed from storage and must go back.
+        retire(W, /*Redeposit=*/true);
+        return M;
+      }
+      if (D.expired()) {
+        if (auto Got = retire(W, /*Redeposit=*/false))
+          return singletonMatch(*Got, Template);
+        return std::nullopt;
+      }
+
+      Stats.Blocks.fetch_add(1, std::memory_order_relaxed);
+      for (;;) {
+        if (STING_CHAOS_FIRE(PreemptPoint)) {
+          STING_TRACE_EVENT(ChaosInject,
+                            currentThread() ? currentThread()->id() : 0,
+                            static_cast<std::uint32_t>(
+                                chaos::Site::PreemptPoint));
+          ThreadController::yieldProcessor();
+        }
+        try {
+          ThreadController::parkCurrent(ParkClass::Kernel, this, D);
+        } catch (...) {
+          retire(W, /*Redeposit=*/true);
+          throw;
+        }
+        bool TimedOut = false, Delivered = false;
+        gc::Value Got;
+        {
+          std::lock_guard<SpinLock> Guard(Lock);
+          if (W.isLinked()) {
+            // Still armed: timeout and delivery arbitrate under Lock, so
+            // reporting the timeout here cannot strand a value.
+            if (D.expired()) {
+              Handoff.finish(W);
+              Heap.removeRoot(&W.Slot);
+              TimedOut = true;
+            }
+            // else: spurious unpark; stay registered and re-park.
+          } else {
+            Delivered = true; // deliver() is the only completion here
+            Got = W.Slot;
+            Heap.removeRoot(&W.Slot);
+          }
+        }
+        if (TimedOut)
+          return std::nullopt;
+        if (Delivered)
+          return singletonMatch(Got, Template);
+      }
+    }
+  }
+
+private:
+  /// Ends \p W's registration episode; \returns the value a racing put
+  /// delivered, if any. With \p Redeposit, a delivered take value is
+  /// returned to storage (and offered onward) before the slot's root is
+  /// dropped, so it is never left unrooted or stranded.
+  std::optional<gc::Value> retire(SingletonWaiter &W, bool Redeposit) {
+    std::optional<gc::Value> Got;
+    std::vector<ThreadRef> Wakes;
+    {
+      std::lock_guard<SpinLock> Guard(Lock);
+      if (Handoff.finish(W) == HandoffState::Delivered) {
+        Got = W.Slot;
+        if (Redeposit && W.Remove) {
+          restoreLocked(*Got);
+          deliverLocked(Wakes);
+        }
+      }
+      Heap.removeRoot(&W.Slot);
+    }
+    fire(Wakes);
+    return Got;
+  }
+
+protected:
+  HandoffList<SingletonWaiter> Handoff;
+};
+
+//===----------------------------------------------------------------------===//
 // Queue: ordered singleton tuples, no content matching on take.
 //===----------------------------------------------------------------------===//
 
-class QueueRep final : public SingletonRepBase {
+class QueueRep final : public HandoffSingletonRep {
 public:
-  using SingletonRepBase::SingletonRepBase;
+  using HandoffSingletonRep::HandoffSingletonRep;
 
   void put(Tuple T) override {
     gc::Value V = soleValue(T);
+    std::vector<ThreadRef> Wakes;
     {
       std::lock_guard<SpinLock> Guard(Lock);
       Items.push_back(pin(V));
+      deliverLocked(Wakes);
     }
-    Waiters.wakeAll();
-  }
-
-  std::optional<Match> tryMatch(const Tuple &Template,
-                                bool Remove) override {
-    checkTemplate(Template);
-    std::lock_guard<SpinLock> Guard(Lock);
-    if (Items.empty())
-      return std::nullopt;
-    gc::Value *Slot = Items.front();
-    gc::Value V = *Slot;
-    if (Remove) {
-      Items.pop_front();
-      unpin(Slot);
-    }
-    return singletonMatch(V, Template);
+    fire(Wakes);
   }
 
   std::size_t size() const override {
@@ -131,6 +311,26 @@ public:
   }
 
 private:
+  std::optional<gc::Value> matchLocked(const Tuple &Template,
+                                       bool Remove) override {
+    checkTemplate(Template);
+    if (Items.empty())
+      return std::nullopt;
+    gc::Value *Slot = Items.front();
+    gc::Value V = *Slot;
+    if (Remove) {
+      Items.pop_front();
+      unpin(Slot);
+    }
+    return V;
+  }
+
+  void restoreLocked(gc::Value V) override {
+    // The value was taken from the front; put it back there so FIFO order
+    // survives an unwound delivery.
+    Items.push_front(pin(V));
+  }
+
   static void checkTemplate(const Tuple &Template) {
     STING_CHECK(Template.size() == 1 && Template.front().isFormal(),
                 "queue representation matches only [?x] templates");
@@ -143,13 +343,14 @@ private:
 // Bag / Set: unordered singleton tuples; templates may be [?x] or [v].
 //===----------------------------------------------------------------------===//
 
-class BagRep : public SingletonRepBase {
+class BagRep : public HandoffSingletonRep {
 public:
-  BagRep(gc::GlobalHeap &Heap, bool Dedupe)
-      : SingletonRepBase(Heap), Dedupe(Dedupe) {}
+  BagRep(gc::GlobalHeap &Heap, TupleSpaceStats &Stats, bool Dedupe)
+      : HandoffSingletonRep(Heap, Stats), Dedupe(Dedupe) {}
 
   void put(Tuple T) override {
     gc::Value V = soleValue(T);
+    std::vector<ThreadRef> Wakes;
     {
       std::lock_guard<SpinLock> Guard(Lock);
       if (Dedupe) {
@@ -158,16 +359,22 @@ public:
             return; // set semantics: ignore duplicates
       }
       Items.push_back(pin(V));
+      deliverLocked(Wakes);
     }
-    Waiters.wakeAll();
+    fire(Wakes);
   }
 
-  std::optional<Match> tryMatch(const Tuple &Template,
-                                bool Remove) override {
+  std::size_t size() const override {
+    std::lock_guard<SpinLock> Guard(const_cast<SpinLock &>(Lock));
+    return Items.size();
+  }
+
+private:
+  std::optional<gc::Value> matchLocked(const Tuple &Template,
+                                       bool Remove) override {
     STING_CHECK(Template.size() == 1,
                 "bag/set representation holds singleton tuples");
     const Field &TF = Template.front();
-    std::lock_guard<SpinLock> Guard(Lock);
     for (auto It = Items.begin(); It != Items.end(); ++It) {
       gc::Value V = **It;
       if (!TF.isFormal() && !gc::valueEqual(TF.value(), V))
@@ -177,17 +384,13 @@ public:
         Items.erase(It);
         unpin(Slot);
       }
-      return singletonMatch(V, Template);
+      return V;
     }
     return std::nullopt;
   }
 
-  std::size_t size() const override {
-    std::lock_guard<SpinLock> Guard(const_cast<SpinLock &>(Lock));
-    return Items.size();
-  }
+  void restoreLocked(gc::Value V) override { Items.push_back(pin(V)); }
 
-private:
   bool Dedupe;
   std::vector<gc::Value *> Items;
 };
@@ -199,7 +402,8 @@ private:
 
 class SharedVariableRep final : public SingletonRepBase {
 public:
-  explicit SharedVariableRep(gc::GlobalHeap &Heap) : SingletonRepBase(Heap) {
+  SharedVariableRep(gc::GlobalHeap &Heap, TupleSpaceStats &Stats)
+      : SingletonRepBase(Heap, Stats) {
     Heap.addRoot(&Cell);
   }
   ~SharedVariableRep() override { Heap.removeRoot(&Cell); }
@@ -292,7 +496,8 @@ private:
 
 class VectorRep final : public TupleSpaceRepBase {
 public:
-  explicit VectorRep(gc::GlobalHeap &Heap) : Heap(Heap) {}
+  VectorRep(gc::GlobalHeap &Heap, TupleSpaceStats &Stats)
+      : TupleSpaceRepBase(Stats), Heap(Heap) {}
 
   ~VectorRep() override {
     std::lock_guard<SpinLock> Guard(Lock);
@@ -321,7 +526,7 @@ public:
   }
 
   std::optional<Match> matchUntil(const Tuple &Template, bool Remove,
-                                  TupleSpaceStats &, Deadline D) override {
+                                  Deadline D) override {
     std::optional<Match> Result;
     Waiters.awaitUntil(
         [&] {
@@ -370,20 +575,21 @@ private:
 } // namespace
 
 std::unique_ptr<detail::TupleSpaceRepBase>
-detail::makeSpecializedRep(TupleSpaceRep Rep, gc::GlobalHeap &Heap) {
+detail::makeSpecializedRep(TupleSpaceRep Rep, gc::GlobalHeap &Heap,
+                           TupleSpaceStats &Stats) {
   switch (Rep) {
   case TupleSpaceRep::Queue:
-    return std::make_unique<QueueRep>(Heap);
+    return std::make_unique<QueueRep>(Heap, Stats);
   case TupleSpaceRep::Bag:
-    return std::make_unique<BagRep>(Heap, /*Dedupe=*/false);
+    return std::make_unique<BagRep>(Heap, Stats, /*Dedupe=*/false);
   case TupleSpaceRep::Set:
-    return std::make_unique<BagRep>(Heap, /*Dedupe=*/true);
+    return std::make_unique<BagRep>(Heap, Stats, /*Dedupe=*/true);
   case TupleSpaceRep::SharedVariable:
-    return std::make_unique<SharedVariableRep>(Heap);
+    return std::make_unique<SharedVariableRep>(Heap, Stats);
   case TupleSpaceRep::Semaphore:
-    return std::make_unique<SemaphoreRep>(Heap);
+    return std::make_unique<SemaphoreRep>(Heap, Stats);
   case TupleSpaceRep::Vector:
-    return std::make_unique<VectorRep>(Heap);
+    return std::make_unique<VectorRep>(Heap, Stats);
   case TupleSpaceRep::Hashed:
     break;
   }

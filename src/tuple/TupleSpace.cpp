@@ -3,10 +3,20 @@
 // Part of libsting. See DESIGN.md for the system overview.
 //
 // The general representation follows paper section 4.2: a hash table of
-// passive tuples (HP) and, per bin, a queue of blocked readers (HB), with
-// "a mutex with every hash bin rather than a global mutex on the entire
+// passive tuples (HP) and, per bin, the blocked readers (HB), with "a
+// mutex with every hash bin rather than a global mutex on the entire
 // hash table". Tuples whose first field cannot be hashed (live threads)
 // live in a wildcard bin scanned by every reader.
+//
+// The contended path is a direct put→waiter handoff (DESIGN.md §12): a
+// blocked reader registers its prepared template in its home bin before
+// parking, and a deposit scans the registered waiters under the bin lock,
+// transfers the entry straight into one compatible taker's slot (plus a
+// reference to every compatible rd waiter) and wakes exactly those
+// threads — no insert, no wake-all, no re-scan by the losers. Tuples
+// containing live threads cannot be matched under a spinlock (resolution
+// may steal and run user code), so they are inserted and compatible
+// waiters are *nudged* to re-scan.
 //
 // Thread fields integrate with stealing: a reader that needs the value of
 // a delayed/scheduled thread found in a tuple steals it via threadWait; a
@@ -20,14 +30,18 @@
 
 #include "core/Current.h"
 #include "core/Gc.h"
+#include "core/Tcb.h"
 #include "core/ThreadController.h"
+#include "core/VirtualProcessor.h"
 #include "obs/Flow.h"
 #include "obs/TraceBuffer.h"
 #include "gc/GlobalHeap.h"
 #include "gc/Object.h"
-#include "sync/ParkList.h"
+#include "support/Chaos.h"
+#include "sync/HandoffList.h"
 #include "tuple/RepBase.h"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -102,21 +116,19 @@ using namespace sting::detail;
 
 constexpr std::size_t NumBins = 64;
 
-/// A deposited tuple. Shared ownership: matchers may hold an entry across
-/// thread-field resolution while a competing taker removes it.
-struct Entry {
-  explicit Entry(Tuple T, gc::GlobalHeap &Heap)
-      : Fields(std::move(T)), Heap(Heap), Flow(obs::currentFlowId()) {
-    for (Field &F : Fields)
-      if (F.isDatum())
-        Heap.addRoot(F.valueSlot());
-  }
+class HashedRep;
+struct BinItemTag;
 
-  ~Entry() {
-    for (Field &F : Fields)
-      if (F.isDatum())
-        Heap.removeRoot(F.valueSlot());
-  }
+/// A deposited tuple. Intrusively refcounted and recycled through the
+/// owning representation's pool: matchers may pin an entry across
+/// thread-field resolution while a competing taker removes it, and a
+/// dropped last reference returns the node to the freelist instead of
+/// the allocator.
+struct Entry : ListNode<BinItemTag> {
+  Entry(HashedRep &Owner, gc::GlobalHeap &Heap) : Owner(Owner), Heap(Heap) {}
+
+  void retain() { Refs.fetch_add(1, std::memory_order_relaxed); }
+  void release(); ///< recycles into Owner's pool on the last reference
 
   /// Replaces a determined live-thread field with its value, once.
   void resolveField(std::size_t I, gc::Value V) {
@@ -127,22 +139,77 @@ struct Entry {
     Heap.addRoot(Fields[I].valueSlot());
   }
 
+  HashedRep &Owner;
   Tuple Fields;
   gc::GlobalHeap &Heap;
-  SpinLock Lock; ///< guards live-thread resolution
+  SpinLock Lock; ///< guards live-thread resolution and Removed
   /// The depositor's causal flow at put time, handed to the matcher.
-  std::uint64_t Flow;
+  std::uint64_t Flow = 0;
   bool Removed = false;
+  std::atomic<std::uint32_t> Refs{0};
+  Entry *NextFree = nullptr; ///< pool freelist link (while recycled)
 };
 
-using EntryRef = std::shared_ptr<Entry>;
+/// Minimal intrusive handle; the last release recycles into the pool.
+class EntryRef {
+public:
+  EntryRef() = default;
+  explicit EntryRef(Entry *E) : P(E) {
+    if (P)
+      P->retain();
+  }
+  /// Takes over a reference the caller already owns.
+  static EntryRef adopt(Entry *E) {
+    EntryRef R;
+    R.P = E;
+    return R;
+  }
+  EntryRef(const EntryRef &O) : P(O.P) {
+    if (P)
+      P->retain();
+  }
+  EntryRef(EntryRef &&O) noexcept : P(O.P) { O.P = nullptr; }
+  EntryRef &operator=(EntryRef O) noexcept {
+    std::swap(P, O.P);
+    return *this;
+  }
+  ~EntryRef() {
+    if (P)
+      P->release();
+  }
 
-/// One hash bin: a lock, the passive tuples (HP row), and the blocked
-/// readers (HB row).
-struct Bin {
+  Entry *get() const { return P; }
+  Entry &operator*() const { return *P; }
+  Entry *operator->() const { return P; }
+  explicit operator bool() const { return P != nullptr; }
+
+private:
+  Entry *P = nullptr;
+};
+
+/// A blocked reader's registration: the prepared template plus the
+/// delivery slot, guarded by the home bin's lock (see HandoffList).
+struct TupleWaiter : HandoffWaiterBase {
+  TupleWaiter(const Tuple &T, bool Remove)
+      : Template(&T), Remove(Remove), Arity(T.size()) {}
+
+  const Tuple *Template; ///< stack-pinned for the registration's lifetime
+  bool Remove;           ///< take (consume the entry) vs rd (share a ref)
+  std::size_t Arity;     ///< producers reject on arity before field compare
+  EntryRef Slot;         ///< where a deposit lands
+};
+
+/// One hash bin: a lock, the passive tuples (HP row), and the registered
+/// blocked readers (HB row). Padded so neighboring bins' locks never
+/// share a cache line.
+struct alignas(64) Bin {
   SpinLock Lock;
-  std::vector<EntryRef> Items;
-  ParkList Waiters;
+  IntrusiveList<Entry, BinItemTag> Items;
+  HandoffList<TupleWaiter> Waiters;
+  /// Racy occupancy gate: scans skip empty bins without locking them.
+  /// Updated under Lock; the bin lock carries the happens-before for any
+  /// reader that goes on to walk Items.
+  std::atomic<std::size_t> EntryCount{0};
 };
 
 /// Result of matching one entry against a template.
@@ -154,25 +221,25 @@ enum class EntryMatch {
 
 class HashedRep final : public TupleSpaceRepBase {
 public:
-  explicit HashedRep(gc::GlobalHeap &Heap) : Heap(Heap) {}
+  HashedRep(gc::GlobalHeap &Heap, TupleSpaceStats &Stats)
+      : TupleSpaceRepBase(Stats), Heap(Heap) {}
 
-  void put(Tuple T) override {
-    auto E = std::make_shared<Entry>(std::move(T), Heap);
-    Bin &B = binForTuple(E->Fields);
-    {
-      std::lock_guard<SpinLock> Guard(B.Lock);
-      B.Items.push_back(E);
+  ~HashedRep() override {
+    auto Drain = [](Bin &B) {
+      while (!B.Items.empty())
+        B.Items.popFront().release(); // the Items reference
+    };
+    for (Bin &B : Bins)
+      Drain(B);
+    Drain(Wildcard);
+    for (Entry *E = FreeList; E;) {
+      Entry *Next = E->NextFree;
+      delete E;
+      E = Next;
     }
-    DepositEpoch.fetch_add(1, std::memory_order_release);
-    Count.fetch_add(1, std::memory_order_release);
-    // Wake this bin's readers and the formal-first-field readers parked on
-    // the wildcard bin.
-    B.Waiters.wakeAll();
-    if (&B != &Wildcard)
-      Wildcard.Waiters.wakeAll();
-    else
-      broadcast(); // a wildcard tuple can match any template
   }
+
+  void put(Tuple T) override { deposit(makeEntry(std::move(T))); }
 
   std::optional<Match> tryMatch(const Tuple &Template,
                                 bool Remove) override {
@@ -181,56 +248,154 @@ public:
   }
 
   std::optional<Match> matchUntil(const Tuple &Template, bool Remove,
-                                  TupleSpaceStats &Stats,
                                   Deadline D) override {
-    for (;;) {
-      // Snapshot the deposit epoch *before* scanning: a deposit landing
-      // mid-scan advances it, so the await below cannot sleep through it.
-      std::uint64_t Epoch = DepositEpoch.load(std::memory_order_acquire);
-
+    // Hot path: one unregistered scan.
+    {
       ThreadRef Unresolved;
       if (auto M =
               scanOnce(Template, Remove, /*AllowSteal=*/true, Unresolved))
         return M;
-
-      // Scan-before-deadline ordering: the scan above is the final
-      // re-check, so a deposit racing the deadline is never lost.
       if (D.expired()) {
-        STING_TRACE_EVENT(TimeoutFired,
-                          currentThread() ? currentThread()->id() : 0, 2);
+        STING_TRACE_EVENT(TimeoutFired, selfId(), 2);
         return std::nullopt;
       }
-
       if (Unresolved) {
         // Wait on the thread element itself; its completion may complete
         // our match. (Steals of delayed/scheduled threads happen inside
-        // threadWaitFor.) On timeout, loop back: the re-scan then falls
-        // through to the expired() check above.
-        Stats.Blocks.fetch_add(1, std::memory_order_relaxed);
-        STING_TRACE_EVENT(TupleBlock,
-                          currentThread() ? currentThread()->id() : 0, 1);
+        // threadWaitFor.)
+        noteBlocked(1);
+        ThreadController::threadWaitFor(*Unresolved, D);
+      }
+    }
+
+    // Contended path: register in the home bin, then re-scan. A deposit
+    // racing the failed scan above either published before the
+    // registration (the re-scan finds it) or after (its waiter walk finds
+    // the registration and delivers/nudges) — the bin lock orders the
+    // two, so no epoch counter is needed and no wakeup can be lost.
+    Bin &Home = binForTemplate(Template);
+    for (;;) {
+      TupleWaiter W(Template, Remove);
+      {
+        std::lock_guard<SpinLock> Guard(Home.Lock);
+        Home.Waiters.enqueue(W);
+      }
+      ThreadRef Unresolved;
+      std::optional<Match> M;
+      try {
+        M = scanOnce(Template, Remove, /*AllowSteal=*/true, Unresolved);
+      } catch (...) {
+        settleUnwind(Home, W, Remove);
+        throw;
+      }
+      if (M) {
+        // Our own scan won; a delivery may have raced it. A take delivery
+        // was never inserted — put it back, never strand it.
+        if (EntryRef Extra = settle(Home, W); Extra && Remove)
+          deposit(std::move(Extra));
+        return M;
+      }
+      if (D.expired()) {
+        // Scan-before-deadline ordering: a deposit racing the deadline
+        // wins, either via the scan above or via a delivery in our slot.
+        if (EntryRef Got = settle(Home, W))
+          return matchFromEntry(Got, Template);
+        STING_TRACE_EVENT(TimeoutFired, selfId(), 2);
+        return std::nullopt;
+      }
+      if (Unresolved) {
+        // Deregister before waiting on the thread: a delivery landing
+        // while we sleep on an unrelated thread would sit invisible in
+        // our slot. On timeout, loop back: the re-scan then falls through
+        // to the expired() check above.
+        if (EntryRef Got = settle(Home, W))
+          return matchFromEntry(Got, Template);
+        noteBlocked(1);
         ThreadController::threadWaitFor(*Unresolved, D);
         continue;
       }
 
-      // Block until another deposit lands (the HB row).
-      Stats.Blocks.fetch_add(1, std::memory_order_relaxed);
-      STING_TRACE_EVENT(TupleBlock,
-                        currentThread() ? currentThread()->id() : 0, 0);
-      Bin &B = binForTemplate(Template);
-      B.Waiters.awaitUntil(
-          [&] {
-            return DepositEpoch.load(std::memory_order_acquire) != Epoch;
-          },
-          this, D);
+      // Park until delivered, nudged or timed out (the HB row).
+      noteBlocked(0);
+      bool Renew = false;
+      while (!Renew) {
+        // Chaos: an extra control transfer right where the waiter decides
+        // to sleep on its published registration.
+        if (STING_CHAOS_FIRE(PreemptPoint)) {
+          STING_TRACE_EVENT(ChaosInject, selfId(),
+                            static_cast<std::uint32_t>(
+                                chaos::Site::PreemptPoint));
+          ThreadController::yieldProcessor();
+        }
+        try {
+          ThreadController::parkCurrent(ParkClass::Kernel, this, D);
+        } catch (...) {
+          // Async terminate / raise unwinding out of the park: retract
+          // the registration; a take delivery that raced the unwind goes
+          // back into the space.
+          settleUnwind(Home, W, Remove);
+          throw;
+        }
+        HandoffState St = HandoffState::Armed;
+        EntryRef Got;
+        bool TimedOut = false;
+        {
+          std::lock_guard<SpinLock> Guard(Home.Lock);
+          if (W.isLinked()) {
+            // Still armed: nothing was handed to us. Only now may a
+            // timeout be reported — delivery and timeout are arbitrated
+            // under this lock, so the slot can never be left holding a
+            // tuple nobody owns.
+            if (D.expired()) {
+              Home.Waiters.finish(W);
+              TimedOut = true;
+            }
+            // else: spurious return; stay registered and re-park.
+          } else {
+            St = W.state();
+            Got = std::move(W.Slot);
+          }
+        }
+        if (TimedOut) {
+          STING_TRACE_EVENT(TimeoutFired, selfId(), 2);
+          return std::nullopt;
+        }
+        if (St == HandoffState::Delivered)
+          return matchFromEntry(Got, Template);
+        if (St == HandoffState::Nudged)
+          Renew = true; // a potential match landed: re-register, re-scan
+      }
     }
   }
 
   std::size_t size() const override {
-    return Count.load(std::memory_order_acquire);
+    std::size_t N = Wildcard.EntryCount.load(std::memory_order_relaxed);
+    for (const Bin &B : Bins)
+      N += B.EntryCount.load(std::memory_order_relaxed);
+    return N;
+  }
+
+  /// Returns a recycled entry to the pool (called from Entry::release).
+  void recycle(Entry *E) {
+    for (Field &F : E->Fields)
+      if (F.isDatum())
+        Heap.removeRoot(F.valueSlot());
+    E->Fields.clear();
+    std::lock_guard<SpinLock> Guard(PoolLock);
+    E->NextFree = FreeList;
+    FreeList = E;
   }
 
 private:
+  static std::uint64_t selfId() {
+    return currentThread() ? currentThread()->id() : 0;
+  }
+
+  void noteBlocked(std::uint32_t Payload) {
+    Stats.Blocks.fetch_add(1, std::memory_order_relaxed);
+    STING_TRACE_EVENT(TupleBlock, selfId(), Payload);
+  }
+
   static std::size_t hashKey(std::size_t Arity, gc::Value V) {
     std::uint64_t H = gc::valueHash(V);
     H ^= Arity * 0x9e3779b97f4a7c15ull;
@@ -243,12 +408,240 @@ private:
     return Bins[hashKey(T.size(), T.front().value())];
   }
 
-  /// The bin a reader parks on; concrete-first-field templates use their
-  /// hash bin, others the wildcard bin (which every deposit wakes).
+  /// The bin a reader registers in; concrete-first-field templates use
+  /// their hash bin, others the wildcard bin (which every deposit scans).
   Bin &binForTemplate(const Tuple &T) {
     if (T.empty() || !T.front().isDatum())
       return Wildcard;
     return Bins[hashKey(T.size(), T.front().value())];
+  }
+
+  //--- Entry pool ---------------------------------------------------------
+
+  EntryRef makeEntry(Tuple T) {
+    Entry *E = nullptr;
+    {
+      std::lock_guard<SpinLock> Guard(PoolLock);
+      if ((E = FreeList))
+        FreeList = E->NextFree;
+    }
+    if (!E)
+      E = new Entry(*this, Heap);
+    E->Refs.store(1, std::memory_order_relaxed);
+    E->Fields = std::move(T);
+    E->Flow = obs::currentFlowId();
+    E->Removed = false;
+    for (Field &F : E->Fields)
+      if (F.isDatum())
+        Heap.addRoot(F.valueSlot());
+    return EntryRef::adopt(E);
+  }
+
+  //--- Deposit ------------------------------------------------------------
+
+  void deposit(EntryRef E) {
+    Bin &B = binForTuple(E->Fields);
+    bool AllDatum = true;
+    for (const Field &F : E->Fields)
+      if (!F.isDatum()) {
+        AllDatum = false;
+        break;
+      }
+    if (AllDatum)
+      depositDirect(B, std::move(E));
+    else
+      depositPotential(B, std::move(E));
+  }
+
+  /// Collects the threads a deposit decides to wake under the bin locks;
+  /// the unparks run after every lock is released. One deposit usually
+  /// wakes at most one thread, so the overflow vector stays untouched.
+  struct WakeSet {
+    ThreadRef First;
+    std::vector<ThreadRef> More;
+
+    void add(ThreadRef T) {
+      if (!First)
+        First = std::move(T);
+      else
+        More.push_back(std::move(T));
+    }
+    void fire() const {
+      HandoffList<TupleWaiter>::wake(First);
+      for (const ThreadRef &T : More)
+        HandoffList<TupleWaiter>::wake(T);
+    }
+  };
+
+  /// Does \p W's template accept an all-datum tuple \p Fields? This *is*
+  /// the full match for datum tuples, so a delivery needs no re-check by
+  /// the waiter. The entry is unpublished or freshly published under the
+  /// caller's locks, so its fields are stable without taking its lock.
+  static bool waiterAccepts(const TupleWaiter &W, const Tuple &Fields) {
+    if (W.Arity != Fields.size())
+      return false;
+    const Tuple &T = *W.Template;
+    for (std::size_t I = 0; I != T.size(); ++I)
+      if (!T[I].isFormal() &&
+          !gc::valueEqual(T[I].value(), Fields[I].value()))
+        return false;
+    return true;
+  }
+
+  /// Deposits an all-datum tuple. Under the home bin's lock (wildcard
+  /// nested for cross-bin waiters — lock order is always bin, then
+  /// wildcard), every compatible rd waiter receives a reference and the
+  /// first compatible take waiter consumes the entry outright: no insert,
+  /// no broadcast, exactly the matched threads wake.
+  void depositDirect(Bin &B, EntryRef E) {
+    WakeSet Wakes;
+    std::uint32_t Deliveries = 0;
+    bool Consumed = false;
+
+    auto Offer = [&](Bin &L) { // caller holds L.Lock
+      L.Waiters.visit([&](TupleWaiter &W) {
+        if (!waiterAccepts(W, E->Fields))
+          return true;
+        W.Slot = E;
+        Wakes.add(L.Waiters.deliver(W));
+        ++Deliveries;
+        if (W.Remove) {
+          Consumed = true;
+          return false;
+        }
+        return true;
+      });
+    };
+
+    {
+      std::lock_guard<SpinLock> Guard(B.Lock);
+      Offer(B);
+      if (!Consumed && &B != &Wildcard && Wildcard.Waiters.count() != 0) {
+        std::lock_guard<SpinLock> WGuard(Wildcard.Lock);
+        Offer(Wildcard);
+      }
+      if (!Consumed)
+        publishLocked(B, E);
+    }
+    chargeDeposit(Deliveries, Deliveries);
+    Wakes.fire();
+  }
+
+  /// Deposits a tuple with live-thread fields. It cannot be fully matched
+  /// under a spinlock (resolution may steal and run user code), so it is
+  /// inserted first and prefilter-compatible waiters are *nudged* to
+  /// re-scan — still no blanket broadcast, but more than one nudge when
+  /// several waiters plausibly match, since a nudged waiter may fail
+  /// resolution and park again.
+  void depositPotential(Bin &B, EntryRef E) {
+    WakeSet Wakes;
+    std::uint32_t Nudges = 0;
+
+    auto NudgeCompatible = [&](Bin &L) { // caller holds L.Lock
+      L.Waiters.visit([&](TupleWaiter &W) {
+        if (prefilter(*E, *W.Template)) {
+          Wakes.add(L.Waiters.nudge(W));
+          ++Nudges;
+        }
+        return true;
+      });
+    };
+
+    {
+      std::lock_guard<SpinLock> Guard(B.Lock);
+      publishLocked(B, E);
+      NudgeCompatible(B);
+      if (&B != &Wildcard && Wildcard.Waiters.count() != 0) {
+        std::lock_guard<SpinLock> WGuard(Wildcard.Lock);
+        NudgeCompatible(Wildcard);
+      }
+    }
+    if (&B == &Wildcard) {
+      // A wildcard-bin tuple (live first field) can match any template.
+      // The entry is already published, so the concrete bins can be
+      // visited one at a time — never wildcard-then-bin, preserving the
+      // bin→wildcard lock order.
+      for (Bin &C : Bins) {
+        if (C.Waiters.count() == 0)
+          continue;
+        std::lock_guard<SpinLock> Guard(C.Lock);
+        NudgeCompatible(C);
+      }
+    }
+    chargeDeposit(0, Nudges);
+    Wakes.fire();
+  }
+
+  void chargeDeposit(std::uint32_t Deliveries, std::uint32_t Wakes) {
+    if (Deliveries) {
+      Stats.Handoffs.fetch_add(Deliveries, std::memory_order_relaxed);
+      STING_TRACE_EVENT(TupleHandoff, selfId(), Deliveries);
+    }
+    if (!Wakes)
+      return;
+    Stats.Wakeups.fetch_add(Wakes, std::memory_order_relaxed);
+    if (VirtualProcessor *Vp = currentVp()) {
+      Vp->stats().TupleHandoffs.add(Deliveries);
+      Vp->stats().TupleWakeups.add(Wakes);
+    }
+  }
+
+  /// Caller holds B.Lock.
+  void publishLocked(Bin &B, const EntryRef &E) {
+    E->retain(); // the Items reference
+    B.Items.pushBack(*E);
+    B.EntryCount.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Caller holds B.Lock. Unpublishes \p E; \returns false if a competing
+  /// taker already did.
+  bool detachLocked(Bin &B, Entry &E) {
+    {
+      std::lock_guard<SpinLock> Guard(E.Lock);
+      if (E.Removed)
+        return false;
+      E.Removed = true;
+    }
+    IntrusiveList<Entry, BinItemTag>::erase(E);
+    B.EntryCount.fetch_sub(1, std::memory_order_relaxed);
+    E.release(); // the Items reference; callers hold their own pin
+    return true;
+  }
+
+  bool removeFromBin(Bin &B, Entry &E) {
+    std::lock_guard<SpinLock> Guard(B.Lock);
+    return detachLocked(B, E);
+  }
+
+  //--- Waiter-side registration maintenance -------------------------------
+
+  /// Ends \p W's registration episode. \returns the entry a racing deposit
+  /// delivered, if any — the caller owns it (return it or re-deposit it).
+  EntryRef settle(Bin &Home, TupleWaiter &W) {
+    std::lock_guard<SpinLock> Guard(Home.Lock);
+    if (Home.Waiters.finish(W) == HandoffState::Delivered)
+      return std::move(W.Slot);
+    return EntryRef();
+  }
+
+  /// Unwind flavor: a take delivery was consumed from the space and must
+  /// go back in; an rd delivery is only a reference and is dropped.
+  void settleUnwind(Bin &Home, TupleWaiter &W, bool Remove) {
+    if (EntryRef Got = settle(Home, W); Got && Remove)
+      deposit(std::move(Got));
+  }
+
+  //--- Scanning -----------------------------------------------------------
+
+  /// Builds the match from an all-datum entry (a Yes scan hit or a
+  /// delivered slot); no lock needed, the fields can no longer change.
+  static Match matchFromEntry(const EntryRef &E, const Tuple &Template) {
+    std::vector<gc::Value> Values(Template.size());
+    for (std::size_t I = 0; I != Template.size(); ++I)
+      Values[I] = E->Fields[I].value();
+    Match M = buildMatch(Values, Template);
+    M.Flow = E->Flow;
+    return M;
   }
 
   /// One pass over the candidate bins. On success returns the match; on
@@ -263,7 +656,8 @@ private:
       return scanBin(Wildcard, Template, Remove, AllowSteal, Unresolved);
     }
     // Formal first field: full scan (the slow path the paper's hashing is
-    // designed to avoid).
+    // designed to avoid); the occupancy gates make it 65 relaxed loads
+    // when the space is empty.
     for (Bin &B : Bins)
       if (auto M = scanBin(B, Template, Remove, AllowSteal, Unresolved))
         return M;
@@ -272,37 +666,86 @@ private:
 
   std::optional<Match> scanBin(Bin &B, const Tuple &Template, bool Remove,
                                bool AllowSteal, ThreadRef &Unresolved) {
-    // Snapshot candidates under the bin lock; resolve thread fields
-    // outside it (stealing runs arbitrary user code).
-    std::vector<EntryRef> Candidates;
-    {
-      std::lock_guard<SpinLock> Guard(B.Lock);
-      for (const EntryRef &E : B.Items)
-        if (prefilter(*E, Template))
-          Candidates.push_back(E);
-    }
+    if (B.EntryCount.load(std::memory_order_relaxed) == 0)
+      return std::nullopt;
 
-    for (const EntryRef &E : Candidates) {
+    // Walk under the bin lock; all-datum matches resolve right here and
+    // only a live-thread candidate is pinned and resolved outside the
+    // lock (stealing runs arbitrary user code). No candidate vector: the
+    // common scan allocates nothing.
+    std::vector<const Entry *> Waiting; // resolution already failed this pass
+    for (;;) {
+      EntryRef Ready, Candidate;
+      {
+        std::lock_guard<SpinLock> Guard(B.Lock);
+        for (Entry &E : B.Items) {
+          if (!Waiting.empty() &&
+              std::find(Waiting.begin(), Waiting.end(), &E) != Waiting.end())
+            continue;
+          EntryMatch R = matchLocked(E, Template);
+          if (R == EntryMatch::No)
+            continue;
+          if (R == EntryMatch::NeedThread) {
+            if (!Candidate)
+              Candidate = EntryRef(&E);
+            continue;
+          }
+          Ready = EntryRef(&E);
+          if (Remove)
+            detachLocked(B, E); // cannot fail: we held the lock throughout
+          break;
+        }
+      }
+      if (Ready)
+        return matchFromEntry(Ready, Template);
+      if (!Candidate)
+        return std::nullopt;
+
       std::vector<gc::Value> Values;
-      EntryMatch R = resolveEntry(*E, Template, AllowSteal, Values);
+      EntryMatch R = resolveEntry(*Candidate, Template, AllowSteal, Values);
+      if (R == EntryMatch::Yes) {
+        if (Remove && !removeFromBin(B, *Candidate))
+          continue; // a competing taker won; re-walk the bin
+        Match M = buildMatch(Values, Template);
+        M.Flow = Candidate->Flow;
+        return M;
+      }
       if (R == EntryMatch::NeedThread) {
         if (!Unresolved)
-          Unresolved = firstUnresolvedThread(*E);
-        continue;
+          Unresolved = firstUnresolvedThread(*Candidate);
+        Waiting.push_back(Candidate.get());
+        continue; // other candidates may still resolve
       }
-      if (R != EntryMatch::Yes)
-        continue;
-      if (Remove && !removeEntry(B, E))
-        continue; // a competing taker won; keep scanning
-      Match M = buildMatch(Values, Template);
-      M.Flow = E->Flow;
-      return M;
+      // No: resolution exposed a mismatch (or the entry was removed); the
+      // re-walk now skips it via matchLocked.
     }
-    return std::nullopt;
   }
 
-  /// Cheap compatibility check under the bin lock: arity and datum-datum
-  /// positions only.
+  /// Matches one entry under the bin lock: arity, removal, and per-field
+  /// compatibility. Yes means every field is a datum and matched — the
+  /// full match, usable without further resolution.
+  EntryMatch matchLocked(Entry &E, const Tuple &Template) {
+    if (E.Fields.size() != Template.size())
+      return EntryMatch::No;
+    std::lock_guard<SpinLock> Guard(E.Lock);
+    if (E.Removed)
+      return EntryMatch::No;
+    EntryMatch R = EntryMatch::Yes;
+    for (std::size_t I = 0; I != Template.size(); ++I) {
+      const Field &TF = Template[I];
+      const Field &EF = E.Fields[I];
+      if (EF.isLiveThread()) {
+        R = EntryMatch::NeedThread; // formal or datum: need the value
+        continue;
+      }
+      if (!TF.isFormal() && !gc::valueEqual(TF.value(), EF.value()))
+        return EntryMatch::No;
+    }
+    return R;
+  }
+
+  /// Cheap compatibility check (arity + datum-datum positions) used to
+  /// pick which waiters a potential deposit nudges.
   bool prefilter(Entry &E, const Tuple &Template) {
     if (E.Fields.size() != Template.size())
       return false;
@@ -367,44 +810,25 @@ private:
     return ThreadRef();
   }
 
-  /// Removes \p E from \p B; \returns false if someone else already did.
-  bool removeEntry(Bin &B, const EntryRef &E) {
-    std::lock_guard<SpinLock> Guard(B.Lock);
-    for (auto It = B.Items.begin(); It != B.Items.end(); ++It) {
-      if (It->get() != E.get())
-        continue;
-      {
-        std::lock_guard<SpinLock> EGuard(E->Lock);
-        E->Removed = true;
-      }
-      B.Items.erase(It);
-      Count.fetch_sub(1, std::memory_order_release);
-      return true;
-    }
-    return false;
-  }
-
-  /// Wakes every parked reader (used when a wildcard tuple arrives).
-  void broadcast() {
-    for (Bin &B : Bins)
-      B.Waiters.wakeAll();
-    Wildcard.Waiters.wakeAll();
-  }
-
   gc::GlobalHeap &Heap;
   Bin Bins[NumBins];
   Bin Wildcard;
-  std::atomic<std::size_t> Count{0};
-  /// Machine-wide deposit counter; readers snapshot it before scanning so
-  /// a racing deposit is never slept through.
-  std::atomic<std::uint64_t> DepositEpoch{0};
+  /// Entry freelist (the pool): recycled nodes keep their storage, so a
+  /// steady-state put allocates nothing for the entry itself.
+  SpinLock PoolLock;
+  Entry *FreeList = nullptr;
 };
+
+void Entry::release() {
+  if (Refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    Owner.recycle(this);
+}
 
 } // namespace
 
 std::unique_ptr<detail::TupleSpaceRepBase>
-detail::makeHashedRep(gc::GlobalHeap &Heap) {
-  return std::make_unique<HashedRep>(Heap);
+detail::makeHashedRep(gc::GlobalHeap &Heap, TupleSpaceStats &Stats) {
+  return std::make_unique<HashedRep>(Heap, Stats);
 }
 
 //===----------------------------------------------------------------------===//
@@ -429,9 +853,9 @@ void adoptMatchFlow(const Match &M) {
 TupleSpace::TupleSpace(TupleSpaceRep Rep, gc::GlobalHeap &Heap)
     : Rep(Rep), Heap(&Heap) {
   if (Rep == TupleSpaceRep::Hashed)
-    Impl = detail::makeHashedRep(Heap);
+    Impl = detail::makeHashedRep(Heap, Stats);
   else
-    Impl = detail::makeSpecializedRep(Rep, Heap);
+    Impl = detail::makeSpecializedRep(Rep, Heap, Stats);
 }
 
 TupleSpace::~TupleSpace() = default;
@@ -534,7 +958,7 @@ Match TupleSpace::read(Tuple Template) {
   Stats.Reads.fetch_add(1, std::memory_order_relaxed);
   STING_TRACE_EVENT(TupleRead, currentThread() ? currentThread()->id() : 0,
                     static_cast<std::uint32_t>(Template.size()));
-  Match M = Impl->match(std::move(Template), /*Remove=*/false, Stats);
+  Match M = Impl->match(std::move(Template), /*Remove=*/false);
   adoptMatchFlow(M);
   return M;
 }
@@ -544,7 +968,7 @@ Match TupleSpace::take(Tuple Template) {
   Stats.Takes.fetch_add(1, std::memory_order_relaxed);
   STING_TRACE_EVENT(TupleTake, currentThread() ? currentThread()->id() : 0,
                     static_cast<std::uint32_t>(Template.size()));
-  Match M = Impl->match(std::move(Template), /*Remove=*/true, Stats);
+  Match M = Impl->match(std::move(Template), /*Remove=*/true);
   adoptMatchFlow(M);
   return M;
 }
@@ -554,7 +978,7 @@ std::optional<Match> TupleSpace::readUntil(Tuple Template, Deadline D) {
   Stats.Reads.fetch_add(1, std::memory_order_relaxed);
   STING_TRACE_EVENT(TupleRead, currentThread() ? currentThread()->id() : 0,
                     static_cast<std::uint32_t>(Template.size()));
-  auto M = Impl->matchUntil(Template, /*Remove=*/false, Stats, D);
+  auto M = Impl->matchUntil(Template, /*Remove=*/false, D);
   if (M)
     adoptMatchFlow(*M);
   return M;
@@ -565,7 +989,7 @@ std::optional<Match> TupleSpace::takeUntil(Tuple Template, Deadline D) {
   Stats.Takes.fetch_add(1, std::memory_order_relaxed);
   STING_TRACE_EVENT(TupleTake, currentThread() ? currentThread()->id() : 0,
                     static_cast<std::uint32_t>(Template.size()));
-  auto M = Impl->matchUntil(Template, /*Remove=*/true, Stats, D);
+  auto M = Impl->matchUntil(Template, /*Remove=*/true, D);
   if (M)
     adoptMatchFlow(*M);
   return M;
@@ -573,6 +997,8 @@ std::optional<Match> TupleSpace::takeUntil(Tuple Template, Deadline D) {
 
 std::optional<Match> TupleSpace::tryRead(Tuple Template) {
   prepare(Template);
+  // Attempts are counted like the blocking variants (see TupleSpaceStats).
+  Stats.Reads.fetch_add(1, std::memory_order_relaxed);
   auto M = Impl->tryMatch(std::move(Template), /*Remove=*/false);
   if (M)
     adoptMatchFlow(*M);
@@ -581,11 +1007,10 @@ std::optional<Match> TupleSpace::tryRead(Tuple Template) {
 
 std::optional<Match> TupleSpace::tryTake(Tuple Template) {
   prepare(Template);
+  Stats.Takes.fetch_add(1, std::memory_order_relaxed);
   auto M = Impl->tryMatch(std::move(Template), /*Remove=*/true);
-  if (M) {
-    Stats.Takes.fetch_add(1, std::memory_order_relaxed);
+  if (M)
     adoptMatchFlow(*M);
-  }
   return M;
 }
 

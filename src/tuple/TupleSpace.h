@@ -72,13 +72,21 @@ struct TupleOpsProfile {
 /// \returns the most specialized representation consistent with \p Profile.
 TupleSpaceRep chooseRepresentation(const TupleOpsProfile &Profile);
 
-/// Operation counters for tests and benchmarks.
+/// Operation counters for tests and benchmarks. Puts/Reads/Takes count
+/// *attempts* (blocking, timed and try variants alike), not successes;
+/// Blocks counts the episodes where a match had to wait.
 struct TupleSpaceStats {
   std::atomic<std::uint64_t> Puts{0};
   std::atomic<std::uint64_t> Reads{0};
   std::atomic<std::uint64_t> Takes{0};
   std::atomic<std::uint64_t> Blocks{0};
   std::atomic<std::uint64_t> Spawns{0};
+  /// Deposits transferred straight into a registered waiter's slot (no
+  /// insert, exactly one wake) — the contended fast path.
+  std::atomic<std::uint64_t> Handoffs{0};
+  /// Threads woken by deposits (deliveries + re-scan nudges). With parked
+  /// takers this should track Puts 1:1, not O(waiters) per put.
+  std::atomic<std::uint64_t> Wakeups{0};
 };
 
 namespace detail {
@@ -149,8 +157,8 @@ private:
 
   TupleSpaceRep Rep;
   gc::GlobalHeap *Heap;
+  TupleSpaceStats Stats; ///< before Impl: representations keep a reference
   std::unique_ptr<detail::TupleSpaceRepBase> Impl;
-  TupleSpaceStats Stats;
 };
 
 } // namespace sting

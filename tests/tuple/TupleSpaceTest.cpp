@@ -311,6 +311,26 @@ TEST(TupleSpaceTest, StatsTrackOperations) {
   });
 }
 
+TEST(TupleSpaceTest, TryVariantsCountAttempts) {
+  // The stats contract: Puts/Reads/Takes count *attempts* for every
+  // variant — a failed tryRead/tryTake bumps its counter just like a
+  // blocking read/take that had to wait would.
+  VirtualMachine Vm;
+  Vm.run([]() -> AnyValue {
+    TupleSpaceRef Ts = TupleSpace::create();
+    EXPECT_FALSE(Ts->tryRead(tup({1})).has_value());
+    EXPECT_FALSE(Ts->tryTake(tup({1})).has_value());
+    EXPECT_EQ(Ts->stats().Reads.load(), 1u);
+    EXPECT_EQ(Ts->stats().Takes.load(), 1u);
+    Ts->put(tup({1}));
+    EXPECT_TRUE(Ts->tryRead(tup({1})).has_value());
+    EXPECT_TRUE(Ts->tryTake(tup({1})).has_value());
+    EXPECT_EQ(Ts->stats().Reads.load(), 2u);
+    EXPECT_EQ(Ts->stats().Takes.load(), 2u);
+    return AnyValue();
+  });
+}
+
 TEST(TupleSpaceTest, TakeAdoptsDepositorFlow) {
   // put -> take is a causal handoff: the matcher continues the
   // depositor's flow, so a request's journey through the space renders
