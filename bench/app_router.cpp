@@ -1,0 +1,366 @@
+//===- bench/app_router.cpp - Sharded tuple-space router soak -----------------===//
+//
+// Part of libsting. See DESIGN.md section 3 for the experiment index.
+//
+// Load generator for the src/dist subsystem (DESIGN.md section 13): one
+// logical tuple space served by three in-process shard VMs behind a
+// SpaceRouter. Three workloads:
+//
+//   * routed token swarm — K workers each looping put(key, "tok", v) /
+//     take(key, ...) against concrete keys spread over every shard; the
+//     run fails on any lost or duplicated token (sum conservation);
+//
+//   * wildcard fan-out — takers match with a formal in the key field, so
+//     every round arms a leg on every shard and retracts the losers; the
+//     row surfaces the exactly-once ledger as counters;
+//
+//   * kill-one-shard failover — the same token swarm, but one shard is
+//     shut down between soak halves. Every request in the second half
+//     must still complete (puts fail over in ring order, registrations
+//     reroute off the open breaker), the sum check still balances, and
+//     the run fails unless at least one failover actually happened.
+//
+// A shard's resident tuples die with it — the router is a routing plane,
+// not replicated storage — so the failover row drains all tokens to rest
+// zero before the kill. What it measures is the routing plane's recovery,
+// not durability the substrate never promised.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ObsHarness.h"
+#include "dist/Shard.h"
+#include "dist/SpaceRouter.h"
+#include "sting/Sting.h"
+#include "support/Clock.h"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+using namespace sting;
+using namespace sting::dist;
+using TC = ThreadController;
+
+namespace {
+
+VmConfig routerConfig() {
+  VmConfig Config;
+  Config.NumVps = 4;
+  Config.NumPps = 2;
+  Config.EnablePreemption = true;
+  return Config;
+}
+
+/// Three in-process shards plus a router over them (the bench twin of the
+/// RouterTest fixture). Lives inside Vm.run — blocking members park.
+struct ShardedSpace {
+  std::vector<TupleSpaceRef> Spaces;
+  std::vector<std::unique_ptr<net::Server>> Servers;
+  std::unique_ptr<SpaceRouter> Router;
+
+  ShardedSpace(VirtualMachine &Vm, IoService &Io, std::size_t N) {
+    RouterConfig RC;
+    for (std::size_t S = 0; S != N; ++S) {
+      Spaces.push_back(TupleSpace::create());
+      Servers.push_back(net::Server::start(Vm, Io, shardHandler(Spaces[S])));
+      net::ClientConfig CC;
+      CC.Port = Servers[S]->port();
+      CC.MaxAttempts = 2;
+      CC.ConnectTimeoutNanos = 200'000'000;
+      CC.RequestTimeoutNanos = 2'000'000'000;
+      // Open fast against a dead shard so the failover row spends its
+      // time routing, not timing out against the same corpse repeatedly.
+      CC.Breaker.FailureThreshold = 2;
+      CC.Breaker.OpenCooldownNanos = 50'000'000;
+      RC.Shards.push_back(CC);
+    }
+    Router = std::make_unique<SpaceRouter>(Vm, Io, std::move(RC));
+  }
+
+  bool valid() const {
+    for (const auto &S : Servers)
+      if (!S)
+        return false;
+    return true;
+  }
+
+  void teardown() {
+    Router->shutdown();
+    for (auto &S : Servers)
+      if (S)
+        S->shutdown();
+  }
+};
+
+/// A fixnum key whose home shard (routeKey % Shards) is \p Want — spread
+/// is a stable hash, so the bench scans rather than assumes.
+std::int64_t keyHomedOn(std::size_t Want, std::size_t Shards) {
+  for (std::int64_t K = 0;; ++K) {
+    Tuple T;
+    T.emplace_back(K);
+    T.emplace_back("tok");
+    T.emplace_back(0);
+    auto H = routeKey(T);
+    if (H && *H % Shards == Want)
+      return K;
+  }
+}
+
+/// One put/take round trip for worker key \p Key carrying \p Value.
+/// \returns the taken value, or -1 on any failure.
+std::int64_t roundTrip(SpaceRouter &R, std::int64_t Key, std::int64_t Value) {
+  if (R.put(makeTuple(Key, "tok", Value)) != Status::Ok)
+    return -1;
+  Tuple Tmpl;
+  Tmpl.emplace_back(Key);
+  Tmpl.emplace_back("tok");
+  Tmpl.push_back(formal(0));
+  Match M;
+  if (R.takeUntil(std::move(Tmpl), Deadline::in(10'000'000'000), M) !=
+      Status::Ok)
+    return -1;
+  return M.binding(0).asFixnum();
+}
+
+/// Routed token swarm: \p range(0) workers, each owning one concrete key
+/// (keys spread across all three shards), looping put/take. Conservation:
+/// the sum of taken values must equal the sum of put values.
+void BM_RouterSwarm(benchmark::State &State) {
+  const int Workers = static_cast<int>(State.range(0));
+  constexpr int Rounds = 32;
+  constexpr std::size_t Shards = 3;
+
+  for (auto _ : State) {
+    State.PauseTiming();
+    VmConfig Config = routerConfig();
+    sting::bench::ObsHarness::instance().configure(Config);
+    VirtualMachine Vm(Config);
+    IoService Io;
+    State.ResumeTiming();
+
+    AnyValue R = Vm.run([&]() -> AnyValue {
+      ShardedSpace SS(Vm, Io, Shards);
+      if (!SS.valid())
+        return AnyValue(false);
+      std::atomic<long long> Sum{0};
+      std::vector<ThreadRef> Pool;
+      for (int W = 0; W != Workers; ++W)
+        Pool.push_back(TC::forkThread([&, W]() -> AnyValue {
+          const std::int64_t Key = keyHomedOn(W % Shards, Shards) + 100 * W;
+          for (int I = 0; I != Rounds; ++I) {
+            std::int64_t V = roundTrip(*SS.Router, Key, W * Rounds + I);
+            if (V < 0)
+              return AnyValue(false);
+            Sum.fetch_add(V, std::memory_order_relaxed);
+          }
+          return AnyValue(true);
+        }));
+      bool Ok = true;
+      for (ThreadRef &T : Pool)
+        Ok = Ok && TC::threadValue(*T).as<bool>();
+      const long long Total = (long long)Workers * Rounds;
+      Ok = Ok && Sum.load() == Total * (Total - 1) / 2;
+      SS.teardown();
+      return AnyValue(Ok);
+    });
+    if (!R.as<bool>()) {
+      State.SkipWithError("token lost or duplicated through the router");
+      break;
+    }
+
+    State.PauseTiming();
+    sting::bench::ObsHarness::instance().capture("router_swarm", Vm);
+    State.ResumeTiming();
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0) * Rounds * 2);
+}
+
+/// Wildcard fan-out: producers put id-led tokens, takers match with a
+/// formal key so every take arms a leg per shard and retracts the losers.
+/// The exactly-once ledger (Fanouts == Deliveries + Retracts + Orphans at
+/// rest) is the conservation property; its terms surface as counters.
+void BM_RouterFanout(benchmark::State &State) {
+  const int Takers = static_cast<int>(State.range(0));
+  constexpr int Rounds = 16;
+  std::uint64_t Fanouts = 0, Retracts = 0, Orphans = 0;
+
+  for (auto _ : State) {
+    State.PauseTiming();
+    VmConfig Config = routerConfig();
+    sting::bench::ObsHarness::instance().configure(Config);
+    VirtualMachine Vm(Config);
+    IoService Io;
+    State.ResumeTiming();
+
+    AnyValue R = Vm.run([&]() -> AnyValue {
+      ShardedSpace SS(Vm, Io, 3);
+      if (!SS.valid())
+        return AnyValue(false);
+      std::atomic<long long> Sum{0};
+      std::vector<ThreadRef> Pool;
+      for (int W = 0; W != Takers; ++W) {
+        Pool.push_back(TC::forkThread([&, W]() -> AnyValue {
+          for (int I = 0; I != Rounds; ++I)
+            if (SS.Router->put(makeTuple(W * Rounds + I, "fan",
+                                         W * Rounds + I)) != Status::Ok)
+              return AnyValue(false);
+          return AnyValue(true);
+        }));
+        Pool.push_back(TC::forkThread([&]() -> AnyValue {
+          for (int I = 0; I != Rounds; ++I) {
+            Tuple Tmpl;
+            Tmpl.push_back(formal(0));
+            Tmpl.emplace_back("fan");
+            Tmpl.push_back(formal(1));
+            Match M;
+            if (SS.Router->takeUntil(std::move(Tmpl),
+                                     Deadline::in(10'000'000'000),
+                                     M) != Status::Ok)
+              return AnyValue(false);
+            Sum.fetch_add(M.binding(1).asFixnum(), std::memory_order_relaxed);
+          }
+          return AnyValue(true);
+        }));
+      }
+      bool Ok = true;
+      for (ThreadRef &T : Pool)
+        Ok = Ok && TC::threadValue(*T).as<bool>();
+      const long long Total = (long long)Takers * Rounds;
+      Ok = Ok && Sum.load() == Total * (Total - 1) / 2;
+      // Let every losing leg resolve before reading the ledger.
+      Deadline D = Deadline::in(5'000'000'000);
+      while (SS.Router->pendingLegs() != 0 && !D.expired())
+        TC::yieldProcessor();
+      RouterStatsSnapshot S = SS.Router->statsSnapshot();
+      Ok = Ok && S.Fanouts == S.Deliveries + S.Retracts + S.Orphans;
+      Fanouts += S.Fanouts;
+      Retracts += S.Retracts;
+      Orphans += S.Orphans;
+      SS.teardown();
+      return AnyValue(Ok);
+    });
+    if (!R.as<bool>()) {
+      State.SkipWithError("fan-out ledger failed to balance");
+      break;
+    }
+
+    State.PauseTiming();
+    sting::bench::ObsHarness::instance().capture("router_fanout", Vm);
+    State.ResumeTiming();
+  }
+  State.counters["fanouts"] = static_cast<double>(Fanouts);
+  State.counters["retracts"] = static_cast<double>(Retracts);
+  State.counters["orphans"] = static_cast<double>(Orphans);
+  State.SetItemsProcessed(State.iterations() * State.range(0) * Rounds * 2);
+}
+
+/// Kill-one-shard failover: soak, drain to rest-zero, shut shard 2 down,
+/// soak again with the same keys — including ones homed on the corpse.
+/// Every second-half request must complete via failover/reroute, the sum
+/// must balance, and at least one RouterFailover must have happened.
+void BM_RouterFailover(benchmark::State &State) {
+  const int Workers = static_cast<int>(State.range(0));
+  constexpr int Rounds = 16;
+  constexpr std::size_t Shards = 3;
+  std::uint64_t Failovers = 0;
+
+  for (auto _ : State) {
+    State.PauseTiming();
+    VmConfig Config = routerConfig();
+    sting::bench::ObsHarness::instance().configure(Config);
+    VirtualMachine Vm(Config);
+    IoService Io;
+    State.ResumeTiming();
+
+    AnyValue R = Vm.run([&]() -> AnyValue {
+      ShardedSpace SS(Vm, Io, Shards);
+      if (!SS.valid())
+        return AnyValue(false);
+
+      std::atomic<long long> Sum{0};
+      auto soak = [&](int Base) -> bool {
+        std::vector<ThreadRef> Pool;
+        for (int W = 0; W != Workers; ++W)
+          Pool.push_back(TC::forkThread([&, W, Base]() -> AnyValue {
+            // Every worker's key homes on the victim shard in turn-about
+            // with the survivors, so the second half is guaranteed to
+            // route operations at the corpse.
+            const std::int64_t Key = keyHomedOn(W % Shards, Shards) + 100 * W;
+            for (int I = 0; I != Rounds; ++I) {
+              std::int64_t V =
+                  roundTrip(*SS.Router, Key, Base + W * Rounds + I);
+              if (V < 0)
+                return AnyValue(false);
+              Sum.fetch_add(V, std::memory_order_relaxed);
+            }
+            return AnyValue(true);
+          }));
+        bool Ok = true;
+        for (ThreadRef &T : Pool)
+          Ok = Ok && TC::threadValue(*T).as<bool>();
+        return Ok;
+      };
+
+      // First half, all shards up. Each round trip ends in a take, so
+      // joining the workers leaves zero tuples at rest anywhere — nothing
+      // resident for the kill to destroy.
+      if (!soak(0))
+        return AnyValue(false);
+
+      SS.Servers[2]->shutdown();
+      SS.Servers[2].reset();
+
+      // Second half: puts homed on shard 2 fail over in ring order, and
+      // the matching registrations reroute once the breaker opens.
+      if (!soak(Workers * Rounds))
+        return AnyValue(false);
+
+      const long long Total = 2LL * Workers * Rounds;
+      bool Ok = Sum.load() == Total * (Total - 1) / 2;
+      RouterStatsSnapshot S = SS.Router->statsSnapshot();
+      Ok = Ok && S.Failovers >= 1;
+      Failovers += S.Failovers;
+      SS.teardown();
+      return AnyValue(Ok);
+    });
+    if (!R.as<bool>()) {
+      State.SkipWithError(
+          "failover leaked, duplicated, or never left the home shard");
+      break;
+    }
+
+    State.PauseTiming();
+    sting::bench::ObsHarness::instance().capture("router_failover", Vm);
+    State.ResumeTiming();
+  }
+  State.counters["failovers"] = static_cast<double>(Failovers);
+  State.SetItemsProcessed(State.iterations() * State.range(0) * Rounds * 4);
+}
+
+} // namespace
+
+// Fixed iteration counts, same reasoning as app_netserver: every
+// iteration stands up a whole machine, three shard servers, and a router.
+BENCHMARK(BM_RouterSwarm)
+    ->ArgName("workers")
+    ->Arg(4)
+    ->Arg(16)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_RouterFanout)
+    ->ArgName("takers")
+    ->Arg(4)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_RouterFailover)
+    ->ArgName("workers")
+    ->Arg(8)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+STING_BENCH_MAIN();

@@ -1,0 +1,78 @@
+//===- dist/Route.cpp - Router protocol constants and routing hash ------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Route.h"
+
+namespace sting::dist {
+
+const char *statusName(Status S) {
+  switch (S) {
+  case Status::Ok:
+    return "ok";
+  case Status::Unavailable:
+    return "unavailable";
+  case Status::Timeout:
+    return "timeout";
+  case Status::Canceled:
+    return "canceled";
+  case Status::Error:
+    return "error";
+  }
+  return "?";
+}
+
+bool writeField(net::wire::Writer &W, const Field &F) {
+  switch (F.kind()) {
+  case Field::Kind::Datum:
+    if (F.hasPendingText())
+      W.text(F.pendingText());
+    else if (F.hasPendingBlob())
+      W.blob(F.pendingBlob());
+    else
+      W.value(F.value());
+    return true;
+  case Field::Kind::Formal:
+    W.formal(F.formalIndex());
+    return true;
+  case Field::Kind::LiveThread:
+  case Field::Kind::Thunk:
+    return false;
+  }
+  return false;
+}
+
+bool writeTupleFields(net::wire::Writer &W, const Tuple &T) {
+  for (const Field &F : T)
+    if (!writeField(W, F))
+      return false;
+  return true;
+}
+
+std::optional<std::uint64_t> routeKey(const Tuple &T) {
+  if (!T.empty() && T.front().kind() != Field::Kind::Datum)
+    return std::nullopt;
+  // FNV-1a over (arity LE32, field-0 wire bytes). The temporary Writer's
+  // first byte is its opcode; skip it so only field bytes feed the hash.
+  std::uint64_t H = 0xcbf29ce484222325ull;
+  auto Mix = [&H](std::uint8_t B) {
+    H ^= B;
+    H *= 0x100000001b3ull;
+  };
+  std::uint32_t Arity = static_cast<std::uint32_t>(T.size());
+  for (int I = 0; I < 4; ++I)
+    Mix(static_cast<std::uint8_t>(Arity >> (8 * I)));
+  if (!T.empty()) {
+    net::wire::Writer W(net::wire::Op::Echo);
+    if (!writeField(W, T.front()))
+      return std::nullopt;
+    const auto &P = W.payload();
+    for (std::size_t I = 1; I < P.size(); ++I)
+      Mix(P[I]);
+  }
+  return H;
+}
+
+} // namespace sting::dist

@@ -1,0 +1,68 @@
+//===- dist/Route.h - Router protocol constants and routing hash -*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared vocabulary of the sharded tuple-space router (DESIGN.md §13):
+/// the registration-protocol version exchanged in the Hello/HelloOk
+/// handshake, the router-facing operation status, and the routing hash.
+///
+/// Routing is by a *stable* hash of a tuple's concrete key — its arity
+/// plus the wire encoding of field 0. Hashing wire bytes (not in-process
+/// pointers) is what makes the placement agree across processes and
+/// across field spellings: a pending-text field and an interned Symbol
+/// of the same characters marshal to the same Text bytes, so a put and a
+/// later template for the same key always meet on the same shard. A
+/// template whose field 0 is a formal has no concrete key and fans out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_DIST_ROUTE_H
+#define STING_DIST_ROUTE_H
+
+#include "net/Wire.h"
+#include "tuple/Tuple.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace sting::dist {
+
+/// Registration-protocol version, carried as the one Fixnum field of
+/// Hello and HelloOk. A shard that speaks a different version replies
+/// Err and closes — a clean refusal, never a hang.
+constexpr std::int64_t WireVersion = 1;
+
+/// How a router operation ended. Mirrors net::RequestStatus but speaks
+/// in shards: Unavailable means *every* candidate shard's breaker was
+/// open (or every registration leg died), not a single-endpoint failure.
+enum class Status : std::uint8_t {
+  Ok,          ///< the operation completed (put acked / match delivered)
+  Unavailable, ///< no candidate shard admitted the operation
+  Timeout,     ///< the caller's deadline expired with no match
+  Canceled,    ///< router shutdown / IoService teardown unwound the call
+  Error,       ///< malformed tuple, protocol error, or transport failure
+};
+
+/// \returns a stable short name for \p S (tests, Err replies).
+const char *statusName(Status S);
+
+/// Marshals one tuple/template field into \p W. \returns false for kinds
+/// the wire cannot carry (live threads, thunks) — those never leave the
+/// process.
+bool writeField(net::wire::Writer &W, const Field &F);
+
+/// Marshals every field of \p T. \returns false if any field is
+/// unmarshalable.
+bool writeTupleFields(net::wire::Writer &W, const Tuple &T);
+
+/// The routing key: FNV-1a over the arity and field 0's wire encoding.
+/// nullopt when field 0 is not concrete data (a formal, live thread or
+/// thunk) — such tuples/templates have no home shard.
+std::optional<std::uint64_t> routeKey(const Tuple &T);
+
+} // namespace sting::dist
+
+#endif // STING_DIST_ROUTE_H

@@ -1,0 +1,384 @@
+//===- dist/Shard.cpp - Shard-side tuple-space service ------------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Shard.h"
+
+#include "core/Gc.h"
+#include "core/ThreadController.h"
+#include "dist/Route.h"
+#include "gc/GlobalHeap.h"
+#include "net/Wire.h"
+#include "obs/Flow.h"
+#include "support/SpinLock.h"
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace sting::dist {
+
+namespace {
+
+using net::BufferedConn;
+namespace wire = net::wire;
+
+bool sendPayload(BufferedConn &C, const wire::Writer &W) {
+  return C.writeFrame(W.payload().data(), W.payload().size()) && C.flush();
+}
+
+bool sendError(BufferedConn &C, const char *Reason) {
+  wire::Writer W(wire::Op::Err);
+  W.text(Reason);
+  return sendPayload(C, W);
+}
+
+void adoptFlow(std::uint64_t F) {
+  if (!F)
+    return;
+  obs::setCurrentFlowId(F);
+  if (Thread *T = currentThread())
+    T->setFlowId(F);
+}
+
+void stampReplyFlow(wire::Writer &W) {
+  if (obs::FlowId F = obs::currentFlowId())
+    W.flow(F);
+}
+
+/// One queued push frame (Deliver or Retracted). For a *take* delivery the
+/// consumed tuple's values ride along, GC-rooted, so a frame the
+/// connection dies before flushing can re-deposit its tuple — the
+/// exactly-once half the shard owes (the router owes the other half for
+/// frames that *were* flushed).
+struct OutFrame {
+  std::vector<std::uint8_t> Payload;
+  std::uint64_t Id = 0;             ///< owning registration; 0 = none
+  std::vector<gc::Value> Redeposit; ///< non-empty only for take deliveries
+};
+
+/// Per-connection registration state. The reader thread owns the
+/// BufferedConn; depositor threads only touch the lock-guarded queue via
+/// the proxy delivery callback.
+class ShardConn {
+public:
+  ShardConn(TupleSpaceRef Space, BufferedConn &C, const ShardConfig &Cfg)
+      : Space(std::move(Space)), C(C), Cfg(Cfg) {}
+
+  ~ShardConn() { teardown(); }
+
+  TupleSpaceRef Space;
+  BufferedConn &C;
+  ShardConfig Cfg;
+
+  enum class RegState : std::uint8_t {
+    Armed,    ///< registered in the space, no delivery yet
+    Enqueued, ///< delivery callback ran; its frame is in (or past) Out
+  };
+
+  SpinLock Lock;
+  std::unordered_map<std::uint64_t, RegState> Regs;
+  std::deque<std::unique_ptr<OutFrame>> Out;
+  bool ConnDead = false; ///< write side failed; stop queuing sends
+
+  bool hasWork() {
+    std::lock_guard<SpinLock> G(Lock);
+    return !Regs.empty() || !Out.empty();
+  }
+
+  /// The proxy delivery callback (depositor thread, outside all space
+  /// locks): serialize the match now — values may be unreachable from the
+  /// space once consumed — and queue the frame for the reader thread.
+  void onDeliver(std::uint64_t Id, Match M, bool Remove) {
+    wire::Writer W(wire::Op::Deliver);
+    if (std::uint64_t F = M.Flow ? M.Flow : obs::currentFlowId())
+      W.flow(F);
+    W.fixnum(static_cast<std::int64_t>(Id));
+    for (gc::Value V : M.Fields)
+      W.value(V);
+    auto Fr = std::make_unique<OutFrame>();
+    Fr->Payload = W.payload();
+    Fr->Id = Id;
+    if (Remove) {
+      Fr->Redeposit = std::move(M.Fields);
+      for (gc::Value &Slot : Fr->Redeposit)
+        Space->heap().addRoot(&Slot);
+    }
+    std::lock_guard<SpinLock> G(Lock);
+    auto It = Regs.find(Id);
+    if (It != Regs.end())
+      It->second = RegState::Enqueued;
+    Out.push_back(std::move(Fr));
+  }
+
+  /// Releases \p Fr. \p Sent distinguishes a flushed frame (roots only)
+  /// from a dropped one (re-deposit a consumed tuple first).
+  void dispose(std::unique_ptr<OutFrame> Fr, bool Sent) {
+    if (!Fr->Redeposit.empty()) {
+      for (gc::Value &Slot : Fr->Redeposit)
+        Space->heap().removeRoot(&Slot);
+      if (!Sent) {
+        Tuple T;
+        T.reserve(Fr->Redeposit.size());
+        for (gc::Value V : Fr->Redeposit)
+          T.emplace_back(V);
+        Space->put(std::move(T));
+      }
+    }
+  }
+
+  /// Sends every queued push frame. \returns false once the write side
+  /// fails; queued and future frames then drain through teardown.
+  bool drainOut() {
+    for (;;) {
+      std::unique_ptr<OutFrame> Fr;
+      {
+        std::lock_guard<SpinLock> G(Lock);
+        if (ConnDead || Out.empty())
+          return !ConnDead;
+        Fr = std::move(Out.front());
+        Out.pop_front();
+      }
+      bool Sent = C.writeFrame(Fr->Payload.data(), Fr->Payload.size(),
+                               Deadline::in(Cfg.PollNanos * 1000)) &&
+                  C.flush(Deadline::in(Cfg.PollNanos * 1000));
+      std::uint64_t Id = Fr->Id;
+      dispose(std::move(Fr), Sent);
+      if (!Sent) {
+        std::lock_guard<SpinLock> G(Lock);
+        ConnDead = true;
+        return false;
+      }
+      if (Id) {
+        // The registration completed observably; forget it. (A later
+        // Retract for it answers wasArmed=false via the unknown-id path.)
+        std::lock_guard<SpinLock> G(Lock);
+        auto It = Regs.find(Id);
+        if (It != Regs.end() && It->second == RegState::Enqueued)
+          Regs.erase(It);
+      }
+    }
+  }
+
+  /// Connection exit: every registration resolves exactly once. Armed ones
+  /// retract (their tuples never left the space); delivered ones either
+  /// flushed their frame (the router owns the tuple) or re-deposit it.
+  void teardown() {
+    for (;;) {
+      std::uint64_t Id = 0;
+      {
+        std::lock_guard<SpinLock> G(Lock);
+        if (Regs.empty())
+          break;
+        Id = Regs.begin()->first;
+      }
+      if (Space->retractProxy(Id)) {
+        std::lock_guard<SpinLock> G(Lock);
+        Regs.erase(Id);
+        continue;
+      }
+      // A delivery owns the registration. Its callback may still be
+      // running on the depositor thread; wait for the frame to reach the
+      // queue (it always does — the callback fires exactly once and
+      // cannot block on the space).
+      for (;;) {
+        {
+          std::lock_guard<SpinLock> G(Lock);
+          auto It = Regs.find(Id);
+          if (It == Regs.end() || It->second == RegState::Enqueued) {
+            Regs.erase(Id);
+            break;
+          }
+        }
+        ThreadController::yieldProcessor();
+      }
+    }
+    // No registration remains, so no further callback can enqueue: the
+    // queue is final. Drop every unsent frame, re-depositing consumed
+    // tuples.
+    std::deque<std::unique_ptr<OutFrame>> Dropped;
+    {
+      std::lock_guard<SpinLock> G(Lock);
+      Dropped.swap(Out);
+      ConnDead = true;
+    }
+    for (auto &Fr : Dropped)
+      dispose(std::move(Fr), /*Sent=*/false);
+  }
+};
+
+void serveShardConn(ShardConn &S) {
+  BufferedConn &C = S.C;
+  std::vector<std::uint8_t> Frame;
+  for (;;) {
+    if (!S.drainOut())
+      return;
+    // With registrations or queued pushes pending, poll so depositor
+    // deliveries drain promptly; otherwise block until the client speaks.
+    Deadline Poll =
+        S.hasWork() ? Deadline::in(S.Cfg.PollNanos) : Deadline::never();
+    if (!C.readFrame(Frame, Poll)) {
+      if (errno == ETIMEDOUT)
+        continue; // poll lap: drain pushes, try again
+      return;     // EOF or connection error
+    }
+    wire::Reader R(Frame.data(), Frame.size());
+    if (!R.ok()) {
+      if (!sendError(C, "malformed frame"))
+        return;
+      continue;
+    }
+    adoptFlow(R.takeFlow());
+    switch (R.op()) {
+    case wire::Op::Hello: {
+      wire::ReadField F;
+      if (!R.next(F) || F.T != wire::Tag::Fixnum) {
+        if (!sendError(C, "malformed hello"))
+          return;
+        break;
+      }
+      if (F.Num != WireVersion) {
+        // Clean refusal, then close: the router surfaces this as a leg
+        // failure instead of hanging on a silent peer.
+        sendError(C, "version mismatch");
+        return;
+      }
+      wire::Writer W(wire::Op::HelloOk);
+      stampReplyFlow(W);
+      W.fixnum(WireVersion);
+      if (!sendPayload(C, W))
+        return;
+      break;
+    }
+    case wire::Op::Register: {
+      wire::ReadField IdF, FlagsF;
+      Tuple Template;
+      if (!R.next(IdF) || IdF.T != wire::Tag::Fixnum || !R.next(FlagsF) ||
+          FlagsF.T != wire::Tag::Fixnum ||
+          !wire::readTuple(R, Template)) {
+        if (!sendError(C, "malformed register"))
+          return;
+        break;
+      }
+      std::uint64_t Id = static_cast<std::uint64_t>(IdF.Num);
+      bool Remove = (FlagsF.Num & 1) != 0;
+      bool Duplicate;
+      {
+        std::lock_guard<SpinLock> G(S.Lock);
+        Duplicate = S.Regs.count(Id) != 0;
+        // Insert before arming so the callback (which can fire inside
+        // registerProxy on an immediate match) finds the entry.
+        if (!Duplicate)
+          S.Regs.emplace(Id, ShardConn::RegState::Armed);
+      }
+      if (Duplicate) {
+        // Reply outside the lock: a socket write can park, and SpinLock
+        // holders must never park.
+        if (!sendError(C, "duplicate registration id"))
+          return;
+        break;
+      }
+      bool Ok = S.Space->registerProxy(
+          Id, std::move(Template), Remove,
+          [&S, Remove](std::uint64_t RegId, Match M) {
+            S.onDeliver(RegId, std::move(M), Remove);
+          });
+      if (!Ok) {
+        {
+          std::lock_guard<SpinLock> G(S.Lock);
+          S.Regs.erase(Id);
+        }
+        // "Dead on arrival": never armed, no delivery will ever fire —
+        // the same promise a successful while-armed retract makes.
+        wire::Writer W(wire::Op::Retracted);
+        stampReplyFlow(W);
+        W.fixnum(static_cast<std::int64_t>(Id));
+        W.boolean(true);
+        if (!sendPayload(C, W))
+          return;
+      }
+      break;
+    }
+    case wire::Op::Retract: {
+      wire::ReadField IdF;
+      if (!R.next(IdF) || IdF.T != wire::Tag::Fixnum) {
+        if (!sendError(C, "malformed retract"))
+          return;
+        break;
+      }
+      std::uint64_t Id = static_cast<std::uint64_t>(IdF.Num);
+      bool WasArmed = S.Space->retractProxy(Id);
+      if (WasArmed) {
+        std::lock_guard<SpinLock> G(S.Lock);
+        S.Regs.erase(Id);
+      }
+      STING_TRACE_EVENT(RouterRetract, 0,
+                        WasArmed ? (1u << 16) : 0u);
+      wire::Writer W(wire::Op::Retracted);
+      stampReplyFlow(W);
+      W.fixnum(static_cast<std::int64_t>(Id));
+      W.boolean(WasArmed);
+      if (!sendPayload(C, W))
+        return;
+      break;
+    }
+    case wire::Op::TsOut: {
+      Tuple T;
+      if (!wire::readTuple(R, T)) {
+        if (!sendError(C, "malformed tuple"))
+          return;
+        break;
+      }
+      S.Space->put(std::move(T));
+      wire::Writer W(wire::Op::TsAck);
+      stampReplyFlow(W);
+      if (!sendPayload(C, W))
+        return;
+      break;
+    }
+    case wire::Op::TsRd:
+    case wire::Op::TsIn: {
+      bool Destructive = R.op() == wire::Op::TsIn;
+      Tuple T;
+      if (!wire::readTuple(R, T)) {
+        if (!sendError(C, "malformed template"))
+          return;
+        break;
+      }
+      // Parks the connection thread like net::tupleSpaceHandler — the
+      // unary path for pool connections. Registration connections never
+      // send these.
+      Match M = Destructive ? S.Space->take(std::move(T))
+                            : S.Space->read(std::move(T));
+      wire::Writer W(wire::Op::TsMatch);
+      stampReplyFlow(W);
+      wire::writeMatch(W, M);
+      if (!sendPayload(C, W))
+        return;
+      break;
+    }
+    default:
+      if (!sendError(C, "unknown op"))
+        return;
+      break;
+    }
+  }
+}
+
+} // namespace
+
+net::Server::Handler shardHandler(TupleSpaceRef Space, ShardConfig Config) {
+  return [Space, Config](BufferedConn &C) {
+    ShardConn S(Space, C, Config);
+    serveShardConn(S);
+    // ~ShardConn retracts/re-deposits; it must run before the server
+    // closes the socket, which the handler-returns-then-close order
+    // guarantees.
+  };
+}
+
+} // namespace sting::dist

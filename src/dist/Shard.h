@@ -1,0 +1,63 @@
+//===- dist/Shard.h - Shard-side tuple-space service ------------*- C++ -*-===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shard half of the sharded tuple-space router (DESIGN.md §13): a
+/// net::Server handler that serves one shard's slice of the logical space.
+/// It is a superset of net::tupleSpaceHandler — TsOut/TsRd/TsIn behave
+/// identically — plus the registration protocol:
+///
+///  - Hello/HelloOk: version handshake opening a registration connection;
+///    a version mismatch gets an Err reply and a close, never a hang.
+///
+///  - Register(id, flags, template): arms a registration *proxy* in the
+///    space (TupleSpace::registerProxy) on behalf of a remote waiter. No
+///    connection thread parks per blocked take — the registration is an
+///    entry in the space's blocked-reader table, and a matching deposit's
+///    callback enqueues a Deliver(id, fields) push frame.
+///
+///  - Retract(id): retracts the registration, answering Retracted(id,
+///    wasArmed). wasArmed=true is the HandoffList retract-or-observe
+///    guarantee on the wire: no delivery fired and none will. wasArmed=
+///    false means a delivery owns the registration — its Deliver frame is
+///    already on this connection or still in flight from the depositor's
+///    callback, so the router must keep the registration record until the
+///    Deliver arrives (frames from the two sources are NOT ordered).
+///
+/// Exactly-once conservation across connection death: teardown retracts
+/// every armed registration (the tuple never left the space) and
+/// re-deposits the tuple of every *take* delivery whose Deliver frame was
+/// never flushed to the socket — a consumed tuple is either observably
+/// delivered or back in the space, never silently dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STING_DIST_SHARD_H
+#define STING_DIST_SHARD_H
+
+#include "net/Server.h"
+#include "net/Services.h"
+
+#include <cstdint>
+
+namespace sting::dist {
+
+struct ShardConfig {
+  /// Outbound-drain poll period once a connection holds registrations or
+  /// queued push frames: the reader thread alternates timed frame reads
+  /// with queue drains, bounding Deliver push latency by this period.
+  std::uint64_t PollNanos = 1'000'000;
+};
+
+/// \returns a handler serving \p Space as one shard: the tuple service
+/// ops plus the registration protocol above. Blocking TsRd/TsIn still
+/// park the connection thread (pool connections); routers keep
+/// registrations on a dedicated connection and never mix the two.
+net::Server::Handler shardHandler(TupleSpaceRef Space, ShardConfig Config = {});
+
+} // namespace sting::dist
+
+#endif // STING_DIST_SHARD_H

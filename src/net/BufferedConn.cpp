@@ -50,8 +50,16 @@ bool BufferedConn::ensureBuffered(std::size_t N, Deadline D) {
     std::size_t Need = N - (InEnd - InPos);
     reserveTail(Need < 4096 ? 4096 : Need);
     ssize_t Rc = Sock.readUntil(In.data() + InEnd, In.size() - InEnd, D);
-    if (Rc <= 0)
-      return false; // a timed-out/EOF'd call consumes and keeps nothing
+    if (Rc == 0) {
+      // EOF. ::read leaves errno untouched on a clean close, which would
+      // let whatever errno the carrier OS thread last saw leak through —
+      // a serve loop distinguishing "poll lap" (ETIMEDOUT) from
+      // "connection gone" would then spin on a dead socket forever.
+      errno = ECONNRESET;
+      return false;
+    }
+    if (Rc < 0)
+      return false; // a timed-out call consumes and keeps nothing
     InEnd += static_cast<std::size_t>(Rc);
   }
   return true;

@@ -1,4 +1,4 @@
-//===- net/Pool.cpp - Bounded client connection pool --------------------------===//
+//===- net/Pool.cpp - Bounded multi-endpoint connection pool ------------------===//
 //
 // Part of libsting. See DESIGN.md for the system overview.
 //
@@ -14,23 +14,69 @@
 
 namespace sting::net {
 
-std::unique_ptr<Client> ConnectionPool::tryTake() {
-  std::lock_guard<SpinLock> Guard(Lock);
-  if (!Idle.empty()) {
-    std::unique_ptr<Client> C = std::move(Idle.back());
-    Idle.pop_back();
-    ++Outstanding;
+std::unique_ptr<Client> ConnectionPool::takeLocked(Endpoint &End,
+                                                   std::size_t Idx) {
+  if (!End.Idle.empty()) {
+    std::unique_ptr<Client> C = std::move(End.Idle.back());
+    End.Idle.pop_back();
+    ++End.Outstanding;
     return C;
   }
-  if (Outstanding + Idle.size() < Config.MaxConnections) {
-    ++Outstanding;
-    return std::make_unique<Client>(*Io, Config.Client, &Breaker);
+  if (End.Outstanding + End.Idle.size() < Config.MaxConnections) {
+    ++End.Outstanding;
+    return std::make_unique<Client>(*Io, Config.Endpoints[Idx], &End.Breaker);
   }
   return nullptr;
 }
 
-ConnectionPool::Lease ConnectionPool::checkout(Deadline D) {
-  std::unique_ptr<Client> C = tryTake();
+std::unique_ptr<Client> ConnectionPool::tryTake(std::size_t E) {
+  std::lock_guard<SpinLock> Guard(Lock);
+  return takeLocked(*Ends[E], E);
+}
+
+std::unique_ptr<Client> ConnectionPool::tryTakeAny(std::size_t &E) {
+  const std::size_t N = Ends.size();
+  const std::size_t Start = Rr.fetch_add(1, std::memory_order_relaxed) % N;
+  std::lock_guard<SpinLock> Guard(Lock);
+  // Two passes: prefer endpoints whose breaker is not open (so a downed
+  // shard carries no new traffic while its siblings have capacity), but
+  // when *every* breaker is open still hand out a client — the request
+  // then collects the breaker's fast BreakerOpen verdict (or becomes its
+  // half-open probe) instead of a misleading checkout timeout.
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    std::size_t Best = N;          // N = none found
+    std::size_t BestFree = 0;
+    for (std::size_t I = 0; I < N; ++I) {
+      const std::size_t Idx = (Start + I) % N;
+      Endpoint &End = *Ends[Idx];
+      if (Pass == 0 && End.Breaker.state() == BreakerState::Open)
+        continue;
+      if (End.Idle.empty() &&
+          End.Outstanding + End.Idle.size() >= Config.MaxConnections)
+        continue; // at the cap with nothing idle: cannot lease
+      // Weight: free lease capacity. Idle clients count as free, so the
+      // pick spreads load toward the least-loaded live endpoint; ties go
+      // to the rotating start offset (round-robin).
+      const std::size_t Free = Config.MaxConnections > End.Outstanding
+                                   ? Config.MaxConnections - End.Outstanding
+                                   : 0;
+      if (Best == N || Free > BestFree) {
+        Best = Idx;
+        BestFree = Free;
+      }
+    }
+    if (Best != N) {
+      E = Best;
+      return takeLocked(*Ends[Best], Best);
+    }
+  }
+  return nullptr;
+}
+
+template <typename TakeFn>
+ConnectionPool::Lease ConnectionPool::slowCheckout(TakeFn Take, Deadline D) {
+  std::size_t E = 0;
+  std::unique_ptr<Client> C = Take(E);
   if (!C) {
     // At the cap: park until a checkin frees a client. The condition's
     // side effect (taking the client) runs under the ParkList protocol,
@@ -39,7 +85,7 @@ ConnectionPool::Lease ConnectionPool::checkout(Deadline D) {
     if (VirtualProcessor *Vp = currentVp())
       Vp->stats().PoolCheckoutWaits.inc();
     WaitResult W = Waiters.awaitUntil(
-        [&] { return (C = tryTake()) != nullptr; }, this, D);
+        [&] { return (C = Take(E)) != nullptr; }, this, D);
     if (!C) {
       // Tell shutdown apart from endpoint slowness: a wait cut short by
       // service teardown (or any non-timeout unwind that left us without
@@ -50,7 +96,20 @@ ConnectionPool::Lease ConnectionPool::checkout(Deadline D) {
       return Lease();
     }
   }
-  return Lease(this, std::move(C));
+  return Lease(this, E, std::move(C));
+}
+
+ConnectionPool::Lease ConnectionPool::checkout(Deadline D) {
+  return slowCheckout([this](std::size_t &E) { return tryTakeAny(E); }, D);
+}
+
+ConnectionPool::Lease ConnectionPool::checkoutFrom(std::size_t E, Deadline D) {
+  return slowCheckout(
+      [this, E](std::size_t &Out) {
+        Out = E;
+        return tryTake(E);
+      },
+      D);
 }
 
 RequestStatus ConnectionPool::request(const wire::Writer &W,
@@ -63,13 +122,24 @@ RequestStatus ConnectionPool::request(const wire::Writer &W,
   return L->request(W, Reply);
 }
 
-void ConnectionPool::checkin(std::unique_ptr<Client> C) {
+RequestStatus ConnectionPool::requestFrom(std::size_t E, const wire::Writer &W,
+                                          std::vector<std::uint8_t> &Reply,
+                                          Deadline D) {
+  Lease L = checkoutFrom(E, D);
+  if (!L)
+    return errno == ECANCELED ? RequestStatus::Canceled
+                              : RequestStatus::Timeout;
+  return L->request(W, Reply);
+}
+
+void ConnectionPool::checkin(std::size_t E, std::unique_ptr<Client> C) {
   {
     std::lock_guard<SpinLock> Guard(Lock);
-    --Outstanding;
+    Endpoint &End = *Ends[E];
+    --End.Outstanding;
     // Returned even when its connection broke: the client reconnects
     // lazily, and dropping it here would shrink the pool under churn.
-    Idle.push_back(std::move(C));
+    End.Idle.push_back(std::move(C));
   }
   Waiters.wakeOne();
 }

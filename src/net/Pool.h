@@ -1,19 +1,25 @@
-//===- net/Pool.h - Bounded client connection pool --------------*- C++ -*-===//
+//===- net/Pool.h - Bounded multi-endpoint connection pool ------*- C++ -*-===//
 //
 // Part of libsting. See DESIGN.md for the system overview.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A bounded pool of net::Clients for one endpoint, with the substrate's
-/// own blocking discipline: checkout at the size cap parks the calling
-/// *thread* on a ParkList (charging PoolCheckoutWaits) until a lease is
-/// returned — the VP keeps dispatching. All clients share one
-/// CircuitBreaker, so the pool learns an endpoint outage once instead of
-/// MaxConnections times.
+/// A bounded pool of net::Clients over one *or more* endpoints, with the
+/// substrate's own blocking discipline: checkout at the size cap parks the
+/// calling *thread* on a ParkList (charging PoolCheckoutWaits) until a
+/// lease is returned — the VP keeps dispatching.
 ///
-/// Invariants (pinned by tests, documented in DESIGN.md section 11):
-///  - at most MaxConnections clients exist (leased + idle);
+/// Each endpoint owns one CircuitBreaker shared by all of its clients, so
+/// the pool learns an endpoint outage once per endpoint instead of
+/// MaxConnections times — and an outage of shard A never trips shard B's
+/// breaker. The unpinned checkout does a weighted pick among endpoints
+/// whose breaker is not open (most free capacity wins, round-robin on
+/// ties); the pinned checkout(Endpoint, D) is what a router uses to reach
+/// a tuple's home shard.
+///
+/// Invariants (pinned by tests, documented in DESIGN.md sections 11/13):
+///  - at most MaxConnections clients exist *per endpoint* (leased + idle);
 ///  - a Lease is single-owner and returns its client on destruction, on
 ///    every path including cancellation unwind;
 ///  - clients are returned to the pool even when their connection broke —
@@ -38,24 +44,37 @@
 namespace sting::net {
 
 struct PoolConfig {
-  std::size_t MaxConnections = 8; ///< hard cap on clients (leased + idle)
-  ClientConfig Client;            ///< endpoint + retry policy per client
+  std::size_t MaxConnections = 8; ///< cap per endpoint (leased + idle)
+  /// Single-endpoint form (the PR 7 surface): used when Endpoints is
+  /// empty, so existing call sites configure exactly one endpoint here.
+  ClientConfig Client;
+  /// Multi-endpoint form: when non-empty, one pooled endpoint (with its
+  /// own breaker, from each entry's Breaker config) per element; the
+  /// Client field above is ignored.
+  std::vector<ClientConfig> Endpoints;
 };
 
 /// A bounded, parking client pool. Thread-safe; leases are not.
 class ConnectionPool {
 public:
-  ConnectionPool(IoService &Io, PoolConfig Config)
-      : Io(&Io), Config(std::move(Config)),
-        Breaker(this->Config.Client.Breaker) {
-    if (this->Config.MaxConnections == 0)
-      this->Config.MaxConnections = 1;
+  ConnectionPool(IoService &Io, PoolConfig Config) : Io(&Io) {
+    if (Config.MaxConnections == 0)
+      Config.MaxConnections = 1;
+    if (Config.Endpoints.empty())
+      Config.Endpoints.push_back(Config.Client);
+    this->Config = std::move(Config);
+    Ends.reserve(this->Config.Endpoints.size());
+    for (const ClientConfig &CC : this->Config.Endpoints)
+      Ends.push_back(std::make_unique<Endpoint>(CC.Breaker));
   }
 
   ~ConnectionPool() {
     // Every lease must be home before the pool dies (same contract as a
     // Server outliving its connections).
-    assert(Outstanding == 0 && "pool destroyed with leases outstanding");
+#ifndef NDEBUG
+    for (const auto &E : Ends)
+      assert(E->Outstanding == 0 && "pool destroyed with leases outstanding");
+#endif
   }
 
   ConnectionPool(const ConnectionPool &) = delete;
@@ -66,11 +85,12 @@ public:
   public:
     Lease() = default;
     Lease(Lease &&O) noexcept
-        : P(std::exchange(O.P, nullptr)), C(std::move(O.C)) {}
+        : P(std::exchange(O.P, nullptr)), E(O.E), C(std::move(O.C)) {}
     Lease &operator=(Lease &&O) noexcept {
       if (this != &O) {
         reset();
         P = std::exchange(O.P, nullptr);
+        E = O.E;
         C = std::move(O.C);
       }
       return *this;
@@ -80,44 +100,69 @@ public:
     explicit operator bool() const { return C != nullptr; }
     Client &operator*() { return *C; }
     Client *operator->() { return C.get(); }
+    /// Which endpoint the client dials (index into PoolConfig::Endpoints).
+    std::size_t endpoint() const { return E; }
 
     /// Early checkin.
     void reset() {
       if (P && C)
-        P->checkin(std::move(C));
+        P->checkin(E, std::move(C));
       P = nullptr;
       C = nullptr;
     }
 
   private:
     friend class ConnectionPool;
-    Lease(ConnectionPool *Pool, std::unique_ptr<Client> Cl)
-        : P(Pool), C(std::move(Cl)) {}
+    Lease(ConnectionPool *Pool, std::size_t E, std::unique_ptr<Client> Cl)
+        : P(Pool), E(E), C(std::move(Cl)) {}
 
     ConnectionPool *P = nullptr;
+    std::size_t E = 0;
     std::unique_ptr<Client> C;
   };
 
-  /// Checks a client out, parking at the cap until one is returned or
-  /// \p D expires (empty lease, errno=ETIMEDOUT) — unless the wait was
-  /// cut short by service shutdown, which yields an empty lease with
-  /// errno=ECANCELED so callers can tell teardown from endpoint
-  /// slowness. Parking requires a sting thread; off-substrate callers
-  /// must size the pool so the fast path always succeeds.
+  /// Checks a client out of any endpoint — weighted pick among endpoints
+  /// whose breaker is not open (most free capacity first, round-robin on
+  /// ties), falling back to open-breaker endpoints so the caller gets the
+  /// breaker's fast BreakerOpen verdict rather than a bogus timeout.
+  /// Parks at the cap until a lease is returned or \p D expires (empty
+  /// lease, errno=ETIMEDOUT) — unless the wait was cut short by service
+  /// shutdown, which yields an empty lease with errno=ECANCELED so callers
+  /// can tell teardown from endpoint slowness. Parking requires a sting
+  /// thread; off-substrate callers must size the pool so the fast path
+  /// always succeeds.
   Lease checkout(Deadline D = Deadline::never());
+
+  /// Pinned checkout from endpoint \p E (a router's home-shard path).
+  /// Same parking/deadline contract as the unpinned form.
+  Lease checkoutFrom(std::size_t E, Deadline D = Deadline::never());
 
   /// Convenience: checkout + request + checkin.
   RequestStatus request(const wire::Writer &W,
                         std::vector<std::uint8_t> &Reply,
                         Deadline D = Deadline::never());
 
-  /// The shared per-endpoint breaker.
-  CircuitBreaker &breaker() { return Breaker; }
+  /// Pinned convenience for endpoint \p E.
+  RequestStatus requestFrom(std::size_t E, const wire::Writer &W,
+                            std::vector<std::uint8_t> &Reply,
+                            Deadline D = Deadline::never());
 
-  /// Clients in existence (leased + idle).
+  std::size_t endpointCount() const { return Ends.size(); }
+
+  /// Endpoint \p E's breaker.
+  CircuitBreaker &breaker(std::size_t E) { return Ends[E]->Breaker; }
+
+  /// The first endpoint's breaker (the whole pool's, in the
+  /// single-endpoint configuration — the PR 7 surface).
+  CircuitBreaker &breaker() { return breaker(0); }
+
+  /// Clients in existence across all endpoints (leased + idle).
   std::size_t clientCount() const {
     std::lock_guard<SpinLock> Guard(Lock);
-    return Outstanding + Idle.size();
+    std::size_t N = 0;
+    for (const auto &E : Ends)
+      N += E->Outstanding + E->Idle.size();
+    return N;
   }
 
   /// Checkouts that had to park at the cap.
@@ -128,19 +173,32 @@ public:
 private:
   friend class Lease;
 
-  void checkin(std::unique_ptr<Client> C);
-  /// Idle pop or under-cap create; null at the cap. Bumps Outstanding on
-  /// success.
-  std::unique_ptr<Client> tryTake();
+  /// One pooled endpoint: its breaker (shared by all its clients) and its
+  /// bounded client set. Idle/Outstanding are guarded by the pool Lock.
+  struct Endpoint {
+    explicit Endpoint(const BreakerConfig &BC) : Breaker(BC) {}
+    CircuitBreaker Breaker;
+    std::vector<std::unique_ptr<Client>> Idle;
+    std::size_t Outstanding = 0;
+  };
+
+  void checkin(std::size_t E, std::unique_ptr<Client> C);
+  /// Idle pop or under-cap create on endpoint \p E; null at the cap.
+  /// Bumps Outstanding on success.
+  std::unique_ptr<Client> tryTake(std::size_t E);
+  /// Weighted any-endpoint take; sets \p E to the chosen endpoint.
+  std::unique_ptr<Client> tryTakeAny(std::size_t &E);
+  std::unique_ptr<Client> takeLocked(Endpoint &End, std::size_t Idx);
+  /// The parking slow path shared by both checkout flavors.
+  template <typename TakeFn> Lease slowCheckout(TakeFn Take, Deadline D);
 
   IoService *Io;
   PoolConfig Config;
-  CircuitBreaker Breaker;
+  std::vector<std::unique_ptr<Endpoint>> Ends;
   mutable SpinLock Lock;
-  std::vector<std::unique_ptr<Client>> Idle;
-  std::size_t Outstanding = 0;
   ParkList Waiters;
   std::atomic<std::uint64_t> Waits{0};
+  std::atomic<std::uint64_t> Rr{0}; ///< round-robin tie-break cursor
 };
 
 } // namespace sting::net

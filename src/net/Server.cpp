@@ -224,10 +224,14 @@ void Server::shed(Socket Conn, std::size_t DepthAfter) {
   // peer can tell "server overloaded, retry later" from a crash, sent
   // best-effort under a short deadline so a peer that never reads cannot
   // stall the listener. The descriptor closes via RAII either way.
-  static const std::uint8_t Frame[5] = {
-      1, 0, 0, 0, static_cast<std::uint8_t>(wire::Op::Overload)};
-  (void)Conn.writeAllUntil(Frame, sizeof(Frame),
-                           Deadline::in(Config.AcceptBackoffNanos));
+  // ShedCloseOnly skips even that: the peer sees a bare close, and the
+  // listener never blocks on a peer's receive window.
+  if (!Config.ShedCloseOnly) {
+    static const std::uint8_t Frame[5] = {
+        1, 0, 0, 0, static_cast<std::uint8_t>(wire::Op::Overload)};
+    (void)Conn.writeAllUntil(Frame, sizeof(Frame),
+                             Deadline::in(Config.AcceptBackoffNanos));
+  }
   Shedded.fetch_add(1, std::memory_order_relaxed);
   if (VirtualProcessor *Vp = currentVp())
     Vp->stats().NetShedded.inc();

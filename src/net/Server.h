@@ -66,6 +66,13 @@ struct ServerConfig {
   /// Shedding mode only: accepted-but-unadmitted connections held per
   /// listener before it stops accepting and waits for slots/expiries.
   std::size_t MaxPendingAdmissions = 256;
+  /// Shedding mode only: drop shed connections with a plain close instead
+  /// of writing the Overload frame first. The frame is best-effort under a
+  /// short deadline, but a peer that never reads can still pin the
+  /// listener for that deadline per shed; close-only shedding keeps the
+  /// accept loop's latency independent of peer behavior, at the cost of
+  /// peers seeing ECONNRESET/EOF instead of an explicit Overload verdict.
+  bool ShedCloseOnly = false;
   /// Listener threads sharing the port via SO_REUSEPORT (1 = plain bind).
   unsigned NumListeners = 1;
 };

@@ -65,6 +65,30 @@ enum class Op : std::uint8_t {
                     ///< serving it (admission budget exceeded). Sent by the
                     ///< listener, not a handler; the connection closes right
                     ///< after. net::Client treats it as retryable.
+
+  // Router protocol (src/dist). A registration connection opens with a
+  // Hello/HelloOk version handshake, then the router arms registrations
+  // (proxied blocking rd/in waiters) on shards and the shard pushes
+  // Deliver frames when a deposit matches. The Armed→Delivered discipline
+  // of sync::HandoffList is mirrored on the wire: a registration is
+  // delivered at most once, and Retract reports whether it won the race
+  // (wasArmed) so fan-out losers conserve tuples exactly-once.
+  Hello = 23,       ///< one Fixnum field: protocol version (dist::WireVersion)
+  Register = 24,    ///< Fixnum id, Fixnum flags (bit0 = take), template fields
+  Retract = 25,     ///< one Fixnum field: registration id to cancel
+  RouterStats = 26, ///< no fields: router-side stats snapshot (StatsReply)
+  HelloOk = 27,     ///< one Fixnum field: the version the shard speaks
+  Deliver = 28,     ///< Fixnum id, then the resolved tuple fields; pushed by
+                    ///< the shard when a registration matches. For a take
+                    ///< registration the tuple has been consumed shard-side;
+                    ///< the router must hand it to exactly one caller or
+                    ///< re-deposit it.
+  Retracted = 29,   ///< Fixnum id, bool wasArmed. wasArmed=false means a
+                    ///< delivery owns the registration: its Deliver frame is
+                    ///< on this connection but may arrive *after* this reply
+                    ///< (the depositor's callback and the Retract reply are
+                    ///< queued by different shard threads), so the router
+                    ///< keeps the registration record until the Deliver lands.
 };
 
 enum class Tag : std::uint8_t {

@@ -51,6 +51,10 @@ SchedStatsSnapshot SchedStats::snapshot() const {
   S.PoolCheckoutWaits = PoolCheckoutWaits;
   S.TupleHandoffs = TupleHandoffs;
   S.TupleWakeups = TupleWakeups;
+  S.RouterRoutes = RouterRoutes;
+  S.RouterFanouts = RouterFanouts;
+  S.RouterRetracts = RouterRetracts;
+  S.RouterFailovers = RouterFailovers;
   S.RunSliceNanos = RunSliceNanos;
   S.GcPauseNanos = GcPauseNanos;
   return S;
@@ -95,6 +99,10 @@ SchedStatsSnapshot::operator+=(const SchedStatsSnapshot &Other) {
   PoolCheckoutWaits += Other.PoolCheckoutWaits;
   TupleHandoffs += Other.TupleHandoffs;
   TupleWakeups += Other.TupleWakeups;
+  RouterRoutes += Other.RouterRoutes;
+  RouterFanouts += Other.RouterFanouts;
+  RouterRetracts += Other.RouterRetracts;
+  RouterFailovers += Other.RouterFailovers;
   TraceEvents += Other.TraceEvents;
   TraceDrops += Other.TraceDrops;
   RunSliceNanos.merge(Other.RunSliceNanos);
@@ -169,6 +177,14 @@ constexpr CounterRow Rows[] = {
      &SchedStatsSnapshot::TupleHandoffs},
     {"tuple wakeups", "sting_tuple_wakeups_total",
      &SchedStatsSnapshot::TupleWakeups},
+    {"router routes", "sting_router_routes_total",
+     &SchedStatsSnapshot::RouterRoutes},
+    {"router fanouts", "sting_router_fanouts_total",
+     &SchedStatsSnapshot::RouterFanouts},
+    {"router retracts", "sting_router_retracts_total",
+     &SchedStatsSnapshot::RouterRetracts},
+    {"router failovers", "sting_router_failovers_total",
+     &SchedStatsSnapshot::RouterFailovers},
     {"trace events", "sting_trace_events_total",
      &SchedStatsSnapshot::TraceEvents},
     {"trace drops", "sting_trace_drops_total",

@@ -132,6 +132,13 @@ struct alignas(64) SchedStats {
   Counter TupleHandoffs; ///< deposits transferred straight to a waiter
   Counter TupleWakeups;  ///< threads woken by deposits (deliveries+nudges)
 
+  // Sharded router (src/dist), attributed to the VP whose thread ran the
+  // routing decision.
+  Counter RouterRoutes;    ///< operations routed to a home shard
+  Counter RouterFanouts;   ///< fan-out registration legs armed on shards
+  Counter RouterRetracts;  ///< fan-out legs retracted while still armed
+  Counter RouterFailovers; ///< operations rerouted off an open-breaker shard
+
   /// Run-slice lengths (dispatch to switch-back), recorded only while
   /// tracing is enabled so the default path never pays the extra clock
   /// read. Owner-written, racy to read mid-run; snapshot after quiesce.
@@ -188,6 +195,10 @@ struct SchedStatsSnapshot {
   std::uint64_t PoolCheckoutWaits = 0;
   std::uint64_t TupleHandoffs = 0;
   std::uint64_t TupleWakeups = 0;
+  std::uint64_t RouterRoutes = 0;
+  std::uint64_t RouterFanouts = 0;
+  std::uint64_t RouterRetracts = 0;
+  std::uint64_t RouterFailovers = 0;
   /// Snapshot-only (no SchedStats counterpart): filled by the machine at
   /// snapshot time from the VP's trace ring, so truncated traces are
   /// detectable instead of silently misleading.

@@ -148,6 +148,10 @@ const char *traceEventKindName(TraceEventKind K) {
     return "breaker_transition";
   case TraceEventKind::TupleHandoff:
     return "tuple_handoff";
+  case TraceEventKind::RouterRoute:
+    return "router_route";
+  case TraceEventKind::RouterRetract:
+    return "router_retract";
   case TraceEventKind::NumKinds:
     break;
   }

@@ -105,6 +105,14 @@ enum class TraceEventKind : std::uint8_t {
   TupleHandoff, ///< a deposit transferred straight into registered
                 ///< waiters' slots (payload: deliveries this deposit)
 
+  // Sharded router (appended after TupleHandoff so earlier ordinals — and
+  // the golden traces pinned to them — stay stable).
+  RouterRoute,   ///< the router picked a shard for an operation (payload:
+                 ///< shard index | fan-out-leg count << 16; 0xffff in the
+                 ///< low bits means fan-out, no single home)
+  RouterRetract, ///< a fan-out loser leg was retracted (payload: shard
+                 ///< index | wasArmed bit << 16)
+
   NumKinds
 };
 

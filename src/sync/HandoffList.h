@@ -92,6 +92,19 @@ public:
                      std::memory_order_relaxed);
   }
 
+  /// Registers \p W without binding it to the calling thread: deliver() and
+  /// nudge() then return a null ThreadRef, which wake() ignores. Used for
+  /// registration *proxies* — records owned by a service on behalf of a
+  /// remote waiter, where no local thread ever parks on the registration
+  /// and completion is observed by whoever owns the record instead.
+  void enqueueDetached(WaiterT &W) {
+    W.St = HandoffState::Armed;
+    W.Self = nullptr;
+    Waiters.pushBack(W);
+    Registered.store(Registered.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+  }
+
   /// Walks the registered waiters in FIFO order. \p V may deliver() or
   /// nudge() the record it is handed (both unlink); return false to stop.
   template <typename Visit> void visit(Visit V) {

@@ -41,6 +41,17 @@ public:
                                         bool Remove) = 0;
   virtual std::size_t size() const = 0;
 
+  /// Registration-proxy hook (see TupleSpace::registerProxy). Only the
+  /// hashed representation implements it; specialized representations
+  /// report unsupported and the caller falls back to a blocking thread.
+  virtual bool registerProxy(std::uint64_t /*Id*/, Tuple /*Template*/,
+                             bool /*Remove*/,
+                             TupleSpace::ProxyDeliverFn /*Deliver*/) {
+    return false;
+  }
+  /// \returns true iff the registration was retracted while still armed.
+  virtual bool retractProxy(std::uint64_t /*Id*/) { return false; }
+
   /// Unbounded match: a never deadline cannot time out.
   Match match(const Tuple &Template, bool Remove) {
     auto M = matchUntil(Template, Remove, Deadline::never());

@@ -44,6 +44,7 @@
 #include <algorithm>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 namespace sting {
@@ -196,7 +197,43 @@ struct TupleWaiter : HandoffWaiterBase {
   const Tuple *Template; ///< stack-pinned for the registration's lifetime
   bool Remove;           ///< take (consume the entry) vs rd (share a ref)
   std::size_t Arity;     ///< producers reject on arity before field compare
+  bool IsProxy = false;  ///< heap-owned ProxyReg, no thread parks on it
   EntryRef Slot;         ///< where a deposit lands
+};
+
+/// A heap-owned registration armed on behalf of a *remote* waiter (the
+/// multi-VM hook, DESIGN.md §13). Linkage and HandoffState are guarded by
+/// the home bin's lock like any TupleWaiter; the completion flags below are
+/// guarded by the owning representation's registry lock; lifetime is
+/// intrusively refcounted — the registry holds one reference, and every
+/// in-flight completion (a deposit's delivery/nudge, an active rescan
+/// driver) pins its own, so no path ever touches a freed record.
+struct ProxyReg final : TupleWaiter {
+  ProxyReg(std::unique_ptr<Tuple> T, bool Remove, std::uint64_t Id,
+           TupleSpace::ProxyDeliverFn Deliver)
+      : TupleWaiter(*T, Remove), Owned(std::move(T)), Id(Id),
+        Deliver(std::move(Deliver)) {
+    IsProxy = true;
+  }
+
+  void retain() { Refs.fetch_add(1, std::memory_order_relaxed); }
+  /// \returns true when the caller dropped the last reference and must
+  /// dispose (the rep unroots the template fields and deletes).
+  bool release() { return Refs.fetch_sub(1, std::memory_order_acq_rel) == 1; }
+
+  std::unique_ptr<Tuple> Owned; ///< what TupleWaiter::Template points at
+  std::uint64_t Id;
+  TupleSpace::ProxyDeliverFn Deliver;
+  std::atomic<std::uint32_t> Refs{1}; ///< the registry's reference
+
+  // Guarded by the representation's RegLock. Exactly one of a retract
+  // (Canceled while armed) or a delivery (Delivering) ever owns the
+  // registration's outcome — the wire-level mirror of HandoffList's
+  // exactly-one-transition-out-of-Armed discipline.
+  bool Canceled = false;   ///< retract won; suppress any later delivery
+  bool Delivering = false; ///< a delivery callback claimed the outcome
+  bool Driving = false;    ///< a rescan driver owns re-arm decisions
+  bool Renudged = false;   ///< a nudge landed while a driver was active
 };
 
 /// One hash bin: a lock, the passive tuples (HP row), and the registered
@@ -225,6 +262,22 @@ public:
       : TupleSpaceRepBase(Stats), Heap(Heap) {}
 
   ~HashedRep() override {
+    // Proxies ought to be retracted before the space dies (the shard
+    // service retracts at connection teardown); drop stragglers
+    // defensively so their entry pins and roots are returned.
+    for (auto &[Id, P] : Registry) {
+      (void)Id;
+      Bin &Home = binForTemplate(*P->Template);
+      {
+        std::lock_guard<SpinLock> Guard(Home.Lock);
+        if (P->isLinked())
+          Home.Waiters.finish(*P);
+        P->Slot = EntryRef();
+      }
+      if (P->release())
+        disposeProxy(P);
+    }
+    Registry.clear();
     auto Drain = [](Bin &B) {
       while (!B.Items.empty())
         B.Items.popFront().release(); // the Items reference
@@ -375,6 +428,77 @@ public:
     return N;
   }
 
+  bool registerProxy(std::uint64_t Id, Tuple Template, bool Remove,
+                     TupleSpace::ProxyDeliverFn Deliver) override {
+    auto Owned = std::make_unique<Tuple>(std::move(Template));
+    auto *P = new ProxyReg(std::move(Owned), Remove, Id, std::move(Deliver));
+    // Root the template's datum fields for the registration's lifetime
+    // (the owned vector never resizes, so the slots are stable) — the
+    // remote waiter has no stack frame pinning them, cf. makeEntry.
+    for (Field &F : *P->Owned)
+      if (F.isDatum())
+        Heap.addRoot(F.valueSlot());
+    Bin &Home = binForTemplate(*P->Template);
+    bool Duplicate = false;
+    {
+      std::lock_guard<SpinLock> Reg(RegLock);
+      if (!Registry.emplace(Id, P).second) {
+        Duplicate = true;
+      } else {
+        P->Driving = true; // the inline register-then-rescan below
+        std::lock_guard<SpinLock> Guard(Home.Lock);
+        Home.Waiters.enqueueDetached(*P);
+      }
+    }
+    if (Duplicate) {
+      disposeProxy(P);
+      return false;
+    }
+    // Register-then-rescan, the same lost-wakeup-freedom argument as
+    // matchUntil: a deposit racing this call either published before the
+    // enqueue (the drive's scan finds it) or after (its waiter walk finds
+    // the registration and delivers/nudges).
+    P->retain(); // the driver's reference
+    driveProxy(P);
+    return true;
+  }
+
+  bool retractProxy(std::uint64_t Id) override {
+    ProxyReg *P = nullptr;
+    bool WasArmed = false;
+    {
+      std::lock_guard<SpinLock> Reg(RegLock);
+      auto It = Registry.find(Id);
+      if (It == Registry.end())
+        return false;
+      P = It->second;
+      Bin &Home = binForTemplate(*P->Template);
+      {
+        std::lock_guard<SpinLock> Guard(Home.Lock);
+        if (P->isLinked()) {
+          // Still armed: the retract wins, exactly like a local waiter's
+          // finish() on timeout — no delivery fired and none will.
+          Home.Waiters.finish(*P);
+          P->Canceled = true;
+          WasArmed = true;
+        } else if (P->state() == HandoffState::Delivered || P->Delivering) {
+          // A completion owns the tuple; the caller will observe its
+          // delivery (possibly after this retract reports wasArmed=false).
+          WasArmed = false;
+        } else {
+          // Nudged (a rescan is scheduled/running) or momentarily
+          // unlinked by a driver mid-decision: cancel before it delivers.
+          P->Canceled = true;
+          WasArmed = true;
+        }
+      }
+      Registry.erase(It);
+    }
+    if (P->release())
+      disposeProxy(P);
+    return WasArmed;
+  }
+
   /// Returns a recycled entry to the pool (called from Entry::release).
   void recycle(Entry *E) {
     for (Field &F : E->Fields)
@@ -459,6 +583,10 @@ private:
   struct WakeSet {
     ThreadRef First;
     std::vector<ThreadRef> More;
+    /// Proxy completions collected under the bin locks (each entry holds
+    /// its own ProxyReg reference); run by completeProxies outside them.
+    std::vector<ProxyReg *> DeliveredProxies;
+    std::vector<ProxyReg *> NudgedProxies;
 
     void add(ThreadRef T) {
       if (!First)
@@ -503,7 +631,14 @@ private:
         if (!waiterAccepts(W, E->Fields))
           return true;
         W.Slot = E;
-        Wakes.add(L.Waiters.deliver(W));
+        if (W.IsProxy) {
+          auto &P = static_cast<ProxyReg &>(W);
+          P.retain(); // dropped by finishDeliveredProxy
+          L.Waiters.deliver(W);
+          Wakes.DeliveredProxies.push_back(&P);
+        } else {
+          Wakes.add(L.Waiters.deliver(W));
+        }
         ++Deliveries;
         if (W.Remove) {
           Consumed = true;
@@ -525,6 +660,7 @@ private:
     }
     chargeDeposit(Deliveries, Deliveries);
     Wakes.fire();
+    completeProxies(Wakes);
   }
 
   /// Deposits a tuple with live-thread fields. It cannot be fully matched
@@ -540,7 +676,14 @@ private:
     auto NudgeCompatible = [&](Bin &L) { // caller holds L.Lock
       L.Waiters.visit([&](TupleWaiter &W) {
         if (prefilter(*E, *W.Template)) {
-          Wakes.add(L.Waiters.nudge(W));
+          if (W.IsProxy) {
+            auto &P = static_cast<ProxyReg &>(W);
+            P.retain(); // dropped by scheduleProxyRescan or its driver
+            L.Waiters.nudge(W);
+            Wakes.NudgedProxies.push_back(&P);
+          } else {
+            Wakes.add(L.Waiters.nudge(W));
+          }
           ++Nudges;
         }
         return true;
@@ -570,6 +713,7 @@ private:
     }
     chargeDeposit(0, Nudges);
     Wakes.fire();
+    completeProxies(Wakes);
   }
 
   void chargeDeposit(std::uint32_t Deliveries, std::uint32_t Wakes) {
@@ -629,6 +773,198 @@ private:
   void settleUnwind(Bin &Home, TupleWaiter &W, bool Remove) {
     if (EntryRef Got = settle(Home, W); Got && Remove)
       deposit(std::move(Got));
+  }
+
+  //--- Registration proxies (the multi-VM hook) ---------------------------
+
+  void disposeProxy(ProxyReg *P) {
+    for (Field &F : *P->Owned)
+      if (F.isDatum())
+        Heap.removeRoot(F.valueSlot());
+    delete P;
+  }
+
+  void releaseProxy(ProxyReg *P) {
+    if (P->release())
+      disposeProxy(P);
+  }
+
+  /// Drops the registry's reference to \p P if the map still holds it (a
+  /// retract may have erased it first, in which case it also released).
+  void eraseRegistration(ProxyReg *P) {
+    bool Erased = false;
+    {
+      std::lock_guard<SpinLock> Guard(RegLock);
+      auto It = Registry.find(P->Id);
+      if (It != Registry.end() && It->second == P) {
+        Registry.erase(It);
+        Erased = true;
+      }
+    }
+    if (Erased)
+      releaseProxy(P);
+  }
+
+  /// Runs the proxy completions a deposit collected, outside every lock.
+  void completeProxies(WakeSet &Wakes) {
+    for (ProxyReg *P : Wakes.DeliveredProxies)
+      finishDeliveredProxy(P);
+    for (ProxyReg *P : Wakes.NudgedProxies)
+      scheduleProxyRescan(P);
+  }
+
+  /// Completes a proxy registration the deposit path delivered to: fires
+  /// the callback outside every lock, then drops the registry reference.
+  /// Runs on the depositing thread. A driver that found its own match may
+  /// have raced us for the outcome — the Delivering flag arbitrates, and
+  /// the loser's consumed take goes back into the space.
+  void finishDeliveredProxy(ProxyReg *P) {
+    Bin &Home = binForTemplate(*P->Template);
+    EntryRef Got;
+    {
+      std::lock_guard<SpinLock> Guard(Home.Lock);
+      Got = std::move(P->Slot);
+    }
+    bool Own = false;
+    if (Got) {
+      std::lock_guard<SpinLock> Reg(RegLock);
+      if (!P->Delivering) {
+        P->Delivering = true;
+        Own = true;
+      }
+    }
+    if (Own) {
+      Match M = matchFromEntry(Got, *P->Template);
+      P->Deliver(P->Id, std::move(M));
+      eraseRegistration(P);
+    } else if (Got && P->Remove) {
+      deposit(std::move(Got)); // a competing completion won; conserve
+    }
+    releaseProxy(P); // the deposit path's reference
+  }
+
+  /// A potential (live-thread) deposit nudged a proxy: the registration is
+  /// unlinked and must be re-scanned on its behalf, since no local thread
+  /// wakes to do it. Forks a driver so the deposit doesn't pay for the
+  /// steals/resolution the rescan may perform.
+  void scheduleProxyRescan(ProxyReg *P) {
+    bool Fork = false;
+    {
+      std::lock_guard<SpinLock> Reg(RegLock);
+      if (P->Canceled || P->Delivering) {
+        // A retract or a delivery already owns the registration.
+      } else if (P->Driving) {
+        P->Renudged = true; // the active driver goes around once more
+      } else {
+        P->Driving = true;
+        Fork = true;
+      }
+    }
+    if (!Fork) {
+      releaseProxy(P);
+      return;
+    }
+    // The deposit path's reference transfers to the forked driver.
+    ThreadController::forkThread([this, P]() -> AnyValue {
+      driveProxy(P);
+      return AnyValue();
+    });
+  }
+
+  /// The proxy rescan driver: ensures the registration is armed, scans on
+  /// its behalf, and either delivers through the callback, leaves the
+  /// registration parked in its home bin, or bows out to a concurrent
+  /// deliverer/retractor. At most one driver runs per registration
+  /// (Driving); the caller set the flag and handed us a reference.
+  void driveProxy(ProxyReg *P) {
+    Bin &Home = binForTemplate(*P->Template);
+    for (;;) {
+      bool Exit = false;
+      {
+        std::lock_guard<SpinLock> Reg(RegLock);
+        P->Renudged = false; // the scan below covers anything already here
+        if (P->Canceled || P->Delivering) {
+          P->Driving = false;
+          Exit = true;
+        } else {
+          std::lock_guard<SpinLock> Guard(Home.Lock);
+          if (!P->isLinked()) {
+            if (P->state() == HandoffState::Delivered) {
+              // The depositing thread owns the completion.
+              P->Driving = false;
+              Exit = true;
+            } else {
+              Home.Waiters.enqueueDetached(*P); // nudged: re-arm first
+            }
+          }
+        }
+      }
+      if (Exit)
+        break;
+
+      ThreadRef Unresolved;
+      std::optional<Match> M;
+      try {
+        M = scanOnce(*P->Template, P->Remove, /*AllowSteal=*/true,
+                     Unresolved);
+      } catch (...) {
+        // A stolen tuple-thread failed. A local matcher rethrows to its
+        // caller; a proxy has none on this machine, so leave the
+        // registration armed — local matchers will surface the failure.
+        M.reset();
+      }
+      if (M) {
+        // Our scan won; a delivery may have raced it. A consumed take
+        // delivery goes back in, never stranded (cf. matchUntil).
+        if (EntryRef Extra = settle(Home, *P); Extra && P->Remove)
+          deposit(std::move(Extra));
+        bool Suppressed = false;
+        {
+          std::lock_guard<SpinLock> Reg(RegLock);
+          if (P->Canceled || P->Delivering)
+            Suppressed = true;
+          else
+            P->Delivering = true; // terminal: no new driver re-arms it
+          P->Driving = false;
+        }
+        if (!Suppressed) {
+          P->Deliver(P->Id, std::move(*M));
+          eraseRegistration(P);
+        } else if (P->Remove) {
+          // A retract was reported as armed (or a deposit delivery owns
+          // the outcome); conservation: rebuild the consumed tuple.
+          Tuple T;
+          T.reserve(M->Fields.size());
+          for (gc::Value V : M->Fields)
+            T.push_back(Field(V));
+          deposit(makeEntry(std::move(T)));
+        }
+        break;
+      }
+
+      // Nothing matched. A completion may have raced the scan; only a
+      // nudge warrants another pass (Delivered belongs to the depositor,
+      // still-linked means stay armed and exit).
+      bool Renew = false;
+      {
+        std::lock_guard<SpinLock> Guard(Home.Lock);
+        if (!P->isLinked() && P->state() == HandoffState::Nudged)
+          Renew = true;
+      }
+      if (Renew)
+        continue;
+      bool Again = false;
+      {
+        std::lock_guard<SpinLock> Reg(RegLock);
+        if (!P->Canceled && P->Renudged)
+          Again = true; // a nudge landed after our last look
+        else
+          P->Driving = false; // leave the registration armed in its bin
+      }
+      if (!Again)
+        break;
+    }
+    releaseProxy(P);
   }
 
   //--- Scanning -----------------------------------------------------------
@@ -817,6 +1153,11 @@ private:
   /// steady-state put allocates nothing for the entry itself.
   SpinLock PoolLock;
   Entry *FreeList = nullptr;
+  /// Proxy registrations by id. Lock order: RegLock, then a bin lock —
+  /// the deposit path (bin lock only) never takes RegLock, so the nesting
+  /// is acyclic.
+  SpinLock RegLock;
+  std::unordered_map<std::uint64_t, ProxyReg *> Registry;
 };
 
 void Entry::release() {
@@ -1015,5 +1356,19 @@ std::optional<Match> TupleSpace::tryTake(Tuple Template) {
 }
 
 std::size_t TupleSpace::size() const { return Impl->size(); }
+
+bool TupleSpace::registerProxy(std::uint64_t Id, Tuple Template, bool Remove,
+                               ProxyDeliverFn Deliver) {
+  for (const Field &F : Template)
+    STING_CHECK(!F.isThunk(), "proxy template may not contain thunks");
+  prepare(Template);
+  (Remove ? Stats.Takes : Stats.Reads).fetch_add(1, std::memory_order_relaxed);
+  return Impl->registerProxy(Id, std::move(Template), Remove,
+                             std::move(Deliver));
+}
+
+bool TupleSpace::retractProxy(std::uint64_t Id) {
+  return Impl->retractProxy(Id);
+}
 
 } // namespace sting

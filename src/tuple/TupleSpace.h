@@ -35,6 +35,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -143,6 +144,33 @@ public:
   /// live in the tuple until resolved by a matcher (the paper's spawn).
   /// \returns the forked threads.
   std::vector<ThreadRef> spawn(Tuple T);
+
+  // --- Registration proxies (the multi-VM hook, DESIGN.md §13) ------------
+
+  /// Delivery callback for a proxied registration. Runs on the depositing
+  /// (or registering) thread, outside every tuple-space lock; it fires at
+  /// most once per registration. Implementations typically enqueue a wire
+  /// frame, so the callback must not block on the space itself.
+  using ProxyDeliverFn = std::function<void(std::uint64_t Id, Match M)>;
+
+  /// Arms a blocked-reader registration on behalf of a *remote* waiter: the
+  /// template parks in the representation's waiter table (the HB row,
+  /// reusing the HandoffList discipline) instead of a connection thread
+  /// parking per blocked take. If a tuple already matches, \p Deliver fires
+  /// before this returns. For \p Remove registrations the delivered tuple
+  /// has been consumed; the caller must hand it to exactly one remote
+  /// matcher or re-deposit it. \returns false if the representation does
+  /// not support proxies (only Hashed does) or \p Id is already registered.
+  bool registerProxy(std::uint64_t Id, Tuple Template, bool Remove,
+                     ProxyDeliverFn Deliver);
+
+  /// Retracts a proxied registration. \returns true iff it was still armed
+  /// — no delivery fired and none will, mirroring HandoffList::finish's
+  /// retract-or-observe contract. False means the id is unknown or a
+  /// delivery callback already fired / is in flight (the caller will still
+  /// observe it; deliveries and retractions are never both reported as
+  /// owning the tuple).
+  bool retractProxy(std::uint64_t Id);
 
   /// Live (passive) tuple count.
   std::size_t size() const;

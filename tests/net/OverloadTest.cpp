@@ -20,6 +20,7 @@
 #include "gtest/gtest.h"
 
 #include <atomic>
+#include <cerrno>
 #include <vector>
 
 #include <dirent.h>
@@ -189,6 +190,84 @@ TEST(OverloadTest, ServerRestartMidSwarmIsAbsorbedByRetries) {
   EXPECT_TRUE(V.as<bool>());
   obs::SchedStatsSnapshot S = Vm.aggregateStats();
   EXPECT_GE(S.NetRetries, 1u);
+}
+
+TEST(OverloadTest, ShedCloseOnlyKeepsAcceptLatencyIndependentOfPeers) {
+  // ShedCloseOnly trades the courtesy Overload frame for a bare close, so
+  // a peer that never reads can never stall the accept loop: with the
+  // frame enabled a mute client's full socket buffer could hold the
+  // listener for the whole AcceptBackoff budget per shed; close-only must
+  // shed a swarm of mute clients instantly and keep serving real traffic.
+  VmConfig Config;
+  Config.NumVps = 2;
+  Config.NumPps = 2;
+  VirtualMachine Vm(Config);
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    ServerConfig SC;
+    SC.MaxConnections = 1;
+    SC.AdmissionBudgetNanos = 5'000'000;
+    SC.AcceptBackoffNanos = 1'000'000;
+    SC.ShedCloseOnly = true;
+    auto Server = net::Server::start(Vm, Io, echoHandler(), SC);
+    if (!Server)
+      return AnyValue(false);
+
+    // Occupy the only slot with a connection that stays open but idle.
+    net::BufferedConn Holder(
+        net::Socket::connectTo(Io, "127.0.0.1", Server->port()));
+    EXPECT_TRUE(Holder.valid());
+    while (Server->liveConnections() < 1)
+      TC::yieldProcessor();
+
+    // A swarm of mute clients — they connect and then neither read nor
+    // write, the worst case for a shed path that wants to say goodbye.
+    const std::size_t Mutes = 6;
+    std::vector<net::BufferedConn> Mute;
+    Mute.reserve(Mutes);
+    for (std::size_t I = 0; I != Mutes; ++I) {
+      Mute.emplace_back(
+          net::Socket::connectTo(Io, "127.0.0.1", Server->port()));
+      EXPECT_TRUE(Mute.back().valid());
+    }
+
+    // Every mute connection must be shed promptly despite none of them
+    // ever draining a byte.
+    const std::uint64_t Start = nowNanos();
+    while (Server->totalShedded() < Mutes && nowNanos() - Start < 3'000'000'000)
+      TC::yieldProcessor();
+    EXPECT_GE(Server->totalShedded(), Mutes)
+        << "mute peers stalled the close-only shed path";
+
+    // The shed is a bare close: the peer sees EOF/reset, not a readable
+    // Overload frame.
+    std::vector<std::uint8_t> Frame;
+    errno = 0;
+    EXPECT_FALSE(Mute[0].readFrame(Frame, Deadline::in(1'000'000'000)));
+    EXPECT_NE(errno, ETIMEDOUT) << "shed connection left half-open";
+
+    // Free the slot; a real client must get served promptly — the accept
+    // loop never parked on a mute peer's socket buffer.
+    Holder = net::BufferedConn(net::Socket());
+    ClientConfig CC;
+    CC.Port = Server->port();
+    CC.MaxAttempts = 50;
+    CC.Retry = BackoffPolicy{1'000'000, 10'000'000};
+    CC.RequestTimeoutNanos = 2'000'000'000;
+    Client Cl(Io, CC);
+    wire::Writer W(wire::Op::Echo);
+    W.fixnum(9);
+    std::vector<std::uint8_t> Reply;
+    const std::uint64_t T0 = nowNanos();
+    EXPECT_EQ(Cl.request(W, Reply), RequestStatus::Ok);
+    EXPECT_LT(nowNanos() - T0, 2'000'000'000u)
+        << "slot churn after close-only sheds was not prompt";
+    Server->shutdown();
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+  obs::SchedStatsSnapshot S = Vm.aggregateStats();
+  EXPECT_GE(S.NetShedded, 6u);
 }
 
 } // namespace

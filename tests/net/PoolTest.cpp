@@ -132,4 +132,108 @@ TEST(PoolTest, BrokenClientIsReturnedAndReconnectsOnNextLease) {
   EXPECT_TRUE(V.as<bool>());
 }
 
+TEST(PoolTest, EndpointBreakersAreIsolated) {
+  VmConfig Config;
+  Config.NumVps = 2;
+  Config.NumPps = 2;
+  VirtualMachine Vm(Config);
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    auto A = net::Server::start(Vm, Io, echoHandler());
+    auto B = net::Server::start(Vm, Io, echoHandler());
+    if (!A || !B)
+      return AnyValue(false);
+    const std::uint16_t PortA = A->port();
+
+    PoolConfig PC;
+    PC.MaxConnections = 2;
+    ClientConfig EA, EB;
+    EA.Port = PortA;
+    EB.Port = B->port();
+    for (ClientConfig *E : {&EA, &EB}) {
+      E->MaxAttempts = 1; // one recorded failure per request
+      E->ConnectTimeoutNanos = 200'000'000;
+      E->RequestTimeoutNanos = 500'000'000;
+      E->Breaker.FailureThreshold = 2;
+      E->Breaker.OpenCooldownNanos = 20'000'000;
+    }
+    PC.Endpoints = {EA, EB};
+    ConnectionPool Pool(Io, PC);
+
+    wire::Writer W(wire::Op::Echo);
+    W.fixnum(1);
+    std::vector<std::uint8_t> Reply;
+    EXPECT_EQ(Pool.requestFrom(0, W, Reply), RequestStatus::Ok);
+    EXPECT_EQ(Pool.requestFrom(1, W, Reply), RequestStatus::Ok);
+
+    // Kill A and drive A-pinned traffic until its breaker opens.
+    A->shutdown();
+    Deadline Trip = Deadline::in(10'000'000'000);
+    while (Pool.breaker(0).state() != BreakerState::Open && !Trip.expired())
+      (void)Pool.requestFrom(0, W, Reply, Deadline::in(500'000'000));
+    EXPECT_EQ(Pool.breaker(0).state(), BreakerState::Open);
+
+    // B's plane is untouched: its breaker never moves, its traffic keeps
+    // flowing, and none of it parks at the cap (A's outage consumes no B
+    // capacity — the whole point of per-endpoint client sets).
+    for (int I = 0; I != 8; ++I)
+      EXPECT_EQ(Pool.requestFrom(1, W, Reply), RequestStatus::Ok);
+    EXPECT_EQ(Pool.breaker(1).state(), BreakerState::Closed);
+    EXPECT_EQ(Pool.checkoutWaits(), 0u);
+
+    // Unpinned checkouts route around the open endpoint.
+    for (int I = 0; I != 4; ++I) {
+      ConnectionPool::Lease L = Pool.checkout();
+      EXPECT_TRUE(static_cast<bool>(L));
+      EXPECT_EQ(L.endpoint(), 1u) << "checkout picked the open endpoint";
+    }
+
+    // Revive A on its old port. After the cooldown, the next A-pinned
+    // request is admitted as the half-open probe; its success re-closes
+    // the breaker — B never noticed any of it.
+    ServerConfig SC;
+    SC.Port = PortA;
+    auto Revived = net::Server::start(Vm, Io, echoHandler(), SC);
+    if (!Revived)
+      return AnyValue(false);
+    Deadline Heal = Deadline::in(10'000'000'000);
+    RequestStatus Last = RequestStatus::BreakerOpen;
+    while ((Last = Pool.requestFrom(0, W, Reply)) != RequestStatus::Ok &&
+           !Heal.expired())
+      TC::yieldProcessor();
+    EXPECT_EQ(Last, RequestStatus::Ok);
+    EXPECT_EQ(Pool.breaker(0).state(), BreakerState::Closed);
+    EXPECT_EQ(Pool.breaker(1).state(), BreakerState::Closed);
+    Revived->shutdown();
+    B->shutdown();
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(PoolTest, SingleEndpointSurfaceStillConfiguresViaClientField) {
+  // The PR 7 call-site shape: PoolConfig::Client alone, no Endpoints
+  // vector — must keep meaning "one endpoint" with breaker() as its alias.
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    auto Server = net::Server::start(Vm, Io, echoHandler());
+    if (!Server)
+      return AnyValue(false);
+    PoolConfig PC;
+    PC.MaxConnections = 2;
+    PC.Client.Port = Server->port();
+    ConnectionPool Pool(Io, PC);
+    EXPECT_EQ(Pool.endpointCount(), 1u);
+    EXPECT_EQ(&Pool.breaker(), &Pool.breaker(0));
+    wire::Writer W(wire::Op::Echo);
+    W.fixnum(5);
+    std::vector<std::uint8_t> Reply;
+    EXPECT_EQ(Pool.request(W, Reply), RequestStatus::Ok);
+    Server->shutdown();
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
 } // namespace

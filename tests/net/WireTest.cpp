@@ -8,7 +8,9 @@
 
 #include "gtest/gtest.h"
 
+#include <algorithm>
 #include <limits>
+#include <vector>
 
 namespace {
 
@@ -105,6 +107,83 @@ TEST(WireTest, UnknownTagIsMalformed) {
 TEST(WireTest, EmptyFrameIsNotOk) {
   wire::Reader R(nullptr, 0);
   EXPECT_FALSE(R.ok());
+}
+
+TEST(WireTest, TruncatedRouterOpsFlipOkNotCrash) {
+  // The router-plane frames (Hello/Register/Deliver/Retract/Retracted),
+  // cut at every byte, decoded the way the router and shard do: peel the
+  // flow header, then drain fields. A cut on a field boundary is simply a
+  // legal shorter payload; anywhere else the reader must finish with
+  // ok()==false — never a crash, never an out-of-bounds read. Boundaries
+  // are recorded as the frames are built, not hand-counted.
+  auto Sweep = [](const char *Name, const wire::Writer &W,
+                  const std::vector<std::size_t> &Bounds) {
+    const auto &Full = W.payload();
+    for (std::size_t Cut = 1; Cut <= Full.size(); ++Cut) {
+      wire::Reader R(Full.data(), Cut);
+      (void)R.takeFlow();
+      wire::ReadField F;
+      while (R.next(F)) {
+      }
+      bool Boundary =
+          Cut == Full.size() ||
+          std::find(Bounds.begin(), Bounds.end(), Cut) != Bounds.end();
+      EXPECT_EQ(R.ok(), Boundary) << Name << " cut at " << Cut;
+    }
+  };
+
+  {
+    wire::Writer W(wire::Op::Hello);
+    std::vector<std::size_t> B{1};
+    W.flow(0x1122334455667788);
+    B.push_back(W.payload().size());
+    W.fixnum(1); // protocol version
+    Sweep("Hello", W, B);
+  }
+  {
+    wire::Writer W(wire::Op::Register);
+    std::vector<std::size_t> B{1};
+    W.flow(0xdeadbeef);
+    B.push_back(W.payload().size());
+    W.fixnum(7); // registration id
+    B.push_back(W.payload().size());
+    W.fixnum(1); // flags: take
+    B.push_back(W.payload().size());
+    W.fixnum(99); // template: concrete key...
+    B.push_back(W.payload().size());
+    W.text("job"); // ...a symbol...
+    B.push_back(W.payload().size());
+    W.formal(0); // ...and a binding slot
+    Sweep("Register", W, B);
+  }
+  {
+    wire::Writer W(wire::Op::Deliver);
+    std::vector<std::size_t> B{1};
+    W.flow(0xfeed);
+    B.push_back(W.payload().size());
+    W.fixnum(7); // registration id
+    B.push_back(W.payload().size());
+    W.fixnum(99);
+    B.push_back(W.payload().size());
+    W.text("job");
+    B.push_back(W.payload().size());
+    W.blob(std::string_view("\x00\x01payload", 9));
+    Sweep("Deliver", W, B);
+  }
+  {
+    wire::Writer W(wire::Op::Retract);
+    std::vector<std::size_t> B{1};
+    W.fixnum(7);
+    Sweep("Retract", W, B);
+  }
+  {
+    wire::Writer W(wire::Op::Retracted);
+    std::vector<std::size_t> B{1};
+    W.fixnum(7);
+    B.push_back(W.payload().size());
+    W.boolean(true); // wasArmed
+    Sweep("Retracted", W, B);
+  }
 }
 
 TEST(WireTest, BlobLengthBeyondBufferIsMalformed) {
