@@ -2,9 +2,9 @@
 //
 // Part of libsting. See DESIGN.md section 3 for the experiment index.
 //
-// Load generator for the src/dist subsystem (DESIGN.md section 13): one
-// logical tuple space served by three in-process shard VMs behind a
-// SpaceRouter. Three workloads:
+// Load generator for the src/dist subsystem (DESIGN.md sections 13-14):
+// one logical tuple space served by three in-process shard VMs behind a
+// SpaceRouter. Five workloads:
 //
 //   * routed token swarm — K workers each looping put(key, "tok", v) /
 //     take(key, ...) against concrete keys spread over every shard; the
@@ -18,16 +18,24 @@
 //     shut down between soak halves. Every request in the second half
 //     must still complete (puts fail over in ring order, registrations
 //     reroute off the open breaker), the sum check still balances, and
-//     the run fails unless at least one failover actually happened.
+//     the run fails unless at least one failover actually happened. This
+//     row runs single-copy: resident tuples die with their shard, so it
+//     drains to rest zero before the kill and measures the routing
+//     plane's recovery, not durability.
 //
-// A shard's resident tuples die with it — the router is a routing plane,
-// not replicated storage — so the failover row drains all tokens to rest
-// zero before the kill. What it measures is the routing plane's recovery,
-// not durability the substrate never promised.
+//   * replicated put — the same put stream at replication factor 1 and 2
+//     side by side; the factor:2 row pays one backup forward per put
+//     (DESIGN.md section 14) and the pair bounds that overhead.
+//
+//   * kill-primary — factor 2, tuples left *resident* on their primary
+//     when it dies. Every take must still find its tuple via the backup's
+//     promotion: zero tuple loss, exact sum, promotions counted. This is
+//     the durability row the failover row disclaims.
 //
 //===----------------------------------------------------------------------===//
 
 #include "ObsHarness.h"
+#include "dist/Replica.h"
 #include "dist/Shard.h"
 #include "dist/SpaceRouter.h"
 #include "sting/Sting.h"
@@ -58,25 +66,38 @@ VmConfig routerConfig() {
 /// RouterTest fixture). Lives inside Vm.run — blocking members park.
 struct ShardedSpace {
   std::vector<TupleSpaceRef> Spaces;
+  std::vector<ReplicaRef> Reps;
   std::vector<std::unique_ptr<net::Server>> Servers;
   std::unique_ptr<SpaceRouter> Router;
 
-  ShardedSpace(VirtualMachine &Vm, IoService &Io, std::size_t N) {
+  ShardedSpace(VirtualMachine &Vm, IoService &Io, std::size_t N,
+               std::size_t Factor = 1) {
     RouterConfig RC;
+    std::vector<net::ClientConfig> Ring;
     for (std::size_t S = 0; S != N; ++S) {
       Spaces.push_back(TupleSpace::create());
-      Servers.push_back(net::Server::start(Vm, Io, shardHandler(Spaces[S])));
+      ShardConfig SC;
+      if (Factor >= 2) {
+        Reps.push_back(std::make_shared<Replica>(Vm, Io, Spaces[S], S));
+        SC.Rep = Reps[S];
+      }
+      Servers.push_back(
+          net::Server::start(Vm, Io, shardHandler(Spaces[S], SC)));
       net::ClientConfig CC;
       CC.Port = Servers[S]->port();
       CC.MaxAttempts = 2;
       CC.ConnectTimeoutNanos = 200'000'000;
       CC.RequestTimeoutNanos = 2'000'000'000;
-      // Open fast against a dead shard so the failover row spends its
+      // Open fast against a dead shard so the failover rows spend their
       // time routing, not timing out against the same corpse repeatedly.
       CC.Breaker.FailureThreshold = 2;
       CC.Breaker.OpenCooldownNanos = 50'000'000;
+      Ring.push_back(CC);
       RC.Shards.push_back(CC);
     }
+    for (auto &R : Reps)
+      R->bind(Ring);
+    RC.ReplicationFactor = Factor;
     Router = std::make_unique<SpaceRouter>(Vm, Io, std::move(RC));
   }
 
@@ -92,6 +113,8 @@ struct ShardedSpace {
     for (auto &S : Servers)
       if (S)
         S->shutdown();
+    for (auto &R : Reps)
+      R->shutdown();
   }
 };
 
@@ -340,6 +363,145 @@ void BM_RouterFailover(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * State.range(0) * Rounds * 4);
 }
 
+/// Replicated put stream: \p range(0) is the replication factor. Four
+/// workers each put/take Rounds concrete-keyed tokens; at factor 2 every
+/// put pays a synchronous backup forward and every delivered take a
+/// retract forward, so the factor:2/factor:1 ratio bounds the replication
+/// overhead on the whole round trip. Conservation still holds.
+void BM_RouterReplicatedPut(benchmark::State &State) {
+  const std::size_t Factor = static_cast<std::size_t>(State.range(0));
+  constexpr int Workers = 4;
+  constexpr int Rounds = 32;
+  constexpr std::size_t Shards = 3;
+  std::uint64_t Unreplicated = 0;
+
+  for (auto _ : State) {
+    State.PauseTiming();
+    VmConfig Config = routerConfig();
+    sting::bench::ObsHarness::instance().configure(Config);
+    VirtualMachine Vm(Config);
+    IoService Io;
+    State.ResumeTiming();
+
+    AnyValue R = Vm.run([&]() -> AnyValue {
+      ShardedSpace SS(Vm, Io, Shards, Factor);
+      if (!SS.valid())
+        return AnyValue(false);
+      std::atomic<long long> Sum{0};
+      std::vector<ThreadRef> Pool;
+      for (int W = 0; W != Workers; ++W)
+        Pool.push_back(TC::forkThread([&, W]() -> AnyValue {
+          const std::int64_t Key = keyHomedOn(W % Shards, Shards) + 100 * W;
+          for (int I = 0; I != Rounds; ++I) {
+            std::int64_t V = roundTrip(*SS.Router, Key, W * Rounds + I);
+            if (V < 0)
+              return AnyValue(false);
+            Sum.fetch_add(V, std::memory_order_relaxed);
+          }
+          return AnyValue(true);
+        }));
+      bool Ok = true;
+      for (ThreadRef &T : Pool)
+        Ok = Ok && TC::threadValue(*T).as<bool>();
+      const long long Total = (long long)Workers * Rounds;
+      Ok = Ok && Sum.load() == Total * (Total - 1) / 2;
+      RouterStatsSnapshot S = SS.Router->statsSnapshot();
+      // Healthy backups: every replicated put must really be two-copy.
+      Ok = Ok && S.Unreplicated == 0;
+      Unreplicated += S.Unreplicated;
+      SS.teardown();
+      return AnyValue(Ok);
+    });
+    if (!R.as<bool>()) {
+      State.SkipWithError("replicated round trip lost a token or "
+                          "degraded to single-copy");
+      break;
+    }
+
+    State.PauseTiming();
+    sting::bench::ObsHarness::instance().capture("router_repl_put", Vm);
+    State.ResumeTiming();
+  }
+  State.counters["unreplicated"] = static_cast<double>(Unreplicated);
+  State.SetItemsProcessed(State.iterations() * Workers * Rounds * 2);
+}
+
+/// Kill-primary durability: factor 2, every token left *resident* on its
+/// slot-0 primary when that shard dies with no warning. Every take must
+/// still find its tuple — the router promotes the backup, which
+/// materializes the forwarded copies — with zero tuple loss and an exact
+/// sum. The row fails unless at least one promotion happened.
+void BM_RouterKillPrimary(benchmark::State &State) {
+  const int Tokens = static_cast<int>(State.range(0));
+  constexpr std::size_t Shards = 3;
+  std::uint64_t Promotions = 0;
+
+  for (auto _ : State) {
+    State.PauseTiming();
+    VmConfig Config = routerConfig();
+    sting::bench::ObsHarness::instance().configure(Config);
+    VirtualMachine Vm(Config);
+    IoService Io;
+    State.ResumeTiming();
+
+    AnyValue R = Vm.run([&]() -> AnyValue {
+      ShardedSpace SS(Vm, Io, Shards, /*Factor=*/2);
+      if (!SS.valid())
+        return AnyValue(false);
+
+      // Seed slot 0 (replica group {0, 1}) with resident tuples, then
+      // kill its primary dead — no drain, no goodbye.
+      std::vector<std::int64_t> Keys;
+      for (std::int64_t K = 0; Keys.size() != (std::size_t)Tokens; ++K) {
+        Tuple T;
+        T.emplace_back(K);
+        T.emplace_back("tok");
+        T.emplace_back(0);
+        auto H = routeKey(T);
+        if (H && *H % Shards == 0)
+          Keys.push_back(K);
+      }
+      long long Want = 0;
+      for (int I = 0; I != Tokens; ++I) {
+        if (SS.Router->put(makeTuple(Keys[I], "tok", 1000 + I)) != Status::Ok)
+          return AnyValue(false);
+        Want += 1000 + I;
+      }
+      SS.Servers[0]->shutdown();
+      SS.Servers[0].reset();
+
+      long long Sum = 0;
+      for (int I = 0; I != Tokens; ++I) {
+        Tuple Tmpl;
+        Tmpl.emplace_back(Keys[I]);
+        Tmpl.emplace_back("tok");
+        Tmpl.push_back(formal(0));
+        Match M;
+        if (SS.Router->takeUntil(std::move(Tmpl),
+                                 Deadline::in(10'000'000'000), M) !=
+            Status::Ok)
+          return AnyValue(false); // a tuple died with its primary
+        Sum += M.binding(0).asFixnum();
+      }
+      RouterStatsSnapshot S = SS.Router->statsSnapshot();
+      bool Ok = Sum == Want && S.Promotions >= 1;
+      Promotions += S.Promotions;
+      SS.teardown();
+      return AnyValue(Ok);
+    });
+    if (!R.as<bool>()) {
+      State.SkipWithError("tuple lost with its primary, or no promotion");
+      break;
+    }
+
+    State.PauseTiming();
+    sting::bench::ObsHarness::instance().capture("router_kill_primary", Vm);
+    State.ResumeTiming();
+  }
+  State.counters["promotions"] = static_cast<double>(Promotions);
+  State.SetItemsProcessed(State.iterations() * Tokens * 2);
+}
+
 } // namespace
 
 // Fixed iteration counts, same reasoning as app_netserver: every
@@ -360,6 +522,21 @@ BENCHMARK(BM_RouterFanout)
 BENCHMARK(BM_RouterFailover)
     ->ArgName("workers")
     ->Arg(8)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+// factor:1 and factor:2 run the identical workload; their ratio is the
+// replication overhead (DESIGN.md section 14 budgets it at <=2.5x).
+BENCHMARK(BM_RouterReplicatedPut)
+    ->ArgName("factor")
+    ->Arg(1)
+    ->Arg(2)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_RouterKillPrimary)
+    ->ArgName("tokens")
+    ->Arg(24)
     ->Iterations(3)
     ->Unit(benchmark::kMillisecond);
 

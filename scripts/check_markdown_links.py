@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Check that markdown cross-references resolve.
+
+Scans the given markdown files (or a default set) for inline links and
+verifies every *repository-relative* target: the linked file must exist,
+and a `#fragment` pointing into a markdown file must match one of its
+headings under GitHub's anchor rules. External links (http/https/mailto)
+are deliberately not fetched — this gate must stay hermetic and
+deterministic — but their URLs are still checked for accidental
+whitespace.
+
+    python3 scripts/check_markdown_links.py README.md DESIGN.md docs/*.md
+
+Exits non-zero listing every broken link as file:line: message.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Inline links: [text](target). Images share the syntax; both must
+# resolve. Reference-style links are rare enough here not to support.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+(?:\s+\"[^\"]*\")?)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(heading):
+    """GitHub's heading -> fragment slug: lowercase, drop punctuation,
+    spaces to hyphens (inline code markers drop with the punctuation)."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path, cache):
+    if path not in cache:
+        found = set()
+        in_fence = False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING.match(line)
+            if m:
+                slug = github_anchor(m.group(2))
+                # Duplicate headings get -1, -2, ... suffixes; accept the
+                # base form for each occurrence.
+                n = 0
+                candidate = slug
+                while candidate in found:
+                    n += 1
+                    candidate = f"{slug}-{n}"
+                found.add(candidate)
+        cache[path] = found
+    return cache[path]
+
+
+def check_file(md, root, anchor_cache):
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(
+            md.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK.finditer(line):
+            target = m.group(1).split(' "')[0].strip()
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                dest, frag = md, target[1:]
+            else:
+                frag = None
+                path_part = target
+                if "#" in target:
+                    path_part, frag = target.split("#", 1)
+                dest = (md.parent / path_part).resolve()
+                try:
+                    dest.relative_to(root)
+                except ValueError:
+                    errors.append((md, lineno,
+                                   f"link escapes the repository: {target}"))
+                    continue
+                if not dest.exists():
+                    errors.append((md, lineno, f"broken link: {target}"))
+                    continue
+            if frag and dest.suffix == ".md":
+                if frag.lower() not in anchors_of(dest, anchor_cache):
+                    errors.append(
+                        (md, lineno,
+                         f"missing anchor #{frag} in {dest.name}"))
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="markdown files to check")
+    args = parser.parse_args()
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+    if args.files:
+        files = [pathlib.Path(f).resolve() for f in args.files]
+    else:
+        files = sorted(root.glob("*.md")) + sorted(root.glob("docs/*.md"))
+
+    anchor_cache = {}
+    errors = []
+    for md in files:
+        errors.extend(check_file(md, root, anchor_cache))
+
+    for md, lineno, message in errors:
+        print(f"{md.relative_to(root)}:{lineno}: {message}")
+    if errors:
+        return 1
+    print(f"checked {len(files)} file(s), all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,660 @@
+//===- dist/Replica.cpp - Chain-of-two shard replication ----------------------===//
+//
+// Part of libsting. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Replica.h"
+
+#include "core/Current.h"
+#include "core/ThreadController.h"
+#include "core/VirtualMachine.h"
+#include "core/VirtualProcessor.h"
+#include "obs/Flow.h"
+#include "obs/TraceBuffer.h"
+#include "sync/ParkList.h"
+
+#include <mutex>
+
+namespace sting::dist {
+
+namespace wire = net::wire;
+using TC = ThreadController;
+
+namespace {
+
+/// Packs the ReplForward/ReplPromote trace payload: slot in the low 16
+/// bits, a retract bit, then the epoch's low bits.
+std::uint32_t replPayload(std::uint64_t Slot, bool Retract,
+                          std::uint64_t Epoch) {
+  return static_cast<std::uint32_t>(Slot & 0xffff) |
+         (Retract ? 1u << 16 : 0u) |
+         (static_cast<std::uint32_t>(Epoch & 0x7fff) << 17);
+}
+
+/// Rebuilds a Tuple from encodeFields() bytes (prefixing a throwaway
+/// opcode so the frame Reader accepts it).
+bool decodeFields(const std::string &Bytes, Tuple &Out) {
+  std::vector<std::uint8_t> Buf;
+  Buf.reserve(Bytes.size() + 1);
+  Buf.push_back(static_cast<std::uint8_t>(wire::Op::Echo));
+  Buf.insert(Buf.end(), Bytes.begin(), Bytes.end());
+  wire::Reader R(Buf.data(), Buf.size());
+  return R.ok() && wire::readTuple(R, Out);
+}
+
+void stampFlow(wire::Writer &W) {
+  if (obs::FlowId F = obs::currentFlowId())
+    W.flow(F);
+}
+
+} // namespace
+
+Replica::Replica(VirtualMachine &Vm, IoService &Io, TupleSpaceRef Space,
+                 std::size_t Self, ReplicaConfig Config)
+    : Vm(&Vm), Io(&Io), Space(std::move(Space)), Self(Self),
+      Config(Config) {
+  STING_CHECK(Config.ReplicationFactor <= 2,
+              "chain-of-two supports at most one backup per slot");
+}
+
+Replica::~Replica() { shutdown(); }
+
+void Replica::bind(std::vector<net::ClientConfig> Shards) {
+  net::PoolConfig PC;
+  PC.MaxConnections = Config.MaxConnectionsPerPeer;
+  PC.Endpoints = Shards;
+  auto Pool = std::make_unique<net::ConnectionPool>(*Io, std::move(PC));
+  std::lock_guard<SpinLock> G(Lock);
+  RingSize = Shards.size();
+  Peers = std::move(Pool);
+}
+
+void Replica::shutdown() {
+  Closing.store(true, std::memory_order_release);
+  std::vector<ThreadRef> Hs;
+  {
+    std::lock_guard<SpinLock> G(Lock);
+    Hs.swap(Helpers);
+  }
+  for (ThreadRef &H : Hs)
+    TC::threadWaitFor(*H, Deadline::never());
+  // Peers stays alive: connection handlers may still hold this Replica
+  // (via ShardConfig's shared_ptr) and race a last forward; the pool dies
+  // with the Replica itself.
+}
+
+Replica::SlotState &Replica::slot(std::uint64_t S) { return Slots[S]; }
+
+const Replica::SlotState *Replica::slotIfPresent(std::uint64_t S) const {
+  auto It = Slots.find(S);
+  return It == Slots.end() ? nullptr : &It->second;
+}
+
+std::uint64_t Replica::slotEpoch(std::uint64_t S) const {
+  std::lock_guard<SpinLock> G(Lock);
+  const SlotState *St = slotIfPresent(S);
+  return St ? St->Epoch : 0;
+}
+
+bool Replica::needsCatchup(std::uint64_t S) const {
+  std::lock_guard<SpinLock> G(Lock);
+  const SlotState *St = slotIfPresent(S);
+  return St && St->NeedsCatchup;
+}
+
+ReplicaStatsSnapshot Replica::statsSnapshot() const {
+  ReplicaStatsSnapshot S;
+  S.Forwards = Stats.Forwards.load(std::memory_order_relaxed);
+  S.ForwardFailures = Stats.ForwardFailures.load(std::memory_order_relaxed);
+  S.StaleRejections = Stats.StaleRejections.load(std::memory_order_relaxed);
+  S.Tombstones = Stats.Tombstones.load(std::memory_order_relaxed);
+  S.Materialized = Stats.Materialized.load(std::memory_order_relaxed);
+  S.Discarded = Stats.Discarded.load(std::memory_order_relaxed);
+  S.CatchupTuples = Stats.CatchupTuples.load(std::memory_order_relaxed);
+  S.Promotions = Stats.Promotions.load(std::memory_order_relaxed);
+  return S;
+}
+
+void Replica::advanceLocked(std::uint64_t Slot, SlotState &St,
+                            std::uint64_t Epoch, RoleEffects &Fx) {
+  bool WasPrimary =
+      RingSize >= 2 && primaryOf(Slot, St.Epoch, RingSize) == Self;
+  bool IsPrimary = RingSize >= 2 && primaryOf(Slot, Epoch, RingSize) == Self;
+  St.Epoch = Epoch;
+  Fx.Slot = Slot;
+  if (!WasPrimary && IsPrimary) {
+    // Backup rising: every stored copy enters the serving space and
+    // becomes a resident this shard now answers pulls for. Tombstones
+    // refer to copies the old primary already consumed; after the flip
+    // nothing will forward those retracts again, so they die here.
+    for (auto &[B, N] : St.Store) {
+      for (std::uint64_t I = 0; I != N; ++I)
+        Fx.Materialize.push_back(B);
+      St.Residents[B] += N;
+    }
+    St.Store.clear();
+    St.Tombstones.clear();
+    St.NeedsCatchup = false;
+    Stats.Promotions.fetch_add(1, std::memory_order_relaxed);
+  } else if (WasPrimary && !IsPrimary) {
+    // Primary fenced: its replicated residents now live (and get
+    // consumed) at the peer; keeping them here would double-deliver.
+    // Locally seeded tuples were never residents and stay untouched.
+    for (auto &[B, N] : St.Residents)
+      for (std::uint64_t I = 0; I != N; ++I)
+        Fx.Discard.push_back(B);
+    St.Residents.clear();
+    St.Store.clear();
+    St.Tombstones.clear();
+    St.NeedsCatchup = true;
+    Fx.StartPull = true;
+  }
+}
+
+std::size_t Replica::applyEffects(RoleEffects Fx) {
+  for (const std::string &B : Fx.Discard) {
+    Tuple T;
+    if (decodeFields(B, T) && Space->tryTake(std::move(T)))
+      Stats.Discarded.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::size_t Mat = 0;
+  for (const std::string &B : Fx.Materialize) {
+    Tuple T;
+    if (decodeFields(B, T)) {
+      Space->put(std::move(T));
+      ++Mat;
+    }
+  }
+  if (Mat)
+    Stats.Materialized.fetch_add(Mat, std::memory_order_relaxed);
+  if (Fx.StartPull)
+    startPull(Fx.Slot);
+  return Mat;
+}
+
+void Replica::adoptAtLeast(std::uint64_t Slot, std::uint64_t Epoch) {
+  RoleEffects Fx;
+  {
+    std::lock_guard<SpinLock> G(Lock);
+    SlotState &St = slot(Slot);
+    if (Epoch <= St.Epoch)
+      return;
+    advanceLocked(Slot, St, Epoch, Fx);
+  }
+  applyEffects(std::move(Fx));
+}
+
+void Replica::observeEpoch(std::uint64_t Slot, std::uint64_t Epoch) {
+  adoptAtLeast(Slot, Epoch);
+}
+
+Replica::ForwardResult Replica::forward(std::size_t Peer,
+                                        const wire::Writer &W,
+                                        std::uint64_t TimeoutNanos) {
+  net::ConnectionPool *P;
+  {
+    std::lock_guard<SpinLock> G(Lock);
+    P = Peers.get();
+  }
+  if (!P || Closing.load(std::memory_order_acquire))
+    return ForwardResult::PeerDown;
+  std::vector<std::uint8_t> Reply;
+  if (P->requestFrom(Peer, W, Reply, Deadline::in(TimeoutNanos)) !=
+      net::RequestStatus::Ok)
+    return ForwardResult::PeerDown;
+  wire::Reader Rd(Reply.data(), Reply.size());
+  if (!Rd.ok())
+    return ForwardResult::PeerDown;
+  if (Rd.op() == wire::Op::RepAck)
+    return ForwardResult::Ok;
+  if (Rd.op() == wire::Op::Err) {
+    Rd.takeFlow();
+    wire::ReadField F;
+    if (Rd.next(F) && F.T == wire::Tag::Text && F.Bytes == "stale epoch")
+      return ForwardResult::PeerStale;
+  }
+  return ForwardResult::PeerDown;
+}
+
+Replica::Ack Replica::onPut(std::uint64_t S, std::uint64_t Epoch,
+                            bool Forwarded, Tuple T) {
+  std::string Bytes = encodeFields(T);
+  RoleEffects Fx;
+  std::uint64_t E;
+  {
+    std::lock_guard<SpinLock> G(Lock);
+    if (RingSize < 2)
+      return {false, 0, 0, "unbound"};
+    SlotState &St = slot(S);
+    if (Epoch < St.Epoch) {
+      Stats.StaleRejections.fetch_add(1, std::memory_order_relaxed);
+      return {false, St.Epoch, 0, "stale epoch"};
+    }
+    if (Epoch > St.Epoch)
+      advanceLocked(S, St, Epoch, Fx);
+    E = St.Epoch;
+    if (Forwarded) {
+      if (backupOf(S, E, RingSize) != Self) {
+        Stats.StaleRejections.fetch_add(1, std::memory_order_relaxed);
+        return {false, E, 0, "stale epoch"};
+      }
+      // Commute with a retract that outran us: the copy was already
+      // consumed, so it annihilates instead of landing.
+      auto It = St.Tombstones.find(Bytes);
+      if (It != St.Tombstones.end()) {
+        if (--It->second == 0)
+          St.Tombstones.erase(It);
+      } else {
+        ++St.Store[Bytes];
+      }
+    } else if (primaryOf(S, E, RingSize) != Self) {
+      Stats.StaleRejections.fetch_add(1, std::memory_order_relaxed);
+      return {false, E, 0, "stale epoch"};
+    }
+  }
+  std::size_t Flipped = applyEffects(std::move(Fx));
+  (void)Flipped;
+  if (Forwarded)
+    return {true, E, 0, nullptr};
+
+  // Primary deposit: copy to the backup *first*, so by the time any take
+  // can observe the tuple its backup copy is durable at the peer. A dead
+  // peer degrades to a single-copy ack — availability over replication —
+  // and the degradation is visible in Info bit0 and ForwardFailures.
+  bool Replicated = false;
+  if (!inert()) {
+    wire::Writer W(wire::Op::RepPut);
+    stampFlow(W);
+    W.fixnum(static_cast<std::int64_t>(S));
+    W.fixnum(static_cast<std::int64_t>(E));
+    W.fixnum(1); // forwarded
+    if (!writeTupleFields(W, T))
+      return {false, E, 0, "unmarshalable tuple"};
+    switch (forward(backupOf(S, E, RingSize), W, Config.ForwardTimeoutNanos)) {
+    case ForwardResult::Ok:
+      Replicated = true;
+      Stats.Forwards.fetch_add(1, std::memory_order_relaxed);
+      if (VirtualProcessor *Vp = currentVp())
+        Vp->stats().ReplForwards.inc();
+      STING_TRACE_EVENT(ReplForward, 0, replPayload(S, false, E));
+      break;
+    case ForwardResult::PeerDown:
+      Stats.ForwardFailures.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ForwardResult::PeerStale: {
+      // The backup is ahead of us: we were fenced while this put was in
+      // flight. Abort without depositing — the router retries against
+      // the member the new epoch elects.
+      adoptAtLeast(S, E + 1);
+      Stats.StaleRejections.fetch_add(1, std::memory_order_relaxed);
+      return {false, slotEpoch(S), 0, "stale epoch"};
+    }
+    }
+  }
+  {
+    std::lock_guard<SpinLock> G(Lock);
+    SlotState &St = slot(S);
+    if (St.Epoch != E || primaryOf(S, E, RingSize) != Self) {
+      // Demoted while forwarding: depositing now would resurrect the
+      // tuple on the wrong member. The backup copy (if one landed) is
+      // the new primary's problem and its epoch logic already owns it.
+      Stats.StaleRejections.fetch_add(1, std::memory_order_relaxed);
+      return {false, St.Epoch, 0, "stale epoch"};
+    }
+    ++St.Residents[Bytes];
+  }
+  Space->put(std::move(T));
+  return {true, E, Replicated ? 1 : 0, nullptr};
+}
+
+Replica::Ack Replica::onRetract(std::uint64_t S, std::uint64_t Epoch,
+                                const Tuple &T) {
+  std::string Bytes = encodeFields(T);
+  RoleEffects Fx;
+  std::uint64_t E;
+  {
+    std::lock_guard<SpinLock> G(Lock);
+    if (RingSize < 2)
+      return {false, 0, 0, "unbound"};
+    SlotState &St = slot(S);
+    if (Epoch < St.Epoch) {
+      Stats.StaleRejections.fetch_add(1, std::memory_order_relaxed);
+      return {false, St.Epoch, 0, "stale epoch"};
+    }
+    if (Epoch > St.Epoch)
+      advanceLocked(S, St, Epoch, Fx);
+    E = St.Epoch;
+    if (backupOf(S, E, RingSize) != Self) {
+      Stats.StaleRejections.fetch_add(1, std::memory_order_relaxed);
+      return {false, E, 0, "stale epoch"};
+    }
+    auto It = St.Store.find(Bytes);
+    if (It != St.Store.end()) {
+      if (--It->second == 0)
+        St.Store.erase(It);
+    } else {
+      ++St.Tombstones[Bytes];
+      Stats.Tombstones.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  applyEffects(std::move(Fx));
+  return {true, E, 0, nullptr};
+}
+
+Replica::Ack Replica::onPromote(std::uint64_t S, std::uint64_t Epoch) {
+  RoleEffects Fx;
+  std::uint64_t E;
+  {
+    std::lock_guard<SpinLock> G(Lock);
+    if (RingSize < 2)
+      return {false, 0, 0, "unbound"};
+    SlotState &St = slot(S);
+    if (Epoch <= St.Epoch) {
+      if (primaryOf(S, St.Epoch, RingSize) == Self)
+        return {true, St.Epoch, 0, nullptr}; // idempotent re-promote
+      Stats.StaleRejections.fetch_add(1, std::memory_order_relaxed);
+      return {false, St.Epoch, 0, "stale epoch"};
+    }
+    if (primaryOf(S, Epoch, RingSize) != Self)
+      return {false, St.Epoch, 0, "wrong member"};
+    if (St.NeedsCatchup)
+      return {false, St.Epoch, 0, "not caught up"};
+    advanceLocked(S, St, Epoch, Fx);
+    E = St.Epoch;
+  }
+  std::size_t Mat = applyEffects(std::move(Fx));
+  if (VirtualProcessor *Vp = currentVp())
+    Vp->stats().ReplPromotions.inc();
+  STING_TRACE_EVENT(ReplPromote, 0, replPayload(S, false, E));
+  return {true, E, static_cast<std::int64_t>(Mat), nullptr};
+}
+
+Replica::Ack Replica::onDemote(std::uint64_t S, std::uint64_t Epoch) {
+  RoleEffects Fx;
+  std::uint64_t E;
+  std::size_t Dropped;
+  {
+    std::lock_guard<SpinLock> G(Lock);
+    if (RingSize < 2)
+      return {false, 0, 0, "unbound"};
+    SlotState &St = slot(S);
+    if (Epoch <= St.Epoch)
+      return {true, St.Epoch, 0, nullptr}; // already there (or past)
+    if (backupOf(S, Epoch, RingSize) != Self)
+      return {false, St.Epoch, 0, "wrong member"};
+    advanceLocked(S, St, Epoch, Fx);
+    E = St.Epoch;
+    Dropped = Fx.Discard.size();
+  }
+  applyEffects(std::move(Fx));
+  return {true, E, static_cast<std::int64_t>(Dropped), nullptr};
+}
+
+Replica::PullReply Replica::onPull(std::uint64_t S, std::uint64_t Epoch) {
+  RoleEffects Fx;
+  PullReply R;
+  {
+    std::lock_guard<SpinLock> G(Lock);
+    if (RingSize < 2) {
+      R.Err = "unbound";
+      return R;
+    }
+    SlotState &St = slot(S);
+    if (Epoch > St.Epoch)
+      advanceLocked(S, St, Epoch, Fx);
+    R.Epoch = St.Epoch;
+    if (primaryOf(S, St.Epoch, RingSize) != Self) {
+      R.Err = "not primary";
+    } else {
+      R.Ok = true;
+      for (const auto &[B, N] : St.Residents) {
+        for (std::uint64_t I = 0; I != N; ++I) {
+          if (R.Tuples.size() >= Config.PullMaxTuples) {
+            R.Complete = false;
+            break;
+          }
+          R.Tuples.push_back(B);
+        }
+        if (!R.Complete)
+          break;
+      }
+    }
+  }
+  applyEffects(std::move(Fx));
+  return R;
+}
+
+void Replica::noteTaken(const std::vector<gc::Value> &Fields) {
+  if (inert() || Closing.load(std::memory_order_acquire))
+    return;
+  Tuple T;
+  T.reserve(Fields.size());
+  for (gc::Value V : Fields)
+    T.emplace_back(V);
+  std::optional<std::uint64_t> Key = routeKey(T);
+  if (!Key)
+    return;
+  std::string Bytes = encodeFields(T);
+  std::uint64_t S, E;
+  std::size_t Peer;
+  {
+    std::lock_guard<SpinLock> G(Lock);
+    S = *Key % RingSize;
+    SlotState &St = slot(S);
+    E = St.Epoch;
+    if (primaryOf(S, E, RingSize) != Self)
+      return; // strays in a demoted member's space are not replicated
+    auto It = St.Residents.find(Bytes);
+    if (It == St.Residents.end())
+      return; // locally seeded, never replicated: nothing to retract
+    if (--It->second == 0)
+      St.Residents.erase(It);
+    Peer = backupOf(S, E, RingSize);
+  }
+  wire::Writer W(wire::Op::RepRetract);
+  stampFlow(W);
+  W.fixnum(static_cast<std::int64_t>(S));
+  W.fixnum(static_cast<std::int64_t>(E));
+  if (!writeTupleFields(W, T))
+    return;
+  switch (forward(Peer, W, Config.ForwardTimeoutNanos)) {
+  case ForwardResult::Ok:
+    Stats.Forwards.fetch_add(1, std::memory_order_relaxed);
+    if (VirtualProcessor *Vp = currentVp())
+      Vp->stats().ReplForwards.inc();
+    STING_TRACE_EVENT(ReplForward, 0, replPayload(S, true, E));
+    break;
+  case ForwardResult::PeerDown:
+    // The §14 retract window: if this member dies before the backup
+    // learns, promotion can resurrect one already-delivered tuple.
+    Stats.ForwardFailures.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case ForwardResult::PeerStale:
+    adoptAtLeast(S, E + 1);
+    break;
+  }
+}
+
+bool Replica::noteRestored(const std::vector<gc::Value> &Fields) {
+  if (inert() || Closing.load(std::memory_order_acquire))
+    return true;
+  Tuple T;
+  T.reserve(Fields.size());
+  for (gc::Value V : Fields)
+    T.emplace_back(V);
+  std::optional<std::uint64_t> Key = routeKey(T);
+  if (!Key)
+    return true;
+  std::string Bytes = encodeFields(T);
+  std::uint64_t S, E;
+  std::size_t Peer;
+  bool IsPrimary;
+  {
+    std::lock_guard<SpinLock> G(Lock);
+    S = *Key % RingSize;
+    SlotState &St = slot(S);
+    E = St.Epoch;
+    IsPrimary = primaryOf(S, E, RingSize) == Self;
+    if (IsPrimary) {
+      ++St.Residents[Bytes]; // undoing noteTaken's decrement
+      Peer = backupOf(S, E, RingSize);
+    } else {
+      Peer = primaryOf(S, E, RingSize);
+    }
+  }
+  wire::Writer W(wire::Op::RepPut);
+  stampFlow(W);
+  W.fixnum(static_cast<std::int64_t>(S));
+  W.fixnum(static_cast<std::int64_t>(E));
+  W.fixnum(IsPrimary ? 1 : 0);
+  if (!writeTupleFields(W, T))
+    return true;
+  ForwardResult FR = forward(Peer, W, Config.ForwardTimeoutNanos);
+  if (IsPrimary) {
+    // Restore the backup copy; the caller re-deposits locally either way.
+    if (FR == ForwardResult::Ok) {
+      Stats.Forwards.fetch_add(1, std::memory_order_relaxed);
+      if (VirtualProcessor *Vp = currentVp())
+        Vp->stats().ReplForwards.inc();
+      STING_TRACE_EVENT(ReplForward, 0, replPayload(S, false, E));
+    } else {
+      Stats.ForwardFailures.fetch_add(1, std::memory_order_relaxed);
+      if (FR == ForwardResult::PeerStale)
+        adoptAtLeast(S, E + 1);
+    }
+    return true;
+  }
+  // Demoted while the delivery was in flight: route the tuple to the
+  // member takes now ask — a full primary deposit, which forwards a copy
+  // right back to us as its backup. Only keep it locally when even that
+  // fails (conservation beats placement).
+  if (FR == ForwardResult::Ok)
+    return false;
+  Stats.ForwardFailures.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Replica::startPull(std::uint64_t S) {
+  {
+    std::lock_guard<SpinLock> G(Lock);
+    if (Closing.load(std::memory_order_acquire) || RingSize < 2)
+      return;
+    SlotState &St = slot(S);
+    if (St.PullRunning || !St.NeedsCatchup)
+      return;
+    St.PullRunning = true;
+  }
+  SpawnOptions Opts;
+  Opts.Group = &Vm->rootGroup();
+  ThreadRef H = TC::forkThread(
+      [this, S]() -> AnyValue {
+        runPull(S);
+        return AnyValue();
+      },
+      Opts);
+  std::lock_guard<SpinLock> G(Lock);
+  Helpers.push_back(std::move(H));
+}
+
+void Replica::runPull(std::uint64_t S) {
+  ParkList Nap;
+  for (int Attempt = 0; Attempt != 16; ++Attempt) {
+    if (Closing.load(std::memory_order_acquire))
+      break;
+    std::uint64_t E;
+    std::size_t Peer;
+    {
+      std::lock_guard<SpinLock> G(Lock);
+      SlotState &St = slot(S);
+      if (!St.NeedsCatchup || primaryOf(S, St.Epoch, RingSize) == Self) {
+        St.PullRunning = false;
+        return;
+      }
+      E = St.Epoch;
+      Peer = primaryOf(S, E, RingSize);
+    }
+    wire::Writer W(wire::Op::RepPull);
+    W.fixnum(static_cast<std::int64_t>(S));
+    W.fixnum(static_cast<std::int64_t>(E));
+    net::ConnectionPool *P;
+    {
+      std::lock_guard<SpinLock> G(Lock);
+      P = Peers.get();
+    }
+    std::vector<std::uint8_t> Reply;
+    bool Got = P && P->requestFrom(Peer, W, Reply,
+                                   Deadline::in(Config.PullTimeoutNanos)) ==
+                        net::RequestStatus::Ok;
+    if (Got) {
+      wire::Reader Rd(Reply.data(), Reply.size());
+      Got = Rd.ok() && Rd.op() == wire::Op::RepState;
+      if (Got) {
+        Rd.takeFlow();
+        wire::ReadField SlotF, EpochF, CompleteF;
+        Got = Rd.next(SlotF) && SlotF.T == wire::Tag::Fixnum &&
+              Rd.next(EpochF) && EpochF.T == wire::Tag::Fixnum &&
+              Rd.next(CompleteF) && CompleteF.T == wire::Tag::Fixnum;
+        if (Got) {
+          std::vector<std::string> Blobs;
+          wire::ReadField F;
+          while (Rd.next(F))
+            if (F.T == wire::Tag::Blob)
+              Blobs.emplace_back(F.Bytes);
+          RoleEffects Fx;
+          std::size_t Installed = 0;
+          {
+            std::lock_guard<SpinLock> G(Lock);
+            SlotState &St = slot(S);
+            std::uint64_t PeerE = static_cast<std::uint64_t>(EpochF.Num);
+            if (PeerE > St.Epoch)
+              advanceLocked(S, St, PeerE, Fx);
+            if (primaryOf(S, St.Epoch, RingSize) == Self) {
+              // We rose mid-pull; the snapshot is someone's stale view.
+              St.PullRunning = false;
+              // fallthrough to apply role effects outside the lock
+            } else {
+              for (const std::string &B : Blobs) {
+                auto It = St.Tombstones.find(B);
+                if (It != St.Tombstones.end()) {
+                  if (--It->second == 0)
+                    St.Tombstones.erase(It);
+                } else {
+                  ++St.Store[B];
+                  ++Installed;
+                }
+              }
+              if (CompleteF.Num != 0) {
+                St.NeedsCatchup = false;
+                St.PullRunning = false;
+              }
+            }
+          }
+          applyEffects(std::move(Fx));
+          if (Installed) {
+            Stats.CatchupTuples.fetch_add(Installed,
+                                          std::memory_order_relaxed);
+            if (VirtualProcessor *Vp = currentVp())
+              Vp->stats().ReplCatchupTuples.add(Installed);
+          }
+          {
+            std::lock_guard<SpinLock> G(Lock);
+            SlotState &St = slot(S);
+            if (!St.PullRunning || !St.NeedsCatchup) {
+              St.PullRunning = false;
+              return;
+            }
+          }
+        }
+      }
+    }
+    // Pull failed or the transfer is still incomplete: pause, retry.
+    Nap.awaitUntil(
+        [&] { return Closing.load(std::memory_order_acquire); }, &Nap,
+        Deadline::in(50'000'000));
+  }
+  std::lock_guard<SpinLock> G(Lock);
+  slot(S).PullRunning = false; // gave up; stays catch-up-owed (visible)
+}
+
+} // namespace sting::dist

@@ -51,6 +51,16 @@ bool writeTupleFields(net::wire::Writer &W, const Tuple &T) {
   return true;
 }
 
+std::string encodeFields(const Tuple &T) {
+  net::wire::Writer W(net::wire::Op::Echo);
+  if (!writeTupleFields(W, T))
+    return {};
+  const auto &P = W.payload();
+  // Skip the opcode byte: the identity is the fields, not the frame.
+  return std::string(reinterpret_cast<const char *>(P.data()) + 1,
+                     P.size() - 1);
+}
+
 std::optional<std::uint64_t> routeKey(const Tuple &T) {
   if (!T.empty() && T.front().kind() != Field::Kind::Datum)
     return std::nullopt;

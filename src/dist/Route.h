@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 namespace sting::dist {
 
@@ -62,6 +63,33 @@ bool writeTupleFields(net::wire::Writer &W, const Tuple &T);
 /// nullopt when field 0 is not concrete data (a formal, live thread or
 /// thunk) — such tuples/templates have no home shard.
 std::optional<std::uint64_t> routeKey(const Tuple &T);
+
+/// The canonical byte identity of a tuple: its fields' wire encoding, with
+/// no opcode byte. Stable across re-encoding — a pending-text field, the
+/// Symbol it interns to, and the Text field a Deliver carries all encode
+/// to the same bytes — so replication bookkeeping (backup copies,
+/// tombstones, resident ledgers; DESIGN.md §14) can count copies by value
+/// across processes. Empty string when any field is unmarshalable (such
+/// tuples never ride the wire and are never replicated). Pure; callable
+/// from any thread.
+std::string encodeFields(const Tuple &T);
+
+/// The replica group of hash slot \p Slot in an \p N-shard ring is
+/// {Slot, (Slot+1)%N} (DESIGN.md §14); the member serving as primary
+/// alternates with the slot's promotion epoch, so an epoch bump *is* a
+/// fail-over and the epoch's parity names the elected member with no
+/// separate leader record to keep consistent. Pure.
+inline std::size_t primaryOf(std::size_t Slot, std::uint64_t Epoch,
+                             std::size_t N) {
+  return (Slot + static_cast<std::size_t>(Epoch & 1)) % N;
+}
+
+/// The other member of \p Slot's replica group — the backup at \p Epoch.
+/// Pure; equals primaryOf at epoch+1.
+inline std::size_t backupOf(std::size_t Slot, std::uint64_t Epoch,
+                            std::size_t N) {
+  return (Slot + 1 - static_cast<std::size_t>(Epoch & 1)) % N;
+}
 
 } // namespace sting::dist
 

@@ -8,6 +8,7 @@
 
 #include "core/Gc.h"
 #include "core/ThreadController.h"
+#include "dist/Replica.h"
 #include "dist/Route.h"
 #include "gc/GlobalHeap.h"
 #include "net/Wire.h"
@@ -37,6 +38,7 @@ bool sendError(BufferedConn &C, const char *Reason) {
   return sendPayload(C, W);
 }
 
+
 void adoptFlow(std::uint64_t F) {
   if (!F)
     return;
@@ -48,6 +50,19 @@ void adoptFlow(std::uint64_t F) {
 void stampReplyFlow(wire::Writer &W) {
   if (obs::FlowId F = obs::currentFlowId())
     W.flow(F);
+}
+
+/// Marshals a replication outcome: RepAck on success, Err(reason) on a
+/// fenced/refused op — the clean-refusal discipline Hello set the tone
+/// for, so a stale primary gets told, never hung up on.
+bool sendRepAck(BufferedConn &C, const Replica::Ack &A) {
+  if (!A.Ok)
+    return sendError(C, A.Err ? A.Err : "replication error");
+  wire::Writer W(wire::Op::RepAck);
+  stampReplyFlow(W);
+  W.fixnum(static_cast<std::int64_t>(A.Epoch));
+  W.fixnum(A.Info);
+  return sendPayload(C, W);
 }
 
 /// One queued push frame (Deliver or Retracted). For a *take* delivery the
@@ -116,12 +131,18 @@ public:
   }
 
   /// Releases \p Fr. \p Sent distinguishes a flushed frame (roots only)
-  /// from a dropped one (re-deposit a consumed tuple first).
+  /// from a dropped one (re-deposit a consumed tuple first). Under
+  /// replication the re-deposit restores the backup copy — or re-routes
+  /// the tuple to the slot's current primary — before (or instead of)
+  /// the local put, so copy counts stay balanced.
   void dispose(std::unique_ptr<OutFrame> Fr, bool Sent) {
     if (!Fr->Redeposit.empty()) {
+      bool Local = true;
+      if (!Sent && Cfg.Rep)
+        Local = Cfg.Rep->noteRestored(Fr->Redeposit);
       for (gc::Value &Slot : Fr->Redeposit)
         Space->heap().removeRoot(&Slot);
-      if (!Sent) {
+      if (!Sent && Local) {
         Tuple T;
         T.reserve(Fr->Redeposit.size());
         for (gc::Value V : Fr->Redeposit)
@@ -143,6 +164,12 @@ public:
         Fr = std::move(Out.front());
         Out.pop_front();
       }
+      // Replication's delivered⇒tombstoned invariant: the backup learns
+      // the take *before* the Deliver frame can be observed, so a
+      // promotion never resurrects a tuple someone already received. If
+      // the write below fails, dispose() restores the copy.
+      if (!Fr->Redeposit.empty() && Cfg.Rep)
+        Cfg.Rep->noteTaken(Fr->Redeposit);
       bool Sent = C.writeFrame(Fr->Payload.data(), Fr->Payload.size(),
                                Deadline::in(Cfg.PollNanos * 1000)) &&
                   C.flush(Deadline::in(Cfg.PollNanos * 1000));
@@ -246,6 +273,16 @@ void serveShardConn(ShardConn &S) {
         // failure instead of hanging on a silent peer.
         sendError(C, "version mismatch");
         return;
+      }
+      // Optional (slot, epoch) pairs: the router's promotion view. A
+      // reconnecting stale primary learns its fencing here, before any
+      // registration can arm against resurrected state.
+      if (S.Cfg.Rep) {
+        wire::ReadField SlotF, EpochF;
+        while (R.next(SlotF) && SlotF.T == wire::Tag::Fixnum &&
+               R.next(EpochF) && EpochF.T == wire::Tag::Fixnum)
+          S.Cfg.Rep->observeEpoch(static_cast<std::uint64_t>(SlotF.Num),
+                                  static_cast<std::uint64_t>(EpochF.Num));
       }
       wire::Writer W(wire::Op::HelloOk);
       stampReplyFlow(W);
@@ -354,9 +391,114 @@ void serveShardConn(ShardConn &S) {
       // send these.
       Match M = Destructive ? S.Space->take(std::move(T))
                             : S.Space->read(std::move(T));
+      // Delivered⇒tombstoned: the backup hears about the take before the
+      // caller can observe the TsMatch.
+      if (Destructive && S.Cfg.Rep)
+        S.Cfg.Rep->noteTaken(M.Fields);
       wire::Writer W(wire::Op::TsMatch);
       stampReplyFlow(W);
       wire::writeMatch(W, M);
+      if (!sendPayload(C, W))
+        return;
+      break;
+    }
+    case wire::Op::RepPut: {
+      wire::ReadField SlotF, EpochF, FlagsF;
+      Tuple T;
+      if (!R.next(SlotF) || SlotF.T != wire::Tag::Fixnum ||
+          !R.next(EpochF) || EpochF.T != wire::Tag::Fixnum ||
+          !R.next(FlagsF) || FlagsF.T != wire::Tag::Fixnum ||
+          !wire::readTuple(R, T)) {
+        if (!sendError(C, "malformed repput"))
+          return;
+        break;
+      }
+      if (!S.Cfg.Rep) {
+        if (!sendError(C, "no replica"))
+          return;
+        break;
+      }
+      Replica::Ack A = S.Cfg.Rep->onPut(
+          static_cast<std::uint64_t>(SlotF.Num),
+          static_cast<std::uint64_t>(EpochF.Num), (FlagsF.Num & 1) != 0,
+          std::move(T));
+      if (!sendRepAck(C, A))
+        return;
+      break;
+    }
+    case wire::Op::RepRetract: {
+      wire::ReadField SlotF, EpochF;
+      Tuple T;
+      if (!R.next(SlotF) || SlotF.T != wire::Tag::Fixnum ||
+          !R.next(EpochF) || EpochF.T != wire::Tag::Fixnum ||
+          !wire::readTuple(R, T)) {
+        if (!sendError(C, "malformed repretract"))
+          return;
+        break;
+      }
+      if (!S.Cfg.Rep) {
+        if (!sendError(C, "no replica"))
+          return;
+        break;
+      }
+      Replica::Ack A =
+          S.Cfg.Rep->onRetract(static_cast<std::uint64_t>(SlotF.Num),
+                               static_cast<std::uint64_t>(EpochF.Num), T);
+      if (!sendRepAck(C, A))
+        return;
+      break;
+    }
+    case wire::Op::RepPromote:
+    case wire::Op::RepDemote: {
+      bool Promote = R.op() == wire::Op::RepPromote;
+      wire::ReadField SlotF, EpochF;
+      if (!R.next(SlotF) || SlotF.T != wire::Tag::Fixnum ||
+          !R.next(EpochF) || EpochF.T != wire::Tag::Fixnum) {
+        if (!sendError(C, "malformed promote"))
+          return;
+        break;
+      }
+      if (!S.Cfg.Rep) {
+        if (!sendError(C, "no replica"))
+          return;
+        break;
+      }
+      std::uint64_t Slot = static_cast<std::uint64_t>(SlotF.Num);
+      std::uint64_t Epoch = static_cast<std::uint64_t>(EpochF.Num);
+      Replica::Ack A = Promote ? S.Cfg.Rep->onPromote(Slot, Epoch)
+                               : S.Cfg.Rep->onDemote(Slot, Epoch);
+      if (!sendRepAck(C, A))
+        return;
+      break;
+    }
+    case wire::Op::RepPull: {
+      wire::ReadField SlotF, EpochF;
+      if (!R.next(SlotF) || SlotF.T != wire::Tag::Fixnum ||
+          !R.next(EpochF) || EpochF.T != wire::Tag::Fixnum) {
+        if (!sendError(C, "malformed pull"))
+          return;
+        break;
+      }
+      if (!S.Cfg.Rep) {
+        if (!sendError(C, "no replica"))
+          return;
+        break;
+      }
+      Replica::PullReply P =
+          S.Cfg.Rep->onPull(static_cast<std::uint64_t>(SlotF.Num),
+                            static_cast<std::uint64_t>(EpochF.Num));
+      if (!P.Ok) {
+        if (!sendError(C, P.Err ? P.Err : "pull refused"))
+          return;
+        break;
+      }
+      wire::Writer W(wire::Op::RepState);
+      stampReplyFlow(W);
+      W.fixnum(SlotF.Num);
+      W.fixnum(static_cast<std::int64_t>(P.Epoch));
+      W.fixnum(P.Complete ? 1 : 0);
+      for (const std::string &B : P.Tuples)
+        W.blob(B);
       if (!sendPayload(C, W))
         return;
       break;

@@ -11,7 +11,10 @@
 /// identically — plus the registration protocol:
 ///
 ///  - Hello/HelloOk: version handshake opening a registration connection;
-///    a version mismatch gets an Err reply and a close, never a hang.
+///    a version mismatch gets an Err reply and a close, never a hang. The
+///    router may append (slot, epoch) pairs after the version — its view
+///    of slot promotions — which fence a stale primary at reconnect time
+///    (DESIGN.md §14).
 ///
 ///  - Register(id, flags, template): arms a registration *proxy* in the
 ///    space (TupleSpace::registerProxy) on behalf of a remote waiter. No
@@ -27,11 +30,19 @@
 ///    callback, so the router must keep the registration record until the
 ///    Deliver arrives (frames from the two sources are NOT ordered).
 ///
+///  - RepPut/RepRetract/RepPromote/RepDemote/RepPull (with a Replica
+///    wired): the replication protocol of DESIGN.md §14, dispatched into
+///    dist::Replica. A take's Deliver frame (and a unary TsIn's TsMatch)
+///    is preceded by a forwarded, acknowledged RepRetract to the backup,
+///    so every observed delivery already has a tombstoned copy.
+///
 /// Exactly-once conservation across connection death: teardown retracts
 /// every armed registration (the tuple never left the space) and
 /// re-deposits the tuple of every *take* delivery whose Deliver frame was
 /// never flushed to the socket — a consumed tuple is either observably
-/// delivered or back in the space, never silently dropped.
+/// delivered or back in the space, never silently dropped. Under
+/// replication the re-deposit first restores the backup copy
+/// (Replica::noteRestored), keeping copy counts balanced.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,20 +53,32 @@
 #include "net/Services.h"
 
 #include <cstdint>
+#include <memory>
 
 namespace sting::dist {
+
+class Replica;
 
 struct ShardConfig {
   /// Outbound-drain poll period once a connection holds registrations or
   /// queued push frames: the reader thread alternates timed frame reads
   /// with queue drains, bounding Deliver push latency by this period.
   std::uint64_t PollNanos = 1'000'000;
+  /// This shard's replication brain (DESIGN.md §14), shared by every
+  /// connection the handler serves. Null runs the shard single-copy: the
+  /// Rep* ops answer Err("no replica") and takes skip the retract
+  /// forward. The Replica must outlive the server (keep the shared_ptr
+  /// alive until net::Server::stop returns).
+  std::shared_ptr<Replica> Rep;
 };
 
 /// \returns a handler serving \p Space as one shard: the tuple service
-/// ops plus the registration protocol above. Blocking TsRd/TsIn still
-/// park the connection thread (pool connections); routers keep
-/// registrations on a dedicated connection and never mix the two.
+/// ops plus the registration (and, with Config.Rep, replication)
+/// protocols above. Blocking TsRd/TsIn still park the connection thread
+/// (pool connections); routers keep registrations on a dedicated
+/// connection and never mix the two. Handlers run on sting threads and
+/// may park on socket writes and replication forwards. \p Space must
+/// outlive the server.
 net::Server::Handler shardHandler(TupleSpaceRef Space, ShardConfig Config = {});
 
 } // namespace sting::dist

@@ -240,6 +240,15 @@ bool SpaceRouter::Channel::handshake(BufferedConn &Conn) {
   if (std::uint64_t F = obs::currentFlowId())
     W.flow(F);
   W.fixnum(WireVersion);
+  // Replication: carry the promoted-slot view as (slot, epoch) pairs, so
+  // a rejoining stale primary demotes itself before this connection can
+  // arm a registration against resurrected tuples.
+  if (R.replicated())
+    for (std::size_t S = 0; S != R.Config.Shards.size(); ++S)
+      if (std::uint64_t E = R.slotEpoch(S)) {
+        W.fixnum(static_cast<std::int64_t>(S));
+        W.fixnum(static_cast<std::int64_t>(E));
+      }
   if (!Conn.writeFrame(W.payload().data(), W.payload().size()) ||
       !Conn.flush())
     return false;
@@ -447,9 +456,16 @@ SpaceRouter::SpaceRouter(VirtualMachine &Vm, IoService &Io,
         return PC;
       }()) {
   STING_CHECK(!this->Config.Shards.empty(), "router needs at least one shard");
-  Channels.reserve(this->Config.Shards.size());
-  for (std::size_t I = 0; I != this->Config.Shards.size(); ++I)
+  STING_CHECK(this->Config.ReplicationFactor >= 1 &&
+                  this->Config.ReplicationFactor <= 2,
+              "chain-of-two supports replication factors 1 and 2");
+  const std::size_t N = this->Config.Shards.size();
+  Channels.reserve(N);
+  for (std::size_t I = 0; I != N; ++I)
     Channels.push_back(std::make_unique<Channel>(*this, I));
+  SlotEpochs = std::make_unique<std::atomic<std::uint64_t>[]>(N);
+  for (std::size_t I = 0; I != N; ++I)
+    SlotEpochs[I].store(0, std::memory_order_relaxed);
 }
 
 SpaceRouter::~SpaceRouter() { shutdown(); }
@@ -483,6 +499,8 @@ RouterStatsSnapshot SpaceRouter::statsSnapshot() const {
   S.Deliveries = Stats.Deliveries.load(std::memory_order_relaxed);
   S.Redeposits = Stats.Redeposits.load(std::memory_order_relaxed);
   S.Orphans = Stats.Orphans.load(std::memory_order_relaxed);
+  S.Promotions = Stats.Promotions.load(std::memory_order_relaxed);
+  S.Unreplicated = Stats.Unreplicated.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -536,6 +554,8 @@ Status SpaceRouter::put(Tuple T) {
     return Status::Error; // live threads / thunks never leave the process
   std::optional<std::uint64_t> Key = routeKey(T);
   STING_CHECK(Key, "datum-led tuple must have a route key");
+  if (replicated())
+    return putReplicated(T, *Key);
   const std::size_t N = Channels.size();
   const std::size_t Home = static_cast<std::size_t>(*Key % N);
   Stats.Routes.fetch_add(1, std::memory_order_relaxed);
@@ -578,10 +598,194 @@ Status SpaceRouter::put(Tuple T) {
   }
 }
 
+void SpaceRouter::raiseEpoch(std::size_t Slot, std::uint64_t E) {
+  std::uint64_t Cur = SlotEpochs[Slot].load(std::memory_order_acquire);
+  while (Cur < E && !SlotEpochs[Slot].compare_exchange_weak(
+                        Cur, E, std::memory_order_acq_rel))
+    ;
+}
+
+bool SpaceRouter::tryPromote(std::size_t Slot, std::uint64_t FromEpoch) {
+  const std::size_t N = Channels.size();
+  if (slotEpoch(Slot) != FromEpoch)
+    return true; // someone already moved the view; caller re-reads
+  const std::uint64_t NewE = FromEpoch + 1;
+  const std::size_t Backup = primaryOf(Slot, NewE, N);
+  if (Pool.breaker(Backup).state() == net::BreakerState::Open)
+    return false; // both members down: the slot is unavailable
+  wire::Writer W(wire::Op::RepPromote);
+  if (std::uint64_t F = obs::currentFlowId())
+    W.flow(F);
+  W.fixnum(static_cast<std::int64_t>(Slot));
+  W.fixnum(static_cast<std::int64_t>(NewE));
+  std::vector<std::uint8_t> Reply;
+  if (Pool.requestFrom(Backup, W, Reply,
+                       Deadline::in(Config.PromoteTimeoutNanos)) !=
+      net::RequestStatus::Ok)
+    return false;
+  wire::Reader Rd(Reply.data(), Reply.size());
+  if (!Rd.ok() || Rd.op() != wire::Op::RepAck)
+    return false; // refused ("not caught up" / "wrong member")
+  Rd.takeFlow();
+  wire::ReadField EpochF;
+  std::uint64_t Acked = NewE;
+  if (Rd.next(EpochF) && EpochF.T == wire::Tag::Fixnum)
+    Acked = std::max<std::uint64_t>(NewE, static_cast<std::uint64_t>(EpochF.Num));
+  raiseEpoch(Slot, Acked);
+  Stats.Promotions.fetch_add(1, std::memory_order_relaxed);
+  if (VirtualProcessor *Vp = currentVp())
+    Vp->stats().ReplPromotions.inc();
+  STING_TRACE_EVENT(ReplPromote, 0,
+                    static_cast<std::uint32_t>(Slot & 0xffff) |
+                        (static_cast<std::uint32_t>(Acked & 0xffff) << 16));
+  // Best-effort fence of the old primary: if it is merely slow (not
+  // dead) it must discard its residents now. Its own epoch checks — and
+  // the Hello pairs on reconnect — cover the case where this demote
+  // never lands.
+  const std::size_t Old = primaryOf(Slot, FromEpoch, N);
+  if (Pool.breaker(Old).state() != net::BreakerState::Open) {
+    wire::Writer DW(wire::Op::RepDemote);
+    DW.fixnum(static_cast<std::int64_t>(Slot));
+    DW.fixnum(static_cast<std::int64_t>(Acked));
+    std::vector<std::uint8_t> DR;
+    (void)Pool.requestFrom(Old, DW, DR,
+                           Deadline::in(Config.PromoteTimeoutNanos));
+  }
+  return true;
+}
+
+Status SpaceRouter::putReplicated(const Tuple &T, std::uint64_t Key) {
+  const std::size_t N = Channels.size();
+  const std::size_t Slot = static_cast<std::size_t>(Key % N);
+  Stats.Routes.fetch_add(1, std::memory_order_relaxed);
+  if (VirtualProcessor *Vp = currentVp())
+    Vp->stats().RouterRoutes.inc();
+  bool Attempted = false;
+  net::RequestStatus Last = net::RequestStatus::BreakerOpen;
+  // Bounded retry: each lap either talks to the current primary or
+  // advances the epoch view. 2N+2 laps cover every member twice plus the
+  // promotion hops; real failovers resolve in two or three.
+  for (std::size_t Lap = 0; Lap != 2 * N + 2; ++Lap) {
+    if (Closing.load(std::memory_order_acquire))
+      return Status::Canceled;
+    const std::uint64_t E = slotEpoch(Slot);
+    const std::size_t P = primaryOf(Slot, E, N);
+    if (Pool.breaker(P).state() == net::BreakerState::Open) {
+      if (!tryPromote(Slot, E))
+        break; // both members unreachable
+      continue;
+    }
+    wire::Writer W(wire::Op::RepPut);
+    if (std::uint64_t F = obs::currentFlowId())
+      W.flow(F);
+    W.fixnum(static_cast<std::int64_t>(Slot));
+    W.fixnum(static_cast<std::int64_t>(E));
+    W.fixnum(0); // router deposit, not a forwarded copy
+    if (!writeTupleFields(W, T))
+      return Status::Error;
+    Attempted = true;
+    std::vector<std::uint8_t> Reply;
+    Last = Pool.requestFrom(P, W, Reply, Deadline::in(Config.PutTimeoutNanos));
+    if (Last != net::RequestStatus::Ok) {
+      (void)tryPromote(Slot, E); // the breaker learned; try the backup
+      continue;
+    }
+    wire::Reader Rd(Reply.data(), Reply.size());
+    if (!Rd.ok())
+      return Status::Error;
+    if (Rd.op() == wire::Op::RepAck) {
+      Rd.takeFlow();
+      wire::ReadField EpochF, InfoF;
+      if (Rd.next(EpochF) && EpochF.T == wire::Tag::Fixnum)
+        raiseEpoch(Slot, static_cast<std::uint64_t>(EpochF.Num));
+      bool Replicated = Rd.next(InfoF) && InfoF.T == wire::Tag::Fixnum &&
+                        (InfoF.Num & 1) != 0;
+      if (!Replicated)
+        Stats.Unreplicated.fetch_add(1, std::memory_order_relaxed);
+      STING_TRACE_EVENT(RouterRoute, 0, routePayload(P, 1));
+      if (P != Slot) { // an odd epoch serves off the home member
+        Stats.Failovers.fetch_add(1, std::memory_order_relaxed);
+        if (VirtualProcessor *Vp = currentVp())
+          Vp->stats().RouterFailovers.inc();
+      }
+      return Status::Ok;
+    }
+    if (Rd.op() == wire::Op::Err) {
+      Rd.takeFlow();
+      wire::ReadField F;
+      if (Rd.next(F) && F.T == wire::Tag::Text && F.Bytes == "stale epoch") {
+        // The member knows a later epoch than we do; adopt and retry.
+        raiseEpoch(Slot, E + 1);
+        continue;
+      }
+    }
+    return Status::Error; // "no replica" / malformed: not retriable
+  }
+  if (!Attempted)
+    return Status::Unavailable;
+  switch (Last) {
+  case net::RequestStatus::Timeout:
+    return Status::Timeout;
+  case net::RequestStatus::Canceled:
+    return Status::Canceled;
+  case net::RequestStatus::BreakerOpen:
+    return Status::Unavailable;
+  default:
+    return Status::Error;
+  }
+}
+
 Status SpaceRouter::matchUntil(Tuple Template, bool Remove, Deadline D,
                                Match &Out) {
   if (Closing.load(std::memory_order_acquire))
     return Status::Canceled;
+  std::optional<std::uint64_t> Key = routeKey(Template);
+  Stats.Routes.fetch_add(1, std::memory_order_relaxed);
+  if (VirtualProcessor *Vp = currentVp())
+    Vp->stats().RouterRoutes.inc();
+
+  if (replicated() && Key) {
+    // Replicated keyed match: register on the slot's current primary only
+    // (the backup's copies are passive — matching there would double-
+    // deliver). When the leg dies with the deadline unspent the primary
+    // went away, so promote and re-arm at the new epoch. Each round uses
+    // a fresh id: the old registration may still be armed on a merely
+    // slow shard, and shards refuse duplicate ids.
+    const std::size_t N = Channels.size();
+    const std::size_t Slot = static_cast<std::size_t>(*Key % N);
+    for (;;) {
+      if (Closing.load(std::memory_order_acquire))
+        return Status::Canceled;
+      const std::uint64_t E = slotEpoch(Slot);
+      const std::size_t P = primaryOf(Slot, E, N);
+      if (Pool.breaker(P).state() == net::BreakerState::Open) {
+        if (!tryPromote(Slot, E))
+          return Status::Unavailable; // both members unreachable
+        continue;
+      }
+      const std::uint64_t Id = NextId.fetch_add(1, std::memory_order_relaxed);
+      wire::Writer W(wire::Op::Register);
+      if (std::uint64_t F = obs::currentFlowId())
+        W.flow(F);
+      W.fixnum(static_cast<std::int64_t>(Id));
+      W.fixnum(Remove ? 1 : 0);
+      if (!writeTupleFields(W, Template))
+        return Status::Error;
+      STING_TRACE_EVENT(RouterRoute, 0, routePayload(P, 1));
+      if (P != Slot) { // an odd epoch serves off the home member
+        Stats.Failovers.fetch_add(1, std::memory_order_relaxed);
+        if (VirtualProcessor *Vp = currentVp())
+          Vp->stats().RouterFailovers.inc();
+      }
+      Status St = matchOnce({P}, Template, W.payload(), Id, Remove, D, Out);
+      if (St != Status::Unavailable)
+        return St;
+      if (D.expired())
+        return Status::Timeout;
+      (void)tryPromote(Slot, E);
+    }
+  }
+
   const std::uint64_t Id = NextId.fetch_add(1, std::memory_order_relaxed);
   wire::Writer W(wire::Op::Register);
   if (std::uint64_t F = obs::currentFlowId())
@@ -590,12 +794,8 @@ Status SpaceRouter::matchUntil(Tuple Template, bool Remove, Deadline D,
   W.fixnum(Remove ? 1 : 0);
   if (!writeTupleFields(W, Template))
     return Status::Error;
-  std::optional<std::uint64_t> Key = routeKey(Template);
   bool LeftHome = false;
   std::vector<std::size_t> Cands = candidates(Key, LeftHome);
-  Stats.Routes.fetch_add(1, std::memory_order_relaxed);
-  if (VirtualProcessor *Vp = currentVp())
-    Vp->stats().RouterRoutes.inc();
   if (Cands.empty())
     return Status::Unavailable;
   STING_TRACE_EVENT(
@@ -613,7 +813,14 @@ Status SpaceRouter::matchUntil(Tuple Template, bool Remove, Deadline D,
     if (VirtualProcessor *Vp = currentVp())
       Vp->stats().RouterFanouts.add(Cands.size());
   }
+  return matchOnce(Cands, Template, W.payload(), Id, Remove, D, Out);
+}
 
+Status SpaceRouter::matchOnce(const std::vector<std::size_t> &Cands,
+                              const Tuple &Template,
+                              const std::vector<std::uint8_t> &RegFrame,
+                              std::uint64_t Id, bool Remove, Deadline D,
+                              Match &Out) {
   RouterOp Op;
   Op.LegsLive = Cands.size();
   std::vector<std::size_t> Armed;
@@ -623,7 +830,7 @@ Status SpaceRouter::matchUntil(Tuple Template, bool Remove, Deadline D,
     L->Id = Id;
     L->Op = &Op;
     L->Remove = Remove;
-    L->RegFrame = W.payload();
+    L->RegFrame = RegFrame;
     if (Channels[S]->arm(std::move(L))) {
       Armed.push_back(S);
     } else {
@@ -764,6 +971,8 @@ net::Server::Handler routerHandler(SpaceRouter &Router) {
         Row("sting_router_deliveries_total", S.Deliveries);
         Row("sting_router_redeposits_total", S.Redeposits);
         Row("sting_router_orphans_total", S.Orphans);
+        Row("sting_router_promotions_total", S.Promotions);
+        Row("sting_router_unreplicated_total", S.Unreplicated);
         if (!SendPayload(W))
           return;
         break;

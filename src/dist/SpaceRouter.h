@@ -31,6 +31,16 @@
 ///    registration plane (channel connects). Unavailable is reported
 ///    only when every candidate shard is open or dead.
 ///
+///  - Replication (ReplicationFactor = 2, DESIGN.md §14): puts become
+///    RepPut against the slot's current *primary* — elected by the
+///    slot's epoch, which this router tracks — and the primary copies to
+///    its backup before acking. When the primary's breaker opens or a
+///    request dies, the router promotes the backup (RepPromote at
+///    epoch+1) and retries; keyed matches register on the primary only
+///    and re-arm across promotions until their deadline. The epochs ride
+///    the Hello handshake so a rejoining stale primary is fenced before
+///    any registration can arm on resurrected state.
+///
 /// Unary requests ride the pool's net::Clients (retry/backoff/breaker);
 /// registrations ride one dedicated channel per shard — a pump thread
 /// owning the socket, with a Hello/HelloOk version handshake, that
@@ -75,6 +85,12 @@ struct RouterConfig {
   /// tryRead/tryTake are one bounded registration round-trip: the probe
   /// window before the registration is retracted and "no match" returned.
   std::uint64_t TryWindowNanos = 50'000'000;
+  /// Copies per hash slot. 1 is the single-copy router of DESIGN.md §13;
+  /// 2 enables chain-of-two replication (DESIGN.md §14) — every shard
+  /// must then run a bound dist::Replica. Values above 2 are refused.
+  std::size_t ReplicationFactor = 1;
+  /// Budget for one RepPromote/RepDemote round-trip during a failover.
+  std::uint64_t PromoteTimeoutNanos = 1'000'000'000;
 };
 
 /// Router-side tallies, finer-grained than the four obs counters. The
@@ -90,6 +106,8 @@ struct RouterStatsSnapshot {
   std::uint64_t Deliveries = 0; ///< Deliver frames dispatched to legs
   std::uint64_t Redeposits = 0; ///< losing take deliveries re-deposited
   std::uint64_t Orphans = 0;    ///< legs failed by channel death/refusal
+  std::uint64_t Promotions = 0; ///< slot epoch bumps this router won
+  std::uint64_t Unreplicated = 0; ///< puts acked single-copy (backup down)
 };
 
 /// One logical tuple space routed over shard endpoints. Thread-safe; all
@@ -111,8 +129,19 @@ public:
 
   // --- The TupleSpace surface, with distribution-visible statuses --------
 
+  /// Deposits \p T on its home shard (replicated mode: on its slot's
+  /// current primary, two-copy — §14). Blocks for at most the per-shard
+  /// put budget times the failover laps; an open home breaker fails over
+  /// in ring order (single-copy) or promotes the backup (replicated).
+  /// Ok means some shard durably holds the tuple; Unavailable means no
+  /// candidate admitted it (the tuple was NOT deposited).
   Status put(Tuple T);
 
+  /// read/take block until a match is delivered (registration proxy on
+  /// the candidate shards — no connection thread parks per waiter);
+  /// *Until variants return Timeout when \p D expires first, with the
+  /// registration retracted exactly-once. Canceled reports router
+  /// shutdown or IoService teardown. All must run on sting threads.
   Status read(Tuple Template, Match &Out) {
     return matchUntil(std::move(Template), false, Deadline::never(), Out);
   }
@@ -136,11 +165,14 @@ public:
                       Deadline::in(Config.TryWindowNanos), Out);
   }
 
+  /// Ring size (fixed at construction — resharding is a roadmap item).
   std::size_t shardCount() const { return Config.Shards.size(); }
 
-  /// The multi-endpoint pool (per-shard breakers live here).
+  /// The multi-endpoint pool (per-shard breakers live here). Thread-safe;
+  /// tests trip breakers through it to simulate gray failures.
   net::ConnectionPool &pool() { return Pool; }
 
+  /// Relaxed-atomic tallies; exact only at quiescence. Thread-safe.
   RouterStatsSnapshot statsSnapshot() const;
 
   /// Registration legs not yet resolved, summed over every channel. Zero
@@ -149,12 +181,40 @@ public:
   /// settle point drain/teardown sequences should wait for.
   std::size_t pendingLegs() const;
 
+  /// Replication enabled (factor ≥ 2 over a multi-shard ring)? Pure.
+  bool replicated() const {
+    return Config.ReplicationFactor >= 2 && Config.Shards.size() >= 2;
+  }
+
+  /// The router's view of \p Slot's epoch (monotonic; shard refusals and
+  /// acks raise it). Thread-safe.
+  std::uint64_t slotEpoch(std::size_t Slot) const {
+    return SlotEpochs[Slot].load(std::memory_order_acquire);
+  }
+
 private:
   class Channel;
   struct RouterOp;
   struct Leg;
 
   Status matchUntil(Tuple Template, bool Remove, Deadline D, Match &Out);
+
+  /// One arm/await/detach round against \p Cands. Factored out so the
+  /// replicated keyed path can retry across promotions.
+  Status matchOnce(const std::vector<std::size_t> &Cands, const Tuple &Template,
+                   const std::vector<std::uint8_t> &RegFrame, std::uint64_t Id,
+                   bool Remove, Deadline D, Match &Out);
+
+  Status putReplicated(const Tuple &T, std::uint64_t Key);
+
+  /// Promotes \p Slot's backup to primary at FromEpoch+1 (idempotent,
+  /// concurrent-safe: the shard applies the max epoch, this router CAS-
+  /// raises its view). \returns false when the backup refused or is
+  /// unreachable. Best-effort demotes the old primary afterwards.
+  bool tryPromote(std::size_t Slot, std::uint64_t FromEpoch);
+
+  /// Raises the slot-view epoch to at least \p E (monotonic CAS).
+  void raiseEpoch(std::size_t Slot, std::uint64_t E);
 
   /// Candidate shards for a registration/put given the breaker view;
   /// empty means Unavailable. Sets \p LeftHome when the home shard was
@@ -171,6 +231,9 @@ private:
   RouterConfig Config;
   net::ConnectionPool Pool;
   std::vector<std::unique_ptr<Channel>> Channels;
+  /// Per-slot promotion epochs (replicated mode; all zero otherwise).
+  /// Monotonic — concurrent promoters race benignly via raiseEpoch.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> SlotEpochs;
   std::atomic<bool> Closing{false};
   std::atomic<std::uint64_t> NextId{1};
 
@@ -179,7 +242,8 @@ private:
 
   struct {
     std::atomic<std::uint64_t> Routes{0}, Fanouts{0}, Retracts{0},
-        Failovers{0}, Deliveries{0}, Redeposits{0}, Orphans{0};
+        Failovers{0}, Deliveries{0}, Redeposits{0}, Orphans{0},
+        Promotions{0}, Unreplicated{0};
   } Stats;
 };
 

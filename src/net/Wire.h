@@ -89,6 +89,43 @@ enum class Op : std::uint8_t {
                     ///< (the depositor's callback and the Retract reply are
                     ///< queued by different shard threads), so the router
                     ///< keeps the registration record until the Deliver lands.
+
+  // Replication protocol (src/dist, DESIGN.md §14). Each hash slot maps to
+  // a two-member replica group; every Rep* request names the slot and the
+  // sender's slot epoch, and the receiver fences on that epoch: an op
+  // carrying a smaller epoch than the receiver's gets Err("stale epoch"),
+  // an op carrying a larger one advances the receiver (with the role
+  // change's side effects) before applying. Success replies are RepAck;
+  // refusals are ordinary Err frames so old peers fail cleanly.
+  RepPut = 30,     ///< Fixnum slot, Fixnum epoch, Fixnum flags (bit0 =
+                   ///< forwarded: primary→backup copy; clear = router→primary
+                   ///< deposit), then the tuple fields. The primary forwards
+                   ///< to its backup and waits for the RepAck *before*
+                   ///< depositing locally, so a matched tuple always has a
+                   ///< backup copy older than any delivery of it.
+  RepAck = 31,     ///< Fixnum epoch (receiver's slot epoch), Fixnum info —
+                   ///< for a primary put, bit0 = the backup holds a copy
+                   ///< (clear = degraded single-copy ack, backup down); for
+                   ///< promote/demote, the tuples materialized/discarded.
+  RepRetract = 32, ///< Fixnum slot, Fixnum epoch, then the tuple fields:
+                   ///< primary→backup "a copy of these bytes was consumed".
+                   ///< Retracting bytes with no stored copy records a
+                   ///< tombstone that eats the next RepPut of equal bytes, so
+                   ///< put/retract commute across unordered connections.
+  RepPromote = 33, ///< Fixnum slot, Fixnum epoch: "become primary at epoch
+                   ///< ≥ this; reply your epoch". Idempotent; refused with
+                   ///< Err("not caught up") while the member still owes an
+                   ///< anti-entropy pull, and Err("wrong member") when the
+                   ///< epoch's parity does not elect the receiver.
+  RepDemote = 34,  ///< Fixnum slot, Fixnum epoch: fence a stale primary —
+                   ///< it discards its replicated residents for the slot and
+                   ///< starts a catch-up pull as the new backup.
+  RepPull = 35,    ///< Fixnum slot, Fixnum epoch: catch-up request; the
+                   ///< primary answers RepState from its resident ledger.
+  RepState = 36,   ///< Fixnum slot, Fixnum epoch, Fixnum complete (0/1),
+                   ///< then one Blob per resident tuple (its encoded field
+                   ///< bytes). complete=0 means the transfer was truncated
+                   ///< at the pull bound and the backup stays catch-up-owed.
 };
 
 enum class Tag : std::uint8_t {

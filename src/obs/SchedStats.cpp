@@ -55,6 +55,9 @@ SchedStatsSnapshot SchedStats::snapshot() const {
   S.RouterFanouts = RouterFanouts;
   S.RouterRetracts = RouterRetracts;
   S.RouterFailovers = RouterFailovers;
+  S.ReplForwards = ReplForwards;
+  S.ReplPromotions = ReplPromotions;
+  S.ReplCatchupTuples = ReplCatchupTuples;
   S.RunSliceNanos = RunSliceNanos;
   S.GcPauseNanos = GcPauseNanos;
   return S;
@@ -103,6 +106,9 @@ SchedStatsSnapshot::operator+=(const SchedStatsSnapshot &Other) {
   RouterFanouts += Other.RouterFanouts;
   RouterRetracts += Other.RouterRetracts;
   RouterFailovers += Other.RouterFailovers;
+  ReplForwards += Other.ReplForwards;
+  ReplPromotions += Other.ReplPromotions;
+  ReplCatchupTuples += Other.ReplCatchupTuples;
   TraceEvents += Other.TraceEvents;
   TraceDrops += Other.TraceDrops;
   RunSliceNanos.merge(Other.RunSliceNanos);
@@ -185,6 +191,12 @@ constexpr CounterRow Rows[] = {
      &SchedStatsSnapshot::RouterRetracts},
     {"router failovers", "sting_router_failovers_total",
      &SchedStatsSnapshot::RouterFailovers},
+    {"repl forwards", "sting_repl_forwards_total",
+     &SchedStatsSnapshot::ReplForwards},
+    {"repl promotions", "sting_repl_promotions_total",
+     &SchedStatsSnapshot::ReplPromotions},
+    {"repl catchup tuples", "sting_repl_catchup_tuples_total",
+     &SchedStatsSnapshot::ReplCatchupTuples},
     {"trace events", "sting_trace_events_total",
      &SchedStatsSnapshot::TraceEvents},
     {"trace drops", "sting_trace_drops_total",

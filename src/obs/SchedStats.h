@@ -139,6 +139,13 @@ struct alignas(64) SchedStats {
   Counter RouterRetracts;  ///< fan-out legs retracted while still armed
   Counter RouterFailovers; ///< operations rerouted off an open-breaker shard
 
+  // Shard replication (src/dist Replica, DESIGN.md §14). Forwards land on
+  // the primary shard's VPs, promotions on whichever side applied the
+  // epoch bump, catch-up tuples on the rejoining backup's VPs.
+  Counter ReplForwards;      ///< put/retract copies forwarded to a backup
+  Counter ReplPromotions;    ///< slot promotions applied (epoch advanced)
+  Counter ReplCatchupTuples; ///< tuples installed by anti-entropy pulls
+
   /// Run-slice lengths (dispatch to switch-back), recorded only while
   /// tracing is enabled so the default path never pays the extra clock
   /// read. Owner-written, racy to read mid-run; snapshot after quiesce.
@@ -199,6 +206,9 @@ struct SchedStatsSnapshot {
   std::uint64_t RouterFanouts = 0;
   std::uint64_t RouterRetracts = 0;
   std::uint64_t RouterFailovers = 0;
+  std::uint64_t ReplForwards = 0;
+  std::uint64_t ReplPromotions = 0;
+  std::uint64_t ReplCatchupTuples = 0;
   /// Snapshot-only (no SchedStats counterpart): filled by the machine at
   /// snapshot time from the VP's trace ring, so truncated traces are
   /// detectable instead of silently misleading.

@@ -152,6 +152,10 @@ const char *traceEventKindName(TraceEventKind K) {
     return "router_route";
   case TraceEventKind::RouterRetract:
     return "router_retract";
+  case TraceEventKind::ReplForward:
+    return "repl_forward";
+  case TraceEventKind::ReplPromote:
+    return "repl_promote";
   case TraceEventKind::NumKinds:
     break;
   }

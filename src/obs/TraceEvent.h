@@ -113,6 +113,14 @@ enum class TraceEventKind : std::uint8_t {
   RouterRetract, ///< a fan-out loser leg was retracted (payload: shard
                  ///< index | wasArmed bit << 16)
 
+  // Shard replication (appended after RouterRetract so earlier ordinals —
+  // and the golden traces pinned to them — stay stable).
+  ReplForward, ///< a primary forwarded a put/retract copy to its backup
+               ///< (payload: slot | retract bit << 16 | epoch-low << 17)
+  ReplPromote, ///< a slot changed primaries (payload: slot | new-epoch-low
+               ///< << 16); emitted by the router on promote and by the
+               ///< shard applying it, joined by the caller's flow id
+
   NumKinds
 };
 
