@@ -14,6 +14,7 @@
 #include "obs/TraceBuffer.h"
 #include "sync/ParkList.h"
 
+#include <algorithm>
 #include <mutex>
 
 namespace sting::dist {
@@ -75,7 +76,9 @@ void Replica::shutdown() {
   std::vector<ThreadRef> Hs;
   {
     std::lock_guard<SpinLock> G(Lock);
-    Hs.swap(Helpers);
+    for (auto &[S, St] : Slots)
+      if (St.Puller)
+        Hs.push_back(std::move(St.Puller));
   }
   for (ThreadRef &H : Hs)
     TC::threadWaitFor(*H, Deadline::never());
@@ -135,6 +138,8 @@ void Replica::advanceLocked(std::uint64_t Slot, SlotState &St,
     }
     St.Store.clear();
     St.Tombstones.clear();
+    ++St.ResidentsVersion;
+    ++St.StoreGen;
     St.NeedsCatchup = false;
     Stats.Promotions.fetch_add(1, std::memory_order_relaxed);
   } else if (WasPrimary && !IsPrimary) {
@@ -147,12 +152,29 @@ void Replica::advanceLocked(std::uint64_t Slot, SlotState &St,
     St.Residents.clear();
     St.Store.clear();
     St.Tombstones.clear();
+    ++St.ResidentsVersion;
+    ++St.StoreGen;
     St.NeedsCatchup = true;
     Fx.StartPull = true;
   }
 }
 
 std::size_t Replica::applyEffects(RoleEffects Fx) {
+  if (!Fx.Discard.empty()) {
+    // A racing primary put may sit between its ledger increment and the
+    // space deposit landing; reclaiming before it lands would silently
+    // miss it and leave a split-brain resident behind the demotion. Each
+    // pending deposit is one space op from done — wait them out.
+    for (;;) {
+      {
+        std::lock_guard<SpinLock> G(Lock);
+        const SlotState *St = slotIfPresent(Fx.Slot);
+        if (!St || St->PendingDeposits == 0)
+          break;
+      }
+      TC::yieldProcessor();
+    }
+  }
   for (const std::string &B : Fx.Discard) {
     Tuple T;
     if (decodeFields(B, T) && Space->tryTake(std::move(T)))
@@ -191,7 +213,8 @@ void Replica::observeEpoch(std::uint64_t Slot, std::uint64_t Epoch) {
 
 Replica::ForwardResult Replica::forward(std::size_t Peer,
                                         const wire::Writer &W,
-                                        std::uint64_t TimeoutNanos) {
+                                        std::uint64_t TimeoutNanos,
+                                        std::uint64_t *StaleEpoch) {
   net::ConnectionPool *P;
   {
     std::lock_guard<SpinLock> G(Lock);
@@ -211,8 +234,12 @@ Replica::ForwardResult Replica::forward(std::size_t Peer,
   if (Rd.op() == wire::Op::Err) {
     Rd.takeFlow();
     wire::ReadField F;
-    if (Rd.next(F) && F.T == wire::Tag::Text && F.Bytes == "stale epoch")
+    if (Rd.next(F) && F.T == wire::Tag::Text && F.Bytes == "stale epoch") {
+      wire::ReadField EpochF;
+      if (StaleEpoch && Rd.next(EpochF) && EpochF.T == wire::Tag::Fixnum)
+        *StaleEpoch = static_cast<std::uint64_t>(EpochF.Num);
       return ForwardResult::PeerStale;
+    }
   }
   return ForwardResult::PeerDown;
 }
@@ -248,6 +275,7 @@ Replica::Ack Replica::onPut(std::uint64_t S, std::uint64_t Epoch,
       } else {
         ++St.Store[Bytes];
       }
+      ++St.StoreGen;
     } else if (primaryOf(S, E, RingSize) != Self) {
       Stats.StaleRejections.fetch_add(1, std::memory_order_relaxed);
       return {false, E, 0, "stale epoch"};
@@ -271,7 +299,9 @@ Replica::Ack Replica::onPut(std::uint64_t S, std::uint64_t Epoch,
     W.fixnum(1); // forwarded
     if (!writeTupleFields(W, T))
       return {false, E, 0, "unmarshalable tuple"};
-    switch (forward(backupOf(S, E, RingSize), W, Config.ForwardTimeoutNanos)) {
+    std::uint64_t PeerE = 0;
+    switch (forward(backupOf(S, E, RingSize), W, Config.ForwardTimeoutNanos,
+                    &PeerE)) {
     case ForwardResult::Ok:
       Replicated = true;
       Stats.Forwards.fetch_add(1, std::memory_order_relaxed);
@@ -286,7 +316,7 @@ Replica::Ack Replica::onPut(std::uint64_t S, std::uint64_t Epoch,
       // The backup is ahead of us: we were fenced while this put was in
       // flight. Abort without depositing — the router retries against
       // the member the new epoch elects.
-      adoptAtLeast(S, E + 1);
+      adoptAtLeast(S, std::max(E + 1, PeerE));
       Stats.StaleRejections.fetch_add(1, std::memory_order_relaxed);
       return {false, slotEpoch(S), 0, "stale epoch"};
     }
@@ -303,9 +333,29 @@ Replica::Ack Replica::onPut(std::uint64_t S, std::uint64_t Epoch,
       return {false, St.Epoch, 0, "stale epoch"};
     }
     ++St.Residents[Bytes];
+    ++St.ResidentsVersion;
+    ++St.PendingDeposits;
   }
   Space->put(std::move(T));
-  return {true, E, Replicated ? 1 : 0, nullptr};
+  std::uint64_t After;
+  {
+    std::lock_guard<SpinLock> G(Lock);
+    SlotState &St = slot(S);
+    --St.PendingDeposits;
+    After = St.Epoch;
+  }
+  if (After == E)
+    return {true, E, Replicated ? 1 : 0, nullptr};
+  // A demotion raced the deposit. Its discard pass waits out pending
+  // deposits, so the copy that just landed is reclaimed with the rest of
+  // the ledger rather than surviving as a split-brain resident. With a
+  // backup copy the promoted peer materialized it and owns delivery;
+  // degraded single-copy puts leave no surviving copy, so report stale
+  // and let the router re-route.
+  if (Replicated)
+    return {true, After, 1, nullptr};
+  Stats.StaleRejections.fetch_add(1, std::memory_order_relaxed);
+  return {false, After, 0, "stale epoch"};
 }
 
 Replica::Ack Replica::onRetract(std::uint64_t S, std::uint64_t Epoch,
@@ -337,6 +387,7 @@ Replica::Ack Replica::onRetract(std::uint64_t S, std::uint64_t Epoch,
       ++St.Tombstones[Bytes];
       Stats.Tombstones.fetch_add(1, std::memory_order_relaxed);
     }
+    ++St.StoreGen;
   }
   applyEffects(std::move(Fx));
   return {true, E, 0, nullptr};
@@ -391,7 +442,8 @@ Replica::Ack Replica::onDemote(std::uint64_t S, std::uint64_t Epoch) {
   return {true, E, static_cast<std::int64_t>(Dropped), nullptr};
 }
 
-Replica::PullReply Replica::onPull(std::uint64_t S, std::uint64_t Epoch) {
+Replica::PullReply Replica::onPull(std::uint64_t S, std::uint64_t Epoch,
+                                   std::uint64_t Offset) {
   RoleEffects Fx;
   PullReply R;
   {
@@ -407,15 +459,26 @@ Replica::PullReply Replica::onPull(std::uint64_t S, std::uint64_t Epoch) {
     if (primaryOf(S, St.Epoch, RingSize) != Self) {
       R.Err = "not primary";
     } else {
+      // The offset cursor skips copies earlier chunks already carried.
+      // Iteration order is stable across chunks because any Residents
+      // mutation bumps ResidentsVersion, which makes the puller restart
+      // the transfer from offset zero.
       R.Ok = true;
+      R.Version = St.ResidentsVersion;
+      std::uint64_t Skip = Offset;
       for (const auto &[B, N] : St.Residents) {
-        for (std::uint64_t I = 0; I != N; ++I) {
+        if (Skip >= N) {
+          Skip -= N;
+          continue;
+        }
+        for (std::uint64_t I = Skip; I != N; ++I) {
           if (R.Tuples.size() >= Config.PullMaxTuples) {
             R.Complete = false;
             break;
           }
           R.Tuples.push_back(B);
         }
+        Skip = 0;
         if (!R.Complete)
           break;
       }
@@ -450,6 +513,7 @@ void Replica::noteTaken(const std::vector<gc::Value> &Fields) {
       return; // locally seeded, never replicated: nothing to retract
     if (--It->second == 0)
       St.Residents.erase(It);
+    ++St.ResidentsVersion;
     Peer = backupOf(S, E, RingSize);
   }
   wire::Writer W(wire::Op::RepRetract);
@@ -458,7 +522,8 @@ void Replica::noteTaken(const std::vector<gc::Value> &Fields) {
   W.fixnum(static_cast<std::int64_t>(E));
   if (!writeTupleFields(W, T))
     return;
-  switch (forward(Peer, W, Config.ForwardTimeoutNanos)) {
+  std::uint64_t PeerE = 0;
+  switch (forward(Peer, W, Config.ForwardTimeoutNanos, &PeerE)) {
   case ForwardResult::Ok:
     Stats.Forwards.fetch_add(1, std::memory_order_relaxed);
     if (VirtualProcessor *Vp = currentVp())
@@ -471,7 +536,7 @@ void Replica::noteTaken(const std::vector<gc::Value> &Fields) {
     Stats.ForwardFailures.fetch_add(1, std::memory_order_relaxed);
     break;
   case ForwardResult::PeerStale:
-    adoptAtLeast(S, E + 1);
+    adoptAtLeast(S, std::max(E + 1, PeerE));
     break;
   }
 }
@@ -498,6 +563,7 @@ bool Replica::noteRestored(const std::vector<gc::Value> &Fields) {
     IsPrimary = primaryOf(S, E, RingSize) == Self;
     if (IsPrimary) {
       ++St.Residents[Bytes]; // undoing noteTaken's decrement
+      ++St.ResidentsVersion;
       Peer = backupOf(S, E, RingSize);
     } else {
       Peer = primaryOf(S, E, RingSize);
@@ -510,7 +576,8 @@ bool Replica::noteRestored(const std::vector<gc::Value> &Fields) {
   W.fixnum(IsPrimary ? 1 : 0);
   if (!writeTupleFields(W, T))
     return true;
-  ForwardResult FR = forward(Peer, W, Config.ForwardTimeoutNanos);
+  std::uint64_t PeerE = 0;
+  ForwardResult FR = forward(Peer, W, Config.ForwardTimeoutNanos, &PeerE);
   if (IsPrimary) {
     // Restore the backup copy; the caller re-deposits locally either way.
     if (FR == ForwardResult::Ok) {
@@ -521,7 +588,7 @@ bool Replica::noteRestored(const std::vector<gc::Value> &Fields) {
     } else {
       Stats.ForwardFailures.fetch_add(1, std::memory_order_relaxed);
       if (FR == ForwardResult::PeerStale)
-        adoptAtLeast(S, E + 1);
+        adoptAtLeast(S, std::max(E + 1, PeerE));
     }
     return true;
   }
@@ -531,11 +598,14 @@ bool Replica::noteRestored(const std::vector<gc::Value> &Fields) {
   // fails (conservation beats placement).
   if (FR == ForwardResult::Ok)
     return false;
+  if (FR == ForwardResult::PeerStale)
+    adoptAtLeast(S, std::max(E + 1, PeerE));
   Stats.ForwardFailures.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 void Replica::startPull(std::uint64_t S) {
+  ThreadRef Prev;
   {
     std::lock_guard<SpinLock> G(Lock);
     if (Closing.load(std::memory_order_acquire) || RingSize < 2)
@@ -544,7 +614,14 @@ void Replica::startPull(std::uint64_t S) {
     if (St.PullRunning || !St.NeedsCatchup)
       return;
     St.PullRunning = true;
+    Prev = std::move(St.Puller);
   }
+  // PullRunning gates one live helper per slot, so Prev (if any) already
+  // dropped the flag and is at most a return-statement away from done:
+  // joining it here reclaims its thread state and bounds helper refs to
+  // one per slot across arbitrarily many demotions.
+  if (Prev)
+    TC::threadWaitFor(*Prev, Deadline::never());
   SpawnOptions Opts;
   Opts.Group = &Vm->rootGroup();
   ThreadRef H = TC::forkThread(
@@ -554,12 +631,24 @@ void Replica::startPull(std::uint64_t S) {
       },
       Opts);
   std::lock_guard<SpinLock> G(Lock);
-  Helpers.push_back(std::move(H));
+  slot(S).Puller = std::move(H);
 }
 
 void Replica::runPull(std::uint64_t S) {
   ParkList Nap;
-  for (int Attempt = 0; Attempt != 16; ++Attempt) {
+  // One transfer is a version-stable sequence of chunks (RepState carries
+  // the primary's ledger version; a mismatch means the offset cursor lost
+  // its meaning, restart) that *replaces* the slot's side store — it never
+  // adds to it. The StoreGen fence rejects an install any live forwarded
+  // put/retract raced: those copies came through both the snapshot and
+  // the live channel, and an additive install would double-count them,
+  // materializing duplicates at the next promotion.
+  std::vector<std::string> Stage; ///< chunks accumulated so far
+  std::uint64_t Offset = 0;       ///< copies Stage already covers
+  std::uint64_t WantVersion = 0;  ///< ledger version chunk 0 reported
+  std::uint64_t GenAtStart = 0;   ///< StoreGen when the transfer began
+  bool InTransfer = false;
+  for (int Attempt = 0; Attempt != 32; ++Attempt) {
     if (Closing.load(std::memory_order_acquire))
       break;
     std::uint64_t E;
@@ -573,10 +662,18 @@ void Replica::runPull(std::uint64_t S) {
       }
       E = St.Epoch;
       Peer = primaryOf(S, E, RingSize);
+      if (!InTransfer) {
+        // Fresh transfer: record the fence before the first chunk can be
+        // requested, so any forward landing after this point aborts it.
+        GenAtStart = St.StoreGen;
+        Stage.clear();
+        Offset = 0;
+      }
     }
     wire::Writer W(wire::Op::RepPull);
     W.fixnum(static_cast<std::int64_t>(S));
     W.fixnum(static_cast<std::int64_t>(E));
+    W.fixnum(static_cast<std::int64_t>(Offset));
     net::ConnectionPool *P;
     {
       std::lock_guard<SpinLock> G(Lock);
@@ -586,23 +683,39 @@ void Replica::runPull(std::uint64_t S) {
     bool Got = P && P->requestFrom(Peer, W, Reply,
                                    Deadline::in(Config.PullTimeoutNanos)) ==
                         net::RequestStatus::Ok;
+    bool ChunkOk = false, Complete = false;
     if (Got) {
       wire::Reader Rd(Reply.data(), Reply.size());
       Got = Rd.ok() && Rd.op() == wire::Op::RepState;
       if (Got) {
         Rd.takeFlow();
-        wire::ReadField SlotF, EpochF, CompleteF;
+        wire::ReadField SlotF, EpochF, CompleteF, VersionF;
         Got = Rd.next(SlotF) && SlotF.T == wire::Tag::Fixnum &&
               Rd.next(EpochF) && EpochF.T == wire::Tag::Fixnum &&
-              Rd.next(CompleteF) && CompleteF.T == wire::Tag::Fixnum;
+              Rd.next(CompleteF) && CompleteF.T == wire::Tag::Fixnum &&
+              Rd.next(VersionF) && VersionF.T == wire::Tag::Fixnum;
         if (Got) {
-          std::vector<std::string> Blobs;
-          wire::ReadField F;
-          while (Rd.next(F))
-            if (F.T == wire::Tag::Blob)
-              Blobs.emplace_back(F.Bytes);
+          Complete = CompleteF.Num != 0;
+          std::uint64_t V = static_cast<std::uint64_t>(VersionF.Num);
+          if (InTransfer && V != WantVersion) {
+            // The primary's ledger moved under the cursor: the chunks no
+            // longer tile one snapshot. Start over.
+            InTransfer = false;
+          } else {
+            if (!InTransfer) {
+              WantVersion = V;
+              InTransfer = true;
+            }
+            ChunkOk = true;
+            wire::ReadField F;
+            while (Rd.next(F))
+              if (F.T == wire::Tag::Blob)
+                Stage.emplace_back(F.Bytes);
+            Offset = Stage.size();
+          }
           RoleEffects Fx;
           std::size_t Installed = 0;
+          bool Finished = false, Rose = false;
           {
             std::lock_guard<SpinLock> G(Lock);
             SlotState &St = slot(S);
@@ -612,43 +725,49 @@ void Replica::runPull(std::uint64_t S) {
             if (primaryOf(S, St.Epoch, RingSize) == Self) {
               // We rose mid-pull; the snapshot is someone's stale view.
               St.PullRunning = false;
-              // fallthrough to apply role effects outside the lock
-            } else {
-              for (const std::string &B : Blobs) {
-                auto It = St.Tombstones.find(B);
-                if (It != St.Tombstones.end()) {
-                  if (--It->second == 0)
-                    St.Tombstones.erase(It);
-                } else {
+              Rose = true;
+            } else if (ChunkOk && Complete) {
+              if (St.StoreGen != GenAtStart) {
+                // A live forward raced the transfer; its copy may also be
+                // in the snapshot. Installing would double-count it —
+                // restart against a still store instead.
+                InTransfer = false;
+              } else {
+                St.Store.clear();
+                for (const std::string &B : Stage)
                   ++St.Store[B];
-                  ++Installed;
-                }
-              }
-              if (CompleteF.Num != 0) {
+                // Every tombstone predates the snapshot (the gen fence
+                // held), and its retract left the primary's ledger before
+                // the snapshot was cut: already reflected, drop them.
+                St.Tombstones.clear();
+                ++St.StoreGen;
+                Installed = Stage.size();
                 St.NeedsCatchup = false;
                 St.PullRunning = false;
+                Finished = true;
               }
             }
           }
           applyEffects(std::move(Fx));
-          if (Installed) {
-            Stats.CatchupTuples.fetch_add(Installed,
-                                          std::memory_order_relaxed);
-            if (VirtualProcessor *Vp = currentVp())
-              Vp->stats().ReplCatchupTuples.add(Installed);
-          }
-          {
-            std::lock_guard<SpinLock> G(Lock);
-            SlotState &St = slot(S);
-            if (!St.PullRunning || !St.NeedsCatchup) {
-              St.PullRunning = false;
-              return;
+          if (Rose)
+            return;
+          if (Finished) {
+            if (Installed) {
+              Stats.CatchupTuples.fetch_add(Installed,
+                                            std::memory_order_relaxed);
+              if (VirtualProcessor *Vp = currentVp())
+                Vp->stats().ReplCatchupTuples.add(Installed);
             }
+            return;
           }
+          if (ChunkOk && !Complete)
+            continue; // mid-transfer: fetch the next chunk right away
         }
       }
     }
-    // Pull failed or the transfer is still incomplete: pause, retry.
+    // Pull failed, the ledger moved, or a forward raced the install:
+    // pause, then retry from a clean slate.
+    InTransfer = false;
     Nap.awaitUntil(
         [&] { return Closing.load(std::memory_order_acquire); }, &Nap,
         Deadline::in(50'000'000));

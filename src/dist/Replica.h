@@ -71,9 +71,9 @@ struct ReplicaConfig {
   /// Budget for one catch-up pull round-trip (the reply carries up to
   /// PullMaxTuples blobs).
   std::uint64_t PullTimeoutNanos = 2'000'000'000;
-  /// Anti-entropy transfer bound: a RepState reply carries at most this
-  /// many tuples. A transfer truncated at the bound leaves the backup
-  /// catch-up-owed (visible in stats; it re-pulls on the next demote).
+  /// Anti-entropy chunk bound: a RepState reply carries at most this many
+  /// tuples. Larger transfers continue across chunks via the RepPull
+  /// offset cursor; the whole sequence installs atomically once complete.
   std::size_t PullMaxTuples = 65536;
   /// Pooled connections per peer for forwards and pulls.
   std::size_t MaxConnectionsPerPeer = 2;
@@ -156,19 +156,25 @@ public:
   /// the space takes, never on RPCs.
   Ack onDemote(std::uint64_t Slot, std::uint64_t Epoch);
 
-  /// RepPull reply data: the resident ledger snapshot a rejoining backup
-  /// installs.
+  /// RepPull reply data: one chunk of the resident ledger snapshot a
+  /// rejoining backup installs.
   struct PullReply {
     bool Ok = false;
     std::uint64_t Epoch = 0;
-    bool Complete = true; ///< false: truncated at PullMaxTuples
+    bool Complete = true; ///< false: more copies remain past this chunk
+    /// Ledger version the chunk was cut at. A multi-chunk transfer is only
+    /// coherent while every chunk reports the same version — any resident
+    /// mutation bumps it, invalidating the offset cursor.
+    std::uint64_t Version = 0;
     std::vector<std::string> Tuples; ///< encoded field bytes, one per copy
     const char *Err = nullptr;
   };
 
-  /// RepPull: snapshot this primary's resident ledger for \p Slot.
-  /// Non-blocking.
-  PullReply onPull(std::uint64_t Slot, std::uint64_t Epoch);
+  /// RepPull: snapshot this primary's resident ledger for \p Slot,
+  /// skipping the first \p Offset copies (the chunk cursor of a transfer
+  /// already in progress). Non-blocking.
+  PullReply onPull(std::uint64_t Slot, std::uint64_t Epoch,
+                   std::uint64_t Offset = 0);
 
   /// A Hello handshake carried the router's (slot, epoch) view: adopt any
   /// newer epoch, with the same side effects as a demote when the new
@@ -217,6 +223,24 @@ private:
     /// serving space through the replicated path (what a pull serves and
     /// a demotion discards).
     std::unordered_map<std::string, std::uint64_t> Residents;
+    /// Bumped on every Residents mutation. A catch-up transfer's chunk
+    /// offsets are only meaningful while this holds still (RepState
+    /// carries it; the puller restarts on a mismatch).
+    std::uint64_t ResidentsVersion = 0;
+    /// Bumped on every forwarded Store/Tombstones mutation. The catch-up
+    /// installer records it when a transfer starts and refuses to install
+    /// a snapshot any live forward has raced — the snapshot *replaces*
+    /// the store, so an unfenced install would drop or double-count the
+    /// racing copy.
+    std::uint64_t StoreGen = 0;
+    /// Primary deposits between their ledger increment and the space put
+    /// landing. A demotion's discard pass waits this out so its reclaim
+    /// cannot silently miss a tuple still in flight to the space.
+    std::uint64_t PendingDeposits = 0;
+    /// The slot's catch-up helper (at most one alive — PullRunning gates
+    /// it). The previous, finished helper is joined when the next pull
+    /// starts, so repeated demotions never accumulate thread refs.
+    ThreadRef Puller;
   };
 
   /// Deferred space work collected under the lock, applied after unlock.
@@ -238,10 +262,14 @@ private:
   /// materialized (for promote's Info).
   std::size_t applyEffects(RoleEffects Fx);
 
-  /// One primary→backup RPC. \returns Ok / PeerDown / PeerStale.
+  /// One primary→backup RPC. \returns Ok / PeerDown / PeerStale; a stale
+  /// refusal stores the peer's epoch (from the Err frame's trailing
+  /// fixnum) into \p StaleEpoch when provided, so the caller adopts the
+  /// peer's actual epoch instead of inching forward one at a time.
   enum class ForwardResult { Ok, PeerDown, PeerStale };
   ForwardResult forward(std::size_t Peer, const net::wire::Writer &W,
-                        std::uint64_t TimeoutNanos);
+                        std::uint64_t TimeoutNanos,
+                        std::uint64_t *StaleEpoch = nullptr);
 
   /// Adopts a newer epoch learned from a peer's refusal or handshake,
   /// with the role flip's side effects. No-op when not newer.
@@ -261,7 +289,6 @@ private:
   std::unordered_map<std::uint64_t, SlotState> Slots;
   std::unique_ptr<net::ConnectionPool> Peers; ///< set by bind()
   std::atomic<bool> Closing{false};
-  std::vector<ThreadRef> Helpers; ///< catch-up pulls, joined at shutdown
 
   struct {
     std::atomic<std::uint64_t> Forwards{0}, ForwardFailures{0},

@@ -52,12 +52,20 @@ void stampReplyFlow(wire::Writer &W) {
     W.flow(F);
 }
 
-/// Marshals a replication outcome: RepAck on success, Err(reason) on a
-/// fenced/refused op — the clean-refusal discipline Hello set the tone
-/// for, so a stale primary gets told, never hung up on.
+/// Marshals a replication outcome: RepAck on success, Err(reason, epoch)
+/// on a fenced/refused op — the clean-refusal discipline Hello set the
+/// tone for, so a stale primary gets told, never hung up on. The trailing
+/// epoch lets a peer arbitrarily far behind (a fresh router against a
+/// cluster with failover history) adopt the receiver's view in one hop
+/// instead of inching forward an epoch per retry.
 bool sendRepAck(BufferedConn &C, const Replica::Ack &A) {
-  if (!A.Ok)
-    return sendError(C, A.Err ? A.Err : "replication error");
+  if (!A.Ok) {
+    wire::Writer W(wire::Op::Err);
+    stampReplyFlow(W);
+    W.text(A.Err ? A.Err : "replication error");
+    W.fixnum(static_cast<std::int64_t>(A.Epoch));
+    return sendPayload(C, W);
+  }
   wire::Writer W(wire::Op::RepAck);
   stampReplyFlow(W);
   W.fixnum(static_cast<std::int64_t>(A.Epoch));
@@ -74,6 +82,10 @@ struct OutFrame {
   std::vector<std::uint8_t> Payload;
   std::uint64_t Id = 0;             ///< owning registration; 0 = none
   std::vector<gc::Value> Redeposit; ///< non-empty only for take deliveries
+  bool Taken = false; ///< noteTaken ran (drainOut popped the frame); only
+                      ///< then does a dropped frame owe a noteRestored —
+                      ///< teardown-dropped frames never told the backup
+                      ///< and must just re-deposit locally.
 };
 
 /// Per-connection registration state. The reader thread owns the
@@ -132,13 +144,17 @@ public:
 
   /// Releases \p Fr. \p Sent distinguishes a flushed frame (roots only)
   /// from a dropped one (re-deposit a consumed tuple first). Under
-  /// replication the re-deposit restores the backup copy — or re-routes
-  /// the tuple to the slot's current primary — before (or instead of)
-  /// the local put, so copy counts stay balanced.
+  /// replication a dropped frame whose noteTaken ran (Fr->Taken) restores
+  /// the backup copy — or re-routes the tuple to the slot's current
+  /// primary — before (or instead of) the local put. A frame dropped
+  /// before drainOut ever popped it never decremented the ledger or told
+  /// the backup anything, so it only re-deposits locally: an unpaired
+  /// noteRestored would over-count the resident and forward a second
+  /// backup copy, materializing a duplicate at the next promotion.
   void dispose(std::unique_ptr<OutFrame> Fr, bool Sent) {
     if (!Fr->Redeposit.empty()) {
       bool Local = true;
-      if (!Sent && Cfg.Rep)
+      if (!Sent && Fr->Taken && Cfg.Rep)
         Local = Cfg.Rep->noteRestored(Fr->Redeposit);
       for (gc::Value &Slot : Fr->Redeposit)
         Space->heap().removeRoot(&Slot);
@@ -167,9 +183,12 @@ public:
       // Replication's delivered⇒tombstoned invariant: the backup learns
       // the take *before* the Deliver frame can be observed, so a
       // promotion never resurrects a tuple someone already received. If
-      // the write below fails, dispose() restores the copy.
-      if (!Fr->Redeposit.empty() && Cfg.Rep)
+      // the write below fails, dispose() restores the copy — Taken marks
+      // that there is a tombstone to undo.
+      if (!Fr->Redeposit.empty() && Cfg.Rep) {
         Cfg.Rep->noteTaken(Fr->Redeposit);
+        Fr->Taken = true;
+      }
       bool Sent = C.writeFrame(Fr->Payload.data(), Fr->Payload.size(),
                                Deadline::in(Cfg.PollNanos * 1000)) &&
                   C.flush(Deadline::in(Cfg.PollNanos * 1000));
@@ -472,13 +491,17 @@ void serveShardConn(ShardConn &S) {
       break;
     }
     case wire::Op::RepPull: {
-      wire::ReadField SlotF, EpochF;
+      wire::ReadField SlotF, EpochF, OffsetF;
       if (!R.next(SlotF) || SlotF.T != wire::Tag::Fixnum ||
           !R.next(EpochF) || EpochF.T != wire::Tag::Fixnum) {
         if (!sendError(C, "malformed pull"))
           return;
         break;
       }
+      // Chunk cursor; absent means a whole-snapshot request from the top.
+      std::uint64_t Offset = 0;
+      if (R.next(OffsetF) && OffsetF.T == wire::Tag::Fixnum)
+        Offset = static_cast<std::uint64_t>(OffsetF.Num);
       if (!S.Cfg.Rep) {
         if (!sendError(C, "no replica"))
           return;
@@ -486,7 +509,7 @@ void serveShardConn(ShardConn &S) {
       }
       Replica::PullReply P =
           S.Cfg.Rep->onPull(static_cast<std::uint64_t>(SlotF.Num),
-                            static_cast<std::uint64_t>(EpochF.Num));
+                            static_cast<std::uint64_t>(EpochF.Num), Offset);
       if (!P.Ok) {
         if (!sendError(C, P.Err ? P.Err : "pull refused"))
           return;
@@ -497,6 +520,7 @@ void serveShardConn(ShardConn &S) {
       W.fixnum(SlotF.Num);
       W.fixnum(static_cast<std::int64_t>(P.Epoch));
       W.fixnum(P.Complete ? 1 : 0);
+      W.fixnum(static_cast<std::int64_t>(P.Version));
       for (const std::string &B : P.Tuples)
         W.blob(B);
       if (!sendPayload(C, W))

@@ -714,8 +714,16 @@ Status SpaceRouter::putReplicated(const Tuple &T, std::uint64_t Key) {
       Rd.takeFlow();
       wire::ReadField F;
       if (Rd.next(F) && F.T == wire::Tag::Text && F.Bytes == "stale epoch") {
-        // The member knows a later epoch than we do; adopt and retry.
-        raiseEpoch(Slot, E + 1);
+        // The member knows a later epoch than we do; adopt it and retry.
+        // The refusal's trailing fixnum carries the member's epoch so a
+        // view arbitrarily far behind converges in one lap — without it
+        // the lap budget caps how much history a fresh router can absorb.
+        std::uint64_t Next = E + 1;
+        wire::ReadField EpochF;
+        if (Rd.next(EpochF) && EpochF.T == wire::Tag::Fixnum)
+          Next = std::max<std::uint64_t>(
+              Next, static_cast<std::uint64_t>(EpochF.Num));
+        raiseEpoch(Slot, Next);
         continue;
       }
     }

@@ -96,7 +96,9 @@ enum class Op : std::uint8_t {
   // carrying a smaller epoch than the receiver's gets Err("stale epoch"),
   // an op carrying a larger one advances the receiver (with the role
   // change's side effects) before applying. Success replies are RepAck;
-  // refusals are ordinary Err frames so old peers fail cleanly.
+  // refusals are ordinary Err frames (so old peers fail cleanly) with the
+  // receiver's current epoch as a trailing Fixnum, letting a peer
+  // arbitrarily far behind adopt the fresh view in one hop.
   RepPut = 30,     ///< Fixnum slot, Fixnum epoch, Fixnum flags (bit0 =
                    ///< forwarded: primary→backup copy; clear = router→primary
                    ///< deposit), then the tuple fields. The primary forwards
@@ -120,12 +122,19 @@ enum class Op : std::uint8_t {
   RepDemote = 34,  ///< Fixnum slot, Fixnum epoch: fence a stale primary —
                    ///< it discards its replicated residents for the slot and
                    ///< starts a catch-up pull as the new backup.
-  RepPull = 35,    ///< Fixnum slot, Fixnum epoch: catch-up request; the
-                   ///< primary answers RepState from its resident ledger.
+  RepPull = 35,    ///< Fixnum slot, Fixnum epoch, Fixnum offset: catch-up
+                   ///< request; the primary answers RepState with a chunk
+                   ///< of its resident ledger starting \c offset copies in.
   RepState = 36,   ///< Fixnum slot, Fixnum epoch, Fixnum complete (0/1),
-                   ///< then one Blob per resident tuple (its encoded field
-                   ///< bytes). complete=0 means the transfer was truncated
-                   ///< at the pull bound and the backup stays catch-up-owed.
+                   ///< Fixnum version, then one Blob per resident tuple
+                   ///< (its encoded field bytes). complete=0 means more
+                   ///< copies remain past this chunk; \c version is the
+                   ///< ledger version the chunk was cut at — chunks only
+                   ///< tile one coherent snapshot while it holds still,
+                   ///< and the puller installs the whole snapshot as a
+                   ///< *replacement* for its side store (never additively)
+                   ///< once a complete, version-stable, unraced sequence
+                   ///< has been assembled.
 };
 
 enum class Tag : std::uint8_t {

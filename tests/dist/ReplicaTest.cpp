@@ -48,11 +48,11 @@ struct ReplicatedSpace {
   std::unique_ptr<SpaceRouter> Router;
 
   ReplicatedSpace(VirtualMachine &Vm, IoService &Io, std::size_t N,
-                  RouterConfig RC = {}) {
+                  RouterConfig RC = {}, ReplicaConfig RepC = {}) {
     std::vector<net::ClientConfig> Ring;
     for (std::size_t S = 0; S != N; ++S) {
       Spaces.push_back(TupleSpace::create());
-      Reps.push_back(std::make_shared<Replica>(Vm, Io, Spaces[S], S));
+      Reps.push_back(std::make_shared<Replica>(Vm, Io, Spaces[S], S, RepC));
       ShardConfig SC;
       SC.Rep = Reps[S];
       Servers.push_back(
@@ -417,6 +417,148 @@ TEST(ReplicaTest, DemotedShardCatchesUpBeforeRepromotion) {
       Sum += M.binding(0).asFixnum();
     }
     EXPECT_EQ(Sum, 3);
+    EXPECT_TRUE(RS.quiesce());
+    RS.teardown();
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(ReplicaTest, CatchupInstallsAuthoritativelyNotAdditively) {
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    ReplicatedSpace RS(Vm, Io, 2);
+    REQUIRE_OK(RS.valid());
+
+    // One tuple on slot 0's primary, backup copy on shard 1.
+    const std::int64_t K = keysHomedOn(0, 2, 2, 1)[0];
+    REQUIRE_OK(RS.Router->put(makeTuple(K, 7)) == Status::Ok);
+
+    // Shard 1 is promoted, and the *same copy* reaches the demoting
+    // shard 0 twice: once as a live forwarded RepPut at the new epoch
+    // (which is also what demotes it and starts its catch-up pull), and
+    // once inside the anti-entropy snapshot — the primary's ledger still
+    // lists it. The install must reconcile the overlap, not sum it.
+    Replica::Ack P1 = RS.Reps[1]->onPromote(0, 1);
+    EXPECT_TRUE(P1.Ok);
+    EXPECT_EQ(P1.Info, 1);
+    Replica::Ack F = RS.Reps[0]->onPut(0, 1, /*Forwarded=*/true,
+                                       makeTuple(K, 7));
+    EXPECT_TRUE(F.Ok);
+
+    Deadline Caught = Deadline::in(5'000'000'000);
+    while (RS.Reps[0]->needsCatchup(0) && !Caught.expired())
+      TC::yieldProcessor();
+    EXPECT_FALSE(RS.Reps[0]->needsCatchup(0)) << "catch-up never completed";
+
+    // The caught-up side store holds exactly one copy: a promotion
+    // materializes one tuple, not a duplicate per delivery channel.
+    Replica::Ack P2 = RS.Reps[0]->onPromote(0, 2);
+    EXPECT_TRUE(P2.Ok);
+    EXPECT_EQ(P2.Info, 1)
+        << "snapshot install double-counted a live-forwarded copy";
+    Replica::Ack D = RS.Reps[1]->onDemote(0, 2);
+    EXPECT_TRUE(D.Ok);
+    EXPECT_EQ(RS.servingSize(), 1u);
+
+    Tuple Tmpl;
+    Tmpl.emplace_back(K);
+    Tmpl.push_back(formal(0));
+    Match M;
+    REQUIRE_OK(RS.Router->take(std::move(Tmpl), M) == Status::Ok);
+    EXPECT_EQ(M.binding(0).asFixnum(), 7);
+    EXPECT_TRUE(RS.quiesce());
+    RS.teardown();
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(ReplicaTest, TruncatedCatchupResumesThroughTheChunkCursor) {
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    // One tuple per RepState chunk: a three-tuple slot needs three
+    // cursor-linked pulls, and the assembled snapshot must install each
+    // copy exactly once — re-pulling the same prefix per retry (the old
+    // truncation behavior) would triple the first tuple.
+    ReplicaConfig RepC;
+    RepC.PullMaxTuples = 1;
+    ReplicatedSpace RS(Vm, Io, 2, {}, RepC);
+    REQUIRE_OK(RS.valid());
+
+    const int N = 3;
+    std::vector<std::int64_t> Keys = keysHomedOn(0, 2, 2, N);
+    std::int64_t Want = 0;
+    for (int I = 0; I != N; ++I) {
+      REQUIRE_OK(RS.Router->put(makeTuple(Keys[I], 1 + I)) == Status::Ok);
+      Want += 1 + I;
+    }
+
+    Replica::Ack P1 = RS.Reps[1]->onPromote(0, 1);
+    EXPECT_TRUE(P1.Ok);
+    EXPECT_EQ(P1.Info, N);
+    Replica::Ack D1 = RS.Reps[0]->onDemote(0, 1);
+    EXPECT_TRUE(D1.Ok);
+
+    Deadline Caught = Deadline::in(5'000'000'000);
+    while (RS.Reps[0]->needsCatchup(0) && !Caught.expired())
+      TC::yieldProcessor();
+    EXPECT_FALSE(RS.Reps[0]->needsCatchup(0))
+        << "chunked catch-up never completed";
+    EXPECT_GE(RS.Reps[0]->statsSnapshot().CatchupTuples,
+              static_cast<std::uint64_t>(N));
+
+    Replica::Ack P2 = RS.Reps[0]->onPromote(0, 2);
+    EXPECT_TRUE(P2.Ok);
+    EXPECT_EQ(P2.Info, N) << "chunked transfer lost or duplicated a copy";
+    Replica::Ack D2 = RS.Reps[1]->onDemote(0, 2);
+    EXPECT_TRUE(D2.Ok);
+    EXPECT_EQ(RS.servingSize(), static_cast<std::size_t>(N));
+
+    std::int64_t Sum = 0;
+    for (std::int64_t K : Keys) {
+      Tuple Tmpl;
+      Tmpl.emplace_back(K);
+      Tmpl.push_back(formal(0));
+      Match M;
+      REQUIRE_OK(RS.Router->take(std::move(Tmpl), M) == Status::Ok);
+      Sum += M.binding(0).asFixnum();
+    }
+    EXPECT_EQ(Sum, Want);
+    EXPECT_TRUE(RS.quiesce());
+    RS.teardown();
+    return AnyValue(true);
+  });
+  EXPECT_TRUE(V.as<bool>());
+}
+
+TEST(ReplicaTest, StaleRefusalCarriesTheEpochSoARouterFarBehindConverges) {
+  VirtualMachine Vm;
+  IoService Io;
+  AnyValue V = Vm.run([&]() -> AnyValue {
+    ReplicatedSpace RS(Vm, Io, 2);
+    REQUIRE_OK(RS.valid());
+
+    // The cluster has failover history the router never saw: slot 0 sits
+    // at epoch 20, far past the router's 2N+2 retry budget. The first
+    // refused put must deliver the real epoch so the router adopts it in
+    // one lap — counting up one epoch per retry would exhaust the budget
+    // and surface a spurious error.
+    RS.Reps[0]->observeEpoch(0, 20);
+    RS.Reps[1]->observeEpoch(0, 20);
+
+    const std::int64_t K = keysHomedOn(0, 2, 2, 1)[0];
+    EXPECT_EQ(RS.Router->put(makeTuple(K, 7)), Status::Ok)
+        << "router could not absorb a 20-epoch gap from the refusal";
+
+    Tuple Tmpl;
+    Tmpl.emplace_back(K);
+    Tmpl.push_back(formal(0));
+    Match M;
+    REQUIRE_OK(RS.Router->take(std::move(Tmpl), M) == Status::Ok);
+    EXPECT_EQ(M.binding(0).asFixnum(), 7);
     EXPECT_TRUE(RS.quiesce());
     RS.teardown();
     return AnyValue(true);
